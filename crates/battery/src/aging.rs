@@ -1,0 +1,148 @@
+//! Capacity-fade aging model (state of health).
+//!
+//! The paper notes (§III-B) that its model does not account for SoH
+//! degradation and points to the ensemble approach of \[26\] as the fix. This
+//! module provides the aging substrate for that extension: a square-root-of-
+//! throughput calendar+cycle fade model, standard in BMS literature, used by
+//! `pinnsoc::ensemble` to generate per-SoH training data.
+
+use crate::chemistry::CellParams;
+use serde::{Deserialize, Serialize};
+
+/// State of health: the ratio of current usable capacity to rated capacity.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Soh(f64);
+
+impl Soh {
+    /// A fresh cell.
+    pub const NEW: Soh = Soh(1.0);
+
+    /// Creates an SoH; valid range is `(0, 1]`.
+    pub fn new(value: f64) -> Option<Self> {
+        (value.is_finite() && value > 0.0 && value <= 1.0).then_some(Soh(value))
+    }
+
+    /// The underlying fraction.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+/// Square-root capacity-fade model:
+/// `SoH(n) = 1 − k_cycle·sqrt(efc) − k_cal·t_years`, floored at `min_soh`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FadeModel {
+    /// Fade per sqrt(equivalent full cycle).
+    pub k_cycle: f64,
+    /// Calendar fade per year.
+    pub k_calendar: f64,
+    /// Floor below which the model saturates (cell considered end-of-life).
+    pub min_soh: f64,
+}
+
+impl Default for FadeModel {
+    fn default() -> Self {
+        // ~20% fade after 1000 EFC plus ~2%/year calendar fade: typical NMC.
+        Self { k_cycle: 0.2 / 1000.0_f64.sqrt(), k_calendar: 0.02, min_soh: 0.6 }
+    }
+}
+
+impl FadeModel {
+    /// SoH after `equivalent_full_cycles` of cycling and `years` of storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either input is negative.
+    pub fn soh_after(&self, equivalent_full_cycles: f64, years: f64) -> Soh {
+        assert!(equivalent_full_cycles >= 0.0, "cycle count must be non-negative");
+        assert!(years >= 0.0, "age must be non-negative");
+        let fade = self.k_cycle * equivalent_full_cycles.sqrt() + self.k_calendar * years;
+        Soh::new((1.0 - fade).max(self.min_soh)).expect("floored value is valid")
+    }
+
+    /// Cycles until the given SoH is reached (ignoring calendar fade), or
+    /// `None` if the target is below the model floor.
+    pub fn cycles_to_reach(&self, target: Soh) -> Option<f64> {
+        if target.value() < self.min_soh {
+            return None;
+        }
+        let fade = 1.0 - target.value();
+        Some((fade / self.k_cycle).powi(2))
+    }
+}
+
+/// Applies an SoH to cell parameters: capacity shrinks and resistance grows
+/// (the two dominant aging signatures).
+pub fn aged_params(fresh: &CellParams, soh: Soh) -> CellParams {
+    let mut p = fresh.clone();
+    p.capacity_ah = fresh.capacity_ah * soh.value();
+    // Empirical: ~1% resistance growth per 1% capacity fade, doubled.
+    let growth = 1.0 + 2.0 * (1.0 - soh.value());
+    p.r0_ohm *= growth;
+    p.r1_ohm *= growth;
+    p.r2_ohm *= growth;
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soh_validation() {
+        assert!(Soh::new(1.0).is_some());
+        assert!(Soh::new(0.0).is_none());
+        assert!(Soh::new(1.2).is_none());
+        assert!(Soh::new(f64::NAN).is_none());
+    }
+
+    #[test]
+    fn fresh_cell_is_full_health() {
+        let m = FadeModel::default();
+        assert_eq!(m.soh_after(0.0, 0.0), Soh::NEW);
+    }
+
+    #[test]
+    fn fade_is_monotone_in_cycles() {
+        let m = FadeModel::default();
+        let mut last = 1.0;
+        for efc in [10.0, 100.0, 400.0, 1000.0] {
+            let soh = m.soh_after(efc, 0.0).value();
+            assert!(soh < last);
+            last = soh;
+        }
+    }
+
+    #[test]
+    fn default_model_hits_80pct_at_1000_cycles() {
+        let m = FadeModel::default();
+        let soh = m.soh_after(1000.0, 0.0).value();
+        assert!((soh - 0.8).abs() < 1e-9, "soh {soh}");
+    }
+
+    #[test]
+    fn floor_saturates() {
+        let m = FadeModel::default();
+        assert_eq!(m.soh_after(1e9, 100.0).value(), 0.6);
+    }
+
+    #[test]
+    fn cycles_to_reach_inverts_soh_after() {
+        let m = FadeModel::default();
+        let target = Soh::new(0.9).unwrap();
+        let cycles = m.cycles_to_reach(target).unwrap();
+        let soh = m.soh_after(cycles, 0.0);
+        assert!((soh.value() - 0.9).abs() < 1e-9);
+        assert!(m.cycles_to_reach(Soh::new(0.5).unwrap()).is_none());
+    }
+
+    #[test]
+    fn aged_params_shrink_capacity_and_grow_resistance() {
+        let fresh = CellParams::lg_hg2();
+        let aged = aged_params(&fresh, Soh::new(0.8).unwrap());
+        assert!((aged.capacity_ah - 2.4).abs() < 1e-12);
+        assert!(aged.r0_ohm > fresh.r0_ohm * 1.3);
+        assert_eq!(aged.chemistry, fresh.chemistry);
+    }
+}

@@ -1,0 +1,152 @@
+//! Coulomb counting — the physics equation the paper embeds in its loss.
+//!
+//! Paper Eq. (1):
+//!
+//! ```text
+//! SoC_p(t + Np) = SoC(t) + (1 / C_rated) ∫ I dt
+//! ```
+//!
+//! with our sign convention (positive current = discharge) the integral term
+//! enters with a minus sign. Two forms are provided: the closed-form
+//! constant-current step used by the physics loss, and a running
+//! [`CoulombCounter`] estimator used as a classic direct-measurement
+//! baseline (category 1 in §II of the paper).
+
+use crate::types::Soc;
+use serde::{Deserialize, Serialize};
+
+/// Closed-form Coulomb prediction for a constant average current.
+///
+/// This is exactly the quantity the physics loss supervises Branch 2 with:
+/// given an initial SoC, an average current `current_a` (positive =
+/// discharge) over `horizon_s` seconds, and the rated capacity, it returns
+/// the predicted SoC, saturated into `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use pinnsoc_battery::{coulomb_predict, Soc};
+///
+/// // 1C discharge on a 3Ah cell for 360 s = 10% drop.
+/// let next = coulomb_predict(Soc::new(0.5).unwrap(), 3.0, 360.0, 3.0);
+/// assert!((next.value() - 0.4).abs() < 1e-9);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `capacity_ah` is not positive or `horizon_s` is negative.
+pub fn coulomb_predict(initial: Soc, current_a: f64, horizon_s: f64, capacity_ah: f64) -> Soc {
+    assert!(capacity_ah > 0.0, "capacity must be positive");
+    assert!(horizon_s >= 0.0, "horizon must be non-negative");
+    initial.shifted(-current_a * horizon_s / (3600.0 * capacity_ah))
+}
+
+/// Running Coulomb-counting SoC estimator.
+///
+/// Integrates measured current over time. Like its real counterpart it
+/// drifts with current-sensor bias and has no way to correct an erroneous
+/// initial SoC — which is precisely the weakness the paper's Branch 1
+/// addresses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoulombCounter {
+    capacity_ah: f64,
+    soc: Soc,
+    /// Additive current-sensor bias, amps (fault-injection knob for tests).
+    sensor_bias_a: f64,
+}
+
+impl CoulombCounter {
+    /// Creates a counter from an assumed initial SoC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_ah` is not positive.
+    pub fn new(initial: Soc, capacity_ah: f64) -> Self {
+        assert!(capacity_ah > 0.0, "capacity must be positive");
+        Self { capacity_ah, soc: initial, sensor_bias_a: 0.0 }
+    }
+
+    /// Adds a constant current-sensor bias (for drift studies).
+    pub fn with_sensor_bias(mut self, bias_a: f64) -> Self {
+        self.sensor_bias_a = bias_a;
+        self
+    }
+
+    /// Current SoC estimate.
+    pub fn soc(&self) -> Soc {
+        self.soc
+    }
+
+    /// Integrates one measurement interval.
+    pub fn update(&mut self, measured_current_a: f64, dt_s: f64) -> Soc {
+        assert!(dt_s > 0.0, "time step must be positive");
+        let i = measured_current_a + self.sensor_bias_a;
+        self.soc = self.soc.shifted(-i * dt_s / (3600.0 * self.capacity_ah));
+        self.soc
+    }
+
+    /// Re-anchors the estimate (e.g. from an OCV fix at rest).
+    pub fn recalibrate(&mut self, soc: Soc) {
+        self.soc = soc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predict_discharge_and_charge() {
+        let s = Soc::new(0.5).unwrap();
+        assert!((coulomb_predict(s, 3.0, 3600.0, 3.0).value() - (0.5 - 1.0_f64).max(0.0)).abs() < 1e-12);
+        let up = coulomb_predict(s, -1.5, 3600.0, 3.0);
+        assert!((up.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_saturates() {
+        assert_eq!(coulomb_predict(Soc::new(0.1).unwrap(), 30.0, 3600.0, 3.0), Soc::EMPTY);
+        assert_eq!(coulomb_predict(Soc::new(0.9).unwrap(), -30.0, 3600.0, 3.0), Soc::FULL);
+    }
+
+    #[test]
+    fn zero_horizon_is_identity() {
+        let s = Soc::new(0.42).unwrap();
+        assert_eq!(coulomb_predict(s, 5.0, 0.0, 3.0), s);
+    }
+
+    #[test]
+    fn counter_tracks_exact_integral() {
+        let mut c = CoulombCounter::new(Soc::FULL, 3.0);
+        for _ in 0..360 {
+            c.update(3.0, 10.0);
+        }
+        // 3 A × 3600 s = 3 Ah = 100% of a 3 Ah cell (up to float accumulation).
+        assert!(c.soc().value() < 1e-9, "soc {}", c.soc().value());
+    }
+
+    #[test]
+    fn counter_drifts_with_sensor_bias() {
+        let mut ideal = CoulombCounter::new(Soc::FULL, 3.0);
+        let mut biased = CoulombCounter::new(Soc::FULL, 3.0).with_sensor_bias(0.05);
+        for _ in 0..100 {
+            ideal.update(1.0, 30.0);
+            biased.update(1.0, 30.0);
+        }
+        assert!(biased.soc().value() < ideal.soc().value());
+    }
+
+    #[test]
+    fn recalibration_resets_estimate() {
+        let mut c = CoulombCounter::new(Soc::FULL, 3.0);
+        c.update(3.0, 600.0);
+        c.recalibrate(Soc::new(0.5).unwrap());
+        assert_eq!(c.soc().value(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn invalid_capacity_panics() {
+        let _ = CoulombCounter::new(Soc::FULL, 0.0);
+    }
+}

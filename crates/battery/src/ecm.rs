@@ -1,0 +1,217 @@
+//! Thevenin equivalent-circuit model (ECM) of a Li-ion cell.
+//!
+//! The cell is modelled as an OCV source in series with an ohmic resistance
+//! `R0` and up to two RC polarization branches:
+//!
+//! ```text
+//!   OCV(SoC,T) ──[R0(T,SoC)]──[R1 ∥ C1]──[R2 ∥ C2]──○ V_terminal
+//! ```
+//!
+//! This is the same first-order model class whose dynamics Dang et al. \[7\]
+//! embed in their loss, and the standard substrate for SoC work. RC branches
+//! use the exact zero-order-hold discretization, so arbitrarily large time
+//! steps remain stable.
+
+use crate::chemistry::CellParams;
+use crate::types::{CellState, Soc};
+use serde::{Deserialize, Serialize};
+
+/// Model order: how many RC branches to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EcmOrder {
+    /// `R0` only (instant response; the model implied by plain Coulomb counting).
+    Zero,
+    /// `R0` + one RC branch — the model of \[7\].
+    One,
+    /// `R0` + two RC branches (fast polarization + slow diffusion) — the
+    /// simulator default.
+    Two,
+}
+
+/// Thevenin equivalent-circuit model of one cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecm {
+    params: CellParams,
+    order: EcmOrder,
+}
+
+impl Ecm {
+    /// Creates an ECM of the given order over a parameter preset.
+    pub fn new(params: CellParams, order: EcmOrder) -> Self {
+        Self { params, order }
+    }
+
+    /// The underlying cell parameters.
+    pub fn params(&self) -> &CellParams {
+        &self.params
+    }
+
+    /// Model order in use.
+    pub fn order(&self) -> EcmOrder {
+        self.order
+    }
+
+    /// Ohmic resistance at the given operating point.
+    ///
+    /// Grows with cold temperature (Arrhenius) and at the SoC extremes,
+    /// which is what makes high-C-rate cycles terminate earlier.
+    pub fn r0(&self, soc: Soc, temperature_c: f64) -> f64 {
+        let s = soc.value();
+        // Mild U-shape in SoC: +60% near empty, +15% near full.
+        let soc_factor = 1.0 + 0.6 * (-(s / 0.12)).exp() + 0.15 * ((s - 1.0) / 0.08).exp();
+        self.params.r0_ohm * self.params.resistance_factor(temperature_c) * soc_factor
+    }
+
+    /// Advances the RC polarization states by `dt_s` seconds under constant
+    /// current `current_a`, returning the updated state (exact ZOH update).
+    pub fn step_polarization(
+        &self,
+        state: &CellState,
+        current_a: f64,
+        dt_s: f64,
+    ) -> [f64; 2] {
+        assert!(dt_s > 0.0, "time step must be positive");
+        let temp_factor = self.params.resistance_factor(state.temperature_c);
+        let branches = [
+            (self.params.r1_ohm * temp_factor, self.params.c1_farad),
+            (self.params.r2_ohm * temp_factor, self.params.c2_farad),
+        ];
+        let active = match self.order {
+            EcmOrder::Zero => 0,
+            EcmOrder::One => 1,
+            EcmOrder::Two => 2,
+        };
+        let mut out = [0.0; 2];
+        for (k, (r, c)) in branches.iter().enumerate() {
+            if k >= active {
+                out[k] = 0.0;
+                continue;
+            }
+            let tau = r * c;
+            let alpha = (-dt_s / tau).exp();
+            out[k] = state.rc_voltages[k] * alpha + r * current_a * (1.0 - alpha);
+        }
+        out
+    }
+
+    /// Terminal voltage at the given state under current `current_a`
+    /// (positive = discharge).
+    pub fn terminal_voltage(&self, state: &CellState, current_a: f64) -> f64 {
+        let ocv = self.params.ocv.voltage(state.soc, state.temperature_c);
+        ocv - current_a * self.r0(state.soc, state.temperature_c)
+            - state.rc_voltages[0]
+            - state.rc_voltages[1]
+    }
+
+    /// Instantaneous ohmic + polarization heat generation, watts.
+    pub fn heat_generation(&self, state: &CellState, current_a: f64) -> f64 {
+        let ohmic = current_a * current_a * self.r0(state.soc, state.temperature_c);
+        // Polarization branches dissipate v_rc²/R; approximate with v_rc·I.
+        let polarization =
+            (state.rc_voltages[0] + state.rc_voltages[1]).abs() * current_a.abs();
+        ohmic + polarization
+    }
+
+    /// SoC change over `dt_s` seconds at constant current (exact Coulomb
+    /// integration; positive current discharges).
+    pub fn soc_delta(&self, current_a: f64, dt_s: f64) -> f64 {
+        -current_a * dt_s / (3600.0 * self.params.capacity_ah)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chemistry::CellParams;
+
+    fn ecm() -> Ecm {
+        Ecm::new(CellParams::lg_hg2(), EcmOrder::Two)
+    }
+
+    #[test]
+    fn rested_terminal_voltage_equals_ocv() {
+        let e = ecm();
+        let st = CellState::rested(Soc::new(0.5).unwrap(), 25.0);
+        let v = e.terminal_voltage(&st, 0.0);
+        let ocv = e.params().ocv.voltage(st.soc, 25.0);
+        assert!((v - ocv).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discharge_drops_voltage_charge_raises_it() {
+        let e = ecm();
+        let st = CellState::rested(Soc::new(0.5).unwrap(), 25.0);
+        let ocv = e.params().ocv.voltage(st.soc, 25.0);
+        assert!(e.terminal_voltage(&st, 3.0) < ocv);
+        assert!(e.terminal_voltage(&st, -3.0) > ocv);
+    }
+
+    #[test]
+    fn polarization_approaches_ir_asymptote() {
+        let e = ecm();
+        let mut st = CellState::rested(Soc::new(0.8).unwrap(), 25.0);
+        let current = 3.0;
+        // Step far beyond both time constants.
+        st.rc_voltages = e.step_polarization(&st, current, 1e6);
+        let expected1 = e.params().r1_ohm * current;
+        let expected2 = e.params().r2_ohm * current;
+        assert!((st.rc_voltages[0] - expected1).abs() < 1e-9);
+        assert!((st.rc_voltages[1] - expected2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polarization_relaxes_to_zero_at_rest() {
+        let e = ecm();
+        let mut st = CellState::rested(Soc::new(0.8).unwrap(), 25.0);
+        st.rc_voltages = [0.05, 0.02];
+        let relaxed = e.step_polarization(&st, 0.0, 1e6);
+        assert!(relaxed[0].abs() < 1e-9 && relaxed[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn zoh_stable_for_large_steps() {
+        // Large dt must never overshoot the asymptote (a forward-Euler bug).
+        let e = ecm();
+        let st = CellState::rested(Soc::new(0.5).unwrap(), 25.0);
+        let v = e.step_polarization(&st, 2.0, 3600.0);
+        assert!(v[0] <= e.params().r1_ohm * 2.0 + 1e-12);
+        assert!(v[0] >= 0.0);
+    }
+
+    #[test]
+    fn order_controls_active_branches() {
+        let p = CellParams::lg_hg2();
+        let st = CellState::rested(Soc::new(0.5).unwrap(), 25.0);
+        let one = Ecm::new(p.clone(), EcmOrder::One).step_polarization(&st, 2.0, 100.0);
+        assert!(one[0] > 0.0);
+        assert_eq!(one[1], 0.0);
+        let zero = Ecm::new(p, EcmOrder::Zero).step_polarization(&st, 2.0, 100.0);
+        assert_eq!(zero, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn r0_rises_in_cold_and_near_empty() {
+        let e = ecm();
+        let mid = Soc::new(0.5).unwrap();
+        assert!(e.r0(mid, -10.0) > e.r0(mid, 25.0));
+        assert!(e.r0(Soc::new(0.02).unwrap(), 25.0) > e.r0(mid, 25.0) * 1.2);
+    }
+
+    #[test]
+    fn soc_delta_sign_convention() {
+        let e = ecm();
+        // 1C discharge for one hour = exactly −100% SoC.
+        let delta = e.soc_delta(e.params().c_rate(1.0), 3600.0);
+        assert!((delta + 1.0).abs() < 1e-12);
+        assert!(e.soc_delta(-1.0, 10.0) > 0.0);
+    }
+
+    #[test]
+    fn heat_generation_positive_for_both_signs() {
+        let e = ecm();
+        let mut st = CellState::rested(Soc::new(0.5).unwrap(), 25.0);
+        st.rc_voltages = [0.02, 0.01];
+        assert!(e.heat_generation(&st, 3.0) > 0.0);
+        assert!(e.heat_generation(&st, -3.0) > 0.0);
+    }
+}

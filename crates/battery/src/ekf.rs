@@ -1,0 +1,195 @@
+//! Extended Kalman filter SoC estimator over a first-order ECM.
+//!
+//! This is the classic physics-based (category 2, §II of the paper)
+//! estimation baseline: it fuses Coulomb-counting prediction with voltage
+//! measurements through the OCV curve. Included to let examples and benches
+//! contrast the paper's data-driven approach against a model-based one.
+
+use crate::chemistry::CellParams;
+use crate::types::Soc;
+
+/// Extended Kalman filter tracking `[SoC, v_rc]` of a first-order ECM.
+///
+/// # Examples
+///
+/// ```
+/// use pinnsoc_battery::{CellParams, CellSim, EkfEstimator, Soc};
+///
+/// let params = CellParams::lg_hg2();
+/// let mut sim = CellSim::new(params.clone(), Soc::new(0.9).unwrap(), 25.0);
+/// // Deliberately wrong initial guess: the EKF corrects it from voltage.
+/// let mut ekf = EkfEstimator::new(params, Soc::new(0.5).unwrap());
+/// for _ in 0..600 {
+///     let rec = sim.step(3.0, 1.0);
+///     ekf.update(rec.current_a, rec.voltage_v, rec.temperature_c, 1.0);
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EkfEstimator {
+    params: CellParams,
+    /// State estimate: SoC fraction and RC branch voltage.
+    x: [f64; 2],
+    /// State covariance (row-major 2×2).
+    p: [[f64; 2]; 2],
+    /// Process noise diagonal.
+    q: [f64; 2],
+    /// Measurement noise variance (volts²).
+    r: f64,
+}
+
+impl EkfEstimator {
+    /// Creates a filter with a possibly inaccurate initial SoC guess and
+    /// default noise tuning.
+    pub fn new(params: CellParams, initial_guess: Soc) -> Self {
+        Self {
+            params,
+            x: [initial_guess.value(), 0.0],
+            p: [[0.05, 0.0], [0.0, 1e-4]],
+            q: [1e-9, 1e-6],
+            r: 1e-4,
+        }
+    }
+
+    /// Overrides the noise tuning (process SoC, process v_rc, measurement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variance is not positive.
+    pub fn with_noise(mut self, q_soc: f64, q_vrc: f64, r_meas: f64) -> Self {
+        assert!(q_soc > 0.0 && q_vrc > 0.0 && r_meas > 0.0, "variances must be positive");
+        self.q = [q_soc, q_vrc];
+        self.r = r_meas;
+        self
+    }
+
+    /// Current SoC estimate.
+    pub fn soc(&self) -> Soc {
+        Soc::clamped(self.x[0])
+    }
+
+    /// Current SoC standard deviation estimate.
+    pub fn soc_std(&self) -> f64 {
+        self.p[0][0].max(0.0).sqrt()
+    }
+
+    /// One predict–correct cycle given a measurement interval.
+    ///
+    /// Returns the corrected SoC estimate.
+    pub fn update(
+        &mut self,
+        current_a: f64,
+        measured_voltage_v: f64,
+        temperature_c: f64,
+        dt_s: f64,
+    ) -> Soc {
+        assert!(dt_s > 0.0, "time step must be positive");
+        let temp_factor = self.params.resistance_factor(temperature_c);
+        let r1 = self.params.r1_ohm * temp_factor;
+        let tau = r1 * self.params.c1_farad;
+        let a = (-dt_s / tau).exp();
+
+        // Predict.
+        self.x[0] -= current_a * dt_s / (3600.0 * self.params.capacity_ah);
+        self.x[0] = self.x[0].clamp(0.0, 1.0);
+        self.x[1] = a * self.x[1] + r1 * (1.0 - a) * current_a;
+        // P = F P Fᵀ + Q with F = diag(1, a).
+        self.p[0][0] += self.q[0];
+        self.p[0][1] *= a;
+        self.p[1][0] *= a;
+        self.p[1][1] = a * a * self.p[1][1] + self.q[1];
+
+        // Measurement model: V = OCV(soc,T) − I·R0 − v_rc.
+        let soc = Soc::clamped(self.x[0]);
+        let r0 = self.params.r0_ohm * temp_factor;
+        let predicted_v =
+            self.params.ocv.voltage(soc, temperature_c) - current_a * r0 - self.x[1];
+        let h = [self.params.ocv.slope(soc), -1.0];
+
+        // Innovation and gain.
+        let innovation = measured_voltage_v - predicted_v;
+        let ph = [
+            self.p[0][0] * h[0] + self.p[0][1] * h[1],
+            self.p[1][0] * h[0] + self.p[1][1] * h[1],
+        ];
+        let s = h[0] * ph[0] + h[1] * ph[1] + self.r;
+        let k = [ph[0] / s, ph[1] / s];
+
+        // Correct.
+        self.x[0] = (self.x[0] + k[0] * innovation).clamp(0.0, 1.0);
+        self.x[1] += k[1] * innovation;
+        // P = (I − K H) P.
+        let p = self.p;
+        self.p[0][0] = (1.0 - k[0] * h[0]) * p[0][0] - k[0] * h[1] * p[1][0];
+        self.p[0][1] = (1.0 - k[0] * h[0]) * p[0][1] - k[0] * h[1] * p[1][1];
+        self.p[1][0] = -k[1] * h[0] * p[0][0] + (1.0 - k[1] * h[1]) * p[1][0];
+        self.p[1][1] = -k[1] * h[0] * p[0][1] + (1.0 - k[1] * h[1]) * p[1][1];
+
+        self.soc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::CellSim;
+
+    #[test]
+    fn converges_from_wrong_initial_guess() {
+        let params = CellParams::lg_hg2();
+        let mut sim = CellSim::new(params.clone(), Soc::new(0.9).unwrap(), 25.0);
+        let mut ekf = EkfEstimator::new(params, Soc::new(0.4).unwrap());
+        let mut final_err = f64::MAX;
+        for _ in 0..1800 {
+            let rec = sim.step(3.0, 1.0);
+            let est = ekf.update(rec.current_a, rec.voltage_v, rec.temperature_c, 1.0);
+            final_err = (est.value() - rec.soc).abs();
+        }
+        assert!(final_err < 0.05, "EKF did not converge: err {final_err}");
+    }
+
+    #[test]
+    fn tracks_true_soc_during_variable_load() {
+        let params = CellParams::lg_hg2();
+        let mut sim = CellSim::new(params.clone(), Soc::new(0.8).unwrap(), 25.0);
+        let mut ekf = EkfEstimator::new(params, Soc::new(0.8).unwrap());
+        let mut worst = 0.0_f64;
+        for k in 0..1200 {
+            // Square-wave load between 1 A and 6 A.
+            let i = if (k / 60) % 2 == 0 { 1.0 } else { 6.0 };
+            let rec = sim.step(i, 1.0);
+            let est = ekf.update(rec.current_a, rec.voltage_v, rec.temperature_c, 1.0);
+            worst = worst.max((est.value() - rec.soc).abs());
+        }
+        assert!(worst < 0.08, "EKF tracking error too large: {worst}");
+    }
+
+    #[test]
+    fn covariance_stays_positive() {
+        let params = CellParams::lg_hg2();
+        let mut sim = CellSim::new(params.clone(), Soc::new(0.7).unwrap(), 25.0);
+        let mut ekf = EkfEstimator::new(params, Soc::new(0.7).unwrap());
+        for _ in 0..600 {
+            let rec = sim.step(2.0, 1.0);
+            ekf.update(rec.current_a, rec.voltage_v, rec.temperature_c, 1.0);
+            assert!(ekf.soc_std().is_finite());
+            assert!(ekf.soc_std() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn estimate_is_always_a_valid_soc() {
+        let params = CellParams::lg_hg2();
+        let mut ekf = EkfEstimator::new(params, Soc::new(0.05).unwrap());
+        // Feed absurd measurements; estimate must stay in [0, 1].
+        for k in 0..50 {
+            let s = ekf.update(10.0, 2.0 + 0.01 * k as f64, 25.0, 1.0);
+            assert!((0.0..=1.0).contains(&s.value()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "variances must be positive")]
+    fn invalid_noise_panics() {
+        let _ = EkfEstimator::new(CellParams::lg_hg2(), Soc::FULL).with_noise(0.0, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! # pinnsoc-battery
+//!
+//! Electro-thermal Li-ion cell simulation substrate for the `pinnsoc`
+//! workspace — the Rust reproduction of *"Coupling Neural Networks and
+//! Physics Equations For Li-Ion Battery State-of-Charge Prediction"*
+//! (DATE 2025).
+//!
+//! The paper evaluates on two measured datasets (Sandia \[5\], LG \[6\]) that
+//! are not redistributable here, so this crate provides the physical cells
+//! those datasets were measured from: a Thevenin equivalent-circuit model
+//! with temperature-dependent parameters, a lumped thermal node, per-
+//! chemistry OCV curves, and exact Coulomb integration for ground-truth SoC.
+//! `pinnsoc-data` drives these models with the same cycling protocols the
+//! datasets used.
+//!
+//! Also included: the Coulomb-counting equation used by the paper's physics
+//! loss ([`coulomb_predict`]), a running [`CoulombCounter`], an EKF
+//! estimator ([`EkfEstimator`]) as the classic physics-based baseline, and a
+//! capacity-fade aging model ([`aging`]) backing the SoH-ensemble extension.
+//!
+//! ## Sign convention
+//!
+//! Positive current discharges the cell. See [`types`] for details.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use pinnsoc_battery::{CellParams, CellSim, Soc};
+//!
+//! // Discharge an LG HG2 cell at 2C from full, sampling every 2 minutes.
+//! let mut sim = CellSim::new(CellParams::lg_hg2(), Soc::FULL, 25.0);
+//! let run = sim.discharge_to_cutoff(2.0, 1.0, 120.0);
+//! assert!(run.records.last().unwrap().soc < 0.1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aging;
+pub mod chemistry;
+pub mod coulomb;
+pub mod ecm;
+pub mod ekf;
+pub mod ocv;
+pub mod ocv_estimator;
+pub mod sim;
+pub mod thermal;
+pub mod types;
+
+pub use aging::{aged_params, FadeModel, Soh};
+pub use chemistry::{CellParams, Chemistry};
+pub use coulomb::{coulomb_predict, CoulombCounter};
+pub use ecm::{Ecm, EcmOrder};
+pub use ekf::EkfEstimator;
+pub use ocv::{OcvCurve, OcvCurveError};
+pub use ocv_estimator::OcvSocEstimator;
+pub use sim::{CellSim, SimRun};
+pub use thermal::LumpedThermal;
+pub use types::{CellState, SimRecord, Soc, StopReason};

@@ -1,0 +1,216 @@
+//! Open-circuit-voltage curves: OCV as a function of SoC and temperature.
+
+use crate::types::Soc;
+use serde::{Deserialize, Serialize};
+
+/// A monotone piecewise-linear OCV–SoC curve with a linear temperature
+/// correction (entropy coefficient).
+///
+/// Breakpoints are evenly spaced in SoC from 0 to 1. Monotonicity is
+/// validated at construction so the inverse lookup ([`OcvCurve::soc_at`])
+/// is well defined — which is what the EKF and OCV-based estimators need.
+///
+/// # Examples
+///
+/// ```
+/// use pinnsoc_battery::{OcvCurve, Soc};
+///
+/// let curve = OcvCurve::new(vec![3.0, 3.5, 3.7, 3.9, 4.2], 25.0, -0.0003).unwrap();
+/// let v = curve.voltage(Soc::new(0.5).unwrap(), 25.0);
+/// assert!((v - 3.7).abs() < 1e-9);
+/// let s = curve.soc_at(v, 25.0).unwrap();
+/// assert!((s.value() - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OcvCurve {
+    /// OCV values at evenly spaced SoC breakpoints (index 0 ↔ SoC 0).
+    points: Vec<f64>,
+    /// Temperature at which `points` were characterized, °C.
+    reference_temp_c: f64,
+    /// dOCV/dT in V/K (entropy coefficient), applied uniformly.
+    temp_coefficient: f64,
+}
+
+/// Error constructing an [`OcvCurve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OcvCurveError {
+    /// Fewer than two breakpoints were supplied.
+    TooFewPoints,
+    /// The supplied OCV values are not strictly increasing.
+    NotMonotone,
+    /// A value was NaN or infinite.
+    NonFinite,
+}
+
+impl std::fmt::Display for OcvCurveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OcvCurveError::TooFewPoints => "OCV curve needs at least two breakpoints",
+            OcvCurveError::NotMonotone => "OCV curve must be strictly increasing in SoC",
+            OcvCurveError::NonFinite => "OCV curve values must be finite",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for OcvCurveError {}
+
+impl OcvCurve {
+    /// Creates a curve from evenly spaced breakpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if fewer than two points are given, any value is
+    /// non-finite, or the values are not strictly increasing.
+    pub fn new(
+        points: Vec<f64>,
+        reference_temp_c: f64,
+        temp_coefficient: f64,
+    ) -> Result<Self, OcvCurveError> {
+        if points.len() < 2 {
+            return Err(OcvCurveError::TooFewPoints);
+        }
+        if points.iter().any(|v| !v.is_finite())
+            || !reference_temp_c.is_finite()
+            || !temp_coefficient.is_finite()
+        {
+            return Err(OcvCurveError::NonFinite);
+        }
+        if points.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(OcvCurveError::NotMonotone);
+        }
+        Ok(Self { points, reference_temp_c, temp_coefficient })
+    }
+
+    /// OCV at the given SoC and temperature.
+    pub fn voltage(&self, soc: Soc, temperature_c: f64) -> f64 {
+        let s = soc.value();
+        let n = self.points.len() - 1;
+        let pos = s * n as f64;
+        let idx = (pos.floor() as usize).min(n - 1);
+        let frac = pos - idx as f64;
+        let base = self.points[idx] * (1.0 - frac) + self.points[idx + 1] * frac;
+        base + self.temp_coefficient * (temperature_c - self.reference_temp_c)
+    }
+
+    /// Derivative dOCV/dSoC at the given SoC (piecewise constant).
+    ///
+    /// Used by the EKF measurement Jacobian.
+    pub fn slope(&self, soc: Soc) -> f64 {
+        let n = self.points.len() - 1;
+        let idx = ((soc.value() * n as f64).floor() as usize).min(n - 1);
+        (self.points[idx + 1] - self.points[idx]) * n as f64
+    }
+
+    /// Inverse lookup: the SoC whose OCV equals `voltage` at `temperature_c`,
+    /// or `None` if the voltage is outside the curve's range.
+    pub fn soc_at(&self, voltage: f64, temperature_c: f64) -> Option<Soc> {
+        let v = voltage - self.temp_coefficient * (temperature_c - self.reference_temp_c);
+        let n = self.points.len() - 1;
+        if v < self.points[0] || v > self.points[n] {
+            return None;
+        }
+        // Binary search over the strictly increasing breakpoints.
+        let mut lo = 0usize;
+        let mut hi = n;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.points[mid] <= v {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let span = self.points[hi] - self.points[lo];
+        let frac = (v - self.points[lo]) / span;
+        Soc::new((lo as f64 + frac) / n as f64)
+    }
+
+    /// Lowest OCV on the curve (SoC = 0) at the reference temperature.
+    pub fn min_voltage(&self) -> f64 {
+        self.points[0]
+    }
+
+    /// Highest OCV on the curve (SoC = 1) at the reference temperature.
+    pub fn max_voltage(&self) -> f64 {
+        *self.points.last().expect("validated non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> OcvCurve {
+        OcvCurve::new(vec![3.0, 3.4, 3.6, 3.8, 4.2], 25.0, -0.0005).unwrap()
+    }
+
+    #[test]
+    fn endpoints() {
+        let c = curve();
+        assert_eq!(c.voltage(Soc::EMPTY, 25.0), 3.0);
+        assert_eq!(c.voltage(Soc::FULL, 25.0), 4.2);
+        assert_eq!(c.min_voltage(), 3.0);
+        assert_eq!(c.max_voltage(), 4.2);
+    }
+
+    #[test]
+    fn interpolation_midpoints() {
+        let c = curve();
+        assert!((c.voltage(Soc::new(0.125).unwrap(), 25.0) - 3.2).abs() < 1e-9);
+        assert!((c.voltage(Soc::new(0.875).unwrap(), 25.0) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn temperature_correction() {
+        let c = curve();
+        let cold = c.voltage(Soc::new(0.5).unwrap(), 0.0);
+        let ref_v = c.voltage(Soc::new(0.5).unwrap(), 25.0);
+        assert!((cold - (ref_v + 0.0005 * 25.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_roundtrip_many_points() {
+        let c = curve();
+        for i in 0..=100 {
+            let s = Soc::new(i as f64 / 100.0).unwrap();
+            for t in [0.0, 25.0, 40.0] {
+                let v = c.voltage(s, t);
+                let back = c.soc_at(v, t).expect("in range");
+                assert!(
+                    (back.value() - s.value()).abs() < 1e-9,
+                    "roundtrip failed at soc {} temp {t}",
+                    s.value()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_out_of_range() {
+        let c = curve();
+        assert!(c.soc_at(2.0, 25.0).is_none());
+        assert!(c.soc_at(5.0, 25.0).is_none());
+    }
+
+    #[test]
+    fn slope_positive_everywhere() {
+        let c = curve();
+        for i in 0..=20 {
+            assert!(c.slope(Soc::clamped(i as f64 / 20.0)) > 0.0);
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(OcvCurve::new(vec![3.0], 25.0, 0.0).unwrap_err(), OcvCurveError::TooFewPoints);
+        assert_eq!(
+            OcvCurve::new(vec![3.0, 2.9], 25.0, 0.0).unwrap_err(),
+            OcvCurveError::NotMonotone
+        );
+        assert_eq!(
+            OcvCurve::new(vec![3.0, f64::NAN], 25.0, 0.0).unwrap_err(),
+            OcvCurveError::NonFinite
+        );
+    }
+}

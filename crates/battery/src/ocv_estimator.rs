@@ -1,0 +1,152 @@
+//! OCV-lookup SoC estimation — the classic direct-measurement method
+//! (category 1 in §II of the paper, after Ng et al. \[9\]).
+//!
+//! Valid only when the cell is (nearly) at rest: under load, terminal
+//! voltage differs from OCV by the IR drop and polarization, which this
+//! method can optionally compensate to first order using the ohmic
+//! resistance.
+
+use crate::chemistry::CellParams;
+use crate::types::Soc;
+
+/// Rest-gated OCV-inverse SoC estimator.
+///
+/// # Examples
+///
+/// ```
+/// use pinnsoc_battery::{CellParams, OcvSocEstimator, Soc};
+///
+/// let est = OcvSocEstimator::new(CellParams::lg_hg2());
+/// let params = CellParams::lg_hg2();
+/// let v = params.ocv.voltage(Soc::new(0.6).unwrap(), 25.0);
+/// let soc = est.estimate(v, 0.0, 25.0).unwrap();
+/// assert!((soc.value() - 0.6).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OcvSocEstimator {
+    params: CellParams,
+    /// Currents above this magnitude are considered "under load", amps.
+    rest_threshold_a: f64,
+    /// Whether to subtract the first-order `I·R0` drop under load.
+    ir_compensation: bool,
+}
+
+impl OcvSocEstimator {
+    /// Creates a rest-only estimator (no IR compensation) with a 50 mA
+    /// rest threshold.
+    pub fn new(params: CellParams) -> Self {
+        Self { params, rest_threshold_a: 0.05, ir_compensation: false }
+    }
+
+    /// Enables first-order IR compensation so the estimator also answers
+    /// under load (with degraded accuracy — polarization is not modelled).
+    pub fn with_ir_compensation(mut self) -> Self {
+        self.ir_compensation = true;
+        self
+    }
+
+    /// Overrides the rest-detection threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is negative.
+    pub fn with_rest_threshold(mut self, threshold_a: f64) -> Self {
+        assert!(threshold_a >= 0.0, "rest threshold must be non-negative");
+        self.rest_threshold_a = threshold_a;
+        self
+    }
+
+    /// Estimates SoC from a measurement, or `None` when the cell is under
+    /// load (without IR compensation) or the voltage is outside the OCV
+    /// curve's range.
+    pub fn estimate(&self, voltage_v: f64, current_a: f64, temperature_c: f64) -> Option<Soc> {
+        let at_rest = current_a.abs() <= self.rest_threshold_a;
+        if !at_rest && !self.ir_compensation {
+            return None;
+        }
+        let compensated = if at_rest {
+            voltage_v
+        } else {
+            let factor = self.params.resistance_factor(temperature_c);
+            voltage_v + current_a * self.params.r0_ohm * factor
+        };
+        self.params.ocv.soc_at(compensated, temperature_c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::CellSim;
+
+    #[test]
+    fn exact_at_rest() {
+        let params = CellParams::nmc_18650();
+        let est = OcvSocEstimator::new(params.clone());
+        for soc in [0.1, 0.35, 0.6, 0.95] {
+            let s = Soc::new(soc).unwrap();
+            let v = params.ocv.voltage(s, 25.0);
+            let got = est.estimate(v, 0.0, 25.0).expect("in range");
+            assert!((got.value() - soc).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn refuses_under_load_without_compensation() {
+        let est = OcvSocEstimator::new(CellParams::lg_hg2());
+        assert!(est.estimate(3.7, 3.0, 25.0).is_none());
+        assert!(est.estimate(3.7, 0.01, 25.0).is_some());
+    }
+
+    #[test]
+    fn ir_compensation_reduces_load_error() {
+        // Simulate a loaded cell; the compensated estimate should beat the
+        // naive inverse lookup.
+        let params = CellParams::lg_hg2();
+        let mut sim = CellSim::new(params.clone(), Soc::new(0.7).unwrap(), 25.0);
+        let rec = sim.step(3.0, 1.0); // short step: polarization still small
+        let naive = params.ocv.soc_at(rec.voltage_v, rec.temperature_c);
+        let compensated = OcvSocEstimator::new(params)
+            .with_ir_compensation()
+            .estimate(rec.voltage_v, rec.current_a, rec.temperature_c)
+            .expect("in range");
+        let naive_err = naive.map_or(1.0, |s| (s.value() - rec.soc).abs());
+        let comp_err = (compensated.value() - rec.soc).abs();
+        assert!(
+            comp_err < naive_err,
+            "compensated {comp_err} should beat naive {naive_err}"
+        );
+    }
+
+    #[test]
+    fn lfp_plateau_makes_ocv_estimation_ill_conditioned() {
+        // The motivating weakness: on LFP, a few mV of error moves the
+        // estimate across a wide SoC span.
+        let sensitivity = |params: CellParams| {
+            let est = OcvSocEstimator::new(params.clone());
+            let v = params.ocv.voltage(Soc::new(0.5).unwrap(), 25.0);
+            let shifted = est.estimate(v + 0.01, 0.0, 25.0).expect("in range");
+            (shifted.value() - 0.5).abs()
+        };
+        let lfp = sensitivity(CellParams::lfp_18650());
+        let nmc = sensitivity(CellParams::nmc_18650());
+        assert!(
+            lfp > 3.0 * nmc,
+            "10 mV should move LFP ({lfp:.3}) far more than NMC ({nmc:.3})"
+        );
+        assert!(lfp > 0.04, "LFP plateau sensitivity {lfp:.3} too small");
+    }
+
+    #[test]
+    fn out_of_range_voltage_is_none() {
+        let est = OcvSocEstimator::new(CellParams::lg_hg2());
+        assert!(est.estimate(5.0, 0.0, 25.0).is_none());
+        assert!(est.estimate(1.0, 0.0, 25.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_threshold_panics() {
+        let _ = OcvSocEstimator::new(CellParams::lg_hg2()).with_rest_threshold(-1.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Lumped-mass thermal model of a cylindrical cell.
+//!
+//! A single thermal node: `m·cp·dT/dt = Q_gen − h·(T − T_amb)`. This is the
+//! minimal model that reproduces the temperature behaviour the datasets
+//! exhibit — self-heating under high C-rates and relaxation toward ambient —
+//! which in turn feeds the temperature-dependent resistances of the ECM.
+
+use crate::chemistry::CellParams;
+use serde::{Deserialize, Serialize};
+
+/// Lumped thermal model of one cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LumpedThermal {
+    /// Thermal capacitance `m·cp`, J/K.
+    heat_capacity: f64,
+    /// Convective coefficient `h·A`, W/K.
+    h_conv: f64,
+    /// Ambient temperature, °C.
+    ambient_c: f64,
+}
+
+impl LumpedThermal {
+    /// Builds the thermal model from cell parameters and an ambient
+    /// temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting heat capacity or convection coefficient is
+    /// not positive.
+    pub fn new(params: &CellParams, ambient_c: f64) -> Self {
+        let heat_capacity = params.mass_kg * params.specific_heat;
+        assert!(heat_capacity > 0.0, "heat capacity must be positive");
+        assert!(params.h_conv > 0.0, "convection coefficient must be positive");
+        Self { heat_capacity, h_conv: params.h_conv, ambient_c }
+    }
+
+    /// Ambient temperature, °C.
+    pub fn ambient_c(&self) -> f64 {
+        self.ambient_c
+    }
+
+    /// Changes the ambient temperature (e.g. between dataset cycles).
+    pub fn set_ambient_c(&mut self, ambient_c: f64) {
+        self.ambient_c = ambient_c;
+    }
+
+    /// Thermal time constant `m·cp / hA`, seconds.
+    pub fn time_constant_s(&self) -> f64 {
+        self.heat_capacity / self.h_conv
+    }
+
+    /// Steady-state temperature rise above ambient for constant heat input.
+    pub fn steady_state_rise(&self, heat_w: f64) -> f64 {
+        heat_w / self.h_conv
+    }
+
+    /// Advances the cell temperature by `dt_s` seconds with constant heat
+    /// generation `heat_w` (exact ZOH solution of the linear node).
+    pub fn step(&self, temperature_c: f64, heat_w: f64, dt_s: f64) -> f64 {
+        assert!(dt_s > 0.0, "time step must be positive");
+        let t_inf = self.ambient_c + self.steady_state_rise(heat_w);
+        let alpha = (-dt_s / self.time_constant_s()).exp();
+        t_inf + (temperature_c - t_inf) * alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chemistry::CellParams;
+
+    fn model() -> LumpedThermal {
+        LumpedThermal::new(&CellParams::lg_hg2(), 25.0)
+    }
+
+    #[test]
+    fn no_heat_relaxes_to_ambient() {
+        let m = model();
+        let t = m.step(45.0, 0.0, 1e7);
+        assert!((t - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn heating_approaches_steady_state() {
+        let m = model();
+        let heat = 2.0; // watts, ~3C on an HG2
+        let t = m.step(25.0, heat, 1e7);
+        assert!((t - (25.0 + m.steady_state_rise(heat))).abs() < 1e-6);
+    }
+
+    #[test]
+    fn steady_state_rise_is_moderate_at_3c() {
+        // 3C on a 3 Ah cell ≈ 9 A; with R≈25 mΩ that's ≈2 W. The rise should
+        // be tens of kelvin at most, not hundreds (sanity of h_conv choice).
+        let m = model();
+        let rise = m.steady_state_rise(2.0);
+        assert!(rise > 2.0 && rise < 40.0, "rise {rise}");
+    }
+
+    #[test]
+    fn monotone_approach_no_overshoot() {
+        let m = model();
+        let mut t = 25.0;
+        let heat = 1.5;
+        let target = 25.0 + m.steady_state_rise(heat);
+        let mut last = t;
+        for _ in 0..100 {
+            t = m.step(t, heat, 30.0);
+            assert!(t >= last - 1e-12, "temperature must rise monotonically");
+            assert!(t <= target + 1e-9, "must not overshoot steady state");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn time_constant_is_minutes() {
+        let m = model();
+        let tau = m.time_constant_s();
+        assert!(tau > 60.0 && tau < 3600.0, "tau {tau}");
+    }
+
+    #[test]
+    fn ambient_can_change() {
+        let mut m = model();
+        m.set_ambient_c(0.0);
+        assert_eq!(m.ambient_c(), 0.0);
+        let t = m.step(25.0, 0.0, 1e7);
+        assert!(t.abs() < 1e-6);
+    }
+}

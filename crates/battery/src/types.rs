@@ -1,0 +1,197 @@
+//! Shared value types and sign conventions for the battery substrate.
+//!
+//! # Sign convention
+//!
+//! Throughout the workspace, **discharge current is positive**: a positive
+//! current drains the cell (`dSoC/dt = −I / (3600·Q)`), a negative current
+//! charges it. This matches the Coulomb-counting equation as implemented in
+//! the physics loss (paper Eq. 1, with the sign folded into `I`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// State of charge — a fraction in `[0, 1]`.
+///
+/// The newtype guarantees the invariant at construction time so downstream
+/// code (dataset generation, physics loss) never sees an out-of-range value.
+///
+/// # Examples
+///
+/// ```
+/// use pinnsoc_battery::Soc;
+///
+/// let soc = Soc::new(0.75).unwrap();
+/// assert_eq!(soc.value(), 0.75);
+/// assert!(Soc::new(1.2).is_none());
+/// assert_eq!(Soc::clamped(1.2), Soc::FULL);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Soc(f64);
+
+impl Soc {
+    /// A fully charged cell.
+    pub const FULL: Soc = Soc(1.0);
+    /// A fully discharged cell.
+    pub const EMPTY: Soc = Soc(0.0);
+
+    /// Creates a SoC, returning `None` when outside `[0, 1]` or non-finite.
+    pub fn new(value: f64) -> Option<Self> {
+        (value.is_finite() && (0.0..=1.0).contains(&value)).then_some(Soc(value))
+    }
+
+    /// Creates a SoC, clamping into `[0, 1]` (NaN clamps to 0).
+    pub fn clamped(value: f64) -> Self {
+        if value.is_nan() {
+            Soc(0.0)
+        } else {
+            Soc(value.clamp(0.0, 1.0))
+        }
+    }
+
+    /// The underlying fraction.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Applies a signed delta, clamping the result into `[0, 1]`.
+    pub fn shifted(self, delta: f64) -> Self {
+        Soc::clamped(self.0 + delta)
+    }
+}
+
+impl fmt::Display for Soc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}%", self.0 * 100.0)
+    }
+}
+
+impl From<Soc> for f64 {
+    fn from(soc: Soc) -> f64 {
+        soc.value()
+    }
+}
+
+/// Full electro-thermal state of a simulated cell at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellState {
+    /// True state of charge (exact Coulomb integration inside the simulator).
+    pub soc: Soc,
+    /// Polarization voltages across the RC branches, volts (index 0 = fastest).
+    pub rc_voltages: [f64; 2],
+    /// Cell core temperature, °C.
+    pub temperature_c: f64,
+}
+
+impl CellState {
+    /// A rested cell: no polarization, at ambient temperature.
+    pub fn rested(soc: Soc, temperature_c: f64) -> Self {
+        Self { soc, rc_voltages: [0.0, 0.0], temperature_c }
+    }
+}
+
+/// One timestamped record emitted by the simulator — exactly the quantities a
+/// BMS can measure, plus the ground-truth SoC used as the training label.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimRecord {
+    /// Time since the start of the run, seconds.
+    pub time_s: f64,
+    /// Terminal voltage, volts.
+    pub voltage_v: f64,
+    /// Applied current, amps (positive = discharge).
+    pub current_a: f64,
+    /// Cell temperature, °C.
+    pub temperature_c: f64,
+    /// Ground-truth state of charge.
+    pub soc: f64,
+}
+
+/// Why a simulation run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// The requested load profile was completed.
+    ProfileEnd,
+    /// Terminal voltage fell below the discharge cutoff.
+    LowVoltageCutoff,
+    /// Terminal voltage exceeded the charge cutoff.
+    HighVoltageCutoff,
+    /// SoC reached zero.
+    Empty,
+    /// SoC reached one.
+    Full,
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StopReason::ProfileEnd => "profile completed",
+            StopReason::LowVoltageCutoff => "low-voltage cutoff",
+            StopReason::HighVoltageCutoff => "high-voltage cutoff",
+            StopReason::Empty => "cell empty",
+            StopReason::Full => "cell full",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soc_construction_validates() {
+        assert!(Soc::new(0.0).is_some());
+        assert!(Soc::new(1.0).is_some());
+        assert!(Soc::new(-0.01).is_none());
+        assert!(Soc::new(1.01).is_none());
+        assert!(Soc::new(f64::NAN).is_none());
+    }
+
+    #[test]
+    fn soc_clamping() {
+        assert_eq!(Soc::clamped(-3.0), Soc::EMPTY);
+        assert_eq!(Soc::clamped(7.0), Soc::FULL);
+        assert_eq!(Soc::clamped(f64::NAN), Soc::EMPTY);
+        assert_eq!(Soc::clamped(0.4).value(), 0.4);
+    }
+
+    #[test]
+    fn soc_shift_saturates() {
+        let s = Soc::new(0.9).unwrap();
+        assert_eq!(s.shifted(0.5), Soc::FULL);
+        assert!((s.shifted(-0.4).value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn soc_display() {
+        assert_eq!(format!("{}", Soc::new(0.425).unwrap()), "42.5%");
+    }
+
+    #[test]
+    fn rested_state_has_no_polarization() {
+        let st = CellState::rested(Soc::FULL, 25.0);
+        assert_eq!(st.rc_voltages, [0.0, 0.0]);
+        assert_eq!(st.temperature_c, 25.0);
+    }
+
+    #[test]
+    fn stop_reason_display_nonempty() {
+        for r in [
+            StopReason::ProfileEnd,
+            StopReason::LowVoltageCutoff,
+            StopReason::HighVoltageCutoff,
+            StopReason::Empty,
+            StopReason::Full,
+        ] {
+            assert!(!format!("{r}").is_empty());
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let rec = SimRecord { time_s: 1.0, voltage_v: 3.7, current_a: 1.5, temperature_c: 25.0, soc: 0.8 };
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: SimRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(rec, back);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the battery substrate: physical invariants that
+//! must hold for any operating point.
+
+use pinnsoc_battery::{
+    coulomb_predict, CellParams, CellSim, Chemistry, CoulombCounter, EkfEstimator, Soc,
+};
+use proptest::prelude::*;
+
+fn any_chemistry() -> impl Strategy<Value = Chemistry> {
+    prop_oneof![Just(Chemistry::Nca), Just(Chemistry::Nmc), Just(Chemistry::Lfp)]
+}
+
+proptest! {
+    #[test]
+    fn soc_clamped_always_valid(x in -1e6f64..1e6) {
+        let s = Soc::clamped(x);
+        prop_assert!((0.0..=1.0).contains(&s.value()));
+    }
+
+    #[test]
+    fn soc_shift_stays_valid(start in 0.0f64..=1.0, delta in -5.0f64..5.0) {
+        let s = Soc::clamped(start).shifted(delta);
+        prop_assert!((0.0..=1.0).contains(&s.value()));
+    }
+
+    #[test]
+    fn coulomb_predict_monotone_in_horizon(
+        soc in 0.0f64..=1.0,
+        current in 0.01f64..10.0,
+        h1 in 1.0f64..1000.0,
+        h2 in 1.0f64..1000.0,
+    ) {
+        let s = Soc::clamped(soc);
+        let (short, long) = if h1 < h2 { (h1, h2) } else { (h2, h1) };
+        // Discharging longer can never leave more charge.
+        prop_assert!(
+            coulomb_predict(s, current, long, 3.0) <= coulomb_predict(s, current, short, 3.0)
+        );
+    }
+
+    #[test]
+    fn coulomb_predict_antisymmetric_in_current(
+        soc in 0.3f64..=0.7,
+        current in 0.0f64..1.0,
+        horizon in 1.0f64..600.0,
+    ) {
+        // Within the unsaturated region, charging mirrors discharging.
+        let s = Soc::clamped(soc);
+        let down = coulomb_predict(s, current, horizon, 3.0).value() - soc;
+        let up = coulomb_predict(s, -current, horizon, 3.0).value() - soc;
+        prop_assert!((down + up).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ocv_voltage_within_curve_bounds(chem in any_chemistry(), soc in 0.0f64..=1.0) {
+        let p = CellParams::sandia(chem);
+        let v = p.ocv.voltage(Soc::clamped(soc), 25.0);
+        prop_assert!(v >= p.ocv.min_voltage() - 1e-9);
+        prop_assert!(v <= p.ocv.max_voltage() + 1e-9);
+    }
+
+    #[test]
+    fn ocv_inverse_roundtrip(chem in any_chemistry(), soc in 0.0f64..=1.0, temp in -10.0f64..45.0) {
+        let p = CellParams::sandia(chem);
+        let s = Soc::clamped(soc);
+        let v = p.ocv.voltage(s, temp);
+        let back = p.ocv.soc_at(v, temp).expect("in range by construction");
+        prop_assert!((back.value() - s.value()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ocv_monotone_in_soc(chem in any_chemistry(), a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let p = CellParams::sandia(chem);
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(
+            p.ocv.voltage(Soc::clamped(lo), 25.0) <= p.ocv.voltage(Soc::clamped(hi), 25.0) + 1e-12
+        );
+    }
+
+    #[test]
+    fn resistance_factor_positive_and_monotone(chem in any_chemistry(), t1 in -30.0f64..60.0, t2 in -30.0f64..60.0) {
+        let p = CellParams::sandia(chem);
+        prop_assert!(p.resistance_factor(t1) > 0.0);
+        if t1 < t2 {
+            // Colder = more resistive.
+            prop_assert!(p.resistance_factor(t1) >= p.resistance_factor(t2));
+        }
+    }
+
+    #[test]
+    fn simulated_soc_always_in_range(
+        initial in 0.1f64..=1.0,
+        current in -3.0f64..9.0,
+        steps in 1usize..200,
+    ) {
+        let mut sim = CellSim::new(CellParams::lg_hg2(), Soc::clamped(initial), 25.0);
+        for _ in 0..steps {
+            let rec = sim.step(current, 5.0);
+            prop_assert!((0.0..=1.0).contains(&rec.soc));
+            prop_assert!(rec.voltage_v.is_finite());
+            prop_assert!(rec.temperature_c.is_finite());
+            prop_assert!(rec.temperature_c > -50.0 && rec.temperature_c < 150.0);
+        }
+    }
+
+    #[test]
+    fn higher_discharge_always_sags_more(
+        soc in 0.2f64..=0.9,
+        i_low in 0.1f64..3.0,
+        extra in 0.5f64..6.0,
+    ) {
+        let mut sim_low = CellSim::new(CellParams::lg_hg2(), Soc::clamped(soc), 25.0);
+        let mut sim_high = CellSim::new(CellParams::lg_hg2(), Soc::clamped(soc), 25.0);
+        let v_low = sim_low.step(i_low, 1.0).voltage_v;
+        let v_high = sim_high.step(i_low + extra, 1.0).voltage_v;
+        prop_assert!(v_high < v_low);
+    }
+
+    #[test]
+    fn coulomb_counter_is_exact_integrator(
+        initial in 0.2f64..=0.8,
+        current in -1.0f64..1.0,
+        steps in 1usize..50,
+    ) {
+        let mut counter = CoulombCounter::new(Soc::clamped(initial), 3.0);
+        for _ in 0..steps {
+            counter.update(current, 10.0);
+        }
+        let expected = (initial - current * 10.0 * steps as f64 / (3600.0 * 3.0)).clamp(0.0, 1.0);
+        prop_assert!((counter.soc().value() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ekf_estimate_stays_valid_under_arbitrary_inputs(
+        init in 0.0f64..=1.0,
+        current in -5.0f64..10.0,
+        voltage in 2.0f64..4.5,
+        temp in -20.0f64..50.0,
+        steps in 1usize..30,
+    ) {
+        let mut ekf = EkfEstimator::new(CellParams::lg_hg2(), Soc::clamped(init));
+        for _ in 0..steps {
+            let s = ekf.update(current, voltage, temp, 1.0);
+            prop_assert!((0.0..=1.0).contains(&s.value()));
+            prop_assert!(ekf.soc_std().is_finite());
+        }
+    }
+}

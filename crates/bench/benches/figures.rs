@@ -1,0 +1,98 @@
+//! Scaled-down versions of each paper artifact wired into `cargo bench`, so
+//! the benchmark run exercises the exact code paths that regenerate
+//! Figs. 3–5 and Table I. (The full-scale numbers come from the binaries:
+//! `fig3_sandia`, `fig4_lg`, `table1_comparison`, `fig5_rollout`.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pinnsoc::{
+    autoregressive_rollout, eval_estimation, eval_prediction, train, PinnVariant, TrainConfig,
+};
+use pinnsoc_data::{generate_lg, generate_sandia, LgConfig, NoiseConfig, SandiaConfig};
+use std::hint::black_box;
+
+fn sandia_small() -> pinnsoc_data::SocDataset {
+    generate_sandia(&SandiaConfig {
+        chemistries: vec![pinnsoc_battery::Chemistry::Nmc],
+        ambient_temps_c: vec![15.0, 35.0],
+        cycles_per_condition: 1,
+        noise: NoiseConfig::none(),
+        ..SandiaConfig::default()
+    })
+}
+
+fn lg_small() -> pinnsoc_data::SocDataset {
+    generate_lg(&LgConfig {
+        train_mixed: 2,
+        train_temps_c: vec![25.0],
+        test_temps_c: vec![25.0],
+        mixed_segments: 2,
+        ..LgConfig::default()
+    })
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    // Fig. 3 path: train a Sandia PINN and sweep the three horizons.
+    let sandia = sandia_small();
+    group.bench_function("fig3_train_and_sweep_one_variant", |b| {
+        let config = TrainConfig {
+            b1_epochs: 8,
+            b2_epochs: 8,
+            ..TrainConfig::sandia(PinnVariant::pinn_all(&[120.0, 240.0, 360.0]), 0)
+        };
+        b.iter(|| {
+            let (model, _) = train(&sandia, &config);
+            let maes: Vec<f64> = [120.0, 240.0, 360.0]
+                .iter()
+                .map(|&h| eval_prediction(&model, &sandia.test, h).mae)
+                .collect();
+            black_box(maes)
+        })
+    });
+
+    // Fig. 4 path: LG training plus horizon evaluation.
+    let lg = lg_small();
+    group.bench_function("fig4_train_and_sweep_one_variant", |b| {
+        let config = TrainConfig {
+            b1_epochs: 2,
+            b2_epochs: 2,
+            ..TrainConfig::lg(PinnVariant::pinn_all(&[30.0, 50.0, 70.0]), 0)
+        };
+        b.iter(|| {
+            let (model, _) = train(&lg, &config);
+            black_box(eval_prediction(&model, &lg.test, 70.0).mae)
+        })
+    });
+
+    // Table I path: estimation + prediction eval at one temperature.
+    let (table_model, _) = train(
+        &lg,
+        &TrainConfig { b1_epochs: 3, b2_epochs: 3, ..TrainConfig::lg(PinnVariant::NoPinn, 0) },
+    );
+    group.bench_function("table1_eval_both_columns", |b| {
+        b.iter(|| {
+            let est = eval_estimation(&table_model, &lg.test).mae;
+            let pred = eval_prediction(&table_model, &lg.test, 30.0).mae;
+            black_box((est, pred))
+        })
+    });
+
+    // Fig. 5 path: one full autoregressive rollout.
+    group.bench_function("fig5_full_discharge_rollout", |b| {
+        b.iter(|| {
+            let r = autoregressive_rollout(&table_model, &lg.test[0], 30.0);
+            black_box(r.final_error())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_figures
+}
+criterion_main!(benches);

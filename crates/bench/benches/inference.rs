@@ -1,0 +1,107 @@
+//! Inference latency benches backing the paper's deployment claims
+//! (§III-A / Table I: the two-branch model is "suited for performing
+//! low-cost runtime predictions on-board a BMS or a PMIC").
+//!
+//! Compares one query of each estimator/predictor: Branch 1, the full
+//! two-branch pipeline, the raw Coulomb stage, the EKF, and the LSTM
+//! baseline over its input window.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pinnsoc::{train, LstmBaselineConfig, LstmEstimator, PinnVariant, TrainConfig};
+use pinnsoc_battery::{CellParams, EkfEstimator, Soc};
+use pinnsoc_data::{generate_sandia, NoiseConfig, SandiaConfig};
+use std::hint::black_box;
+
+fn quick_dataset() -> pinnsoc_data::SocDataset {
+    generate_sandia(&SandiaConfig {
+        chemistries: vec![pinnsoc_battery::Chemistry::Nmc],
+        ambient_temps_c: vec![25.0],
+        cycles_per_condition: 1,
+        noise: NoiseConfig::none(),
+        ..SandiaConfig::default()
+    })
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let ds = quick_dataset();
+    let config = TrainConfig {
+        b1_epochs: 5,
+        b2_epochs: 5,
+        ..TrainConfig::sandia(PinnVariant::pinn_all(&[120.0, 240.0]), 0)
+    };
+    let (model, _) = train(&ds, &config);
+
+    let mut group = c.benchmark_group("inference");
+    group.bench_function("branch1_estimate", |b| {
+        b.iter(|| black_box(model.estimate(black_box(3.7), black_box(3.0), black_box(25.0))))
+    });
+    group.bench_function("full_pipeline_predict", |b| {
+        b.iter(|| {
+            black_box(model.predict(
+                black_box(3.7),
+                black_box(3.0),
+                black_box(25.0),
+                black_box(6.0),
+                black_box(25.0),
+                black_box(120.0),
+            ))
+        })
+    });
+    group.bench_function("branch2_only_predict_from", |b| {
+        b.iter(|| {
+            black_box(model.predict_from(
+                black_box(0.8),
+                black_box(6.0),
+                black_box(25.0),
+                black_box(120.0),
+            ))
+        })
+    });
+
+    let (physics, _) = train(
+        &ds,
+        &TrainConfig { b1_epochs: 5, ..TrainConfig::sandia(PinnVariant::PhysicsOnly, 0) },
+    );
+    group.bench_function("coulomb_stage_predict_from", |b| {
+        b.iter(|| {
+            black_box(physics.predict_from(
+                black_box(0.8),
+                black_box(6.0),
+                black_box(25.0),
+                black_box(120.0),
+            ))
+        })
+    });
+
+    group.bench_function("ekf_update", |b| {
+        b.iter_batched(
+            || EkfEstimator::new(CellParams::lg_hg2(), Soc::new(0.8).expect("valid")),
+            |mut ekf| black_box(ekf.update(3.0, 3.7, 25.0, 1.0)),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // LSTM baseline: one query = the whole input window (Table I ops column).
+    let lstm = LstmEstimator::train(
+        &ds.train,
+        &LstmBaselineConfig {
+            hidden: 48,
+            window: 60,
+            iterations: 3,
+            batch_size: 8,
+            ..LstmBaselineConfig::default()
+        },
+    );
+    let window_cycle = &ds.train[0];
+    group.bench_function("lstm_window_query_h48", |b| {
+        b.iter(|| black_box(lstm.estimate_cycle(black_box(window_cycle)).len()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_inference
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Substrate throughput: cell simulation, drive-cycle generation, and
+//! dataset synthesis. These bound how fast the experiment harness can
+//! regenerate the paper's figures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pinnsoc_battery::{CellParams, CellSim, Soc};
+use pinnsoc_cycles::{DriveSchedule, MixedCycleBuilder, Vehicle};
+use pinnsoc_data::{generate_sandia, NoiseConfig, SandiaConfig};
+use std::hint::black_box;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+
+    group.bench_function("ecm_step_1s", |b| {
+        let mut sim = CellSim::new(CellParams::lg_hg2(), Soc::new(0.8).expect("valid"), 25.0);
+        b.iter(|| black_box(sim.step(black_box(3.0), 1.0)))
+    });
+
+    group.bench_function("discharge_to_cutoff_1c", |b| {
+        b.iter(|| {
+            let mut sim = CellSim::new(CellParams::lg_hg2(), Soc::FULL, 25.0);
+            black_box(sim.discharge_to_cutoff(1.0, 1.0, 120.0).records.len())
+        })
+    });
+
+    group.bench_function("udds_generation_0p1s", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(DriveSchedule::Udds.generate(seed).speeds().len())
+        })
+    });
+
+    group.bench_function("mixed_cycle_to_cell_currents", |b| {
+        let vehicle = Vehicle::compact_ev();
+        let builder = MixedCycleBuilder::new().segments(2).dt_s(1.0);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let speeds = builder.build(seed);
+            black_box(vehicle.current_profile(&speeds).currents().len())
+        })
+    });
+
+    group.bench_function("sandia_dataset_one_condition", |b| {
+        let config = SandiaConfig {
+            chemistries: vec![pinnsoc_battery::Chemistry::Nmc],
+            ambient_temps_c: vec![25.0],
+            cycles_per_condition: 1,
+            noise: NoiseConfig::none(),
+            ..SandiaConfig::default()
+        };
+        b.iter(|| black_box(generate_sandia(&config).train_len()))
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_simulation
+}
+criterion_main!(benches);

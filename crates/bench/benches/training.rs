@@ -1,0 +1,51 @@
+//! Training throughput benches, including the cost of the physics loss:
+//! a PINN epoch processes twice the batch volume of a No-PINN epoch
+//! (§III-B), which is the entire training-time price of the method.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pinnsoc::{train, PinnVariant, TrainConfig};
+use pinnsoc_data::{generate_sandia, NoiseConfig, SandiaConfig};
+use std::hint::black_box;
+
+fn quick_dataset() -> pinnsoc_data::SocDataset {
+    generate_sandia(&SandiaConfig {
+        chemistries: vec![pinnsoc_battery::Chemistry::Nmc],
+        ambient_temps_c: vec![25.0],
+        cycles_per_condition: 1,
+        noise: NoiseConfig::none(),
+        ..SandiaConfig::default()
+    })
+}
+
+fn short(variant: PinnVariant) -> TrainConfig {
+    TrainConfig { b1_epochs: 3, b2_epochs: 3, ..TrainConfig::sandia(variant, 0) }
+}
+
+fn bench_training(c: &mut Criterion) {
+    let ds = quick_dataset();
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+
+    group.bench_function("no_pinn_3_epochs", |b| {
+        b.iter(|| black_box(train(&ds, &short(PinnVariant::NoPinn))))
+    });
+    group.bench_function("pinn_single_3_epochs", |b| {
+        b.iter(|| black_box(train(&ds, &short(PinnVariant::pinn_single(120.0)))))
+    });
+    group.bench_function("pinn_all_3_epochs", |b| {
+        b.iter(|| {
+            black_box(train(&ds, &short(PinnVariant::pinn_all(&[120.0, 240.0, 360.0]))))
+        })
+    });
+    group.bench_function("physics_only_branch1_only", |b| {
+        b.iter(|| black_box(train(&ds, &short(PinnVariant::PhysicsOnly))))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_training
+}
+criterion_main!(benches);

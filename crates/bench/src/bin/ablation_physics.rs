@@ -1,0 +1,101 @@
+//! Ablation: how much physics is the right amount?
+//!
+//! Two sweeps the paper's design implies but does not report:
+//!
+//! 1. **Physics weight** — Eq. 2 weights the data and physics MAE terms
+//!    equally; sweep the physics weight from 0 (= No-PINN) to 4.
+//! 2. **Physics current sampling** — empirical pool vs. the full C-rate
+//!    envelope (the design choice that lets the PINN extrapolate to the
+//!    Sandia test rates; see DESIGN.md §5).
+//!
+//! ```text
+//! cargo run -p pinnsoc-bench --release --bin ablation_physics
+//! ```
+
+use pinnsoc::{eval_prediction, train, PinnVariant, TrainConfig};
+use pinnsoc_bench::{mean, std_dev, write_results_json};
+use pinnsoc_data::{generate_sandia, PhysicsCurrentMode, SandiaConfig};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct AblationRow {
+    setting: String,
+    mae_120: f64,
+    mae_240: f64,
+    mae_360: f64,
+    std_360: f64,
+}
+
+fn eval_setting(
+    dataset: &pinnsoc_data::SocDataset,
+    setting: String,
+    make: impl Fn(u64) -> TrainConfig,
+) -> AblationRow {
+    let seeds = [0u64, 1, 2];
+    let mut maes: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for &seed in &seeds {
+        let (model, _) = train(dataset, &make(seed));
+        for (k, h) in [120.0, 240.0, 360.0].iter().enumerate() {
+            maes[k].push(eval_prediction(&model, &dataset.test, *h).mae);
+        }
+    }
+    AblationRow {
+        setting,
+        mae_120: mean(&maes[0]),
+        mae_240: mean(&maes[1]),
+        mae_360: mean(&maes[2]),
+        std_360: std_dev(&maes[2]),
+    }
+}
+
+fn main() {
+    println!("=== Ablation: physics-loss weight and current sampling (Sandia) ===\n");
+    let dataset = generate_sandia(&SandiaConfig::default());
+    let horizons = [120.0, 240.0, 360.0];
+    let mut rows = Vec::new();
+
+    // Sweep 1: physics weight.
+    for weight in [0.0f32, 0.25, 0.5, 1.0, 2.0, 4.0] {
+        let row = eval_setting(&dataset, format!("weight={weight}"), |seed| {
+            let variant = if weight == 0.0 {
+                PinnVariant::NoPinn
+            } else {
+                PinnVariant::pinn_all(&horizons)
+            };
+            TrainConfig { physics_weight: weight.max(1e-6), ..TrainConfig::sandia(variant, seed) }
+        });
+        rows.push(row);
+    }
+
+    // Sweep 2: current sampling mode at the paper's weight.
+    for (name, mode) in [
+        ("currents=pool", PhysicsCurrentMode::Pool),
+        (
+            "currents=c-rate[-0.6,3.2]",
+            PhysicsCurrentMode::CRateUniform { min_c: -0.6, max_c: 3.2 },
+        ),
+        (
+            "currents=c-rate[-0.6,1.2] (train range only)",
+            PhysicsCurrentMode::CRateUniform { min_c: -0.6, max_c: 1.2 },
+        ),
+    ] {
+        let row = eval_setting(&dataset, name.to_string(), |seed| TrainConfig {
+            physics_current: mode,
+            ..TrainConfig::sandia(PinnVariant::pinn_all(&horizons), seed)
+        });
+        rows.push(row);
+    }
+
+    println!(
+        "{:<46} {:>9} {:>9} {:>9} {:>9}",
+        "setting", "MAE@120s", "MAE@240s", "MAE@360s", "±360s"
+    );
+    println!("{}", "-".repeat(86));
+    for r in &rows {
+        println!(
+            "{:<46} {:>9.4} {:>9.4} {:>9.4} {:>9.4}",
+            r.setting, r.mae_120, r.mae_240, r.mae_360, r.std_360
+        );
+    }
+    write_results_json("ablation_physics", &rows).expect("write results");
+}

@@ -1,0 +1,51 @@
+//! Fig. 3 — Sandia dataset: SoC-prediction MAE at test horizons of 120 s,
+//! 240 s, and 360 s for the six training configurations, averaged over five
+//! seeds.
+//!
+//! Paper reference points: No-PINN MAE 0.068 / 0.083 / 0.100 across the
+//! three horizons, best-PINN improvements of ~21 % / 22 % / 22 %, PINN-All
+//! best (or tied) everywhere.
+//!
+//! ```text
+//! cargo run -p pinnsoc-bench --release --bin fig3_sandia
+//! ```
+
+use pinnsoc::{PinnVariant, TrainConfig};
+use pinnsoc_bench::{print_horizon_table, write_results_json, HorizonSweep};
+use pinnsoc_data::{generate_sandia, SandiaConfig};
+
+fn sandia_config(variant: PinnVariant, seed: u64) -> TrainConfig {
+    TrainConfig::sandia(variant, seed)
+}
+
+fn main() {
+    let horizons = [120.0, 240.0, 360.0];
+    println!("=== Fig. 3: Sandia — SoC prediction MAE by physics-loss configuration ===\n");
+    println!("generating Sandia-like dataset (3 chemistries x 3 temperatures)...");
+    let dataset = generate_sandia(&SandiaConfig::default());
+    println!(
+        "train: {} cycles / {} records; test: {} cycles / {} records\n",
+        dataset.train.len(),
+        dataset.train_len(),
+        dataset.test.len(),
+        dataset.test_len()
+    );
+
+    let sweep = HorizonSweep {
+        dataset: &dataset,
+        variants: vec![
+            PinnVariant::NoPinn,
+            PinnVariant::PhysicsOnly,
+            PinnVariant::pinn_single(120.0),
+            PinnVariant::pinn_single(240.0),
+            PinnVariant::pinn_single(360.0),
+            PinnVariant::pinn_all(&[120.0, 240.0, 360.0]),
+        ],
+        test_horizons_s: horizons.to_vec(),
+        seeds: vec![0, 1, 2, 3, 4],
+        make_config: sandia_config,
+    };
+    let results = sweep.run();
+    print_horizon_table(&results, &horizons);
+    write_results_json("fig3_sandia", &results).expect("write results");
+}

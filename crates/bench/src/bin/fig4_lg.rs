@@ -1,0 +1,51 @@
+//! Fig. 4 — LG dataset: SoC-prediction MAE at test horizons of 30 s, 50 s,
+//! and 70 s for the six training configurations, averaged over five seeds.
+//!
+//! Paper reference points: matched-horizon PINNs achieve 0.0217 / 0.0218 /
+//! 0.0210 (−3 % / −69 % / −82 % vs No-PINN); PINN-All is within 1.8 % of the
+//! best; No-PINN degrades sharply as the horizon grows beyond the training
+//! data.
+//!
+//! ```text
+//! cargo run -p pinnsoc-bench --release --bin fig4_lg
+//! ```
+
+use pinnsoc::{PinnVariant, TrainConfig};
+use pinnsoc_bench::{print_horizon_table, write_results_json, HorizonSweep};
+use pinnsoc_data::{generate_lg, LgConfig};
+
+fn lg_config(variant: PinnVariant, seed: u64) -> TrainConfig {
+    TrainConfig::lg(variant, seed)
+}
+
+fn main() {
+    let horizons = [30.0, 50.0, 70.0];
+    println!("=== Fig. 4: LG — SoC prediction MAE by physics-loss configuration ===\n");
+    println!("generating LG-like dataset (7 mixed train cycles, 4 schedules + mixed test)...");
+    let dataset = generate_lg(&LgConfig::default());
+    println!(
+        "train: {} cycles / {} records; test: {} cycles / {} records\n",
+        dataset.train.len(),
+        dataset.train_len(),
+        dataset.test.len(),
+        dataset.test_len()
+    );
+
+    let sweep = HorizonSweep {
+        dataset: &dataset,
+        variants: vec![
+            PinnVariant::NoPinn,
+            PinnVariant::PhysicsOnly,
+            PinnVariant::pinn_single(30.0),
+            PinnVariant::pinn_single(50.0),
+            PinnVariant::pinn_single(70.0),
+            PinnVariant::pinn_all(&[30.0, 50.0, 70.0]),
+        ],
+        test_horizons_s: horizons.to_vec(),
+        seeds: vec![0, 1, 2, 3, 4],
+        make_config: lg_config,
+    };
+    let results = sweep.run();
+    print_horizon_table(&results, &horizons);
+    write_results_json("fig4_lg", &results).expect("write results");
+}

@@ -1,0 +1,210 @@
+//! # pinnsoc-bench
+//!
+//! Experiment harness reproducing every figure and table of the paper's
+//! evaluation (§V), plus shared utilities for the Criterion benches.
+//!
+//! Each experiment has a binary that regenerates the corresponding rows:
+//!
+//! | Target | Paper artifact |
+//! |---|---|
+//! | `fig3_sandia` | Fig. 3 — Sandia MAE across horizons and variants |
+//! | `fig4_lg` | Fig. 4 — LG MAE across horizons and variants |
+//! | `table1_comparison` | Table I — SoA comparison (MAE / memory / ops) |
+//! | `fig5_rollout` | Fig. 5 — autoregressive full-discharge traces |
+//!
+//! Results are printed as text tables and written as JSON under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pinnsoc::{eval_prediction, train, PinnVariant, SocModel, TrainConfig};
+use pinnsoc_data::SocDataset;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty slice");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation of a slice (0 for a single element).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// MAE results of one variant across test horizons, over several seeds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VariantResult {
+    /// Variant label ("No-PINN", "PINN-All", ...).
+    pub label: String,
+    /// Per-horizon MAE samples: key = horizon in seconds (stringified for
+    /// JSON friendliness), value = one MAE per seed.
+    pub mae_per_horizon: BTreeMap<String, Vec<f64>>,
+}
+
+impl VariantResult {
+    /// Mean MAE at a horizon.
+    pub fn mean_mae(&self, horizon_s: f64) -> f64 {
+        mean(&self.mae_per_horizon[&horizon_key(horizon_s)])
+    }
+
+    /// Standard deviation of the MAE at a horizon.
+    pub fn std_mae(&self, horizon_s: f64) -> f64 {
+        std_dev(&self.mae_per_horizon[&horizon_key(horizon_s)])
+    }
+}
+
+/// Canonical map key for a horizon.
+pub fn horizon_key(horizon_s: f64) -> String {
+    format!("{horizon_s:.0}")
+}
+
+/// Specification of a Fig. 3 / Fig. 4-style experiment.
+pub struct HorizonSweep<'a> {
+    /// Dataset (Sandia-like or LG-like).
+    pub dataset: &'a SocDataset,
+    /// Variants to compare (the six bars of each group).
+    pub variants: Vec<PinnVariant>,
+    /// Test horizons (the bar groups).
+    pub test_horizons_s: Vec<f64>,
+    /// Seeds to average over (the paper uses 5).
+    pub seeds: Vec<u64>,
+    /// Config factory: `(variant, seed) → TrainConfig`.
+    pub make_config: fn(PinnVariant, u64) -> TrainConfig,
+}
+
+impl HorizonSweep<'_> {
+    /// Trains every `(variant, seed)` pair (in parallel across scoped
+    /// threads) and evaluates MAE at every test horizon.
+    pub fn run(&self) -> Vec<VariantResult> {
+        let jobs: Vec<(usize, PinnVariant, u64)> = self
+            .variants
+            .iter()
+            .enumerate()
+            .flat_map(|(vi, v)| self.seeds.iter().map(move |&s| (vi, v.clone(), s)))
+            .collect();
+        let results: Vec<(usize, Vec<(f64, f64)>)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = jobs
+                .iter()
+                .map(|(vi, variant, seed)| {
+                    let dataset = self.dataset;
+                    let horizons = &self.test_horizons_s;
+                    let make_config = self.make_config;
+                    let variant = variant.clone();
+                    let vi = *vi;
+                    let seed = *seed;
+                    scope.spawn(move |_| {
+                        let config = make_config(variant, seed);
+                        let (model, _) = train(dataset, &config);
+                        let maes: Vec<(f64, f64)> = horizons
+                            .iter()
+                            .map(|&h| (h, eval_prediction(&model, &dataset.test, h).mae))
+                            .collect();
+                        (vi, maes)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        })
+        .expect("thread scope failed");
+
+        let mut out: Vec<VariantResult> = self
+            .variants
+            .iter()
+            .map(|v| VariantResult { label: v.to_string(), mae_per_horizon: BTreeMap::new() })
+            .collect();
+        for (vi, maes) in results {
+            for (h, mae) in maes {
+                out[vi]
+                    .mae_per_horizon
+                    .entry(horizon_key(h))
+                    .or_default()
+                    .push(mae);
+            }
+        }
+        out
+    }
+}
+
+/// Trains a single `(variant, seed)` model with the given factory — shared
+/// by Table I and Fig. 5 harnesses.
+pub fn train_variant(
+    dataset: &SocDataset,
+    variant: PinnVariant,
+    seed: u64,
+    make_config: fn(PinnVariant, u64) -> TrainConfig,
+) -> SocModel {
+    let config = make_config(variant, seed);
+    train(dataset, &config).0
+}
+
+/// Prints a Fig. 3 / Fig. 4-style table: one row per variant, one column
+/// per horizon, with the relative improvement vs. the first row (No-PINN).
+pub fn print_horizon_table(results: &[VariantResult], horizons_s: &[f64]) {
+    print!("{:<14}", "variant");
+    for h in horizons_s {
+        print!(" | Test@{:<5.0}s          ", h);
+    }
+    println!();
+    println!("{}", "-".repeat(14 + horizons_s.len() * 26));
+    let baseline = &results[0];
+    for r in results {
+        print!("{:<14}", r.label);
+        for &h in horizons_s {
+            let m = r.mean_mae(h);
+            let s = r.std_mae(h);
+            let delta = 100.0 * (baseline.mean_mae(h) - m) / baseline.mean_mae(h);
+            print!(" | {m:.4} ±{s:.4} ({delta:+5.1}%)");
+        }
+        println!();
+    }
+}
+
+/// Writes any serializable result to `results/<name>.json` under the
+/// workspace root (creating the directory if needed).
+///
+/// # Errors
+///
+/// Returns an I/O error when the directory or file cannot be written.
+pub fn write_results_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<()> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).map_err(std::io::Error::other)?;
+    std::fs::write(&path, json)?;
+    println!("\nwrote results/{name}.json");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert!((std_dev(&[1.0, 3.0]) - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn horizon_keys_are_stable() {
+        assert_eq!(horizon_key(120.0), "120");
+        assert_eq!(horizon_key(30.0), "30");
+    }
+
+    #[test]
+    fn variant_result_stats() {
+        let mut m = BTreeMap::new();
+        m.insert("120".to_string(), vec![0.1, 0.2]);
+        let r = VariantResult { label: "x".into(), mae_per_horizon: m };
+        assert!((r.mean_mae(120.0) - 0.15).abs() < 1e-12);
+        assert!(r.std_mae(120.0) > 0.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Training configuration: PINN variants and hyper-parameters.
+
+use pinnsoc_data::PhysicsCurrentMode;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The six configurations compared in Figs. 3 and 4 of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PinnVariant {
+    /// Purely data-driven training (no physics loss term).
+    NoPinn,
+    /// No trained Branch 2 at all: the second stage *is* the Coulomb
+    /// equation.
+    PhysicsOnly,
+    /// Physics-informed: the loss of Eq. 2 with `Np` drawn from this set.
+    Pinn {
+        /// The horizon set 𝒩, seconds.
+        horizons_s: Vec<f64>,
+    },
+}
+
+impl PinnVariant {
+    /// A PINN whose physics horizons are a single value (e.g. "PINN-120s").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon_s` is not positive.
+    pub fn pinn_single(horizon_s: f64) -> Self {
+        assert!(horizon_s > 0.0, "horizon must be positive");
+        PinnVariant::Pinn { horizons_s: vec![horizon_s] }
+    }
+
+    /// A PINN trained on all the given horizons simultaneously ("PINN-All").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizons_s` is empty or contains non-positive values.
+    pub fn pinn_all(horizons_s: &[f64]) -> Self {
+        assert!(!horizons_s.is_empty(), "need at least one horizon");
+        assert!(horizons_s.iter().all(|h| *h > 0.0), "horizons must be positive");
+        PinnVariant::Pinn { horizons_s: horizons_s.to_vec() }
+    }
+
+    /// Whether this variant uses the physics loss.
+    pub fn uses_physics(&self) -> bool {
+        matches!(self, PinnVariant::Pinn { .. })
+    }
+}
+
+impl fmt::Display for PinnVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PinnVariant::NoPinn => f.write_str("No-PINN"),
+            PinnVariant::PhysicsOnly => f.write_str("Physics-Only"),
+            PinnVariant::Pinn { horizons_s } => {
+                if horizons_s.len() == 1 {
+                    write!(f, "PINN-{:.0}s", horizons_s[0])
+                } else {
+                    f.write_str("PINN-All")
+                }
+            }
+        }
+    }
+}
+
+/// Hyper-parameters for training a [`crate::SocModel`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Which of the paper's configurations to train.
+    pub variant: PinnVariant,
+    /// The data horizon `N` (the dataset's sampling constraint, §III-B):
+    /// 120 s for Sandia, 30 s for LG.
+    pub data_horizon_s: f64,
+    /// Rated capacity `C_rated` of the cell, amp-hours (paper Eq. 1).
+    pub capacity_ah: f64,
+    /// Branch 1 training epochs.
+    pub b1_epochs: usize,
+    /// Branch 2 training epochs.
+    pub b2_epochs: usize,
+    /// Minibatch size for both branches.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Weight of the physics term in Eq. 2 (the paper uses 1.0).
+    pub physics_weight: f32,
+    /// How the physics sampler draws currents (§III-B / §IV-A: "the same
+    /// current conditions of the dataset").
+    pub physics_current: PhysicsCurrentMode,
+    /// Random seed (weights, shuffling, physics sampling).
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// Defaults for the Sandia dataset (N = 120 s, NMC capacity).
+    pub fn sandia(variant: PinnVariant, seed: u64) -> Self {
+        Self {
+            variant,
+            data_horizon_s: 120.0,
+            capacity_ah: 3.0,
+            b1_epochs: 60,
+            b2_epochs: 60,
+            batch_size: 64,
+            learning_rate: 3e-3,
+            physics_weight: 1.0,
+            // Sandia cycles span 0.5C charge to 3C discharge (§IV-A).
+            physics_current: PhysicsCurrentMode::CRateUniform { min_c: -0.6, max_c: 3.2 },
+            seed,
+        }
+    }
+
+    /// Defaults for the LG dataset (N = 30 s, HG2 capacity).
+    pub fn lg(variant: PinnVariant, seed: u64) -> Self {
+        Self {
+            variant,
+            data_horizon_s: 30.0,
+            capacity_ah: 3.0,
+            b1_epochs: 20,
+            b2_epochs: 16,
+            batch_size: 256,
+            learning_rate: 3e-3,
+            physics_weight: 1.0,
+            // Drive-cycle currents are richly distributed: mirror the pool.
+            physics_current: PhysicsCurrentMode::Pool,
+            seed,
+        }
+    }
+
+    /// Validates the configuration, panicking with a clear message on
+    /// nonsensical values.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive horizons, capacity, epochs, batch size, or
+    /// learning rate.
+    pub fn validate(&self) {
+        assert!(self.data_horizon_s > 0.0, "data horizon must be positive");
+        assert!(self.capacity_ah > 0.0, "capacity must be positive");
+        assert!(self.batch_size > 0, "batch size must be positive");
+        assert!(self.learning_rate > 0.0, "learning rate must be positive");
+        assert!(self.physics_weight >= 0.0, "physics weight must be non-negative");
+        if let PinnVariant::Pinn { horizons_s } = &self.variant {
+            assert!(!horizons_s.is_empty(), "PINN variant needs at least one horizon");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_labels_match_paper() {
+        assert_eq!(PinnVariant::NoPinn.to_string(), "No-PINN");
+        assert_eq!(PinnVariant::PhysicsOnly.to_string(), "Physics-Only");
+        assert_eq!(PinnVariant::pinn_single(120.0).to_string(), "PINN-120s");
+        assert_eq!(PinnVariant::pinn_all(&[30.0, 50.0, 70.0]).to_string(), "PINN-All");
+    }
+
+    #[test]
+    fn uses_physics_flag() {
+        assert!(!PinnVariant::NoPinn.uses_physics());
+        assert!(!PinnVariant::PhysicsOnly.uses_physics());
+        assert!(PinnVariant::pinn_single(60.0).uses_physics());
+    }
+
+    #[test]
+    fn presets_are_valid() {
+        TrainConfig::sandia(PinnVariant::NoPinn, 0).validate();
+        TrainConfig::lg(PinnVariant::pinn_all(&[30.0, 50.0, 70.0]), 1).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be positive")]
+    fn zero_horizon_rejected() {
+        let _ = PinnVariant::pinn_single(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn invalid_config_rejected() {
+        let mut c = TrainConfig::sandia(PinnVariant::NoPinn, 0);
+        c.batch_size = 0;
+        c.validate();
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = TrainConfig::lg(PinnVariant::pinn_all(&[30.0, 70.0]), 5);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: TrainConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,185 @@
+//! Evaluation: the MAE metrics reported in Figs. 3–4 and Table I.
+
+use crate::model::{SecondStage, SocModel};
+use pinnsoc_data::{estimation_samples, pipeline_samples_all, Cycle};
+use serde::{Deserialize, Serialize};
+
+/// Error summary over one evaluation set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Mean absolute error — the paper's headline metric.
+    pub mae: f64,
+    /// Root mean squared error.
+    pub rmse: f64,
+    /// Worst-case absolute error.
+    pub max_abs: f64,
+    /// Number of evaluated samples.
+    pub count: usize,
+}
+
+impl EvalReport {
+    fn from_errors(errors: &[f64]) -> Self {
+        assert!(!errors.is_empty(), "cannot evaluate on zero samples");
+        let n = errors.len() as f64;
+        let mae = errors.iter().map(|e| e.abs()).sum::<f64>() / n;
+        let rmse = (errors.iter().map(|e| e * e).sum::<f64>() / n).sqrt();
+        let max_abs = errors.iter().map(|e| e.abs()).fold(0.0_f64, f64::max);
+        Self { mae, rmse, max_abs, count: errors.len() }
+    }
+}
+
+/// Evaluates Branch 1 (instantaneous SoC estimation) over cycles —
+/// the `SoC(t)` column of Table I.
+///
+/// # Panics
+///
+/// Panics if `cycles` contains no records.
+pub fn eval_estimation(model: &SocModel, cycles: &[Cycle]) -> EvalReport {
+    let mut errors = Vec::new();
+    for cycle in cycles {
+        for s in estimation_samples(cycle) {
+            let est = model.estimate(s.voltage_v, s.current_a, s.temperature_c);
+            errors.push(est - s.soc);
+        }
+    }
+    EvalReport::from_errors(&errors)
+}
+
+/// Evaluates the full pipeline (Branch 1 estimate feeding the second stage)
+/// at a prediction horizon — the bars of Figs. 3–4 and the `SoC(t+N)`
+/// column of Table I.
+///
+/// # Panics
+///
+/// Panics if no cycle is long enough for the horizon.
+pub fn eval_prediction(model: &SocModel, cycles: &[Cycle], horizon_s: f64) -> EvalReport {
+    let samples = pipeline_samples_all(cycles, horizon_s);
+    assert!(!samples.is_empty(), "no evaluation windows at horizon {horizon_s}s");
+    let errors: Vec<f64> = samples
+        .iter()
+        .map(|s| {
+            let pred = model.predict(
+                s.voltage_v,
+                s.current_a,
+                s.temperature_c,
+                s.avg_current_a,
+                s.avg_temperature_c,
+                s.horizon_s,
+            );
+            pred - s.soc_next
+        })
+        .collect();
+    EvalReport::from_errors(&errors)
+}
+
+/// Like [`eval_prediction`] but feeding ground-truth `SoC(t)` into the
+/// second stage (isolates Branch 2 quality from Branch 1 error).
+pub fn eval_prediction_oracle_soc(
+    model: &SocModel,
+    cycles: &[Cycle],
+    horizon_s: f64,
+) -> EvalReport {
+    let samples = pipeline_samples_all(cycles, horizon_s);
+    assert!(!samples.is_empty(), "no evaluation windows at horizon {horizon_s}s");
+    let errors: Vec<f64> = samples
+        .iter()
+        .map(|s| {
+            let pred = model.predict_from(
+                s.soc_now,
+                s.avg_current_a,
+                s.avg_temperature_c,
+                s.horizon_s,
+            );
+            pred - s.soc_next
+        })
+        .collect();
+    EvalReport::from_errors(&errors)
+}
+
+/// Returns true when the model's second stage is the Coulomb equation
+/// (Physics-Only); useful for reporting.
+pub fn is_physics_only(model: &SocModel) -> bool {
+    matches!(model.stage2, SecondStage::Coulomb { .. })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PinnVariant, TrainConfig};
+    use crate::trainer::train;
+    use pinnsoc_battery::Chemistry;
+    use pinnsoc_data::{generate_sandia, NoiseConfig, SandiaConfig};
+
+    fn dataset() -> pinnsoc_data::SocDataset {
+        generate_sandia(&SandiaConfig {
+            chemistries: vec![Chemistry::Nmc],
+            ambient_temps_c: vec![25.0],
+            cycles_per_condition: 1,
+            noise: NoiseConfig::none(),
+            ..SandiaConfig::default()
+        })
+    }
+
+    fn quick(variant: PinnVariant) -> TrainConfig {
+        TrainConfig {
+            b1_epochs: 30,
+            b2_epochs: 30,
+            batch_size: 16,
+            ..TrainConfig::sandia(variant, 7)
+        }
+    }
+
+    #[test]
+    fn estimation_report_fields_consistent() {
+        let ds = dataset();
+        let (model, _) = train(&ds, &quick(PinnVariant::NoPinn));
+        let report = eval_estimation(&model, &ds.test);
+        assert!(report.count > 0);
+        assert!(report.mae <= report.rmse + 1e-12, "MAE must not exceed RMSE");
+        assert!(report.rmse <= report.max_abs + 1e-12);
+        assert!(report.mae > 0.0);
+    }
+
+    #[test]
+    fn prediction_eval_runs_at_multiple_horizons() {
+        let ds = dataset();
+        let (model, _) = train(&ds, &quick(PinnVariant::pinn_all(&[120.0, 240.0, 360.0])));
+        for h in [120.0, 240.0, 360.0] {
+            let report = eval_prediction(&model, &ds.test, h);
+            assert!(report.count > 0, "no samples at horizon {h}");
+            assert!(report.mae.is_finite());
+        }
+    }
+
+    #[test]
+    fn physics_only_prediction_is_exact_on_constant_current_oracle() {
+        // With ground-truth SoC(t) and constant current, Coulomb counting
+        // equals the simulator's SoC integral, so oracle MAE ≈ sensor-noise
+        // free exactness.
+        let ds = dataset();
+        let (model, _) = train(&ds, &quick(PinnVariant::PhysicsOnly));
+        assert!(is_physics_only(&model));
+        let report = eval_prediction_oracle_soc(&model, &ds.test, 120.0);
+        assert!(report.mae < 0.01, "oracle Physics-Only MAE {}", report.mae);
+    }
+
+    #[test]
+    fn oracle_eval_is_not_worse_than_pipeline() {
+        let ds = dataset();
+        let (model, _) = train(&ds, &quick(PinnVariant::NoPinn));
+        let pipeline = eval_prediction(&model, &ds.test, 120.0);
+        let oracle = eval_prediction_oracle_soc(&model, &ds.test, 120.0);
+        // Feeding the truth can only help on average (small tolerance for
+        // compensation effects).
+        assert!(oracle.mae <= pipeline.mae * 1.5 + 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "no evaluation windows")]
+    fn too_long_horizon_panics() {
+        let ds = dataset();
+        let (model, _) = train(&ds, &quick(PinnVariant::NoPinn));
+        // A multiple of the 120 s sampling that exceeds every cycle length.
+        let _ = eval_prediction(&model, &ds.test, 120.0 * 1_000_000.0);
+    }
+}

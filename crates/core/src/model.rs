@@ -1,0 +1,352 @@
+//! The paper's two-branch network (§III-A) and its Physics-Only sibling.
+//!
+//! Branch 1 estimates the instantaneous SoC from sensor readings; Branch 2
+//! rolls the SoC forward under a described workload. Both branches are
+//! inverted-bottleneck MLPs (hidden widths 16/32/16, ReLU, linear scalar
+//! output), totalling 2,322 parameters.
+
+use pinnsoc_data::Normalizer;
+use pinnsoc_nn::{Account, Activation, CostReport, Init, Matrix, Mlp};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hidden layer widths shared by both branches (§III-A).
+pub const HIDDEN_WIDTHS: [usize; 3] = [16, 32, 16];
+
+/// Branch 1: `(V, I, T) → SoC(t)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Branch1 {
+    net: Mlp,
+    norm: Normalizer,
+}
+
+impl Branch1 {
+    /// Creates an untrained Branch 1 with the given input normalizer
+    /// (fit on training features `(V, I, T)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the normalizer width is not 3.
+    pub fn new(norm: Normalizer, rng: &mut impl Rng) -> Self {
+        assert_eq!(norm.width(), 3, "Branch 1 expects (V, I, T) normalization");
+        let widths = [3, HIDDEN_WIDTHS[0], HIDDEN_WIDTHS[1], HIDDEN_WIDTHS[2], 1];
+        Self { net: Mlp::new(&widths, Activation::Relu, Init::HeNormal, rng), norm }
+    }
+
+    /// Normalized feature row for one measurement.
+    pub fn features(&self, voltage_v: f64, current_a: f64, temperature_c: f64) -> [f32; 3] {
+        let row = self.norm.normalized(&[voltage_v, current_a, temperature_c]);
+        [row[0] as f32, row[1] as f32, row[2] as f32]
+    }
+
+    /// Estimates SoC from one sensor reading.
+    pub fn estimate(&self, voltage_v: f64, current_a: f64, temperature_c: f64) -> f64 {
+        let f = self.features(voltage_v, current_a, temperature_c);
+        self.net.infer_scalar(&f) as f64
+    }
+
+    /// The underlying network (for training and accounting).
+    pub fn net(&self) -> &Mlp {
+        &self.net
+    }
+
+    /// Mutable access for the trainer.
+    pub(crate) fn net_mut(&mut self) -> &mut Mlp {
+        &mut self.net
+    }
+
+    /// Builds the normalized feature matrix for a batch of raw rows.
+    pub fn feature_matrix(&self, rows: &[[f64; 3]]) -> Matrix {
+        assert!(!rows.is_empty(), "empty batch");
+        let mut data = Vec::with_capacity(rows.len() * 3);
+        for r in rows {
+            let n = self.norm.normalized(r);
+            data.extend(n.iter().map(|&x| x as f32));
+        }
+        Matrix::from_vec(rows.len(), 3, data)
+    }
+}
+
+/// Branch 2: `(SoC(t), Ī, T̄, N) → SoC(t+N)`.
+///
+/// SoC enters unnormalized (it is already a fraction); current and
+/// temperature are z-scored; the horizon is divided by `horizon_scale_s`
+/// so multiples of the data horizon land on comparable magnitudes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Branch2 {
+    net: Mlp,
+    /// Normalizer over `(Ī, T̄)`.
+    norm_it: Normalizer,
+    horizon_scale_s: f64,
+}
+
+impl Branch2 {
+    /// Creates an untrained Branch 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the normalizer width is not 2 or the horizon scale is not
+    /// positive.
+    pub fn new(norm_it: Normalizer, horizon_scale_s: f64, rng: &mut impl Rng) -> Self {
+        assert_eq!(norm_it.width(), 2, "Branch 2 expects (Ī, T̄) normalization");
+        assert!(horizon_scale_s > 0.0, "horizon scale must be positive");
+        let widths = [4, HIDDEN_WIDTHS[0], HIDDEN_WIDTHS[1], HIDDEN_WIDTHS[2], 1];
+        Self {
+            net: Mlp::new(&widths, Activation::Relu, Init::HeNormal, rng),
+            norm_it,
+            horizon_scale_s,
+        }
+    }
+
+    /// Normalized feature row for one prediction query.
+    pub fn features(
+        &self,
+        soc_now: f64,
+        avg_current_a: f64,
+        avg_temperature_c: f64,
+        horizon_s: f64,
+    ) -> [f32; 4] {
+        let it = self.norm_it.normalized(&[avg_current_a, avg_temperature_c]);
+        [
+            soc_now as f32,
+            it[0] as f32,
+            it[1] as f32,
+            (horizon_s / self.horizon_scale_s) as f32,
+        ]
+    }
+
+    /// Predicts `SoC(t+N)` for one query. Output is unrestricted, as in the
+    /// paper (autoregressive rollouts may legitimately overshoot `[0, 1]`).
+    pub fn predict(
+        &self,
+        soc_now: f64,
+        avg_current_a: f64,
+        avg_temperature_c: f64,
+        horizon_s: f64,
+    ) -> f64 {
+        let f = self.features(soc_now, avg_current_a, avg_temperature_c, horizon_s);
+        self.net.infer_scalar(&f) as f64
+    }
+
+    /// The underlying network (for training and accounting).
+    pub fn net(&self) -> &Mlp {
+        &self.net
+    }
+
+    /// Mutable access for the trainer.
+    pub(crate) fn net_mut(&mut self) -> &mut Mlp {
+        &mut self.net
+    }
+
+    /// Builds the normalized feature matrix for a batch of raw
+    /// `(soc, Ī, T̄, N)` rows.
+    pub fn feature_matrix(&self, rows: &[[f64; 4]]) -> Matrix {
+        assert!(!rows.is_empty(), "empty batch");
+        let mut data = Vec::with_capacity(rows.len() * 4);
+        for r in rows {
+            let f = self.features(r[0], r[1], r[2], r[3]);
+            data.extend_from_slice(&f);
+        }
+        Matrix::from_vec(rows.len(), 4, data)
+    }
+}
+
+/// The second stage of a trained model: either the neural Branch 2 or the
+/// raw Coulomb-counting equation (the paper's *Physics-Only* configuration).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SecondStage {
+    /// Neural predictor (No-PINN and all PINN variants).
+    Network(Branch2),
+    /// Closed-form Coulomb counting with the rated capacity (Physics-Only).
+    Coulomb {
+        /// Rated capacity `C_rated`, amp-hours.
+        capacity_ah: f64,
+    },
+}
+
+impl SecondStage {
+    /// Predicts `SoC(t+N)` for one query.
+    pub fn predict(
+        &self,
+        soc_now: f64,
+        avg_current_a: f64,
+        avg_temperature_c: f64,
+        horizon_s: f64,
+    ) -> f64 {
+        match self {
+            SecondStage::Network(b2) => {
+                b2.predict(soc_now, avg_current_a, avg_temperature_c, horizon_s)
+            }
+            SecondStage::Coulomb { capacity_ah } => {
+                // Unsaturated form: the paper's Physics-Only rollouts also
+                // drift outside [0, 1] (Fig. 5).
+                soc_now - avg_current_a * horizon_s / (3600.0 * capacity_ah)
+            }
+        }
+    }
+}
+
+/// A fully trained SoC model: Branch 1 plus a second stage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SocModel {
+    /// Estimator branch.
+    pub branch1: Branch1,
+    /// Predictor stage.
+    pub stage2: SecondStage,
+    /// Human-readable variant label ("No-PINN", "PINN-All", ...).
+    pub label: String,
+}
+
+impl SocModel {
+    /// Estimates the instantaneous SoC from sensor readings (Branch 1 only).
+    pub fn estimate(&self, voltage_v: f64, current_a: f64, temperature_c: f64) -> f64 {
+        self.branch1.estimate(voltage_v, current_a, temperature_c)
+    }
+
+    /// Full pipeline: estimate SoC at `t` from sensors, then predict
+    /// `SoC(t+N)` under the described workload.
+    #[allow(clippy::too_many_arguments)]
+    pub fn predict(
+        &self,
+        voltage_v: f64,
+        current_a: f64,
+        temperature_c: f64,
+        avg_current_a: f64,
+        avg_temperature_c: f64,
+        horizon_s: f64,
+    ) -> f64 {
+        let soc_now = self.estimate(voltage_v, current_a, temperature_c);
+        self.stage2.predict(soc_now, avg_current_a, avg_temperature_c, horizon_s)
+    }
+
+    /// Predicts `SoC(t+N)` from an already-known current SoC (used in
+    /// autoregressive rollouts after the first step).
+    pub fn predict_from(
+        &self,
+        soc_now: f64,
+        avg_current_a: f64,
+        avg_temperature_c: f64,
+        horizon_s: f64,
+    ) -> f64 {
+        self.stage2.predict(soc_now, avg_current_a, avg_temperature_c, horizon_s)
+    }
+
+    /// Trainable parameter count of the whole model.
+    pub fn param_count(&self) -> usize {
+        let b2 = match &self.stage2 {
+            SecondStage::Network(b2) => b2.net().param_count(),
+            SecondStage::Coulomb { .. } => 0,
+        };
+        self.branch1.net().param_count() + b2
+    }
+
+    /// Inference cost of one full-pipeline query.
+    pub fn cost(&self) -> CostReport {
+        let b1 = self.branch1.net().cost();
+        let b2 = match &self.stage2 {
+            SecondStage::Network(b2) => b2.net().cost(),
+            SecondStage::Coulomb { .. } => CostReport { params: 0, macs: 2, memory_bytes: 8 },
+        };
+        CostReport {
+            params: b1.params + b2.params,
+            macs: b1.macs + b2.macs,
+            memory_bytes: b1.memory_bytes + b2.memory_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn norm3() -> Normalizer {
+        let rows: Vec<Vec<f64>> = vec![vec![3.0, 0.0, 20.0], vec![4.2, 9.0, 30.0]];
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        Normalizer::fit(refs.iter().copied())
+    }
+
+    fn norm2() -> Normalizer {
+        let rows: Vec<Vec<f64>> = vec![vec![0.0, 20.0], vec![9.0, 30.0]];
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        Normalizer::fit(refs.iter().copied())
+    }
+
+    fn model() -> SocModel {
+        let mut rng = StdRng::seed_from_u64(0);
+        SocModel {
+            branch1: Branch1::new(norm3(), &mut rng),
+            stage2: SecondStage::Network(Branch2::new(norm2(), 120.0, &mut rng)),
+            label: "test".into(),
+        }
+    }
+
+    #[test]
+    fn paper_parameter_count() {
+        assert_eq!(model().param_count(), 2322);
+    }
+
+    #[test]
+    fn paper_memory_and_ops() {
+        let cost = model().cost();
+        assert_eq!(cost.params, 2322);
+        assert_eq!(cost.memory_bytes, 9288); // ≈9 kB, §III-A
+        // MACs per full query ≈ 2·1150 (Table I counts one branch ≈ 1150).
+        assert!(cost.macs > 2000 && cost.macs < 2500, "macs {}", cost.macs);
+    }
+
+    #[test]
+    fn physics_only_has_no_stage2_params() {
+        let mut m = model();
+        m.stage2 = SecondStage::Coulomb { capacity_ah: 3.0 };
+        assert_eq!(m.param_count(), 1153);
+    }
+
+    #[test]
+    fn coulomb_stage_matches_equation() {
+        let stage = SecondStage::Coulomb { capacity_ah: 3.0 };
+        // 1 A for one hour on a 3 Ah cell = 1/3 of the capacity.
+        let next = stage.predict(0.5, 1.0, 25.0, 3600.0);
+        assert!((next - (0.5 - 1.0 / 3.0)).abs() < 1e-12);
+        // And it may exceed [0, 1] — intentionally unsaturated.
+        assert!(stage.predict(0.1, 30.0, 25.0, 3600.0) < 0.0);
+    }
+
+    #[test]
+    fn horizon_scaling_in_features() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let b2 = Branch2::new(norm2(), 120.0, &mut rng);
+        let f = b2.features(0.8, 4.5, 25.0, 240.0);
+        assert!((f[3] - 2.0).abs() < 1e-6);
+        assert!((f[0] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn feature_matrix_matches_single_features() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let b1 = Branch1::new(norm3(), &mut rng);
+        let m = b1.feature_matrix(&[[3.7, 2.0, 25.0], [3.5, 1.0, 22.0]]);
+        assert_eq!(m.shape(), (2, 3));
+        let single = b1.features(3.7, 2.0, 25.0);
+        assert_eq!(m.row(0), &single);
+    }
+
+    #[test]
+    fn predict_pipeline_consistency() {
+        let m = model();
+        let soc_hat = m.estimate(3.8, 2.0, 25.0);
+        let via_pipeline = m.predict(3.8, 2.0, 25.0, 3.0, 25.0, 120.0);
+        let via_two_calls = m.predict_from(soc_hat, 3.0, 25.0, 120.0);
+        assert!((via_pipeline - via_two_calls).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_outputs() {
+        let m = model();
+        let json = serde_json::to_string(&m).unwrap();
+        let m2: SocModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(m.estimate(3.7, 1.0, 25.0), m2.estimate(3.7, 1.0, 25.0));
+        assert_eq!(m.predict_from(0.5, 2.0, 25.0, 60.0), m2.predict_from(0.5, 2.0, 25.0, 60.0));
+    }
+}

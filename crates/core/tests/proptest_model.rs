@@ -1,0 +1,99 @@
+//! Property-based tests on the two-branch model: outputs must stay finite
+//! and structurally sensible for any in-range query, trained or not.
+
+use pinnsoc::{Branch1, Branch2, SecondStage, SocModel};
+use pinnsoc_data::Normalizer;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn norm3() -> Normalizer {
+    let rows: Vec<Vec<f64>> = vec![vec![2.5, -5.0, -10.0], vec![4.2, 9.0, 45.0]];
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    Normalizer::fit(refs.iter().copied())
+}
+
+fn norm2() -> Normalizer {
+    let rows: Vec<Vec<f64>> = vec![vec![-5.0, -10.0], vec![9.0, 45.0]];
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    Normalizer::fit(refs.iter().copied())
+}
+
+fn untrained_model(seed: u64) -> SocModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    SocModel {
+        branch1: Branch1::new(norm3(), &mut rng),
+        stage2: SecondStage::Network(Branch2::new(norm2(), 30.0, &mut rng)),
+        label: "proptest".into(),
+    }
+}
+
+proptest! {
+    #[test]
+    fn estimates_finite_over_input_ranges(
+        seed in 0u64..50,
+        v in 2.0f64..4.5,
+        i in -10.0f64..20.0,
+        t in -30.0f64..60.0,
+    ) {
+        let m = untrained_model(seed);
+        let soc = m.estimate(v, i, t);
+        prop_assert!(soc.is_finite());
+    }
+
+    #[test]
+    fn predictions_finite_over_query_space(
+        seed in 0u64..50,
+        soc in -0.5f64..1.5,
+        i in -10.0f64..20.0,
+        t in -30.0f64..60.0,
+        n in 1.0f64..3600.0,
+    ) {
+        let m = untrained_model(seed);
+        prop_assert!(m.predict_from(soc, i, t, n).is_finite());
+    }
+
+    #[test]
+    fn coulomb_stage_exact_for_any_query(
+        soc in 0.0f64..=1.0,
+        i in -10.0f64..10.0,
+        n in 0.0f64..3600.0,
+        cap in 0.5f64..5.0,
+    ) {
+        let stage = SecondStage::Coulomb { capacity_ah: cap };
+        let predicted = stage.predict(soc, i, 25.0, n);
+        let expected = soc - i * n / (3600.0 * cap);
+        prop_assert!((predicted - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn branch2_horizon_feature_is_linear(
+        seed in 0u64..20,
+        n in 1.0f64..600.0,
+        k in 2.0f64..5.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b2 = Branch2::new(norm2(), 30.0, &mut rng);
+        let f1 = b2.features(0.5, 1.0, 25.0, n);
+        let fk = b2.features(0.5, 1.0, 25.0, n * k);
+        prop_assert!((fk[3] - f1[3] * k as f32).abs() < 1e-4 * k as f32);
+        // Only the horizon feature changes.
+        prop_assert_eq!(f1[0], fk[0]);
+        prop_assert_eq!(f1[1], fk[1]);
+        prop_assert_eq!(f1[2], fk[2]);
+    }
+
+    #[test]
+    fn pipeline_equals_two_stage_composition(
+        seed in 0u64..20,
+        v in 3.0f64..4.2,
+        i in 0.0f64..9.0,
+        t in 0.0f64..40.0,
+        n in 10.0f64..300.0,
+    ) {
+        let m = untrained_model(seed);
+        let direct = m.predict(v, i, t, i, t, n);
+        let composed = m.predict_from(m.estimate(v, i, t), i, t, n);
+        prop_assert!((direct - composed).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,30 @@
+//! # pinnsoc-cycles
+//!
+//! Load-profile substrate for the `pinnsoc` workspace: synthetic driving
+//! schedules statistically matched to the EPA cycles used by the LG dataset
+//! (UDDS, HWFET, LA92, US06), a longitudinal vehicle model converting speed
+//! into per-cell battery current, and the laboratory patterns of the Sandia
+//! protocol.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use pinnsoc_cycles::{DriveSchedule, Vehicle};
+//!
+//! let speeds = DriveSchedule::Udds.generate(42);
+//! let currents = Vehicle::compact_ev().current_profile(&speeds);
+//! assert!(currents.peak_discharge() > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod patterns;
+pub mod profile;
+pub mod schedule;
+pub mod vehicle;
+
+pub use patterns::{constant_current, pulse_train, LabCycle, MixedCycleBuilder};
+pub use profile::{CurrentProfile, SpeedProfile};
+pub use schedule::{DriveSchedule, ScheduleStats};
+pub use vehicle::Vehicle;

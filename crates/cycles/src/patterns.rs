@@ -1,0 +1,248 @@
+//! Laboratory load patterns (Sandia-style) and mixed drive cycles (LG-style).
+
+use crate::profile::{CurrentProfile, SpeedProfile};
+use crate::schedule::DriveSchedule;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Constant-current segment lasting `duration_s` at `current_a`
+/// (positive = discharge).
+///
+/// # Panics
+///
+/// Panics if duration or `dt_s` is not positive.
+pub fn constant_current(current_a: f64, duration_s: f64, dt_s: f64) -> CurrentProfile {
+    assert!(duration_s > 0.0 && dt_s > 0.0, "durations must be positive");
+    let n = (duration_s / dt_s).round().max(1.0) as usize;
+    CurrentProfile::new(dt_s, vec![current_a; n])
+}
+
+/// Alternating pulse train: `high_a` for `pulse_s`, then `low_a` for
+/// `rest_s`, repeated `cycles` times. Used for HPPC-style characterization
+/// tests and failure-injection scenarios.
+///
+/// # Panics
+///
+/// Panics if any duration is non-positive or `cycles` is zero.
+pub fn pulse_train(
+    high_a: f64,
+    pulse_s: f64,
+    low_a: f64,
+    rest_s: f64,
+    cycles: usize,
+    dt_s: f64,
+) -> CurrentProfile {
+    assert!(pulse_s > 0.0 && rest_s > 0.0 && dt_s > 0.0, "durations must be positive");
+    assert!(cycles > 0, "at least one cycle required");
+    let pulse_n = (pulse_s / dt_s).round().max(1.0) as usize;
+    let rest_n = (rest_s / dt_s).round().max(1.0) as usize;
+    let mut currents = Vec::with_capacity(cycles * (pulse_n + rest_n));
+    for _ in 0..cycles {
+        currents.extend(std::iter::repeat(high_a).take(pulse_n));
+        currents.extend(std::iter::repeat(low_a).take(rest_n));
+    }
+    CurrentProfile::new(dt_s, currents)
+}
+
+/// One Sandia-protocol lab cycle: constant-current discharge at
+/// `discharge_c` (as a positive C-rate) followed by a 0.5C recharge.
+/// Durations here are upper bounds — the simulator terminates each phase at
+/// its voltage cutoff.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LabCycle {
+    /// Discharge C-rate (positive).
+    pub discharge_c: f64,
+    /// Charge C-rate (positive; applied as negative current).
+    pub charge_c: f64,
+    /// Ambient temperature for the cycle, °C.
+    pub ambient_c: f64,
+}
+
+impl LabCycle {
+    /// The paper's Sandia training condition: 0.5C charge / 1C discharge.
+    pub fn sandia_train(ambient_c: f64) -> Self {
+        Self { discharge_c: 1.0, charge_c: 0.5, ambient_c }
+    }
+
+    /// The paper's Sandia test conditions: 0.5C charge and 2C or 3C
+    /// discharge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `discharge_c` is not positive.
+    pub fn sandia_test(discharge_c: f64, ambient_c: f64) -> Self {
+        assert!(discharge_c > 0.0, "discharge rate must be positive");
+        Self { discharge_c, charge_c: 0.5, ambient_c }
+    }
+}
+
+/// Builds LG-style "mixed" cycles: random concatenations of the four drive
+/// schedules, as used for the dataset's eight mixed charge/discharge cycles.
+#[derive(Debug, Clone)]
+pub struct MixedCycleBuilder {
+    segments: usize,
+    dt_s: f64,
+}
+
+impl Default for MixedCycleBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MixedCycleBuilder {
+    /// Default builder: 6 segments at the LG dataset's 0.1 s sampling.
+    pub fn new() -> Self {
+        Self { segments: 6, dt_s: 0.1 }
+    }
+
+    /// Sets the number of schedule segments to concatenate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments` is zero.
+    pub fn segments(mut self, segments: usize) -> Self {
+        assert!(segments > 0, "at least one segment required");
+        self.segments = segments;
+        self
+    }
+
+    /// Sets the sampling interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_s` is not positive.
+    pub fn dt_s(mut self, dt_s: f64) -> Self {
+        assert!(dt_s > 0.0, "sampling interval must be positive");
+        self.dt_s = dt_s;
+        self
+    }
+
+    /// Generates a mixed speed profile: `segments` randomly chosen schedules
+    /// back to back, each with an independent sub-seed. A bounded-
+    /// acceleration ramp (±1.5 m/s²) bridges each seam so the concatenation
+    /// never implies an unphysical speed jump.
+    pub fn build(&self, seed: u64) -> SpeedProfile {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut profile: Option<SpeedProfile> = None;
+        for k in 0..self.segments {
+            let schedule = DriveSchedule::ALL[rng.gen_range(0..DriveSchedule::ALL.len())];
+            let sub_seed = rng.gen::<u64>() ^ k as u64;
+            let segment = schedule.generate_with_dt(sub_seed, self.dt_s);
+            profile = Some(match profile {
+                None => segment,
+                Some(p) => {
+                    let bridge = transition_ramp(
+                        *p.speeds().last().expect("non-empty"),
+                        segment.speeds()[0],
+                        1.5,
+                        self.dt_s,
+                    );
+                    match bridge {
+                        Some(ramp) => p.concat(&ramp).concat(&segment),
+                        None => p.concat(&segment),
+                    }
+                }
+            });
+        }
+        profile.expect("segments > 0 validated")
+    }
+}
+
+/// Linear speed ramp from `from` to `to` at `accel` m/s², or `None` when the
+/// gap is already within one sample's reach.
+fn transition_ramp(from: f64, to: f64, accel: f64, dt_s: f64) -> Option<SpeedProfile> {
+    let gap = to - from;
+    let max_step = accel * dt_s;
+    if gap.abs() <= max_step {
+        return None;
+    }
+    let steps = (gap.abs() / max_step).ceil() as usize;
+    let speeds = (1..=steps)
+        .map(|k| (from + gap * k as f64 / steps as f64).max(0.0))
+        .collect();
+    Some(SpeedProfile::new(dt_s, speeds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transition_ramp_bounds_acceleration() {
+        let ramp = transition_ramp(0.0, 22.0, 1.5, 0.1).expect("gap needs a ramp");
+        let max_da = ramp
+            .accelerations()
+            .iter()
+            .fold(0.0_f64, |m, &a| m.max(a.abs()));
+        assert!(max_da <= 1.5 + 1e-9, "ramp accel {max_da}");
+        assert!((ramp.speeds().last().unwrap() - 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transition_ramp_skipped_for_tiny_gap() {
+        assert!(transition_ramp(10.0, 10.05, 1.5, 0.1).is_none());
+    }
+
+    #[test]
+    fn mixed_cycle_has_no_seam_spikes() {
+        let p = MixedCycleBuilder::new().segments(4).build(0x16AA + 1000);
+        let max_a = p.accelerations().iter().fold(0.0_f64, |m, &a| m.max(a.abs()));
+        assert!(max_a < 4.0, "seam acceleration spike: {max_a} m/s²");
+    }
+
+    #[test]
+    fn constant_current_length_and_value() {
+        let p = constant_current(3.0, 60.0, 0.5);
+        assert_eq!(p.currents().len(), 120);
+        assert!(p.currents().iter().all(|&c| c == 3.0));
+    }
+
+    #[test]
+    fn pulse_train_shape() {
+        let p = pulse_train(6.0, 10.0, 0.0, 5.0, 3, 1.0);
+        assert_eq!(p.currents().len(), 45);
+        assert_eq!(p.currents()[0], 6.0);
+        assert_eq!(p.currents()[10], 0.0);
+        assert_eq!(p.peak_discharge(), 6.0);
+    }
+
+    #[test]
+    fn lab_cycle_presets() {
+        let train = LabCycle::sandia_train(25.0);
+        assert_eq!(train.discharge_c, 1.0);
+        assert_eq!(train.charge_c, 0.5);
+        let test = LabCycle::sandia_test(3.0, 15.0);
+        assert_eq!(test.discharge_c, 3.0);
+        assert_eq!(test.ambient_c, 15.0);
+    }
+
+    #[test]
+    fn mixed_cycle_is_deterministic_and_long() {
+        let b = MixedCycleBuilder::new().segments(4);
+        let a = b.build(5);
+        let c = b.build(5);
+        assert_eq!(a, c);
+        // Four schedule segments: at least 4 × 600 s.
+        assert!(a.duration_s() >= 2400.0 - 1.0, "duration {}", a.duration_s());
+    }
+
+    #[test]
+    fn mixed_cycles_differ_by_seed() {
+        let b = MixedCycleBuilder::new().segments(3);
+        assert_ne!(b.build(1), b.build(2));
+    }
+
+    #[test]
+    fn mixed_cycle_respects_dt() {
+        let p = MixedCycleBuilder::new().segments(2).dt_s(1.0).build(9);
+        assert_eq!(p.dt_s(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn zero_segments_panics() {
+        let _ = MixedCycleBuilder::new().segments(0);
+    }
+}

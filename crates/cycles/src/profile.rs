@@ -1,0 +1,221 @@
+//! Time-series containers for speed and current profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// A vehicle speed trace sampled on a fixed grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedProfile {
+    dt_s: f64,
+    /// Speeds in m/s, one per sample.
+    speeds: Vec<f64>,
+}
+
+impl SpeedProfile {
+    /// Creates a profile from a sampling interval and speed samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_s` is not positive, `speeds` is empty, or any speed is
+    /// negative or non-finite.
+    pub fn new(dt_s: f64, speeds: Vec<f64>) -> Self {
+        assert!(dt_s > 0.0, "sampling interval must be positive");
+        assert!(!speeds.is_empty(), "profile must contain at least one sample");
+        assert!(
+            speeds.iter().all(|v| v.is_finite() && *v >= 0.0),
+            "speeds must be finite and non-negative"
+        );
+        Self { dt_s, speeds }
+    }
+
+    /// Sampling interval, seconds.
+    pub fn dt_s(&self) -> f64 {
+        self.dt_s
+    }
+
+    /// Speed samples, m/s.
+    pub fn speeds(&self) -> &[f64] {
+        &self.speeds
+    }
+
+    /// Total duration, seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.speeds.len() as f64 * self.dt_s
+    }
+
+    /// Mean speed, m/s.
+    pub fn mean_speed(&self) -> f64 {
+        self.speeds.iter().sum::<f64>() / self.speeds.len() as f64
+    }
+
+    /// Maximum speed, m/s.
+    pub fn max_speed(&self) -> f64 {
+        self.speeds.iter().fold(0.0_f64, |m, &v| m.max(v))
+    }
+
+    /// Fraction of samples at (near) standstill, below 0.1 m/s.
+    pub fn idle_fraction(&self) -> f64 {
+        let idle = self.speeds.iter().filter(|v| **v < 0.1).count();
+        idle as f64 / self.speeds.len() as f64
+    }
+
+    /// Acceleration at each sample (forward difference, m/s²); same length
+    /// as the speed trace, with the last sample repeated.
+    pub fn accelerations(&self) -> Vec<f64> {
+        let n = self.speeds.len();
+        let mut acc = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = if i + 1 < n {
+                (self.speeds[i + 1] - self.speeds[i]) / self.dt_s
+            } else if n >= 2 {
+                (self.speeds[n - 1] - self.speeds[n - 2]) / self.dt_s
+            } else {
+                0.0
+            };
+            acc.push(a);
+        }
+        acc
+    }
+
+    /// Concatenates another profile with the same `dt_s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sampling intervals differ.
+    pub fn concat(mut self, other: &SpeedProfile) -> SpeedProfile {
+        assert!(
+            (self.dt_s - other.dt_s).abs() < 1e-12,
+            "cannot concatenate profiles with different sampling intervals"
+        );
+        self.speeds.extend_from_slice(&other.speeds);
+        self
+    }
+
+    /// Distance covered, meters.
+    pub fn distance_m(&self) -> f64 {
+        self.speeds.iter().sum::<f64>() * self.dt_s
+    }
+}
+
+/// A battery current demand trace on a fixed grid
+/// (positive = discharge, matching `pinnsoc-battery`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CurrentProfile {
+    dt_s: f64,
+    currents: Vec<f64>,
+}
+
+impl CurrentProfile {
+    /// Creates a profile from a sampling interval and current samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_s` is not positive, the trace is empty, or any value is
+    /// non-finite.
+    pub fn new(dt_s: f64, currents: Vec<f64>) -> Self {
+        assert!(dt_s > 0.0, "sampling interval must be positive");
+        assert!(!currents.is_empty(), "profile must contain at least one sample");
+        assert!(currents.iter().all(|v| v.is_finite()), "currents must be finite");
+        Self { dt_s, currents }
+    }
+
+    /// Sampling interval, seconds.
+    pub fn dt_s(&self) -> f64 {
+        self.dt_s
+    }
+
+    /// Current samples, amps.
+    pub fn currents(&self) -> &[f64] {
+        &self.currents
+    }
+
+    /// Consumes the profile, returning the raw samples.
+    pub fn into_currents(self) -> Vec<f64> {
+        self.currents
+    }
+
+    /// Total duration, seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.currents.len() as f64 * self.dt_s
+    }
+
+    /// Mean of the (signed) current, amps.
+    pub fn mean_current(&self) -> f64 {
+        self.currents.iter().sum::<f64>() / self.currents.len() as f64
+    }
+
+    /// Largest discharge current, amps.
+    pub fn peak_discharge(&self) -> f64 {
+        self.currents.iter().fold(0.0_f64, |m, &v| m.max(v))
+    }
+
+    /// Largest charge (regen) current magnitude, amps.
+    pub fn peak_charge(&self) -> f64 {
+        -self.currents.iter().fold(0.0_f64, |m, &v| m.min(v))
+    }
+
+    /// Net charge drawn over the profile, amp-hours (positive = net discharge).
+    pub fn net_charge_ah(&self) -> f64 {
+        self.currents.iter().sum::<f64>() * self.dt_s / 3600.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speed_profile_stats() {
+        let p = SpeedProfile::new(1.0, vec![0.0, 10.0, 20.0, 10.0]);
+        assert_eq!(p.duration_s(), 4.0);
+        assert_eq!(p.max_speed(), 20.0);
+        assert_eq!(p.mean_speed(), 10.0);
+        assert_eq!(p.idle_fraction(), 0.25);
+        assert_eq!(p.distance_m(), 40.0);
+    }
+
+    #[test]
+    fn accelerations_forward_difference() {
+        let p = SpeedProfile::new(0.5, vec![0.0, 1.0, 1.0]);
+        let a = p.accelerations();
+        assert_eq!(a, vec![2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let a = SpeedProfile::new(1.0, vec![1.0]);
+        let b = SpeedProfile::new(1.0, vec![2.0, 3.0]);
+        let c = a.concat(&b);
+        assert_eq!(c.speeds(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different sampling intervals")]
+    fn concat_rejects_mismatched_dt() {
+        let a = SpeedProfile::new(1.0, vec![1.0]);
+        let b = SpeedProfile::new(0.1, vec![2.0]);
+        let _ = a.concat(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_speed_rejected() {
+        let _ = SpeedProfile::new(1.0, vec![-1.0]);
+    }
+
+    #[test]
+    fn current_profile_stats() {
+        let p = CurrentProfile::new(0.5, vec![3.0, -1.0, 6.0, 0.0]);
+        assert_eq!(p.peak_discharge(), 6.0);
+        assert_eq!(p.peak_charge(), 1.0);
+        assert_eq!(p.mean_current(), 2.0);
+        assert!((p.net_charge_ah() - 8.0 * 0.5 / 3600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = CurrentProfile::new(0.1, vec![1.0, 2.0]);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: CurrentProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

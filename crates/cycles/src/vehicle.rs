@@ -1,0 +1,192 @@
+//! Longitudinal vehicle model: speed trace → per-cell battery current.
+//!
+//! The LG dataset was produced by scaling EV drive-cycle power demand onto a
+//! single 18650 cell. This module does the same: a road-load equation
+//! converts speed and acceleration into traction power, and a pack
+//! configuration scales that power to one cell.
+
+use crate::profile::{CurrentProfile, SpeedProfile};
+use serde::{Deserialize, Serialize};
+
+/// Road-load and drivetrain parameters of the simulated EV.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vehicle {
+    /// Curb mass plus payload, kg.
+    pub mass_kg: f64,
+    /// Aerodynamic drag area `Cd·A`, m².
+    pub drag_area: f64,
+    /// Rolling resistance coefficient.
+    pub rolling_coeff: f64,
+    /// Drivetrain efficiency (battery → wheel) in `(0, 1]`.
+    pub drivetrain_eff: f64,
+    /// Regenerative braking recapture efficiency in `[0, 1]`.
+    pub regen_eff: f64,
+    /// Constant auxiliary power draw (HVAC, electronics), watts.
+    pub aux_power_w: f64,
+    /// Maximum regenerative power accepted by the pack, watts.
+    pub regen_cap_w: f64,
+    /// Cells in series.
+    pub cells_series: u32,
+    /// Cells in parallel.
+    pub cells_parallel: u32,
+    /// Nominal per-cell voltage used for the power→current conversion, volts.
+    pub nominal_cell_v: f64,
+}
+
+impl Vehicle {
+    /// A compact EV whose pack stresses an HG2-class cell between roughly
+    /// −2C (regen) and +3C (hard acceleration), matching the current range
+    /// of the LG dataset.
+    pub fn compact_ev() -> Self {
+        Self {
+            mass_kg: 1550.0,
+            drag_area: 0.61,
+            rolling_coeff: 0.0095,
+            drivetrain_eff: 0.88,
+            regen_eff: 0.6,
+            aux_power_w: 450.0,
+            regen_cap_w: 35_000.0,
+            cells_series: 96,
+            cells_parallel: 20,
+            nominal_cell_v: 3.6,
+        }
+    }
+
+    /// Total number of cells in the pack.
+    pub fn cell_count(&self) -> u32 {
+        self.cells_series * self.cells_parallel
+    }
+
+    /// Traction power at the wheels for a speed/acceleration operating
+    /// point, watts (negative while braking).
+    pub fn wheel_power_w(&self, speed_ms: f64, accel_ms2: f64) -> f64 {
+        const AIR_DENSITY: f64 = 1.20; // kg/m³
+        const GRAVITY: f64 = 9.81; // m/s²
+        if speed_ms <= 0.0 {
+            return 0.0;
+        }
+        let aero = 0.5 * AIR_DENSITY * self.drag_area * speed_ms.powi(3);
+        let rolling = self.mass_kg * GRAVITY * self.rolling_coeff * speed_ms;
+        let inertia = self.mass_kg * accel_ms2 * speed_ms;
+        aero + rolling + inertia
+    }
+
+    /// Battery-side pack power, watts (positive = discharging), including
+    /// drivetrain losses, partial regen recapture, and auxiliary load.
+    pub fn pack_power_w(&self, speed_ms: f64, accel_ms2: f64) -> f64 {
+        let wheel = self.wheel_power_w(speed_ms, accel_ms2);
+        let traction = if wheel >= 0.0 {
+            wheel / self.drivetrain_eff
+        } else {
+            (wheel * self.regen_eff).max(-self.regen_cap_w)
+        };
+        traction + self.aux_power_w
+    }
+
+    /// Per-cell current for an operating point, amps
+    /// (positive = discharge).
+    pub fn cell_current_a(&self, speed_ms: f64, accel_ms2: f64) -> f64 {
+        let pack_v = self.nominal_cell_v * self.cells_series as f64;
+        let pack_current = self.pack_power_w(speed_ms, accel_ms2) / pack_v;
+        pack_current / self.cells_parallel as f64
+    }
+
+    /// Converts a full speed profile into a per-cell current demand trace.
+    pub fn current_profile(&self, speeds: &SpeedProfile) -> CurrentProfile {
+        let accels = speeds.accelerations();
+        let currents = speeds
+            .speeds()
+            .iter()
+            .zip(&accels)
+            .map(|(&v, &a)| self.cell_current_a(v, a))
+            .collect();
+        CurrentProfile::new(speeds.dt_s(), currents)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::DriveSchedule;
+
+    fn ev() -> Vehicle {
+        Vehicle::compact_ev()
+    }
+
+    #[test]
+    fn standstill_power_is_aux_only() {
+        let v = ev();
+        assert_eq!(v.wheel_power_w(0.0, 0.0), 0.0);
+        assert_eq!(v.pack_power_w(0.0, 0.0), v.aux_power_w);
+    }
+
+    #[test]
+    fn cruise_power_is_positive_and_reasonable() {
+        let v = ev();
+        // 100 km/h cruise: typical compact EV draws 12–25 kW at the pack.
+        let p = v.pack_power_w(27.8, 0.0);
+        assert!(p > 8_000.0 && p < 30_000.0, "cruise power {p}");
+    }
+
+    #[test]
+    fn braking_recovers_energy() {
+        let v = ev();
+        let p = v.pack_power_w(20.0, -2.5);
+        assert!(p < 0.0, "hard braking should regen, got {p}");
+        // Regen must recover less than the wheel power magnitude.
+        assert!(p.abs() < v.wheel_power_w(20.0, -2.5).abs());
+    }
+
+    #[test]
+    fn cell_current_in_dataset_range_over_schedules() {
+        let v = ev();
+        for s in DriveSchedule::ALL {
+            let profile = v.current_profile(&s.generate(42));
+            let peak_d = profile.peak_discharge();
+            let peak_c = profile.peak_charge();
+            // HG2 is a 3 Ah cell rated for 20 A: stay within the dataset's
+            // roughly -3C..+6C envelope.
+            assert!(peak_d > 1.0, "{s}: peak discharge {peak_d} too small");
+            assert!(peak_d < 18.0, "{s}: peak discharge {peak_d} too large");
+            assert!(peak_c < 9.0, "{s}: peak regen {peak_c} too large");
+        }
+    }
+
+    #[test]
+    fn us06_draws_more_than_udds() {
+        let v = ev();
+        let udds = v.current_profile(&DriveSchedule::Udds.generate(9));
+        let us06 = v.current_profile(&DriveSchedule::Us06.generate(9));
+        assert!(
+            us06.mean_current() > udds.mean_current(),
+            "US06 {} vs UDDS {}",
+            us06.mean_current(),
+            udds.mean_current()
+        );
+    }
+
+    #[test]
+    fn net_discharge_over_any_cycle() {
+        let v = ev();
+        for s in DriveSchedule::ALL {
+            let p = v.current_profile(&s.generate(17));
+            assert!(p.net_charge_ah() > 0.0, "{s} should net-discharge the cell");
+        }
+    }
+
+    #[test]
+    fn inertia_term_scales_with_acceleration() {
+        let v = ev();
+        let gentle = v.cell_current_a(15.0, 0.5);
+        let hard = v.cell_current_a(15.0, 2.5);
+        assert!(hard > gentle * 2.0, "gentle {gentle} vs hard {hard}");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let v = ev();
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Vehicle = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the drive-cycle substrate: any seed must yield
+//! physically plausible speed and current traces.
+
+use pinnsoc_cycles::{DriveSchedule, MixedCycleBuilder, SpeedProfile, Vehicle};
+use proptest::prelude::*;
+
+fn any_schedule() -> impl Strategy<Value = DriveSchedule> {
+    prop_oneof![
+        Just(DriveSchedule::Udds),
+        Just(DriveSchedule::Hwfet),
+        Just(DriveSchedule::La92),
+        Just(DriveSchedule::Us06),
+    ]
+}
+
+proptest! {
+    // Generation at 0.1 s for a quarter hour is the slow part; keep cases low.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn schedules_respect_speed_and_accel_caps(schedule in any_schedule(), seed in 0u64..1000) {
+        let stats = schedule.stats();
+        let p = schedule.generate_with_dt(seed, 1.0);
+        prop_assert!(p.max_speed() <= stats.max_speed + 1e-9);
+        prop_assert!(p.speeds().iter().all(|v| *v >= 0.0 && v.is_finite()));
+        let max_accel = p
+            .accelerations()
+            .iter()
+            .fold(0.0_f64, |m, &a| m.max(a.abs()));
+        prop_assert!(
+            max_accel <= stats.max_accel + 1e-6,
+            "{schedule}: accel {max_accel} exceeds cap {}",
+            stats.max_accel
+        );
+    }
+
+    #[test]
+    fn schedule_duration_independent_of_seed(schedule in any_schedule(), seed in 0u64..1000) {
+        let p = schedule.generate_with_dt(seed, 1.0);
+        prop_assert!((p.duration_s() - schedule.stats().duration_s).abs() < 1.5);
+    }
+
+    #[test]
+    fn mixed_cycles_always_valid(seed in 0u64..500, segments in 1usize..4) {
+        let p = MixedCycleBuilder::new().segments(segments).dt_s(1.0).build(seed);
+        prop_assert!(p.speeds().iter().all(|v| *v >= 0.0 && v.is_finite()));
+        // Seams are ramped: global acceleration stays within the most
+        // aggressive schedule's cap.
+        let max_accel = p.accelerations().iter().fold(0.0_f64, |m, &a| m.max(a.abs()));
+        prop_assert!(max_accel <= 3.78 + 1e-6, "seam spike {max_accel}");
+    }
+
+    #[test]
+    fn vehicle_currents_finite_and_bounded(schedule in any_schedule(), seed in 0u64..200) {
+        let profile = Vehicle::compact_ev().current_profile(&schedule.generate_with_dt(seed, 1.0));
+        prop_assert!(profile.currents().iter().all(|c| c.is_finite()));
+        // A compact EV on a 96s20p pack cannot pull more than ~8C from an
+        // HG2-class cell nor regen more than ~4C.
+        prop_assert!(profile.peak_discharge() < 24.0);
+        prop_assert!(profile.peak_charge() < 12.0);
+    }
+
+    #[test]
+    fn every_cycle_net_discharges(schedule in any_schedule(), seed in 0u64..200) {
+        let profile = Vehicle::compact_ev().current_profile(&schedule.generate_with_dt(seed, 1.0));
+        prop_assert!(profile.net_charge_ah() > 0.0, "{schedule} net-charged the cell");
+    }
+}
+
+proptest! {
+    #[test]
+    fn cruise_power_monotone_in_speed(v1 in 1.0f64..35.0, dv in 0.1f64..10.0) {
+        let ev = Vehicle::compact_ev();
+        prop_assert!(ev.pack_power_w(v1 + dv, 0.0) > ev.pack_power_w(v1, 0.0));
+    }
+
+    #[test]
+    fn profile_stats_consistent(speeds in proptest::collection::vec(0.0f64..40.0, 2..100)) {
+        let p = SpeedProfile::new(1.0, speeds.clone());
+        let max = speeds.iter().fold(0.0_f64, |m, &v| m.max(v));
+        prop_assert!((p.max_speed() - max).abs() < 1e-12);
+        prop_assert!(p.mean_speed() <= p.max_speed() + 1e-12);
+        prop_assert!((p.distance_m() - speeds.iter().sum::<f64>()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,269 @@
+//! CSV import/export of cycles — the bridge to real measured data.
+//!
+//! The synthetic generators stand in for the paper's datasets, but a user
+//! with access to the actual Sandia or LG files (or their own cycler logs)
+//! can load them through this module and train on measurements instead.
+//! Format: a header line `time_s,voltage_v,current_a,temperature_c,soc`
+//! followed by one row per record.
+
+use crate::dataset::{Cycle, CycleMeta};
+use pinnsoc_battery::SimRecord;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Error loading a cycle from CSV.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// Structural problem with the file contents.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "cycle CSV I/O failed: {e}"),
+            CsvError::Parse { line, message } => {
+                write!(f, "cycle CSV parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            CsvError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+const HEADER: &str = "time_s,voltage_v,current_a,temperature_c,soc";
+
+/// Serializes a cycle's records as CSV.
+pub fn cycle_to_csv(cycle: &Cycle) -> String {
+    let mut out = String::with_capacity(cycle.len() * 48 + HEADER.len() + 1);
+    out.push_str(HEADER);
+    out.push('\n');
+    for r in &cycle.records {
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            r.time_s, r.voltage_v, r.current_a, r.temperature_c, r.soc
+        ));
+    }
+    out
+}
+
+/// Writes a cycle to a CSV file.
+///
+/// # Errors
+///
+/// Returns [`CsvError::Io`] on filesystem failure.
+pub fn write_cycle_csv(cycle: &Cycle, path: impl AsRef<Path>) -> Result<(), CsvError> {
+    fs::write(path, cycle_to_csv(cycle))?;
+    Ok(())
+}
+
+/// Parses a cycle from CSV text, attaching the given metadata. The sampling
+/// interval is inferred from the first two rows.
+///
+/// # Errors
+///
+/// Returns [`CsvError::Parse`] on a bad header, malformed row, non-finite
+/// value, out-of-range SoC, or non-uniform sampling (tolerance 1 %).
+pub fn cycle_from_csv(text: &str, meta: CycleMeta) -> Result<Cycle, CsvError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == HEADER => {}
+        Some((_, h)) => {
+            return Err(CsvError::Parse {
+                line: 1,
+                message: format!("expected header `{HEADER}`, found `{}`", h.trim()),
+            })
+        }
+        None => return Err(CsvError::Parse { line: 1, message: "empty file".into() }),
+    }
+    let mut records = Vec::new();
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() != 5 {
+            return Err(CsvError::Parse {
+                line: line_no,
+                message: format!("expected 5 fields, found {}", fields.len()),
+            });
+        }
+        let mut values = [0.0f64; 5];
+        for (k, field) in fields.iter().enumerate() {
+            values[k] = field.trim().parse().map_err(|e| CsvError::Parse {
+                line: line_no,
+                message: format!("field {}: {e}", k + 1),
+            })?;
+            if !values[k].is_finite() {
+                return Err(CsvError::Parse {
+                    line: line_no,
+                    message: format!("field {} is not finite", k + 1),
+                });
+            }
+        }
+        if !(0.0..=1.0).contains(&values[4]) {
+            return Err(CsvError::Parse {
+                line: line_no,
+                message: format!("soc {} outside [0, 1]", values[4]),
+            });
+        }
+        records.push(SimRecord {
+            time_s: values[0],
+            voltage_v: values[1],
+            current_a: values[2],
+            temperature_c: values[3],
+            soc: values[4],
+        });
+    }
+    if records.len() < 2 {
+        return Err(CsvError::Parse {
+            line: 1,
+            message: "need at least two records to infer the sampling interval".into(),
+        });
+    }
+    let dt = records[1].time_s - records[0].time_s;
+    if dt <= 0.0 {
+        return Err(CsvError::Parse {
+            line: 3,
+            message: "timestamps must be strictly increasing".into(),
+        });
+    }
+    for (k, w) in records.windows(2).enumerate() {
+        let step = w[1].time_s - w[0].time_s;
+        if (step - dt).abs() > dt * 0.01 {
+            return Err(CsvError::Parse {
+                line: k + 3,
+                message: format!("non-uniform sampling: {step} vs {dt}"),
+            });
+        }
+    }
+    Ok(Cycle::new(meta, dt, records))
+}
+
+/// Reads a cycle from a CSV file.
+///
+/// # Errors
+///
+/// See [`cycle_from_csv`]; additionally [`CsvError::Io`] if the file cannot
+/// be read.
+pub fn read_cycle_csv(path: impl AsRef<Path>, meta: CycleMeta) -> Result<Cycle, CsvError> {
+    let text = fs::read_to_string(path)?;
+    cycle_from_csv(&text, meta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::CycleKind;
+
+    fn meta() -> CycleMeta {
+        CycleMeta {
+            kind: CycleKind::Lab { discharge_c: 1.0 },
+            ambient_c: 25.0,
+            cell: "NMC".into(),
+            capacity_ah: 3.0,
+        }
+    }
+
+    fn sample_cycle() -> Cycle {
+        let records = (1..=4)
+            .map(|k| SimRecord {
+                time_s: k as f64 * 120.0,
+                voltage_v: 4.0 - 0.05 * k as f64,
+                current_a: 3.0,
+                temperature_c: 25.0 + 0.1 * k as f64,
+                soc: 1.0 - 0.03 * k as f64,
+            })
+            .collect();
+        Cycle::new(meta(), 120.0, records)
+    }
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let cycle = sample_cycle();
+        let csv = cycle_to_csv(&cycle);
+        let back = cycle_from_csv(&csv, meta()).expect("parse");
+        assert_eq!(back.records, cycle.records);
+        assert_eq!(back.dt_s, cycle.dt_s);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let cycle = sample_cycle();
+        let dir = std::env::temp_dir().join("pinnsoc_csv_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cycle.csv");
+        write_cycle_csv(&cycle, &path).expect("write");
+        let back = read_cycle_csv(&path, meta()).expect("read");
+        fs::remove_file(&path).ok();
+        assert_eq!(back.records, cycle.records);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let err = cycle_from_csv("a,b,c\n1,2,3\n", meta()).unwrap_err();
+        assert!(matches!(err, CsvError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn wrong_field_count_rejected() {
+        let text = format!("{HEADER}\n120,3.9,3.0,25.0\n");
+        let err = cycle_from_csv(&text, meta()).unwrap_err();
+        assert!(err.to_string().contains("5 fields"));
+    }
+
+    #[test]
+    fn out_of_range_soc_rejected() {
+        let text = format!("{HEADER}\n120,3.9,3.0,25.0,1.5\n240,3.8,3.0,25.0,0.9\n");
+        let err = cycle_from_csv(&text, meta()).unwrap_err();
+        assert!(err.to_string().contains("outside"));
+    }
+
+    #[test]
+    fn non_uniform_sampling_rejected() {
+        let text = format!(
+            "{HEADER}\n120,3.9,3.0,25.0,0.9\n240,3.8,3.0,25.0,0.8\n500,3.7,3.0,25.0,0.7\n"
+        );
+        let err = cycle_from_csv(&text, meta()).unwrap_err();
+        assert!(err.to_string().contains("non-uniform"));
+    }
+
+    #[test]
+    fn unparsable_number_points_at_line_and_field() {
+        let text = format!("{HEADER}\n120,3.9,xyz,25.0,0.9\n240,3.8,3.0,25.0,0.8\n");
+        let err = cycle_from_csv(&text, meta()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2") && msg.contains("field 3"), "{msg}");
+    }
+
+    #[test]
+    fn blank_lines_ignored() {
+        let text = format!("{HEADER}\n120,3.9,3.0,25.0,0.9\n\n240,3.8,3.0,25.0,0.8\n");
+        let cycle = cycle_from_csv(&text, meta()).expect("parse");
+        assert_eq!(cycle.len(), 2);
+    }
+}

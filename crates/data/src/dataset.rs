@@ -1,0 +1,207 @@
+//! Dataset containers: cycles of sensor records with provenance metadata.
+
+use pinnsoc_battery::SimRecord;
+use pinnsoc_cycles::DriveSchedule;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What kind of load produced a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CycleKind {
+    /// Sandia-protocol lab cycle with the given discharge C-rate.
+    Lab {
+        /// Discharge C-rate (positive).
+        discharge_c: f64,
+    },
+    /// A single repeated driving schedule (LG test cycles).
+    Drive(DriveSchedule),
+    /// A mixed cycle composed of several schedules (LG train cycles).
+    Mixed {
+        /// Index of the mixed cycle within its dataset (1-based, as in
+        /// "MIXED8").
+        index: u8,
+    },
+}
+
+impl fmt::Display for CycleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CycleKind::Lab { discharge_c } => write!(f, "LAB-{discharge_c:.1}C"),
+            CycleKind::Drive(s) => write!(f, "{s}"),
+            CycleKind::Mixed { index } => write!(f, "MIXED{index}"),
+        }
+    }
+}
+
+/// Provenance of one cycle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CycleMeta {
+    /// Load kind.
+    pub kind: CycleKind,
+    /// Ambient temperature during the cycle, °C.
+    pub ambient_c: f64,
+    /// Chemistry label (e.g. "NMC", "LG-HG2").
+    pub cell: String,
+    /// Rated capacity of the cycled cell, amp-hours (`C_rated` in the
+    /// paper's Eq. 1 — per-battery, since the Sandia chemistries differ).
+    pub capacity_ah: f64,
+}
+
+impl fmt::Display for CycleMeta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{:.0}C[{}]", self.kind, self.ambient_c, self.cell)
+    }
+}
+
+/// One contiguous, uniformly sampled cycle of measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cycle {
+    /// Provenance.
+    pub meta: CycleMeta,
+    /// Sampling interval, seconds.
+    pub dt_s: f64,
+    /// Measurement records, oldest first.
+    pub records: Vec<SimRecord>,
+}
+
+impl Cycle {
+    /// Creates a cycle, validating uniform non-empty sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is empty or `dt_s` is not positive.
+    pub fn new(meta: CycleMeta, dt_s: f64, records: Vec<SimRecord>) -> Self {
+        assert!(dt_s > 0.0, "sampling interval must be positive");
+        assert!(!records.is_empty(), "cycle must contain at least one record");
+        Self { meta, dt_s, records }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the cycle holds no records (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Duration covered by the records, seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.records.len() as f64 * self.dt_s
+    }
+
+    /// SoC of the last record.
+    pub fn final_soc(&self) -> f64 {
+        self.records.last().expect("non-empty").soc
+    }
+}
+
+/// A train/test split of cycles — one per paper dataset (Sandia or LG).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SocDataset {
+    /// Human-readable dataset name ("sandia", "lg").
+    pub name: String,
+    /// Training cycles.
+    pub train: Vec<Cycle>,
+    /// Held-out test cycles.
+    pub test: Vec<Cycle>,
+}
+
+impl SocDataset {
+    /// Total number of training records.
+    pub fn train_len(&self) -> usize {
+        self.train.iter().map(Cycle::len).sum()
+    }
+
+    /// Total number of test records.
+    pub fn test_len(&self) -> usize {
+        self.test.iter().map(Cycle::len).sum()
+    }
+
+    /// Test cycles at (approximately) the given ambient temperature.
+    pub fn test_at_temperature(&self, ambient_c: f64) -> Vec<&Cycle> {
+        self.test
+            .iter()
+            .filter(|c| (c.meta.ambient_c - ambient_c).abs() < 0.5)
+            .collect()
+    }
+
+    /// All distinct currents in the training set (used by the physics
+    /// sampler to mirror the dataset's current conditions, §III-B).
+    pub fn train_currents(&self) -> Vec<f64> {
+        self.train
+            .iter()
+            .flat_map(|c| c.records.iter().map(|r| r.current_a))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(t: f64, soc: f64) -> SimRecord {
+        SimRecord { time_s: t, voltage_v: 3.7, current_a: 1.0, temperature_c: 25.0, soc }
+    }
+
+    fn meta() -> CycleMeta {
+        CycleMeta {
+            kind: CycleKind::Lab { discharge_c: 1.0 },
+            ambient_c: 25.0,
+            cell: "NMC".into(),
+            capacity_ah: 3.0,
+        }
+    }
+
+    #[test]
+    fn cycle_basic_accessors() {
+        let c = Cycle::new(meta(), 120.0, vec![record(120.0, 0.9), record(240.0, 0.8)]);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert_eq!(c.duration_s(), 240.0);
+        assert_eq!(c.final_soc(), 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one record")]
+    fn empty_cycle_panics() {
+        let _ = Cycle::new(meta(), 1.0, vec![]);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(CycleKind::Lab { discharge_c: 2.0 }.to_string(), "LAB-2.0C");
+        assert_eq!(CycleKind::Mixed { index: 8 }.to_string(), "MIXED8");
+        assert_eq!(CycleKind::Drive(DriveSchedule::Us06).to_string(), "US06");
+    }
+
+    #[test]
+    fn dataset_temperature_filter() {
+        let mut meta0 = meta();
+        meta0.ambient_c = 0.0;
+        let ds = SocDataset {
+            name: "t".into(),
+            train: vec![],
+            test: vec![
+                Cycle::new(meta(), 1.0, vec![record(1.0, 0.5)]),
+                Cycle::new(meta0, 1.0, vec![record(1.0, 0.5)]),
+            ],
+        };
+        assert_eq!(ds.test_at_temperature(25.0).len(), 1);
+        assert_eq!(ds.test_at_temperature(0.0).len(), 1);
+        assert_eq!(ds.test_at_temperature(40.0).len(), 0);
+        assert_eq!(ds.test_len(), 2);
+    }
+
+    #[test]
+    fn train_currents_flattened() {
+        let ds = SocDataset {
+            name: "t".into(),
+            train: vec![Cycle::new(meta(), 1.0, vec![record(1.0, 0.5), record(2.0, 0.4)])],
+            test: vec![],
+        };
+        assert_eq!(ds.train_currents(), vec![1.0, 1.0]);
+        assert_eq!(ds.train_len(), 2);
+    }
+}

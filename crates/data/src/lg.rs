@@ -1,0 +1,249 @@
+//! Synthetic LG-like dataset (§IV-B of the paper).
+//!
+//! Protocol reproduced from \[6\] as the paper uses it: an LG HG2 3 Ah cell is
+//! fully discharged through drive-cycle current profiles. Eight "mixed"
+//! cycles interleave the four schedules; training uses seven of them at
+//! temperatures between 0 °C and 25 °C, and testing uses the four pattern
+//! cycles (UDDS, HWFET, LA92, US06) plus the final mixed cycle. A 30 s
+//! moving average smooths V, I, and T before they reach the network.
+
+use crate::dataset::{Cycle, CycleKind, CycleMeta, SocDataset};
+use crate::preprocess::{moving_average, NoiseConfig};
+use pinnsoc_battery::{CellParams, CellSim, SimRecord, Soc, StopReason};
+use pinnsoc_cycles::{CurrentProfile, DriveSchedule, MixedCycleBuilder, Vehicle};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the LG-like generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LgConfig {
+    /// Number of mixed cycles used for training (the paper uses 7 of 8).
+    pub train_mixed: usize,
+    /// Ambient temperatures assigned round-robin to the training cycles
+    /// (paper: 0 °C to 25 °C).
+    pub train_temps_c: Vec<f64>,
+    /// Temperatures at which each test cycle is generated (paper Table I
+    /// evaluates 0 °C and 25 °C).
+    pub test_temps_c: Vec<f64>,
+    /// Recording interval, seconds. The real dataset logs at 0.1 s; we log
+    /// at 1 s by default (the 30 s moving average and ≥30 s horizons make
+    /// sub-second resolution irrelevant — see DESIGN.md).
+    pub sample_dt_s: f64,
+    /// Simulation integration step, seconds (0.1 s, the dataset's rate).
+    pub sim_dt_s: f64,
+    /// Moving-average window applied to V/I/T, seconds (§IV-B: 30 s).
+    pub moving_avg_s: f64,
+    /// Schedule segments per mixed cycle.
+    pub mixed_segments: usize,
+    /// Sensor noise added before smoothing.
+    pub noise: NoiseConfig,
+    /// Ratio of the cell's actual capacity to the datasheet 3 Ah (see
+    /// `SandiaConfig::true_capacity_factor`).
+    pub true_capacity_factor: f64,
+    /// Master seed (drive-cycle shapes and noise).
+    pub seed: u64,
+}
+
+impl Default for LgConfig {
+    fn default() -> Self {
+        Self {
+            train_mixed: 7,
+            train_temps_c: vec![0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 25.0],
+            test_temps_c: vec![0.0, 25.0],
+            sample_dt_s: 1.0,
+            sim_dt_s: 0.1,
+            moving_avg_s: 30.0,
+            mixed_segments: 5,
+            noise: NoiseConfig::default(),
+            true_capacity_factor: 0.92,
+            seed: 0x16AA,
+        }
+    }
+}
+
+/// Generates the LG-like dataset.
+///
+/// Training set: `train_mixed` mixed cycles at the configured temperatures.
+/// Test set: for each test temperature, the four drive schedules plus the
+/// eighth mixed cycle.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (zero cycles, empty temperature
+/// lists, or non-positive time steps).
+pub fn generate_lg(config: &LgConfig) -> SocDataset {
+    assert!(config.train_mixed > 0, "need at least one training cycle");
+    assert!(!config.train_temps_c.is_empty(), "need training temperatures");
+    assert!(!config.test_temps_c.is_empty(), "need test temperatures");
+    assert!(config.sim_dt_s > 0.0 && config.sample_dt_s >= config.sim_dt_s);
+
+    let vehicle = Vehicle::compact_ev();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut dataset = SocDataset { name: "lg".into(), train: Vec::new(), test: Vec::new() };
+
+    // Training: mixed cycles 1..=train_mixed.
+    let mixed_builder = MixedCycleBuilder::new()
+        .segments(config.mixed_segments)
+        .dt_s(config.sim_dt_s);
+    for k in 0..config.train_mixed {
+        let temp = config.train_temps_c[k % config.train_temps_c.len()];
+        let speeds = mixed_builder.build(config.seed.wrapping_add(k as u64));
+        let currents = vehicle.current_profile(&speeds);
+        let kind = CycleKind::Mixed { index: (k + 1) as u8 };
+        dataset.train.push(discharge_cycle(config, kind, temp, &currents, &mut rng));
+    }
+
+    // Test: the four pattern cycles + the final mixed cycle, per temperature.
+    let mixed8_seed = config.seed.wrapping_add(1000);
+    for &temp in &config.test_temps_c {
+        for schedule in DriveSchedule::ALL {
+            let speeds = schedule.generate_with_dt(
+                config.seed.wrapping_add(2000) ^ schedule as u64,
+                config.sim_dt_s,
+            );
+            let currents = vehicle.current_profile(&speeds);
+            let kind = CycleKind::Drive(schedule);
+            dataset.test.push(discharge_cycle(config, kind, temp, &currents, &mut rng));
+        }
+        let speeds = mixed_builder.build(mixed8_seed);
+        let currents = vehicle.current_profile(&speeds);
+        let kind = CycleKind::Mixed { index: (config.train_mixed + 1) as u8 };
+        dataset.test.push(discharge_cycle(config, kind, temp, &currents, &mut rng));
+    }
+    dataset
+}
+
+/// Runs one full discharge: the profile repeats until the cell reaches a
+/// cutoff, then records are noised and smoothed.
+fn discharge_cycle(
+    config: &LgConfig,
+    kind: CycleKind,
+    ambient_c: f64,
+    currents: &CurrentProfile,
+    rng: &mut StdRng,
+) -> Cycle {
+    let mut params = CellParams::lg_hg2();
+    params.capacity_ah *= config.true_capacity_factor;
+    let mut sim = CellSim::new(params, Soc::FULL, ambient_c);
+    let mut records: Vec<SimRecord> = Vec::new();
+    let per_sample = (config.sample_dt_s / config.sim_dt_s).round().max(1.0) as usize;
+    let mut step_idx = 0usize;
+    // A full discharge takes at most a few hundred profile repetitions; the
+    // loop always terminates because every drive cycle net-discharges.
+    'discharge: for _ in 0..10_000 {
+        for &demand in currents.currents() {
+            // Regen clamp: like a real BMS, refuse charge current that would
+            // push the terminal voltage past the charge cutoff (e.g. braking
+            // right after a full charge).
+            let v_max = sim.params().v_max;
+            let current = if demand < 0.0 && sim.terminal_voltage_if(demand) >= v_max - 0.01 {
+                0.0
+            } else {
+                demand
+            };
+            let record = sim.step(current, config.sim_dt_s);
+            step_idx += 1;
+            if step_idx % per_sample == 0 {
+                records.push(record);
+            }
+            if let Some(reason) = sim.stop_reason_for(&record) {
+                debug_assert!(matches!(
+                    reason,
+                    StopReason::LowVoltageCutoff | StopReason::Empty
+                ));
+                if step_idx % per_sample != 0 {
+                    records.push(record);
+                }
+                break 'discharge;
+            }
+        }
+    }
+    let noisy: Vec<SimRecord> = records.iter().map(|r| config.noise.corrupt(r, rng)).collect();
+    let smoothed = moving_average(&noisy, config.sample_dt_s, config.moving_avg_s);
+    Cycle::new(
+        CycleMeta { kind, ambient_c, cell: "LG-HG2".into(), capacity_ah: 3.0 },
+        config.sample_dt_s,
+        smoothed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> LgConfig {
+        LgConfig {
+            train_mixed: 2,
+            train_temps_c: vec![25.0],
+            test_temps_c: vec![25.0],
+            mixed_segments: 2,
+            noise: NoiseConfig::none(),
+            ..LgConfig::default()
+        }
+    }
+
+    #[test]
+    fn split_shape_matches_protocol() {
+        let ds = generate_lg(&small_config());
+        assert_eq!(ds.train.len(), 2);
+        // 4 schedules + 1 mixed at one temperature.
+        assert_eq!(ds.test.len(), 5);
+        assert!(ds.test.iter().any(|c| matches!(c.meta.kind, CycleKind::Mixed { .. })));
+        assert!(ds
+            .test
+            .iter()
+            .any(|c| matches!(c.meta.kind, CycleKind::Drive(DriveSchedule::Us06))));
+    }
+
+    #[test]
+    fn cycles_are_full_discharges() {
+        let ds = generate_lg(&small_config());
+        for c in ds.test.iter().chain(&ds.train) {
+            assert!(
+                c.final_soc() < 0.12,
+                "{} should end nearly empty, got {}",
+                c.meta,
+                c.final_soc()
+            );
+            assert!(c.records[0].soc > 0.9, "{} should start full", c.meta);
+        }
+    }
+
+    #[test]
+    fn soc_is_monotone_nonincreasing_within_tolerance() {
+        // Regen charges briefly, so allow small upticks but no big jumps up.
+        let ds = generate_lg(&small_config());
+        let c = &ds.test[0];
+        for w in c.records.windows(2) {
+            assert!(w[1].soc <= w[0].soc + 0.002, "SoC jumped up at t={}", w[1].time_s);
+        }
+    }
+
+    #[test]
+    fn two_test_temperatures_double_the_test_set() {
+        let config = LgConfig { test_temps_c: vec![0.0, 25.0], ..small_config() };
+        let ds = generate_lg(&config);
+        assert_eq!(ds.test.len(), 10);
+        assert_eq!(ds.test_at_temperature(0.0).len(), 5);
+        assert_eq!(ds.test_at_temperature(25.0).len(), 5);
+    }
+
+    #[test]
+    fn cold_cycles_are_shorter() {
+        // Higher resistance at 0 °C trips the cutoff earlier, so the cold
+        // discharge delivers less charge (fewer records).
+        let config = LgConfig { test_temps_c: vec![0.0, 25.0], ..small_config() };
+        let ds = generate_lg(&config);
+        let warm: f64 = ds.test_at_temperature(25.0).iter().map(|c| c.duration_s()).sum();
+        let cold: f64 = ds.test_at_temperature(0.0).iter().map(|c| c.duration_s()).sum();
+        assert!(cold < warm, "cold {cold} vs warm {warm}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate_lg(&small_config());
+        let b = generate_lg(&small_config());
+        assert_eq!(a, b);
+    }
+}

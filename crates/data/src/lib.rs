@@ -1,0 +1,45 @@
+//! # pinnsoc-data
+//!
+//! Dataset layer of the `pinnsoc` workspace: synthetic equivalents of the
+//! two public datasets the paper evaluates on, plus the preprocessing and
+//! windowing that turn raw cycles into supervised samples for the
+//! two-branch network.
+//!
+//! - [`sandia`] — lab-cycled 18650 cells (NCA/NMC/LFP), 120 s sampling,
+//!   train at 1C discharge, test at 2C/3C (§IV-A).
+//! - [`lg`] — LG HG2 cell driven by UDDS/HWFET/LA92/US06 and mixed cycles,
+//!   30 s moving-average preprocessing (§IV-B).
+//! - [`window`] — Branch-1 estimation samples and Branch-2 horizon pairs.
+//! - [`physics`] — label-free Coulomb-counting batches for the PINN loss.
+//!
+//! ## Quick example
+//!
+//! ```no_run
+//! use pinnsoc_data::{generate_lg, LgConfig, window};
+//!
+//! let dataset = generate_lg(&LgConfig::default());
+//! let pairs = window::prediction_pairs_all(&dataset.train, 30.0);
+//! assert!(!pairs.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod dataset;
+pub mod lg;
+pub mod physics;
+pub mod preprocess;
+pub mod sandia;
+pub mod window;
+
+pub use csv::{cycle_from_csv, cycle_to_csv, read_cycle_csv, write_cycle_csv, CsvError};
+pub use dataset::{Cycle, CycleKind, CycleMeta, SocDataset};
+pub use lg::{generate_lg, LgConfig};
+pub use physics::{PhysicsCurrentMode, PhysicsSampler};
+pub use preprocess::{moving_average, NoiseConfig, Normalizer};
+pub use sandia::{generate_sandia, SandiaConfig};
+pub use window::{
+    estimation_samples, pipeline_samples, pipeline_samples_all, prediction_pairs,
+    prediction_pairs_all, EstimationSample, PipelineSample, PredictionSample,
+};

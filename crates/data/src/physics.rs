@@ -1,0 +1,240 @@
+//! Label-free physics batch sampling for the PINN loss (§III-B).
+//!
+//! For each minibatch of real data, the paper evaluates the Coulomb-counting
+//! equation (Eq. 1) on "a set of different, randomly generated values of
+//! initial SoC, current, and time delta conditions", with currents matching
+//! the dataset's current conditions and horizons `Np` drawn from a
+//! configurable set 𝒩. No ground-truth labels are needed — the physics
+//! equation *is* the label — which is what lets the PINN train across
+//! horizons (and currents) absent from the data.
+//!
+//! Each draw picks a training record, inheriting its temperature and its
+//! cycle's rated capacity (`C_rated` is per-battery; the Sandia chemistries
+//! have different capacities). The current comes either from that record
+//! ([`PhysicsCurrentMode::Pool`]) or from a uniform C-rate range
+//! ([`PhysicsCurrentMode::CRateUniform`]) covering the dataset's documented
+//! envelope — e.g. Sandia's 0.5C–3C (§IV-A).
+
+use crate::dataset::SocDataset;
+use crate::window::PredictionSample;
+use pinnsoc_battery::{coulomb_predict, Soc};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How the physics sampler draws currents.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PhysicsCurrentMode {
+    /// Use the drawn record's measured current (mirrors the empirical
+    /// current distribution — suitable for drive-cycle datasets).
+    Pool,
+    /// Draw a C-rate uniformly in `[min_c, max_c]` and scale by the drawn
+    /// cycle's rated capacity (covers the dataset's documented current
+    /// envelope — suitable for lab-protocol datasets).
+    CRateUniform {
+        /// Lower C-rate bound (negative = charging).
+        min_c: f64,
+        /// Upper C-rate bound.
+        max_c: f64,
+    },
+}
+
+/// One pool entry: the per-record conditions a draw can inherit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PoolEntry {
+    current_a: f64,
+    temperature_c: f64,
+    capacity_ah: f64,
+}
+
+/// Samples label-free physics tuples matching a dataset's conditions.
+#[derive(Debug, Clone)]
+pub struct PhysicsSampler {
+    pool: Vec<PoolEntry>,
+    horizons_s: Vec<f64>,
+    mode: PhysicsCurrentMode,
+    rng: StdRng,
+}
+
+impl PhysicsSampler {
+    /// Builds a sampler over the dataset's training records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset has no training records or `horizons_s` is
+    /// empty or non-positive, or if a `CRateUniform` range is inverted.
+    pub fn new(
+        dataset: &SocDataset,
+        horizons_s: Vec<f64>,
+        mode: PhysicsCurrentMode,
+        seed: u64,
+    ) -> Self {
+        assert!(!horizons_s.is_empty(), "horizon set must be non-empty");
+        assert!(horizons_s.iter().all(|h| *h > 0.0), "horizons must be positive");
+        if let PhysicsCurrentMode::CRateUniform { min_c, max_c } = mode {
+            assert!(min_c < max_c, "C-rate range must be non-empty");
+        }
+        let pool: Vec<PoolEntry> = dataset
+            .train
+            .iter()
+            .flat_map(|c| {
+                let capacity_ah = c.meta.capacity_ah;
+                c.records.iter().map(move |r| PoolEntry {
+                    current_a: r.current_a,
+                    temperature_c: r.temperature_c,
+                    capacity_ah,
+                })
+            })
+            .collect();
+        assert!(!pool.is_empty(), "dataset has no training records");
+        Self { pool, horizons_s, mode, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The horizon set 𝒩.
+    pub fn horizons_s(&self) -> &[f64] {
+        &self.horizons_s
+    }
+
+    /// The current sampling mode.
+    pub fn mode(&self) -> PhysicsCurrentMode {
+        self.mode
+    }
+
+    /// Draws one physics tuple: uniform initial SoC, dataset-derived
+    /// conditions, a horizon from 𝒩, and the Coulomb-counting target as
+    /// `soc_next`.
+    pub fn sample(&mut self) -> PredictionSample {
+        let entry = self.pool[self.rng.gen_range(0..self.pool.len())];
+        let soc_now: f64 = self.rng.gen_range(0.0..=1.0);
+        let avg_current_a = match self.mode {
+            PhysicsCurrentMode::Pool => entry.current_a,
+            PhysicsCurrentMode::CRateUniform { min_c, max_c } => {
+                self.rng.gen_range(min_c..=max_c) * entry.capacity_ah
+            }
+        };
+        let horizon_s = self.horizons_s[self.rng.gen_range(0..self.horizons_s.len())];
+        let target = coulomb_predict(
+            Soc::clamped(soc_now),
+            avg_current_a,
+            horizon_s,
+            entry.capacity_ah,
+        );
+        PredictionSample {
+            soc_now,
+            avg_current_a,
+            avg_temperature_c: entry.temperature_c,
+            horizon_s,
+            soc_next: target.value(),
+        }
+    }
+
+    /// Draws a batch of physics tuples.
+    pub fn sample_batch(&mut self, n: usize) -> Vec<PredictionSample> {
+        (0..n).map(|_| self.sample()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Cycle, CycleKind, CycleMeta};
+    use pinnsoc_battery::SimRecord;
+
+    fn tiny_dataset() -> SocDataset {
+        let records = vec![
+            SimRecord { time_s: 1.0, voltage_v: 3.7, current_a: 3.0, temperature_c: 25.0, soc: 0.9 },
+            SimRecord { time_s: 2.0, voltage_v: 3.6, current_a: 6.0, temperature_c: 24.0, soc: 0.8 },
+        ];
+        SocDataset {
+            name: "t".into(),
+            train: vec![Cycle::new(
+                CycleMeta {
+                    kind: CycleKind::Lab { discharge_c: 1.0 },
+                    ambient_c: 25.0,
+                    cell: "NMC".into(),
+                    capacity_ah: 3.0,
+                },
+                1.0,
+                records,
+            )],
+            test: vec![],
+        }
+    }
+
+    #[test]
+    fn pool_mode_mirrors_dataset() {
+        let ds = tiny_dataset();
+        let mut sampler =
+            PhysicsSampler::new(&ds, vec![120.0], PhysicsCurrentMode::Pool, 1);
+        for _ in 0..50 {
+            let s = sampler.sample();
+            assert!(s.avg_current_a == 3.0 || s.avg_current_a == 6.0);
+            assert!(s.avg_temperature_c == 25.0 || s.avg_temperature_c == 24.0);
+            assert_eq!(s.horizon_s, 120.0);
+            assert!((0.0..=1.0).contains(&s.soc_now));
+        }
+    }
+
+    #[test]
+    fn crate_uniform_spans_the_range() {
+        let ds = tiny_dataset();
+        let mode = PhysicsCurrentMode::CRateUniform { min_c: -0.5, max_c: 3.0 };
+        let mut sampler = PhysicsSampler::new(&ds, vec![120.0], mode, 2);
+        let batch = sampler.sample_batch(500);
+        // Capacity is 3 Ah, so currents span [-1.5, 9] A.
+        assert!(batch.iter().all(|s| (-1.5..=9.0).contains(&s.avg_current_a)));
+        assert!(batch.iter().any(|s| s.avg_current_a < 0.0), "charging never sampled");
+        assert!(batch.iter().any(|s| s.avg_current_a > 6.0), "high rates never sampled");
+    }
+
+    #[test]
+    fn target_satisfies_coulomb_equation() {
+        let ds = tiny_dataset();
+        let mode = PhysicsCurrentMode::CRateUniform { min_c: -0.5, max_c: 3.0 };
+        let mut sampler = PhysicsSampler::new(&ds, vec![60.0, 120.0], mode, 3);
+        for s in sampler.sample_batch(100) {
+            let expected =
+                (s.soc_now - s.avg_current_a * s.horizon_s / (3600.0 * 3.0)).clamp(0.0, 1.0);
+            assert!((s.soc_next - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn horizons_cover_the_whole_set() {
+        let ds = tiny_dataset();
+        let mut sampler =
+            PhysicsSampler::new(&ds, vec![30.0, 50.0, 70.0], PhysicsCurrentMode::Pool, 3);
+        let batch = sampler.sample_batch(300);
+        for h in [30.0, 50.0, 70.0] {
+            assert!(
+                batch.iter().any(|s| s.horizon_s == h),
+                "horizon {h} never sampled in 300 draws"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = tiny_dataset();
+        let a = PhysicsSampler::new(&ds, vec![120.0], PhysicsCurrentMode::Pool, 7)
+            .sample_batch(10);
+        let b = PhysicsSampler::new(&ds, vec![120.0], PhysicsCurrentMode::Pool, 7)
+            .sample_batch(10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon set must be non-empty")]
+    fn empty_horizons_panic() {
+        let ds = tiny_dataset();
+        let _ = PhysicsSampler::new(&ds, vec![], PhysicsCurrentMode::Pool, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "C-rate range")]
+    fn inverted_range_panics() {
+        let ds = tiny_dataset();
+        let mode = PhysicsCurrentMode::CRateUniform { min_c: 3.0, max_c: -0.5 };
+        let _ = PhysicsSampler::new(&ds, vec![120.0], mode, 1);
+    }
+}

@@ -1,0 +1,267 @@
+//! Preprocessing: sensor noise injection, moving-average smoothing, and
+//! feature normalization.
+
+use pinnsoc_battery::SimRecord;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Gaussian sensor-noise magnitudes applied to generated records.
+///
+/// Real dataset measurements carry sensor noise; the generators add it so
+/// the moving-average preprocessing of §IV-B has something real to remove.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Voltage noise standard deviation, volts.
+    pub voltage_std: f64,
+    /// Current noise standard deviation, amps.
+    pub current_std: f64,
+    /// Temperature noise standard deviation, °C.
+    pub temperature_std: f64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        // Typical BMS front-end: ±5 mV, ±30 mA, ±0.2 °C.
+        Self { voltage_std: 0.005, current_std: 0.03, temperature_std: 0.2 }
+    }
+}
+
+impl NoiseConfig {
+    /// Noise-free configuration (for deterministic tests).
+    pub fn none() -> Self {
+        Self { voltage_std: 0.0, current_std: 0.0, temperature_std: 0.0 }
+    }
+
+    /// Applies noise to one record (SoC ground truth stays exact).
+    pub fn corrupt(&self, record: &SimRecord, rng: &mut impl Rng) -> SimRecord {
+        let mut out = *record;
+        out.voltage_v += gaussian(rng) * self.voltage_std;
+        out.current_a += gaussian(rng) * self.current_std;
+        out.temperature_c += gaussian(rng) * self.temperature_std;
+        out
+    }
+}
+
+fn gaussian(rng: &mut impl Rng) -> f64 {
+    // Box–Muller; avoids pulling rand_distr into this crate's public deps.
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Centered-causal moving average over V, I, and T with the given window
+/// (seconds). Time and ground-truth SoC are untouched.
+///
+/// This is the paper's LG preprocessing: "we added a moving average of 30s
+/// ... that smooths the I, V, and T values and removes noisy peaks"
+/// (§IV-B). A trailing (causal) window is used, as a BMS would.
+///
+/// # Panics
+///
+/// Panics if `window_s` is not positive or `dt_s` is not positive.
+pub fn moving_average(records: &[SimRecord], dt_s: f64, window_s: f64) -> Vec<SimRecord> {
+    assert!(dt_s > 0.0 && window_s > 0.0, "window and step must be positive");
+    let w = (window_s / dt_s).round().max(1.0) as usize;
+    let mut out = Vec::with_capacity(records.len());
+    let mut sum_v = 0.0;
+    let mut sum_i = 0.0;
+    let mut sum_t = 0.0;
+    for (idx, r) in records.iter().enumerate() {
+        sum_v += r.voltage_v;
+        sum_i += r.current_a;
+        sum_t += r.temperature_c;
+        if idx >= w {
+            let old = &records[idx - w];
+            sum_v -= old.voltage_v;
+            sum_i -= old.current_a;
+            sum_t -= old.temperature_c;
+        }
+        let n = (idx + 1).min(w) as f64;
+        let mut smoothed = *r;
+        smoothed.voltage_v = sum_v / n;
+        smoothed.current_a = sum_i / n;
+        smoothed.temperature_c = sum_t / n;
+        out.push(smoothed);
+    }
+    out
+}
+
+/// Per-feature affine normalizer (`x → (x − mean) / std`).
+///
+/// Fit on training features only; applied everywhere, as is standard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Normalizer {
+    /// Fits mean/std per column over an iterator of feature rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or rows have inconsistent lengths.
+    pub fn fit<'a>(rows: impl IntoIterator<Item = &'a [f64]> + Clone) -> Self {
+        let mut count = 0usize;
+        let mut means: Vec<f64> = Vec::new();
+        for row in rows.clone() {
+            if means.is_empty() {
+                means = vec![0.0; row.len()];
+            }
+            assert_eq!(row.len(), means.len(), "inconsistent feature width");
+            for (m, &x) in means.iter_mut().zip(row) {
+                *m += x;
+            }
+            count += 1;
+        }
+        assert!(count > 0, "cannot fit a normalizer on zero rows");
+        for m in &mut means {
+            *m /= count as f64;
+        }
+        let mut vars = vec![0.0; means.len()];
+        for row in rows {
+            for ((v, &m), &x) in vars.iter_mut().zip(&means).zip(row) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| (v / count as f64).sqrt().max(1e-9))
+            .collect();
+        Self { means, stds }
+    }
+
+    /// Number of features.
+    pub fn width(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Normalizes a feature row in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match.
+    pub fn normalize(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.width(), "feature width mismatch");
+        for ((x, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *x = (*x - m) / s;
+        }
+    }
+
+    /// Returns a normalized copy of a row.
+    pub fn normalized(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = row.to_vec();
+        self.normalize(&mut out);
+        out
+    }
+
+    /// Inverts the normalization of a row in place.
+    pub fn denormalize(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.width(), "feature width mismatch");
+        for ((x, &m), &s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *x = *x * s + m;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn records(n: usize) -> Vec<SimRecord> {
+        (0..n)
+            .map(|i| SimRecord {
+                time_s: i as f64,
+                voltage_v: 3.5 + 0.01 * (i % 2) as f64,
+                current_a: if i % 2 == 0 { 1.0 } else { 3.0 },
+                temperature_c: 25.0,
+                soc: 1.0 - i as f64 * 0.01,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn moving_average_smooths_alternation() {
+        let rs = records(100);
+        let smoothed = moving_average(&rs, 1.0, 10.0);
+        // After the warm-up the alternating current averages to 2.0.
+        assert!((smoothed[50].current_a - 2.0).abs() < 0.11);
+        // SoC and time are untouched.
+        assert_eq!(smoothed[50].soc, rs[50].soc);
+        assert_eq!(smoothed[50].time_s, rs[50].time_s);
+    }
+
+    #[test]
+    fn moving_average_warmup_uses_partial_window() {
+        let rs = records(5);
+        let smoothed = moving_average(&rs, 1.0, 3.0);
+        assert_eq!(smoothed[0].current_a, 1.0);
+        assert!((smoothed[1].current_a - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_of_one_sample_is_identity() {
+        let rs = records(10);
+        let smoothed = moving_average(&rs, 1.0, 1.0);
+        assert_eq!(smoothed, rs);
+    }
+
+    #[test]
+    fn noise_perturbs_measurements_not_labels() {
+        let rs = records(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let noisy = NoiseConfig::default().corrupt(&rs[0], &mut rng);
+        assert_ne!(noisy.voltage_v, rs[0].voltage_v);
+        assert_eq!(noisy.soc, rs[0].soc);
+        assert_eq!(noisy.time_s, rs[0].time_s);
+    }
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let rs = records(1);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(NoiseConfig::none().corrupt(&rs[0], &mut rng), rs[0]);
+    }
+
+    #[test]
+    fn normalizer_zero_mean_unit_std() {
+        let rows: Vec<Vec<f64>> = vec![vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 50.0]];
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let norm = Normalizer::fit(refs.iter().copied());
+        let mut mean = [0.0, 0.0];
+        let mut var = [0.0, 0.0];
+        for r in &rows {
+            let n = norm.normalized(r);
+            mean[0] += n[0];
+            mean[1] += n[1];
+            var[0] += n[0] * n[0];
+            var[1] += n[1] * n[1];
+        }
+        assert!(mean[0].abs() < 1e-9 && mean[1].abs() < 1e-9);
+        assert!((var[0] / 3.0 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalize_denormalize_roundtrip() {
+        let rows: Vec<Vec<f64>> = vec![vec![2.0, -1.0], vec![4.0, 5.0]];
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let norm = Normalizer::fit(refs.iter().copied());
+        let mut row = vec![3.3, 2.2];
+        let original = row.clone();
+        norm.normalize(&mut row);
+        norm.denormalize(&mut row);
+        assert!((row[0] - original[0]).abs() < 1e-9);
+        assert!((row[1] - original[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_feature_does_not_divide_by_zero() {
+        let rows: Vec<Vec<f64>> = vec![vec![7.0], vec![7.0]];
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let norm = Normalizer::fit(refs.iter().copied());
+        let n = norm.normalized(&[7.0]);
+        assert!(n[0].is_finite());
+    }
+}

@@ -1,0 +1,288 @@
+//! Windowing cycles into supervised samples for the two branches.
+//!
+//! - Branch 1 (estimation) learns `(V(t), I(t), T(t)) → SoC(t)`: every record
+//!   is one sample.
+//! - Branch 2 (prediction) learns
+//!   `(SoC(t), Ī(t..t+N), T̄(t..t+N), N) → SoC(t+N)`: built here by sliding a
+//!   window of `N` seconds over each cycle and averaging current and
+//!   temperature inside it, exactly as §IV-A describes for the 240 s / 360 s
+//!   test sets.
+
+use crate::dataset::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// One Branch-1 (SoC estimation) sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EstimationSample {
+    /// Measured terminal voltage, volts.
+    pub voltage_v: f64,
+    /// Measured current, amps (positive = discharge).
+    pub current_a: f64,
+    /// Measured temperature, °C.
+    pub temperature_c: f64,
+    /// Ground-truth SoC label.
+    pub soc: f64,
+}
+
+impl EstimationSample {
+    /// Raw (unnormalized) feature vector in Branch-1 input order.
+    pub fn features(&self) -> [f64; 3] {
+        [self.voltage_v, self.current_a, self.temperature_c]
+    }
+}
+
+/// One Branch-2 (SoC prediction) sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictionSample {
+    /// SoC at the window start (ground truth during training, §III-B).
+    pub soc_now: f64,
+    /// Average current over the horizon, amps.
+    pub avg_current_a: f64,
+    /// Average temperature over the horizon, °C.
+    pub avg_temperature_c: f64,
+    /// Prediction horizon, seconds.
+    pub horizon_s: f64,
+    /// Ground-truth SoC at the window end.
+    pub soc_next: f64,
+}
+
+impl PredictionSample {
+    /// Raw feature vector in Branch-2 input order
+    /// `(SoC, Ī, T̄, N)`.
+    pub fn features(&self) -> [f64; 4] {
+        [self.soc_now, self.avg_current_a, self.avg_temperature_c, self.horizon_s]
+    }
+}
+
+/// Extracts every record of a cycle as a Branch-1 sample.
+pub fn estimation_samples(cycle: &Cycle) -> Vec<EstimationSample> {
+    cycle
+        .records
+        .iter()
+        .map(|r| EstimationSample {
+            voltage_v: r.voltage_v,
+            current_a: r.current_a,
+            temperature_c: r.temperature_c,
+            soc: r.soc,
+        })
+        .collect()
+}
+
+/// Builds Branch-2 samples for a horizon of `horizon_s` seconds by sliding a
+/// window over the cycle and averaging current/temperature inside it.
+///
+/// Returns an empty vector if the cycle is shorter than the horizon.
+///
+/// # Panics
+///
+/// Panics if `horizon_s` is not a (near) positive multiple of the cycle's
+/// sampling interval.
+pub fn prediction_pairs(cycle: &Cycle, horizon_s: f64) -> Vec<PredictionSample> {
+    assert!(horizon_s > 0.0, "horizon must be positive");
+    let steps_f = horizon_s / cycle.dt_s;
+    let steps = steps_f.round() as usize;
+    assert!(
+        steps >= 1 && (steps_f - steps as f64).abs() < 1e-6,
+        "horizon {horizon_s}s is not a multiple of the sampling interval {}s",
+        cycle.dt_s
+    );
+    let n = cycle.records.len();
+    if n <= steps {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(n - steps);
+    // Prefix sums over current and temperature for O(1) window averages.
+    let mut prefix_i = Vec::with_capacity(n + 1);
+    let mut prefix_t = Vec::with_capacity(n + 1);
+    prefix_i.push(0.0);
+    prefix_t.push(0.0);
+    for r in &cycle.records {
+        prefix_i.push(prefix_i.last().unwrap() + r.current_a);
+        prefix_t.push(prefix_t.last().unwrap() + r.temperature_c);
+    }
+    for start in 0..n - steps {
+        let end = start + steps;
+        // Average over the records *within* the horizon (exclusive of the
+        // start sample, inclusive of the end), i.e. the load applied
+        // between t and t+N.
+        let avg_i = (prefix_i[end + 1] - prefix_i[start + 1]) / steps as f64;
+        let avg_t = (prefix_t[end + 1] - prefix_t[start + 1]) / steps as f64;
+        out.push(PredictionSample {
+            soc_now: cycle.records[start].soc,
+            avg_current_a: avg_i,
+            avg_temperature_c: avg_t,
+            horizon_s,
+            soc_next: cycle.records[end].soc,
+        });
+    }
+    out
+}
+
+/// Builds Branch-2 samples across several cycles, concatenated.
+pub fn prediction_pairs_all(cycles: &[Cycle], horizon_s: f64) -> Vec<PredictionSample> {
+    cycles.iter().flat_map(|c| prediction_pairs(c, horizon_s)).collect()
+}
+
+/// One full-pipeline evaluation sample: the sensor readings at `t` (Branch-1
+/// inputs), the workload description over `[t, t+N]` (Branch-2 inputs), and
+/// both ground-truth SoC values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineSample {
+    /// Measured voltage at `t`, volts.
+    pub voltage_v: f64,
+    /// Measured current at `t`, amps.
+    pub current_a: f64,
+    /// Measured temperature at `t`, °C.
+    pub temperature_c: f64,
+    /// Ground-truth SoC at `t`.
+    pub soc_now: f64,
+    /// Average current over the horizon, amps.
+    pub avg_current_a: f64,
+    /// Average temperature over the horizon, °C.
+    pub avg_temperature_c: f64,
+    /// Prediction horizon, seconds.
+    pub horizon_s: f64,
+    /// Ground-truth SoC at `t + N`.
+    pub soc_next: f64,
+}
+
+/// Builds full-pipeline samples: [`prediction_pairs`] augmented with the
+/// Branch-1 sensor readings at the window start.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`prediction_pairs`].
+pub fn pipeline_samples(cycle: &Cycle, horizon_s: f64) -> Vec<PipelineSample> {
+    let pairs = prediction_pairs(cycle, horizon_s);
+    pairs
+        .iter()
+        .enumerate()
+        .map(|(start, p)| {
+            let r = &cycle.records[start];
+            PipelineSample {
+                voltage_v: r.voltage_v,
+                current_a: r.current_a,
+                temperature_c: r.temperature_c,
+                soc_now: p.soc_now,
+                avg_current_a: p.avg_current_a,
+                avg_temperature_c: p.avg_temperature_c,
+                horizon_s,
+                soc_next: p.soc_next,
+            }
+        })
+        .collect()
+}
+
+/// Builds full-pipeline samples across several cycles, concatenated.
+pub fn pipeline_samples_all(cycles: &[Cycle], horizon_s: f64) -> Vec<PipelineSample> {
+    cycles.iter().flat_map(|c| pipeline_samples(c, horizon_s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{CycleKind, CycleMeta};
+    use pinnsoc_battery::SimRecord;
+
+    fn linear_cycle(n: usize, dt: f64) -> Cycle {
+        let records = (0..n)
+            .map(|i| SimRecord {
+                time_s: (i + 1) as f64 * dt,
+                voltage_v: 4.0 - i as f64 * 0.01,
+                current_a: i as f64, // distinct per record for averaging checks
+                temperature_c: 20.0 + i as f64,
+                soc: 1.0 - i as f64 * 0.01,
+            })
+            .collect();
+        Cycle::new(
+            CycleMeta {
+                kind: CycleKind::Lab { discharge_c: 1.0 },
+                ambient_c: 25.0,
+                cell: "NMC".into(),
+                capacity_ah: 3.0,
+            },
+            dt,
+            records,
+        )
+    }
+
+    #[test]
+    fn estimation_samples_mirror_records() {
+        let c = linear_cycle(5, 120.0);
+        let samples = estimation_samples(&c);
+        assert_eq!(samples.len(), 5);
+        assert_eq!(samples[2].voltage_v, c.records[2].voltage_v);
+        assert_eq!(samples[2].soc, c.records[2].soc);
+        assert_eq!(samples[0].features(), [4.0, 0.0, 20.0]);
+    }
+
+    #[test]
+    fn one_step_pairs_use_next_sample() {
+        let c = linear_cycle(4, 120.0);
+        let pairs = prediction_pairs(&c, 120.0);
+        assert_eq!(pairs.len(), 3);
+        let p = &pairs[0];
+        assert_eq!(p.soc_now, 1.0);
+        assert_eq!(p.soc_next, 0.99);
+        // Window of one step: average = the record at t+N.
+        assert_eq!(p.avg_current_a, 1.0);
+        assert_eq!(p.avg_temperature_c, 21.0);
+        assert_eq!(p.horizon_s, 120.0);
+    }
+
+    #[test]
+    fn two_step_pairs_average_window() {
+        let c = linear_cycle(5, 120.0);
+        let pairs = prediction_pairs(&c, 240.0);
+        assert_eq!(pairs.len(), 3);
+        let p = &pairs[0];
+        assert_eq!(p.soc_now, 1.0);
+        assert_eq!(p.soc_next, 0.98);
+        // Records 1 and 2 are inside the horizon: currents 1 and 2.
+        assert!((p.avg_current_a - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn horizon_longer_than_cycle_gives_empty() {
+        let c = linear_cycle(3, 120.0);
+        assert!(prediction_pairs(&c, 120.0 * 5.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn non_multiple_horizon_panics() {
+        let c = linear_cycle(10, 120.0);
+        let _ = prediction_pairs(&c, 100.0);
+    }
+
+    #[test]
+    fn pairs_all_concatenates() {
+        let a = linear_cycle(4, 120.0);
+        let b = linear_cycle(6, 120.0);
+        let pairs = prediction_pairs_all(&[a, b], 120.0);
+        assert_eq!(pairs.len(), 3 + 5);
+    }
+
+    #[test]
+    fn pipeline_samples_carry_branch1_inputs() {
+        let c = linear_cycle(5, 120.0);
+        let samples = pipeline_samples(&c, 240.0);
+        assert_eq!(samples.len(), 3);
+        let s = &samples[1];
+        // Window starting at index 1.
+        assert_eq!(s.voltage_v, c.records[1].voltage_v);
+        assert_eq!(s.current_a, c.records[1].current_a);
+        assert_eq!(s.soc_now, c.records[1].soc);
+        assert_eq!(s.soc_next, c.records[3].soc);
+        // Must agree with the plain prediction pair.
+        let p = prediction_pairs(&c, 240.0)[1];
+        assert_eq!(s.avg_current_a, p.avg_current_a);
+    }
+
+    #[test]
+    fn prediction_features_order() {
+        let c = linear_cycle(3, 60.0);
+        let p = prediction_pairs(&c, 60.0)[0];
+        assert_eq!(p.features(), [p.soc_now, p.avg_current_a, p.avg_temperature_c, 60.0]);
+    }
+}

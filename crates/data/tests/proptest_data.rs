@@ -1,0 +1,131 @@
+//! Property-based tests for the dataset layer: preprocessing and windowing
+//! must preserve the invariants the trainer relies on.
+
+use pinnsoc_battery::SimRecord;
+use pinnsoc_data::{
+    moving_average, prediction_pairs, Cycle, CycleKind, CycleMeta, Normalizer,
+    PhysicsCurrentMode, PhysicsSampler, SocDataset,
+};
+use proptest::prelude::*;
+
+fn record_seq(n: usize) -> impl Strategy<Value = Vec<SimRecord>> {
+    proptest::collection::vec(
+        (2.0f64..4.5, -5.0f64..10.0, -10.0f64..45.0, 0.0f64..=1.0),
+        n..n + 1,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(k, (v, i, t, soc))| SimRecord {
+                time_s: (k + 1) as f64,
+                voltage_v: v,
+                current_a: i,
+                temperature_c: t,
+                soc,
+            })
+            .collect()
+    })
+}
+
+fn cycle_of(records: Vec<SimRecord>) -> Cycle {
+    Cycle::new(
+        CycleMeta {
+            kind: CycleKind::Lab { discharge_c: 1.0 },
+            ambient_c: 25.0,
+            cell: "NMC".into(),
+            capacity_ah: 3.0,
+        },
+        1.0,
+        records,
+    )
+}
+
+proptest! {
+    #[test]
+    fn moving_average_bounded_by_extremes(records in record_seq(40), window in 1.0f64..20.0) {
+        let smoothed = moving_average(&records, 1.0, window);
+        let (min_i, max_i) = records.iter().fold((f64::MAX, f64::MIN), |(lo, hi), r| {
+            (lo.min(r.current_a), hi.max(r.current_a))
+        });
+        for s in &smoothed {
+            prop_assert!(s.current_a >= min_i - 1e-9 && s.current_a <= max_i + 1e-9);
+        }
+    }
+
+    #[test]
+    fn moving_average_preserves_constants(value in -5.0f64..5.0, window in 1.0f64..30.0) {
+        let records: Vec<SimRecord> = (0..30)
+            .map(|k| SimRecord {
+                time_s: k as f64,
+                voltage_v: 3.7,
+                current_a: value,
+                temperature_c: 25.0,
+                soc: 0.5,
+            })
+            .collect();
+        let smoothed = moving_average(&records, 1.0, window);
+        for s in &smoothed {
+            prop_assert!((s.current_a - value).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn moving_average_never_touches_labels(records in record_seq(20), window in 1.0f64..10.0) {
+        let smoothed = moving_average(&records, 1.0, window);
+        for (a, b) in records.iter().zip(&smoothed) {
+            prop_assert_eq!(a.soc, b.soc);
+            prop_assert_eq!(a.time_s, b.time_s);
+        }
+    }
+
+    #[test]
+    fn prediction_pair_averages_bounded(records in record_seq(30), steps in 1usize..8) {
+        let cycle = cycle_of(records);
+        let pairs = prediction_pairs(&cycle, steps as f64);
+        for p in &pairs {
+            let (min_i, max_i) = cycle.records.iter().fold((f64::MAX, f64::MIN), |(lo, hi), r| {
+                (lo.min(r.current_a), hi.max(r.current_a))
+            });
+            prop_assert!(p.avg_current_a >= min_i - 1e-9);
+            prop_assert!(p.avg_current_a <= max_i + 1e-9);
+            prop_assert!((0.0..=1.0).contains(&p.soc_now));
+            prop_assert!((0.0..=1.0).contains(&p.soc_next));
+        }
+        prop_assert_eq!(pairs.len(), cycle.len().saturating_sub(steps));
+    }
+
+    #[test]
+    fn normalizer_roundtrips(rows in proptest::collection::vec(
+        proptest::collection::vec(-100.0f64..100.0, 3..4), 2..20)
+    ) {
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let norm = Normalizer::fit(refs.iter().copied());
+        for r in &rows {
+            let mut x = r.clone();
+            norm.normalize(&mut x);
+            prop_assert!(x.iter().all(|v| v.is_finite()));
+            norm.denormalize(&mut x);
+            for (a, b) in x.iter().zip(r) {
+                prop_assert!((a - b).abs() < 1e-6 * (1.0 + b.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn physics_targets_always_satisfy_equation(
+        records in record_seq(10),
+        seed in 0u64..1000,
+        min_c in -2.0f64..0.0,
+        span in 0.5f64..4.0,
+    ) {
+        let ds = SocDataset { name: "t".into(), train: vec![cycle_of(records)], test: vec![] };
+        let mode = PhysicsCurrentMode::CRateUniform { min_c, max_c: min_c + span };
+        let mut sampler = PhysicsSampler::new(&ds, vec![30.0, 120.0], mode, seed);
+        for s in sampler.sample_batch(50) {
+            let expected =
+                (s.soc_now - s.avg_current_a * s.horizon_s / (3600.0 * 3.0)).clamp(0.0, 1.0);
+            prop_assert!((s.soc_next - expected).abs() < 1e-9);
+            prop_assert!((0.0..=1.0).contains(&s.soc_next));
+        }
+    }
+}

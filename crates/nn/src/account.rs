@@ -1,0 +1,136 @@
+//! Model cost accounting: parameters, operations, and memory.
+//!
+//! Table I of the paper compares models by MAE, memory footprint, and
+//! operation count (the two-branch network: ≈9 kB / ≈1150 ops per query;
+//! the LSTM of \[17\]: ≈4 MB / ≈300 M ops). This module provides a uniform
+//! way to compute those numbers for any model in the workspace.
+
+use crate::lstm::Lstm;
+use crate::mlp::Mlp;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Cost summary of a model for one inference query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Trainable parameter count.
+    pub params: usize,
+    /// Multiply–accumulate operations per query.
+    pub macs: usize,
+    /// Parameter storage in bytes (fp32).
+    pub memory_bytes: usize,
+}
+
+impl CostReport {
+    /// Ratio of another report's parameters to this one's (how many times
+    /// smaller this model is).
+    pub fn param_ratio_vs(&self, other: &CostReport) -> f64 {
+        other.params as f64 / self.params as f64
+    }
+
+    /// Ratio of another report's MACs to this one's.
+    pub fn macs_ratio_vs(&self, other: &CostReport) -> f64 {
+        other.macs as f64 / self.macs as f64
+    }
+}
+
+impl fmt::Display for CostReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} params, {} MACs/query, {}",
+            self.params,
+            self.macs,
+            human_bytes(self.memory_bytes)
+        )
+    }
+}
+
+/// Formats a byte count with binary-ish units as the paper does (kb/Mb).
+pub fn human_bytes(bytes: usize) -> String {
+    if bytes >= 1_000_000 {
+        format!("{:.1} MB", bytes as f64 / 1_000_000.0)
+    } else if bytes >= 1_000 {
+        format!("{:.1} kB", bytes as f64 / 1_000.0)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Anything whose inference cost can be summarized.
+pub trait Account {
+    /// Cost of a single inference query.
+    fn cost(&self) -> CostReport;
+}
+
+impl Account for Mlp {
+    fn cost(&self) -> CostReport {
+        CostReport {
+            params: self.param_count(),
+            macs: self.macs(),
+            memory_bytes: self.memory_bytes(),
+        }
+    }
+}
+
+/// An [`Lstm`] paired with the sequence length it is queried with; the cost
+/// of a recurrent model is only defined per-sequence.
+#[derive(Debug, Clone, Copy)]
+pub struct LstmQuery<'a> {
+    /// The model being costed.
+    pub lstm: &'a Lstm,
+    /// Time steps per query.
+    pub sequence_len: usize,
+}
+
+impl Account for LstmQuery<'_> {
+    fn cost(&self) -> CostReport {
+        CostReport {
+            params: self.lstm.param_count(),
+            macs: self.lstm.macs_for_sequence(self.sequence_len),
+            memory_bytes: self.lstm.memory_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::init::Init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_ratio_reproduced() {
+        // Two-branch model vs hidden-500 LSTM over a 300-step window:
+        // the paper quotes ≈409× fewer parameters and ≈260k× fewer ops.
+        let mut rng = StdRng::seed_from_u64(0);
+        let b1 = Mlp::new(&[3, 16, 32, 16, 1], Activation::Relu, Init::HeNormal, &mut rng);
+        let b2 = Mlp::new(&[4, 16, 32, 16, 1], Activation::Relu, Init::HeNormal, &mut rng);
+        let two_branch = CostReport {
+            params: b1.param_count() + b2.param_count(),
+            macs: b1.macs() + b2.macs(),
+            memory_bytes: b1.memory_bytes() + b2.memory_bytes(),
+        };
+        let lstm = Lstm::new(3, 500, 1, &mut rng);
+        let lstm_cost = LstmQuery { lstm: &lstm, sequence_len: 300 }.cost();
+        let param_ratio = two_branch.param_ratio_vs(&lstm_cost);
+        let macs_ratio = two_branch.macs_ratio_vs(&lstm_cost);
+        assert!((350.0..500.0).contains(&param_ratio), "param ratio {param_ratio}");
+        assert!(macs_ratio > 100_000.0, "macs ratio {macs_ratio}");
+    }
+
+    #[test]
+    fn human_bytes_formats() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(9_288), "9.3 kB");
+        assert_eq!(human_bytes(4_032_000), "4.0 MB");
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let r = CostReport { params: 10, macs: 20, memory_bytes: 40 };
+        assert!(!format!("{r}").is_empty());
+    }
+}

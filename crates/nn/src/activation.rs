@@ -1,0 +1,151 @@
+//! Element-wise activation functions with analytic derivatives.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Element-wise activation function.
+///
+/// The derivative is expressed in terms of the *pre-activation* input `z`,
+/// which is what the dense layers cache during the forward pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// `max(0, z)` — used by both branches of the paper's network.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid `1 / (1 + e^{-z})`.
+    Sigmoid,
+    /// Identity (linear output layer).
+    Identity,
+    /// Leaky ReLU with slope 0.01 for negative inputs.
+    LeakyRelu,
+}
+
+impl Activation {
+    /// Applies the activation element-wise.
+    pub fn forward(self, z: &Matrix) -> Matrix {
+        z.map(|x| self.apply(x))
+    }
+
+    /// Applies the activation to a scalar.
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => sigmoid(x),
+            Activation::Identity => x,
+            Activation::LeakyRelu => {
+                if x >= 0.0 {
+                    x
+                } else {
+                    0.01 * x
+                }
+            }
+        }
+    }
+
+    /// Derivative dσ/dz evaluated at pre-activation `z`, element-wise.
+    pub fn derivative(self, z: &Matrix) -> Matrix {
+        z.map(|x| self.derivative_scalar(x))
+    }
+
+    /// Scalar derivative at pre-activation `x`.
+    pub fn derivative_scalar(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Sigmoid => {
+                let s = sigmoid(x);
+                s * (1.0 - s)
+            }
+            Activation::Identity => 1.0,
+            Activation::LeakyRelu => {
+                if x >= 0.0 {
+                    1.0
+                } else {
+                    0.01
+                }
+            }
+        }
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_derivative(act: Activation, xs: &[f32]) {
+        let eps = 1e-3_f32;
+        for &x in xs {
+            let numeric = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+            let analytic = act.derivative_scalar(x);
+            assert!(
+                (numeric - analytic).abs() < 2e-2,
+                "{act:?} derivative mismatch at {x}: numeric {numeric} analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn relu_values() {
+        assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.5), 2.5);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_at_extremes() {
+        assert!(sigmoid(100.0) <= 1.0);
+        assert!(sigmoid(-100.0) >= 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(-745.0).is_finite());
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        // Avoid the ReLU kink at exactly 0.
+        let xs = [-2.0, -0.5, 0.3, 1.7];
+        for act in [
+            Activation::Relu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+            Activation::Identity,
+            Activation::LeakyRelu,
+        ] {
+            check_derivative(act, &xs);
+        }
+    }
+
+    #[test]
+    fn matrix_forward_matches_scalar() {
+        let z = Matrix::from_rows(&[&[-1.0, 0.0, 2.0]]);
+        let y = Activation::Relu.forward(&z);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let json = serde_json::to_string(&Activation::Relu).unwrap();
+        let back: Activation = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Activation::Relu);
+    }
+}

@@ -1,0 +1,268 @@
+//! Fully-connected (dense) layer with cached-activation backpropagation.
+
+use crate::activation::Activation;
+use crate::init::Init;
+use crate::matrix::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fully-connected layer `y = σ(x·W + b)`.
+///
+/// Weights are stored `fan_in × fan_out` so a batch-first input
+/// (`batch × fan_in`) multiplies directly. The layer caches the forward
+/// input and pre-activation, so `backward` must be called after `forward`
+/// on the same batch.
+///
+/// # Examples
+///
+/// ```
+/// use pinnsoc_nn::{Activation, Dense, Init, Matrix};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut layer = Dense::new(3, 16, Activation::Relu, Init::HeNormal, &mut rng);
+/// let x = Matrix::zeros(4, 3);
+/// let y = layer.forward(&x);
+/// assert_eq!(y.shape(), (4, 16));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    weight: Matrix,
+    bias: Vec<f32>,
+    activation: Activation,
+    #[serde(skip)]
+    grad_weight: Option<Matrix>,
+    #[serde(skip)]
+    grad_bias: Vec<f32>,
+    #[serde(skip)]
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    input: Matrix,
+    pre_activation: Matrix,
+}
+
+impl Dense {
+    /// Creates a layer with `init`-sampled weights and zero biases.
+    pub fn new(
+        fan_in: usize,
+        fan_out: usize,
+        activation: Activation,
+        init: Init,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Self {
+            weight: init.sample(fan_in, fan_out, rng),
+            bias: vec![0.0; fan_out],
+            activation,
+            grad_weight: None,
+            grad_bias: vec![0.0; fan_out],
+            cache: None,
+        }
+    }
+
+    /// Creates a layer from explicit weights and biases (used in tests and
+    /// when loading persisted models).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != weight.cols()`.
+    pub fn from_parts(weight: Matrix, bias: Vec<f32>, activation: Activation) -> Self {
+        assert_eq!(bias.len(), weight.cols(), "bias length must equal fan_out");
+        let fan_out = weight.cols();
+        Self {
+            weight,
+            bias,
+            activation,
+            grad_weight: None,
+            grad_bias: vec![0.0; fan_out],
+            cache: None,
+        }
+    }
+
+    /// Input width.
+    pub fn fan_in(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Output width.
+    pub fn fan_out(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// The layer's activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Borrow of the weight matrix.
+    pub fn weight(&self) -> &Matrix {
+        &self.weight
+    }
+
+    /// Borrow of the bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Number of trainable parameters (`fan_in·fan_out + fan_out`).
+    pub fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    /// Multiply–accumulate operations for one forward sample.
+    pub fn macs(&self) -> usize {
+        self.weight.len()
+    }
+
+    /// Forward pass; caches activations for a subsequent [`Dense::backward`].
+    pub fn forward(&mut self, input: &Matrix) -> Matrix {
+        let pre = input.matmul(&self.weight).add_row_broadcast(&self.bias);
+        let out = self.activation.forward(&pre);
+        self.cache = Some(Cache { input: input.clone(), pre_activation: pre });
+        out
+    }
+
+    /// Forward pass without caching (inference-only, avoids the clone).
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        let pre = input.matmul(&self.weight).add_row_broadcast(&self.bias);
+        self.activation.forward(&pre)
+    }
+
+    /// Backward pass: consumes `dL/dy`, accumulates `dL/dW`, `dL/db`, and
+    /// returns `dL/dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Dense::forward`] or with a gradient whose
+    /// shape does not match the cached batch.
+    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let cache = self.cache.as_ref().expect("backward called before forward");
+        assert_eq!(
+            grad_output.shape(),
+            (cache.input.rows(), self.fan_out()),
+            "gradient shape mismatch"
+        );
+        // δ = dL/dy ⊙ σ'(z)
+        let delta = grad_output.hadamard(&self.activation.derivative(&cache.pre_activation));
+        // dW = xᵀ·δ, db = Σ_batch δ, dx = δ·Wᵀ
+        let grad_w = cache.input.matmul_tn(&delta);
+        match &mut self.grad_weight {
+            Some(g) => g.add_assign(&grad_w),
+            None => self.grad_weight = Some(grad_w),
+        }
+        for (gb, d) in self.grad_bias.iter_mut().zip(delta.column_sums()) {
+            *gb += d;
+        }
+        delta.matmul_nt(&self.weight)
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_weight = None;
+        self.grad_bias.fill(0.0);
+    }
+
+    /// Visits `(param, grad)` slice pairs in a deterministic order
+    /// (weights first, then biases). Optimizers rely on this ordering to
+    /// associate their per-parameter state.
+    pub fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        let grad_w = self
+            .grad_weight
+            .get_or_insert_with(|| Matrix::zeros(self.weight.rows(), self.weight.cols()));
+        visitor(self.weight.as_mut_slice(), grad_w.as_mut_slice());
+        visitor(&mut self.bias, &mut self.grad_bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_layer() -> Dense {
+        Dense::from_parts(
+            Matrix::from_rows(&[&[1.0, -1.0], &[0.5, 2.0]]),
+            vec![0.1, -0.2],
+            Activation::Identity,
+        )
+    }
+
+    #[test]
+    fn forward_linear_known_values() {
+        let mut l = tiny_layer();
+        let y = l.forward(&Matrix::from_rows(&[&[1.0, 1.0]]));
+        // [1*1 + 1*0.5 + 0.1, 1*(-1) + 1*2 - 0.2]
+        assert_eq!(y.row(0), &[1.6, 0.8]);
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut l = Dense::new(3, 5, Activation::Relu, Init::HeNormal, &mut rng);
+        let x = Matrix::from_rows(&[&[0.2, -0.7, 1.3], &[1.0, 0.0, -1.0]]);
+        assert_eq!(l.forward(&x), l.infer(&x));
+    }
+
+    #[test]
+    fn backward_input_gradient_identity_activation() {
+        let mut l = tiny_layer();
+        let x = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let _ = l.forward(&x);
+        let dx = l.backward(&Matrix::from_rows(&[&[1.0, 0.0]]));
+        // dL/dx = δ·Wᵀ with δ = [1, 0] → first row of Wᵀ = first col of W = [1, -1]?
+        // W is fan_in×fan_out = [[1,-1],[0.5,2]]; δ·Wᵀ = [1*1 + 0*(-1), 1*0.5 + 0*2]
+        assert_eq!(dx.row(0), &[1.0, 0.5]);
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut l = tiny_layer();
+        let x = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let g = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let _ = l.forward(&x);
+        let _ = l.backward(&g);
+        let _ = l.forward(&x);
+        let _ = l.backward(&g);
+        let mut first_grad = None;
+        l.visit_params(&mut |_p, gr| {
+            if first_grad.is_none() {
+                first_grad = Some(gr.to_vec());
+            }
+        });
+        // dW for one pass = xᵀδ = [[1,1],[0,0]]; accumulated twice → [[2,2],[0,0]]
+        assert_eq!(first_grad.unwrap(), vec![2.0, 2.0, 0.0, 0.0]);
+        l.zero_grad();
+        let mut all_zero = true;
+        l.visit_params(&mut |_p, gr| all_zero &= gr.iter().all(|&x| x == 0.0));
+        assert!(all_zero);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_without_forward_panics() {
+        let mut l = tiny_layer();
+        let _ = l.backward(&Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn param_count_and_macs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let l = Dense::new(3, 16, Activation::Relu, Init::HeNormal, &mut rng);
+        assert_eq!(l.param_count(), 3 * 16 + 16);
+        assert_eq!(l.macs(), 48);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_inference() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let l = Dense::new(4, 4, Activation::Tanh, Init::XavierUniform, &mut rng);
+        let json = serde_json::to_string(&l).unwrap();
+        let l2: Dense = serde_json::from_str(&json).unwrap();
+        let x = Matrix::from_rows(&[&[0.1, 0.2, 0.3, 0.4]]);
+        assert_eq!(l.infer(&x), l2.infer(&x));
+    }
+}

@@ -1,0 +1,141 @@
+//! Finite-difference gradient checking for [`Mlp`] networks.
+//!
+//! Used in tests across the workspace to guarantee that every loss we invent
+//! (including the physics-informed Coulomb term) back-propagates correctly.
+
+use crate::loss::Loss;
+use crate::matrix::Matrix;
+use crate::mlp::Mlp;
+
+/// Outcome of a gradient check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradCheckReport {
+    /// Largest absolute difference between numeric and analytic gradients.
+    pub max_abs_diff: f32,
+    /// Largest relative difference (normalized by magnitude).
+    pub max_rel_diff: f32,
+    /// Number of parameters checked.
+    pub checked: usize,
+}
+
+impl GradCheckReport {
+    /// True if both absolute and relative tolerances hold.
+    pub fn passes(&self, abs_tol: f32, rel_tol: f32) -> bool {
+        self.max_abs_diff <= abs_tol || self.max_rel_diff <= rel_tol
+    }
+}
+
+/// Compares backprop gradients of `loss(model(x), y)` against central finite
+/// differences, checking every `stride`-th parameter.
+///
+/// # Panics
+///
+/// Panics if `stride` is zero or shapes are inconsistent.
+pub fn check_mlp_gradients(
+    model: &mut Mlp,
+    x: &Matrix,
+    y: &Matrix,
+    loss: Loss,
+    stride: usize,
+) -> GradCheckReport {
+    assert!(stride > 0, "stride must be positive");
+    let eps = 1e-2_f32;
+
+    // Analytic pass.
+    model.zero_grad();
+    let pred = model.forward(x);
+    let grad = loss.gradient(&pred, y);
+    model.backward(&grad);
+    let mut analytic = Vec::new();
+    model.visit_params(&mut |_p, g| analytic.extend_from_slice(g));
+
+    let mut tensor_lens = Vec::new();
+    model.visit_params(&mut |p, _| tensor_lens.push(p.len()));
+
+    let mut max_abs = 0.0_f32;
+    let mut max_rel = 0.0_f32;
+    let mut checked = 0usize;
+    for tensor in 0..tensor_lens.len() {
+        for i in (0..tensor_lens[tensor]).step_by(stride) {
+            let perturb = |m: &mut Mlp, delta: f32| {
+                let mut idx = 0;
+                m.visit_params(&mut |p, _| {
+                    if idx == tensor {
+                        p[i] += delta;
+                    }
+                    idx += 1;
+                });
+            };
+            perturb(model, eps);
+            let plus = loss.value(&model.infer(x), y) as f64;
+            perturb(model, -2.0 * eps);
+            let minus = loss.value(&model.infer(x), y) as f64;
+            perturb(model, eps);
+            let numeric = ((plus - minus) / (2.0 * eps as f64)) as f32;
+            let offset: usize = tensor_lens[..tensor].iter().sum();
+            let ana = analytic[offset + i];
+            let abs = (numeric - ana).abs();
+            let rel = abs / numeric.abs().max(ana.abs()).max(1e-6);
+            max_abs = max_abs.max(abs);
+            max_rel = max_rel.max(rel);
+            checked += 1;
+        }
+    }
+    GradCheckReport { max_abs_diff: max_abs, max_rel_diff: max_rel, checked }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::init::Init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn smooth_net() -> Mlp {
+        // Tanh is smooth, so finite differences are well behaved.
+        let mut rng = StdRng::seed_from_u64(11);
+        Mlp::new(&[3, 6, 5, 1], Activation::Tanh, Init::XavierUniform, &mut rng)
+    }
+
+    #[test]
+    fn mse_gradients_check_out() {
+        let mut m = smooth_net();
+        let x = Matrix::from_rows(&[&[0.3, -0.2, 0.9], &[-0.5, 0.1, 0.4]]);
+        let y = Matrix::from_rows(&[&[0.25], &[-0.5]]);
+        let report = check_mlp_gradients(&mut m, &x, &y, Loss::Mse, 1);
+        assert!(report.checked > 50);
+        assert!(
+            report.passes(5e-3, 5e-2),
+            "abs {} rel {}",
+            report.max_abs_diff,
+            report.max_rel_diff
+        );
+    }
+
+    #[test]
+    fn huber_gradients_check_out() {
+        let mut m = smooth_net();
+        let x = Matrix::from_rows(&[&[0.7, 0.2, -0.1]]);
+        let y = Matrix::from_rows(&[&[2.0]]);
+        let report = check_mlp_gradients(&mut m, &x, &y, Loss::Huber(0.3), 1);
+        assert!(report.passes(5e-3, 5e-2));
+    }
+
+    #[test]
+    fn relu_network_grads_check_with_tolerance() {
+        // ReLU kinks make finite differences noisy near zero; use the shared
+        // stride-1 check with a looser relative threshold.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut m = Mlp::new(&[3, 16, 32, 16, 1], Activation::Relu, Init::HeNormal, &mut rng);
+        let x = Matrix::from_rows(&[&[0.4, 0.6, -0.3], &[0.9, -0.8, 0.2], &[0.1, 0.3, 0.7]]);
+        let y = Matrix::from_rows(&[&[0.5], &[0.1], &[0.9]]);
+        let report = check_mlp_gradients(&mut m, &x, &y, Loss::Mse, 7);
+        assert!(
+            report.passes(2e-2, 1e-1),
+            "abs {} rel {}",
+            report.max_abs_diff,
+            report.max_rel_diff
+        );
+    }
+}

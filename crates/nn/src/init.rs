@@ -1,0 +1,124 @@
+//! Weight initialization schemes.
+//!
+//! All initializers draw from a caller-supplied [`rand::Rng`] so that every
+//! experiment in the workspace is reproducible from a single seed.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Weight initialization scheme for dense and recurrent layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Init {
+    /// Uniform in `[-limit, limit]` with `limit = sqrt(6 / (fan_in + fan_out))`.
+    ///
+    /// The classic Glorot/Xavier scheme; appropriate for tanh/sigmoid layers
+    /// and a safe default for small networks.
+    XavierUniform,
+    /// Normal with standard deviation `sqrt(2 / fan_in)` (He et al.), suited
+    /// to ReLU activations. Used for the paper's two branches.
+    HeNormal,
+    /// Uniform in `[-limit, limit]` with `limit = 1 / sqrt(fan_in)` —
+    /// PyTorch's default for `nn.Linear`, kept for parity experiments.
+    LecunUniform,
+    /// All zeros (useful for biases and for tests).
+    Zeros,
+}
+
+impl Default for Init {
+    fn default() -> Self {
+        Init::HeNormal
+    }
+}
+
+impl Init {
+    /// Samples a `fan_in × fan_out` weight matrix.
+    pub fn sample(self, fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Matrix {
+        assert!(fan_in > 0 && fan_out > 0, "fan dimensions must be non-zero");
+        let mut m = Matrix::zeros(fan_in, fan_out);
+        match self {
+            Init::XavierUniform => {
+                let limit = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
+                m.map_inplace(|_| 0.0);
+                for v in m.as_mut_slice() {
+                    *v = rng.gen_range(-limit..=limit);
+                }
+            }
+            Init::HeNormal => {
+                let std = (2.0 / fan_in as f64).sqrt();
+                for v in m.as_mut_slice() {
+                    *v = sample_standard_normal(rng) as f32 * std as f32;
+                }
+            }
+            Init::LecunUniform => {
+                let limit = (1.0 / fan_in as f64).sqrt() as f32;
+                for v in m.as_mut_slice() {
+                    *v = rng.gen_range(-limit..=limit);
+                }
+            }
+            Init::Zeros => {}
+        }
+        m
+    }
+}
+
+/// Box–Muller standard normal sample.
+///
+/// Implemented locally so `pinnsoc-nn` does not need `rand_distr`.
+fn sample_standard_normal(rng: &mut impl Rng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = Init::XavierUniform.sample(16, 32, &mut rng);
+        let limit = (6.0_f32 / 48.0).sqrt();
+        assert!(m.as_slice().iter().all(|x| x.abs() <= limit + 1e-6));
+    }
+
+    #[test]
+    fn he_normal_std_close_to_expected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let fan_in = 64;
+        let m = Init::HeNormal.sample(fan_in, 256, &mut rng);
+        let n = m.len() as f32;
+        let mean = m.mean();
+        let var = m.as_slice().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n;
+        let expected = 2.0 / fan_in as f32;
+        assert!((var - expected).abs() < expected * 0.2, "var {var} vs expected {expected}");
+    }
+
+    #[test]
+    fn lecun_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = Init::LecunUniform.sample(25, 4, &mut rng);
+        assert!(m.as_slice().iter().all(|x| x.abs() <= 0.2 + 1e-6));
+    }
+
+    #[test]
+    fn zeros_is_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = Init::Zeros.sample(3, 3, &mut rng);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Init::HeNormal.sample(8, 8, &mut StdRng::seed_from_u64(42));
+        let b = Init::HeNormal.sample(8, 8, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,70 @@
+//! # pinnsoc-nn
+//!
+//! A minimal, fully gradient-checked neural-network substrate written for the
+//! `pinnsoc` workspace — the Rust reproduction of *"Coupling Neural Networks
+//! and Physics Equations For Li-Ion Battery State-of-Charge Prediction"*
+//! (DATE 2025).
+//!
+//! The paper's models are small (the whole two-branch network is 2,322
+//! parameters), so this crate favours correctness and auditability over raw
+//! speed: plain `f32` matrices, explicit backpropagation, and
+//! finite-difference gradient checking for every layer type.
+//!
+//! ## What's inside
+//!
+//! - [`matrix::Matrix`] — dense row-major `f32` matrix with shape-checked ops.
+//! - [`dense::Dense`] / [`mlp::Mlp`] — fully-connected layers and networks
+//!   (the paper's Branch 1 and Branch 2 are `Mlp`s).
+//! - [`lstm::Lstm`] — single-layer LSTM with BPTT, for the Table I baselines.
+//! - [`loss::Loss`] — MAE / MSE / Huber with analytic gradients.
+//! - [`optim`] — SGD, momentum, Adam, and LR schedules.
+//! - [`account`] — parameter / MAC / memory accounting (Table I columns).
+//! - [`gradcheck`] — finite-difference gradient verification.
+//! - [`persist`] — JSON model serialization.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use pinnsoc_nn::{Activation, Adam, Init, Loss, Matrix, Mlp, Optimizer};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let mut net = Mlp::new(&[2, 8, 1], Activation::Relu, Init::HeNormal, &mut rng);
+//! let mut opt = Adam::new(0.01);
+//! let x = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+//! let y = Matrix::from_rows(&[&[1.0], &[-1.0]]);
+//! for _ in 0..100 {
+//!     let pred = net.forward(&x);
+//!     let grad = Loss::Mae.gradient(&pred, &y);
+//!     net.zero_grad();
+//!     net.backward(&grad);
+//!     opt.step(&mut net);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod account;
+pub mod activation;
+pub mod dense;
+pub mod gradcheck;
+pub mod init;
+pub mod loss;
+pub mod lstm;
+pub mod matrix;
+pub mod mlp;
+pub mod optim;
+pub mod persist;
+
+pub use account::{Account, CostReport, LstmQuery};
+pub use activation::Activation;
+pub use dense::Dense;
+pub use gradcheck::{check_mlp_gradients, GradCheckReport};
+pub use init::Init;
+pub use loss::{mae, max_abs_error, rmse, Loss};
+pub use lstm::Lstm;
+pub use matrix::Matrix;
+pub use mlp::Mlp;
+pub use optim::{Adam, LrSchedule, Optimizer, Sgd, Trainable};
+pub use persist::{load_json, save_json, PersistError};

@@ -1,0 +1,188 @@
+//! Regression losses with analytic gradients.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Regression loss function.
+///
+/// The paper trains both branches with MAE (§III-B); MSE and Huber are
+/// provided for ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Loss {
+    /// Mean absolute error — the paper's loss for both branches and the
+    /// physics term (Eq. 2).
+    Mae,
+    /// Mean squared error.
+    Mse,
+    /// Huber loss with the given transition point `delta`.
+    Huber(f32),
+}
+
+impl Loss {
+    /// Loss value averaged over all elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn value(self, prediction: &Matrix, target: &Matrix) -> f32 {
+        assert_eq!(prediction.shape(), target.shape(), "loss shape mismatch");
+        let n = prediction.len() as f32;
+        let mut acc = 0.0_f32;
+        for (&p, &t) in prediction.as_slice().iter().zip(target.as_slice()) {
+            acc += self.pointwise(p - t);
+        }
+        acc / n
+    }
+
+    /// Gradient of the averaged loss with respect to the prediction.
+    pub fn gradient(self, prediction: &Matrix, target: &Matrix) -> Matrix {
+        assert_eq!(prediction.shape(), target.shape(), "loss shape mismatch");
+        let n = prediction.len() as f32;
+        prediction.zip_with(target, |p, t| self.pointwise_derivative(p - t) / n)
+    }
+
+    /// Pointwise penalty of a single residual `r = prediction - target`.
+    pub fn pointwise(self, r: f32) -> f32 {
+        match self {
+            Loss::Mae => r.abs(),
+            Loss::Mse => r * r,
+            Loss::Huber(delta) => {
+                let a = r.abs();
+                if a <= delta {
+                    0.5 * r * r
+                } else {
+                    delta * (a - 0.5 * delta)
+                }
+            }
+        }
+    }
+
+    /// Derivative of [`Loss::pointwise`] with respect to the residual.
+    ///
+    /// For MAE the subgradient at `r = 0` is taken as `0`.
+    pub fn pointwise_derivative(self, r: f32) -> f32 {
+        match self {
+            Loss::Mae => {
+                if r > 0.0 {
+                    1.0
+                } else if r < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            }
+            Loss::Mse => 2.0 * r,
+            Loss::Huber(delta) => {
+                if r.abs() <= delta {
+                    r
+                } else {
+                    delta * r.signum()
+                }
+            }
+        }
+    }
+}
+
+/// Mean absolute error between two slices — the metric every experiment in
+/// the paper reports.
+///
+/// # Panics
+///
+/// Panics if the slices have different or zero lengths.
+pub fn mae(prediction: &[f32], target: &[f32]) -> f32 {
+    assert_eq!(prediction.len(), target.len(), "mae length mismatch");
+    assert!(!prediction.is_empty(), "mae of empty slices");
+    prediction.iter().zip(target).map(|(p, t)| (p - t).abs()).sum::<f32>()
+        / prediction.len() as f32
+}
+
+/// Root mean squared error between two slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different or zero lengths.
+pub fn rmse(prediction: &[f32], target: &[f32]) -> f32 {
+    assert_eq!(prediction.len(), target.len(), "rmse length mismatch");
+    assert!(!prediction.is_empty(), "rmse of empty slices");
+    (prediction.iter().zip(target).map(|(p, t)| (p - t) * (p - t)).sum::<f32>()
+        / prediction.len() as f32)
+        .sqrt()
+}
+
+/// Maximum absolute error between two slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different or zero lengths.
+pub fn max_abs_error(prediction: &[f32], target: &[f32]) -> f32 {
+    assert_eq!(prediction.len(), target.len(), "max_abs_error length mismatch");
+    assert!(!prediction.is_empty(), "max_abs_error of empty slices");
+    prediction
+        .iter()
+        .zip(target)
+        .map(|(p, t)| (p - t).abs())
+        .fold(0.0_f32, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_known_value() {
+        let p = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let t = Matrix::from_rows(&[&[0.0, 2.0], &[5.0, 3.0]]);
+        assert!((Loss::Mae.value(&p, &t) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let p = Matrix::from_rows(&[&[2.0]]);
+        let t = Matrix::from_rows(&[&[0.0]]);
+        assert!((Loss::Mse.value(&p, &t) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn huber_is_quadratic_inside_linear_outside() {
+        let h = Loss::Huber(1.0);
+        assert!((h.pointwise(0.5) - 0.125).abs() < 1e-6);
+        assert!((h.pointwise(3.0) - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let p = Matrix::from_rows(&[&[0.7, -1.3, 2.1]]);
+        let t = Matrix::from_rows(&[&[0.5, -1.0, 2.0]]);
+        let eps = 1e-3;
+        for loss in [Loss::Mae, Loss::Mse, Loss::Huber(0.5)] {
+            let g = loss.gradient(&p, &t);
+            for i in 0..3 {
+                let mut pp = p.clone();
+                pp[(0, i)] += eps;
+                let mut pm = p.clone();
+                pm[(0, i)] -= eps;
+                let numeric = (loss.value(&pp, &t) - loss.value(&pm, &t)) / (2.0 * eps);
+                assert!(
+                    (numeric - g[(0, i)]).abs() < 1e-2,
+                    "{loss:?} grad mismatch at {i}: numeric {numeric} analytic {}",
+                    g[(0, i)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slice_metrics() {
+        let p = [1.0, 2.0, 3.0];
+        let t = [1.0, 3.0, 1.0];
+        assert!((mae(&p, &t) - 1.0).abs() < 1e-6);
+        assert!((rmse(&p, &t) - ((0.0_f32 + 1.0 + 4.0) / 3.0).sqrt()).abs() < 1e-6);
+        assert!((max_abs_error(&p, &t) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mae_length_mismatch_panics() {
+        let _ = mae(&[1.0], &[1.0, 2.0]);
+    }
+}

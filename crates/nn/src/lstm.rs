@@ -1,0 +1,474 @@
+//! Single-layer LSTM with a linear per-step head and full BPTT.
+//!
+//! Used to reproduce the baselines of Table I: the LSTM SoC estimator of
+//! Wong et al. \[17\] and the DE-LSTM of Dang et al. \[7\]. Gate layout follows
+//! the PyTorch convention `(input, forget, cell, output)`.
+
+use crate::activation::sigmoid;
+use crate::init::Init;
+use crate::matrix::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A single-layer LSTM with a shared linear output head applied at every
+/// time step.
+///
+/// Input is a sequence of `batch × input_dim` matrices; output is one
+/// `batch × output_dim` matrix per step.
+///
+/// # Examples
+///
+/// ```
+/// use pinnsoc_nn::{Lstm, Matrix};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut lstm = Lstm::new(3, 16, 1, &mut rng);
+/// let steps = vec![Matrix::zeros(2, 3); 5];
+/// let outputs = lstm.forward_sequence(&steps);
+/// assert_eq!(outputs.len(), 5);
+/// assert_eq!(outputs[0].shape(), (2, 1));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Lstm {
+    input_dim: usize,
+    hidden_dim: usize,
+    output_dim: usize,
+    /// `input_dim × 4·hidden` input-to-hidden weights.
+    w_ih: Matrix,
+    /// `hidden × 4·hidden` hidden-to-hidden weights.
+    w_hh: Matrix,
+    /// `4·hidden` gate biases.
+    bias: Vec<f32>,
+    /// `hidden × output_dim` head weights.
+    w_ho: Matrix,
+    /// `output_dim` head bias.
+    b_o: Vec<f32>,
+    #[serde(skip)]
+    grads: Option<Grads>,
+    #[serde(skip)]
+    caches: Vec<StepCache>,
+}
+
+#[derive(Debug, Clone)]
+struct Grads {
+    w_ih: Matrix,
+    w_hh: Matrix,
+    bias: Vec<f32>,
+    w_ho: Matrix,
+    b_o: Vec<f32>,
+}
+
+#[derive(Debug, Clone)]
+struct StepCache {
+    input: Matrix,
+    h_prev: Matrix,
+    c_prev: Matrix,
+    /// Post-nonlinearity gate values `(i, f, g, o)`, each `batch × hidden`.
+    i: Matrix,
+    f: Matrix,
+    g: Matrix,
+    o: Matrix,
+    tanh_c: Matrix,
+    h: Matrix,
+}
+
+impl Lstm {
+    /// Creates an LSTM with Xavier-initialized weights, zero biases, and the
+    /// forget-gate bias set to 1 (standard trick for gradient flow).
+    pub fn new(input_dim: usize, hidden_dim: usize, output_dim: usize, rng: &mut impl Rng) -> Self {
+        assert!(input_dim > 0 && hidden_dim > 0 && output_dim > 0, "dimensions must be non-zero");
+        let mut bias = vec![0.0; 4 * hidden_dim];
+        for b in bias.iter_mut().skip(hidden_dim).take(hidden_dim) {
+            *b = 1.0; // forget gate
+        }
+        Self {
+            input_dim,
+            hidden_dim,
+            output_dim,
+            w_ih: Init::XavierUniform.sample(input_dim, 4 * hidden_dim, rng),
+            w_hh: Init::XavierUniform.sample(hidden_dim, 4 * hidden_dim, rng),
+            bias,
+            w_ho: Init::XavierUniform.sample(hidden_dim, output_dim, rng),
+            b_o: vec![0.0; output_dim],
+            grads: None,
+            caches: Vec::new(),
+        }
+    }
+
+    /// Input feature width.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden state width.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Output width of the per-step head.
+    pub fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    /// Total trainable parameters (gates + head).
+    pub fn param_count(&self) -> usize {
+        self.w_ih.len() + self.w_hh.len() + self.bias.len() + self.w_ho.len() + self.b_o.len()
+    }
+
+    /// Multiply–accumulate operations for one forward *step* of one sample.
+    pub fn macs_per_step(&self) -> usize {
+        self.w_ih.len() + self.w_hh.len() + self.w_ho.len()
+    }
+
+    /// Multiply–accumulate operations for a whole sequence of `steps` steps.
+    pub fn macs_for_sequence(&self, steps: usize) -> usize {
+        self.macs_per_step() * steps
+    }
+
+    /// Parameter storage in bytes (fp32).
+    pub fn memory_bytes(&self) -> usize {
+        self.param_count() * std::mem::size_of::<f32>()
+    }
+
+    fn gate_pre_activations(&self, x: &Matrix, h: &Matrix) -> Matrix {
+        x.matmul(&self.w_ih)
+            .add(&h.matmul(&self.w_hh))
+            .add_row_broadcast(&self.bias)
+    }
+
+    fn step(&self, x: &Matrix, h_prev: &Matrix, c_prev: &Matrix) -> StepCache {
+        let hd = self.hidden_dim;
+        let z = self.gate_pre_activations(x, h_prev);
+        let i = z.slice_cols(0, hd).map(sigmoid);
+        let f = z.slice_cols(hd, hd).map(sigmoid);
+        let g = z.slice_cols(2 * hd, hd).map(f32::tanh);
+        let o = z.slice_cols(3 * hd, hd).map(sigmoid);
+        let c = f.hadamard(c_prev).add(&i.hadamard(&g));
+        let tanh_c = c.map(f32::tanh);
+        let h = o.hadamard(&tanh_c);
+        let _ = c;
+        StepCache {
+            input: x.clone(),
+            h_prev: h_prev.clone(),
+            c_prev: c_prev.clone(),
+            i,
+            f,
+            g,
+            o,
+            tanh_c,
+            h,
+        }
+    }
+
+    /// Runs the sequence forward in training mode (caches every step) and
+    /// returns the per-step head outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty or the feature width is wrong.
+    pub fn forward_sequence(&mut self, steps: &[Matrix]) -> Vec<Matrix> {
+        assert!(!steps.is_empty(), "empty sequence");
+        let batch = steps[0].rows();
+        let mut h = Matrix::zeros(batch, self.hidden_dim);
+        let mut c = Matrix::zeros(batch, self.hidden_dim);
+        self.caches.clear();
+        let mut outputs = Vec::with_capacity(steps.len());
+        for x in steps {
+            assert_eq!(x.cols(), self.input_dim, "input width mismatch");
+            assert_eq!(x.rows(), batch, "batch size changed mid-sequence");
+            let cache = self.step(x, &h, &c);
+            h = cache.h.clone();
+            c = cache.f.hadamard(&cache.c_prev).add(&cache.i.hadamard(&cache.g));
+            outputs.push(h.matmul(&self.w_ho).add_row_broadcast(&self.b_o));
+            self.caches.push(cache);
+        }
+        outputs
+    }
+
+    /// Inference-only pass returning per-step outputs without caching.
+    pub fn infer_sequence(&self, steps: &[Matrix]) -> Vec<Matrix> {
+        assert!(!steps.is_empty(), "empty sequence");
+        let batch = steps[0].rows();
+        let mut h = Matrix::zeros(batch, self.hidden_dim);
+        let mut c = Matrix::zeros(batch, self.hidden_dim);
+        let mut outputs = Vec::with_capacity(steps.len());
+        for x in steps {
+            let cache = self.step(x, &h, &c);
+            c = cache.f.hadamard(&c).add(&cache.i.hadamard(&cache.g));
+            h = cache.h;
+            outputs.push(h.matmul(&self.w_ho).add_row_broadcast(&self.b_o));
+        }
+        outputs
+    }
+
+    /// Backpropagation through time.
+    ///
+    /// `grad_outputs` must contain one `batch × output_dim` gradient per step
+    /// (zero matrices for steps without supervision). Gradients accumulate
+    /// into the internal buffers until [`Lstm::zero_grad`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Lstm::forward_sequence`] or with a
+    /// mismatched number of steps.
+    pub fn backward_sequence(&mut self, grad_outputs: &[Matrix]) {
+        assert_eq!(
+            grad_outputs.len(),
+            self.caches.len(),
+            "gradient steps {} do not match cached steps {}",
+            grad_outputs.len(),
+            self.caches.len()
+        );
+        assert!(!self.caches.is_empty(), "backward called before forward");
+        let hd = self.hidden_dim;
+        let batch = self.caches[0].input.rows();
+        let mut grads = self.grads.take().unwrap_or_else(|| Grads {
+            w_ih: Matrix::zeros(self.input_dim, 4 * hd),
+            w_hh: Matrix::zeros(hd, 4 * hd),
+            bias: vec![0.0; 4 * hd],
+            w_ho: Matrix::zeros(hd, self.output_dim),
+            b_o: vec![0.0; self.output_dim],
+        });
+
+        let mut dh_next = Matrix::zeros(batch, hd);
+        let mut dc_next = Matrix::zeros(batch, hd);
+        for (cache, dy) in self.caches.iter().zip(grad_outputs).rev() {
+            // Head: y = h·W_ho + b_o
+            grads.w_ho.add_assign(&cache.h.matmul_tn(dy));
+            for (b, s) in grads.b_o.iter_mut().zip(dy.column_sums()) {
+                *b += s;
+            }
+            let mut dh = dy.matmul_nt(&self.w_ho);
+            dh.add_assign(&dh_next);
+
+            // h = o ⊙ tanh(c)
+            let d_o = dh.hadamard(&cache.tanh_c);
+            let mut dc = dh
+                .hadamard(&cache.o)
+                .hadamard(&cache.tanh_c.map(|t| 1.0 - t * t));
+            dc.add_assign(&dc_next);
+
+            // c = f ⊙ c_prev + i ⊙ g
+            let d_i = dc.hadamard(&cache.g);
+            let d_g = dc.hadamard(&cache.i);
+            let d_f = dc.hadamard(&cache.c_prev);
+            dc_next = dc.hadamard(&cache.f);
+
+            // Through the gate nonlinearities to pre-activations.
+            let dz_i = d_i.zip_with(&cache.i, |d, s| d * s * (1.0 - s));
+            let dz_f = d_f.zip_with(&cache.f, |d, s| d * s * (1.0 - s));
+            let dz_g = d_g.zip_with(&cache.g, |d, t| d * (1.0 - t * t));
+            let dz_o = d_o.zip_with(&cache.o, |d, s| d * s * (1.0 - s));
+            let dz = dz_i.hstack(&dz_f).hstack(&dz_g).hstack(&dz_o);
+
+            grads.w_ih.add_assign(&cache.input.matmul_tn(&dz));
+            grads.w_hh.add_assign(&cache.h_prev.matmul_tn(&dz));
+            for (b, s) in grads.bias.iter_mut().zip(dz.column_sums()) {
+                *b += s;
+            }
+            dh_next = dz.matmul_nt(&self.w_hh);
+        }
+        self.grads = Some(grads);
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grads = None;
+    }
+
+    /// Visits `(param, grad)` slices in a deterministic order
+    /// (`w_ih`, `w_hh`, `bias`, `w_ho`, `b_o`).
+    pub fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        let hd = self.hidden_dim;
+        let grads = self.grads.get_or_insert_with(|| Grads {
+            w_ih: Matrix::zeros(self.input_dim, 4 * hd),
+            w_hh: Matrix::zeros(hd, 4 * hd),
+            bias: vec![0.0; 4 * hd],
+            w_ho: Matrix::zeros(hd, self.output_dim),
+            b_o: vec![0.0; self.output_dim],
+        });
+        visitor(self.w_ih.as_mut_slice(), grads.w_ih.as_mut_slice());
+        visitor(self.w_hh.as_mut_slice(), grads.w_hh.as_mut_slice());
+        visitor(&mut self.bias, &mut grads.bias);
+        visitor(self.w_ho.as_mut_slice(), grads.w_ho.as_mut_slice());
+        visitor(&mut self.b_o, &mut grads.b_o);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::Loss;
+    use crate::optim::{Adam, Optimizer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(2024)
+    }
+
+    #[test]
+    fn shapes_and_param_count() {
+        let lstm = Lstm::new(3, 8, 1, &mut rng());
+        // 4h(in + h) + 4h gates, h·out + out head
+        assert_eq!(lstm.param_count(), 4 * 8 * (3 + 8) + 4 * 8 + 8 + 1);
+        assert_eq!(lstm.macs_per_step(), 3 * 32 + 8 * 32 + 8);
+    }
+
+    #[test]
+    fn paper_scale_lstm_size() {
+        // Table I: LSTM [17] ≈ 4 MB ≈ 1M fp32 params. Hidden 500 on 3 inputs:
+        let lstm = Lstm::new(3, 500, 1, &mut rng());
+        let params = lstm.param_count();
+        assert!((1_000_000..1_100_000).contains(&params), "params = {params}");
+        assert!(lstm.memory_bytes() > 4_000_000);
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut lstm = Lstm::new(2, 4, 1, &mut rng());
+        let steps: Vec<Matrix> =
+            (0..6).map(|t| Matrix::from_rows(&[&[t as f32 * 0.1, -0.2]])).collect();
+        let a = lstm.forward_sequence(&steps);
+        let b = lstm.infer_sequence(&steps);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gradient_check_against_finite_differences() {
+        // Tiny LSTM, loss = MSE of final-step output against a constant.
+        let mut lstm = Lstm::new(2, 3, 1, &mut rng());
+        let steps: Vec<Matrix> = vec![
+            Matrix::from_rows(&[&[0.5, -0.3]]),
+            Matrix::from_rows(&[&[-0.1, 0.8]]),
+            Matrix::from_rows(&[&[0.2, 0.2]]),
+        ];
+        let target = Matrix::from_rows(&[&[0.7]]);
+
+        let loss_of = |l: &Lstm| -> f64 {
+            let outs = l.infer_sequence(&steps);
+            let last = outs.last().unwrap();
+            Loss::Mse.value(last, &target) as f64
+        };
+
+        // Analytic gradients.
+        let outs = lstm.forward_sequence(&steps);
+        let mut grads: Vec<Matrix> =
+            outs.iter().map(|o| Matrix::zeros(o.rows(), o.cols())).collect();
+        let gl = grads.len();
+        grads[gl - 1] = Loss::Mse.gradient(outs.last().unwrap(), &target);
+        lstm.zero_grad();
+        lstm.backward_sequence(&grads);
+
+        // Collect analytic grads into a flat vec via visit_params.
+        let mut analytic = Vec::new();
+        lstm.visit_params(&mut |_p, g| analytic.extend_from_slice(g));
+
+        // Numeric gradients for a sample of parameters.
+        let eps = 1e-3_f32;
+        let mut flat_index = 0usize;
+        let mut checked = 0usize;
+        let total_params = lstm.param_count();
+        let stride = (total_params / 40).max(1);
+        for tensor in 0..5 {
+            // Re-visit to perturb individual entries.
+            let mut lens = Vec::new();
+            lstm.visit_params(&mut |p, _| lens.push(p.len()));
+            let len = lens[tensor];
+            for i in (0..len).step_by(stride) {
+                let mut idx = 0;
+                // +eps
+                lstm.visit_params(&mut |p, _| {
+                    if idx == tensor {
+                        p[i] += eps;
+                    }
+                    idx += 1;
+                });
+                let plus = loss_of(&lstm);
+                // -2eps
+                idx = 0;
+                lstm.visit_params(&mut |p, _| {
+                    if idx == tensor {
+                        p[i] -= 2.0 * eps;
+                    }
+                    idx += 1;
+                });
+                let minus = loss_of(&lstm);
+                // restore
+                idx = 0;
+                lstm.visit_params(&mut |p, _| {
+                    if idx == tensor {
+                        p[i] += eps;
+                    }
+                    idx += 1;
+                });
+                let numeric = ((plus - minus) / (2.0 * eps as f64)) as f32;
+                let offset: usize = lens[..tensor].iter().sum();
+                let ana = analytic[offset + i];
+                assert!(
+                    (numeric - ana).abs() < 2e-2 * (1.0 + numeric.abs().max(ana.abs())),
+                    "tensor {tensor} index {i}: numeric {numeric} vs analytic {ana}"
+                );
+                checked += 1;
+            }
+            flat_index += len;
+        }
+        assert_eq!(flat_index, total_params);
+        assert!(checked > 10, "checked too few parameters ({checked})");
+    }
+
+    #[test]
+    fn learns_running_mean() {
+        // Target at each step = mean of inputs so far; LSTM should reduce loss.
+        let mut r = rng();
+        let mut lstm = Lstm::new(1, 8, 1, &mut r);
+        let mut opt = Adam::new(0.01);
+        use rand::Rng;
+        let make_seq = |r: &mut StdRng| -> (Vec<Matrix>, Vec<Matrix>) {
+            let mut xs = Vec::new();
+            let mut ys = Vec::new();
+            let mut acc = 0.0f32;
+            for t in 0..8 {
+                let v: f32 = r.gen_range(-1.0..1.0);
+                acc += v;
+                xs.push(Matrix::from_rows(&[&[v]]));
+                ys.push(Matrix::from_rows(&[&[acc / (t + 1) as f32]]));
+            }
+            (xs, ys)
+        };
+        let (vx, vy) = make_seq(&mut r);
+        let eval = |l: &Lstm| -> f32 {
+            let outs = l.infer_sequence(&vx);
+            outs.iter().zip(&vy).map(|(o, y)| Loss::Mse.value(o, y)).sum::<f32>() / vx.len() as f32
+        };
+        let before = eval(&lstm);
+        for _ in 0..200 {
+            let (xs, ys) = make_seq(&mut r);
+            let outs = lstm.forward_sequence(&xs);
+            let grads: Vec<Matrix> =
+                outs.iter().zip(&ys).map(|(o, y)| Loss::Mse.gradient(o, y)).collect();
+            lstm.zero_grad();
+            lstm.backward_sequence(&grads);
+            opt.step(&mut lstm);
+        }
+        let after = eval(&lstm);
+        assert!(after < before * 0.5, "LSTM did not learn: {before} -> {after}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sequence")]
+    fn empty_sequence_panics() {
+        let mut lstm = Lstm::new(1, 2, 1, &mut rng());
+        let _ = lstm.forward_sequence(&[]);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_inference() {
+        let lstm = Lstm::new(3, 5, 1, &mut rng());
+        let json = serde_json::to_string(&lstm).unwrap();
+        let lstm2: Lstm = serde_json::from_str(&json).unwrap();
+        let steps = vec![Matrix::from_rows(&[&[0.1, 0.2, 0.3]]); 4];
+        assert_eq!(lstm.infer_sequence(&steps), lstm2.infer_sequence(&steps));
+    }
+}

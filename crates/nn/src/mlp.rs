@@ -1,0 +1,284 @@
+//! Multi-layer perceptron: a stack of [`Dense`] layers with backprop.
+
+use crate::activation::Activation;
+use crate::dense::Dense;
+use crate::init::Init;
+use crate::matrix::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A feed-forward network built from [`Dense`] layers.
+///
+/// The paper's branches are instances of this type with layer widths
+/// `[in, 16, 32, 16, 1]`, ReLU hidden activations, and a linear output
+/// (an "inverted bottleneck", §III-A).
+///
+/// # Examples
+///
+/// ```
+/// use pinnsoc_nn::{Activation, Init, Matrix, Mlp};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// // Branch 1 of the paper: (V, I, T) -> SoC(t)
+/// let branch1 = Mlp::new(&[3, 16, 32, 16, 1], Activation::Relu, Init::HeNormal, &mut rng);
+/// assert_eq!(branch1.param_count(), 1153);
+/// let soc = branch1.infer(&Matrix::row_vector(&[3.7, 0.5, 25.0]));
+/// assert_eq!(soc.shape(), (1, 1));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds an MLP from layer `widths`, applying `hidden` activation to all
+    /// layers except the last, which is linear ([`Activation::Identity`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given (need at least input and
+    /// output) or any width is zero.
+    pub fn new(widths: &[usize], hidden: Activation, init: Init, rng: &mut impl Rng) -> Self {
+        assert!(widths.len() >= 2, "need at least input and output widths");
+        assert!(widths.iter().all(|&w| w > 0), "layer widths must be non-zero");
+        let mut layers = Vec::with_capacity(widths.len() - 1);
+        for w in widths.windows(2) {
+            let is_last = layers.len() == widths.len() - 2;
+            let act = if is_last { Activation::Identity } else { hidden };
+            layers.push(Dense::new(w[0], w[1], act, init, rng));
+        }
+        Self { layers }
+    }
+
+    /// Builds an MLP from pre-constructed layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or consecutive widths do not chain.
+    pub fn from_layers(layers: Vec<Dense>) -> Self {
+        assert!(!layers.is_empty(), "need at least one layer");
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].fan_out(),
+                pair[1].fan_in(),
+                "layer widths do not chain: {} -> {}",
+                pair[0].fan_out(),
+                pair[1].fan_in()
+            );
+        }
+        Self { layers }
+    }
+
+    /// Network input width.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].fan_in()
+    }
+
+    /// Network output width.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").fan_out()
+    }
+
+    /// Borrow of the layer stack.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Dense::param_count).sum()
+    }
+
+    /// Multiply–accumulate operations for one forward sample.
+    pub fn macs(&self) -> usize {
+        self.layers.iter().map(Dense::macs).sum()
+    }
+
+    /// Storage footprint of the parameters in bytes (fp32).
+    pub fn memory_bytes(&self) -> usize {
+        self.param_count() * std::mem::size_of::<f32>()
+    }
+
+    /// Training-mode forward pass (caches activations for [`Mlp::backward`]).
+    pub fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Inference-only forward pass (no caching).
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.infer(&x);
+        }
+        x
+    }
+
+    /// Convenience scalar inference for single-output networks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network output width is not 1 or the feature length is
+    /// wrong.
+    pub fn infer_scalar(&self, features: &[f32]) -> f32 {
+        assert_eq!(self.output_dim(), 1, "infer_scalar requires a single-output network");
+        self.infer(&Matrix::row_vector(features))[(0, 0)]
+    }
+
+    /// Backpropagates `dL/dy`, accumulating parameter gradients, and returns
+    /// `dL/dx` (useful for cascaded networks).
+    pub fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Clears accumulated gradients on all layers.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Visits all `(param, grad)` slices in a deterministic order.
+    pub fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        for layer in &mut self.layers {
+            layer.visit_params(visitor);
+        }
+    }
+
+    /// Global L2 norm of the accumulated gradients.
+    pub fn grad_norm(&mut self) -> f32 {
+        let mut sq = 0.0_f32;
+        self.visit_params(&mut |_p, g| {
+            sq += g.iter().map(|x| x * x).sum::<f32>();
+        });
+        sq.sqrt()
+    }
+
+    /// Scales all gradients so the global norm does not exceed `max_norm`.
+    ///
+    /// Returns the pre-clip norm.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        assert!(max_norm > 0.0, "max_norm must be positive");
+        let norm = self.grad_norm();
+        if norm > max_norm {
+            let scale = max_norm / norm;
+            self.visit_params(&mut |_p, g| {
+                for x in g.iter_mut() {
+                    *x *= scale;
+                }
+            });
+        }
+        norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn paper_branch_parameter_counts() {
+        // §III-A: branches have hidden widths 16/32/16; Branch 1 has 3 inputs,
+        // Branch 2 has 4. Together: 2,322 parameters ≈ 9 kB fp32.
+        let b1 = Mlp::new(&[3, 16, 32, 16, 1], Activation::Relu, Init::HeNormal, &mut rng());
+        let b2 = Mlp::new(&[4, 16, 32, 16, 1], Activation::Relu, Init::HeNormal, &mut rng());
+        assert_eq!(b1.param_count(), 1153);
+        assert_eq!(b2.param_count(), 1169);
+        assert_eq!(b1.param_count() + b2.param_count(), 2322);
+        assert_eq!(b1.memory_bytes() + b2.memory_bytes(), 9288);
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut m = Mlp::new(&[3, 8, 1], Activation::Relu, Init::HeNormal, &mut rng());
+        let y = m.forward(&Matrix::zeros(5, 3));
+        assert_eq!(y.shape(), (5, 1));
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut m = Mlp::new(&[2, 4, 4, 1], Activation::Tanh, Init::XavierUniform, &mut rng());
+        let x = Matrix::from_rows(&[&[0.3, -0.8], &[1.2, 0.4]]);
+        assert_eq!(m.forward(&x), m.infer(&x));
+    }
+
+    #[test]
+    fn last_layer_is_linear() {
+        let m = Mlp::new(&[2, 4, 1], Activation::Relu, Init::HeNormal, &mut rng());
+        assert_eq!(m.layers()[1].activation(), Activation::Identity);
+        assert_eq!(m.layers()[0].activation(), Activation::Relu);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_linear_target() {
+        use crate::loss::Loss;
+        use crate::optim::{Adam, Optimizer};
+        // y = 2a - b; an MLP should fit this quickly.
+        let mut m = Mlp::new(&[2, 8, 1], Activation::Relu, Init::HeNormal, &mut rng());
+        let mut opt = Adam::new(0.01);
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[0.5, 0.25]]);
+        let y = Matrix::from_rows(&[&[0.0], &[2.0], &[-1.0], &[1.0], &[0.75]]);
+        let initial = Loss::Mse.value(&m.infer(&x), &y);
+        for _ in 0..500 {
+            let pred = m.forward(&x);
+            let grad = Loss::Mse.gradient(&pred, &y);
+            m.zero_grad();
+            m.backward(&grad);
+            opt.step(&mut m);
+        }
+        let fin = Loss::Mse.value(&m.infer(&x), &y);
+        assert!(fin < initial * 0.05, "loss {initial} -> {fin} did not improve enough");
+    }
+
+    #[test]
+    fn grad_clip_bounds_norm() {
+        let mut m = Mlp::new(&[2, 16, 1], Activation::Relu, Init::HeNormal, &mut rng());
+        let x = Matrix::from_rows(&[&[10.0, -10.0]]);
+        let y = m.forward(&x);
+        m.backward(&y.map(|_| 100.0));
+        let pre = m.clip_grad_norm(1.0);
+        assert!(pre > 1.0);
+        assert!(m.grad_norm() <= 1.0 + 1e-4);
+    }
+
+    #[test]
+    fn cascaded_backward_returns_input_gradient() {
+        let mut m = Mlp::new(&[3, 4, 1], Activation::Relu, Init::HeNormal, &mut rng());
+        let x = Matrix::from_rows(&[&[0.5, 0.5, 0.5]]);
+        let _ = m.forward(&x);
+        let dx = m.backward(&Matrix::from_rows(&[&[1.0]]));
+        assert_eq!(dx.shape(), (1, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "do not chain")]
+    fn mismatched_layers_panic() {
+        let mut r = rng();
+        let l1 = Dense::new(2, 4, Activation::Relu, Init::HeNormal, &mut r);
+        let l2 = Dense::new(5, 1, Activation::Identity, Init::HeNormal, &mut r);
+        let _ = Mlp::from_layers(vec![l1, l2]);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_inference() {
+        let m = Mlp::new(&[3, 16, 32, 16, 1], Activation::Relu, Init::HeNormal, &mut rng());
+        let json = serde_json::to_string(&m).unwrap();
+        let m2: Mlp = serde_json::from_str(&json).unwrap();
+        let x = Matrix::row_vector(&[0.1, 0.9, 0.5]);
+        assert_eq!(m.infer(&x), m2.infer(&x));
+    }
+}

@@ -1,0 +1,328 @@
+//! First-order optimizers over any model exposing `visit_params`.
+//!
+//! Optimizers associate per-parameter state (momentum, Adam moments) with the
+//! deterministic visit order of the model's parameter tensors, so the same
+//! optimizer instance must always be used with the same model.
+
+use crate::lstm::Lstm;
+use crate::mlp::Mlp;
+
+/// Anything whose `(param, grad)` tensors can be visited in a stable order.
+pub trait Trainable {
+    /// Visits `(param, grad)` slice pairs in a deterministic order.
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32]));
+}
+
+impl Trainable for Mlp {
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        Mlp::visit_params(self, visitor)
+    }
+}
+
+impl Trainable for Lstm {
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        Lstm::visit_params(self, visitor)
+    }
+}
+
+/// A gradient-descent style optimizer.
+pub trait Optimizer {
+    /// Applies one update step using the gradients currently accumulated in
+    /// `model`, then leaves the gradients untouched (call `zero_grad` on the
+    /// model before the next accumulation).
+    fn step(&mut self, model: &mut dyn Trainable);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (used by LR schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent, optionally with classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// SGD with no momentum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f32) -> Self {
+        Self::with_momentum(lr, 0.0)
+    }
+
+    /// SGD with classical momentum `β v + g`.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Self { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, model: &mut dyn Trainable) {
+        let mut idx = 0;
+        let lr = self.lr;
+        let momentum = self.momentum;
+        let velocity = &mut self.velocity;
+        model.visit_params(&mut |p, g| {
+            if velocity.len() <= idx {
+                velocity.push(vec![0.0; p.len()]);
+            }
+            let v = &mut velocity[idx];
+            assert_eq!(v.len(), p.len(), "parameter tensor changed size");
+            for ((pi, gi), vi) in p.iter_mut().zip(g.iter()).zip(v.iter_mut()) {
+                *vi = momentum * *vi + *gi;
+                *pi -= lr * *vi;
+            }
+            idx += 1;
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction — the workspace default, as
+/// is standard for training small PINNs.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    moments: Vec<AdamSlot>,
+}
+
+#[derive(Debug, Clone)]
+struct AdamSlot {
+    m: Vec<f32>,
+    v: Vec<f32>,
+}
+
+impl Adam {
+    /// Adam with standard hyper-parameters (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not finite and positive.
+    pub fn new(lr: f32) -> Self {
+        Self::with_config(lr, 0.9, 0.999, 1e-8, 0.0)
+    }
+
+    /// Fully parameterized constructor; `weight_decay` is decoupled (AdamW).
+    pub fn with_config(lr: f32, beta1: f32, beta2: f32, eps: f32, weight_decay: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas in [0,1)");
+        assert!(eps > 0.0, "eps must be positive");
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        Self { lr, beta1, beta2, eps, weight_decay, t: 0, moments: Vec::new() }
+    }
+
+    /// Number of update steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, model: &mut dyn Trainable) {
+        self.t += 1;
+        let t = self.t as f64;
+        let bc1 = 1.0 - (self.beta1 as f64).powf(t);
+        let bc2 = 1.0 - (self.beta2 as f64).powf(t);
+        let (lr, b1, b2, eps, wd) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+        let moments = &mut self.moments;
+        let mut idx = 0;
+        model.visit_params(&mut |p, g| {
+            if moments.len() <= idx {
+                moments.push(AdamSlot { m: vec![0.0; p.len()], v: vec![0.0; p.len()] });
+            }
+            let slot = &mut moments[idx];
+            assert_eq!(slot.m.len(), p.len(), "parameter tensor changed size");
+            for i in 0..p.len() {
+                let grad = g[i];
+                slot.m[i] = b1 * slot.m[i] + (1.0 - b1) * grad;
+                slot.v[i] = b2 * slot.v[i] + (1.0 - b2) * grad * grad;
+                let m_hat = slot.m[i] as f64 / bc1;
+                let v_hat = slot.v[i] as f64 / bc2;
+                let update = m_hat / (v_hat.sqrt() + eps as f64);
+                p[i] -= lr * update as f32 + lr * wd * p[i];
+            }
+            idx += 1;
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Learning-rate schedule applied on top of an optimizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Multiply by `gamma` every `every` epochs.
+    StepDecay {
+        /// Epoch period between decays.
+        every: usize,
+        /// Multiplicative factor per decay.
+        gamma: f32,
+    },
+    /// Cosine annealing from the base LR to `min_lr` over `total` epochs.
+    Cosine {
+        /// Total epochs of the schedule.
+        total: usize,
+        /// Floor learning rate.
+        min_lr: f32,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate for `epoch` (0-based) given the base rate.
+    pub fn rate_at(self, base_lr: f32, epoch: usize) -> f32 {
+        match self {
+            LrSchedule::Constant => base_lr,
+            LrSchedule::StepDecay { every, gamma } => {
+                base_lr * gamma.powi((epoch / every.max(1)) as i32)
+            }
+            LrSchedule::Cosine { total, min_lr } => {
+                if total <= 1 {
+                    return min_lr;
+                }
+                let progress = (epoch.min(total - 1)) as f32 / (total - 1) as f32;
+                min_lr
+                    + 0.5 * (base_lr - min_lr) * (1.0 + (std::f32::consts::PI * progress).cos())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::init::Init;
+    use crate::loss::Loss;
+    use crate::matrix::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quadratic_problem() -> (Mlp, Matrix, Matrix) {
+        let mut rng = StdRng::seed_from_u64(77);
+        let m = Mlp::new(&[1, 8, 1], Activation::Tanh, Init::XavierUniform, &mut rng);
+        let xs: Vec<f32> = (0..20).map(|i| i as f32 / 10.0 - 1.0).collect();
+        let ys: Vec<f32> = xs.iter().map(|x| x * x).collect();
+        let x = Matrix::from_vec(20, 1, xs);
+        let y = Matrix::from_vec(20, 1, ys);
+        (m, x, y)
+    }
+
+    fn train_with(mut opt: impl Optimizer, iters: usize) -> f32 {
+        let (mut m, x, y) = quadratic_problem();
+        for _ in 0..iters {
+            let pred = m.forward(&x);
+            let grad = Loss::Mse.gradient(&pred, &y);
+            m.zero_grad();
+            m.backward(&grad);
+            opt.step(&mut m);
+        }
+        Loss::Mse.value(&m.infer(&x), &y)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        assert!(train_with(Sgd::new(0.1), 2000) < 0.01);
+    }
+
+    #[test]
+    fn momentum_beats_plain_sgd_early() {
+        let plain = train_with(Sgd::new(0.05), 300);
+        let mom = train_with(Sgd::with_momentum(0.05, 0.9), 300);
+        assert!(mom < plain, "momentum {mom} should beat plain {plain}");
+    }
+
+    #[test]
+    fn adam_converges_fast() {
+        assert!(train_with(Adam::new(0.01), 500) < 0.005);
+    }
+
+    #[test]
+    fn adam_step_counter() {
+        let (mut m, x, y) = quadratic_problem();
+        let mut opt = Adam::new(0.001);
+        let pred = m.forward(&x);
+        let grad = Loss::Mse.gradient(&pred, &y);
+        m.backward(&grad);
+        opt.step(&mut m);
+        opt.step(&mut m);
+        assert_eq!(opt.steps(), 2);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m = Mlp::new(&[2, 4, 1], Activation::Relu, Init::HeNormal, &mut rng);
+        let mut opt = Adam::with_config(0.01, 0.9, 0.999, 1e-8, 0.1);
+        let norm_before: f32 = {
+            let mut sq = 0.0;
+            m.visit_params(&mut |p, _| sq += p.iter().map(|x| x * x).sum::<f32>());
+            sq
+        };
+        // Zero gradients: only decay acts.
+        for _ in 0..50 {
+            m.zero_grad();
+            let x = Matrix::zeros(1, 2);
+            let _ = m.forward(&x);
+            let _ = m.backward(&Matrix::zeros(1, 1));
+            opt.step(&mut m);
+        }
+        let norm_after: f32 = {
+            let mut sq = 0.0;
+            m.visit_params(&mut |p, _| sq += p.iter().map(|x| x * x).sum::<f32>());
+            sq
+        };
+        assert!(norm_after < norm_before);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_lr_panics() {
+        let _ = Adam::new(-1.0);
+    }
+
+    #[test]
+    fn step_decay_schedule() {
+        let s = LrSchedule::StepDecay { every: 10, gamma: 0.5 };
+        assert_eq!(s.rate_at(1.0, 0), 1.0);
+        assert_eq!(s.rate_at(1.0, 10), 0.5);
+        assert_eq!(s.rate_at(1.0, 25), 0.25);
+    }
+
+    #[test]
+    fn cosine_schedule_endpoints() {
+        let s = LrSchedule::Cosine { total: 100, min_lr: 0.001 };
+        assert!((s.rate_at(0.1, 0) - 0.1).abs() < 1e-6);
+        assert!((s.rate_at(0.1, 99) - 0.001).abs() < 1e-6);
+        let mid = s.rate_at(0.1, 50);
+        assert!(mid < 0.1 && mid > 0.001);
+    }
+}

@@ -1,0 +1,122 @@
+//! Saving and loading models as JSON.
+//!
+//! The trained two-branch network is ~2.3k parameters, so JSON is perfectly
+//! adequate and keeps persisted models human-inspectable.
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Error returned by model persistence operations.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying filesystem failure.
+    Io(io::Error),
+    /// Malformed or incompatible serialized model.
+    Format(serde_json::Error),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "model file I/O failed: {e}"),
+            PersistError::Format(e) => write!(f, "invalid model file format: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Format(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Format(e)
+    }
+}
+
+/// Serializes any model to pretty-printed JSON at `path`.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] on filesystem failure and
+/// [`PersistError::Format`] if the model cannot be serialized.
+pub fn save_json<M: Serialize>(model: &M, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let json = serde_json::to_string_pretty(model)?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Loads a model previously written by [`save_json`].
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] if the file cannot be read and
+/// [`PersistError::Format`] if its contents do not describe a valid model.
+pub fn load_json<M: DeserializeOwned>(path: impl AsRef<Path>) -> Result<M, PersistError> {
+    let json = fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&json)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::init::Init;
+    use crate::matrix::Matrix;
+    use crate::mlp::Mlp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_through_file() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let model = Mlp::new(&[3, 8, 1], Activation::Relu, Init::HeNormal, &mut rng);
+        let dir = std::env::temp_dir().join("pinnsoc_nn_persist_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        save_json(&model, &path).unwrap();
+        let loaded: Mlp = load_json(&path).unwrap();
+        let x = Matrix::row_vector(&[0.2, 0.4, 0.6]);
+        assert_eq!(model.infer(&x), loaded.infer(&x));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_json::<Mlp>("/nonexistent/definitely/missing.json").unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn malformed_file_is_format_error() {
+        let dir = std::env::temp_dir().join("pinnsoc_nn_persist_test2");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        fs::write(&path, "{ not json ").unwrap();
+        let err = load_json::<Mlp>(&path).unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PersistError>();
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the NN substrate: algebraic identities of the
+//! matrix kernels and analytic properties of activations and losses.
+
+use pinnsoc_nn::{Activation, Loss, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a matrix of the given shape with bounded entries.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
+    assert_eq!(a.shape(), b.shape());
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{x} vs {y}");
+    }
+}
+
+proptest! {
+    #[test]
+    fn matmul_associative(a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        assert_close(&left, &right, 1e-3);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in matrix(3, 4), b in matrix(4, 2), c in matrix(4, 2)) {
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        assert_close(&left, &right, 1e-3);
+    }
+
+    #[test]
+    fn transpose_of_product(a in matrix(3, 4), b in matrix(4, 2)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        assert_close(&left, &right, 1e-4);
+    }
+
+    #[test]
+    fn fused_transpose_kernels_match_explicit(a in matrix(5, 3), b in matrix(5, 4), c in matrix(4, 3)) {
+        assert_close(&a.matmul_tn(&b), &a.transpose().matmul(&b), 1e-4);
+        assert_close(&a.matmul_nt(&c), &a.matmul(&c.transpose()), 1e-4);
+    }
+
+    #[test]
+    fn addition_commutes(a in matrix(4, 4), b in matrix(4, 4)) {
+        assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn hadamard_with_ones_is_identity(a in matrix(3, 5)) {
+        let ones = Matrix::full(3, 5, 1.0);
+        assert_eq!(a.hadamard(&ones), a);
+    }
+
+    #[test]
+    fn column_sums_linear(a in matrix(4, 3), b in matrix(4, 3)) {
+        let sum: Vec<f32> = a.add(&b).column_sums();
+        let separate: Vec<f32> = a
+            .column_sums()
+            .iter()
+            .zip(b.column_sums())
+            .map(|(x, y)| x + y)
+            .collect();
+        for (s, t) in sum.iter().zip(&separate) {
+            prop_assert!((s - t).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn vstack_preserves_rows(a in matrix(2, 3), b in matrix(4, 3)) {
+        let stacked = a.vstack(&b);
+        prop_assert_eq!(stacked.shape(), (6, 3));
+        prop_assert_eq!(stacked.row(1), a.row(1));
+        prop_assert_eq!(stacked.row(3), b.row(1));
+    }
+
+    #[test]
+    fn gather_rows_matches_indexing(a in matrix(5, 3), idx in proptest::collection::vec(0usize..5, 1..8)) {
+        let g = a.gather_rows(&idx);
+        for (out_row, &src) in idx.iter().enumerate() {
+            prop_assert_eq!(g.row(out_row), a.row(src));
+        }
+    }
+
+    #[test]
+    fn sigmoid_bounded_and_monotone(x in -50.0f32..50.0, y in -50.0f32..50.0) {
+        let s = Activation::Sigmoid;
+        let sx = s.apply(x);
+        prop_assert!((0.0..=1.0).contains(&sx));
+        if x < y {
+            prop_assert!(sx <= s.apply(y));
+        }
+    }
+
+    #[test]
+    fn relu_is_idempotent(x in -100.0f32..100.0) {
+        let r = Activation::Relu;
+        prop_assert_eq!(r.apply(r.apply(x)), r.apply(x));
+        prop_assert!(r.apply(x) >= 0.0);
+    }
+
+    #[test]
+    fn tanh_odd_function(x in -10.0f32..10.0) {
+        let t = Activation::Tanh;
+        prop_assert!((t.apply(-x) + t.apply(x)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn losses_are_nonnegative_and_zero_at_target(p in matrix(2, 3)) {
+        for loss in [Loss::Mae, Loss::Mse, Loss::Huber(1.0)] {
+            prop_assert!(loss.value(&p, &p).abs() < 1e-9);
+            let shifted = p.map(|x| x + 1.0);
+            prop_assert!(loss.value(&shifted, &p) > 0.0);
+        }
+    }
+
+    #[test]
+    fn mae_is_translation_invariant(p in matrix(2, 2), shift in -5.0f32..5.0) {
+        let t = Matrix::zeros(2, 2);
+        let a = Loss::Mae.value(&p, &t);
+        let b = Loss::Mae.value(&p.map(|x| x + shift), &t.map(|x| x + shift));
+        prop_assert!((a - b).abs() < 1e-4);
+    }
+
+    #[test]
+    fn loss_gradient_points_uphill(p in matrix(1, 4), t in matrix(1, 4)) {
+        // Moving a small step along the gradient must not decrease the loss.
+        for loss in [Loss::Mse, Loss::Huber(0.5)] {
+            let g = loss.gradient(&p, &t);
+            let eps = 1e-3;
+            let stepped = p.add(&g.scale(eps));
+            prop_assert!(loss.value(&stepped, &t) >= loss.value(&p, &t) - 1e-6);
+        }
+    }
+}

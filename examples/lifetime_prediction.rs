@@ -1,0 +1,75 @@
+//! Full-discharge lifetime prediction (the Fig. 5 use case): given only the
+//! first sensor reading and the expected drive profile, predict the whole
+//! SoC trajectory — voltage is never consulted again.
+//!
+//! ```text
+//! cargo run -p pinnsoc --release --example lifetime_prediction
+//! ```
+
+use pinnsoc::{autoregressive_rollout, train, PinnVariant, TrainConfig};
+use pinnsoc_data::{generate_lg, CycleKind, LgConfig};
+use pinnsoc_cycles::DriveSchedule;
+
+/// Renders one rollout as a crude ASCII chart (time left to right).
+fn ascii_chart(times: &[f64], predicted: &[f64], truth: &[f64]) {
+    const ROWS: usize = 12;
+    const COLS: usize = 72;
+    let t_max = *times.last().expect("non-empty");
+    let mut grid = vec![vec![' '; COLS]; ROWS];
+    let plot = |grid: &mut Vec<Vec<char>>, xs: &[f64], ys: &[f64], ch: char| {
+        for (x, y) in xs.iter().zip(ys) {
+            let col = ((x / t_max) * (COLS - 1) as f64).round() as usize;
+            let row_f = (1.0 - y.clamp(-0.1, 1.05)) / 1.15 * (ROWS - 1) as f64;
+            let row = row_f.round().clamp(0.0, (ROWS - 1) as f64) as usize;
+            grid[row][col] = ch;
+        }
+    };
+    plot(&mut grid, times, truth, '.');
+    plot(&mut grid, times, predicted, '#');
+    println!("  1.0 ┐  ('#' predicted, '.' ground truth)");
+    for row in grid {
+        println!("      │{}", row.into_iter().collect::<String>());
+    }
+    println!("  0.0 └{}", "─".repeat(COLS));
+    println!("       0 s{:>66.0} s", t_max);
+}
+
+fn main() {
+    println!("generating LG-like data and training PINN-30s...");
+    let dataset = generate_lg(&LgConfig { test_temps_c: vec![25.0], ..LgConfig::default() });
+    let (model, _) = train(
+        &dataset,
+        &TrainConfig::lg(PinnVariant::pinn_single(30.0), 1),
+    );
+
+    for cycle in dataset.test.iter().filter(|c| {
+        matches!(
+            c.meta.kind,
+            CycleKind::Drive(DriveSchedule::Udds) | CycleKind::Drive(DriveSchedule::Us06)
+        )
+    }) {
+        println!("\n=== {} — predicted full discharge ===", cycle.meta);
+        let rollout = autoregressive_rollout(&model, cycle, 30.0);
+        ascii_chart(&rollout.times_s, &rollout.predicted, &rollout.ground_truth);
+        let predicted_eol = rollout
+            .times_s
+            .iter()
+            .zip(&rollout.predicted)
+            .find(|(_, soc)| **soc <= 0.05)
+            .map(|(t, _)| *t);
+        let true_eol = cycle.duration_s();
+        match predicted_eol {
+            Some(t) => println!(
+                "predicted time-to-empty {t:.0} s vs actual {true_eol:.0} s \
+                 ({:+.1}% error) over {} autoregressive steps",
+                100.0 * (t - true_eol) / true_eol,
+                rollout.steps()
+            ),
+            None => println!(
+                "predictor never crossed 5% SoC (final prediction {:.3}, {} steps)",
+                rollout.predicted.last().unwrap(),
+                rollout.steps()
+            ),
+        }
+    }
+}

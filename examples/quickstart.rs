@@ -1,0 +1,59 @@
+//! Quickstart: train a physics-informed SoC model and query it.
+//!
+//! ```text
+//! cargo run -p pinnsoc --release --example quickstart
+//! ```
+//!
+//! Generates a small Sandia-like dataset, trains the two-branch PINN, and
+//! runs the two queries every BMS needs: "what is my SoC right now?" and
+//! "what will it be in N seconds under this load?".
+
+use pinnsoc::{eval_estimation, eval_prediction, train, PinnVariant, TrainConfig};
+use pinnsoc_battery::Chemistry;
+use pinnsoc_data::{generate_sandia, SandiaConfig};
+
+fn main() {
+    // 1. Data: one NMC cell cycled at three ambient temperatures (trains in
+    //    a couple of seconds).
+    let dataset = generate_sandia(&SandiaConfig {
+        chemistries: vec![Chemistry::Nmc],
+        ..SandiaConfig::default()
+    });
+    println!(
+        "dataset: {} train / {} test records",
+        dataset.train_len(),
+        dataset.test_len()
+    );
+
+    // 2. Train the PINN-All variant: physics horizons 120/240/360 s.
+    let variant = PinnVariant::pinn_all(&[120.0, 240.0, 360.0]);
+    let (model, report) = train(&dataset, &TrainConfig::sandia(variant, 42));
+    println!(
+        "trained {} ({}); final B1 loss {:.4}, B2 loss {:.4}",
+        model.label,
+        model.cost(),
+        report.b1_loss.last().unwrap(),
+        report.b2_loss.last().unwrap(),
+    );
+
+    // 3. Estimate the current SoC from a sensor reading (Branch 1).
+    let (v, i, t) = (3.62, 3.0, 26.0);
+    let soc_now = model.estimate(v, i, t);
+    println!("\nsensor reading V={v} V, I={i} A, T={t} °C -> SoC(t) ≈ {soc_now:.3}");
+
+    // 4. Predict the future SoC under a planned load (Branch 2), for
+    //    several horizons from the same network — the multi-horizon power
+    //    management use case of §III.
+    for horizon in [120.0, 240.0, 360.0] {
+        let soc_future = model.predict_from(soc_now, 6.0, 26.0, horizon);
+        println!("under a 2C load for {horizon:>4.0} s -> SoC ≈ {soc_future:.3}");
+    }
+
+    // 5. How good is it? MAE on the held-out 2C/3C cycles.
+    let est = eval_estimation(&model, &dataset.test);
+    let pred = eval_prediction(&model, &dataset.test, 120.0);
+    println!(
+        "\ntest MAE: estimation {:.4}, prediction@120s {:.4} ({} windows)",
+        est.mae, pred.mae, pred.count
+    );
+}

@@ -1,0 +1,113 @@
+//! Battery-aware task scheduling on an embedded device (§III: "on a
+//! battery-operated embedded device, it could be used to find the most
+//! appropriate scheduling of computing tasks").
+//!
+//! ```text
+//! cargo run -p pinnsoc --release --example task_scheduling
+//! ```
+//!
+//! A sensor node must run a mix of mandatory telemetry and optional
+//! compute-heavy jobs before its next recharge window. The scheduler
+//! greedily admits optional jobs only when the SoC predictor says the
+//! mandatory workload still finishes above the brown-out threshold.
+
+use pinnsoc::{train, PinnVariant, SocModel, TrainConfig};
+use pinnsoc_battery::Chemistry;
+use pinnsoc_data::{generate_sandia, SandiaConfig};
+
+#[derive(Debug, Clone, Copy)]
+struct Task {
+    name: &'static str,
+    current_a: f64,
+    duration_s: f64,
+    mandatory: bool,
+}
+
+/// Predicted SoC after running `tasks` back to back from `soc0`.
+///
+/// Predictions are clamped to `[0, 1]` between autoregressive steps, as a
+/// BMS would do — feeding an out-of-range SoC back into the network leaves
+/// its trained domain.
+fn soc_after(model: &SocModel, soc0: f64, tasks: &[Task], temp_c: f64, step_s: f64) -> f64 {
+    let mut soc = soc0;
+    for t in tasks {
+        let mut remaining = t.duration_s;
+        while remaining > 1e-9 {
+            let dt = remaining.min(step_s);
+            soc = model.predict_from(soc, t.current_a, temp_c, dt).clamp(0.0, 1.0);
+            remaining -= dt;
+        }
+    }
+    soc
+}
+
+fn main() {
+    println!("training the SoC predictor on lab-cycle data...");
+    let dataset = generate_sandia(&SandiaConfig {
+        chemistries: vec![Chemistry::Nmc],
+        ..SandiaConfig::default()
+    });
+    let variant = PinnVariant::pinn_all(&[120.0, 240.0, 360.0]);
+    let (model, _) = train(&dataset, &TrainConfig::sandia(variant, 3));
+
+    let temp_c = 26.0;
+    let brownout = 0.10;
+    // Read the cell during an active (1C-class) phase: Branch 1 is trained
+    // on the lab protocol's load currents, so query it there.
+    let soc0 = model.estimate(3.62, 3.0, temp_c);
+    println!("starting SoC estimate: {soc0:.3}, brown-out threshold {brownout}\n");
+
+    let mandatory = [
+        Task { name: "radio telemetry", current_a: 1.8, duration_s: 240.0, mandatory: true },
+        Task { name: "sensor sweep", current_a: 0.9, duration_s: 600.0, mandatory: true },
+    ];
+    let optional = [
+        Task { name: "firmware integrity scan", current_a: 2.4, duration_s: 480.0, mandatory: false },
+        Task { name: "on-device model refresh", current_a: 3.0, duration_s: 600.0, mandatory: false },
+        Task { name: "log compaction", current_a: 1.2, duration_s: 360.0, mandatory: false },
+    ];
+
+    // The mandatory workload must always fit.
+    let after_mandatory = soc_after(&model, soc0, &mandatory, temp_c, 360.0);
+    println!("after mandatory workload: SoC {after_mandatory:.3}");
+    assert!(
+        after_mandatory > brownout,
+        "mandatory workload alone violates the brown-out threshold"
+    );
+
+    // Greedy admission: accept an optional job only if mandatory work still
+    // finishes above the threshold afterwards.
+    let mut schedule: Vec<Task> = Vec::new();
+    for job in optional {
+        let mut attempt: Vec<Task> = schedule.clone();
+        attempt.push(job);
+        attempt.extend_from_slice(&mandatory);
+        let landing = soc_after(&model, soc0, &attempt, temp_c, 360.0);
+        if landing > brownout {
+            println!(
+                "ADMIT  {:<26} (predicted end-of-schedule SoC {landing:.3})",
+                job.name
+            );
+            schedule.push(job);
+        } else {
+            println!(
+                "REJECT {:<26} (would end at SoC {landing:.3} <= {brownout})",
+                job.name
+            );
+        }
+    }
+
+    schedule.extend_from_slice(&mandatory);
+    let final_soc = soc_after(&model, soc0, &schedule, temp_c, 360.0);
+    println!("\nfinal schedule ({} tasks):", schedule.len());
+    for t in &schedule {
+        println!(
+            "  {:<26} {:>4.1} A for {:>4.0} s{}",
+            t.name,
+            t.current_a,
+            t.duration_s,
+            if t.mandatory { "  [mandatory]" } else { "" }
+        );
+    }
+    println!("predicted SoC at recharge window: {final_soc:.3}");
+}

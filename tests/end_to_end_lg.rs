@@ -1,0 +1,115 @@
+//! End-to-end integration test on the LG-like dataset: drive-cycle data
+//! generation, training, horizon generalization, and autoregressive
+//! rollout.
+
+use pinnsoc::{
+    autoregressive_rollout, eval_prediction, train, PinnVariant, TrainConfig,
+};
+use pinnsoc_data::{generate_lg, LgConfig, NoiseConfig};
+
+fn dataset() -> pinnsoc_data::SocDataset {
+    generate_lg(&LgConfig {
+        train_mixed: 3,
+        train_temps_c: vec![10.0, 25.0],
+        test_temps_c: vec![25.0],
+        mixed_segments: 3,
+        noise: NoiseConfig::default(),
+        ..LgConfig::default()
+    })
+}
+
+fn config(variant: PinnVariant, seed: u64) -> TrainConfig {
+    TrainConfig { b1_epochs: 10, b2_epochs: 8, ..TrainConfig::lg(variant, seed) }
+}
+
+#[test]
+fn lg_split_matches_paper_protocol() {
+    let ds = dataset();
+    assert_eq!(ds.train.len(), 3);
+    assert_eq!(ds.test.len(), 5); // 4 schedules + MIXED at one temperature
+    for c in &ds.train {
+        assert!(c.final_soc() < 0.15, "{} is not a full discharge", c.meta);
+    }
+}
+
+#[test]
+fn pinn_beats_no_pinn_at_the_longest_horizon() {
+    let ds = dataset();
+    let mut no_pinn = 0.0;
+    let mut pinn = 0.0;
+    for seed in 0..2 {
+        no_pinn += eval_prediction(
+            &train(&ds, &config(PinnVariant::NoPinn, seed)).0,
+            &ds.test,
+            70.0,
+        )
+        .mae;
+        pinn += eval_prediction(
+            &train(&ds, &config(PinnVariant::pinn_all(&[30.0, 50.0, 70.0]), seed)).0,
+            &ds.test,
+            70.0,
+        )
+        .mae;
+    }
+    assert!(
+        pinn < no_pinn,
+        "PINN-All at 70s ({:.4}) should beat No-PINN ({:.4})",
+        pinn / 2.0,
+        no_pinn / 2.0
+    );
+}
+
+#[test]
+fn rollout_tracks_a_full_discharge() {
+    let ds = dataset();
+    let (model, _) = train(&ds, &config(PinnVariant::pinn_single(30.0), 4));
+    let cycle = &ds.test[0];
+    let rollout = autoregressive_rollout(&model, cycle, 30.0);
+    assert!(rollout.steps() > 20, "rollout too short: {} steps", rollout.steps());
+    // Paper Fig. 5: trajectories drift but stay in a sane band; we check the
+    // trajectory MAE rather than the (noisier) final point.
+    assert!(
+        rollout.trajectory_mae() < 0.35,
+        "trajectory MAE {:.3} out of band",
+        rollout.trajectory_mae()
+    );
+    // Predictions must actually descend (it is a discharge).
+    let first = rollout.predicted.first().unwrap();
+    let last = rollout.predicted.last().unwrap();
+    assert!(last < first, "rollout did not discharge: {first} -> {last}");
+}
+
+#[test]
+fn branch2_horizon_input_matters_after_pinn_training() {
+    // With physics over multiple horizons, the network must use its N input:
+    // a longer horizon at the same current must shed more charge.
+    let ds = dataset();
+    let (model, _) = train(&ds, &config(PinnVariant::pinn_all(&[30.0, 50.0, 70.0]), 5));
+    let s30 = model.predict_from(0.8, 6.0, 25.0, 30.0);
+    let s70 = model.predict_from(0.8, 6.0, 25.0, 70.0);
+    assert!(
+        s70 < s30 - 0.01,
+        "70s under 2C ({s70:.4}) should be well below 30s ({s30:.4})"
+    );
+}
+
+#[test]
+fn temperature_affects_lg_test_difficulty() {
+    // Table I: 0 °C rows have higher MAE than 25 °C rows.
+    let ds = generate_lg(&LgConfig {
+        train_mixed: 3,
+        train_temps_c: vec![0.0, 10.0, 25.0],
+        test_temps_c: vec![0.0, 25.0],
+        mixed_segments: 3,
+        ..LgConfig::default()
+    });
+    let (model, _) = train(&ds, &config(PinnVariant::NoPinn, 6));
+    let cold: Vec<_> = ds.test_at_temperature(0.0).into_iter().cloned().collect();
+    let warm: Vec<_> = ds.test_at_temperature(25.0).into_iter().cloned().collect();
+    let cold_mae = eval_prediction(&model, &cold, 30.0).mae;
+    let warm_mae = eval_prediction(&model, &warm, 30.0).mae;
+    assert!(
+        cold_mae > warm_mae * 0.8,
+        "cold ({cold_mae:.4}) should not be dramatically easier than warm ({warm_mae:.4})"
+    );
+}

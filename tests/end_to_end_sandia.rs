@@ -1,0 +1,110 @@
+//! End-to-end integration test on the Sandia-like dataset: the full
+//! pipeline from cell simulation through training to evaluation, checking
+//! the paper's headline qualitative claims on a reduced configuration.
+
+use pinnsoc::{
+    eval_estimation, eval_prediction, train, PinnVariant, SecondStage, TrainConfig,
+};
+use pinnsoc_battery::Chemistry;
+use pinnsoc_data::{generate_sandia, SandiaConfig};
+
+fn dataset() -> pinnsoc_data::SocDataset {
+    // Two ambient temperatures so the temperature feature has a usable
+    // spread (test cycles self-heat well beyond any single training
+    // temperature's within-cycle variation).
+    generate_sandia(&SandiaConfig {
+        chemistries: vec![Chemistry::Nmc],
+        ambient_temps_c: vec![15.0, 35.0],
+        cycles_per_condition: 2,
+        ..SandiaConfig::default()
+    })
+}
+
+fn config(variant: PinnVariant, seed: u64) -> TrainConfig {
+    // The reduced dataset has few records, so use small batches and more
+    // epochs to reach a comparable optimizer-step count to the full runs.
+    TrainConfig {
+        b1_epochs: 80,
+        b2_epochs: 80,
+        batch_size: 16,
+        ..TrainConfig::sandia(variant, seed)
+    }
+}
+
+#[test]
+fn model_has_paper_architecture() {
+    let ds = dataset();
+    let (model, _) = train(&ds, &config(PinnVariant::NoPinn, 0));
+    // §III-A: 2,322 trainable parameters ≈ 9 kB fp32.
+    assert_eq!(model.param_count(), 2322);
+    assert_eq!(model.cost().memory_bytes, 9288);
+}
+
+#[test]
+fn pinn_generalizes_to_unseen_horizons_better_than_no_pinn() {
+    // The paper's central claim (Fig. 3): with the physics loss, MAE at
+    // horizons absent from the training data stays near the training-horizon
+    // MAE, while the purely data-driven model degrades. Averaged over
+    // 3 seeds to be robust.
+    let ds = dataset();
+    let mut no_pinn_360 = 0.0;
+    let mut pinn_360 = 0.0;
+    for seed in 0..3 {
+        let (no_pinn, _) = train(&ds, &config(PinnVariant::NoPinn, seed));
+        let (pinn, _) =
+            train(&ds, &config(PinnVariant::pinn_all(&[120.0, 240.0, 360.0]), seed));
+        no_pinn_360 += eval_prediction(&no_pinn, &ds.test, 360.0).mae;
+        pinn_360 += eval_prediction(&pinn, &ds.test, 360.0).mae;
+    }
+    assert!(
+        pinn_360 < no_pinn_360 * 0.6,
+        "PINN-All at the unseen 360s horizon ({:.4}) should be far below No-PINN ({:.4})",
+        pinn_360 / 3.0,
+        no_pinn_360 / 3.0
+    );
+}
+
+#[test]
+fn estimation_mae_is_reasonable_on_unseen_rates() {
+    let ds = dataset();
+    let (model, _) = train(&ds, &config(PinnVariant::NoPinn, 1));
+    let report = eval_estimation(&model, &ds.test);
+    // Test cycles are 2C/3C (unseen); the paper's Sandia numbers put the
+    // total prediction error below 0.1, so estimation must be too.
+    assert!(report.mae < 0.1, "estimation MAE {:.4}", report.mae);
+}
+
+#[test]
+fn physics_only_matches_trained_pinn_at_single_step_on_lab_data() {
+    // On constant-current data, Coulomb counting is nearly exact up to the
+    // datasheet-vs-actual capacity mismatch; the trained PINN should be in
+    // the same error band at the data horizon (and both well under No-PINN
+    // at longer ones).
+    let ds = dataset();
+    let (physics, _) = train(&ds, &config(PinnVariant::PhysicsOnly, 2));
+    assert!(matches!(physics.stage2, SecondStage::Coulomb { .. }));
+    let (pinn, _) = train(&ds, &config(PinnVariant::pinn_all(&[120.0, 240.0, 360.0]), 2));
+    let p_mae = eval_prediction(&physics, &ds.test, 120.0).mae;
+    let n_mae = eval_prediction(&pinn, &ds.test, 120.0).mae;
+    assert!(
+        (p_mae - n_mae).abs() < 0.05,
+        "Physics-Only {p_mae:.4} and PINN {n_mae:.4} should be in the same band"
+    );
+}
+
+#[test]
+fn multi_chemistry_training_works() {
+    // All three Sandia chemistries (different capacities!) in one model;
+    // the physics loss must use per-cycle capacities.
+    let ds = generate_sandia(&SandiaConfig {
+        ambient_temps_c: vec![25.0],
+        cycles_per_condition: 1,
+        ..SandiaConfig::default()
+    });
+    assert_eq!(ds.train.len(), 3);
+    let (model, report) =
+        train(&ds, &config(PinnVariant::pinn_all(&[120.0, 240.0]), 3));
+    assert!(report.b2_loss.last().unwrap() < report.b2_loss.first().unwrap());
+    let eval = eval_prediction(&model, &ds.test, 120.0);
+    assert!(eval.mae < 0.2, "multi-chemistry MAE {:.4}", eval.mae);
+}

@@ -1,0 +1,65 @@
+//! Model persistence: a trained model must survive a save/load round trip
+//! bit-exactly, so a BMS can ship weights trained offline.
+
+use pinnsoc::{train, PinnVariant, SocModel, TrainConfig};
+use pinnsoc_battery::Chemistry;
+use pinnsoc_data::{generate_sandia, SandiaConfig};
+use pinnsoc_nn::{load_json, save_json};
+
+fn trained_model(variant: PinnVariant) -> SocModel {
+    let ds = generate_sandia(&SandiaConfig {
+        chemistries: vec![Chemistry::Nmc],
+        ambient_temps_c: vec![25.0],
+        cycles_per_condition: 1,
+        ..SandiaConfig::default()
+    });
+    let config = TrainConfig { b1_epochs: 15, b2_epochs: 15, ..TrainConfig::sandia(variant, 9) };
+    train(&ds, &config).0
+}
+
+#[test]
+fn trained_network_roundtrips_through_disk() {
+    let model = trained_model(PinnVariant::pinn_all(&[120.0, 240.0]));
+    let dir = std::env::temp_dir().join("pinnsoc_persistence_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("pinn_all.json");
+    save_json(&model, &path).expect("save");
+    let loaded: SocModel = load_json(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(loaded.label, model.label);
+    assert_eq!(loaded.param_count(), model.param_count());
+    for (v, i, t) in [(3.8, 2.0, 25.0), (3.2, 6.0, 15.0), (4.1, -1.5, 35.0)] {
+        assert_eq!(model.estimate(v, i, t), loaded.estimate(v, i, t));
+    }
+    for (soc, i, t, n) in [(0.9, 3.0, 25.0, 120.0), (0.2, 9.0, 20.0, 360.0)] {
+        assert_eq!(
+            model.predict_from(soc, i, t, n),
+            loaded.predict_from(soc, i, t, n)
+        );
+    }
+}
+
+#[test]
+fn physics_only_model_roundtrips() {
+    let model = trained_model(PinnVariant::PhysicsOnly);
+    let json = serde_json::to_string(&model).expect("serialize");
+    let loaded: SocModel = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(
+        model.predict_from(0.7, 3.0, 25.0, 240.0),
+        loaded.predict_from(0.7, 3.0, 25.0, 240.0)
+    );
+}
+
+#[test]
+fn persisted_model_is_small_enough_for_a_bms_flash_page_budget() {
+    // §III-A argues the model fits a PMIC/BMS: the raw weights are ~9 kB;
+    // even the debuggable JSON form must stay comfortably small.
+    let model = trained_model(PinnVariant::NoPinn);
+    let json = serde_json::to_string(&model).expect("serialize");
+    assert!(
+        json.len() < 200_000,
+        "JSON model unexpectedly large: {} bytes",
+        json.len()
+    );
+}

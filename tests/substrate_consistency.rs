@@ -1,0 +1,160 @@
+//! Cross-crate consistency: the dataset layer, cell simulator, drive-cycle
+//! generator, and physics equation must agree with each other.
+
+use pinnsoc_battery::{coulomb_predict, CellParams, CellSim, Soc};
+use pinnsoc_cycles::{DriveSchedule, Vehicle};
+use pinnsoc_data::{
+    generate_lg, generate_sandia, prediction_pairs, LgConfig, NoiseConfig, SandiaConfig,
+};
+
+#[test]
+fn dataset_ground_truth_equals_current_integral() {
+    // The SoC label in every generated record must be the exact Coulomb
+    // integral of the *true* (noise-free) applied current over the true
+    // capacity. Verify on a noise-free Sandia cycle.
+    let ds = generate_sandia(&SandiaConfig {
+        chemistries: vec![pinnsoc_battery::Chemistry::Nmc],
+        ambient_temps_c: vec![25.0],
+        cycles_per_condition: 1,
+        noise: NoiseConfig::none(),
+        true_capacity_factor: 1.0,
+        ..SandiaConfig::default()
+    });
+    let cycle = &ds.train[0];
+    let capacity = cycle.meta.capacity_ah;
+    for w in cycle.records.windows(2) {
+        let dt = w[1].time_s - w[0].time_s;
+        let from = Soc::clamped(w[0].soc);
+        let predicted = coulomb_predict(from, w[0].current_a, dt, capacity);
+        // Within the constant-current segments this must be exact; at the
+        // discharge→charge transition the current changes mid-window, so
+        // allow the corresponding slack.
+        let err = (predicted.value() - w[1].soc).abs();
+        let slack = if (w[0].current_a - w[1].current_a).abs() > 1e-9 { 0.05 } else { 1e-6 };
+        assert!(
+            err < slack,
+            "Coulomb mismatch at t={}: {} vs {}",
+            w[1].time_s,
+            predicted.value(),
+            w[1].soc
+        );
+    }
+}
+
+#[test]
+fn window_averages_are_consistent_with_record_means() {
+    let ds = generate_sandia(&SandiaConfig {
+        chemistries: vec![pinnsoc_battery::Chemistry::Nca],
+        ambient_temps_c: vec![25.0],
+        cycles_per_condition: 1,
+        noise: NoiseConfig::none(),
+        ..SandiaConfig::default()
+    });
+    let cycle = &ds.train[0];
+    let pairs = prediction_pairs(cycle, 240.0);
+    // Recompute one window average by hand.
+    let p = &pairs[3];
+    let manual =
+        (cycle.records[4].current_a + cycle.records[5].current_a) / 2.0;
+    assert!((p.avg_current_a - manual).abs() < 1e-12);
+    assert_eq!(p.soc_now, cycle.records[3].soc);
+    assert_eq!(p.soc_next, cycle.records[5].soc);
+}
+
+#[test]
+fn drive_cycle_to_cell_chain_is_energetically_sane() {
+    // Speed profile -> vehicle -> current -> cell: the energy drawn from the
+    // cell must exceed the wheel energy divided by pack size (drivetrain
+    // losses + aux), and the cell must deplete monotonically on average.
+    let vehicle = Vehicle::compact_ev();
+    let speeds = DriveSchedule::Hwfet.generate_with_dt(3, 0.1);
+    let currents = vehicle.current_profile(&speeds);
+    // Start below full so early regen cannot trip the charge cutoff (this
+    // test exercises the raw simulator without the BMS regen clamp the LG
+    // generator applies).
+    let initial_soc = 0.9;
+    let mut sim = CellSim::new(
+        CellParams::lg_hg2(),
+        Soc::new(initial_soc).expect("valid"),
+        25.0,
+    );
+    let run = sim.run_profile(currents.currents().iter().copied(), 0.1, 10.0);
+    let first = run.records.first().expect("records");
+    let last = run.records.last().expect("records");
+    assert!(last.soc < first.soc, "HWFET must net-discharge the cell");
+    // Net charge from the profile equals the SoC drop times capacity.
+    let expected_drop = currents.net_charge_ah()
+        * (last.time_s - first.time_s + 10.0)
+        / currents.duration_s()
+        / sim.params().capacity_ah;
+    let actual_drop = initial_soc - last.soc;
+    assert!(
+        (actual_drop - expected_drop).abs() < 0.05,
+        "SoC drop {actual_drop:.3} vs integral {expected_drop:.3}"
+    );
+}
+
+#[test]
+fn lg_moving_average_reduces_measurement_variance() {
+    let noisy = generate_lg(&LgConfig {
+        train_mixed: 1,
+        mixed_segments: 2,
+        test_temps_c: vec![25.0],
+        moving_avg_s: 1.0, // identity
+        ..LgConfig::default()
+    });
+    let smoothed = generate_lg(&LgConfig {
+        train_mixed: 1,
+        mixed_segments: 2,
+        test_temps_c: vec![25.0],
+        moving_avg_s: 30.0,
+        ..LgConfig::default()
+    });
+    let high_freq_power = |records: &[pinnsoc_battery::SimRecord]| -> f64 {
+        records
+            .windows(2)
+            .map(|w| (w[1].current_a - w[0].current_a).powi(2))
+            .sum::<f64>()
+            / records.len() as f64
+    };
+    let raw = high_freq_power(&noisy.train[0].records);
+    let smooth = high_freq_power(&smoothed.train[0].records);
+    assert!(
+        smooth < raw * 0.5,
+        "30s moving average should halve sample-to-sample current power: {smooth} vs {raw}"
+    );
+}
+
+#[test]
+fn sandia_test_rates_produce_deeper_voltage_sag() {
+    let ds = generate_sandia(&SandiaConfig {
+        chemistries: vec![pinnsoc_battery::Chemistry::Nmc],
+        ambient_temps_c: vec![25.0],
+        cycles_per_condition: 1,
+        noise: NoiseConfig::none(),
+        ..SandiaConfig::default()
+    });
+    let min_v = |c: &pinnsoc_data::Cycle| {
+        c.records.iter().map(|r| r.voltage_v).fold(f64::MAX, f64::min)
+    };
+    let mean_mid_v = |c: &pinnsoc_data::Cycle| {
+        let mids: Vec<f64> = c
+            .records
+            .iter()
+            .filter(|r| r.soc > 0.4 && r.soc < 0.6 && r.current_a > 0.0)
+            .map(|r| r.voltage_v)
+            .collect();
+        mids.iter().sum::<f64>() / mids.len() as f64
+    };
+    let train_v = mean_mid_v(&ds.train[0]);
+    let test3c = ds
+        .test
+        .iter()
+        .find(|c| matches!(c.meta.kind, pinnsoc_data::CycleKind::Lab { discharge_c } if discharge_c == 3.0))
+        .expect("3C cycle present");
+    assert!(
+        mean_mid_v(test3c) < train_v - 0.05,
+        "3C mid-SoC voltage should sag well below 1C"
+    );
+    assert!(min_v(test3c) <= min_v(&ds.train[0]) + 0.05);
+}
