@@ -44,7 +44,11 @@ pub struct FadeModel {
 impl Default for FadeModel {
     fn default() -> Self {
         // ~20% fade after 1000 EFC plus ~2%/year calendar fade: typical NMC.
-        Self { k_cycle: 0.2 / 1000.0_f64.sqrt(), k_calendar: 0.02, min_soh: 0.6 }
+        Self {
+            k_cycle: 0.2 / 1000.0_f64.sqrt(),
+            k_calendar: 0.02,
+            min_soh: 0.6,
+        }
     }
 }
 
@@ -55,7 +59,10 @@ impl FadeModel {
     ///
     /// Panics if either input is negative.
     pub fn soh_after(&self, equivalent_full_cycles: f64, years: f64) -> Soh {
-        assert!(equivalent_full_cycles >= 0.0, "cycle count must be non-negative");
+        assert!(
+            equivalent_full_cycles >= 0.0,
+            "cycle count must be non-negative"
+        );
         assert!(years >= 0.0, "age must be non-negative");
         let fade = self.k_cycle * equivalent_full_cycles.sqrt() + self.k_calendar * years;
         Soh::new((1.0 - fade).max(self.min_soh)).expect("floored value is valid")

@@ -79,7 +79,9 @@ impl CellParams {
             chemistry: Chemistry::Nca,
             capacity_ah: 3.2,
             ocv: OcvCurve::new(
-                vec![2.50, 3.30, 3.46, 3.55, 3.62, 3.70, 3.78, 3.87, 3.96, 4.07, 4.20],
+                vec![
+                    2.50, 3.30, 3.46, 3.55, 3.62, 3.70, 3.78, 3.87, 3.96, 4.07, 4.20,
+                ],
                 25.0,
                 -0.0003,
             )
@@ -104,7 +106,9 @@ impl CellParams {
             chemistry: Chemistry::Nmc,
             capacity_ah: 3.0,
             ocv: OcvCurve::new(
-                vec![2.50, 3.35, 3.50, 3.58, 3.65, 3.72, 3.80, 3.88, 3.97, 4.06, 4.18],
+                vec![
+                    2.50, 3.35, 3.50, 3.58, 3.65, 3.72, 3.80, 3.88, 3.97, 4.06, 4.18,
+                ],
                 25.0,
                 -0.0003,
             )
@@ -132,7 +136,9 @@ impl CellParams {
             chemistry: Chemistry::Lfp,
             capacity_ah: 1.1,
             ocv: OcvCurve::new(
-                vec![2.00, 3.05, 3.19, 3.24, 3.27, 3.29, 3.305, 3.32, 3.335, 3.36, 3.55],
+                vec![
+                    2.00, 3.05, 3.19, 3.24, 3.27, 3.29, 3.305, 3.32, 3.335, 3.36, 3.55,
+                ],
                 25.0,
                 -0.0001,
             )
@@ -157,7 +163,9 @@ impl CellParams {
             chemistry: Chemistry::Nmc,
             capacity_ah: 3.0,
             ocv: OcvCurve::new(
-                vec![2.50, 3.32, 3.48, 3.56, 3.62, 3.69, 3.77, 3.86, 3.95, 4.05, 4.20],
+                vec![
+                    2.50, 3.32, 3.48, 3.56, 3.62, 3.69, 3.77, 3.86, 3.95, 4.05, 4.20,
+                ],
                 25.0,
                 -0.0003,
             )

@@ -63,7 +63,11 @@ impl CoulombCounter {
     /// Panics if `capacity_ah` is not positive.
     pub fn new(initial: Soc, capacity_ah: f64) -> Self {
         assert!(capacity_ah > 0.0, "capacity must be positive");
-        Self { capacity_ah, soc: initial, sensor_bias_a: 0.0 }
+        Self {
+            capacity_ah,
+            soc: initial,
+            sensor_bias_a: 0.0,
+        }
     }
 
     /// Adds a constant current-sensor bias (for drift studies).
@@ -98,15 +102,23 @@ mod tests {
     #[test]
     fn predict_discharge_and_charge() {
         let s = Soc::new(0.5).unwrap();
-        assert!((coulomb_predict(s, 3.0, 3600.0, 3.0).value() - (0.5 - 1.0_f64).max(0.0)).abs() < 1e-12);
+        assert!(
+            (coulomb_predict(s, 3.0, 3600.0, 3.0).value() - (0.5 - 1.0_f64).max(0.0)).abs() < 1e-12
+        );
         let up = coulomb_predict(s, -1.5, 3600.0, 3.0);
         assert!((up.value() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn predict_saturates() {
-        assert_eq!(coulomb_predict(Soc::new(0.1).unwrap(), 30.0, 3600.0, 3.0), Soc::EMPTY);
-        assert_eq!(coulomb_predict(Soc::new(0.9).unwrap(), -30.0, 3600.0, 3.0), Soc::FULL);
+        assert_eq!(
+            coulomb_predict(Soc::new(0.1).unwrap(), 30.0, 3600.0, 3.0),
+            Soc::EMPTY
+        );
+        assert_eq!(
+            coulomb_predict(Soc::new(0.9).unwrap(), -30.0, 3600.0, 3.0),
+            Soc::FULL
+        );
     }
 
     #[test]

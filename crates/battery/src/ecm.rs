@@ -64,12 +64,7 @@ impl Ecm {
 
     /// Advances the RC polarization states by `dt_s` seconds under constant
     /// current `current_a`, returning the updated state (exact ZOH update).
-    pub fn step_polarization(
-        &self,
-        state: &CellState,
-        current_a: f64,
-        dt_s: f64,
-    ) -> [f64; 2] {
+    pub fn step_polarization(&self, state: &CellState, current_a: f64, dt_s: f64) -> [f64; 2] {
         assert!(dt_s > 0.0, "time step must be positive");
         let temp_factor = self.params.resistance_factor(state.temperature_c);
         let branches = [
@@ -107,8 +102,7 @@ impl Ecm {
     pub fn heat_generation(&self, state: &CellState, current_a: f64) -> f64 {
         let ohmic = current_a * current_a * self.r0(state.soc, state.temperature_c);
         // Polarization branches dissipate v_rc²/R; approximate with v_rc·I.
-        let polarization =
-            (state.rc_voltages[0] + state.rc_voltages[1]).abs() * current_a.abs();
+        let polarization = (state.rc_voltages[0] + state.rc_voltages[1]).abs() * current_a.abs();
         ohmic + polarization
     }
 

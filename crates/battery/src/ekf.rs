@@ -56,7 +56,10 @@ impl EkfEstimator {
     ///
     /// Panics if any variance is not positive.
     pub fn with_noise(mut self, q_soc: f64, q_vrc: f64, r_meas: f64) -> Self {
-        assert!(q_soc > 0.0 && q_vrc > 0.0 && r_meas > 0.0, "variances must be positive");
+        assert!(
+            q_soc > 0.0 && q_vrc > 0.0 && r_meas > 0.0,
+            "variances must be positive"
+        );
         self.q = [q_soc, q_vrc];
         self.r = r_meas;
         self
@@ -101,8 +104,7 @@ impl EkfEstimator {
         // Measurement model: V = OCV(soc,T) − I·R0 − v_rc.
         let soc = Soc::clamped(self.x[0]);
         let r0 = self.params.r0_ohm * temp_factor;
-        let predicted_v =
-            self.params.ocv.voltage(soc, temperature_c) - current_a * r0 - self.x[1];
+        let predicted_v = self.params.ocv.voltage(soc, temperature_c) - current_a * r0 - self.x[1];
         let h = [self.params.ocv.slope(soc), -1.0];
 
         // Innovation and gain.

@@ -79,7 +79,11 @@ impl OcvCurve {
         if points.windows(2).any(|w| w[1] <= w[0]) {
             return Err(OcvCurveError::NotMonotone);
         }
-        Ok(Self { points, reference_temp_c, temp_coefficient })
+        Ok(Self {
+            points,
+            reference_temp_c,
+            temp_coefficient,
+        })
     }
 
     /// OCV at the given SoC and temperature.
@@ -203,7 +207,10 @@ mod tests {
 
     #[test]
     fn validation_errors() {
-        assert_eq!(OcvCurve::new(vec![3.0], 25.0, 0.0).unwrap_err(), OcvCurveError::TooFewPoints);
+        assert_eq!(
+            OcvCurve::new(vec![3.0], 25.0, 0.0).unwrap_err(),
+            OcvCurveError::TooFewPoints
+        );
         assert_eq!(
             OcvCurve::new(vec![3.0, 2.9], 25.0, 0.0).unwrap_err(),
             OcvCurveError::NotMonotone

@@ -35,7 +35,11 @@ impl OcvSocEstimator {
     /// Creates a rest-only estimator (no IR compensation) with a 50 mA
     /// rest threshold.
     pub fn new(params: CellParams) -> Self {
-        Self { params, rest_threshold_a: 0.05, ir_compensation: false }
+        Self {
+            params,
+            rest_threshold_a: 0.05,
+            ir_compensation: false,
+        }
     }
 
     /// Enables first-order IR compensation so the estimator also answers

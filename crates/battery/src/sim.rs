@@ -93,7 +93,7 @@ impl CellSim {
 
     /// The cell parameters in use.
     pub fn params(&self) -> &CellParams {
-        &self.ecm.params()
+        self.ecm.params()
     }
 
     /// Changes the ambient temperature (between cycles).
@@ -167,7 +167,10 @@ impl CellSim {
         dt_s: f64,
         sample_every_s: f64,
     ) -> SimRun {
-        assert!(dt_s > 0.0 && sample_every_s > 0.0, "time steps must be positive");
+        assert!(
+            dt_s > 0.0 && sample_every_s > 0.0,
+            "time steps must be positive"
+        );
         assert!(
             sample_every_s >= dt_s - 1e-12,
             "sampling interval must be at least the simulation step"
@@ -179,11 +182,11 @@ impl CellSim {
         for current in currents {
             let record = self.step(current, dt_s);
             step_idx += 1;
-            if step_idx % per_sample == 0 {
+            if step_idx.is_multiple_of(per_sample) {
                 records.push(record);
             }
             if let Some(reason) = self.stop_reason_for(&record) {
-                if step_idx % per_sample != 0 {
+                if !step_idx.is_multiple_of(per_sample) {
                     records.push(record);
                 }
                 stop = reason;
@@ -203,7 +206,7 @@ impl CellSim {
     ) -> SimRun {
         assert!(duration_s > 0.0, "duration must be positive");
         let steps = (duration_s / dt_s).ceil() as usize;
-        self.run_profile(std::iter::repeat(current_a).take(steps), dt_s, sample_every_s)
+        self.run_profile(std::iter::repeat_n(current_a, steps), dt_s, sample_every_s)
     }
 
     /// Constant-current discharge until the low-voltage cutoff or empty.
@@ -244,7 +247,11 @@ mod tests {
             "stop was {:?}",
             run.stop
         );
-        assert!(last.soc < 0.1, "cell should be nearly empty, soc={}", last.soc);
+        assert!(
+            last.soc < 0.1,
+            "cell should be nearly empty, soc={}",
+            last.soc
+        );
         // Duration should be slightly under an hour (IR drop trips cutoff early).
         assert!(last.time_s <= 3600.0 + 1.0);
         assert!(last.time_s > 3000.0);
@@ -291,7 +298,10 @@ mod tests {
     fn charge_stops_at_high_cutoff_or_full() {
         let mut sim = CellSim::new(CellParams::lg_hg2(), Soc::new(0.2).unwrap(), 25.0);
         let run = sim.charge_to_cutoff(0.5, 1.0, 60.0);
-        assert!(matches!(run.stop, StopReason::HighVoltageCutoff | StopReason::Full));
+        assert!(matches!(
+            run.stop,
+            StopReason::HighVoltageCutoff | StopReason::Full
+        ));
         assert!(run.records.last().unwrap().soc > 0.8);
     }
 
@@ -342,6 +352,10 @@ mod tests {
         let mut sim = full_cell();
         let run = sim.run_constant_current(3.0, 1200.0, 1.0, 1.0);
         // 3 A for 20 min = 1 Ah.
-        assert!((run.charge_throughput_ah() - 1.0).abs() < 0.01, "{}", run.charge_throughput_ah());
+        assert!(
+            (run.charge_throughput_ah() - 1.0).abs() < 0.01,
+            "{}",
+            run.charge_throughput_ah()
+        );
     }
 }

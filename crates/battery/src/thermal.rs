@@ -30,8 +30,15 @@ impl LumpedThermal {
     pub fn new(params: &CellParams, ambient_c: f64) -> Self {
         let heat_capacity = params.mass_kg * params.specific_heat;
         assert!(heat_capacity > 0.0, "heat capacity must be positive");
-        assert!(params.h_conv > 0.0, "convection coefficient must be positive");
-        Self { heat_capacity, h_conv: params.h_conv, ambient_c }
+        assert!(
+            params.h_conv > 0.0,
+            "convection coefficient must be positive"
+        );
+        Self {
+            heat_capacity,
+            h_conv: params.h_conv,
+            ambient_c,
+        }
     }
 
     /// Ambient temperature, °C.

@@ -86,7 +86,11 @@ pub struct CellState {
 impl CellState {
     /// A rested cell: no polarization, at ambient temperature.
     pub fn rested(soc: Soc, temperature_c: f64) -> Self {
-        Self { soc, rc_voltages: [0.0, 0.0], temperature_c }
+        Self {
+            soc,
+            rc_voltages: [0.0, 0.0],
+            temperature_c,
+        }
     }
 }
 
@@ -189,7 +193,13 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let rec = SimRecord { time_s: 1.0, voltage_v: 3.7, current_a: 1.5, temperature_c: 25.0, soc: 0.8 };
+        let rec = SimRecord {
+            time_s: 1.0,
+            voltage_v: 3.7,
+            current_a: 1.5,
+            temperature_c: 25.0,
+            soc: 0.8,
+        };
         let json = serde_json::to_string(&rec).unwrap();
         let back: SimRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(rec, back);

@@ -7,7 +7,11 @@ use pinnsoc_battery::{
 use proptest::prelude::*;
 
 fn any_chemistry() -> impl Strategy<Value = Chemistry> {
-    prop_oneof![Just(Chemistry::Nca), Just(Chemistry::Nmc), Just(Chemistry::Lfp)]
+    prop_oneof![
+        Just(Chemistry::Nca),
+        Just(Chemistry::Nmc),
+        Just(Chemistry::Lfp)
+    ]
 }
 
 proptest! {

@@ -69,7 +69,11 @@ fn bench_figures(c: &mut Criterion) {
     // Table I path: estimation + prediction eval at one temperature.
     let (table_model, _) = train(
         &lg,
-        &TrainConfig { b1_epochs: 3, b2_epochs: 3, ..TrainConfig::lg(PinnVariant::NoPinn, 0) },
+        &TrainConfig {
+            b1_epochs: 3,
+            b2_epochs: 3,
+            ..TrainConfig::lg(PinnVariant::NoPinn, 0)
+        },
     );
     group.bench_function("table1_eval_both_columns", |b| {
         b.iter(|| {

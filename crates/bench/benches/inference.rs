@@ -60,7 +60,10 @@ fn bench_inference(c: &mut Criterion) {
 
     let (physics, _) = train(
         &ds,
-        &TrainConfig { b1_epochs: 5, ..TrainConfig::sandia(PinnVariant::PhysicsOnly, 0) },
+        &TrainConfig {
+            b1_epochs: 5,
+            ..TrainConfig::sandia(PinnVariant::PhysicsOnly, 0)
+        },
     );
     group.bench_function("coulomb_stage_predict_from", |b| {
         b.iter(|| {

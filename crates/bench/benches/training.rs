@@ -18,7 +18,11 @@ fn quick_dataset() -> pinnsoc_data::SocDataset {
 }
 
 fn short(variant: PinnVariant) -> TrainConfig {
-    TrainConfig { b1_epochs: 3, b2_epochs: 3, ..TrainConfig::sandia(variant, 0) }
+    TrainConfig {
+        b1_epochs: 3,
+        b2_epochs: 3,
+        ..TrainConfig::sandia(variant, 0)
+    }
 }
 
 fn bench_training(c: &mut Criterion) {
@@ -34,7 +38,10 @@ fn bench_training(c: &mut Criterion) {
     });
     group.bench_function("pinn_all_3_epochs", |b| {
         b.iter(|| {
-            black_box(train(&ds, &short(PinnVariant::pinn_all(&[120.0, 240.0, 360.0]))))
+            black_box(train(
+                &ds,
+                &short(PinnVariant::pinn_all(&[120.0, 240.0, 360.0])),
+            ))
         })
     });
     group.bench_function("physics_only_branch1_only", |b| {

@@ -62,7 +62,10 @@ fn main() {
             } else {
                 PinnVariant::pinn_all(&horizons)
             };
-            TrainConfig { physics_weight: weight.max(1e-6), ..TrainConfig::sandia(variant, seed) }
+            TrainConfig {
+                physics_weight: weight.max(1e-6),
+                ..TrainConfig::sandia(variant, seed)
+            }
         });
         rows.push(row);
     }
@@ -72,11 +75,17 @@ fn main() {
         ("currents=pool", PhysicsCurrentMode::Pool),
         (
             "currents=c-rate[-0.6,3.2]",
-            PhysicsCurrentMode::CRateUniform { min_c: -0.6, max_c: 3.2 },
+            PhysicsCurrentMode::CRateUniform {
+                min_c: -0.6,
+                max_c: 3.2,
+            },
         ),
         (
             "currents=c-rate[-0.6,1.2] (train range only)",
-            PhysicsCurrentMode::CRateUniform { min_c: -0.6, max_c: 1.2 },
+            PhysicsCurrentMode::CRateUniform {
+                min_c: -0.6,
+                max_c: 1.2,
+            },
         ),
     ] {
         let row = eval_setting(&dataset, name.to_string(), |seed| TrainConfig {

@@ -49,7 +49,10 @@ fn main() {
         });
     }
 
-    println!("{:<12} {:>16} {:>18}", "window [s]", "SoC(t) MAE", "SoC(t+30s) MAE");
+    println!(
+        "{:<12} {:>16} {:>18}",
+        "window [s]", "SoC(t) MAE", "SoC(t+30s) MAE"
+    );
     println!("{}", "-".repeat(48));
     for r in &rows {
         println!(

@@ -84,7 +84,10 @@ fn main() {
                 rollouts.push(r);
             }
             if seed == seeds[0] {
-                traces.push(CycleTrace { cycle: cycle.meta.kind.to_string(), rollouts });
+                traces.push(CycleTrace {
+                    cycle: cycle.meta.kind.to_string(),
+                    rollouts,
+                });
                 println!();
             }
         }

@@ -1,0 +1,182 @@
+//! Fleet throughput baseline: batched vs. sequential SoC prediction at
+//! fleet sizes 1k / 10k / 100k, written to `BENCH_fleet.json` at the
+//! workspace root so later PRs have a perf floor to beat.
+//!
+//! Run with `cargo run --release -p pinnsoc-bench --bin fleet_baseline`.
+
+use pinnsoc::{BatchScratch, PredictQuery, SocModel};
+use pinnsoc_fleet::testing::untrained_model;
+use pinnsoc_fleet::{CellConfig, FleetConfig, FleetEngine, Telemetry, WorkloadQuery};
+use serde::Serialize;
+use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct SizeResult {
+    fleet_size: usize,
+    sequential_cells_per_sec: f64,
+    batched_cells_per_sec: f64,
+    speedup: f64,
+    engine_process_cells_per_sec: f64,
+    parallel_batched_cells_per_sec: f64,
+    parallel_speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Baseline {
+    description: String,
+    model: String,
+    reps: usize,
+    results: Vec<SizeResult>,
+}
+
+fn queries(n: usize) -> Vec<PredictQuery> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64;
+            PredictQuery {
+                voltage_v: 3.0 + 1.1 * t,
+                current_a: 5.0 * t,
+                temperature_c: 15.0 + 20.0 * t,
+                avg_current_a: 4.0 * t,
+                avg_temperature_c: 20.0 + 10.0 * t,
+                horizon_s: 30.0 + 300.0 * t,
+            }
+        })
+        .collect()
+}
+
+/// Median seconds per call of `f` over `reps` timed repetitions (after one
+/// warm-up call).
+fn median_time(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn measure(model: &SocModel, fleet_size: usize, reps: usize) -> SizeResult {
+    let qs = queries(fleet_size);
+
+    let sequential_s = median_time(reps, || {
+        let mut acc = 0.0;
+        for q in &qs {
+            acc += model.predict(
+                q.voltage_v,
+                q.current_a,
+                q.temperature_c,
+                q.avg_current_a,
+                q.avg_temperature_c,
+                q.horizon_s,
+            );
+        }
+        black_box(acc);
+    });
+
+    // Serving granularity: fixed-size micro-batches (the engine's design)
+    // keep the layer ping-pong buffers L1/L2-resident; one giant batch
+    // streams them through cache instead.
+    let micro_batch = 256;
+    let mut scratch = BatchScratch::default();
+    let mut out = Vec::with_capacity(fleet_size);
+    let batched_s = median_time(reps, || {
+        out.clear();
+        for chunk in qs.chunks(micro_batch) {
+            model.predict_batch_into(chunk, &mut scratch, &mut out);
+        }
+        black_box(out.last().copied());
+    });
+
+    let mut engine = FleetEngine::new(
+        model.clone(),
+        FleetConfig {
+            shards: 8,
+            micro_batch: 512,
+            ekf_fallback: None,
+        },
+    );
+    for id in 0..fleet_size as u64 {
+        engine.register(
+            id,
+            CellConfig {
+                initial_soc: 0.9,
+                capacity_ah: 3.0,
+            },
+        );
+    }
+    let mut tick = 0.0;
+    let engine_s = median_time(reps, || {
+        tick += 1.0;
+        for id in 0..fleet_size as u64 {
+            engine.ingest(
+                id,
+                Telemetry {
+                    time_s: tick,
+                    voltage_v: 3.7,
+                    current_a: 1.0,
+                    temperature_c: 25.0,
+                },
+            );
+        }
+        black_box(engine.process_pending());
+    });
+    let parallel_s = median_time(reps, || {
+        black_box(engine.predict_all(WorkloadQuery {
+            avg_current_a: 3.0,
+            avg_temperature_c: 25.0,
+            horizon_s: 120.0,
+        }));
+    });
+
+    let n = fleet_size as f64;
+    SizeResult {
+        fleet_size,
+        sequential_cells_per_sec: n / sequential_s,
+        batched_cells_per_sec: n / batched_s,
+        speedup: sequential_s / batched_s,
+        engine_process_cells_per_sec: n / engine_s,
+        parallel_batched_cells_per_sec: n / parallel_s,
+        parallel_speedup: sequential_s / parallel_s,
+    }
+}
+
+fn main() {
+    let model = untrained_model();
+    let reps = 15;
+    let results: Vec<SizeResult> = [1_000usize, 10_000, 100_000]
+        .iter()
+        .map(|&n| {
+            let r = measure(&model, n, reps);
+            println!(
+                "fleet {n:>6}: sequential {:>10.0}/s | batched {:>10.0}/s ({:.2}x) | sharded-parallel {:>10.0}/s ({:.2}x) | engine pass {:>10.0}/s",
+                r.sequential_cells_per_sec,
+                r.batched_cells_per_sec,
+                r.speedup,
+                r.parallel_batched_cells_per_sec,
+                r.parallel_speedup,
+                r.engine_process_cells_per_sec,
+            );
+            r
+        })
+        .collect();
+
+    let baseline = Baseline {
+        description: "Batched vs sequential full-pipeline SoC prediction throughput; \
+                      engine = ingest + coalesce + sharded micro-batched estimate pass"
+            .into(),
+        model: "two-branch PINN (2,322 params), untrained weights".into(),
+        reps,
+        results,
+    };
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fleet.json");
+    let json = serde_json::to_string_pretty(&baseline).expect("serializable");
+    std::fs::write(&path, json).expect("write BENCH_fleet.json");
+    println!("\nwrote BENCH_fleet.json");
+}

@@ -17,8 +17,8 @@
 //! ```
 
 use pinnsoc::{
-    eval_estimation, eval_prediction, train, LstmBaselineConfig, LstmEstimator,
-    MlpBaselineConfig, MlpEstimator, PinnVariant, TrainConfig,
+    eval_estimation, eval_prediction, train, LstmBaselineConfig, LstmEstimator, MlpBaselineConfig,
+    MlpEstimator, PinnVariant, TrainConfig,
 };
 use pinnsoc_bench::write_results_json;
 use pinnsoc_nn::{account::human_bytes, Account, Lstm, LstmQuery};
@@ -58,8 +58,7 @@ fn main() {
         let (model, _) = train(&lg, &TrainConfig::lg(variant, 0));
         let cost = model.cost();
         for temp in [0.0, 25.0] {
-            let test: Vec<_> =
-                lg.test_at_temperature(temp).into_iter().cloned().collect();
+            let test: Vec<_> = lg.test_at_temperature(temp).into_iter().cloned().collect();
             let est = eval_estimation(&model, &test);
             let pred = eval_prediction(&model, &test, horizon);
             rows.push(Row {
@@ -86,7 +85,11 @@ fn main() {
     // Paper-scale twin (hidden 500 ≈ 1M params) for the memory/ops columns.
     let mut rng = StdRng::seed_from_u64(0);
     let paper_scale = Lstm::new(3, 500, 1, &mut rng);
-    let paper_cost = LstmQuery { lstm: &paper_scale, sequence_len: 300 }.cost();
+    let paper_cost = LstmQuery {
+        lstm: &paper_scale,
+        sequence_len: 300,
+    }
+    .cost();
     for temp in [0.0, 25.0] {
         let test: Vec<_> = lg.test_at_temperature(temp).into_iter().cloned().collect();
         let report = lstm.eval(&test);
@@ -115,11 +118,18 @@ fn main() {
     );
     let de_mlp = MlpEstimator::train(
         &lg_raw.train,
-        &MlpBaselineConfig { de_residual_weight: 0.5, ..MlpBaselineConfig::default() },
+        &MlpBaselineConfig {
+            de_residual_weight: 0.5,
+            ..MlpBaselineConfig::default()
+        },
     );
-    for temp in [0.0] {
-        let test: Vec<_> =
-            lg_raw.test_at_temperature(temp).into_iter().cloned().collect();
+    {
+        let temp = 0.0;
+        let test: Vec<_> = lg_raw
+            .test_at_temperature(temp)
+            .into_iter()
+            .cloned()
+            .collect();
         let r = de_lstm.eval(&test);
         rows.push(Row {
             model: "DE-LSTM [7] (raw inputs)".into(),

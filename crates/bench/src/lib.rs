@@ -89,7 +89,7 @@ impl HorizonSweep<'_> {
             .enumerate()
             .flat_map(|(vi, v)| self.seeds.iter().map(move |&s| (vi, v.clone(), s)))
             .collect();
-        let results: Vec<(usize, Vec<(f64, f64)>)> = crossbeam::thread::scope(|scope| {
+        let results: Vec<(usize, Vec<(f64, f64)>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = jobs
                 .iter()
                 .map(|(vi, variant, seed)| {
@@ -99,7 +99,7 @@ impl HorizonSweep<'_> {
                     let variant = variant.clone();
                     let vi = *vi;
                     let seed = *seed;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let config = make_config(variant, seed);
                         let (model, _) = train(dataset, &config);
                         let maes: Vec<(f64, f64)> = horizons
@@ -110,14 +110,19 @@ impl HorizonSweep<'_> {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        })
-        .expect("thread scope failed");
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
 
         let mut out: Vec<VariantResult> = self
             .variants
             .iter()
-            .map(|v| VariantResult { label: v.to_string(), mae_per_horizon: BTreeMap::new() })
+            .map(|v| VariantResult {
+                label: v.to_string(),
+                mae_per_horizon: BTreeMap::new(),
+            })
             .collect();
         for (vi, maes) in results {
             for (h, mae) in maes {
@@ -203,7 +208,10 @@ mod tests {
     fn variant_result_stats() {
         let mut m = BTreeMap::new();
         m.insert("120".to_string(), vec![0.1, 0.2]);
-        let r = VariantResult { label: "x".into(), mae_per_horizon: m };
+        let r = VariantResult {
+            label: "x".into(),
+            mae_per_horizon: m,
+        };
         assert!((r.mean_mae(120.0) - 0.15).abs() < 1e-12);
         assert!(r.std_mae(120.0) > 0.0);
     }

@@ -74,8 +74,10 @@ impl LstmEstimator {
     pub fn train(cycles: &[Cycle], config: &LstmBaselineConfig) -> Self {
         assert!(!cycles.is_empty(), "no training cycles");
         assert!(config.window >= 2, "window must cover at least two samples");
-        let usable: Vec<&Cycle> =
-            cycles.iter().filter(|c| c.records.len() > config.window).collect();
+        let usable: Vec<&Cycle> = cycles
+            .iter()
+            .filter(|c| c.records.len() > config.window)
+            .collect();
         assert!(!usable.is_empty(), "every cycle is shorter than the window");
 
         let rows: Vec<[f64; 3]> = usable
@@ -135,7 +137,11 @@ impl LstmEstimator {
             lstm.backward_sequence(&grads);
             opt.step(&mut lstm);
         }
-        Self { lstm, norm, window: config.window }
+        Self {
+            lstm,
+            norm,
+            window: config.window,
+        }
     }
 
     /// Per-record SoC estimates over a whole cycle (the recurrent state is
@@ -145,7 +151,9 @@ impl LstmEstimator {
             .records
             .iter()
             .map(|r| {
-                let n = self.norm.normalized(&[r.voltage_v, r.current_a, r.temperature_c]);
+                let n = self
+                    .norm
+                    .normalized(&[r.voltage_v, r.current_a, r.temperature_c]);
                 Matrix::from_vec(1, 3, n.iter().map(|&v| v as f32).collect())
             })
             .collect();
@@ -171,12 +179,21 @@ impl LstmEstimator {
         let mae = errors.iter().sum::<f64>() / n;
         let rmse = (errors.iter().map(|e| e * e).sum::<f64>() / n).sqrt();
         let max_abs = errors.iter().copied().fold(0.0_f64, f64::max);
-        EvalReport { mae, rmse, max_abs, count: errors.len() }
+        EvalReport {
+            mae,
+            rmse,
+            max_abs,
+            count: errors.len(),
+        }
     }
 
     /// Inference cost for one query over this estimator's window.
     pub fn cost(&self) -> CostReport {
-        LstmQuery { lstm: &self.lstm, sequence_len: self.window }.cost()
+        LstmQuery {
+            lstm: &self.lstm,
+            sequence_len: self.window,
+        }
+        .cost()
     }
 
     /// The underlying recurrent network.
@@ -251,7 +268,10 @@ impl MlpEstimator {
                 pair_starts.push(base + k);
             }
         }
-        assert!(pair_starts.len() > 1, "need at least two consecutive records");
+        assert!(
+            pair_starts.len() > 1,
+            "need at least two consecutive records"
+        );
         let norm = Normalizer::fit(rows.iter().map(|r| r.as_slice()));
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut widths = vec![3usize];
@@ -300,8 +320,7 @@ impl MlpEstimator {
                     let w = config.de_residual_weight / idx_now.len() as f32;
                     for (row, &i) in idx_now.iter().enumerate() {
                         let delta = pred_next[(row, 0)] - pred_now[(row, 0)];
-                        let expected =
-                            (-currents[i] * dt_s / (3600.0 * config.capacity_ah)) as f32;
+                        let expected = (-currents[i] * dt_s / (3600.0 * config.capacity_ah)) as f32;
                         let residual = delta - expected;
                         // d|r|/d pred_next = sign(r); the pred_now half is
                         // dropped (its cache was consumed by the second
@@ -329,9 +348,8 @@ impl MlpEstimator {
         let mut errors = Vec::new();
         for cycle in cycles {
             for s in estimation_samples(cycle) {
-                errors.push(
-                    (self.estimate(s.voltage_v, s.current_a, s.temperature_c) - s.soc).abs(),
-                );
+                errors
+                    .push((self.estimate(s.voltage_v, s.current_a, s.temperature_c) - s.soc).abs());
             }
         }
         assert!(!errors.is_empty(), "no evaluation samples");

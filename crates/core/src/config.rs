@@ -27,7 +27,9 @@ impl PinnVariant {
     /// Panics if `horizon_s` is not positive.
     pub fn pinn_single(horizon_s: f64) -> Self {
         assert!(horizon_s > 0.0, "horizon must be positive");
-        PinnVariant::Pinn { horizons_s: vec![horizon_s] }
+        PinnVariant::Pinn {
+            horizons_s: vec![horizon_s],
+        }
     }
 
     /// A PINN trained on all the given horizons simultaneously ("PINN-All").
@@ -37,8 +39,13 @@ impl PinnVariant {
     /// Panics if `horizons_s` is empty or contains non-positive values.
     pub fn pinn_all(horizons_s: &[f64]) -> Self {
         assert!(!horizons_s.is_empty(), "need at least one horizon");
-        assert!(horizons_s.iter().all(|h| *h > 0.0), "horizons must be positive");
-        PinnVariant::Pinn { horizons_s: horizons_s.to_vec() }
+        assert!(
+            horizons_s.iter().all(|h| *h > 0.0),
+            "horizons must be positive"
+        );
+        PinnVariant::Pinn {
+            horizons_s: horizons_s.to_vec(),
+        }
     }
 
     /// Whether this variant uses the physics loss.
@@ -103,7 +110,10 @@ impl TrainConfig {
             learning_rate: 3e-3,
             physics_weight: 1.0,
             // Sandia cycles span 0.5C charge to 3C discharge (§IV-A).
-            physics_current: PhysicsCurrentMode::CRateUniform { min_c: -0.6, max_c: 3.2 },
+            physics_current: PhysicsCurrentMode::CRateUniform {
+                min_c: -0.6,
+                max_c: 3.2,
+            },
             seed,
         }
     }
@@ -119,8 +129,15 @@ impl TrainConfig {
             batch_size: 256,
             learning_rate: 3e-3,
             physics_weight: 1.0,
-            // Drive-cycle currents are richly distributed: mirror the pool.
-            physics_current: PhysicsCurrentMode::Pool,
+            // Cover the drive cycles' full current envelope (regen to ~2.8C
+            // peaks) uniformly, mirroring the Sandia treatment: pool draws
+            // concentrate 99% of their mass below 2C, which would leave the
+            // physics loss with almost no signal in the high-current,
+            // long-horizon corner it exists to constrain.
+            physics_current: PhysicsCurrentMode::CRateUniform {
+                min_c: -0.5,
+                max_c: 2.8,
+            },
             seed,
         }
     }
@@ -137,9 +154,15 @@ impl TrainConfig {
         assert!(self.capacity_ah > 0.0, "capacity must be positive");
         assert!(self.batch_size > 0, "batch size must be positive");
         assert!(self.learning_rate > 0.0, "learning rate must be positive");
-        assert!(self.physics_weight >= 0.0, "physics weight must be non-negative");
+        assert!(
+            self.physics_weight >= 0.0,
+            "physics weight must be non-negative"
+        );
         if let PinnVariant::Pinn { horizons_s } = &self.variant {
-            assert!(!horizons_s.is_empty(), "PINN variant needs at least one horizon");
+            assert!(
+                !horizons_s.is_empty(),
+                "PINN variant needs at least one horizon"
+            );
         }
     }
 }
@@ -153,7 +176,10 @@ mod tests {
         assert_eq!(PinnVariant::NoPinn.to_string(), "No-PINN");
         assert_eq!(PinnVariant::PhysicsOnly.to_string(), "Physics-Only");
         assert_eq!(PinnVariant::pinn_single(120.0).to_string(), "PINN-120s");
-        assert_eq!(PinnVariant::pinn_all(&[30.0, 50.0, 70.0]).to_string(), "PINN-All");
+        assert_eq!(
+            PinnVariant::pinn_all(&[30.0, 50.0, 70.0]).to_string(),
+            "PINN-All"
+        );
     }
 
     #[test]

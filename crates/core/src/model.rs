@@ -6,7 +6,7 @@
 //! output), totalling 2,322 parameters.
 
 use pinnsoc_data::Normalizer;
-use pinnsoc_nn::{Account, Activation, CostReport, Init, Matrix, Mlp};
+use pinnsoc_nn::{Account, Activation, CostReport, InferScratch, Init, Matrix, Mlp};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -30,12 +30,17 @@ impl Branch1 {
     pub fn new(norm: Normalizer, rng: &mut impl Rng) -> Self {
         assert_eq!(norm.width(), 3, "Branch 1 expects (V, I, T) normalization");
         let widths = [3, HIDDEN_WIDTHS[0], HIDDEN_WIDTHS[1], HIDDEN_WIDTHS[2], 1];
-        Self { net: Mlp::new(&widths, Activation::Relu, Init::HeNormal, rng), norm }
+        Self {
+            net: Mlp::new(&widths, Activation::Relu, Init::HeNormal, rng),
+            norm,
+        }
     }
 
-    /// Normalized feature row for one measurement.
+    /// Normalized feature row for one measurement (allocation-free: the
+    /// batched serving path calls this once per cell).
     pub fn features(&self, voltage_v: f64, current_a: f64, temperature_c: f64) -> [f32; 3] {
-        let row = self.norm.normalized(&[voltage_v, current_a, temperature_c]);
+        let mut row = [voltage_v, current_a, temperature_c];
+        self.norm.normalize(&mut row);
         [row[0] as f32, row[1] as f32, row[2] as f32]
     }
 
@@ -98,7 +103,8 @@ impl Branch2 {
         }
     }
 
-    /// Normalized feature row for one prediction query.
+    /// Normalized feature row for one prediction query (allocation-free:
+    /// the batched serving path calls this once per cell).
     pub fn features(
         &self,
         soc_now: f64,
@@ -106,7 +112,8 @@ impl Branch2 {
         avg_temperature_c: f64,
         horizon_s: f64,
     ) -> [f32; 4] {
-        let it = self.norm_it.normalized(&[avg_current_a, avg_temperature_c]);
+        let mut it = [avg_current_a, avg_temperature_c];
+        self.norm_it.normalize(&mut it);
         [
             soc_now as f32,
             it[0] as f32,
@@ -186,6 +193,43 @@ impl SecondStage {
     }
 }
 
+/// One full-pipeline prediction query: the instantaneous sensor reading
+/// plus the described future workload (the inputs of [`SocModel::predict`],
+/// as one batchable value).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictQuery {
+    /// Terminal voltage now, volts.
+    pub voltage_v: f64,
+    /// Current now, amps (positive = discharge).
+    pub current_a: f64,
+    /// Cell temperature now, °C.
+    pub temperature_c: f64,
+    /// Expected average current over the horizon, amps.
+    pub avg_current_a: f64,
+    /// Expected average temperature over the horizon, °C.
+    pub avg_temperature_c: f64,
+    /// Prediction horizon `N`, seconds.
+    pub horizon_s: f64,
+}
+
+/// Reusable buffers for the batched [`SocModel`] paths. Keep one per
+/// serving thread: steady-state batched queries then allocate nothing
+/// beyond the output vector the caller provides.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    features: Option<Matrix>,
+    net: InferScratch,
+    soc_now: Vec<f64>,
+}
+
+impl BatchScratch {
+    fn features_buffer(&mut self, rows: usize, cols: usize) -> &mut Matrix {
+        let m = self.features.get_or_insert_with(|| Matrix::zeros(1, 1));
+        m.reset(rows, cols);
+        m
+    }
+}
+
 /// A fully trained SoC model: Branch 1 plus a second stage.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SocModel {
@@ -216,7 +260,8 @@ impl SocModel {
         horizon_s: f64,
     ) -> f64 {
         let soc_now = self.estimate(voltage_v, current_a, temperature_c);
-        self.stage2.predict(soc_now, avg_current_a, avg_temperature_c, horizon_s)
+        self.stage2
+            .predict(soc_now, avg_current_a, avg_temperature_c, horizon_s)
     }
 
     /// Predicts `SoC(t+N)` from an already-known current SoC (used in
@@ -228,7 +273,112 @@ impl SocModel {
         avg_temperature_c: f64,
         horizon_s: f64,
     ) -> f64 {
-        self.stage2.predict(soc_now, avg_current_a, avg_temperature_c, horizon_s)
+        self.stage2
+            .predict(soc_now, avg_current_a, avg_temperature_c, horizon_s)
+    }
+
+    /// Batched Branch-1 estimation: one GEMM per layer over the whole batch
+    /// of `(V, I, T)` readings instead of one tiny GEMM per cell.
+    ///
+    /// Appends one estimate per reading to `out`. Outputs are bit-exact
+    /// with calling [`SocModel::estimate`] per reading (the batched network
+    /// path accumulates in the same order per row).
+    pub fn estimate_batch_into(
+        &self,
+        readings: &[[f64; 3]],
+        scratch: &mut BatchScratch,
+        out: &mut Vec<f64>,
+    ) {
+        if readings.is_empty() {
+            return;
+        }
+        let features = scratch.features_buffer(readings.len(), 3);
+        for (r, reading) in readings.iter().enumerate() {
+            let f = self.branch1.features(reading[0], reading[1], reading[2]);
+            features.row_mut(r).copy_from_slice(&f);
+        }
+        // Split borrow: `features` lives in `scratch.features`, the network
+        // scratch in `scratch.net`.
+        let estimates = self
+            .branch1
+            .net()
+            .forward_batch(scratch.features.as_ref().expect("built"), &mut scratch.net);
+        out.extend(estimates.as_slice().iter().map(|&soc| soc as f64));
+    }
+
+    /// Allocating convenience wrapper over [`SocModel::estimate_batch_into`].
+    pub fn estimate_batch(&self, readings: &[[f64; 3]]) -> Vec<f64> {
+        let mut scratch = BatchScratch::default();
+        let mut out = Vec::with_capacity(readings.len());
+        self.estimate_batch_into(readings, &mut scratch, &mut out);
+        out
+    }
+
+    /// Batched full-pipeline prediction: Branch-1 estimates for the whole
+    /// batch in one matrix pass, then the second stage rolls every cell
+    /// forward (one matrix pass for neural Branch 2, closed form for
+    /// Coulomb).
+    ///
+    /// Appends one predicted SoC per query to `out`. Outputs are bit-exact
+    /// with calling [`SocModel::predict`] per query.
+    pub fn predict_batch_into(
+        &self,
+        queries: &[PredictQuery],
+        scratch: &mut BatchScratch,
+        out: &mut Vec<f64>,
+    ) {
+        if queries.is_empty() {
+            return;
+        }
+        // Stage 1: batched estimation.
+        let features = scratch.features_buffer(queries.len(), 3);
+        for (r, q) in queries.iter().enumerate() {
+            let f = self
+                .branch1
+                .features(q.voltage_v, q.current_a, q.temperature_c);
+            features.row_mut(r).copy_from_slice(&f);
+        }
+        {
+            let estimates = self
+                .branch1
+                .net()
+                .forward_batch(scratch.features.as_ref().expect("built"), &mut scratch.net);
+            scratch.soc_now.clear();
+            scratch
+                .soc_now
+                .extend(estimates.as_slice().iter().map(|&soc| soc as f64));
+        }
+        // Stage 2: batched rollforward. `soc_now` is moved out of the
+        // scratch (and back afterwards) so the feature buffer can be
+        // borrowed mutably alongside it.
+        let soc_now = std::mem::take(&mut scratch.soc_now);
+        match &self.stage2 {
+            SecondStage::Network(b2) => {
+                let features = scratch.features_buffer(queries.len(), 4);
+                for (r, (q, &soc)) in queries.iter().zip(&soc_now).enumerate() {
+                    let f = b2.features(soc, q.avg_current_a, q.avg_temperature_c, q.horizon_s);
+                    features.row_mut(r).copy_from_slice(&f);
+                }
+                let preds = b2
+                    .net()
+                    .forward_batch(scratch.features.as_ref().expect("built"), &mut scratch.net);
+                out.extend(preds.as_slice().iter().map(|&soc| soc as f64));
+            }
+            stage @ SecondStage::Coulomb { .. } => {
+                out.extend(queries.iter().zip(&soc_now).map(|(q, &soc)| {
+                    stage.predict(soc, q.avg_current_a, q.avg_temperature_c, q.horizon_s)
+                }));
+            }
+        }
+        scratch.soc_now = soc_now;
+    }
+
+    /// Allocating convenience wrapper over [`SocModel::predict_batch_into`].
+    pub fn predict_batch(&self, queries: &[PredictQuery]) -> Vec<f64> {
+        let mut scratch = BatchScratch::default();
+        let mut out = Vec::with_capacity(queries.len());
+        self.predict_batch_into(queries, &mut scratch, &mut out);
+        out
     }
 
     /// Trainable parameter count of the whole model.
@@ -245,7 +395,11 @@ impl SocModel {
         let b1 = self.branch1.net().cost();
         let b2 = match &self.stage2 {
             SecondStage::Network(b2) => b2.net().cost(),
-            SecondStage::Coulomb { .. } => CostReport { params: 0, macs: 2, memory_bytes: 8 },
+            SecondStage::Coulomb { .. } => CostReport {
+                params: 0,
+                macs: 2,
+                memory_bytes: 8,
+            },
         };
         CostReport {
             params: b1.params + b2.params,
@@ -292,7 +446,7 @@ mod tests {
         let cost = model().cost();
         assert_eq!(cost.params, 2322);
         assert_eq!(cost.memory_bytes, 9288); // ≈9 kB, §III-A
-        // MACs per full query ≈ 2·1150 (Table I counts one branch ≈ 1150).
+                                             // MACs per full query ≈ 2·1150 (Table I counts one branch ≈ 1150).
         assert!(cost.macs > 2000 && cost.macs < 2500, "macs {}", cost.macs);
     }
 
@@ -342,11 +496,89 @@ mod tests {
     }
 
     #[test]
+    fn estimate_batch_is_bitwise_identical_to_scalar_loop() {
+        let m = model();
+        let readings: Vec<[f64; 3]> = (0..64)
+            .map(|i| {
+                let t = i as f64 / 63.0;
+                [3.0 + 1.2 * t, 9.0 * t - 1.0, 20.0 + 10.0 * t]
+            })
+            .collect();
+        let batch = m.estimate_batch(&readings);
+        assert_eq!(batch.len(), readings.len());
+        for (b, r) in batch.iter().zip(&readings) {
+            let scalar = m.estimate(r[0], r[1], r[2]);
+            assert_eq!(b.to_bits(), scalar.to_bits(), "{b} vs {scalar}");
+        }
+    }
+
+    #[test]
+    fn predict_batch_is_bitwise_identical_to_scalar_loop() {
+        for stage2 in [
+            SecondStage::Network(Branch2::new(norm2(), 120.0, &mut StdRng::seed_from_u64(3))),
+            SecondStage::Coulomb { capacity_ah: 3.0 },
+        ] {
+            let mut m = model();
+            m.stage2 = stage2;
+            let queries: Vec<PredictQuery> = (0..50)
+                .map(|i| {
+                    let t = i as f64 / 49.0;
+                    PredictQuery {
+                        voltage_v: 3.1 + t,
+                        current_a: 6.0 * t,
+                        temperature_c: 18.0 + 14.0 * t,
+                        avg_current_a: 9.0 * t - 0.5,
+                        avg_temperature_c: 21.0 + 8.0 * t,
+                        horizon_s: 30.0 + 330.0 * t,
+                    }
+                })
+                .collect();
+            let batch = m.predict_batch(&queries);
+            for (b, q) in batch.iter().zip(&queries) {
+                let scalar = m.predict(
+                    q.voltage_v,
+                    q.current_a,
+                    q.temperature_c,
+                    q.avg_current_a,
+                    q.avg_temperature_c,
+                    q.horizon_s,
+                );
+                assert_eq!(
+                    b.to_bits(),
+                    scalar.to_bits(),
+                    "{b} vs {scalar} ({})",
+                    m.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_scratch_reuse_across_batch_sizes() {
+        let m = model();
+        let mut scratch = BatchScratch::default();
+        let mut out = Vec::new();
+        let big: Vec<[f64; 3]> = (0..32).map(|i| [3.5, i as f64 * 0.2, 25.0]).collect();
+        m.estimate_batch_into(&big, &mut scratch, &mut out);
+        let small = &big[..3];
+        m.estimate_batch_into(small, &mut scratch, &mut out);
+        assert_eq!(out.len(), 35);
+        assert_eq!(out[32].to_bits(), out[0].to_bits());
+        // Empty batches are a no-op, not a panic.
+        m.estimate_batch_into(&[], &mut scratch, &mut out);
+        m.predict_batch_into(&[], &mut scratch, &mut out);
+        assert_eq!(out.len(), 35);
+    }
+
+    #[test]
     fn serde_roundtrip_preserves_outputs() {
         let m = model();
         let json = serde_json::to_string(&m).unwrap();
         let m2: SocModel = serde_json::from_str(&json).unwrap();
         assert_eq!(m.estimate(3.7, 1.0, 25.0), m2.estimate(3.7, 1.0, 25.0));
-        assert_eq!(m.predict_from(0.5, 2.0, 25.0, 60.0), m2.predict_from(0.5, 2.0, 25.0, 60.0));
+        assert_eq!(
+            m.predict_from(0.5, 2.0, 25.0, 60.0),
+            m2.predict_from(0.5, 2.0, 25.0, 60.0)
+        );
     }
 }

@@ -71,7 +71,10 @@ pub fn autoregressive_rollout(model: &SocModel, cycle: &Cycle, step_s: f64) -> R
         "step {step_s}s is not a multiple of the sampling interval {}s",
         cycle.dt_s
     );
-    assert!(cycle.records.len() > stride, "cycle shorter than one rollout step");
+    assert!(
+        cycle.records.len() > stride,
+        "cycle shorter than one rollout step"
+    );
 
     let first = &cycle.records[0];
     let mut soc = model.estimate(first.voltage_v, first.current_a, first.temperature_c);

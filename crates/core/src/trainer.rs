@@ -43,19 +43,24 @@ pub fn train(dataset: &SocDataset, config: &TrainConfig) -> (SocModel, TrainRepo
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     // ----- Branch 1: estimation -----
-    let est_samples: Vec<_> =
-        dataset.train.iter().flat_map(|c| estimation_samples(c)).collect();
+    let est_samples: Vec<_> = dataset.train.iter().flat_map(estimation_samples).collect();
     assert!(!est_samples.is_empty(), "no estimation samples");
     let feature_rows: Vec<[f64; 3]> = est_samples.iter().map(|s| s.features()).collect();
     let norm1 = Normalizer::fit(feature_rows.iter().map(|r| r.as_slice()));
     let mut branch1 = Branch1::new(norm1, &mut rng);
+    // Small-output init (see the Branch 2 note below): start near the mean
+    // SoC instead of at random-scale outputs.
+    branch1.net_mut().scale_output_weights(0.1);
     let b1_loss = train_branch1(&mut branch1, &feature_rows, &est_samples, config, &mut rng);
 
     // ----- Branch 2: prediction -----
     let (stage2, b2_loss) = match &config.variant {
-        PinnVariant::PhysicsOnly => {
-            (SecondStage::Coulomb { capacity_ah: config.capacity_ah }, Vec::new())
-        }
+        PinnVariant::PhysicsOnly => (
+            SecondStage::Coulomb {
+                capacity_ah: config.capacity_ah,
+            },
+            Vec::new(),
+        ),
         variant => {
             let pairs = prediction_pairs_all(&dataset.train, config.data_horizon_s);
             assert!(
@@ -63,8 +68,10 @@ pub fn train(dataset: &SocDataset, config: &TrainConfig) -> (SocModel, TrainRepo
                 "no prediction pairs at horizon {}s",
                 config.data_horizon_s
             );
-            let it_rows: Vec<[f64; 2]> =
-                pairs.iter().map(|p| [p.avg_current_a, p.avg_temperature_c]).collect();
+            let it_rows: Vec<[f64; 2]> = pairs
+                .iter()
+                .map(|p| [p.avg_current_a, p.avg_temperature_c])
+                .collect();
             let norm_it = Normalizer::fit(it_rows.iter().map(|r| r.as_slice()));
             let mut branch2 = Branch2::new(norm_it, config.data_horizon_s, &mut rng);
             let sampler = match variant {
@@ -76,14 +83,30 @@ pub fn train(dataset: &SocDataset, config: &TrainConfig) -> (SocModel, TrainRepo
                 )),
                 _ => None,
             };
+            // Small-output init: Branch 2 starts near its mean prediction,
+            // so the combined data + physics objective is well-conditioned
+            // from the first step (large random initial outputs can lock
+            // the horizon response into inverted basins).
+            branch2.net_mut().scale_output_weights(0.1);
             let losses = train_branch2(&mut branch2, &pairs, sampler, config, &mut rng);
             (SecondStage::Network(branch2), losses)
         }
     };
 
     let label = config.variant.to_string();
-    let model = SocModel { branch1, stage2, label: label.clone() };
-    (model, TrainReport { label, b1_loss, b2_loss })
+    let model = SocModel {
+        branch1,
+        stage2,
+        label: label.clone(),
+    };
+    (
+        model,
+        TrainReport {
+            label,
+            b1_loss,
+            b2_loss,
+        },
+    )
 }
 
 fn train_branch1(
@@ -96,8 +119,10 @@ fn train_branch1(
     let features = branch1.feature_matrix(feature_rows);
     let targets: Vec<f32> = samples.iter().map(|s| s.soc as f32).collect();
     let mut opt = Adam::new(config.learning_rate);
-    let schedule =
-        LrSchedule::Cosine { total: config.b1_epochs, min_lr: config.learning_rate * 0.05 };
+    let schedule = LrSchedule::Cosine {
+        total: config.b1_epochs,
+        min_lr: config.learning_rate * 0.05,
+    };
     let mut indices: Vec<usize> = (0..samples.len()).collect();
     let mut history = Vec::with_capacity(config.b1_epochs);
     for epoch in 0..config.b1_epochs {
@@ -107,11 +132,7 @@ fn train_branch1(
         let mut batches = 0usize;
         for chunk in indices.chunks(config.batch_size) {
             let x = features.gather_rows(chunk);
-            let y = Matrix::from_vec(
-                chunk.len(),
-                1,
-                chunk.iter().map(|&i| targets[i]).collect(),
-            );
+            let y = Matrix::from_vec(chunk.len(), 1, chunk.iter().map(|&i| targets[i]).collect());
             let net = branch1.net_mut();
             let pred = net.forward(&x);
             epoch_loss += Loss::Mae.value(&pred, &y);
@@ -137,8 +158,10 @@ fn train_branch2(
     let features = branch2.feature_matrix(&rows);
     let targets: Vec<f32> = pairs.iter().map(|p| p.soc_next as f32).collect();
     let mut opt = Adam::new(config.learning_rate);
-    let schedule =
-        LrSchedule::Cosine { total: config.b2_epochs, min_lr: config.learning_rate * 0.05 };
+    let schedule = LrSchedule::Cosine {
+        total: config.b2_epochs,
+        min_lr: config.learning_rate * 0.05,
+    };
     let mut indices: Vec<usize> = (0..pairs.len()).collect();
     let mut history = Vec::with_capacity(config.b2_epochs);
     for epoch in 0..config.b2_epochs {
@@ -148,11 +171,7 @@ fn train_branch2(
         let mut batches = 0usize;
         for chunk in indices.chunks(config.batch_size) {
             let x = features.gather_rows(chunk);
-            let y = Matrix::from_vec(
-                chunk.len(),
-                1,
-                chunk.iter().map(|&i| targets[i]).collect(),
-            );
+            let y = Matrix::from_vec(chunk.len(), 1, chunk.iter().map(|&i| targets[i]).collect());
             // Data term of Eq. 2.
             let net = branch2.net_mut();
             let pred = net.forward(&x);
@@ -174,7 +193,9 @@ fn train_branch2(
                 let net = branch2.net_mut();
                 let p_pred = net.forward(&px);
                 batch_loss += config.physics_weight * Loss::Mae.value(&p_pred, &py);
-                let p_grad = Loss::Mae.gradient(&p_pred, &py).scale(config.physics_weight);
+                let p_grad = Loss::Mae
+                    .gradient(&p_pred, &py)
+                    .scale(config.physics_weight);
                 net.backward(&p_grad);
             }
             opt.step(branch2.net_mut());
@@ -242,8 +263,10 @@ mod tests {
     #[test]
     fn pinn_trains_with_physics_batches() {
         let ds = tiny_dataset();
-        let (model, report) =
-            train(&ds, &quick_config(PinnVariant::pinn_all(&[120.0, 240.0, 360.0])));
+        let (model, report) = train(
+            &ds,
+            &quick_config(PinnVariant::pinn_all(&[120.0, 240.0, 360.0])),
+        );
         assert!(!report.b2_loss.is_empty());
         assert_eq!(model.label, "PINN-All");
         assert!(matches!(model.stage2, SecondStage::Network(_)));

@@ -33,14 +33,17 @@ pub fn pulse_train(
     cycles: usize,
     dt_s: f64,
 ) -> CurrentProfile {
-    assert!(pulse_s > 0.0 && rest_s > 0.0 && dt_s > 0.0, "durations must be positive");
+    assert!(
+        pulse_s > 0.0 && rest_s > 0.0 && dt_s > 0.0,
+        "durations must be positive"
+    );
     assert!(cycles > 0, "at least one cycle required");
     let pulse_n = (pulse_s / dt_s).round().max(1.0) as usize;
     let rest_n = (rest_s / dt_s).round().max(1.0) as usize;
     let mut currents = Vec::with_capacity(cycles * (pulse_n + rest_n));
     for _ in 0..cycles {
-        currents.extend(std::iter::repeat(high_a).take(pulse_n));
-        currents.extend(std::iter::repeat(low_a).take(rest_n));
+        currents.extend(std::iter::repeat_n(high_a, pulse_n));
+        currents.extend(std::iter::repeat_n(low_a, rest_n));
     }
     CurrentProfile::new(dt_s, currents)
 }
@@ -62,7 +65,11 @@ pub struct LabCycle {
 impl LabCycle {
     /// The paper's Sandia training condition: 0.5C charge / 1C discharge.
     pub fn sandia_train(ambient_c: f64) -> Self {
-        Self { discharge_c: 1.0, charge_c: 0.5, ambient_c }
+        Self {
+            discharge_c: 1.0,
+            charge_c: 0.5,
+            ambient_c,
+        }
     }
 
     /// The paper's Sandia test conditions: 0.5C charge and 2C or 3C
@@ -73,7 +80,11 @@ impl LabCycle {
     /// Panics if `discharge_c` is not positive.
     pub fn sandia_test(discharge_c: f64, ambient_c: f64) -> Self {
         assert!(discharge_c > 0.0, "discharge rate must be positive");
-        Self { discharge_c, charge_c: 0.5, ambient_c }
+        Self {
+            discharge_c,
+            charge_c: 0.5,
+            ambient_c,
+        }
     }
 }
 
@@ -94,7 +105,10 @@ impl Default for MixedCycleBuilder {
 impl MixedCycleBuilder {
     /// Default builder: 6 segments at the LG dataset's 0.1 s sampling.
     pub fn new() -> Self {
-        Self { segments: 6, dt_s: 0.1 }
+        Self {
+            segments: 6,
+            dt_s: 0.1,
+        }
     }
 
     /// Sets the number of schedule segments to concatenate.
@@ -188,7 +202,10 @@ mod tests {
     #[test]
     fn mixed_cycle_has_no_seam_spikes() {
         let p = MixedCycleBuilder::new().segments(4).build(0x16AA + 1000);
-        let max_a = p.accelerations().iter().fold(0.0_f64, |m, &a| m.max(a.abs()));
+        let max_a = p
+            .accelerations()
+            .iter()
+            .fold(0.0_f64, |m, &a| m.max(a.abs()));
         assert!(max_a < 4.0, "seam acceleration spike: {max_a} m/s²");
     }
 
@@ -225,7 +242,11 @@ mod tests {
         let c = b.build(5);
         assert_eq!(a, c);
         // Four schedule segments: at least 4 × 600 s.
-        assert!(a.duration_s() >= 2400.0 - 1.0, "duration {}", a.duration_s());
+        assert!(
+            a.duration_s() >= 2400.0 - 1.0,
+            "duration {}",
+            a.duration_s()
+        );
     }
 
     #[test]

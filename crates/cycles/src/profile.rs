@@ -19,7 +19,10 @@ impl SpeedProfile {
     /// negative or non-finite.
     pub fn new(dt_s: f64, speeds: Vec<f64>) -> Self {
         assert!(dt_s > 0.0, "sampling interval must be positive");
-        assert!(!speeds.is_empty(), "profile must contain at least one sample");
+        assert!(
+            !speeds.is_empty(),
+            "profile must contain at least one sample"
+        );
         assert!(
             speeds.iter().all(|v| v.is_finite() && *v >= 0.0),
             "speeds must be finite and non-negative"
@@ -113,8 +116,14 @@ impl CurrentProfile {
     /// non-finite.
     pub fn new(dt_s: f64, currents: Vec<f64>) -> Self {
         assert!(dt_s > 0.0, "sampling interval must be positive");
-        assert!(!currents.is_empty(), "profile must contain at least one sample");
-        assert!(currents.iter().all(|v| v.is_finite()), "currents must be finite");
+        assert!(
+            !currents.is_empty(),
+            "profile must contain at least one sample"
+        );
+        assert!(
+            currents.iter().all(|v| v.is_finite()),
+            "currents must be finite"
+        );
         Self { dt_s, currents }
     }
 

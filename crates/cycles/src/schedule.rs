@@ -187,15 +187,25 @@ struct SegmentProcess {
 impl SegmentProcess {
     fn new(stats: ScheduleStats, rng: &mut StdRng) -> Self {
         let phase = if stats.initial_stop {
-            Phase::Stopped { remaining_s: stats.stop_dur_mean.max(2.0) }
+            Phase::Stopped {
+                remaining_s: stats.stop_dur_mean.max(2.0),
+            }
         } else {
             Phase::Cruising {
                 target: stats.cruise_speed_mean,
                 remaining_s: stats.cruise_dur_mean,
             }
         };
-        let speed = if stats.initial_stop { 0.0 } else { stats.cruise_speed_mean };
-        let mut process = Self { stats, speed, phase };
+        let speed = if stats.initial_stop {
+            0.0
+        } else {
+            stats.cruise_speed_mean
+        };
+        let mut process = Self {
+            stats,
+            speed,
+            phase,
+        };
         // Warm the phase up so the first samples are not degenerate.
         if !stats.initial_stop {
             process.phase = process.pick_cruise(rng);
@@ -239,7 +249,10 @@ impl SegmentProcess {
         let max_up = self.stats.max_accel * taper * dt;
         // Braking is friction-assisted, so deceleration keeps the full cap.
         let max_down = self.stats.max_accel * dt;
-        self.speed = self.speed.clamp(previous - max_down, previous + max_up).max(0.0);
+        self.speed = self
+            .speed
+            .clamp(previous - max_down, previous + max_up)
+            .max(0.0);
         self.speed
     }
 
@@ -252,7 +265,9 @@ impl SegmentProcess {
                     let rate = self.sample_rate(self.stats.accel_mean, rng);
                     self.phase = Phase::Accelerating { target, rate };
                 } else {
-                    self.phase = Phase::Stopped { remaining_s: remaining_s - dt };
+                    self.phase = Phase::Stopped {
+                        remaining_s: remaining_s - dt,
+                    };
                 }
             }
             Phase::Accelerating { target, rate } => {
@@ -265,7 +280,10 @@ impl SegmentProcess {
                     };
                 }
             }
-            Phase::Cruising { target, remaining_s } => {
+            Phase::Cruising {
+                target,
+                remaining_s,
+            } => {
                 // Track the target with a ~3 s time constant and add
                 // Brownian jitter scaled by sqrt(dt) so the acceleration
                 // spectrum is independent of the sampling rate.
@@ -291,13 +309,19 @@ impl SegmentProcess {
                             };
                         } else {
                             let rate = self.sample_rate(self.stats.accel_mean, rng);
-                            self.phase = Phase::Accelerating { target: new_target, rate };
+                            self.phase = Phase::Accelerating {
+                                target: new_target,
+                                rate,
+                            };
                         }
                     } else {
                         self.phase = self.pick_cruise(rng);
                     }
                 } else {
-                    self.phase = Phase::Cruising { target, remaining_s: remaining_s - dt };
+                    self.phase = Phase::Cruising {
+                        target,
+                        remaining_s: remaining_s - dt,
+                    };
                 }
             }
             Phase::Decelerating { target, rate } => {
@@ -349,14 +373,26 @@ mod tests {
     #[test]
     fn udds_is_stop_and_go() {
         let p = DriveSchedule::Udds.generate(3);
-        assert!(p.idle_fraction() > 0.08, "UDDS idle fraction {}", p.idle_fraction());
-        assert!(p.mean_speed() > 5.0 && p.mean_speed() < 15.0, "mean {}", p.mean_speed());
+        assert!(
+            p.idle_fraction() > 0.08,
+            "UDDS idle fraction {}",
+            p.idle_fraction()
+        );
+        assert!(
+            p.mean_speed() > 5.0 && p.mean_speed() < 15.0,
+            "mean {}",
+            p.mean_speed()
+        );
     }
 
     #[test]
     fn hwfet_is_sustained_cruising() {
         let p = DriveSchedule::Hwfet.generate(3);
-        assert!(p.idle_fraction() < 0.05, "HWFET idle fraction {}", p.idle_fraction());
+        assert!(
+            p.idle_fraction() < 0.05,
+            "HWFET idle fraction {}",
+            p.idle_fraction()
+        );
         assert!(p.mean_speed() > 17.0, "HWFET mean speed {}", p.mean_speed());
     }
 
@@ -364,9 +400,15 @@ mod tests {
     fn us06_is_most_aggressive() {
         let us06 = DriveSchedule::Us06.generate(5);
         let udds = DriveSchedule::Udds.generate(5);
-        let max_a =
-            |p: &SpeedProfile| p.accelerations().iter().fold(0.0_f64, |m, &a| m.max(a.abs()));
-        assert!(max_a(&us06) > max_a(&udds), "US06 should out-accelerate UDDS");
+        let max_a = |p: &SpeedProfile| {
+            p.accelerations()
+                .iter()
+                .fold(0.0_f64, |m, &a| m.max(a.abs()))
+        };
+        assert!(
+            max_a(&us06) > max_a(&udds),
+            "US06 should out-accelerate UDDS"
+        );
         assert!(us06.max_speed() > udds.max_speed());
     }
 
@@ -394,11 +436,17 @@ mod tests {
             .iter()
             .map(|s| {
                 // Average several seeds to damp variance.
-                (0..5).map(|k| s.generate(100 + k).mean_speed()).sum::<f64>() / 5.0
+                (0..5)
+                    .map(|k| s.generate(100 + k).mean_speed())
+                    .sum::<f64>()
+                    / 5.0
             })
             .collect();
         let (udds, hwfet, la92, us06) = (means[0], means[1], means[2], means[3]);
-        assert!(udds < hwfet, "UDDS {udds} should be slower than HWFET {hwfet}");
+        assert!(
+            udds < hwfet,
+            "UDDS {udds} should be slower than HWFET {hwfet}"
+        );
         assert!(la92 < us06, "LA92 {la92} should be slower than US06 {us06}");
         assert!(hwfet > 15.0 && us06 > 15.0);
     }

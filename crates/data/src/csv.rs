@@ -96,7 +96,12 @@ pub fn cycle_from_csv(text: &str, meta: CycleMeta) -> Result<Cycle, CsvError> {
                 message: format!("expected header `{HEADER}`, found `{}`", h.trim()),
             })
         }
-        None => return Err(CsvError::Parse { line: 1, message: "empty file".into() }),
+        None => {
+            return Err(CsvError::Parse {
+                line: 1,
+                message: "empty file".into(),
+            })
+        }
     }
     let mut records = Vec::new();
     for (idx, line) in lines {
@@ -245,9 +250,8 @@ mod tests {
 
     #[test]
     fn non_uniform_sampling_rejected() {
-        let text = format!(
-            "{HEADER}\n120,3.9,3.0,25.0,0.9\n240,3.8,3.0,25.0,0.8\n500,3.7,3.0,25.0,0.7\n"
-        );
+        let text =
+            format!("{HEADER}\n120,3.9,3.0,25.0,0.9\n240,3.8,3.0,25.0,0.8\n500,3.7,3.0,25.0,0.7\n");
         let err = cycle_from_csv(&text, meta()).unwrap_err();
         assert!(err.to_string().contains("non-uniform"));
     }

@@ -72,8 +72,15 @@ impl Cycle {
     /// Panics if `records` is empty or `dt_s` is not positive.
     pub fn new(meta: CycleMeta, dt_s: f64, records: Vec<SimRecord>) -> Self {
         assert!(dt_s > 0.0, "sampling interval must be positive");
-        assert!(!records.is_empty(), "cycle must contain at least one record");
-        Self { meta, dt_s, records }
+        assert!(
+            !records.is_empty(),
+            "cycle must contain at least one record"
+        );
+        Self {
+            meta,
+            dt_s,
+            records,
+        }
     }
 
     /// Number of samples.
@@ -142,7 +149,13 @@ mod tests {
     use super::*;
 
     fn record(t: f64, soc: f64) -> SimRecord {
-        SimRecord { time_s: t, voltage_v: 3.7, current_a: 1.0, temperature_c: 25.0, soc }
+        SimRecord {
+            time_s: t,
+            voltage_v: 3.7,
+            current_a: 1.0,
+            temperature_c: 25.0,
+            soc,
+        }
     }
 
     fn meta() -> CycleMeta {
@@ -198,7 +211,11 @@ mod tests {
     fn train_currents_flattened() {
         let ds = SocDataset {
             name: "t".into(),
-            train: vec![Cycle::new(meta(), 1.0, vec![record(1.0, 0.5), record(2.0, 0.4)])],
+            train: vec![Cycle::new(
+                meta(),
+                1.0,
+                vec![record(1.0, 0.5), record(2.0, 0.4)],
+            )],
             test: vec![],
         };
         assert_eq!(ds.train_currents(), vec![1.0, 1.0]);

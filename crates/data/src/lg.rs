@@ -74,13 +74,20 @@ impl Default for LgConfig {
 /// lists, or non-positive time steps).
 pub fn generate_lg(config: &LgConfig) -> SocDataset {
     assert!(config.train_mixed > 0, "need at least one training cycle");
-    assert!(!config.train_temps_c.is_empty(), "need training temperatures");
+    assert!(
+        !config.train_temps_c.is_empty(),
+        "need training temperatures"
+    );
     assert!(!config.test_temps_c.is_empty(), "need test temperatures");
     assert!(config.sim_dt_s > 0.0 && config.sample_dt_s >= config.sim_dt_s);
 
     let vehicle = Vehicle::compact_ev();
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut dataset = SocDataset { name: "lg".into(), train: Vec::new(), test: Vec::new() };
+    let mut dataset = SocDataset {
+        name: "lg".into(),
+        train: Vec::new(),
+        test: Vec::new(),
+    };
 
     // Training: mixed cycles 1..=train_mixed.
     let mixed_builder = MixedCycleBuilder::new()
@@ -90,8 +97,12 @@ pub fn generate_lg(config: &LgConfig) -> SocDataset {
         let temp = config.train_temps_c[k % config.train_temps_c.len()];
         let speeds = mixed_builder.build(config.seed.wrapping_add(k as u64));
         let currents = vehicle.current_profile(&speeds);
-        let kind = CycleKind::Mixed { index: (k + 1) as u8 };
-        dataset.train.push(discharge_cycle(config, kind, temp, &currents, &mut rng));
+        let kind = CycleKind::Mixed {
+            index: (k + 1) as u8,
+        };
+        dataset
+            .train
+            .push(discharge_cycle(config, kind, temp, &currents, &mut rng));
     }
 
     // Test: the four pattern cycles + the final mixed cycle, per temperature.
@@ -104,12 +115,18 @@ pub fn generate_lg(config: &LgConfig) -> SocDataset {
             );
             let currents = vehicle.current_profile(&speeds);
             let kind = CycleKind::Drive(schedule);
-            dataset.test.push(discharge_cycle(config, kind, temp, &currents, &mut rng));
+            dataset
+                .test
+                .push(discharge_cycle(config, kind, temp, &currents, &mut rng));
         }
         let speeds = mixed_builder.build(mixed8_seed);
         let currents = vehicle.current_profile(&speeds);
-        let kind = CycleKind::Mixed { index: (config.train_mixed + 1) as u8 };
-        dataset.test.push(discharge_cycle(config, kind, temp, &currents, &mut rng));
+        let kind = CycleKind::Mixed {
+            index: (config.train_mixed + 1) as u8,
+        };
+        dataset
+            .test
+            .push(discharge_cycle(config, kind, temp, &currents, &mut rng));
     }
     dataset
 }
@@ -144,7 +161,7 @@ fn discharge_cycle(
             };
             let record = sim.step(current, config.sim_dt_s);
             step_idx += 1;
-            if step_idx % per_sample == 0 {
+            if step_idx.is_multiple_of(per_sample) {
                 records.push(record);
             }
             if let Some(reason) = sim.stop_reason_for(&record) {
@@ -152,17 +169,25 @@ fn discharge_cycle(
                     reason,
                     StopReason::LowVoltageCutoff | StopReason::Empty
                 ));
-                if step_idx % per_sample != 0 {
+                if !step_idx.is_multiple_of(per_sample) {
                     records.push(record);
                 }
                 break 'discharge;
             }
         }
     }
-    let noisy: Vec<SimRecord> = records.iter().map(|r| config.noise.corrupt(r, rng)).collect();
+    let noisy: Vec<SimRecord> = records
+        .iter()
+        .map(|r| config.noise.corrupt(r, rng))
+        .collect();
     let smoothed = moving_average(&noisy, config.sample_dt_s, config.moving_avg_s);
     Cycle::new(
-        CycleMeta { kind, ambient_c, cell: "LG-HG2".into(), capacity_ah: 3.0 },
+        CycleMeta {
+            kind,
+            ambient_c,
+            cell: "LG-HG2".into(),
+            capacity_ah: 3.0,
+        },
         config.sample_dt_s,
         smoothed,
     )
@@ -189,7 +214,10 @@ mod tests {
         assert_eq!(ds.train.len(), 2);
         // 4 schedules + 1 mixed at one temperature.
         assert_eq!(ds.test.len(), 5);
-        assert!(ds.test.iter().any(|c| matches!(c.meta.kind, CycleKind::Mixed { .. })));
+        assert!(ds
+            .test
+            .iter()
+            .any(|c| matches!(c.meta.kind, CycleKind::Mixed { .. })));
         assert!(ds
             .test
             .iter()
@@ -216,13 +244,20 @@ mod tests {
         let ds = generate_lg(&small_config());
         let c = &ds.test[0];
         for w in c.records.windows(2) {
-            assert!(w[1].soc <= w[0].soc + 0.002, "SoC jumped up at t={}", w[1].time_s);
+            assert!(
+                w[1].soc <= w[0].soc + 0.002,
+                "SoC jumped up at t={}",
+                w[1].time_s
+            );
         }
     }
 
     #[test]
     fn two_test_temperatures_double_the_test_set() {
-        let config = LgConfig { test_temps_c: vec![0.0, 25.0], ..small_config() };
+        let config = LgConfig {
+            test_temps_c: vec![0.0, 25.0],
+            ..small_config()
+        };
         let ds = generate_lg(&config);
         assert_eq!(ds.test.len(), 10);
         assert_eq!(ds.test_at_temperature(0.0).len(), 5);
@@ -233,10 +268,21 @@ mod tests {
     fn cold_cycles_are_shorter() {
         // Higher resistance at 0 °C trips the cutoff earlier, so the cold
         // discharge delivers less charge (fewer records).
-        let config = LgConfig { test_temps_c: vec![0.0, 25.0], ..small_config() };
+        let config = LgConfig {
+            test_temps_c: vec![0.0, 25.0],
+            ..small_config()
+        };
         let ds = generate_lg(&config);
-        let warm: f64 = ds.test_at_temperature(25.0).iter().map(|c| c.duration_s()).sum();
-        let cold: f64 = ds.test_at_temperature(0.0).iter().map(|c| c.duration_s()).sum();
+        let warm: f64 = ds
+            .test_at_temperature(25.0)
+            .iter()
+            .map(|c| c.duration_s())
+            .sum();
+        let cold: f64 = ds
+            .test_at_temperature(0.0)
+            .iter()
+            .map(|c| c.duration_s())
+            .sum();
         assert!(cold < warm, "cold {cold} vs warm {warm}");
     }
 

@@ -70,7 +70,10 @@ impl PhysicsSampler {
         seed: u64,
     ) -> Self {
         assert!(!horizons_s.is_empty(), "horizon set must be non-empty");
-        assert!(horizons_s.iter().all(|h| *h > 0.0), "horizons must be positive");
+        assert!(
+            horizons_s.iter().all(|h| *h > 0.0),
+            "horizons must be positive"
+        );
         if let PhysicsCurrentMode::CRateUniform { min_c, max_c } = mode {
             assert!(min_c < max_c, "C-rate range must be non-empty");
         }
@@ -87,7 +90,12 @@ impl PhysicsSampler {
             })
             .collect();
         assert!(!pool.is_empty(), "dataset has no training records");
-        Self { pool, horizons_s, mode, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            pool,
+            horizons_s,
+            mode,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The horizon set 𝒩.
@@ -100,10 +108,9 @@ impl PhysicsSampler {
         self.mode
     }
 
-    /// Draws one physics tuple: uniform initial SoC, dataset-derived
-    /// conditions, a horizon from 𝒩, and the Coulomb-counting target as
-    /// `soc_next`.
-    pub fn sample(&mut self) -> PredictionSample {
+    /// Draws one label-free condition: uniform initial SoC plus
+    /// dataset-derived current, temperature, and rated capacity.
+    fn draw_condition(&mut self) -> (f64, f64, f64, f64) {
         let entry = self.pool[self.rng.gen_range(0..self.pool.len())];
         let soc_now: f64 = self.rng.gen_range(0.0..=1.0);
         let avg_current_a = match self.mode {
@@ -112,25 +119,57 @@ impl PhysicsSampler {
                 self.rng.gen_range(min_c..=max_c) * entry.capacity_ah
             }
         };
-        let horizon_s = self.horizons_s[self.rng.gen_range(0..self.horizons_s.len())];
-        let target = coulomb_predict(
-            Soc::clamped(soc_now),
+        (
+            soc_now,
             avg_current_a,
-            horizon_s,
+            entry.temperature_c,
             entry.capacity_ah,
-        );
+        )
+    }
+
+    /// Completes a condition into a tuple at one horizon, with the
+    /// Coulomb-counting target as `soc_next`.
+    fn tuple_at(
+        &self,
+        (soc_now, avg_current_a, avg_temperature_c, capacity_ah): (f64, f64, f64, f64),
+        horizon_s: f64,
+    ) -> PredictionSample {
+        let target = coulomb_predict(Soc::clamped(soc_now), avg_current_a, horizon_s, capacity_ah);
         PredictionSample {
             soc_now,
             avg_current_a,
-            avg_temperature_c: entry.temperature_c,
+            avg_temperature_c,
             horizon_s,
             soc_next: target.value(),
         }
     }
 
-    /// Draws a batch of physics tuples.
+    /// Draws one physics tuple: uniform initial SoC, dataset-derived
+    /// conditions, a horizon from 𝒩, and the Coulomb-counting target as
+    /// `soc_next`.
+    pub fn sample(&mut self) -> PredictionSample {
+        let condition = self.draw_condition();
+        let horizon_s = self.horizons_s[self.rng.gen_range(0..self.horizons_s.len())];
+        self.tuple_at(condition, horizon_s)
+    }
+
+    /// Draws a batch of at least `n` physics tuples, stratified over the
+    /// horizon set: each drawn `(SoC, I, T)` condition is expanded across
+    /// *every* horizon in 𝒩. The paired tuples differ only in `Np`, which
+    /// gives the optimizer a direct, low-variance signal for ∂SoC/∂N — the
+    /// quantity the physics loss exists to teach — instead of relying on
+    /// horizon contrasts to emerge across independent draws.
     pub fn sample_batch(&mut self, n: usize) -> Vec<PredictionSample> {
-        (0..n).map(|_| self.sample()).collect()
+        let k = self.horizons_s.len();
+        let conditions = n.div_ceil(k);
+        let mut out = Vec::with_capacity(conditions * k);
+        for _ in 0..conditions {
+            let condition = self.draw_condition();
+            for i in 0..k {
+                out.push(self.tuple_at(condition, self.horizons_s[i]));
+            }
+        }
+        out
     }
 }
 
@@ -142,8 +181,20 @@ mod tests {
 
     fn tiny_dataset() -> SocDataset {
         let records = vec![
-            SimRecord { time_s: 1.0, voltage_v: 3.7, current_a: 3.0, temperature_c: 25.0, soc: 0.9 },
-            SimRecord { time_s: 2.0, voltage_v: 3.6, current_a: 6.0, temperature_c: 24.0, soc: 0.8 },
+            SimRecord {
+                time_s: 1.0,
+                voltage_v: 3.7,
+                current_a: 3.0,
+                temperature_c: 25.0,
+                soc: 0.9,
+            },
+            SimRecord {
+                time_s: 2.0,
+                voltage_v: 3.6,
+                current_a: 6.0,
+                temperature_c: 24.0,
+                soc: 0.8,
+            },
         ];
         SocDataset {
             name: "t".into(),
@@ -164,8 +215,7 @@ mod tests {
     #[test]
     fn pool_mode_mirrors_dataset() {
         let ds = tiny_dataset();
-        let mut sampler =
-            PhysicsSampler::new(&ds, vec![120.0], PhysicsCurrentMode::Pool, 1);
+        let mut sampler = PhysicsSampler::new(&ds, vec![120.0], PhysicsCurrentMode::Pool, 1);
         for _ in 0..50 {
             let s = sampler.sample();
             assert!(s.avg_current_a == 3.0 || s.avg_current_a == 6.0);
@@ -178,19 +228,33 @@ mod tests {
     #[test]
     fn crate_uniform_spans_the_range() {
         let ds = tiny_dataset();
-        let mode = PhysicsCurrentMode::CRateUniform { min_c: -0.5, max_c: 3.0 };
+        let mode = PhysicsCurrentMode::CRateUniform {
+            min_c: -0.5,
+            max_c: 3.0,
+        };
         let mut sampler = PhysicsSampler::new(&ds, vec![120.0], mode, 2);
         let batch = sampler.sample_batch(500);
         // Capacity is 3 Ah, so currents span [-1.5, 9] A.
-        assert!(batch.iter().all(|s| (-1.5..=9.0).contains(&s.avg_current_a)));
-        assert!(batch.iter().any(|s| s.avg_current_a < 0.0), "charging never sampled");
-        assert!(batch.iter().any(|s| s.avg_current_a > 6.0), "high rates never sampled");
+        assert!(batch
+            .iter()
+            .all(|s| (-1.5..=9.0).contains(&s.avg_current_a)));
+        assert!(
+            batch.iter().any(|s| s.avg_current_a < 0.0),
+            "charging never sampled"
+        );
+        assert!(
+            batch.iter().any(|s| s.avg_current_a > 6.0),
+            "high rates never sampled"
+        );
     }
 
     #[test]
     fn target_satisfies_coulomb_equation() {
         let ds = tiny_dataset();
-        let mode = PhysicsCurrentMode::CRateUniform { min_c: -0.5, max_c: 3.0 };
+        let mode = PhysicsCurrentMode::CRateUniform {
+            min_c: -0.5,
+            max_c: 3.0,
+        };
         let mut sampler = PhysicsSampler::new(&ds, vec![60.0, 120.0], mode, 3);
         for s in sampler.sample_batch(100) {
             let expected =
@@ -216,10 +280,8 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let ds = tiny_dataset();
-        let a = PhysicsSampler::new(&ds, vec![120.0], PhysicsCurrentMode::Pool, 7)
-            .sample_batch(10);
-        let b = PhysicsSampler::new(&ds, vec![120.0], PhysicsCurrentMode::Pool, 7)
-            .sample_batch(10);
+        let a = PhysicsSampler::new(&ds, vec![120.0], PhysicsCurrentMode::Pool, 7).sample_batch(10);
+        let b = PhysicsSampler::new(&ds, vec![120.0], PhysicsCurrentMode::Pool, 7).sample_batch(10);
         assert_eq!(a, b);
     }
 
@@ -234,7 +296,10 @@ mod tests {
     #[should_panic(expected = "C-rate range")]
     fn inverted_range_panics() {
         let ds = tiny_dataset();
-        let mode = PhysicsCurrentMode::CRateUniform { min_c: 3.0, max_c: -0.5 };
+        let mode = PhysicsCurrentMode::CRateUniform {
+            min_c: 3.0,
+            max_c: -0.5,
+        };
         let _ = PhysicsSampler::new(&ds, vec![120.0], mode, 1);
     }
 }

@@ -22,14 +22,22 @@ pub struct NoiseConfig {
 impl Default for NoiseConfig {
     fn default() -> Self {
         // Typical BMS front-end: ±5 mV, ±30 mA, ±0.2 °C.
-        Self { voltage_std: 0.005, current_std: 0.03, temperature_std: 0.2 }
+        Self {
+            voltage_std: 0.005,
+            current_std: 0.03,
+            temperature_std: 0.2,
+        }
     }
 }
 
 impl NoiseConfig {
     /// Noise-free configuration (for deterministic tests).
     pub fn none() -> Self {
-        Self { voltage_std: 0.0, current_std: 0.0, temperature_std: 0.0 }
+        Self {
+            voltage_std: 0.0,
+            current_std: 0.0,
+            temperature_std: 0.0,
+        }
     }
 
     /// Applies noise to one record (SoC ground truth stays exact).
@@ -60,7 +68,10 @@ fn gaussian(rng: &mut impl Rng) -> f64 {
 ///
 /// Panics if `window_s` is not positive or `dt_s` is not positive.
 pub fn moving_average(records: &[SimRecord], dt_s: f64, window_s: f64) -> Vec<SimRecord> {
-    assert!(dt_s > 0.0 && window_s > 0.0, "window and step must be positive");
+    assert!(
+        dt_s > 0.0 && window_s > 0.0,
+        "window and step must be positive"
+    );
     let w = (window_s / dt_s).round().max(1.0) as usize;
     let mut out = Vec::with_capacity(records.len());
     let mut sum_v = 0.0;

@@ -70,22 +70,34 @@ impl Default for SandiaConfig {
 /// Panics if the configuration has no chemistries, temperatures, or rates,
 /// or non-positive time steps.
 pub fn generate_sandia(config: &SandiaConfig) -> SocDataset {
-    assert!(!config.chemistries.is_empty(), "need at least one chemistry");
-    assert!(!config.ambient_temps_c.is_empty(), "need at least one temperature");
+    assert!(
+        !config.chemistries.is_empty(),
+        "need at least one chemistry"
+    );
+    assert!(
+        !config.ambient_temps_c.is_empty(),
+        "need at least one temperature"
+    );
     assert!(
         !config.train_discharge_c.is_empty() && !config.test_discharge_c.is_empty(),
         "need train and test discharge rates"
     );
     assert!(config.sim_dt_s > 0.0 && config.sample_dt_s >= config.sim_dt_s);
-    assert!(config.cycles_per_condition > 0, "need at least one cycle per condition");
+    assert!(
+        config.cycles_per_condition > 0,
+        "need at least one cycle per condition"
+    );
     assert!(
         config.true_capacity_factor > 0.0 && config.true_capacity_factor <= 1.2,
         "true capacity factor must be a sane positive ratio"
     );
 
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut dataset =
-        SocDataset { name: "sandia".into(), train: Vec::new(), test: Vec::new() };
+    let mut dataset = SocDataset {
+        name: "sandia".into(),
+        train: Vec::new(),
+        test: Vec::new(),
+    };
     for &chem in &config.chemistries {
         for &temp in &config.ambient_temps_c {
             for &rate in &config.train_discharge_c {
@@ -125,8 +137,10 @@ fn condition_cycles(
         records.extend(discharge.records);
         let charge = sim.charge_to_cutoff(config.charge_c, config.sim_dt_s, config.sample_dt_s);
         records.extend(charge.records);
-        let noisy: Vec<SimRecord> =
-            records.iter().map(|r| config.noise.corrupt(r, rng)).collect();
+        let noisy: Vec<SimRecord> = records
+            .iter()
+            .map(|r| config.noise.corrupt(r, rng))
+            .collect();
         cycles.push(Cycle::new(
             CycleMeta {
                 kind: CycleKind::Lab { discharge_c },
@@ -160,7 +174,9 @@ mod tests {
         let ds = generate_sandia(&small_config());
         assert_eq!(ds.train.len(), 1); // 1 chem × 1 temp × 1 rate × 1 cycle
         assert_eq!(ds.test.len(), 2); // rates 2C and 3C
-        assert!(matches!(ds.train[0].meta.kind, CycleKind::Lab { discharge_c } if discharge_c == 1.0));
+        assert!(
+            matches!(ds.train[0].meta.kind, CycleKind::Lab { discharge_c } if discharge_c == 1.0)
+        );
     }
 
     #[test]
@@ -169,7 +185,10 @@ mod tests {
         let cycle = &ds.train[0];
         let min_soc = cycle.records.iter().map(|r| r.soc).fold(1.0_f64, f64::min);
         let max_soc = cycle.records.iter().map(|r| r.soc).fold(0.0_f64, f64::max);
-        assert!(min_soc < 0.15, "discharge should approach empty, got {min_soc}");
+        assert!(
+            min_soc < 0.15,
+            "discharge should approach empty, got {min_soc}"
+        );
         assert!(max_soc > 0.85, "charge should approach full, got {max_soc}");
     }
 
@@ -202,7 +221,10 @@ mod tests {
 
     #[test]
     fn full_default_config_has_all_conditions() {
-        let config = SandiaConfig { cycles_per_condition: 1, ..SandiaConfig::default() };
+        let config = SandiaConfig {
+            cycles_per_condition: 1,
+            ..SandiaConfig::default()
+        };
         let ds = generate_sandia(&config);
         // 3 chemistries × 3 temps × 1 train rate.
         assert_eq!(ds.train.len(), 9);

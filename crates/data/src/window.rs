@@ -50,7 +50,12 @@ impl PredictionSample {
     /// Raw feature vector in Branch-2 input order
     /// `(SoC, Ī, T̄, N)`.
     pub fn features(&self) -> [f64; 4] {
-        [self.soc_now, self.avg_current_a, self.avg_temperature_c, self.horizon_s]
+        [
+            self.soc_now,
+            self.avg_current_a,
+            self.avg_temperature_c,
+            self.horizon_s,
+        ]
     }
 }
 
@@ -120,7 +125,10 @@ pub fn prediction_pairs(cycle: &Cycle, horizon_s: f64) -> Vec<PredictionSample> 
 
 /// Builds Branch-2 samples across several cycles, concatenated.
 pub fn prediction_pairs_all(cycles: &[Cycle], horizon_s: f64) -> Vec<PredictionSample> {
-    cycles.iter().flat_map(|c| prediction_pairs(c, horizon_s)).collect()
+    cycles
+        .iter()
+        .flat_map(|c| prediction_pairs(c, horizon_s))
+        .collect()
 }
 
 /// One full-pipeline evaluation sample: the sensor readings at `t` (Branch-1
@@ -175,7 +183,10 @@ pub fn pipeline_samples(cycle: &Cycle, horizon_s: f64) -> Vec<PipelineSample> {
 
 /// Builds full-pipeline samples across several cycles, concatenated.
 pub fn pipeline_samples_all(cycles: &[Cycle], horizon_s: f64) -> Vec<PipelineSample> {
-    cycles.iter().flat_map(|c| pipeline_samples(c, horizon_s)).collect()
+    cycles
+        .iter()
+        .flat_map(|c| pipeline_samples(c, horizon_s))
+        .collect()
 }
 
 #[cfg(test)]
@@ -283,6 +294,9 @@ mod tests {
     fn prediction_features_order() {
         let c = linear_cycle(3, 60.0);
         let p = prediction_pairs(&c, 60.0)[0];
-        assert_eq!(p.features(), [p.soc_now, p.avg_current_a, p.avg_temperature_c, 60.0]);
+        assert_eq!(
+            p.features(),
+            [p.soc_now, p.avg_current_a, p.avg_temperature_c, 60.0]
+        );
     }
 }

@@ -3,8 +3,8 @@
 
 use pinnsoc_battery::SimRecord;
 use pinnsoc_data::{
-    moving_average, prediction_pairs, Cycle, CycleKind, CycleMeta, Normalizer,
-    PhysicsCurrentMode, PhysicsSampler, SocDataset,
+    moving_average, prediction_pairs, Cycle, CycleKind, CycleMeta, Normalizer, PhysicsCurrentMode,
+    PhysicsSampler, SocDataset,
 };
 use proptest::prelude::*;
 

@@ -1,0 +1,245 @@
+//! Per-cell state tracked by the fleet engine.
+
+use crate::telemetry::{CellId, Telemetry};
+use pinnsoc_battery::{CellParams, CoulombCounter, EkfEstimator, Soc};
+
+/// Registration-time description of one cell.
+#[derive(Debug, Clone)]
+pub struct CellConfig {
+    /// Assumed SoC at registration (seeds the Coulomb integrator and the
+    /// EKF, when enabled). Clamped into `[0, 1]`.
+    pub initial_soc: f64,
+    /// Rated capacity, amp-hours.
+    pub capacity_ah: f64,
+}
+
+impl Default for CellConfig {
+    fn default() -> Self {
+        Self {
+            initial_soc: 1.0,
+            capacity_ah: 3.0,
+        }
+    }
+}
+
+/// Where a cell's current best SoC estimate came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SocEstimate {
+    /// Batched Branch-1 network estimate from the latest telemetry.
+    Network,
+    /// Running Coulomb integration (no network pass has covered the latest
+    /// telemetry yet).
+    Coulomb,
+    /// Extended Kalman filter fallback (enabled per-engine).
+    Ekf,
+}
+
+/// Everything the engine tracks for one cell.
+#[derive(Debug, Clone)]
+pub struct CellEntry {
+    /// The cell's fleet-unique id.
+    pub id: CellId,
+    /// Rated capacity, amp-hours (used for physics fallbacks and
+    /// time-to-empty).
+    pub capacity_ah: f64,
+    /// Most recent accepted telemetry, if any has arrived.
+    pub latest: Option<Telemetry>,
+    /// Running Coulomb integration from the registered initial SoC.
+    pub coulomb: CoulombCounter,
+    /// Optional EKF fallback estimator.
+    pub ekf: Option<Box<EkfEstimator>>,
+    /// Latest batched network estimate, with the telemetry timestamp it
+    /// covers.
+    pub network_estimate: Option<(f64, f64)>,
+    /// Telemetry reports accepted since registration.
+    pub reports: u64,
+    /// Processing-pass generation that last marked this cell dirty — lets
+    /// the shard dedup coalesced telemetry in O(1) per report.
+    pub(crate) dirty_generation: u64,
+}
+
+impl CellEntry {
+    /// Creates the entry, seeding integrators from the config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_ah` is not positive.
+    pub fn new(id: CellId, config: &CellConfig, ekf_params: Option<&CellParams>) -> Self {
+        let initial = Soc::clamped(config.initial_soc);
+        // The engine-wide EKF parameters describe the fleet's cell model
+        // (chemistry, resistances); the capacity is per-cell, so override
+        // it — otherwise heterogeneous fleets would integrate SoC at the
+        // wrong rate whenever the EKF fallback answers.
+        let ekf = ekf_params.map(|p| {
+            let mut params = p.clone();
+            params.capacity_ah = config.capacity_ah;
+            Box::new(EkfEstimator::new(params, initial))
+        });
+        Self {
+            id,
+            capacity_ah: config.capacity_ah,
+            latest: None,
+            coulomb: CoulombCounter::new(initial, config.capacity_ah),
+            ekf,
+            network_estimate: None,
+            reports: 0,
+            dirty_generation: 0,
+        }
+    }
+
+    /// Folds one telemetry report into the running integrators. Returns
+    /// `false` (and changes nothing) for non-finite or time-reversed
+    /// reports.
+    pub fn absorb(&mut self, t: Telemetry) -> bool {
+        if !t.is_finite() {
+            return false;
+        }
+        let dt = match self.latest {
+            Some(prev) => t.time_s - prev.time_s,
+            // First report: nothing to integrate over yet.
+            None => 0.0,
+        };
+        if dt < 0.0 {
+            return false;
+        }
+        if dt > 0.0 {
+            self.coulomb.update(t.current_a, dt);
+            if let Some(ekf) = &mut self.ekf {
+                ekf.update(t.current_a, t.voltage_v, t.temperature_c, dt);
+            }
+        }
+        self.latest = Some(t);
+        self.reports += 1;
+        true
+    }
+
+    /// The best current SoC estimate and its source: the network estimate
+    /// when it covers the latest telemetry, otherwise the EKF (when
+    /// enabled), otherwise the Coulomb integral. `None` until any
+    /// telemetry has been accepted.
+    pub fn estimate(&self) -> Option<(f64, SocEstimate)> {
+        let latest = self.latest?;
+        if let Some((time_s, soc)) = self.network_estimate {
+            if time_s >= latest.time_s {
+                // The network output is an unclamped regression value; keep
+                // fleet aggregates (histograms, time-to-empty) in-range.
+                return Some((soc.clamp(0.0, 1.0), SocEstimate::Network));
+            }
+        }
+        if let Some(ekf) = &self.ekf {
+            return Some((ekf.soc().value(), SocEstimate::Ekf));
+        }
+        Some((self.coulomb.soc().value(), SocEstimate::Coulomb))
+    }
+
+    /// Predicted seconds until empty at the given constant discharge
+    /// current (amps), from the best current estimate. `None` when no
+    /// estimate exists yet or the current is not a discharge.
+    pub fn time_to_empty_s(&self, discharge_current_a: f64) -> Option<f64> {
+        if discharge_current_a <= 0.0 {
+            return None;
+        }
+        let (soc, _) = self.estimate()?;
+        Some(soc * 3600.0 * self.capacity_ah / discharge_current_a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn telemetry(time_s: f64, current_a: f64) -> Telemetry {
+        Telemetry {
+            time_s,
+            voltage_v: 3.7,
+            current_a,
+            temperature_c: 25.0,
+        }
+    }
+
+    #[test]
+    fn absorb_integrates_coulomb_between_reports() {
+        let mut cell = CellEntry::new(
+            1,
+            &CellConfig {
+                initial_soc: 1.0,
+                capacity_ah: 3.0,
+            },
+            None,
+        );
+        assert!(cell.absorb(telemetry(0.0, 3.0)));
+        // 3 A for 1800 s = 1.5 Ah = half the capacity.
+        assert!(cell.absorb(telemetry(1800.0, 3.0)));
+        let (soc, source) = cell.estimate().expect("has telemetry");
+        assert_eq!(source, SocEstimate::Coulomb);
+        assert!((soc - 0.5).abs() < 1e-9, "soc {soc}");
+        assert_eq!(cell.reports, 2);
+    }
+
+    #[test]
+    fn rejects_nan_and_time_reversal() {
+        let mut cell = CellEntry::new(1, &CellConfig::default(), None);
+        assert!(cell.absorb(telemetry(10.0, 1.0)));
+        assert!(!cell.absorb(telemetry(5.0, 1.0)), "time reversal accepted");
+        let mut bad = telemetry(20.0, 1.0);
+        bad.voltage_v = f64::NAN;
+        assert!(!cell.absorb(bad), "NaN accepted");
+        assert_eq!(cell.reports, 1);
+        assert_eq!(cell.latest.unwrap().time_s, 10.0);
+    }
+
+    #[test]
+    fn network_estimate_wins_only_when_fresh() {
+        let mut cell = CellEntry::new(1, &CellConfig::default(), None);
+        cell.absorb(telemetry(10.0, 1.0));
+        cell.network_estimate = Some((10.0, 0.87));
+        assert_eq!(cell.estimate(), Some((0.87, SocEstimate::Network)));
+        // Newer telemetry makes the network estimate stale.
+        cell.absorb(telemetry(20.0, 1.0));
+        let (_, source) = cell.estimate().unwrap();
+        assert_eq!(source, SocEstimate::Coulomb);
+    }
+
+    #[test]
+    fn ekf_fallback_when_enabled() {
+        let params = CellParams::lg_hg2();
+        let mut cell = CellEntry::new(
+            1,
+            &CellConfig {
+                initial_soc: 0.8,
+                capacity_ah: params.capacity_ah,
+            },
+            Some(&params),
+        );
+        cell.absorb(telemetry(0.0, 1.0));
+        cell.absorb(telemetry(60.0, 1.0));
+        let (soc, source) = cell.estimate().unwrap();
+        assert_eq!(source, SocEstimate::Ekf);
+        assert!((0.0..=1.0).contains(&soc));
+    }
+
+    #[test]
+    fn time_to_empty_scales_with_current() {
+        let mut cell = CellEntry::new(
+            1,
+            &CellConfig {
+                initial_soc: 0.5,
+                capacity_ah: 3.0,
+            },
+            None,
+        );
+        cell.absorb(telemetry(0.0, 0.0));
+        // Half of 3 Ah at 1.5 A = 1 hour.
+        assert!((cell.time_to_empty_s(1.5).unwrap() - 3600.0).abs() < 1e-9);
+        assert!((cell.time_to_empty_s(3.0).unwrap() - 1800.0).abs() < 1e-9);
+        assert_eq!(cell.time_to_empty_s(0.0), None);
+        assert_eq!(cell.time_to_empty_s(-1.0), None);
+    }
+
+    #[test]
+    fn no_estimate_before_first_report() {
+        let cell = CellEntry::new(1, &CellConfig::default(), None);
+        assert_eq!(cell.estimate(), None);
+        assert_eq!(cell.time_to_empty_s(1.0), None);
+    }
+}

@@ -1,0 +1,85 @@
+//! # pinnsoc-fleet
+//!
+//! Fleet-scale SoC inference engine for the `pinnsoc` workspace.
+//!
+//! The paper keeps its two-branch PINN tiny (2,322 parameters) so it can run
+//! on-device; the interesting scaling axis for a server is therefore *fleet
+//! width* — one process estimating state of charge for hundreds of thousands
+//! of cells concurrently. This crate turns the reproduction into that
+//! serving layer:
+//!
+//! - [`FleetEngine`] owns per-cell state ([`CellEntry`]: latest telemetry, a
+//!   running [`pinnsoc_battery::CoulombCounter`], and an optional
+//!   [`pinnsoc_battery::EkfEstimator`] fallback) sharded across workers.
+//! - Telemetry ingestion is coalesced into fixed-size **micro-batches**, and
+//!   every micro-batch runs through [`pinnsoc::SocModel::predict_batch_into`]
+//!   — one GEMM per layer per batch instead of one tiny GEMM per cell.
+//! - [`ModelRegistry`] hot-swaps trained models (loaded via
+//!   `pinnsoc-nn::persist`) without stalling in-flight readers: workers pin
+//!   an `Arc` snapshot per batch, so a swap lands at the next batch
+//!   boundary.
+//! - Fleet-level queries: SoC histograms, cells below a threshold, and
+//!   per-cell predicted time-to-empty.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use pinnsoc_fleet::{CellConfig, FleetConfig, FleetEngine, Telemetry};
+//! # use pinnsoc_fleet::testing::untrained_model;
+//!
+//! let mut engine = FleetEngine::new(untrained_model(), FleetConfig::default());
+//! for id in 0..100 {
+//!     engine.register(id, CellConfig { initial_soc: 0.9, capacity_ah: 3.0 });
+//! }
+//! engine.ingest(7, Telemetry { time_s: 1.0, voltage_v: 3.8, current_a: 1.5, temperature_c: 25.0 });
+//! engine.process_pending();
+//! assert!(engine.estimate(7).is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod engine;
+pub mod registry;
+pub mod telemetry;
+
+pub use cell::{CellConfig, CellEntry, SocEstimate};
+pub use engine::{FleetConfig, FleetEngine, FleetStats, WorkloadQuery};
+pub use registry::ModelRegistry;
+pub use telemetry::{CellId, Telemetry};
+
+/// Helpers for doctests and benches that need a model without a training
+/// run.
+pub mod testing {
+    use pinnsoc::{Branch1, Branch2, SecondStage, SocModel};
+    use pinnsoc_data::Normalizer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Builds an untrained two-branch model with sane normalizers — enough
+    /// for exercising the serving machinery when a trained model is not
+    /// worth the setup cost.
+    pub fn untrained_model() -> SocModel {
+        untrained_model_seeded(0)
+    }
+
+    /// [`untrained_model`] with an explicit weight seed (distinct seeds give
+    /// distinct weights — useful for hot-swap tests).
+    pub fn untrained_model_seeded(seed: u64) -> SocModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows3: Vec<Vec<f64>> = vec![vec![2.8, -5.0, 0.0], vec![4.2, 9.0, 45.0]];
+        let refs3: Vec<&[f64]> = rows3.iter().map(|r| r.as_slice()).collect();
+        let rows2: Vec<Vec<f64>> = vec![vec![-5.0, 0.0], vec![9.0, 45.0]];
+        let refs2: Vec<&[f64]> = rows2.iter().map(|r| r.as_slice()).collect();
+        SocModel {
+            branch1: Branch1::new(Normalizer::fit(refs3.iter().copied()), &mut rng),
+            stage2: SecondStage::Network(Branch2::new(
+                Normalizer::fit(refs2.iter().copied()),
+                120.0,
+                &mut rng,
+            )),
+            label: "untrained".into(),
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Hot-swappable model storage.
+
+use pinnsoc::SocModel;
+use pinnsoc_nn::PersistError;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Shared, versioned holder of the currently served [`SocModel`].
+///
+/// Readers take an [`Arc`] snapshot ([`ModelRegistry::current`]) and run
+/// whole micro-batches against it, so a concurrent [`ModelRegistry::swap`]
+/// never stalls or tears an in-flight batch — the new model simply applies
+/// from each worker's next snapshot. The inner `RwLock` is held only for
+/// the duration of an `Arc` clone or store, never across inference.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    model: RwLock<Arc<SocModel>>,
+    version: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// Creates a registry serving `model` as version 1.
+    pub fn new(model: SocModel) -> Self {
+        Self {
+            model: RwLock::new(Arc::new(model)),
+            version: AtomicU64::new(1),
+        }
+    }
+
+    /// Snapshot of the model being served right now.
+    pub fn current(&self) -> Arc<SocModel> {
+        self.model.read().expect("registry lock poisoned").clone()
+    }
+
+    /// Serves `model` from the next snapshot on; returns the new version.
+    pub fn swap(&self, model: SocModel) -> u64 {
+        let mut served = self.model.write().expect("registry lock poisoned");
+        *served = Arc::new(model);
+        // Bump while still holding the write lock so concurrent swaps
+        // cannot pair a returned version with another swap's model.
+        self.version.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Loads a model persisted with `pinnsoc_nn::save_json` and swaps it
+    /// in; returns the new version.
+    ///
+    /// # Errors
+    ///
+    /// Returns the persistence error without touching the served model, so
+    /// a bad file on disk can never take the fleet down.
+    pub fn swap_from_json(&self, path: impl AsRef<Path>) -> Result<u64, PersistError> {
+        let model: SocModel = pinnsoc_nn::load_json(path)?;
+        Ok(self.swap(model))
+    }
+
+    /// Monotonic version of the served model (starts at 1, +1 per swap).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::untrained_model;
+
+    #[test]
+    fn swap_bumps_version_and_changes_snapshot() {
+        let registry = ModelRegistry::new(untrained_model());
+        assert_eq!(registry.version(), 1);
+        let before = registry.current();
+        let mut replacement = untrained_model();
+        replacement.label = "v2".into();
+        assert_eq!(registry.swap(replacement), 2);
+        assert_eq!(registry.version(), 2);
+        assert_eq!(registry.current().label, "v2");
+        // The old snapshot stays alive for readers that pinned it.
+        assert_eq!(before.label, "untrained");
+    }
+
+    #[test]
+    fn pinned_snapshot_survives_swap() {
+        let registry = ModelRegistry::new(untrained_model());
+        let pinned = registry.current();
+        let x = pinned.estimate(3.7, 1.0, 25.0);
+        registry.swap(untrained_model());
+        // Using the pinned snapshot after the swap is fine and stable.
+        assert_eq!(pinned.estimate(3.7, 1.0, 25.0), x);
+    }
+
+    #[test]
+    fn swap_from_json_roundtrip_and_error_path() {
+        let registry = ModelRegistry::new(untrained_model());
+        let dir = std::env::temp_dir().join("pinnsoc_fleet_registry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        let mut stored = untrained_model();
+        stored.label = "persisted".into();
+        pinnsoc_nn::save_json(&stored, &path).unwrap();
+        assert_eq!(registry.swap_from_json(&path).unwrap(), 2);
+        assert_eq!(registry.current().label, "persisted");
+        // A missing file leaves the served model untouched.
+        assert!(registry.swap_from_json(dir.join("missing.json")).is_err());
+        assert_eq!(registry.version(), 2);
+        assert_eq!(registry.current().label, "persisted");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn concurrent_readers_and_swaps() {
+        let registry = Arc::new(ModelRegistry::new(untrained_model()));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let registry = Arc::clone(&registry);
+                scope.spawn(move || {
+                    for _ in 0..200 {
+                        let snapshot = registry.current();
+                        let soc = snapshot.estimate(3.7, 1.0, 25.0);
+                        assert!(soc.is_finite());
+                    }
+                });
+            }
+            let registry = Arc::clone(&registry);
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    registry.swap(untrained_model());
+                }
+            });
+        });
+        assert_eq!(registry.version(), 51);
+    }
+}

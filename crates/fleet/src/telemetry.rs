@@ -1,0 +1,76 @@
+//! Identifiers and measurement records flowing into the fleet engine.
+
+use serde::{Deserialize, Serialize};
+
+/// Fleet-unique cell identifier.
+///
+/// A plain `u64` so producers (BMS gateways, message queues) can mint ids
+/// without coordination; the engine shards on it.
+pub type CellId = u64;
+
+/// One telemetry report from a cell — exactly what a BMS can measure.
+///
+/// Matches the measurement half of `pinnsoc_battery::SimRecord` (there is
+/// no ground-truth SoC here; estimating it is the engine's job).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Telemetry {
+    /// Producer timestamp, seconds. Must be monotonically increasing per
+    /// cell; the Coulomb integrator uses consecutive deltas.
+    pub time_s: f64,
+    /// Terminal voltage, volts.
+    pub voltage_v: f64,
+    /// Current, amps (positive = discharge, the workspace convention).
+    pub current_a: f64,
+    /// Cell temperature, °C.
+    pub temperature_c: f64,
+}
+
+impl Telemetry {
+    /// `true` when every field is finite (gateway glitches produce NaNs;
+    /// the engine drops such reports instead of poisoning integrators).
+    pub fn is_finite(&self) -> bool {
+        self.time_s.is_finite()
+            && self.voltage_v.is_finite()
+            && self.current_a.is_finite()
+            && self.temperature_c.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finite_check_catches_each_field() {
+        let good = Telemetry {
+            time_s: 1.0,
+            voltage_v: 3.7,
+            current_a: 1.0,
+            temperature_c: 25.0,
+        };
+        assert!(good.is_finite());
+        for k in 0..4 {
+            let mut bad = good;
+            match k {
+                0 => bad.time_s = f64::NAN,
+                1 => bad.voltage_v = f64::INFINITY,
+                2 => bad.current_a = f64::NEG_INFINITY,
+                _ => bad.temperature_c = f64::NAN,
+            }
+            assert!(!bad.is_finite(), "field {k}");
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = Telemetry {
+            time_s: 12.5,
+            voltage_v: 3.71,
+            current_a: -0.5,
+            temperature_c: 24.0,
+        };
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Telemetry = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,234 @@
+//! Integration tests for the fleet engine: batched-vs-scalar parity across
+//! the crate boundary, and ground-truth tracking over a simulated 1k-cell
+//! fleet.
+
+use pinnsoc::{train, PinnVariant, PredictQuery, TrainConfig};
+use pinnsoc_battery::{CellParams, CellSim, Chemistry, Soc};
+use pinnsoc_data::{generate_sandia, NoiseConfig, SandiaConfig};
+use pinnsoc_fleet::{
+    testing::untrained_model, CellConfig, FleetConfig, FleetEngine, SocEstimate, Telemetry,
+    WorkloadQuery,
+};
+
+/// The issue's headline parity requirement: one batched `predict_batch`
+/// call must reproduce the per-cell `predict` loop to ≤ 1e-12 (we assert
+/// bitwise, which is stronger).
+#[test]
+fn predict_batch_is_identical_to_per_cell_loop() {
+    let model = untrained_model();
+    let queries: Vec<PredictQuery> = (0..1000)
+        .map(|i| {
+            let t = i as f64 / 999.0;
+            PredictQuery {
+                voltage_v: 2.9 + 1.3 * t,
+                current_a: 8.0 * t - 1.0,
+                temperature_c: 5.0 + 35.0 * t,
+                avg_current_a: 6.0 * t,
+                avg_temperature_c: 15.0 + 20.0 * t,
+                horizon_s: 30.0 + 300.0 * t,
+            }
+        })
+        .collect();
+    let batched = model.predict_batch(&queries);
+    assert_eq!(batched.len(), queries.len());
+    for (b, q) in batched.iter().zip(&queries) {
+        let scalar = model.predict(
+            q.voltage_v,
+            q.current_a,
+            q.temperature_c,
+            q.avg_current_a,
+            q.avg_temperature_c,
+            q.horizon_s,
+        );
+        let diff = (b - scalar).abs();
+        assert!(
+            diff <= 1e-12,
+            "batched {b} vs scalar {scalar} (diff {diff:e})"
+        );
+        assert_eq!(b.to_bits(), scalar.to_bits(), "parity must be bitwise");
+    }
+}
+
+/// A 1k-cell fleet driven by the electro-thermal simulator: the engine's
+/// running Coulomb integrators must track the simulator's exact
+/// ground-truth SoC, and the trained network estimates must land close on
+/// in-distribution conditions.
+#[test]
+fn thousand_cell_fleet_tracks_ground_truth_coulomb_soc() {
+    // Quick paper-protocol training run (Sandia-like, one condition).
+    let dataset = generate_sandia(&SandiaConfig {
+        chemistries: vec![Chemistry::Nmc],
+        ambient_temps_c: vec![25.0],
+        cycles_per_condition: 1,
+        noise: NoiseConfig::none(),
+        ..SandiaConfig::default()
+    });
+    let config = TrainConfig {
+        b1_epochs: 60,
+        b2_epochs: 1,
+        batch_size: 16,
+        ..TrainConfig::sandia(PinnVariant::NoPinn, 7)
+    };
+    let (model, _) = train(&dataset, &config);
+
+    let params = CellParams::nmc_18650();
+    let cells = 1000u64;
+    let mut engine = FleetEngine::new(
+        model,
+        FleetConfig {
+            shards: 8,
+            micro_batch: 128,
+            ekf_fallback: None,
+        },
+    );
+    let mut sims: Vec<CellSim> = (0..cells)
+        .map(|_| CellSim::new(params.clone(), Soc::FULL, 25.0))
+        .collect();
+    for id in 0..cells {
+        engine.register(
+            id,
+            CellConfig {
+                initial_soc: 1.0,
+                capacity_ah: params.capacity_ah,
+            },
+        );
+    }
+
+    // Anchor every integrator at t = 0 (a report only covers the interval
+    // since the previous one, so the first report integrates nothing).
+    for id in 0..cells {
+        engine.ingest(
+            id,
+            Telemetry {
+                time_s: 0.0,
+                voltage_v: 4.1,
+                current_a: 0.0,
+                temperature_c: 25.0,
+            },
+        );
+    }
+    // Drive every cell near the training condition (±10% around 1C) for
+    // 30 minutes of simulated time, reporting every 30 s; process in
+    // bursts so several reports coalesce per pass.
+    let dt_s = 30.0;
+    let steps = 60;
+    let mut total_absorbed = 0usize;
+    for step in 1..=steps {
+        for (id, sim) in sims.iter_mut().enumerate() {
+            let c_rate = 0.9 + 0.2 * (id as f64 / (cells - 1) as f64);
+            let current_a = params.c_rate(c_rate);
+            let record = sim.step(current_a, dt_s);
+            engine.ingest(
+                id as u64,
+                Telemetry {
+                    time_s: step as f64 * dt_s,
+                    voltage_v: record.voltage_v,
+                    current_a: record.current_a,
+                    temperature_c: record.temperature_c,
+                },
+            );
+        }
+        if step % 10 == 0 {
+            let (absorbed, estimated) = engine.process_pending();
+            total_absorbed += absorbed;
+            assert_eq!(
+                estimated, cells as usize,
+                "every cell reported in the burst"
+            );
+        }
+    }
+    assert_eq!(
+        total_absorbed,
+        cells as usize * (steps + 1),
+        "anchor + one per step"
+    );
+
+    // The Coulomb integrators saw the exact currents over the exact
+    // intervals, so they must match the simulator's ground truth to float
+    // accumulation error.
+    let mut network_abs_err = 0.0;
+    for (id, sim) in sims.iter().enumerate() {
+        let truth = sim.state().soc.value();
+        let entry = engine.cell(id as u64).expect("registered");
+        let coulomb = entry.coulomb.soc().value();
+        assert!(
+            (coulomb - truth).abs() < 1e-9,
+            "cell {id}: coulomb {coulomb} vs truth {truth}"
+        );
+        let (estimate, source) = entry.estimate().expect("estimated");
+        assert_eq!(
+            source,
+            SocEstimate::Network,
+            "network pass covered the last report"
+        );
+        network_abs_err += (estimate - truth).abs();
+    }
+    let network_mae = network_abs_err / cells as f64;
+    assert!(
+        network_mae < 0.1,
+        "trained-network fleet MAE {network_mae:.4} out of band on in-distribution load"
+    );
+
+    // Fleet aggregates agree with the per-cell walk.
+    let stats = engine.stats();
+    assert_eq!(stats.cells, cells as usize);
+    assert_eq!(stats.reporting, cells as usize);
+    assert_eq!(
+        engine.soc_histogram(10).iter().sum::<usize>(),
+        cells as usize
+    );
+    let nearly_all = engine.cells_below(1.1);
+    assert_eq!(nearly_all.len(), cells as usize);
+
+    // Batched fleet-wide prediction runs over every reporting cell.
+    let predictions = engine.predict_all(WorkloadQuery {
+        avg_current_a: params.c_rate(1.0),
+        avg_temperature_c: 25.0,
+        horizon_s: 120.0,
+    });
+    assert_eq!(predictions.len(), cells as usize);
+    assert!(predictions.iter().all(|(_, p)| p.is_finite()));
+}
+
+/// The engine must keep working at the 100k-cell scale named in the
+/// acceptance criteria (one report per cell, single batched pass).
+#[test]
+fn hundred_thousand_cells_single_pass() {
+    let cells = 100_000u64;
+    let mut engine = FleetEngine::new(
+        untrained_model(),
+        FleetConfig {
+            shards: 8,
+            micro_batch: 1024,
+            ekf_fallback: None,
+        },
+    );
+    for id in 0..cells {
+        engine.register(
+            id,
+            CellConfig {
+                initial_soc: 0.8,
+                capacity_ah: 3.0,
+            },
+        );
+    }
+    assert_eq!(engine.len(), cells as usize);
+    for id in 0..cells {
+        let t = id as f64 / cells as f64;
+        engine.ingest(
+            id,
+            Telemetry {
+                time_s: 1.0,
+                voltage_v: 3.0 + 1.1 * t,
+                current_a: 5.0 * t,
+                temperature_c: 15.0 + 20.0 * t,
+            },
+        );
+    }
+    let (absorbed, estimated) = engine.process_pending();
+    assert_eq!(absorbed, cells as usize);
+    assert_eq!(estimated, cells as usize);
+    let stats = engine.stats();
+    assert_eq!(stats.reporting, cells as usize);
+    assert!(stats.min_soc.is_finite() && stats.max_soc.is_finite());
+}

@@ -106,18 +106,35 @@ mod tests {
         // Two-branch model vs hidden-500 LSTM over a 300-step window:
         // the paper quotes ≈409× fewer parameters and ≈260k× fewer ops.
         let mut rng = StdRng::seed_from_u64(0);
-        let b1 = Mlp::new(&[3, 16, 32, 16, 1], Activation::Relu, Init::HeNormal, &mut rng);
-        let b2 = Mlp::new(&[4, 16, 32, 16, 1], Activation::Relu, Init::HeNormal, &mut rng);
+        let b1 = Mlp::new(
+            &[3, 16, 32, 16, 1],
+            Activation::Relu,
+            Init::HeNormal,
+            &mut rng,
+        );
+        let b2 = Mlp::new(
+            &[4, 16, 32, 16, 1],
+            Activation::Relu,
+            Init::HeNormal,
+            &mut rng,
+        );
         let two_branch = CostReport {
             params: b1.param_count() + b2.param_count(),
             macs: b1.macs() + b2.macs(),
             memory_bytes: b1.memory_bytes() + b2.memory_bytes(),
         };
         let lstm = Lstm::new(3, 500, 1, &mut rng);
-        let lstm_cost = LstmQuery { lstm: &lstm, sequence_len: 300 }.cost();
+        let lstm_cost = LstmQuery {
+            lstm: &lstm,
+            sequence_len: 300,
+        }
+        .cost();
         let param_ratio = two_branch.param_ratio_vs(&lstm_cost);
         let macs_ratio = two_branch.macs_ratio_vs(&lstm_cost);
-        assert!((350.0..500.0).contains(&param_ratio), "param ratio {param_ratio}");
+        assert!(
+            (350.0..500.0).contains(&param_ratio),
+            "param ratio {param_ratio}"
+        );
         assert!(macs_ratio > 100_000.0, "macs ratio {macs_ratio}");
     }
 
@@ -130,7 +147,11 @@ mod tests {
 
     #[test]
     fn display_is_nonempty() {
-        let r = CostReport { params: 10, macs: 20, memory_bytes: 40 };
+        let r = CostReport {
+            params: 10,
+            macs: 20,
+            memory_bytes: 40,
+        };
         assert!(!format!("{r}").is_empty());
     }
 }

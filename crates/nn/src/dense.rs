@@ -117,18 +117,61 @@ impl Dense {
         self.weight.len()
     }
 
+    /// Scales the weight matrix (not the bias) by `factor` — used for
+    /// small-output initialization of the final layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite.
+    pub fn scale_weights(&mut self, factor: f32) {
+        assert!(factor.is_finite(), "scale factor must be finite");
+        self.weight.map_inplace(|w| w * factor);
+    }
+
     /// Forward pass; caches activations for a subsequent [`Dense::backward`].
     pub fn forward(&mut self, input: &Matrix) -> Matrix {
         let pre = input.matmul(&self.weight).add_row_broadcast(&self.bias);
         let out = self.activation.forward(&pre);
-        self.cache = Some(Cache { input: input.clone(), pre_activation: pre });
+        self.cache = Some(Cache {
+            input: input.clone(),
+            pre_activation: pre,
+        });
         out
     }
 
     /// Forward pass without caching (inference-only, avoids the clone).
+    ///
+    /// This is the simple allocating reference pipeline (`matmul →
+    /// broadcast → activate`); the serving engines use
+    /// [`Dense::forward_batch`], which computes the same values (bit-exact
+    /// per row) without the intermediate allocations.
     pub fn infer(&self, input: &Matrix) -> Matrix {
         let pre = input.matmul(&self.weight).add_row_broadcast(&self.bias);
         self.activation.forward(&pre)
+    }
+
+    /// Batched inference into a caller-owned buffer: one register-blocked
+    /// GEMM over the whole `batch × fan_in` input, then a single
+    /// bias-and-activation sweep. No allocation once `out` has capacity.
+    ///
+    /// This is a separate implementation from [`Dense::infer`]'s allocating
+    /// pipeline, but both compute `σ((x·W) + b)` with the GEMM accumulating
+    /// each row independently in ascending-`k` order, so per-row results
+    /// are bit-exact across the two paths and across batch heights (the
+    /// parity tests in this crate and in `pinnsoc`/`pinnsoc-fleet` enforce
+    /// this — keep both paths in sync when changing either).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.cols() != self.fan_in()`.
+    pub fn forward_batch(&self, input: &Matrix, out: &mut Matrix) {
+        input.matmul_into(&self.weight, out);
+        let act = self.activation;
+        for r in 0..out.rows() {
+            for (x, &b) in out.row_mut(r).iter_mut().zip(&self.bias) {
+                *x = act.apply(*x + b);
+            }
+        }
     }
 
     /// Backward pass: consumes `dL/dy`, accumulates `dL/dW`, `dL/db`, and
@@ -254,6 +297,24 @@ mod tests {
         let l = Dense::new(3, 16, Activation::Relu, Init::HeNormal, &mut rng);
         assert_eq!(l.param_count(), 3 * 16 + 16);
         assert_eq!(l.macs(), 48);
+    }
+
+    #[test]
+    fn forward_batch_matches_infer() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let l = Dense::new(3, 7, Activation::LeakyRelu, Init::HeNormal, &mut rng);
+        let x = Matrix::from_rows(&[&[0.2, -0.7, 1.3], &[1.0, 0.0, -1.0], &[0.0, 0.0, 0.0]]);
+        let mut out = Matrix::zeros(1, 1);
+        l.forward_batch(&x, &mut out);
+        assert_eq!(out, l.infer(&x));
+    }
+
+    #[test]
+    fn scale_weights_leaves_bias_untouched() {
+        let mut l = tiny_layer();
+        l.scale_weights(2.0);
+        assert_eq!(l.weight(), &Matrix::from_rows(&[&[2.0, -2.0], &[1.0, 4.0]]));
+        assert_eq!(l.bias(), &[0.1, -0.2]);
     }
 
     #[test]

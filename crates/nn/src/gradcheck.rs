@@ -81,7 +81,11 @@ pub fn check_mlp_gradients(
             checked += 1;
         }
     }
-    GradCheckReport { max_abs_diff: max_abs, max_rel_diff: max_rel, checked }
+    GradCheckReport {
+        max_abs_diff: max_abs,
+        max_rel_diff: max_rel,
+        checked,
+    }
 }
 
 #[cfg(test)]
@@ -95,7 +99,12 @@ mod tests {
     fn smooth_net() -> Mlp {
         // Tanh is smooth, so finite differences are well behaved.
         let mut rng = StdRng::seed_from_u64(11);
-        Mlp::new(&[3, 6, 5, 1], Activation::Tanh, Init::XavierUniform, &mut rng)
+        Mlp::new(
+            &[3, 6, 5, 1],
+            Activation::Tanh,
+            Init::XavierUniform,
+            &mut rng,
+        )
     }
 
     #[test]
@@ -127,7 +136,12 @@ mod tests {
         // ReLU kinks make finite differences noisy near zero; use the shared
         // stride-1 check with a looser relative threshold.
         let mut rng = StdRng::seed_from_u64(5);
-        let mut m = Mlp::new(&[3, 16, 32, 16, 1], Activation::Relu, Init::HeNormal, &mut rng);
+        let mut m = Mlp::new(
+            &[3, 16, 32, 16, 1],
+            Activation::Relu,
+            Init::HeNormal,
+            &mut rng,
+        );
         let x = Matrix::from_rows(&[&[0.4, 0.6, -0.3], &[0.9, -0.8, 0.2], &[0.1, 0.3, 0.7]]);
         let y = Matrix::from_rows(&[&[0.5], &[0.1], &[0.9]]);
         let report = check_mlp_gradients(&mut m, &x, &y, Loss::Mse, 7);

@@ -7,7 +7,7 @@ use crate::matrix::Matrix;
 use rand::Rng;
 
 /// Weight initialization scheme for dense and recurrent layers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Init {
     /// Uniform in `[-limit, limit]` with `limit = sqrt(6 / (fan_in + fan_out))`.
     ///
@@ -16,18 +16,13 @@ pub enum Init {
     XavierUniform,
     /// Normal with standard deviation `sqrt(2 / fan_in)` (He et al.), suited
     /// to ReLU activations. Used for the paper's two branches.
+    #[default]
     HeNormal,
     /// Uniform in `[-limit, limit]` with `limit = 1 / sqrt(fan_in)` —
     /// PyTorch's default for `nn.Linear`, kept for parity experiments.
     LecunUniform,
     /// All zeros (useful for biases and for tests).
     Zeros,
-}
-
-impl Default for Init {
-    fn default() -> Self {
-        Init::HeNormal
-    }
 }
 
 impl Init {
@@ -98,7 +93,10 @@ mod tests {
         let mean = m.mean();
         let var = m.as_slice().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n;
         let expected = 2.0 / fan_in as f32;
-        assert!((var - expected).abs() < expected * 0.2, "var {var} vs expected {expected}");
+        assert!(
+            (var - expected).abs() < expected * 0.2,
+            "var {var} vs expected {expected}"
+        );
     }
 
     #[test]

@@ -65,6 +65,6 @@ pub use init::Init;
 pub use loss::{mae, max_abs_error, rmse, Loss};
 pub use lstm::Lstm;
 pub use matrix::Matrix;
-pub use mlp::Mlp;
+pub use mlp::{InferScratch, Mlp};
 pub use optim::{Adam, LrSchedule, Optimizer, Sgd, Trainable};
 pub use persist::{load_json, save_json, PersistError};

@@ -92,7 +92,11 @@ impl Loss {
 pub fn mae(prediction: &[f32], target: &[f32]) -> f32 {
     assert_eq!(prediction.len(), target.len(), "mae length mismatch");
     assert!(!prediction.is_empty(), "mae of empty slices");
-    prediction.iter().zip(target).map(|(p, t)| (p - t).abs()).sum::<f32>()
+    prediction
+        .iter()
+        .zip(target)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f32>()
         / prediction.len() as f32
 }
 
@@ -104,7 +108,11 @@ pub fn mae(prediction: &[f32], target: &[f32]) -> f32 {
 pub fn rmse(prediction: &[f32], target: &[f32]) -> f32 {
     assert_eq!(prediction.len(), target.len(), "rmse length mismatch");
     assert!(!prediction.is_empty(), "rmse of empty slices");
-    (prediction.iter().zip(target).map(|(p, t)| (p - t) * (p - t)).sum::<f32>()
+    (prediction
+        .iter()
+        .zip(target)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f32>()
         / prediction.len() as f32)
         .sqrt()
 }
@@ -115,7 +123,11 @@ pub fn rmse(prediction: &[f32], target: &[f32]) -> f32 {
 ///
 /// Panics if the slices have different or zero lengths.
 pub fn max_abs_error(prediction: &[f32], target: &[f32]) -> f32 {
-    assert_eq!(prediction.len(), target.len(), "max_abs_error length mismatch");
+    assert_eq!(
+        prediction.len(),
+        target.len(),
+        "max_abs_error length mismatch"
+    );
     assert!(!prediction.is_empty(), "max_abs_error of empty slices");
     prediction
         .iter()

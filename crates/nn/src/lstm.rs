@@ -77,7 +77,10 @@ impl Lstm {
     /// Creates an LSTM with Xavier-initialized weights, zero biases, and the
     /// forget-gate bias set to 1 (standard trick for gradient flow).
     pub fn new(input_dim: usize, hidden_dim: usize, output_dim: usize, rng: &mut impl Rng) -> Self {
-        assert!(input_dim > 0 && hidden_dim > 0 && output_dim > 0, "dimensions must be non-zero");
+        assert!(
+            input_dim > 0 && hidden_dim > 0 && output_dim > 0,
+            "dimensions must be non-zero"
+        );
         let mut bias = vec![0.0; 4 * hidden_dim];
         for b in bias.iter_mut().skip(hidden_dim).take(hidden_dim) {
             *b = 1.0; // forget gate
@@ -179,7 +182,10 @@ impl Lstm {
             assert_eq!(x.rows(), batch, "batch size changed mid-sequence");
             let cache = self.step(x, &h, &c);
             h = cache.h.clone();
-            c = cache.f.hadamard(&cache.c_prev).add(&cache.i.hadamard(&cache.g));
+            c = cache
+                .f
+                .hadamard(&cache.c_prev)
+                .add(&cache.i.hadamard(&cache.g));
             outputs.push(h.matmul(&self.w_ho).add_row_broadcast(&self.b_o));
             self.caches.push(cache);
         }
@@ -321,15 +327,19 @@ mod tests {
         // Table I: LSTM [17] ≈ 4 MB ≈ 1M fp32 params. Hidden 500 on 3 inputs:
         let lstm = Lstm::new(3, 500, 1, &mut rng());
         let params = lstm.param_count();
-        assert!((1_000_000..1_100_000).contains(&params), "params = {params}");
+        assert!(
+            (1_000_000..1_100_000).contains(&params),
+            "params = {params}"
+        );
         assert!(lstm.memory_bytes() > 4_000_000);
     }
 
     #[test]
     fn infer_matches_forward() {
         let mut lstm = Lstm::new(2, 4, 1, &mut rng());
-        let steps: Vec<Matrix> =
-            (0..6).map(|t| Matrix::from_rows(&[&[t as f32 * 0.1, -0.2]])).collect();
+        let steps: Vec<Matrix> = (0..6)
+            .map(|t| Matrix::from_rows(&[&[t as f32 * 0.1, -0.2]]))
+            .collect();
         let a = lstm.forward_sequence(&steps);
         let b = lstm.infer_sequence(&steps);
         assert_eq!(a, b);
@@ -354,8 +364,10 @@ mod tests {
 
         // Analytic gradients.
         let outs = lstm.forward_sequence(&steps);
-        let mut grads: Vec<Matrix> =
-            outs.iter().map(|o| Matrix::zeros(o.rows(), o.cols())).collect();
+        let mut grads: Vec<Matrix> = outs
+            .iter()
+            .map(|o| Matrix::zeros(o.rows(), o.cols()))
+            .collect();
         let gl = grads.len();
         grads[gl - 1] = Loss::Mse.gradient(outs.last().unwrap(), &target);
         lstm.zero_grad();
@@ -440,20 +452,30 @@ mod tests {
         let (vx, vy) = make_seq(&mut r);
         let eval = |l: &Lstm| -> f32 {
             let outs = l.infer_sequence(&vx);
-            outs.iter().zip(&vy).map(|(o, y)| Loss::Mse.value(o, y)).sum::<f32>() / vx.len() as f32
+            outs.iter()
+                .zip(&vy)
+                .map(|(o, y)| Loss::Mse.value(o, y))
+                .sum::<f32>()
+                / vx.len() as f32
         };
         let before = eval(&lstm);
         for _ in 0..200 {
             let (xs, ys) = make_seq(&mut r);
             let outs = lstm.forward_sequence(&xs);
-            let grads: Vec<Matrix> =
-                outs.iter().zip(&ys).map(|(o, y)| Loss::Mse.gradient(o, y)).collect();
+            let grads: Vec<Matrix> = outs
+                .iter()
+                .zip(&ys)
+                .map(|(o, y)| Loss::Mse.gradient(o, y))
+                .collect();
             lstm.zero_grad();
             lstm.backward_sequence(&grads);
             opt.step(&mut lstm);
         }
         let after = eval(&lstm);
-        assert!(after < before * 0.5, "LSTM did not learn: {before} -> {after}");
+        assert!(
+            after < before * 0.5,
+            "LSTM did not learn: {before} -> {after}"
+        );
     }
 
     #[test]

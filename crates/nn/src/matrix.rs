@@ -9,6 +9,73 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// GEMM micro-tile: accumulates `IB` rows × `JB` columns of the product in
+/// registers over the whole depth and stores each element once. `lhs` holds
+/// the IB-row block (row-major, `IB × depth`), `out` the matching
+/// `IB × n` output block. Per output element the additions happen in
+/// ascending-`k` order, independent of `IB`/`JB` — the bit-parity
+/// guarantee every tile size shares.
+#[inline(always)]
+fn micro_tile<const IB: usize, const JB: usize>(
+    lhs: &[f32],
+    depth: usize,
+    rhs: &[f32],
+    n: usize,
+    out: &mut [f32],
+    j0: usize,
+) {
+    let mut acc = [[0.0f32; JB]; IB];
+    for k in 0..depth {
+        let b: &[f32; JB] = rhs[k * n + j0..k * n + j0 + JB]
+            .try_into()
+            .expect("tile slice has JB elements");
+        for (r, acc_r) in acc.iter_mut().enumerate() {
+            let a = lhs[r * depth + k];
+            for (acc_l, &b_l) in acc_r.iter_mut().zip(b) {
+                *acc_l += a * b_l;
+            }
+        }
+    }
+    for (r, acc_r) in acc.iter().enumerate() {
+        out[r * n + j0..r * n + j0 + JB].copy_from_slice(acc_r);
+    }
+}
+
+/// Column sweep of one IB-row block: wide tiles first, then narrower ones,
+/// then a scalar tail — every output element of the block is assigned
+/// exactly once.
+#[inline(always)]
+fn gemm_row_block<const IB: usize>(
+    lhs: &[f32],
+    depth: usize,
+    rhs: &[f32],
+    n: usize,
+    out: &mut [f32],
+) {
+    let mut j0 = 0;
+    while j0 + 32 <= n {
+        micro_tile::<IB, 32>(lhs, depth, rhs, n, out, j0);
+        j0 += 32;
+    }
+    while j0 + 16 <= n {
+        micro_tile::<IB, 16>(lhs, depth, rhs, n, out, j0);
+        j0 += 16;
+    }
+    while j0 + 8 <= n {
+        micro_tile::<IB, 8>(lhs, depth, rhs, n, out, j0);
+        j0 += 8;
+    }
+    for j in j0..n {
+        for r in 0..IB {
+            let mut acc = 0.0f32;
+            for k in 0..depth {
+                acc += lhs[r * depth + k] * rhs[k * n + j];
+            }
+            out[r * n + j] = acc;
+        }
+    }
+}
+
 /// A dense, row-major matrix of `f32` values.
 ///
 /// # Examples
@@ -59,7 +126,11 @@ impl Matrix {
     /// Panics if either dimension is zero.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows × cols` matrix filled with `value`.
@@ -106,7 +177,12 @@ impl Matrix {
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, r) in rows.iter().enumerate() {
-            assert_eq!(r.len(), cols, "row {i} has length {} (expected {cols})", r.len());
+            assert_eq!(
+                r.len(),
+                cols,
+                "row {i} has length {} (expected {cols})",
+                r.len()
+            );
             data.extend_from_slice(r);
         }
         Self::from_vec(rows.len(), cols, data)
@@ -175,8 +251,42 @@ impl Matrix {
 
     /// Copies column `c` into a new vector.
     pub fn col(&self, c: usize) -> Vec<f32> {
-        assert!(c < self.cols, "column index {c} out of bounds ({})", self.cols);
+        assert!(
+            c < self.cols,
+            "column index {c} out of bounds ({})",
+            self.cols
+        );
         (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Reuses this matrix's storage as a zeroed `rows × cols` buffer,
+    /// reallocating only when the new shape needs more capacity. This is
+    /// the allocation-free backbone of the batched inference paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Reshapes without zeroing, for kernels that assign every element.
+    /// Newly grown capacity is still zero-filled (no `unsafe` in this
+    /// crate); a steady-state reuse at the same size is free.
+    fn reshape_for_overwrite(&mut self, rows: usize, cols: usize) {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        let len = rows * cols;
+        if self.data.len() < len {
+            self.data.resize(len, 0.0);
+        } else {
+            self.data.truncate(len);
+        }
+        self.rows = rows;
+        self.cols = cols;
     }
 
     /// Matrix product `self · rhs`.
@@ -185,27 +295,55 @@ impl Matrix {
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols.max(1));
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Matrix product `self · rhs` written into `out` (resized and zeroed
+    /// first), avoiding the allocation of [`Matrix::matmul`]. Accumulation
+    /// order is identical to `matmul`, so results are bit-exact between the
+    /// two paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} · {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // ikj loop order: stream over rhs rows for cache friendliness.
-        for i in 0..self.rows {
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
-                }
-            }
+        // The kernel assigns every output element, so no zeroing pass.
+        out.reshape_for_overwrite(self.rows, rhs.cols);
+        let n = rhs.cols;
+        let depth = self.cols;
+        // Register-blocked GEMM: 4-row blocks swept by the widest
+        // micro-tile that fits (32 → 16 → 8 columns → scalar tail), with a
+        // 1-row pass for the remainder rows. See [`micro_tile`] for the
+        // register-blocking rationale and the bit-parity guarantee.
+        const IB: usize = 4;
+        let mut i = 0;
+        while i + IB <= self.rows {
+            gemm_row_block::<IB>(
+                &self.data[i * depth..(i + IB) * depth],
+                depth,
+                &rhs.data,
+                n,
+                &mut out.data[i * n..(i + IB) * n],
+            );
+            i += IB;
         }
-        out
+        while i < self.rows {
+            gemm_row_block::<1>(
+                &self.data[i * depth..(i + 1) * depth],
+                depth,
+                &rhs.data,
+                n,
+                &mut out.data[i * n..(i + 1) * n],
+            );
+            i += 1;
+        }
     }
 
     /// Computes `selfᵀ · rhs` without materializing the transpose.
@@ -297,8 +435,17 @@ impl Matrix {
             self.shape(),
             rhs.shape()
         );
-        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// In-place element-wise accumulate: `self += rhs`.
@@ -409,7 +556,10 @@ impl Matrix {
 
     /// Gathers the given rows (in order, repeats allowed) into a new matrix.
     pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
-        assert!(!indices.is_empty(), "gather_rows requires at least one index");
+        assert!(
+            !indices.is_empty(),
+            "gather_rows requires at least one index"
+        );
         let mut data = Vec::with_capacity(indices.len() * self.cols);
         for &i in indices {
             data.extend_from_slice(self.row(i));
@@ -423,7 +573,8 @@ impl Matrix {
         assert!(count > 0, "column slice must be non-empty");
         let mut out = Matrix::zeros(self.rows, count);
         for r in 0..self.rows {
-            out.row_mut(r).copy_from_slice(&self.row(r)[start..start + count]);
+            out.row_mut(r)
+                .copy_from_slice(&self.row(r)[start..start + count]);
         }
         out
     }
@@ -438,14 +589,20 @@ impl std::ops::Index<(usize, usize)> for Matrix {
     type Output = f32;
 
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl std::ops::IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -523,7 +680,10 @@ mod tests {
     fn broadcast_and_column_sums_roundtrip() {
         let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         let with_bias = m.add_row_broadcast(&[10.0, 20.0]);
-        assert_eq!(with_bias, Matrix::from_rows(&[&[11.0, 22.0], &[13.0, 24.0]]));
+        assert_eq!(
+            with_bias,
+            Matrix::from_rows(&[&[11.0, 22.0], &[13.0, 24.0]])
+        );
         assert_eq!(m.column_sums(), vec![4.0, 6.0]);
     }
 
@@ -539,7 +699,10 @@ mod tests {
     fn slicing_and_gather() {
         let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]);
         assert_eq!(m.slice_rows(1, 2).row(0), &[4.0, 5.0, 6.0]);
-        assert_eq!(m.slice_cols(1, 2), Matrix::from_rows(&[&[2.0, 3.0], &[5.0, 6.0], &[8.0, 9.0]]));
+        assert_eq!(
+            m.slice_cols(1, 2),
+            Matrix::from_rows(&[&[2.0, 3.0], &[5.0, 6.0], &[8.0, 9.0]])
+        );
         assert_eq!(m.gather_rows(&[2, 0]).row(0), &[7.0, 8.0, 9.0]);
     }
 
@@ -565,6 +728,27 @@ mod tests {
         let b = Matrix::from_rows(&[&[2.0, -2.0]]);
         a.axpy(0.5, &b);
         assert_eq!(a, Matrix::from_rows(&[&[2.0, 0.0]]));
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer_and_matches_matmul() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[-1.0, 0.5]]);
+        let b = Matrix::from_rows(&[&[0.5, -1.0, 2.0], &[1.5, 0.0, -0.5]]);
+        let mut out = Matrix::zeros(1, 1);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        // Second use with a different shape reuses the same buffer.
+        let c = Matrix::identity(2);
+        c.matmul_into(&b, &mut out);
+        assert_eq!(out, b);
+    }
+
+    #[test]
+    fn reset_resizes_and_zeroes() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        m.reset(2, 2);
+        assert_eq!(m.shape(), (2, 2));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
     }
 
     #[test]

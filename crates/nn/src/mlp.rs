@@ -31,6 +31,16 @@ pub struct Mlp {
     layers: Vec<Dense>,
 }
 
+/// Reusable ping-pong buffers for [`Mlp::forward_batch`].
+///
+/// Keep one per serving thread and steady-state batched inference allocates
+/// nothing: each layer writes into one buffer while reading the other.
+#[derive(Debug, Clone, Default)]
+pub struct InferScratch {
+    ping: Option<Matrix>,
+    pong: Option<Matrix>,
+}
+
 impl Mlp {
     /// Builds an MLP from layer `widths`, applying `hidden` activation to all
     /// layers except the last, which is linear ([`Activation::Identity`]).
@@ -41,11 +51,18 @@ impl Mlp {
     /// output) or any width is zero.
     pub fn new(widths: &[usize], hidden: Activation, init: Init, rng: &mut impl Rng) -> Self {
         assert!(widths.len() >= 2, "need at least input and output widths");
-        assert!(widths.iter().all(|&w| w > 0), "layer widths must be non-zero");
+        assert!(
+            widths.iter().all(|&w| w > 0),
+            "layer widths must be non-zero"
+        );
         let mut layers = Vec::with_capacity(widths.len() - 1);
         for w in widths.windows(2) {
             let is_last = layers.len() == widths.len() - 2;
-            let act = if is_last { Activation::Identity } else { hidden };
+            let act = if is_last {
+                Activation::Identity
+            } else {
+                hidden
+            };
             layers.push(Dense::new(w[0], w[1], act, init, rng));
         }
         Self { layers }
@@ -118,6 +135,46 @@ impl Mlp {
         x
     }
 
+    /// Batched inference over a `batch × input_dim` matrix, ping-ponging
+    /// between two scratch buffers so steady-state serving performs **zero
+    /// allocations** per batch. Returns a borrow of the scratch buffer
+    /// holding the `batch × output_dim` result.
+    ///
+    /// Per-row outputs are bit-exact with [`Mlp::infer`] /
+    /// [`Mlp::infer_scalar`] on the corresponding single row (see
+    /// [`Dense::forward_batch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.cols() != self.input_dim()`.
+    pub fn forward_batch<'s>(&self, input: &Matrix, scratch: &'s mut InferScratch) -> &'s Matrix {
+        assert_eq!(
+            input.cols(),
+            self.input_dim(),
+            "batch feature width mismatch"
+        );
+        for (li, layer) in self.layers.iter().enumerate() {
+            let (src, dst) = if li % 2 == 0 {
+                (&scratch.ping, &mut scratch.pong)
+            } else {
+                (&scratch.pong, &mut scratch.ping)
+            };
+            let x = if li == 0 {
+                input
+            } else {
+                src.as_ref().expect("previous layer ran")
+            };
+            let out = dst.get_or_insert_with(|| Matrix::zeros(1, 1));
+            layer.forward_batch(x, out);
+        }
+        let last = if self.layers.len().is_multiple_of(2) {
+            &scratch.ping
+        } else {
+            &scratch.pong
+        };
+        last.as_ref().expect("at least one layer ran")
+    }
+
     /// Convenience scalar inference for single-output networks.
     ///
     /// # Panics
@@ -125,7 +182,11 @@ impl Mlp {
     /// Panics if the network output width is not 1 or the feature length is
     /// wrong.
     pub fn infer_scalar(&self, features: &[f32]) -> f32 {
-        assert_eq!(self.output_dim(), 1, "infer_scalar requires a single-output network");
+        assert_eq!(
+            self.output_dim(),
+            1,
+            "infer_scalar requires a single-output network"
+        );
         self.infer(&Matrix::row_vector(features))[(0, 0)]
     }
 
@@ -151,6 +212,25 @@ impl Mlp {
         for layer in &mut self.layers {
             layer.visit_params(visitor);
         }
+    }
+
+    /// Scales the output layer's weights (not biases) by `factor`.
+    ///
+    /// Shrinking the final layer at initialization (e.g. `factor = 0.1`) is
+    /// the standard small-output-init trick: the network starts near its
+    /// mean prediction, which removes the chaotic early phase where large
+    /// random outputs can steer composite losses (like the PINN's
+    /// data + physics objective) into poor basins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite.
+    pub fn scale_output_weights(&mut self, factor: f32) {
+        assert!(factor.is_finite(), "scale factor must be finite");
+        self.layers
+            .last_mut()
+            .expect("non-empty")
+            .scale_weights(factor);
     }
 
     /// Global L2 norm of the accumulated gradients.
@@ -194,8 +274,18 @@ mod tests {
     fn paper_branch_parameter_counts() {
         // §III-A: branches have hidden widths 16/32/16; Branch 1 has 3 inputs,
         // Branch 2 has 4. Together: 2,322 parameters ≈ 9 kB fp32.
-        let b1 = Mlp::new(&[3, 16, 32, 16, 1], Activation::Relu, Init::HeNormal, &mut rng());
-        let b2 = Mlp::new(&[4, 16, 32, 16, 1], Activation::Relu, Init::HeNormal, &mut rng());
+        let b1 = Mlp::new(
+            &[3, 16, 32, 16, 1],
+            Activation::Relu,
+            Init::HeNormal,
+            &mut rng(),
+        );
+        let b2 = Mlp::new(
+            &[4, 16, 32, 16, 1],
+            Activation::Relu,
+            Init::HeNormal,
+            &mut rng(),
+        );
         assert_eq!(b1.param_count(), 1153);
         assert_eq!(b2.param_count(), 1169);
         assert_eq!(b1.param_count() + b2.param_count(), 2322);
@@ -211,7 +301,12 @@ mod tests {
 
     #[test]
     fn infer_matches_forward() {
-        let mut m = Mlp::new(&[2, 4, 4, 1], Activation::Tanh, Init::XavierUniform, &mut rng());
+        let mut m = Mlp::new(
+            &[2, 4, 4, 1],
+            Activation::Tanh,
+            Init::XavierUniform,
+            &mut rng(),
+        );
         let x = Matrix::from_rows(&[&[0.3, -0.8], &[1.2, 0.4]]);
         assert_eq!(m.forward(&x), m.infer(&x));
     }
@@ -230,7 +325,13 @@ mod tests {
         // y = 2a - b; an MLP should fit this quickly.
         let mut m = Mlp::new(&[2, 8, 1], Activation::Relu, Init::HeNormal, &mut rng());
         let mut opt = Adam::new(0.01);
-        let x = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0], &[0.5, 0.25]]);
+        let x = Matrix::from_rows(&[
+            &[0.0, 0.0],
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[1.0, 1.0],
+            &[0.5, 0.25],
+        ]);
         let y = Matrix::from_rows(&[&[0.0], &[2.0], &[-1.0], &[1.0], &[0.75]]);
         let initial = Loss::Mse.value(&m.infer(&x), &y);
         for _ in 0..500 {
@@ -241,7 +342,10 @@ mod tests {
             opt.step(&mut m);
         }
         let fin = Loss::Mse.value(&m.infer(&x), &y);
-        assert!(fin < initial * 0.05, "loss {initial} -> {fin} did not improve enough");
+        assert!(
+            fin < initial * 0.05,
+            "loss {initial} -> {fin} did not improve enough"
+        );
     }
 
     #[test]
@@ -274,8 +378,71 @@ mod tests {
     }
 
     #[test]
+    fn forward_batch_rows_bitwise_match_scalar_inference() {
+        let m = Mlp::new(
+            &[3, 16, 32, 16, 1],
+            Activation::Relu,
+            Init::HeNormal,
+            &mut rng(),
+        );
+        let mut rows = Vec::new();
+        for i in 0..37 {
+            let t = i as f32 / 36.0;
+            rows.push([t, 1.0 - 2.0 * t, (t - 0.5) * 3.0]);
+        }
+        let x = Matrix::from_vec(rows.len(), 3, rows.iter().flatten().copied().collect());
+        let mut scratch = InferScratch::default();
+        let batch = m.forward_batch(&x, &mut scratch).clone();
+        assert_eq!(batch.shape(), (rows.len(), 1));
+        for (i, row) in rows.iter().enumerate() {
+            let scalar = m.infer_scalar(row);
+            assert_eq!(
+                batch[(i, 0)].to_bits(),
+                scalar.to_bits(),
+                "row {i}: batch {} vs scalar {scalar}",
+                batch[(i, 0)]
+            );
+        }
+        // Scratch reuse across differently sized batches stays correct.
+        let x2 = x.slice_rows(0, 5);
+        let batch2 = m.forward_batch(&x2, &mut scratch);
+        assert_eq!(batch2.shape(), (5, 1));
+        assert_eq!(batch2[(4, 0)].to_bits(), batch[(4, 0)].to_bits());
+    }
+
+    #[test]
+    fn forward_batch_matches_infer_on_multi_output_networks() {
+        let m = Mlp::new(
+            &[4, 8, 3],
+            Activation::Tanh,
+            Init::XavierUniform,
+            &mut rng(),
+        );
+        let x = Matrix::from_rows(&[&[0.1, -0.4, 0.7, 0.0], &[1.0, 0.5, -0.5, 2.0]]);
+        let mut scratch = InferScratch::default();
+        assert_eq!(m.forward_batch(&x, &mut scratch), &m.infer(&x));
+    }
+
+    #[test]
+    fn scale_output_weights_scales_predictions_linearly() {
+        let mut m = Mlp::new(&[2, 4, 1], Activation::Relu, Init::HeNormal, &mut rng());
+        let x = Matrix::from_rows(&[&[0.3, -0.9]]);
+        let before = m.infer(&x)[(0, 0)];
+        m.scale_output_weights(0.5);
+        let after = m.infer(&x)[(0, 0)];
+        // Output layer is linear with zero bias at init, so scaling weights
+        // halves the prediction.
+        assert!((after - 0.5 * before).abs() < 1e-6, "{before} -> {after}");
+    }
+
+    #[test]
     fn serde_roundtrip_preserves_inference() {
-        let m = Mlp::new(&[3, 16, 32, 16, 1], Activation::Relu, Init::HeNormal, &mut rng());
+        let m = Mlp::new(
+            &[3, 16, 32, 16, 1],
+            Activation::Relu,
+            Init::HeNormal,
+            &mut rng(),
+        );
         let json = serde_json::to_string(&m).unwrap();
         let m2: Mlp = serde_json::from_str(&json).unwrap();
         let x = Matrix::row_vector(&[0.1, 0.9, 0.5]);

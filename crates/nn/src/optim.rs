@@ -61,7 +61,11 @@ impl Sgd {
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
         assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
-        Self { lr, momentum, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -126,10 +130,21 @@ impl Adam {
     /// Fully parameterized constructor; `weight_decay` is decoupled (AdamW).
     pub fn with_config(lr: f32, beta1: f32, beta2: f32, eps: f32, weight_decay: f32) -> Self {
         assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
-        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2),
+            "betas in [0,1)"
+        );
         assert!(eps > 0.0, "eps must be positive");
         assert!(weight_decay >= 0.0, "weight decay must be non-negative");
-        Self { lr, beta1, beta2, eps, weight_decay, t: 0, moments: Vec::new() }
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            t: 0,
+            moments: Vec::new(),
+        }
     }
 
     /// Number of update steps taken so far.
@@ -149,7 +164,10 @@ impl Optimizer for Adam {
         let mut idx = 0;
         model.visit_params(&mut |p, g| {
             if moments.len() <= idx {
-                moments.push(AdamSlot { m: vec![0.0; p.len()], v: vec![0.0; p.len()] });
+                moments.push(AdamSlot {
+                    m: vec![0.0; p.len()],
+                    v: vec![0.0; p.len()],
+                });
             }
             let slot = &mut moments[idx];
             assert_eq!(slot.m.len(), p.len(), "parameter tensor changed size");
@@ -209,8 +227,7 @@ impl LrSchedule {
                     return min_lr;
                 }
                 let progress = (epoch.min(total - 1)) as f32 / (total - 1) as f32;
-                min_lr
-                    + 0.5 * (base_lr - min_lr) * (1.0 + (std::f32::consts::PI * progress).cos())
+                min_lr + 0.5 * (base_lr - min_lr) * (1.0 + (std::f32::consts::PI * progress).cos())
             }
         }
     }
@@ -311,7 +328,10 @@ mod tests {
 
     #[test]
     fn step_decay_schedule() {
-        let s = LrSchedule::StepDecay { every: 10, gamma: 0.5 };
+        let s = LrSchedule::StepDecay {
+            every: 10,
+            gamma: 0.5,
+        };
         assert_eq!(s.rate_at(1.0, 0), 1.0);
         assert_eq!(s.rate_at(1.0, 10), 0.5);
         assert_eq!(s.rate_at(1.0, 25), 0.25);
@@ -319,7 +339,10 @@ mod tests {
 
     #[test]
     fn cosine_schedule_endpoints() {
-        let s = LrSchedule::Cosine { total: 100, min_lr: 0.001 };
+        let s = LrSchedule::Cosine {
+            total: 100,
+            min_lr: 0.001,
+        };
         assert!((s.rate_at(0.1, 0) - 0.1).abs() < 1e-6);
         assert!((s.rate_at(0.1, 99) - 0.001).abs() < 1e-6);
         let mid = s.rate_at(0.1, 50);

@@ -13,7 +13,10 @@ fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
 fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
     assert_eq!(a.shape(), b.shape());
     for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
-        assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{x} vs {y}");
+        assert!(
+            (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+            "{x} vs {y}"
+        );
     }
 }
 

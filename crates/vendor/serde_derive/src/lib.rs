@@ -1,0 +1,445 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the vendored
+//! serde crate.
+//!
+//! Implements derive generation for the shapes this workspace uses, with a
+//! hand-rolled token parser (no `syn`/`quote` available offline):
+//!
+//! - structs with named fields, honoring `#[serde(skip)]` (skipped on
+//!   serialize, `Default::default()` on deserialize) and
+//!   `#[serde(transparent)]`;
+//! - tuple structs (single field = newtype semantics, several = array);
+//! - enums with unit, tuple, and struct variants, externally tagged exactly
+//!   like serde_json (`"Variant"`, `{"Variant": payload}`).
+//!
+//! Generics are intentionally unsupported — the parser raises a compile
+//! error naming the offending type, rather than silently emitting wrong
+//! code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        transparent: bool,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Consumes leading attributes; returns (has_serde_skip, has_serde_transparent).
+fn take_attrs(
+    tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+) -> (bool, bool) {
+    let mut skip = false;
+    let mut transparent = false;
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    let body = g.stream().to_string().replace(' ', "");
+                    if body.starts_with("serde(") {
+                        if body.contains("skip") {
+                            skip = true;
+                        }
+                        if body.contains("transparent") {
+                            transparent = true;
+                        }
+                    }
+                } else {
+                    panic!("malformed attribute");
+                }
+            }
+            _ => return (skip, transparent),
+        }
+    }
+}
+
+fn skip_visibility(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(id)) = tokens.peek() {
+        if id.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Consumes one type, tracking `<`/`>` nesting, stopping after a top-level
+/// comma (consumed) or at end of stream.
+fn skip_type(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut depth = 0i32;
+    for tt in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let mut tokens = group.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let (skip, _) = take_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => {
+                let name = id.to_string();
+                match tokens.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("expected `:` after field `{name}`, got {other:?}"),
+                }
+                skip_type(&mut tokens);
+                fields.push(Field { name, skip });
+            }
+            None => return fields,
+            other => panic!("unexpected token in struct body: {other:?}"),
+        }
+    }
+}
+
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for tt in group {
+        any = true;
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut tokens = group.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let _ = take_attrs(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => {
+                let name = id.to_string();
+                let fields = match tokens.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let g = match tokens.next() {
+                            Some(TokenTree::Group(g)) => g,
+                            _ => unreachable!(),
+                        };
+                        Fields::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let g = match tokens.next() {
+                            Some(TokenTree::Group(g)) => g,
+                            _ => unreachable!(),
+                        };
+                        Fields::Named(parse_named_fields(g.stream()))
+                    }
+                    _ => Fields::Unit,
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == ',' {
+                        tokens.next();
+                    }
+                }
+                variants.push(Variant { name, fields });
+            }
+            None => return variants,
+            other => panic!("unexpected token in enum body: {other:?}"),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    let (_, transparent) = take_attrs(&mut tokens);
+    skip_visibility(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive does not support generic type `{name}`");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("unexpected struct body for `{name}`: {other:?}"),
+            };
+            Item::Struct {
+                name,
+                transparent,
+                fields,
+            }
+        }
+        "enum" => {
+            let variants = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("unexpected enum body for `{name}`: {other:?}"),
+            };
+            Item::Enum { name, variants }
+        }
+        other => panic!("cannot derive for `{other}` items"),
+    }
+}
+
+fn named_ser_body(fields: &[Field], access_prefix: &str) -> String {
+    let mut code = String::from("let mut fields: Vec<(String, serde::Value)> = Vec::new();\n");
+    for f in fields.iter().filter(|f| !f.skip) {
+        code.push_str(&format!(
+            "fields.push((String::from(\"{n}\"), serde::Serialize::to_value({p}{n})));\n",
+            n = f.name,
+            p = access_prefix,
+        ));
+    }
+    code.push_str("serde::Value::Object(fields)");
+    code
+}
+
+fn named_de_ctor(type_path: &str, fields: &[Field]) -> String {
+    let mut code = format!(
+        "{{ let obj = __v.as_object().ok_or_else(|| serde::Error::custom(\"expected object for `{type_path}`\"))?;\nOk({type_path} {{\n"
+    );
+    for f in fields {
+        if f.skip {
+            code.push_str(&format!("{}: Default::default(),\n", f.name));
+        } else {
+            code.push_str(&format!(
+                "{n}: serde::de_field(obj, \"{n}\")?,\n",
+                n = f.name
+            ));
+        }
+    }
+    code.push_str("}) }");
+    code
+}
+
+/// Derives the vendored `serde::Serialize` for structs and enums.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct {
+            name,
+            transparent,
+            fields,
+        } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let active: Vec<&Field> = fs.iter().filter(|f| !f.skip).collect();
+                    if *transparent && active.len() == 1 {
+                        format!("serde::Serialize::to_value(&self.{})", active[0].name)
+                    } else {
+                        named_ser_body(fs, "&self.")
+                    }
+                }
+                Fields::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "serde::Value::Null".to_string(),
+            };
+            format!(
+                "impl serde::Serialize for {name} {{\n fn to_value(&self) -> serde::Value {{\n {body}\n }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{v} => serde::Value::String(String::from(\"{v}\")),\n",
+                        v = v.name
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{v}(__f0) => serde::Value::Object(vec![(String::from(\"{v}\"), serde::Serialize::to_value(__f0))]),\n",
+                        v = v.name
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => serde::Value::Object(vec![(String::from(\"{v}\"), serde::Value::Array(vec![{items}]))]),\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            items = items.join(", "),
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let binds: Vec<String> =
+                            fs.iter().map(|f| f.name.clone()).collect();
+                        let body = named_ser_body(fs, "");
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => serde::Value::Object(vec![(String::from(\"{v}\"), {{ {body} }})]),\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n fn to_value(&self) -> serde::Value {{\n match self {{\n {arms} }}\n }}\n}}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize` for structs and enums.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct {
+            name,
+            transparent,
+            fields,
+        } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let active: Vec<&Field> = fs.iter().filter(|f| !f.skip).collect();
+                    if *transparent && active.len() == 1 {
+                        let mut parts = String::from("Ok(Self {\n");
+                        for f in fs {
+                            if f.skip {
+                                parts.push_str(&format!("{}: Default::default(),\n", f.name));
+                            } else {
+                                parts.push_str(&format!(
+                                    "{}: serde::Deserialize::from_value(__v)?,\n",
+                                    f.name
+                                ));
+                            }
+                        }
+                        parts.push_str("})");
+                        parts
+                    } else {
+                        named_de_ctor(name, fs)
+                    }
+                }
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(serde::Deserialize::from_value(__v)?))")
+                }
+                Fields::Tuple(n) => {
+                    let mut parts = format!(
+                        "{{ let items = __v.as_array().ok_or_else(|| serde::Error::custom(\"expected array for `{name}`\"))?;\nif items.len() != {n} {{ return Err(serde::Error::custom(\"wrong tuple length for `{name}`\")); }}\nOk({name}(\n"
+                    );
+                    for i in 0..*n {
+                        parts.push_str(&format!("serde::Deserialize::from_value(&items[{i}])?,\n"));
+                    }
+                    parts.push_str(")) }");
+                    parts
+                }
+                Fields::Unit => format!(
+                    "match __v {{ serde::Value::Null => Ok({name}), _ => Err(serde::Error::custom(\"expected null for unit struct `{name}`\")) }}"
+                ),
+            };
+            format!(
+                "impl serde::Deserialize for {name} {{\n fn from_value(__v: &serde::Value) -> ::core::result::Result<Self, serde::Error> {{\n {body}\n }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n", v = v.name))
+                    }
+                    Fields::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{v}\" => Ok({name}::{v}(serde::Deserialize::from_value(_payload)?)),\n",
+                        v = v.name
+                    )),
+                    Fields::Tuple(n) => {
+                        let mut parts = format!(
+                            "\"{v}\" => {{ let items = _payload.as_array().ok_or_else(|| serde::Error::custom(\"expected array payload for `{name}::{v}`\"))?;\nif items.len() != {n} {{ return Err(serde::Error::custom(\"wrong payload length for `{name}::{v}`\")); }}\nOk({name}::{v}(\n",
+                            v = v.name
+                        );
+                        for i in 0..*n {
+                            parts.push_str(&format!(
+                                "serde::Deserialize::from_value(&items[{i}])?,\n"
+                            ));
+                        }
+                        parts.push_str(")) }\n");
+                        data_arms.push_str(&parts);
+                    }
+                    Fields::Named(fs) => {
+                        let ctor = named_de_ctor(&format!("{name}::{v}", v = v.name), fs)
+                            .replace("__v.as_object()", "_payload.as_object()");
+                        data_arms.push_str(&format!("\"{v}\" => {ctor},\n", v = v.name));
+                    }
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n fn from_value(__v: &serde::Value) -> ::core::result::Result<Self, serde::Error> {{\n match __v {{\n serde::Value::String(__s) => match __s.as_str() {{\n {unit_arms} __other => Err(serde::Error::custom(format!(\"unknown variant `{{}}` of `{name}`\", __other))),\n }},\n serde::Value::Object(__entries) if __entries.len() == 1 => {{\n let (__tag, _payload) = &__entries[0];\n match __tag.as_str() {{\n {data_arms} __other => Err(serde::Error::custom(format!(\"unknown variant `{{}}` of `{name}`\", __other))),\n }}\n }},\n _ => Err(serde::Error::custom(\"expected variant string or single-key object for `{name}`\")),\n }}\n }}\n}}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl must parse")
+}

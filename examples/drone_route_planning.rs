@@ -55,7 +55,10 @@ fn main() {
     // from, so widen the physics batch to the cell's full C-rate envelope —
     // the PINN extrapolates where the data cannot reach.
     let config = TrainConfig {
-        physics_current: PhysicsCurrentMode::CRateUniform { min_c: -2.0, max_c: 4.0 },
+        physics_current: PhysicsCurrentMode::CRateUniform {
+            min_c: -2.0,
+            max_c: 4.0,
+        },
         ..TrainConfig::lg(variant, 7)
     };
     let (model, _) = train(&dataset, &config);
@@ -65,14 +68,38 @@ fn main() {
     println!("current SoC estimate: {soc0:.3}\n");
 
     let direct = [
-        Leg { name: "aggressive climb", current_a: 8.0, duration_s: 150.0 },
-        Leg { name: "fast cruise", current_a: 5.0, duration_s: 300.0 },
-        Leg { name: "landing", current_a: 2.0, duration_s: 60.0 },
+        Leg {
+            name: "aggressive climb",
+            current_a: 8.0,
+            duration_s: 150.0,
+        },
+        Leg {
+            name: "fast cruise",
+            current_a: 5.0,
+            duration_s: 300.0,
+        },
+        Leg {
+            name: "landing",
+            current_a: 2.0,
+            duration_s: 60.0,
+        },
     ];
     let scenic = [
-        Leg { name: "gentle climb", current_a: 4.5, duration_s: 280.0 },
-        Leg { name: "eco cruise", current_a: 3.2, duration_s: 600.0 },
-        Leg { name: "landing", current_a: 2.0, duration_s: 60.0 },
+        Leg {
+            name: "gentle climb",
+            current_a: 4.5,
+            duration_s: 280.0,
+        },
+        Leg {
+            name: "eco cruise",
+            current_a: 3.2,
+            duration_s: 600.0,
+        },
+        Leg {
+            name: "landing",
+            current_a: 2.0,
+            duration_s: 60.0,
+        },
     ];
     let reserve = 0.15; // keep ≥15% SoC at touchdown
 

@@ -18,7 +18,10 @@ use pinnsoc_nn::Account;
 
 fn main() {
     println!("training Branch 1 on mixed drive cycles...");
-    let dataset = generate_lg(&LgConfig { test_temps_c: vec![25.0], ..LgConfig::default() });
+    let dataset = generate_lg(&LgConfig {
+        test_temps_c: vec![25.0],
+        ..LgConfig::default()
+    });
     let (model, _) = train(&dataset, &TrainConfig::lg(PinnVariant::NoPinn, 5));
 
     // Evaluate both estimators along one unseen cycle.
@@ -42,7 +45,10 @@ fn main() {
         }
     }
     let n = cycle.len() as f64;
-    println!("EKF   (wrong init, exact model): MAE {:.4}", ekf_abs_err / n);
+    println!(
+        "EKF   (wrong init, exact model): MAE {:.4}",
+        ekf_abs_err / n
+    );
     if let Some(t) = ekf_converged_at {
         println!("      converged to within 2% after {t:.0} s");
     }

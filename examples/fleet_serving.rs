@@ -1,0 +1,165 @@
+//! Fleet serving walkthrough: train a model on the Sandia-like protocol,
+//! serve a simulated 5,000-cell fleet through the batched engine, answer
+//! fleet-level queries, and hot-swap the model from disk without stopping.
+//!
+//! Run with `cargo run --release --example fleet_serving`.
+
+use pinnsoc::{train, PinnVariant, TrainConfig};
+use pinnsoc_battery::{CellParams, CellSim, Chemistry, Soc};
+use pinnsoc_data::{generate_sandia, NoiseConfig, SandiaConfig};
+use pinnsoc_fleet::{CellConfig, FleetConfig, FleetEngine, Telemetry, WorkloadQuery};
+
+fn main() {
+    // 1. Train the paper's estimator on a reduced Sandia-like run.
+    println!("training the two-branch model (reduced Sandia protocol)...");
+    let dataset = generate_sandia(&SandiaConfig {
+        chemistries: vec![Chemistry::Nmc],
+        ambient_temps_c: vec![25.0],
+        cycles_per_condition: 1,
+        noise: NoiseConfig::none(),
+        ..SandiaConfig::default()
+    });
+    let config = TrainConfig {
+        b1_epochs: 60,
+        b2_epochs: 30,
+        batch_size: 16,
+        ..TrainConfig::sandia(PinnVariant::pinn_all(&[120.0, 240.0]), 7)
+    };
+    let (model, report) = train(&dataset, &config);
+    println!(
+        "  trained {} ({} params), final B1 loss {:.4}",
+        model.label,
+        model.param_count(),
+        report.b1_loss.last().copied().unwrap_or(f32::NAN),
+    );
+
+    // 2. Stand up a fleet of simulated cells and register them.
+    let params = CellParams::nmc_18650();
+    let cells: u64 = 5_000;
+    let mut engine = FleetEngine::new(model, FleetConfig::default());
+    let mut sims: Vec<CellSim> = (0..cells)
+        .map(|_| CellSim::new(params.clone(), Soc::FULL, 25.0))
+        .collect();
+    for id in 0..cells {
+        engine.register(
+            id,
+            CellConfig {
+                initial_soc: 1.0,
+                capacity_ah: params.capacity_ah,
+            },
+        );
+        engine.ingest(
+            id,
+            Telemetry {
+                time_s: 0.0,
+                voltage_v: 4.1,
+                current_a: 0.0,
+                temperature_c: 25.0,
+            },
+        );
+    }
+    println!(
+        "registered {} cells across {} shards",
+        engine.len(),
+        engine.config().shards
+    );
+
+    // 3. Stream 20 minutes of telemetry (30 s reports, cells at 0.8–1.2C)
+    //    and refresh estimates in micro-batched passes.
+    let dt_s = 30.0;
+    for step in 1..=40 {
+        for (id, sim) in sims.iter_mut().enumerate() {
+            let c_rate = 0.8 + 0.4 * (id as f64 / (cells - 1) as f64);
+            let record = sim.step(params.c_rate(c_rate), dt_s);
+            engine.ingest(
+                id as u64,
+                Telemetry {
+                    time_s: step as f64 * dt_s,
+                    voltage_v: record.voltage_v,
+                    current_a: record.current_a,
+                    temperature_c: record.temperature_c,
+                },
+            );
+        }
+        if step % 10 == 0 {
+            let started = std::time::Instant::now();
+            let (absorbed, estimated) = engine.process_pending();
+            println!(
+                "  t={:>4.0}s: absorbed {absorbed} reports, estimated {estimated} cells in {:.1} ms",
+                step as f64 * dt_s,
+                started.elapsed().as_secs_f64() * 1e3,
+            );
+        }
+    }
+
+    // 4. Fleet-level queries.
+    let stats = engine.stats();
+    println!(
+        "fleet stats: {} reporting, SoC mean {:.3} (min {:.3}, max {:.3})",
+        stats.reporting, stats.mean_soc, stats.min_soc, stats.max_soc
+    );
+    let histogram = engine.soc_histogram(10);
+    println!("SoC histogram (10 bins, empty→full): {histogram:?}");
+    let low = engine.cells_below(0.55);
+    println!("cells below 55% SoC: {}", low.len());
+    if let Some(tte) = engine.time_to_empty(0, params.c_rate(1.0)) {
+        println!("cell 0 time-to-empty at 1C: {:.0} s", tte);
+    }
+
+    // 5. Predict 120 s ahead for the whole fleet under a 1C workload.
+    let predictions = engine.predict_all(WorkloadQuery {
+        avg_current_a: params.c_rate(1.0),
+        avg_temperature_c: 25.0,
+        horizon_s: 120.0,
+    });
+    let mean_pred: f64 = predictions.iter().map(|(_, p)| p).sum::<f64>() / predictions.len() as f64;
+    println!(
+        "fleet-wide 120 s prediction: {} cells, mean predicted SoC {:.3}",
+        predictions.len(),
+        mean_pred
+    );
+
+    // 6. Hot-swap a retrained model from disk; readers never stall.
+    let dir = std::env::temp_dir().join("pinnsoc_fleet_example");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("retrained.json");
+    let retrained = train(
+        &dataset,
+        &TrainConfig {
+            seed: 8,
+            ..config.clone()
+        },
+    )
+    .0;
+    pinnsoc_nn::save_json(&retrained, &path).expect("persist model");
+    let version = engine
+        .registry()
+        .swap_from_json(&path)
+        .expect("hot swap from disk");
+    println!("hot-swapped persisted model -> registry version {version}");
+
+    // A corrupt file is rejected without touching the served model.
+    let bad = dir.join("corrupt.json");
+    std::fs::write(&bad, "{ not a model ").expect("write");
+    match engine.registry().swap_from_json(&bad) {
+        Err(e) => println!("corrupt model file rejected as expected: {e}"),
+        Ok(_) => unreachable!("corrupt file must not swap in"),
+    }
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&bad).ok();
+
+    // The swap applies from the next pass on.
+    for id in 0..cells {
+        engine.ingest(
+            id,
+            Telemetry {
+                time_s: 41.0 * dt_s,
+                voltage_v: 3.6,
+                current_a: 3.0,
+                temperature_c: 25.0,
+            },
+        );
+    }
+    let (_, estimated) = engine.process_pending();
+    println!("post-swap pass re-estimated {estimated} cells with model v{version}");
+}

@@ -7,8 +7,8 @@
 //! ```
 
 use pinnsoc::{autoregressive_rollout, train, PinnVariant, TrainConfig};
-use pinnsoc_data::{generate_lg, CycleKind, LgConfig};
 use pinnsoc_cycles::DriveSchedule;
+use pinnsoc_data::{generate_lg, CycleKind, LgConfig};
 
 /// Renders one rollout as a crude ASCII chart (time left to right).
 fn ascii_chart(times: &[f64], predicted: &[f64], truth: &[f64]) {
@@ -36,7 +36,10 @@ fn ascii_chart(times: &[f64], predicted: &[f64], truth: &[f64]) {
 
 fn main() {
     println!("generating LG-like data and training PINN-30s...");
-    let dataset = generate_lg(&LgConfig { test_temps_c: vec![25.0], ..LgConfig::default() });
+    let dataset = generate_lg(&LgConfig {
+        test_temps_c: vec![25.0],
+        ..LgConfig::default()
+    });
     let (model, _) = train(
         &dataset,
         &TrainConfig::lg(PinnVariant::pinn_single(30.0), 1),

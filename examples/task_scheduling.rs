@@ -34,7 +34,9 @@ fn soc_after(model: &SocModel, soc0: f64, tasks: &[Task], temp_c: f64, step_s: f
         let mut remaining = t.duration_s;
         while remaining > 1e-9 {
             let dt = remaining.min(step_s);
-            soc = model.predict_from(soc, t.current_a, temp_c, dt).clamp(0.0, 1.0);
+            soc = model
+                .predict_from(soc, t.current_a, temp_c, dt)
+                .clamp(0.0, 1.0);
             remaining -= dt;
         }
     }
@@ -58,13 +60,38 @@ fn main() {
     println!("starting SoC estimate: {soc0:.3}, brown-out threshold {brownout}\n");
 
     let mandatory = [
-        Task { name: "radio telemetry", current_a: 1.8, duration_s: 240.0, mandatory: true },
-        Task { name: "sensor sweep", current_a: 0.9, duration_s: 600.0, mandatory: true },
+        Task {
+            name: "radio telemetry",
+            current_a: 1.8,
+            duration_s: 240.0,
+            mandatory: true,
+        },
+        Task {
+            name: "sensor sweep",
+            current_a: 0.9,
+            duration_s: 600.0,
+            mandatory: true,
+        },
     ];
     let optional = [
-        Task { name: "firmware integrity scan", current_a: 2.4, duration_s: 480.0, mandatory: false },
-        Task { name: "on-device model refresh", current_a: 3.0, duration_s: 600.0, mandatory: false },
-        Task { name: "log compaction", current_a: 1.2, duration_s: 360.0, mandatory: false },
+        Task {
+            name: "firmware integrity scan",
+            current_a: 2.4,
+            duration_s: 480.0,
+            mandatory: false,
+        },
+        Task {
+            name: "on-device model refresh",
+            current_a: 3.0,
+            duration_s: 600.0,
+            mandatory: false,
+        },
+        Task {
+            name: "log compaction",
+            current_a: 1.2,
+            duration_s: 360.0,
+            mandatory: false,
+        },
     ];
 
     // The mandatory workload must always fit.

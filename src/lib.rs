@@ -1,0 +1,17 @@
+//! Thin host crate for the pinnsoc workspace's top-level `tests/` and
+//! `examples/`.
+//!
+//! The reproduction itself lives in the `crates/` members (see the crate
+//! map in `pinnsoc`'s documentation); this package exists so that
+//! `cargo test` compiles and runs the workspace-level integration suite and
+//! `cargo run --example` finds the walkthroughs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pinnsoc;
+pub use pinnsoc_battery;
+pub use pinnsoc_cycles;
+pub use pinnsoc_data;
+pub use pinnsoc_fleet;
+pub use pinnsoc_nn;

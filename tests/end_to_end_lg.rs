@@ -2,9 +2,7 @@
 //! generation, training, horizon generalization, and autoregressive
 //! rollout.
 
-use pinnsoc::{
-    autoregressive_rollout, eval_prediction, train, PinnVariant, TrainConfig,
-};
+use pinnsoc::{autoregressive_rollout, eval_prediction, train, PinnVariant, TrainConfig};
 use pinnsoc_data::{generate_lg, LgConfig, NoiseConfig};
 
 fn dataset() -> pinnsoc_data::SocDataset {
@@ -19,7 +17,11 @@ fn dataset() -> pinnsoc_data::SocDataset {
 }
 
 fn config(variant: PinnVariant, seed: u64) -> TrainConfig {
-    TrainConfig { b1_epochs: 10, b2_epochs: 8, ..TrainConfig::lg(variant, seed) }
+    TrainConfig {
+        b1_epochs: 10,
+        b2_epochs: 8,
+        ..TrainConfig::lg(variant, seed)
+    }
 }
 
 #[test]
@@ -45,7 +47,11 @@ fn pinn_beats_no_pinn_at_the_longest_horizon() {
         )
         .mae;
         pinn += eval_prediction(
-            &train(&ds, &config(PinnVariant::pinn_all(&[30.0, 50.0, 70.0]), seed)).0,
+            &train(
+                &ds,
+                &config(PinnVariant::pinn_all(&[30.0, 50.0, 70.0]), seed),
+            )
+            .0,
             &ds.test,
             70.0,
         )
@@ -65,7 +71,11 @@ fn rollout_tracks_a_full_discharge() {
     let (model, _) = train(&ds, &config(PinnVariant::pinn_single(30.0), 4));
     let cycle = &ds.test[0];
     let rollout = autoregressive_rollout(&model, cycle, 30.0);
-    assert!(rollout.steps() > 20, "rollout too short: {} steps", rollout.steps());
+    assert!(
+        rollout.steps() > 20,
+        "rollout too short: {} steps",
+        rollout.steps()
+    );
     // Paper Fig. 5: trajectories drift but stay in a sane band; we check the
     // trajectory MAE rather than the (noisier) final point.
     assert!(

@@ -2,9 +2,7 @@
 //! pipeline from cell simulation through training to evaluation, checking
 //! the paper's headline qualitative claims on a reduced configuration.
 
-use pinnsoc::{
-    eval_estimation, eval_prediction, train, PinnVariant, SecondStage, TrainConfig,
-};
+use pinnsoc::{eval_estimation, eval_prediction, train, PinnVariant, SecondStage, TrainConfig};
 use pinnsoc_battery::Chemistry;
 use pinnsoc_data::{generate_sandia, SandiaConfig};
 
@@ -51,8 +49,10 @@ fn pinn_generalizes_to_unseen_horizons_better_than_no_pinn() {
     let mut pinn_360 = 0.0;
     for seed in 0..3 {
         let (no_pinn, _) = train(&ds, &config(PinnVariant::NoPinn, seed));
-        let (pinn, _) =
-            train(&ds, &config(PinnVariant::pinn_all(&[120.0, 240.0, 360.0]), seed));
+        let (pinn, _) = train(
+            &ds,
+            &config(PinnVariant::pinn_all(&[120.0, 240.0, 360.0]), seed),
+        );
         no_pinn_360 += eval_prediction(&no_pinn, &ds.test, 360.0).mae;
         pinn_360 += eval_prediction(&pinn, &ds.test, 360.0).mae;
     }
@@ -83,7 +83,10 @@ fn physics_only_matches_trained_pinn_at_single_step_on_lab_data() {
     let ds = dataset();
     let (physics, _) = train(&ds, &config(PinnVariant::PhysicsOnly, 2));
     assert!(matches!(physics.stage2, SecondStage::Coulomb { .. }));
-    let (pinn, _) = train(&ds, &config(PinnVariant::pinn_all(&[120.0, 240.0, 360.0]), 2));
+    let (pinn, _) = train(
+        &ds,
+        &config(PinnVariant::pinn_all(&[120.0, 240.0, 360.0]), 2),
+    );
     let p_mae = eval_prediction(&physics, &ds.test, 120.0).mae;
     let n_mae = eval_prediction(&pinn, &ds.test, 120.0).mae;
     assert!(
@@ -102,8 +105,7 @@ fn multi_chemistry_training_works() {
         ..SandiaConfig::default()
     });
     assert_eq!(ds.train.len(), 3);
-    let (model, report) =
-        train(&ds, &config(PinnVariant::pinn_all(&[120.0, 240.0]), 3));
+    let (model, report) = train(&ds, &config(PinnVariant::pinn_all(&[120.0, 240.0]), 3));
     assert!(report.b2_loss.last().unwrap() < report.b2_loss.first().unwrap());
     let eval = eval_prediction(&model, &ds.test, 120.0);
     assert!(eval.mae < 0.2, "multi-chemistry MAE {:.4}", eval.mae);

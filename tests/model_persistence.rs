@@ -13,7 +13,11 @@ fn trained_model(variant: PinnVariant) -> SocModel {
         cycles_per_condition: 1,
         ..SandiaConfig::default()
     });
-    let config = TrainConfig { b1_epochs: 15, b2_epochs: 15, ..TrainConfig::sandia(variant, 9) };
+    let config = TrainConfig {
+        b1_epochs: 15,
+        b2_epochs: 15,
+        ..TrainConfig::sandia(variant, 9)
+    };
     train(&ds, &config).0
 }
 

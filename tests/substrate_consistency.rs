@@ -30,7 +30,11 @@ fn dataset_ground_truth_equals_current_integral() {
         // discharge→charge transition the current changes mid-window, so
         // allow the corresponding slack.
         let err = (predicted.value() - w[1].soc).abs();
-        let slack = if (w[0].current_a - w[1].current_a).abs() > 1e-9 { 0.05 } else { 1e-6 };
+        let slack = if (w[0].current_a - w[1].current_a).abs() > 1e-9 {
+            0.05
+        } else {
+            1e-6
+        };
         assert!(
             err < slack,
             "Coulomb mismatch at t={}: {} vs {}",
@@ -54,8 +58,7 @@ fn window_averages_are_consistent_with_record_means() {
     let pairs = prediction_pairs(cycle, 240.0);
     // Recompute one window average by hand.
     let p = &pairs[3];
-    let manual =
-        (cycle.records[4].current_a + cycle.records[5].current_a) / 2.0;
+    let manual = (cycle.records[4].current_a + cycle.records[5].current_a) / 2.0;
     assert!((p.avg_current_a - manual).abs() < 1e-12);
     assert_eq!(p.soc_now, cycle.records[3].soc);
     assert_eq!(p.soc_next, cycle.records[5].soc);
@@ -83,8 +86,7 @@ fn drive_cycle_to_cell_chain_is_energetically_sane() {
     let last = run.records.last().expect("records");
     assert!(last.soc < first.soc, "HWFET must net-discharge the cell");
     // Net charge from the profile equals the SoC drop times capacity.
-    let expected_drop = currents.net_charge_ah()
-        * (last.time_s - first.time_s + 10.0)
+    let expected_drop = currents.net_charge_ah() * (last.time_s - first.time_s + 10.0)
         / currents.duration_s()
         / sim.params().capacity_ah;
     let actual_drop = initial_soc - last.soc;
@@ -135,7 +137,10 @@ fn sandia_test_rates_produce_deeper_voltage_sag() {
         ..SandiaConfig::default()
     });
     let min_v = |c: &pinnsoc_data::Cycle| {
-        c.records.iter().map(|r| r.voltage_v).fold(f64::MAX, f64::min)
+        c.records
+            .iter()
+            .map(|r| r.voltage_v)
+            .fold(f64::MAX, f64::min)
     };
     let mean_mid_v = |c: &pinnsoc_data::Cycle| {
         let mids: Vec<f64> = c
