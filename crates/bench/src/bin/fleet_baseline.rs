@@ -3,6 +3,14 @@
 //! workspace root so later PRs have a perf floor to beat.
 //!
 //! Run with `cargo run --release -p pinnsoc-bench --bin fleet_baseline`.
+//! Pass `--smoke` for a CI-sized run (one small fleet, few reps) that
+//! sanity-checks the engine without touching `BENCH_fleet.json`.
+//!
+//! Alongside the headline throughput numbers, each fleet size records a
+//! per-stage breakdown of one engine tick (ingest / coalesce / gather /
+//! GEMM / scatter, in milliseconds per tick) and the file is stamped with
+//! host metadata (thread and worker counts, git revision, micro-batch
+//! size) so the perf trajectory across PRs is comparable.
 
 use pinnsoc::{BatchScratch, PredictQuery, SocModel};
 use pinnsoc_fleet::testing::untrained_model;
@@ -11,6 +19,29 @@ use serde::Serialize;
 use std::hint::black_box;
 use std::path::Path;
 use std::time::Instant;
+
+/// Serving protocol constants — keep stable across PRs so the recorded
+/// numbers stay comparable.
+const SHARDS: usize = 8;
+const MICRO_BATCH: usize = 512;
+
+#[derive(Debug, Serialize)]
+struct StageBreakdownMs {
+    /// Queueing telemetry into the engine (id lookup + per-shard push);
+    /// timed by this harness around the ingest loop.
+    ingest: f64,
+    /// Integrator updates + dirty-slot dedup (engine stage timer).
+    coalesce: f64,
+    /// Feature assembly from the SoA cell state (engine stage timer).
+    gather: f64,
+    /// Batched fused forward passes (engine stage timer).
+    gemm: f64,
+    /// Estimate write-back (engine stage timer).
+    scatter: f64,
+    /// Tick time not covered by the stages above (pool handoff, result
+    /// aggregation, timer overhead).
+    other: f64,
+}
 
 #[derive(Debug, Serialize)]
 struct SizeResult {
@@ -21,6 +52,21 @@ struct SizeResult {
     engine_process_cells_per_sec: f64,
     parallel_batched_cells_per_sec: f64,
     parallel_speedup: f64,
+    stage_breakdown_ms_per_tick: StageBreakdownMs,
+}
+
+#[derive(Debug, Serialize)]
+struct HostInfo {
+    /// `std::thread::available_parallelism` on the measuring host.
+    threads: usize,
+    /// Persistent pool workers the engine resolved (auto = threads − 1,
+    /// capped at the shard count).
+    workers: usize,
+    shards: usize,
+    micro_batch: usize,
+    os: &'static str,
+    arch: &'static str,
+    git_rev: String,
 }
 
 #[derive(Debug, Serialize)]
@@ -28,6 +74,7 @@ struct Baseline {
     description: String,
     model: String,
     reps: usize,
+    host: HostInfo,
     results: Vec<SizeResult>,
 }
 
@@ -62,7 +109,19 @@ fn median_time(reps: usize, mut f: impl FnMut()) -> f64 {
     samples[samples.len() / 2]
 }
 
-fn measure(model: &SocModel, fleet_size: usize, reps: usize) -> SizeResult {
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|rev| rev.trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+fn measure(model: &SocModel, fleet_size: usize, reps: usize, check: bool) -> SizeResult {
     let qs = queries(fleet_size);
 
     let sequential_s = median_time(reps, || {
@@ -83,12 +142,11 @@ fn measure(model: &SocModel, fleet_size: usize, reps: usize) -> SizeResult {
     // Serving granularity: fixed-size micro-batches (the engine's design)
     // keep the layer ping-pong buffers L1/L2-resident; one giant batch
     // streams them through cache instead.
-    let micro_batch = 256;
     let mut scratch = BatchScratch::default();
     let mut out = Vec::with_capacity(fleet_size);
     let batched_s = median_time(reps, || {
         out.clear();
-        for chunk in qs.chunks(micro_batch) {
+        for chunk in qs.chunks(256) {
             model.predict_batch_into(chunk, &mut scratch, &mut out);
         }
         black_box(out.last().copied());
@@ -97,8 +155,9 @@ fn measure(model: &SocModel, fleet_size: usize, reps: usize) -> SizeResult {
     let mut engine = FleetEngine::new(
         model.clone(),
         FleetConfig {
-            shards: 8,
-            micro_batch: 512,
+            shards: SHARDS,
+            micro_batch: MICRO_BATCH,
+            workers: 0,
             ekf_fallback: None,
         },
     );
@@ -111,22 +170,64 @@ fn measure(model: &SocModel, fleet_size: usize, reps: usize) -> SizeResult {
             },
         );
     }
-    let mut tick = 0.0;
-    let engine_s = median_time(reps, || {
-        tick += 1.0;
+    // Engine pass = ingest one report per cell + drain + batched estimate
+    // refresh, all timed as one tick (the serving steady state). The stage
+    // timers and the harness-side ingest timer together give the per-stage
+    // breakdown of the same ticks the median is computed from.
+    let mut tick = 0.0f64;
+    let run_tick = |engine: &mut FleetEngine, tick: &mut f64| {
+        *tick += 1.0;
+        let start = Instant::now();
         for id in 0..fleet_size as u64 {
             engine.ingest(
                 id,
                 Telemetry {
-                    time_s: tick,
+                    time_s: *tick,
                     voltage_v: 3.7,
                     current_a: 1.0,
                     temperature_c: 25.0,
                 },
             );
         }
-        black_box(engine.process_pending());
-    });
+        let ingest_s = start.elapsed().as_secs_f64();
+        let totals = black_box(engine.process_pending());
+        (start.elapsed().as_secs_f64(), ingest_s, totals)
+    };
+    // Warm-up tick, then reset the stage clocks so the breakdown covers
+    // exactly the timed reps.
+    let (_, _, warm) = run_tick(&mut engine, &mut tick);
+    if check {
+        assert_eq!(
+            warm,
+            (fleet_size, fleet_size),
+            "engine must absorb and estimate every cell"
+        );
+    }
+    engine.reset_stage_times();
+    let mut tick_samples = Vec::with_capacity(reps);
+    let mut ingest_total_s = 0.0;
+    for _ in 0..reps {
+        let (tick_s, ingest_s, totals) = run_tick(&mut engine, &mut tick);
+        if check {
+            assert_eq!(totals, (fleet_size, fleet_size), "engine dropped cells");
+        }
+        tick_samples.push(tick_s);
+        ingest_total_s += ingest_s;
+    }
+    tick_samples.sort_by(f64::total_cmp);
+    let engine_s = tick_samples[tick_samples.len() / 2];
+    let stages = engine.stage_times();
+    let per_tick_ms = |s: f64| s * 1e3 / reps as f64;
+    let mean_tick_s: f64 = tick_samples.iter().sum::<f64>();
+    let breakdown = StageBreakdownMs {
+        ingest: per_tick_ms(ingest_total_s),
+        coalesce: per_tick_ms(stages.coalesce.as_secs_f64()),
+        gather: per_tick_ms(stages.gather.as_secs_f64()),
+        gemm: per_tick_ms(stages.gemm.as_secs_f64()),
+        scatter: per_tick_ms(stages.scatter.as_secs_f64()),
+        other: per_tick_ms((mean_tick_s - ingest_total_s - stages.total().as_secs_f64()).max(0.0)),
+    };
+
     let parallel_s = median_time(reps, || {
         black_box(engine.predict_all(WorkloadQuery {
             avg_current_a: 3.0,
@@ -144,16 +245,23 @@ fn measure(model: &SocModel, fleet_size: usize, reps: usize) -> SizeResult {
         engine_process_cells_per_sec: n / engine_s,
         parallel_batched_cells_per_sec: n / parallel_s,
         parallel_speedup: sequential_s / parallel_s,
+        stage_breakdown_ms_per_tick: breakdown,
     }
 }
 
 fn main() {
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
     let model = untrained_model();
-    let reps = 15;
-    let results: Vec<SizeResult> = [1_000usize, 10_000, 100_000]
+    let reps = if smoke { 3 } else { 15 };
+    let sizes: &[usize] = if smoke {
+        &[2_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    let results: Vec<SizeResult> = sizes
         .iter()
         .map(|&n| {
-            let r = measure(&model, n, reps);
+            let r = measure(&model, n, reps, smoke);
             println!(
                 "fleet {n:>6}: sequential {:>10.0}/s | batched {:>10.0}/s ({:.2}x) | sharded-parallel {:>10.0}/s ({:.2}x) | engine pass {:>10.0}/s",
                 r.sequential_cells_per_sec,
@@ -163,16 +271,45 @@ fn main() {
                 r.parallel_speedup,
                 r.engine_process_cells_per_sec,
             );
+            let b = &r.stage_breakdown_ms_per_tick;
+            println!(
+                "             tick breakdown (ms): ingest {:.3} | coalesce {:.3} | gather {:.3} | gemm {:.3} | scatter {:.3} | other {:.3}",
+                b.ingest, b.coalesce, b.gather, b.gemm, b.scatter, b.other,
+            );
             r
         })
         .collect();
 
+    if smoke {
+        println!("\nsmoke run OK (BENCH_fleet.json untouched)");
+        return;
+    }
+
+    // Resolve the auto worker count exactly like the measured engines did.
+    let probe = FleetEngine::new(
+        model,
+        FleetConfig {
+            shards: SHARDS,
+            micro_batch: MICRO_BATCH,
+            workers: 0,
+            ekf_fallback: None,
+        },
+    );
     let baseline = Baseline {
         description: "Batched vs sequential full-pipeline SoC prediction throughput; \
                       engine = ingest + coalesce + sharded micro-batched estimate pass"
             .into(),
         model: "two-branch PINN (2,322 params), untrained weights".into(),
         reps,
+        host: HostInfo {
+            threads: std::thread::available_parallelism().map_or(1, usize::from),
+            workers: probe.worker_threads(),
+            shards: SHARDS,
+            micro_batch: MICRO_BATCH,
+            os: std::env::consts::OS,
+            arch: std::env::consts::ARCH,
+            git_rev: git_rev(),
+        },
         results,
     };
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fleet.json");

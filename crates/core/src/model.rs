@@ -122,6 +122,26 @@ impl Branch2 {
         ]
     }
 
+    /// Precomputed feature tail shared by every query of one uniform
+    /// workload: `(normalized Ī, normalized T̄, scaled N)`. A batch over a
+    /// fleet-wide workload normalizes these once instead of per cell; the
+    /// values are identical to what [`Branch2::features`] computes, so the
+    /// batched path stays bit-exact with the scalar one.
+    pub fn uniform_workload(
+        &self,
+        avg_current_a: f64,
+        avg_temperature_c: f64,
+        horizon_s: f64,
+    ) -> [f32; 3] {
+        let mut it = [avg_current_a, avg_temperature_c];
+        self.norm_it.normalize(&mut it);
+        [
+            it[0] as f32,
+            it[1] as f32,
+            (horizon_s / self.horizon_scale_s) as f32,
+        ]
+    }
+
     /// Predicts `SoC(t+N)` for one query. Output is unrestricted, as in the
     /// paper (autoregressive rollouts may legitimately overshoot `[0, 1]`).
     pub fn predict(
@@ -223,9 +243,11 @@ pub struct BatchScratch {
 }
 
 impl BatchScratch {
+    /// Reusable feature buffer; contents are unspecified — every caller
+    /// assigns all `rows × cols` elements before the forward pass.
     fn features_buffer(&mut self, rows: usize, cols: usize) -> &mut Matrix {
         let m = self.features.get_or_insert_with(|| Matrix::zeros(1, 1));
-        m.reset(rows, cols);
+        m.reset_for_overwrite(rows, cols);
         m
     }
 }
@@ -302,8 +324,96 @@ impl SocModel {
         let estimates = self
             .branch1
             .net()
-            .forward_batch(scratch.features.as_ref().expect("built"), &mut scratch.net);
+            .forward_batch_fused(scratch.features.as_ref().expect("built"), &mut scratch.net);
         out.extend(estimates.as_slice().iter().map(|&soc| soc as f64));
+    }
+
+    /// Batched Branch-1 estimation over an **already normalized** feature
+    /// matrix (`batch × 3`, rows built with [`Branch1::features`]). This is
+    /// the serving engines' gather-then-GEMM split: the caller scatters
+    /// features straight from its own cell-state layout into the matrix, and
+    /// this call runs only the fused network pass — letting the engine
+    /// account gather and GEMM time separately and skip the intermediate
+    /// `[[f64; 3]]` staging of [`SocModel::estimate_batch_into`].
+    ///
+    /// Appends one estimate per row to `out`; bit-exact with per-row
+    /// [`SocModel::estimate`] on the raw readings the features came from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.cols() != 3`.
+    pub fn estimate_features_into(
+        &self,
+        features: &Matrix,
+        scratch: &mut BatchScratch,
+        out: &mut Vec<f64>,
+    ) {
+        assert_eq!(features.cols(), 3, "Branch 1 features are (V, I, T)");
+        let estimates = self
+            .branch1
+            .net()
+            .forward_batch_fused(features, &mut scratch.net);
+        out.extend(estimates.as_slice().iter().map(|&soc| soc as f64));
+    }
+
+    /// Batched full-pipeline prediction for one **uniform workload**: every
+    /// row shares `(Ī, T̄, N)`, so the workload tail of the Branch-2
+    /// features is normalized once ([`Branch2::uniform_workload`]) instead
+    /// of per cell. `features` is the normalized `batch × 3` Branch-1
+    /// input, as in [`SocModel::estimate_features_into`].
+    ///
+    /// Appends one predicted SoC per row to `out`; bit-exact with per-row
+    /// [`SocModel::predict`] under the same workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.cols() != 3`.
+    pub fn predict_uniform_into(
+        &self,
+        features: &Matrix,
+        avg_current_a: f64,
+        avg_temperature_c: f64,
+        horizon_s: f64,
+        scratch: &mut BatchScratch,
+        out: &mut Vec<f64>,
+    ) {
+        assert_eq!(features.cols(), 3, "Branch 1 features are (V, I, T)");
+        let rows = features.rows();
+        {
+            let estimates = self
+                .branch1
+                .net()
+                .forward_batch_fused(features, &mut scratch.net);
+            scratch.soc_now.clear();
+            scratch
+                .soc_now
+                .extend(estimates.as_slice().iter().map(|&soc| soc as f64));
+        }
+        let soc_now = std::mem::take(&mut scratch.soc_now);
+        match &self.stage2 {
+            SecondStage::Network(b2) => {
+                let tail = b2.uniform_workload(avg_current_a, avg_temperature_c, horizon_s);
+                let b2_features = scratch.features_buffer(rows, 4);
+                for (r, &soc) in soc_now.iter().enumerate() {
+                    let row = b2_features.row_mut(r);
+                    row[0] = soc as f32;
+                    row[1..].copy_from_slice(&tail);
+                }
+                let preds = b2.net().forward_batch_fused(
+                    scratch.features.as_ref().expect("built"),
+                    &mut scratch.net,
+                );
+                out.extend(preds.as_slice().iter().map(|&soc| soc as f64));
+            }
+            stage @ SecondStage::Coulomb { .. } => {
+                out.extend(
+                    soc_now.iter().map(|&soc| {
+                        stage.predict(soc, avg_current_a, avg_temperature_c, horizon_s)
+                    }),
+                );
+            }
+        }
+        scratch.soc_now = soc_now;
     }
 
     /// Allocating convenience wrapper over [`SocModel::estimate_batch_into`].
@@ -342,7 +452,7 @@ impl SocModel {
             let estimates = self
                 .branch1
                 .net()
-                .forward_batch(scratch.features.as_ref().expect("built"), &mut scratch.net);
+                .forward_batch_fused(scratch.features.as_ref().expect("built"), &mut scratch.net);
             scratch.soc_now.clear();
             scratch
                 .soc_now
@@ -359,9 +469,10 @@ impl SocModel {
                     let f = b2.features(soc, q.avg_current_a, q.avg_temperature_c, q.horizon_s);
                     features.row_mut(r).copy_from_slice(&f);
                 }
-                let preds = b2
-                    .net()
-                    .forward_batch(scratch.features.as_ref().expect("built"), &mut scratch.net);
+                let preds = b2.net().forward_batch_fused(
+                    scratch.features.as_ref().expect("built"),
+                    &mut scratch.net,
+                );
                 out.extend(preds.as_slice().iter().map(|&soc| soc as f64));
             }
             stage @ SecondStage::Coulomb { .. } => {
@@ -551,6 +662,70 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn estimate_features_into_matches_scalar_bitwise() {
+        let m = model();
+        let readings: Vec<[f64; 3]> = (0..33)
+            .map(|i| {
+                let t = i as f64 / 32.0;
+                [3.1 + t, 8.0 * t - 2.0, 18.0 + 12.0 * t]
+            })
+            .collect();
+        let mut features = Matrix::zeros(readings.len(), 3);
+        for (r, reading) in readings.iter().enumerate() {
+            let f = m.branch1.features(reading[0], reading[1], reading[2]);
+            features.row_mut(r).copy_from_slice(&f);
+        }
+        let mut scratch = BatchScratch::default();
+        let mut out = Vec::new();
+        m.estimate_features_into(&features, &mut scratch, &mut out);
+        assert_eq!(out.len(), readings.len());
+        for (b, r) in out.iter().zip(&readings) {
+            let scalar = m.estimate(r[0], r[1], r[2]);
+            assert_eq!(b.to_bits(), scalar.to_bits());
+        }
+    }
+
+    #[test]
+    fn predict_uniform_into_matches_scalar_bitwise() {
+        for stage2 in [
+            SecondStage::Network(Branch2::new(norm2(), 120.0, &mut StdRng::seed_from_u64(4))),
+            SecondStage::Coulomb { capacity_ah: 3.0 },
+        ] {
+            let mut m = model();
+            m.stage2 = stage2;
+            let readings: Vec<[f64; 3]> = (0..41)
+                .map(|i| {
+                    let t = i as f64 / 40.0;
+                    [3.2 + 0.9 * t, 6.0 * t, 19.0 + 13.0 * t]
+                })
+                .collect();
+            let (avg_i, avg_t, horizon) = (2.5, 24.0, 180.0);
+            let mut features = Matrix::zeros(readings.len(), 3);
+            for (r, reading) in readings.iter().enumerate() {
+                let f = m.branch1.features(reading[0], reading[1], reading[2]);
+                features.row_mut(r).copy_from_slice(&f);
+            }
+            let mut scratch = BatchScratch::default();
+            let mut out = Vec::new();
+            m.predict_uniform_into(&features, avg_i, avg_t, horizon, &mut scratch, &mut out);
+            assert_eq!(out.len(), readings.len());
+            for (b, r) in out.iter().zip(&readings) {
+                let scalar = m.predict(r[0], r[1], r[2], avg_i, avg_t, horizon);
+                assert_eq!(b.to_bits(), scalar.to_bits(), "({})", m.label);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_workload_matches_per_query_features() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let b2 = Branch2::new(norm2(), 120.0, &mut rng);
+        let tail = b2.uniform_workload(4.5, 25.0, 240.0);
+        let full = b2.features(0.8, 4.5, 25.0, 240.0);
+        assert_eq!(&full[1..], &tail);
     }
 
     #[test]

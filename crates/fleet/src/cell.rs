@@ -1,7 +1,18 @@
-//! Per-cell state tracked by the fleet engine.
+//! Per-cell state tracked by the fleet engine, stored structure-of-arrays.
+//!
+//! The serving hot path touches a few fields of *every* cell each tick
+//! (latest telemetry for the feature gather, the network-estimate pair for
+//! the scatter). A struct-per-cell layout drags the cold fields (Coulomb
+//! counter, EKF, counters) through cache on every hot access; splitting the
+//! state into parallel arrays ([`CellStore`]) keeps each stage streaming
+//! over exactly the bytes it needs: batch assembly gathers `(V, I, T)`
+//! straight from three contiguous arrays into the input matrix, and results
+//! scatter back with linear writes.
 
 use crate::telemetry::{CellId, Telemetry};
+use pinnsoc::SocModel;
 use pinnsoc_battery::{CellParams, CoulombCounter, EkfEstimator, Soc};
+use pinnsoc_nn::Matrix;
 
 /// Registration-time description of one cell.
 #[derive(Debug, Clone)]
@@ -34,113 +45,257 @@ pub enum SocEstimate {
     Ekf,
 }
 
-/// Everything the engine tracks for one cell.
-#[derive(Debug, Clone)]
-pub struct CellEntry {
-    /// The cell's fleet-unique id.
-    pub id: CellId,
-    /// Rated capacity, amp-hours (used for physics fallbacks and
-    /// time-to-empty).
-    pub capacity_ah: f64,
-    /// Most recent accepted telemetry, if any has arrived.
-    pub latest: Option<Telemetry>,
-    /// Running Coulomb integration from the registered initial SoC.
-    pub coulomb: CoulombCounter,
-    /// Optional EKF fallback estimator.
-    pub ekf: Option<Box<EkfEstimator>>,
-    /// Latest batched network estimate, with the telemetry timestamp it
-    /// covers.
-    pub network_estimate: Option<(f64, f64)>,
+/// Sentinel for "no network estimate yet" — strictly older than any finite
+/// telemetry timestamp, so the freshness check needs no separate flag.
+const NO_ESTIMATE: f64 = f64::NEG_INFINITY;
+
+/// Structure-of-arrays state for every cell of one shard.
+///
+/// All vectors are parallel: index `slot` across them describes one cell.
+/// Hot per-tick fields (`time_s`, `voltage_v`, `current_a`,
+/// `temperature_c`, `net_time_s`, `net_soc`) are plain `f64` arrays the
+/// batch assembly and scatter stages stream over; integrators and counters
+/// live in their own arrays and are only touched by the coalesce stage.
+#[derive(Debug)]
+pub struct CellStore {
+    pub(crate) ids: Vec<CellId>,
+    pub(crate) capacity_ah: Vec<f64>,
+    /// Latest accepted telemetry, split by field. Valid iff
+    /// `reports[slot] > 0`.
+    pub(crate) time_s: Vec<f64>,
+    pub(crate) voltage_v: Vec<f64>,
+    pub(crate) current_a: Vec<f64>,
+    pub(crate) temperature_c: Vec<f64>,
     /// Telemetry reports accepted since registration.
-    pub reports: u64,
-    /// Processing-pass generation that last marked this cell dirty — lets
-    /// the shard dedup coalesced telemetry in O(1) per report.
-    pub(crate) dirty_generation: u64,
+    pub(crate) reports: Vec<u64>,
+    /// Timestamp the latest network estimate covers ([`NO_ESTIMATE`] when
+    /// none) and its value.
+    pub(crate) net_time_s: Vec<f64>,
+    pub(crate) net_soc: Vec<f64>,
+    /// Processing-pass generation that last marked the cell dirty — the
+    /// shard's O(1) coalescing dedup.
+    pub(crate) dirty_generation: Vec<u64>,
+    pub(crate) coulomb: Vec<CoulombCounter>,
+    /// One EKF per cell when the engine-wide fallback is enabled, empty
+    /// otherwise.
+    pub(crate) ekf: Vec<EkfEstimator>,
 }
 
-impl CellEntry {
-    /// Creates the entry, seeding integrators from the config.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `capacity_ah` is not positive.
-    pub fn new(id: CellId, config: &CellConfig, ekf_params: Option<&CellParams>) -> Self {
-        let initial = Soc::clamped(config.initial_soc);
-        // The engine-wide EKF parameters describe the fleet's cell model
-        // (chemistry, resistances); the capacity is per-cell, so override
-        // it — otherwise heterogeneous fleets would integrate SoC at the
-        // wrong rate whenever the EKF fallback answers.
-        let ekf = ekf_params.map(|p| {
-            let mut params = p.clone();
-            params.capacity_ah = config.capacity_ah;
-            Box::new(EkfEstimator::new(params, initial))
-        });
+impl CellStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
         Self {
-            id,
-            capacity_ah: config.capacity_ah,
-            latest: None,
-            coulomb: CoulombCounter::new(initial, config.capacity_ah),
-            ekf,
-            network_estimate: None,
-            reports: 0,
-            dirty_generation: 0,
+            ids: Vec::new(),
+            capacity_ah: Vec::new(),
+            time_s: Vec::new(),
+            voltage_v: Vec::new(),
+            current_a: Vec::new(),
+            temperature_c: Vec::new(),
+            reports: Vec::new(),
+            net_time_s: Vec::new(),
+            net_soc: Vec::new(),
+            dirty_generation: Vec::new(),
+            coulomb: Vec::new(),
+            ekf: Vec::new(),
         }
     }
 
-    /// Folds one telemetry report into the running integrators. Returns
-    /// `false` (and changes nothing) for non-finite or time-reversed
-    /// reports.
-    pub fn absorb(&mut self, t: Telemetry) -> bool {
+    /// Registered cell count.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no cells are registered.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Appends a cell, seeding its integrators from the config, and returns
+    /// its slot. When `ekf_params` is given, the engine-wide parameters are
+    /// copied with the per-cell capacity overriding the fleet default —
+    /// otherwise heterogeneous fleets would integrate SoC at the wrong rate
+    /// whenever the EKF fallback answers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.capacity_ah` is not positive.
+    pub fn push(
+        &mut self,
+        id: CellId,
+        config: &CellConfig,
+        ekf_params: Option<&CellParams>,
+    ) -> usize {
+        let slot = self.ids.len();
+        let initial = Soc::clamped(config.initial_soc);
+        self.ids.push(id);
+        self.capacity_ah.push(config.capacity_ah);
+        self.time_s.push(0.0);
+        self.voltage_v.push(0.0);
+        self.current_a.push(0.0);
+        self.temperature_c.push(0.0);
+        self.reports.push(0);
+        self.net_time_s.push(NO_ESTIMATE);
+        self.net_soc.push(0.0);
+        self.dirty_generation.push(0);
+        self.coulomb
+            .push(CoulombCounter::new(initial, config.capacity_ah));
+        if let Some(params) = ekf_params {
+            let mut params = params.clone();
+            params.capacity_ah = config.capacity_ah;
+            self.ekf.push(EkfEstimator::new(params, initial));
+        }
+        slot
+    }
+
+    /// Most recent accepted telemetry for `slot`, if any has arrived.
+    pub fn latest(&self, slot: usize) -> Option<Telemetry> {
+        (self.reports[slot] > 0).then(|| Telemetry {
+            time_s: self.time_s[slot],
+            voltage_v: self.voltage_v[slot],
+            current_a: self.current_a[slot],
+            temperature_c: self.temperature_c[slot],
+        })
+    }
+
+    /// Folds one telemetry report into the slot's running integrators.
+    /// Returns `false` (and changes nothing) for non-finite or
+    /// time-reversed reports.
+    pub fn absorb(&mut self, slot: usize, t: Telemetry) -> bool {
         if !t.is_finite() {
             return false;
         }
-        let dt = match self.latest {
-            Some(prev) => t.time_s - prev.time_s,
-            // First report: nothing to integrate over yet.
-            None => 0.0,
+        // First report: nothing to integrate over yet.
+        let dt = if self.reports[slot] > 0 {
+            t.time_s - self.time_s[slot]
+        } else {
+            0.0
         };
         if dt < 0.0 {
             return false;
         }
         if dt > 0.0 {
-            self.coulomb.update(t.current_a, dt);
-            if let Some(ekf) = &mut self.ekf {
+            self.coulomb[slot].update(t.current_a, dt);
+            if let Some(ekf) = self.ekf.get_mut(slot) {
                 ekf.update(t.current_a, t.voltage_v, t.temperature_c, dt);
             }
         }
-        self.latest = Some(t);
-        self.reports += 1;
+        self.time_s[slot] = t.time_s;
+        self.voltage_v[slot] = t.voltage_v;
+        self.current_a[slot] = t.current_a;
+        self.temperature_c[slot] = t.temperature_c;
+        self.reports[slot] += 1;
         true
+    }
+
+    /// Gathers the normalized Branch-1 feature rows for `slots` straight
+    /// from the SoA telemetry arrays into `features` (resized to
+    /// `slots.len() × 3`; every element assigned). The single gather
+    /// implementation every batch pass shares — the bit-exactness contract
+    /// requires all passes to assemble features identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is empty or contains an out-of-range slot.
+    pub(crate) fn gather_features(&self, slots: &[u32], model: &SocModel, features: &mut Matrix) {
+        features.reset_for_overwrite(slots.len(), 3);
+        for (r, &slot) in slots.iter().enumerate() {
+            let slot = slot as usize;
+            let f = model.branch1.features(
+                self.voltage_v[slot],
+                self.current_a[slot],
+                self.temperature_c[slot],
+            );
+            features.row_mut(r).copy_from_slice(&f);
+        }
+    }
+
+    /// Records a batched network estimate covering the slot's latest
+    /// telemetry timestamp.
+    #[inline]
+    pub(crate) fn record_network_estimate(&mut self, slot: usize, soc: f64) {
+        self.net_time_s[slot] = self.time_s[slot];
+        self.net_soc[slot] = soc;
     }
 
     /// The best current SoC estimate and its source: the network estimate
     /// when it covers the latest telemetry, otherwise the EKF (when
-    /// enabled), otherwise the Coulomb integral. `None` until any
-    /// telemetry has been accepted.
-    pub fn estimate(&self) -> Option<(f64, SocEstimate)> {
-        let latest = self.latest?;
-        if let Some((time_s, soc)) = self.network_estimate {
-            if time_s >= latest.time_s {
-                // The network output is an unclamped regression value; keep
-                // fleet aggregates (histograms, time-to-empty) in-range.
-                return Some((soc.clamp(0.0, 1.0), SocEstimate::Network));
-            }
+    /// enabled), otherwise the Coulomb integral. `None` until any telemetry
+    /// has been accepted.
+    pub fn estimate(&self, slot: usize) -> Option<(f64, SocEstimate)> {
+        if self.reports[slot] == 0 {
+            return None;
         }
-        if let Some(ekf) = &self.ekf {
+        if self.net_time_s[slot] >= self.time_s[slot] {
+            // The network output is an unclamped regression value; keep
+            // fleet aggregates (histograms, time-to-empty) in-range.
+            return Some((self.net_soc[slot].clamp(0.0, 1.0), SocEstimate::Network));
+        }
+        if let Some(ekf) = self.ekf.get(slot) {
             return Some((ekf.soc().value(), SocEstimate::Ekf));
         }
-        Some((self.coulomb.soc().value(), SocEstimate::Coulomb))
+        Some((self.coulomb[slot].soc().value(), SocEstimate::Coulomb))
     }
 
     /// Predicted seconds until empty at the given constant discharge
     /// current (amps), from the best current estimate. `None` when no
     /// estimate exists yet or the current is not a discharge.
-    pub fn time_to_empty_s(&self, discharge_current_a: f64) -> Option<f64> {
+    pub fn time_to_empty_s(&self, slot: usize, discharge_current_a: f64) -> Option<f64> {
         if discharge_current_a <= 0.0 {
             return None;
         }
-        let (soc, _) = self.estimate()?;
-        Some(soc * 3600.0 * self.capacity_ah / discharge_current_a)
+        let (soc, _) = self.estimate(slot)?;
+        Some(soc * 3600.0 * self.capacity_ah[slot] / discharge_current_a)
+    }
+
+    /// Owned read view of one cell's full tracked state.
+    pub fn snapshot(&self, slot: usize) -> CellSnapshot {
+        CellSnapshot {
+            id: self.ids[slot],
+            capacity_ah: self.capacity_ah[slot],
+            latest: self.latest(slot),
+            coulomb_soc: self.coulomb[slot].soc().value(),
+            ekf_soc: self.ekf.get(slot).map(|e| e.soc().value()),
+            network_estimate: (self.net_time_s[slot] > NO_ESTIMATE)
+                .then(|| (self.net_time_s[slot], self.net_soc[slot])),
+            reports: self.reports[slot],
+            estimate: self.estimate(slot),
+        }
+    }
+}
+
+impl Default for CellStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Owned read view of one cell, assembled from the store's parallel arrays
+/// (the SoA layout has no per-cell struct to borrow).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSnapshot {
+    /// The cell's fleet-unique id.
+    pub id: CellId,
+    /// Rated capacity, amp-hours.
+    pub capacity_ah: f64,
+    /// Most recent accepted telemetry, if any has arrived.
+    pub latest: Option<Telemetry>,
+    /// Running Coulomb-integrated SoC from the registered initial SoC.
+    pub coulomb_soc: f64,
+    /// EKF fallback SoC, when the engine enables the fallback.
+    pub ekf_soc: Option<f64>,
+    /// Latest batched network estimate, with the telemetry timestamp it
+    /// covers.
+    pub network_estimate: Option<(f64, f64)>,
+    /// Telemetry reports accepted since registration.
+    pub reports: u64,
+    estimate: Option<(f64, SocEstimate)>,
+}
+
+impl CellSnapshot {
+    /// The best current SoC estimate and its source at snapshot time (same
+    /// policy as [`CellStore::estimate`]).
+    pub fn estimate(&self) -> Option<(f64, SocEstimate)> {
+        self.estimate
     }
 }
 
@@ -157,53 +312,63 @@ mod tests {
         }
     }
 
-    #[test]
-    fn absorb_integrates_coulomb_between_reports() {
-        let mut cell = CellEntry::new(
+    fn store_with_one(initial_soc: f64, capacity_ah: f64) -> CellStore {
+        let mut store = CellStore::new();
+        store.push(
             1,
             &CellConfig {
-                initial_soc: 1.0,
-                capacity_ah: 3.0,
+                initial_soc,
+                capacity_ah,
             },
             None,
         );
-        assert!(cell.absorb(telemetry(0.0, 3.0)));
+        store
+    }
+
+    #[test]
+    fn absorb_integrates_coulomb_between_reports() {
+        let mut store = store_with_one(1.0, 3.0);
+        assert!(store.absorb(0, telemetry(0.0, 3.0)));
         // 3 A for 1800 s = 1.5 Ah = half the capacity.
-        assert!(cell.absorb(telemetry(1800.0, 3.0)));
-        let (soc, source) = cell.estimate().expect("has telemetry");
+        assert!(store.absorb(0, telemetry(1800.0, 3.0)));
+        let (soc, source) = store.estimate(0).expect("has telemetry");
         assert_eq!(source, SocEstimate::Coulomb);
         assert!((soc - 0.5).abs() < 1e-9, "soc {soc}");
-        assert_eq!(cell.reports, 2);
+        assert_eq!(store.reports[0], 2);
     }
 
     #[test]
     fn rejects_nan_and_time_reversal() {
-        let mut cell = CellEntry::new(1, &CellConfig::default(), None);
-        assert!(cell.absorb(telemetry(10.0, 1.0)));
-        assert!(!cell.absorb(telemetry(5.0, 1.0)), "time reversal accepted");
+        let mut store = store_with_one(1.0, 3.0);
+        assert!(store.absorb(0, telemetry(10.0, 1.0)));
+        assert!(
+            !store.absorb(0, telemetry(5.0, 1.0)),
+            "time reversal accepted"
+        );
         let mut bad = telemetry(20.0, 1.0);
         bad.voltage_v = f64::NAN;
-        assert!(!cell.absorb(bad), "NaN accepted");
-        assert_eq!(cell.reports, 1);
-        assert_eq!(cell.latest.unwrap().time_s, 10.0);
+        assert!(!store.absorb(0, bad), "NaN accepted");
+        assert_eq!(store.reports[0], 1);
+        assert_eq!(store.latest(0).unwrap().time_s, 10.0);
     }
 
     #[test]
     fn network_estimate_wins_only_when_fresh() {
-        let mut cell = CellEntry::new(1, &CellConfig::default(), None);
-        cell.absorb(telemetry(10.0, 1.0));
-        cell.network_estimate = Some((10.0, 0.87));
-        assert_eq!(cell.estimate(), Some((0.87, SocEstimate::Network)));
+        let mut store = store_with_one(1.0, 3.0);
+        store.absorb(0, telemetry(10.0, 1.0));
+        store.record_network_estimate(0, 0.87);
+        assert_eq!(store.estimate(0), Some((0.87, SocEstimate::Network)));
         // Newer telemetry makes the network estimate stale.
-        cell.absorb(telemetry(20.0, 1.0));
-        let (_, source) = cell.estimate().unwrap();
+        store.absorb(0, telemetry(20.0, 1.0));
+        let (_, source) = store.estimate(0).unwrap();
         assert_eq!(source, SocEstimate::Coulomb);
     }
 
     #[test]
     fn ekf_fallback_when_enabled() {
         let params = CellParams::lg_hg2();
-        let mut cell = CellEntry::new(
+        let mut store = CellStore::new();
+        store.push(
             1,
             &CellConfig {
                 initial_soc: 0.8,
@@ -211,35 +376,59 @@ mod tests {
             },
             Some(&params),
         );
-        cell.absorb(telemetry(0.0, 1.0));
-        cell.absorb(telemetry(60.0, 1.0));
-        let (soc, source) = cell.estimate().unwrap();
+        store.absorb(0, telemetry(0.0, 1.0));
+        store.absorb(0, telemetry(60.0, 1.0));
+        let (soc, source) = store.estimate(0).unwrap();
         assert_eq!(source, SocEstimate::Ekf);
         assert!((0.0..=1.0).contains(&soc));
     }
 
     #[test]
     fn time_to_empty_scales_with_current() {
-        let mut cell = CellEntry::new(
-            1,
-            &CellConfig {
-                initial_soc: 0.5,
-                capacity_ah: 3.0,
-            },
-            None,
-        );
-        cell.absorb(telemetry(0.0, 0.0));
+        let mut store = store_with_one(0.5, 3.0);
+        store.absorb(0, telemetry(0.0, 0.0));
         // Half of 3 Ah at 1.5 A = 1 hour.
-        assert!((cell.time_to_empty_s(1.5).unwrap() - 3600.0).abs() < 1e-9);
-        assert!((cell.time_to_empty_s(3.0).unwrap() - 1800.0).abs() < 1e-9);
-        assert_eq!(cell.time_to_empty_s(0.0), None);
-        assert_eq!(cell.time_to_empty_s(-1.0), None);
+        assert!((store.time_to_empty_s(0, 1.5).unwrap() - 3600.0).abs() < 1e-9);
+        assert!((store.time_to_empty_s(0, 3.0).unwrap() - 1800.0).abs() < 1e-9);
+        assert_eq!(store.time_to_empty_s(0, 0.0), None);
+        assert_eq!(store.time_to_empty_s(0, -1.0), None);
     }
 
     #[test]
     fn no_estimate_before_first_report() {
-        let cell = CellEntry::new(1, &CellConfig::default(), None);
-        assert_eq!(cell.estimate(), None);
-        assert_eq!(cell.time_to_empty_s(1.0), None);
+        let store = store_with_one(1.0, 3.0);
+        assert_eq!(store.estimate(0), None);
+        assert_eq!(store.time_to_empty_s(0, 1.0), None);
+        assert_eq!(store.latest(0), None);
+    }
+
+    #[test]
+    fn snapshot_mirrors_store_state() {
+        let mut store = store_with_one(0.9, 3.0);
+        store.push(7, &CellConfig::default(), None);
+        store.absorb(0, telemetry(5.0, 1.0));
+        store.record_network_estimate(0, 0.42);
+        let snap = store.snapshot(0);
+        assert_eq!(snap.id, 1);
+        assert_eq!(snap.reports, 1);
+        assert_eq!(snap.latest.unwrap().time_s, 5.0);
+        assert_eq!(snap.network_estimate, Some((5.0, 0.42)));
+        assert_eq!(snap.estimate(), Some((0.42, SocEstimate::Network)));
+        assert_eq!(snap.ekf_soc, None);
+        let untouched = store.snapshot(1);
+        assert_eq!(untouched.id, 7);
+        assert_eq!(untouched.latest, None);
+        assert_eq!(untouched.estimate(), None);
+    }
+
+    #[test]
+    fn negative_timestamps_are_valid_telemetry() {
+        // The NO_ESTIMATE sentinel must not collide with real (even very
+        // negative) timestamps.
+        let mut store = store_with_one(1.0, 3.0);
+        store.absorb(0, telemetry(-1e12, 1.0));
+        assert_eq!(store.estimate(0).unwrap().1, SocEstimate::Coulomb);
+        store.record_network_estimate(0, 0.5);
+        assert_eq!(store.estimate(0).unwrap().1, SocEstimate::Network);
     }
 }

@@ -1,20 +1,23 @@
 //! The fleet engine: sharded per-cell state, micro-batched inference, and
 //! fleet-level queries.
 
-use crate::cell::{CellConfig, CellEntry, SocEstimate};
+use crate::cell::{CellConfig, CellSnapshot, CellStore, SocEstimate};
+use crate::id_index::IdIndex;
+use crate::pool::{Done, JobKind, TaskOutput, WorkerPool};
 use crate::registry::ModelRegistry;
 use crate::telemetry::{CellId, Telemetry};
-use pinnsoc::{BatchScratch, PredictQuery, SocModel};
+use pinnsoc::{BatchScratch, SocModel};
 use pinnsoc_battery::CellParams;
-use std::collections::HashMap;
+use pinnsoc_nn::Matrix;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Engine-wide configuration.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
     /// Number of shards; cells are distributed by `id % shards` and shards
-    /// are processed on one `std::thread` worker each. Defaults to the
-    /// machine's available parallelism.
+    /// are drained from the persistent worker pool's queue during batch
+    /// passes. Defaults to the machine's available parallelism.
     pub shards: usize,
     /// Cells per batched forward pass. Micro-batches bound the latency of a
     /// model hot-swap (a swap applies at the next batch boundary) and keep
@@ -22,6 +25,12 @@ pub struct FleetConfig {
     /// hidden layers ≈ 32 kB per ping-pong buffer — L1-sized; measured
     /// fastest among 128–4096 on the reference core).
     pub micro_batch: usize,
+    /// Persistent worker threads assisting the calling thread during batch
+    /// passes. `0` means auto: one less than the machine's available
+    /// parallelism (the caller participates in every pass), capped at the
+    /// shard count — so a single-core host runs the whole pass on the
+    /// calling thread with no cross-thread handoff at all.
+    pub workers: usize,
     /// When set, every registered cell carries an EKF fallback estimator
     /// built from these parameters (used when no network estimate covers
     /// the latest telemetry).
@@ -33,6 +42,7 @@ impl Default for FleetConfig {
         Self {
             shards: std::thread::available_parallelism().map_or(4, usize::from),
             micro_batch: 256,
+            workers: 0,
             ekf_fallback: None,
         }
     }
@@ -64,36 +74,83 @@ pub struct FleetStats {
     pub max_soc: f64,
 }
 
-/// One shard: a slice of the fleet owned by one worker during batch
-/// processing.
-struct Shard {
-    cells: Vec<CellEntry>,
-    index: HashMap<CellId, usize>,
-    /// Accepted-but-unprocessed telemetry in arrival order.
-    pending: Vec<(usize, Telemetry)>,
-    /// Per-worker inference scratch (lives with the shard so steady-state
+/// Cumulative wall time the batch passes spent per pipeline stage, summed
+/// across shards (worker time, not elapsed time: concurrent shards add
+/// up). The ingest stage happens on the caller in [`FleetEngine::ingest`]
+/// and is cheap enough that timing it per report would distort it; the
+/// bench harness times it as a block instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    /// Draining queued telemetry into the per-cell integrators (Coulomb /
+    /// EKF updates, dirty-slot dedup).
+    pub coalesce: Duration,
+    /// Assembling normalized feature rows from the structure-of-arrays
+    /// cell state into the batch input matrix.
+    pub gather: Duration,
+    /// The batched network forward passes (fused GEMM epilogues).
+    pub gemm: Duration,
+    /// Writing estimates back into the cell state with linear writes.
+    pub scatter: Duration,
+}
+
+impl StageTimes {
+    /// Sum of all stages.
+    pub fn total(&self) -> Duration {
+        self.coalesce + self.gather + self.gemm + self.scatter
+    }
+
+    fn accumulate(&mut self, other: &StageTimes) {
+        self.coalesce += other.coalesce;
+        self.gather += other.gather;
+        self.gemm += other.gemm;
+        self.scatter += other.scatter;
+    }
+}
+
+/// One shard: a slice of the fleet, owned by the engine between ticks and
+/// handed to the worker pool (by move) during batch passes.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    cells: CellStore,
+    index: IdIndex,
+    /// Accepted-but-unprocessed telemetry in arrival order (slot, report).
+    pending: Vec<(u32, Telemetry)>,
+    /// Per-shard inference scratch (lives with the shard so steady-state
     /// processing allocates nothing).
     scratch: BatchScratch,
+    /// Gather buffer: the normalized `micro_batch × 3` feature matrix.
+    features: Matrix,
+    /// Per-micro-batch network outputs.
+    estimates: Vec<f64>,
     /// Reused list of slots touched since the last pass (same
     /// zero-steady-state-allocation rationale as `scratch`).
-    dirty: Vec<usize>,
+    dirty: Vec<u32>,
+    /// Reused slot list for full-shard passes (`predict_all`).
+    batch_slots: Vec<u32>,
     /// Monotonic processing-pass counter backing the O(1) dirty-slot dedup.
     generation: u64,
     /// Cells that have accepted at least one report — lets the engine skip
-    /// worker spawns for shards with nothing to predict.
+    /// queueing shards with nothing to predict.
     reporting: usize,
+    /// Per-stage wall time of this shard's most recent processing pass
+    /// (reset at the start of each pass; the engine accumulates deltas).
+    stage: StageTimes,
 }
 
 impl Shard {
     fn new() -> Self {
         Self {
-            cells: Vec::new(),
-            index: HashMap::new(),
+            cells: CellStore::new(),
+            index: IdIndex::new(),
             pending: Vec::new(),
             scratch: BatchScratch::default(),
+            features: Matrix::zeros(1, 1),
+            estimates: Vec::new(),
             dirty: Vec::new(),
+            batch_slots: Vec::new(),
             generation: 0,
             reporting: 0,
+            stage: StageTimes::default(),
         }
     }
 
@@ -102,77 +159,85 @@ impl Shard {
     /// coalesced: a cell reporting five times since the last pass is
     /// integrated five times but estimated once, at its latest reading.
     /// Returns `(reports_absorbed, cells_estimated)`.
-    fn process(&mut self, model: &SocModel, micro_batch: usize) -> (usize, usize) {
+    pub(crate) fn process(&mut self, model: &SocModel, micro_batch: usize) -> (usize, usize) {
+        let tick_start = Instant::now();
+        // `stage` holds exactly this pass's times; the engine accumulates
+        // per-tick deltas when the shard checks back in.
+        self.stage = StageTimes::default();
         let mut absorbed = 0usize;
         self.generation += 1;
         self.dirty.clear();
+        let generation = self.generation;
         // drain(..) keeps the pending queue's capacity for the next tick
         // (mem::take would re-grow it from zero every pass).
         let (cells, dirty) = (&mut self.cells, &mut self.dirty);
         for (slot, telemetry) in self.pending.drain(..) {
-            if cells[slot].absorb(telemetry) {
+            let slot = slot as usize;
+            if cells.absorb(slot, telemetry) {
                 absorbed += 1;
-                if cells[slot].reports == 1 {
+                if cells.reports[slot] == 1 {
                     self.reporting += 1;
                 }
-                if cells[slot].dirty_generation != self.generation {
-                    cells[slot].dirty_generation = self.generation;
-                    dirty.push(slot);
+                if cells.dirty_generation[slot] != generation {
+                    cells.dirty_generation[slot] = generation;
+                    dirty.push(slot as u32);
                 }
             }
         }
-        let mut readings: Vec<[f64; 3]> = Vec::with_capacity(micro_batch.min(dirty.len()));
-        let mut estimates: Vec<f64> = Vec::with_capacity(micro_batch.min(dirty.len()));
-        for batch in dirty.chunks(micro_batch) {
-            readings.clear();
-            estimates.clear();
-            for &slot in batch {
-                let latest = cells[slot].latest.expect("dirty cells have telemetry");
-                readings.push([latest.voltage_v, latest.current_a, latest.temperature_c]);
+        let mut mark = Instant::now();
+        self.stage.coalesce += mark - tick_start;
+        for batch in self.dirty.chunks(micro_batch) {
+            // Gather: normalized features straight from the SoA telemetry
+            // arrays into the batch input matrix — no per-cell struct hops.
+            self.cells.gather_features(batch, model, &mut self.features);
+            let t = Instant::now();
+            self.stage.gather += t - mark;
+            mark = t;
+            // GEMM: the fused batched forward pass.
+            self.estimates.clear();
+            model.estimate_features_into(&self.features, &mut self.scratch, &mut self.estimates);
+            let t = Instant::now();
+            self.stage.gemm += t - mark;
+            mark = t;
+            // Scatter: linear write-back into the SoA estimate arrays.
+            for (&slot, &soc) in batch.iter().zip(&self.estimates) {
+                self.cells.record_network_estimate(slot as usize, soc);
             }
-            model.estimate_batch_into(&readings, &mut self.scratch, &mut estimates);
-            for (&slot, &soc) in batch.iter().zip(&estimates) {
-                let time_s = cells[slot].latest.expect("has telemetry").time_s;
-                cells[slot].network_estimate = Some((time_s, soc));
-            }
+            let t = Instant::now();
+            self.stage.scatter += t - mark;
+            mark = t;
         }
-        (absorbed, dirty.len())
+        (absorbed, self.dirty.len())
     }
 
     /// Batched full-pipeline prediction for every reporting cell under one
     /// described workload.
-    fn predict_all(
+    pub(crate) fn predict_all(
         &mut self,
         model: &SocModel,
         workload: &WorkloadQuery,
         micro_batch: usize,
     ) -> Vec<(CellId, f64)> {
-        let reporting: Vec<usize> = (0..self.cells.len())
-            .filter(|&s| self.cells[s].latest.is_some())
-            .collect();
-        let mut out = Vec::with_capacity(reporting.len());
-        let mut queries: Vec<PredictQuery> = Vec::with_capacity(micro_batch.min(reporting.len()));
-        let mut predictions: Vec<f64> = Vec::with_capacity(micro_batch.min(reporting.len()));
-        for batch in reporting.chunks(micro_batch) {
-            queries.clear();
-            predictions.clear();
-            for &slot in batch {
-                let latest = self.cells[slot].latest.expect("filtered to reporting");
-                queries.push(PredictQuery {
-                    voltage_v: latest.voltage_v,
-                    current_a: latest.current_a,
-                    temperature_c: latest.temperature_c,
-                    avg_current_a: workload.avg_current_a,
-                    avg_temperature_c: workload.avg_temperature_c,
-                    horizon_s: workload.horizon_s,
-                });
-            }
-            model.predict_batch_into(&queries, &mut self.scratch, &mut predictions);
+        self.batch_slots.clear();
+        self.batch_slots
+            .extend((0..self.cells.len() as u32).filter(|&s| self.cells.reports[s as usize] > 0));
+        let mut out = Vec::with_capacity(self.batch_slots.len());
+        for batch in self.batch_slots.chunks(micro_batch) {
+            self.cells.gather_features(batch, model, &mut self.features);
+            self.estimates.clear();
+            model.predict_uniform_into(
+                &self.features,
+                workload.avg_current_a,
+                workload.avg_temperature_c,
+                workload.horizon_s,
+                &mut self.scratch,
+                &mut self.estimates,
+            );
             out.extend(
                 batch
                     .iter()
-                    .zip(&predictions)
-                    .map(|(&s, &p)| (self.cells[s].id, p)),
+                    .zip(&self.estimates)
+                    .map(|(&s, &p)| (self.cells.ids[s as usize], p)),
             );
         }
         out
@@ -183,30 +248,56 @@ impl Shard {
 /// through batched forward passes.
 ///
 /// See the crate docs for the architecture; the short version: cells are
-/// sharded by id, telemetry is queued per shard, and
-/// [`FleetEngine::process_pending`] fans the shards out over scoped
-/// `std::thread` workers, each running micro-batched GEMMs against a pinned
-/// model snapshot from the [`ModelRegistry`].
+/// sharded by id into structure-of-arrays stores, telemetry is queued per
+/// shard, and [`FleetEngine::process_pending`] hands the active shards to a
+/// persistent worker pool, each running fused micro-batched GEMMs against a
+/// pinned model snapshot from the [`ModelRegistry`].
 pub struct FleetEngine {
     registry: Arc<ModelRegistry>,
     config: FleetConfig,
-    shards: Vec<Shard>,
+    /// `Some` between ticks; shards move out during a pool pass and return
+    /// before the pass's public call completes.
+    shards: Vec<Option<Shard>>,
+    pool: WorkerPool,
+    /// Engine-thread scratch for [`FleetEngine::predict_cells`].
+    scratch: BatchScratch,
+    features: Matrix,
+    /// Reused tick buffers (see [`WorkerPool::run`]).
+    tick_tasks: Vec<(usize, Shard)>,
+    tick_done: Vec<Done>,
+    /// Per-stage time accumulated from completed shard passes.
+    stage_times: StageTimes,
 }
 
 impl FleetEngine {
     /// Creates an engine serving `model` with the given configuration.
-    /// Zero values in the config are lifted to 1.
+    /// Zero values for `shards` / `micro_batch` are lifted to 1; see
+    /// [`FleetConfig::workers`] for worker-count semantics.
     pub fn new(model: SocModel, config: FleetConfig) -> Self {
         let config = FleetConfig {
             shards: config.shards.max(1),
             micro_batch: config.micro_batch.max(1),
             ..config
         };
-        let shards = (0..config.shards).map(|_| Shard::new()).collect();
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(0, |p| usize::from(p).saturating_sub(1))
+        } else {
+            config.workers
+        }
+        .min(config.shards);
+        let shards = (0..config.shards).map(|_| Some(Shard::new())).collect();
+        let registry = Arc::new(ModelRegistry::new(model));
+        let pool = WorkerPool::new(Arc::clone(&registry), workers);
         Self {
-            registry: Arc::new(ModelRegistry::new(model)),
+            registry,
             config,
             shards,
+            pool,
+            scratch: BatchScratch::default(),
+            features: Matrix::zeros(1, 1),
+            tick_tasks: Vec::new(),
+            tick_done: Vec::new(),
+            stage_times: StageTimes::default(),
         }
     }
 
@@ -220,8 +311,28 @@ impl FleetEngine {
         &self.config
     }
 
+    /// Persistent worker threads backing the batch passes (the calling
+    /// thread always participates on top of these).
+    pub fn worker_threads(&self) -> usize {
+        self.pool.workers()
+    }
+
     fn shard_of(&self, id: CellId) -> usize {
         (id % self.config.shards as u64) as usize
+    }
+
+    /// A `None` slot outside a batch pass means a prior pass's task
+    /// panicked and that shard's state was lost with the unwind; the
+    /// original panic was re-raised then, so this only fires when the
+    /// caller caught it and kept using the engine.
+    const SHARD_LOST: &'static str = "shard lost to a panicked batch pass";
+
+    fn shard(&self, idx: usize) -> &Shard {
+        self.shards[idx].as_ref().expect(Self::SHARD_LOST)
+    }
+
+    fn shard_mut(&mut self, idx: usize) -> &mut Shard {
+        self.shards[idx].as_mut().expect(Self::SHARD_LOST)
     }
 
     /// Registers a cell. Returns `false` (without changes) when the id is
@@ -229,28 +340,30 @@ impl FleetEngine {
     pub fn register(&mut self, id: CellId, config: CellConfig) -> bool {
         let ekf = self.config.ekf_fallback.clone();
         let shard_idx = self.shard_of(id);
-        let shard = &mut self.shards[shard_idx];
-        if shard.index.contains_key(&id) {
+        let shard = self.shard_mut(shard_idx);
+        if shard.index.get(id).is_some() {
             return false;
         }
-        shard.index.insert(id, shard.cells.len());
-        shard.cells.push(CellEntry::new(id, &config, ekf.as_ref()));
+        let slot = shard.cells.push(id, &config, ekf.as_ref());
+        shard.index.insert(id, slot);
         true
     }
 
     /// Registered cell count.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.cells.len()).sum()
+        (0..self.shards.len())
+            .map(|i| self.shard(i).cells.len())
+            .sum()
     }
 
     /// True when no cells are registered.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.cells.is_empty())
+        (0..self.shards.len()).all(|i| self.shard(i).cells.is_empty())
     }
 
     /// Whether `id` is registered.
     pub fn contains(&self, id: CellId) -> bool {
-        self.shards[self.shard_of(id)].index.contains_key(&id)
+        self.shard(self.shard_of(id)).index.get(id).is_some()
     }
 
     /// Queues one telemetry report. Returns `false` for unknown cells.
@@ -258,10 +371,10 @@ impl FleetEngine {
     /// [`FleetEngine::process_pending`].
     pub fn ingest(&mut self, id: CellId, telemetry: Telemetry) -> bool {
         let shard_idx = self.shard_of(id);
-        let shard = &mut self.shards[shard_idx];
-        match shard.index.get(&id) {
-            Some(&slot) => {
-                shard.pending.push((slot, telemetry));
+        let shard = self.shard_mut(shard_idx);
+        match shard.index.get(id) {
+            Some(slot) => {
+                shard.pending.push((slot as u32, telemetry));
                 true
             }
             None => false,
@@ -269,113 +382,143 @@ impl FleetEngine {
     }
 
     /// Drains all queued telemetry and refreshes network estimates for
-    /// every touched cell, fanning shards out over scoped worker threads.
-    /// Returns `(reports_absorbed, cells_estimated)` fleet-wide.
+    /// every touched cell through the persistent worker pool. Returns
+    /// `(reports_absorbed, cells_estimated)` fleet-wide.
     pub fn process_pending(&mut self) -> (usize, usize) {
         let micro_batch = self.config.micro_batch;
-        let registry = &self.registry;
-        let results: Vec<(usize, usize)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
-                .iter_mut()
-                // Idle shards contribute (0, 0) by construction — don't pay
-                // a thread spawn for them (sparse-telemetry ticks commonly
-                // touch a few shards out of many).
-                .filter(|shard| !shard.pending.is_empty())
-                .map(|shard| {
-                    // Each worker pins its own model snapshot: a concurrent
-                    // hot-swap applies cleanly at the next pass.
-                    let model = registry.current();
-                    scope.spawn(move || shard.process(&model, micro_batch))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
-        });
-        results
-            .into_iter()
-            .fold((0, 0), |(a, b), (x, y)| (a + x, b + y))
+        self.tick_tasks.clear();
+        for (idx, slot) in self.shards.iter_mut().enumerate() {
+            // Idle shards contribute (0, 0) by construction — don't queue
+            // them (sparse-telemetry ticks commonly touch a few shards out
+            // of many).
+            if slot.as_ref().is_some_and(|s| !s.pending.is_empty()) {
+                self.tick_tasks
+                    .push((idx, slot.take().expect(Self::SHARD_LOST)));
+            }
+        }
+        let panicked = self.pool.run(
+            JobKind::Process { micro_batch },
+            &mut self.tick_tasks,
+            &mut self.tick_done,
+        );
+        let mut totals = (0usize, 0usize);
+        for done in self.tick_done.drain(..) {
+            if let TaskOutput::Process {
+                absorbed,
+                estimated,
+            } = done.output
+            {
+                totals.0 += absorbed;
+                totals.1 += estimated;
+            }
+            self.stage_times.accumulate(&done.shard.stage);
+            self.shards[done.idx] = Some(done.shard);
+        }
+        // Re-raise only after every surviving shard is checked back in.
+        assert!(!panicked, "shard task panicked during process_pending");
+        totals
     }
 
     /// Best current SoC estimate for one cell, with its source.
     pub fn estimate(&self, id: CellId) -> Option<(f64, SocEstimate)> {
-        let shard = &self.shards[self.shard_of(id)];
+        let shard = self.shard(self.shard_of(id));
         shard
             .index
-            .get(&id)
-            .and_then(|&slot| shard.cells[slot].estimate())
+            .get(id)
+            .and_then(|slot| shard.cells.estimate(slot))
     }
 
-    /// Read access to one cell's full tracked state.
-    pub fn cell(&self, id: CellId) -> Option<&CellEntry> {
-        let shard = &self.shards[self.shard_of(id)];
-        shard.index.get(&id).map(|&slot| &shard.cells[slot])
+    /// Read access to one cell's full tracked state (an owned snapshot
+    /// assembled from the shard's structure-of-arrays store).
+    pub fn cell(&self, id: CellId) -> Option<CellSnapshot> {
+        let shard = self.shard(self.shard_of(id));
+        shard.index.get(id).map(|slot| shard.cells.snapshot(slot))
     }
 
     /// Batched full-pipeline prediction for every reporting cell under one
-    /// described workload, fanned out across shard workers. Results are in
+    /// described workload, drained from the worker pool. Results are in
     /// shard order; pair order within a shard follows registration order.
     pub fn predict_all(&mut self, workload: WorkloadQuery) -> Vec<(CellId, f64)> {
         let micro_batch = self.config.micro_batch;
-        let registry = &self.registry;
-        let mut per_shard: Vec<Vec<(CellId, f64)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
-                .iter_mut()
-                // Shards with no reporting cells return an empty Vec by
-                // construction — skip their worker spawns.
-                .filter(|shard| shard.reporting > 0)
-                .map(|shard| {
-                    let model = registry.current();
-                    scope.spawn(move || shard.predict_all(&model, &workload, micro_batch))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
-        });
-        let total = per_shard.iter().map(Vec::len).sum();
-        let mut out = Vec::with_capacity(total);
-        for chunk in &mut per_shard {
-            out.append(chunk);
+        self.tick_tasks.clear();
+        for (idx, slot) in self.shards.iter_mut().enumerate() {
+            // Shards with no reporting cells return an empty Vec by
+            // construction — skip queueing them.
+            if slot.as_ref().is_some_and(|s| s.reporting > 0) {
+                self.tick_tasks
+                    .push((idx, slot.take().expect(Self::SHARD_LOST)));
+            }
         }
+        let panicked = self.pool.run(
+            JobKind::PredictAll {
+                workload,
+                micro_batch,
+            },
+            &mut self.tick_tasks,
+            &mut self.tick_done,
+        );
+        // Completion order is nondeterministic under concurrency; restore
+        // shard order for a stable public result.
+        self.tick_done.sort_unstable_by_key(|done| done.idx);
+        let total = self
+            .tick_done
+            .iter()
+            .map(|done| match &done.output {
+                TaskOutput::Predict(pairs) => pairs.len(),
+                TaskOutput::Process { .. } => 0,
+            })
+            .sum();
+        let mut out = Vec::with_capacity(total);
+        for done in self.tick_done.drain(..) {
+            if let TaskOutput::Predict(mut pairs) = done.output {
+                out.append(&mut pairs);
+            }
+            self.shards[done.idx] = Some(done.shard);
+        }
+        // Re-raise only after every surviving shard is checked back in.
+        assert!(!panicked, "shard task panicked during predict_all");
         out
     }
 
-    /// Batched prediction for an explicit set of cells under one workload.
-    /// Unknown or never-reporting cells yield `None` at their position.
+    /// Batched prediction for an explicit set of cells under one workload,
+    /// on the calling thread. Unknown or never-reporting cells yield `None`
+    /// at their position.
     pub fn predict_cells(&mut self, ids: &[CellId], workload: WorkloadQuery) -> Vec<Option<f64>> {
         let model = self.registry.current();
-        let mut queries = Vec::with_capacity(ids.len());
+        let mut rows: Vec<[f32; 3]> = Vec::with_capacity(ids.len());
         let mut positions = Vec::with_capacity(ids.len());
         for (pos, &id) in ids.iter().enumerate() {
-            let shard = &self.shards[self.shard_of(id)];
-            if let Some(&slot) = shard.index.get(&id) {
-                if let Some(latest) = shard.cells[slot].latest {
-                    queries.push(PredictQuery {
-                        voltage_v: latest.voltage_v,
-                        current_a: latest.current_a,
-                        temperature_c: latest.temperature_c,
-                        avg_current_a: workload.avg_current_a,
-                        avg_temperature_c: workload.avg_temperature_c,
-                        horizon_s: workload.horizon_s,
-                    });
+            let shard = self.shard(self.shard_of(id));
+            if let Some(slot) = shard.index.get(id) {
+                if shard.cells.reports[slot] > 0 {
+                    rows.push(model.branch1.features(
+                        shard.cells.voltage_v[slot],
+                        shard.cells.current_a[slot],
+                        shard.cells.temperature_c[slot],
+                    ));
                     positions.push(pos);
                 }
             }
         }
         let mut out = vec![None; ids.len()];
-        let mut predictions = Vec::with_capacity(queries.len());
-        let scratch = &mut self.shards[0].scratch;
-        for (batch, pos_batch) in queries
+        let mut predictions = Vec::with_capacity(positions.len().min(self.config.micro_batch));
+        for (row_batch, pos_batch) in rows
             .chunks(self.config.micro_batch)
             .zip(positions.chunks(self.config.micro_batch))
         {
+            self.features.reset_for_overwrite(row_batch.len(), 3);
+            for (r, row) in row_batch.iter().enumerate() {
+                self.features.row_mut(r).copy_from_slice(row);
+            }
             predictions.clear();
-            model.predict_batch_into(batch, scratch, &mut predictions);
+            model.predict_uniform_into(
+                &self.features,
+                workload.avg_current_a,
+                workload.avg_temperature_c,
+                workload.horizon_s,
+                &mut self.scratch,
+                &mut predictions,
+            );
             for (&pos, &p) in pos_batch.iter().zip(&predictions) {
                 out[pos] = Some(p);
             }
@@ -386,11 +529,24 @@ impl FleetEngine {
     /// Predicted seconds until empty for one cell at a constant discharge
     /// current.
     pub fn time_to_empty(&self, id: CellId, discharge_current_a: f64) -> Option<f64> {
-        let shard = &self.shards[self.shard_of(id)];
+        let shard = self.shard(self.shard_of(id));
         shard
             .index
-            .get(&id)
-            .and_then(|&slot| shard.cells[slot].time_to_empty_s(discharge_current_a))
+            .get(id)
+            .and_then(|slot| shard.cells.time_to_empty_s(slot, discharge_current_a))
+    }
+
+    /// Cumulative per-stage batch-pass times, summed over all shards since
+    /// construction or the last [`FleetEngine::reset_stage_times`]. The
+    /// bench harness uses this for the ingest/coalesce/GEMM/scatter
+    /// breakdown in `BENCH_fleet.json`.
+    pub fn stage_times(&self) -> StageTimes {
+        self.stage_times
+    }
+
+    /// Zeroes the cumulative stage times.
+    pub fn reset_stage_times(&mut self) {
+        self.stage_times = StageTimes::default();
     }
 
     /// Histogram of best-estimate SoC over reporting cells: `bins` equal
@@ -447,10 +603,11 @@ impl FleetEngine {
     }
 
     fn for_each_estimate(&self, mut f: impl FnMut(CellId, f64)) {
-        for shard in &self.shards {
-            for cell in &shard.cells {
-                if let Some((soc, _)) = cell.estimate() {
-                    f(cell.id, soc);
+        for idx in 0..self.shards.len() {
+            let shard = self.shard(idx);
+            for slot in 0..shard.cells.len() {
+                if let Some((soc, _)) = shard.cells.estimate(slot) {
+                    f(shard.cells.ids[slot], soc);
                 }
             }
         }
@@ -472,11 +629,18 @@ mod tests {
     }
 
     fn engine_with(cells: u64, shards: usize) -> FleetEngine {
+        engine_with_workers(cells, shards, 0)
+    }
+
+    /// Engine with an explicit worker-thread count, so the pool handoff is
+    /// exercised even on single-core test hosts (where auto = 0 workers).
+    fn engine_with_workers(cells: u64, shards: usize, workers: usize) -> FleetEngine {
         let mut engine = FleetEngine::new(
             untrained_model(),
             FleetConfig {
                 shards,
                 micro_batch: 8,
+                workers,
                 ekf_fallback: None,
             },
         );
@@ -516,6 +680,10 @@ mod tests {
             None,
             "never-reporting cell has no estimate"
         );
+        let snapshot = engine.cell(42).expect("registered");
+        assert_eq!(snapshot.id, 42);
+        assert_eq!(snapshot.reports, 1);
+        assert!(snapshot.network_estimate.is_some());
     }
 
     #[test]
@@ -550,7 +718,7 @@ mod tests {
         let model = engine.registry().current();
         for id in 0..50 {
             let (soc, _) = engine.estimate(id).unwrap();
-            // `CellEntry::estimate` clamps the raw regression output into
+            // `CellStore::estimate` clamps the raw regression output into
             // [0, 1] for fleet aggregates; compare against the clamped
             // scalar call. Raw batched-vs-scalar parity (unclamped) is
             // covered by the predict_batch tests here and in `pinnsoc`.
@@ -563,6 +731,81 @@ mod tests {
                 .clamp(0.0, 1.0);
             assert_eq!(soc.to_bits(), scalar.to_bits(), "cell {id}");
         }
+    }
+
+    #[test]
+    fn worker_pool_results_match_caller_only_processing() {
+        // The same fleet and telemetry processed with 0, 1, and 3 worker
+        // threads must produce identical state — the pool handoff cannot
+        // change results, only who computes them.
+        let feed = |engine: &mut FleetEngine| {
+            for id in 0..200u64 {
+                engine.ingest(
+                    id,
+                    Telemetry {
+                        time_s: 1.0,
+                        voltage_v: 3.1 + id as f64 * 0.004,
+                        current_a: id as f64 * 0.02,
+                        temperature_c: 18.0 + id as f64 * 0.05,
+                    },
+                );
+            }
+        };
+        let workload = WorkloadQuery {
+            avg_current_a: 2.0,
+            avg_temperature_c: 25.0,
+            horizon_s: 90.0,
+        };
+        type EngineResults = (Vec<(u64, f64)>, Vec<(CellId, f64)>);
+        let mut reference: Option<EngineResults> = None;
+        for workers in [0usize, 1, 3] {
+            let mut engine = engine_with_workers(200, 5, workers);
+            assert_eq!(engine.worker_threads(), workers);
+            feed(&mut engine);
+            let (absorbed, estimated) = engine.process_pending();
+            assert_eq!((absorbed, estimated), (200, 200), "workers={workers}");
+            let estimates: Vec<(u64, f64)> = (0..200u64)
+                .map(|id| (id, engine.estimate(id).unwrap().0))
+                .collect();
+            let predictions = engine.predict_all(workload);
+            match &reference {
+                None => reference = Some((estimates, predictions)),
+                Some((ref_est, ref_pred)) => {
+                    for ((id_a, a), (id_b, b)) in ref_est.iter().zip(&estimates) {
+                        assert_eq!(id_a, id_b);
+                        assert_eq!(a.to_bits(), b.to_bits(), "workers={workers} cell {id_a}");
+                    }
+                    assert_eq!(ref_pred.len(), predictions.len());
+                    for ((id_a, a), (id_b, b)) in ref_pred.iter().zip(&predictions) {
+                        assert_eq!(id_a, id_b, "workers={workers}: prediction order");
+                        assert_eq!(a.to_bits(), b.to_bits(), "workers={workers} cell {id_a}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_ticks_reuse_pool_without_leaking_shards() {
+        let mut engine = engine_with_workers(64, 4, 2);
+        let workload = WorkloadQuery {
+            avg_current_a: 1.0,
+            avg_temperature_c: 25.0,
+            horizon_s: 60.0,
+        };
+        for tick in 1..=20 {
+            for id in 0..64u64 {
+                engine.ingest(id, telemetry(tick as f64));
+            }
+            let (absorbed, estimated) = engine.process_pending();
+            assert_eq!((absorbed, estimated), (64, 64), "tick {tick}");
+            assert_eq!(engine.predict_all(workload).len(), 64, "tick {tick}");
+        }
+        // All shards are back in place for direct access.
+        assert_eq!(engine.len(), 64);
+        assert!(engine.stage_times().total() > Duration::ZERO);
+        engine.reset_stage_times();
+        assert_eq!(engine.stage_times(), StageTimes::default());
     }
 
     #[test]
@@ -634,11 +877,10 @@ mod tests {
             FleetConfig {
                 shards: 2,
                 micro_batch: 16,
+                workers: 0,
                 ekf_fallback: None,
             },
         );
-        // Skip the network: drive estimates through Coulomb by never
-        // processing (estimate falls back to the integrator).
         for id in 0..10 {
             engine.register(
                 id,
@@ -657,10 +899,6 @@ mod tests {
                 },
             );
         }
-        // Absorb telemetry without running the network pass: ingest puts it
-        // in the queue; drain through process_pending (which also runs the
-        // network — fine, but we want Coulomb). Instead check aggregates on
-        // network estimates directly.
         engine.process_pending();
         let histogram = engine.soc_histogram(5);
         assert_eq!(histogram.iter().sum::<usize>(), 10);
@@ -682,6 +920,20 @@ mod tests {
         let tte = engine.time_to_empty(0, 3.0).unwrap();
         assert!((tte - soc * 3600.0 * 3.0 / 3.0).abs() < 1e-9);
         assert_eq!(engine.time_to_empty(1, 3.0), None, "no telemetry yet");
+    }
+
+    #[test]
+    fn stage_times_cover_all_pipeline_stages() {
+        let mut engine = engine_with(500, 2);
+        for id in 0..500u64 {
+            engine.ingest(id, telemetry(1.0));
+        }
+        engine.process_pending();
+        let stages = engine.stage_times();
+        // Every stage ran; on fast hosts an individual stage can round to
+        // zero, but the total cannot.
+        assert!(stages.total() > Duration::ZERO);
+        assert!(stages.total() >= stages.gemm);
     }
 
     #[test]

@@ -8,18 +8,29 @@
 //! of cells concurrently. This crate turns the reproduction into that
 //! serving layer:
 //!
-//! - [`FleetEngine`] owns per-cell state ([`CellEntry`]: latest telemetry, a
-//!   running [`pinnsoc_battery::CoulombCounter`], and an optional
-//!   [`pinnsoc_battery::EkfEstimator`] fallback) sharded across workers.
-//! - Telemetry ingestion is coalesced into fixed-size **micro-batches**, and
-//!   every micro-batch runs through [`pinnsoc::SocModel::predict_batch_into`]
-//!   — one GEMM per layer per batch instead of one tiny GEMM per cell.
+//! - [`FleetEngine`] owns per-cell state in structure-of-arrays shards
+//!   ([`CellStore`]: latest telemetry split by field, a running
+//!   [`pinnsoc_battery::CoulombCounter`], and an optional
+//!   [`pinnsoc_battery::EkfEstimator`] fallback per cell), so batch
+//!   assembly gathers features from contiguous arrays and scatters results
+//!   back with linear writes.
+//! - Batch passes run on a **persistent worker pool**: workers park between
+//!   ticks and wake through an epoch/condvar handoff; the calling thread
+//!   participates in draining the shard queue, so a single-core host runs
+//!   the whole pass inline with zero thread spawns and zero steady-state
+//!   allocations per tick.
+//! - Telemetry ingestion is coalesced into fixed-size **micro-batches**,
+//!   each running through the fused batched forward paths
+//!   ([`pinnsoc::SocModel::estimate_features_into`] /
+//!   [`pinnsoc::SocModel::predict_uniform_into`]) — one fused GEMM per
+//!   layer per batch instead of one tiny GEMM per cell.
 //! - [`ModelRegistry`] hot-swaps trained models (loaded via
 //!   `pinnsoc-nn::persist`) without stalling in-flight readers: workers pin
-//!   an `Arc` snapshot per batch, so a swap lands at the next batch
-//!   boundary.
+//!   an `Arc` snapshot per pass, so a swap lands at the next pass.
 //! - Fleet-level queries: SoC histograms, cells below a threshold, and
-//!   per-cell predicted time-to-empty.
+//!   per-cell predicted time-to-empty. Per-stage timing
+//!   ([`StageTimes`]: coalesce / gather / GEMM / scatter) backs the bench
+//!   harness's breakdown.
 //!
 //! ## Quick example
 //!
@@ -41,11 +52,13 @@
 
 pub mod cell;
 pub mod engine;
+mod id_index;
+mod pool;
 pub mod registry;
 pub mod telemetry;
 
-pub use cell::{CellConfig, CellEntry, SocEstimate};
-pub use engine::{FleetConfig, FleetEngine, FleetStats, WorkloadQuery};
+pub use cell::{CellConfig, CellSnapshot, CellStore, SocEstimate};
+pub use engine::{FleetConfig, FleetEngine, FleetStats, StageTimes, WorkloadQuery};
 pub use registry::ModelRegistry;
 pub use telemetry::{CellId, Telemetry};
 

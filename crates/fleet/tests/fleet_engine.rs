@@ -78,6 +78,9 @@ fn thousand_cell_fleet_tracks_ground_truth_coulomb_soc() {
         FleetConfig {
             shards: 8,
             micro_batch: 128,
+            // Force real worker threads so the persistent-pool handoff is
+            // exercised even on single-core test hosts.
+            workers: 2,
             ekf_fallback: None,
         },
     );
@@ -150,7 +153,7 @@ fn thousand_cell_fleet_tracks_ground_truth_coulomb_soc() {
     for (id, sim) in sims.iter().enumerate() {
         let truth = sim.state().soc.value();
         let entry = engine.cell(id as u64).expect("registered");
-        let coulomb = entry.coulomb.soc().value();
+        let coulomb = entry.coulomb_soc;
         assert!(
             (coulomb - truth).abs() < 1e-9,
             "cell {id}: coulomb {coulomb} vs truth {truth}"
@@ -200,6 +203,7 @@ fn hundred_thousand_cells_single_pass() {
         FleetConfig {
             shards: 8,
             micro_batch: 1024,
+            workers: 0,
             ekf_fallback: None,
         },
     );

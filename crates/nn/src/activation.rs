@@ -28,6 +28,7 @@ impl Activation {
     }
 
     /// Applies the activation to a scalar.
+    #[inline(always)]
     pub fn apply(self, x: f32) -> f32 {
         match self {
             Activation::Relu => x.max(0.0),

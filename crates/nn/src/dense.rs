@@ -2,9 +2,10 @@
 
 use crate::activation::Activation;
 use crate::init::Init;
-use crate::matrix::Matrix;
+use crate::matrix::{Matrix, PackedWeights};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// A fully-connected layer `y = σ(x·W + b)`.
 ///
@@ -36,12 +37,26 @@ pub struct Dense {
     grad_bias: Vec<f32>,
     #[serde(skip)]
     cache: Option<Cache>,
+    /// Lazily packed weight panels for [`Dense::forward_batch_fused`].
+    /// Invalidated (taken) whenever the weights can change — the serving
+    /// path packs once per trained model and reuses it for every batch.
+    #[serde(skip)]
+    packed: OnceLock<PackedWeights>,
 }
 
 #[derive(Debug, Clone)]
 struct Cache {
     input: Matrix,
     pre_activation: Matrix,
+}
+
+impl Cache {
+    fn empty() -> Self {
+        Self {
+            input: Matrix::zeros(1, 1),
+            pre_activation: Matrix::zeros(1, 1),
+        }
+    }
 }
 
 impl Dense {
@@ -60,6 +75,7 @@ impl Dense {
             grad_weight: None,
             grad_bias: vec![0.0; fan_out],
             cache: None,
+            packed: OnceLock::new(),
         }
     }
 
@@ -79,6 +95,7 @@ impl Dense {
             grad_weight: None,
             grad_bias: vec![0.0; fan_out],
             cache: None,
+            packed: OnceLock::new(),
         }
     }
 
@@ -126,17 +143,24 @@ impl Dense {
     pub fn scale_weights(&mut self, factor: f32) {
         assert!(factor.is_finite(), "scale factor must be finite");
         self.weight.map_inplace(|w| w * factor);
+        self.packed.take();
     }
 
     /// Forward pass; caches activations for a subsequent [`Dense::backward`].
+    ///
+    /// The cached input and pre-activation reuse the same buffers across
+    /// training steps (copy-in instead of clone), so steady-state training
+    /// allocates only the returned output per layer.
     pub fn forward(&mut self, input: &Matrix) -> Matrix {
-        let pre = input.matmul(&self.weight).add_row_broadcast(&self.bias);
-        let out = self.activation.forward(&pre);
-        self.cache = Some(Cache {
-            input: input.clone(),
-            pre_activation: pre,
-        });
-        out
+        let cache = self.cache.get_or_insert_with(Cache::empty);
+        cache.input.copy_from(input);
+        input.matmul_into(&self.weight, &mut cache.pre_activation);
+        for r in 0..cache.pre_activation.rows() {
+            for (x, &b) in cache.pre_activation.row_mut(r).iter_mut().zip(&self.bias) {
+                *x += b;
+            }
+        }
+        self.activation.forward(&cache.pre_activation)
     }
 
     /// Forward pass without caching (inference-only, avoids the clone).
@@ -155,11 +179,9 @@ impl Dense {
     /// bias-and-activation sweep. No allocation once `out` has capacity.
     ///
     /// This is a separate implementation from [`Dense::infer`]'s allocating
-    /// pipeline, but both compute `σ((x·W) + b)` with the GEMM accumulating
-    /// each row independently in ascending-`k` order, so per-row results
-    /// are bit-exact across the two paths and across batch heights (the
-    /// parity tests in this crate and in `pinnsoc`/`pinnsoc-fleet` enforce
-    /// this — keep both paths in sync when changing either).
+    /// pipeline, but per-row results are bit-exact across the two paths and
+    /// across batch heights — see the [bit-exactness
+    /// contract](crate#bit-exactness-contract).
     ///
     /// # Panics
     ///
@@ -172,6 +194,26 @@ impl Dense {
                 *x = act.apply(*x + b);
             }
         }
+    }
+
+    /// Batched inference through the fused GEMM epilogue: one kernel
+    /// computes `σ((x·W) + b)` directly from packed weight panels
+    /// ([`PackedWeights`], built lazily on first use and reused until the
+    /// weights change), applying bias and activation while the accumulators
+    /// are still in registers.
+    ///
+    /// Bit-exact with [`Dense::forward_batch`] and [`Dense::infer`] per the
+    /// [bit-exactness contract](crate#bit-exactness-contract); the parity
+    /// proptests in this crate enforce it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.cols() != self.fan_in()`.
+    pub fn forward_batch_fused(&self, input: &Matrix, out: &mut Matrix) {
+        let packed = self
+            .packed
+            .get_or_init(|| PackedWeights::pack(&self.weight));
+        input.matmul_bias_act_into(packed, &self.bias, self.activation, out);
     }
 
     /// Backward pass: consumes `dL/dy`, accumulates `dL/dW`, `dL/db`, and
@@ -212,6 +254,9 @@ impl Dense {
     /// (weights first, then biases). Optimizers rely on this ordering to
     /// associate their per-parameter state.
     pub fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        // The visitor gets mutable parameter access (optimizer steps), so
+        // any packed snapshot of the weights is stale after this.
+        self.packed.take();
         let grad_w = self
             .grad_weight
             .get_or_insert_with(|| Matrix::zeros(self.weight.rows(), self.weight.cols()));
@@ -307,6 +352,78 @@ mod tests {
         let mut out = Matrix::zeros(1, 1);
         l.forward_batch(&x, &mut out);
         assert_eq!(out, l.infer(&x));
+    }
+
+    #[test]
+    fn forward_batch_fused_matches_forward_batch_bitwise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for (fan_in, fan_out, act) in [
+            (3usize, 16usize, Activation::Relu),
+            (16, 32, Activation::Relu),
+            (32, 16, Activation::Tanh),
+            (16, 1, Activation::Identity),
+            (5, 37, Activation::LeakyRelu),
+        ] {
+            let l = Dense::new(fan_in, fan_out, act, Init::HeNormal, &mut rng);
+            let x = Matrix::from_vec(
+                6,
+                fan_in,
+                (0..6 * fan_in).map(|i| (i as f32 * 0.23).sin()).collect(),
+            );
+            let mut plain = Matrix::zeros(1, 1);
+            let mut fused = Matrix::zeros(1, 1);
+            l.forward_batch(&x, &mut plain);
+            l.forward_batch_fused(&x, &mut fused);
+            assert_eq!(plain.shape(), fused.shape());
+            for (p, f) in plain.as_slice().iter().zip(fused.as_slice()) {
+                assert_eq!(p.to_bits(), f.to_bits(), "{fan_in}->{fan_out} {act:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_packed_cache_invalidated_on_weight_mutation() {
+        let mut l = tiny_layer();
+        let x = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let mut out = Matrix::zeros(1, 1);
+        l.forward_batch_fused(&x, &mut out);
+        let before = out.clone();
+        l.scale_weights(2.0);
+        l.forward_batch_fused(&x, &mut out);
+        assert_ne!(out, before, "stale packed weights served after scale");
+        assert_eq!(out, l.infer(&x));
+        // Optimizer-style mutation through visit_params must also repack.
+        l.visit_params(&mut |p, _g| {
+            for w in p.iter_mut() {
+                *w += 0.25;
+            }
+        });
+        l.forward_batch_fused(&x, &mut out);
+        assert_eq!(out, l.infer(&x));
+    }
+
+    #[test]
+    fn forward_cache_reuse_keeps_backward_correct_across_batch_sizes() {
+        // The cache buffers are reused across steps; gradients after a
+        // larger-then-smaller batch sequence must match a fresh layer's.
+        let x_big = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let g_big = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.5, 0.5]]);
+        let x_small = Matrix::from_rows(&[&[2.0, -1.0]]);
+        let g_small = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let mut reused = tiny_layer();
+        let _ = reused.forward(&x_big);
+        let _ = reused.backward(&g_big);
+        reused.zero_grad();
+        let _ = reused.forward(&x_small);
+        let dx_reused = reused.backward(&g_small);
+        let mut fresh = tiny_layer();
+        let _ = fresh.forward(&x_small);
+        let dx_fresh = fresh.backward(&g_small);
+        assert_eq!(dx_reused, dx_fresh);
+        let mut grads = (Vec::new(), Vec::new());
+        reused.visit_params(&mut |_p, g| grads.0.push(g.to_vec()));
+        fresh.visit_params(&mut |_p, g| grads.1.push(g.to_vec()));
+        assert_eq!(grads.0, grads.1);
     }
 
     #[test]

@@ -10,6 +10,33 @@
 //! speed: plain `f32` matrices, explicit backpropagation, and
 //! finite-difference gradient checking for every layer type.
 //!
+//! ## Bit-exactness contract
+//!
+//! The workspace serves the same model through several pipelines — scalar
+//! [`Mlp::infer`], batched [`Mlp::forward_batch`], and the fused
+//! packed-weight path [`Mlp::forward_batch_fused`] — and the serving layers
+//! (`pinnsoc`, `pinnsoc-fleet`) promise that all of them return **bitwise
+//! identical** results per row. That promise rests on three invariants,
+//! which every kernel in this crate must preserve:
+//!
+//! 1. **Ascending-`k` accumulation.** Each output element of a GEMM is the
+//!    sum `Σ_k a[i,k]·b[k,j]` accumulated in ascending `k` order, one `f32`
+//!    add per step, regardless of tile size, batch height, row blocking, or
+//!    weight packing. Float addition is not associative, so any reordering
+//!    (tree reductions, SIMD shuffles, `mul_add`) would break parity.
+//! 2. **Row independence.** A row's result never depends on which other
+//!    rows share its batch; batching is purely a storage/layout concern.
+//! 3. **Epilogue equivalence.** Bias and activation are applied to the
+//!    fully accumulated sum as `act(acc + bias)` — whether as a separate
+//!    elementwise pass ([`Matrix::matmul_into`] + sweep) or inside the
+//!    fused epilogue ([`Matrix::matmul_bias_act_into`]), the arithmetic per
+//!    element is identical.
+//!
+//! Enforced by unit tests in [`matrix`], [`dense`], and [`mlp`], parity
+//! proptests in `tests/proptest_nn.rs`, and the batched-vs-scalar tests in
+//! `pinnsoc` and `pinnsoc-fleet`. When touching any forward path, keep all
+//! pipelines in sync or the fleet parity suite will fail.
+//!
 //! ## What's inside
 //!
 //! - [`matrix::Matrix`] — dense row-major `f32` matrix with shape-checked ops.
@@ -64,7 +91,7 @@ pub use gradcheck::{check_mlp_gradients, GradCheckReport};
 pub use init::Init;
 pub use loss::{mae, max_abs_error, rmse, Loss};
 pub use lstm::Lstm;
-pub use matrix::Matrix;
+pub use matrix::{Matrix, PackedWeights};
 pub use mlp::{InferScratch, Mlp};
 pub use optim::{Adam, LrSchedule, Optimizer, Sgd, Trainable};
 pub use persist::{load_json, save_json, PersistError};

@@ -6,6 +6,7 @@
 //! on every operation. All layouts are row-major, batch-first: a batch of `b`
 //! samples with `f` features is a `b × f` matrix.
 
+use crate::activation::Activation;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -13,8 +14,9 @@ use std::fmt;
 /// registers over the whole depth and stores each element once. `lhs` holds
 /// the IB-row block (row-major, `IB × depth`), `out` the matching
 /// `IB × n` output block. Per output element the additions happen in
-/// ascending-`k` order, independent of `IB`/`JB` — the bit-parity
-/// guarantee every tile size shares.
+/// ascending-`k` order, independent of `IB`/`JB` — part of the
+/// [bit-exactness contract](crate#bit-exactness-contract) every tile size
+/// shares.
 #[inline(always)]
 fn micro_tile<const IB: usize, const JB: usize>(
     lhs: &[f32],
@@ -72,6 +74,171 @@ fn gemm_row_block<const IB: usize>(
                 acc += lhs[r * depth + k] * rhs[k * n + j];
             }
             out[r * n + j] = acc;
+        }
+    }
+}
+
+/// One column panel of a [`PackedWeights`] layout: `width` output columns
+/// starting at `j0`, stored k-major (`panel[k * width + j]`) at `offset`
+/// into the packed buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Panel {
+    j0: u32,
+    width: u32,
+    offset: u32,
+}
+
+/// A GEMM right-hand side repacked into contiguous column panels matching
+/// the micro-tile sweep (32 → 16 → 8 columns → tail).
+///
+/// In the row-major layout, a `JB`-column micro-tile reads `JB` values at
+/// stride `n` per depth step; packing stores each panel's `depth × width`
+/// block contiguously (k-major), so the fused kernels stream the weights
+/// linearly regardless of the full matrix width. Packing only reorders
+/// storage — each output element still accumulates the identical products
+/// in ascending-`k` order, so results stay bit-exact with the row-major
+/// kernels (see the [bit-exactness
+/// contract](crate#bit-exactness-contract)).
+///
+/// # Examples
+///
+/// ```
+/// use pinnsoc_nn::matrix::{Matrix, PackedWeights};
+/// use pinnsoc_nn::Activation;
+///
+/// let w = Matrix::from_rows(&[&[1.0, -1.0], &[0.5, 2.0]]);
+/// let packed = PackedWeights::pack(&w);
+/// let x = Matrix::from_rows(&[&[1.0, 1.0]]);
+/// let mut out = Matrix::zeros(1, 1);
+/// x.matmul_bias_act_into(&packed, &[0.0, 0.0], Activation::Identity, &mut out);
+/// assert_eq!(out, x.matmul(&w));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedWeights {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+    panels: Vec<Panel>,
+}
+
+impl PackedWeights {
+    /// Repacks `weight` (a `fan_in × fan_out` GEMM right-hand side) into
+    /// column panels.
+    pub fn pack(weight: &Matrix) -> Self {
+        let (rows, cols) = weight.shape();
+        let mut panels = Vec::new();
+        let mut data = Vec::with_capacity(rows * cols);
+        let mut j0 = 0usize;
+        // Panel widths mirror the `gemm_row_block` column sweep exactly, so
+        // the fused kernels tile the output identically.
+        while j0 < cols {
+            let width = match cols - j0 {
+                w if w >= 32 => 32,
+                w if w >= 16 => 16,
+                w if w >= 8 => 8,
+                w => w,
+            };
+            panels.push(Panel {
+                j0: j0 as u32,
+                width: width as u32,
+                offset: data.len() as u32,
+            });
+            for k in 0..rows {
+                data.extend_from_slice(&weight.row(k)[j0..j0 + width]);
+            }
+            j0 += width;
+        }
+        Self {
+            rows,
+            cols,
+            data,
+            panels,
+        }
+    }
+
+    /// Fan-in of the packed weight (GEMM depth).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Fan-out of the packed weight (GEMM output width).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
+/// Packed-panel micro-tile: accumulates `IB × JB` outputs in registers
+/// (ascending-`k`, like [`micro_tile`]) and stores each raw sum once. The
+/// `chunks_exact` iteration hands the optimizer a provably-JB-long weight
+/// slice per depth step, so the loop vectorizes like the row-major kernel
+/// while streaming the packed panel linearly.
+#[inline(always)]
+fn micro_tile_packed<const IB: usize, const JB: usize>(
+    lhs: &[f32],
+    depth: usize,
+    panel: &[f32],
+    n: usize,
+    out: &mut [f32],
+    j0: usize,
+) {
+    let mut acc = [[0.0f32; JB]; IB];
+    for (k, b) in panel.chunks_exact(JB).take(depth).enumerate() {
+        let b: &[f32; JB] = b.try_into().expect("chunk has JB elements");
+        for (r, acc_r) in acc.iter_mut().enumerate() {
+            let a = lhs[r * depth + k];
+            for (acc_l, &b_l) in acc_r.iter_mut().zip(b) {
+                *acc_l += a * b_l;
+            }
+        }
+    }
+    for (r, acc_r) in acc.iter().enumerate() {
+        out[r * n + j0..r * n + j0 + JB].copy_from_slice(acc_r);
+    }
+}
+
+/// Fused column sweep of one IB-row block over all packed panels, with the
+/// bias-and-activation epilogue applied to the whole `IB × n` block right
+/// after its GEMM — while it is still L1-resident — instead of as a second
+/// full-matrix pass. Each output element is written as its raw ascending-`k`
+/// sum and then rewritten once as `act(sum + bias)`: the identical
+/// arithmetic to the unfused `GEMM → sweep` pipeline, per the
+/// [bit-exactness contract](crate#bit-exactness-contract).
+#[inline(always)]
+fn gemm_row_block_fused<const IB: usize, F: Fn(f32) -> f32 + Copy>(
+    lhs: &[f32],
+    depth: usize,
+    packed: &PackedWeights,
+    out: &mut [f32],
+    bias: &[f32],
+    act: F,
+) {
+    let n = packed.cols;
+    for panel in &packed.panels {
+        let j0 = panel.j0 as usize;
+        let width = panel.width as usize;
+        let data = &packed.data[panel.offset as usize..panel.offset as usize + depth * width];
+        match width {
+            32 => micro_tile_packed::<IB, 32>(lhs, depth, data, n, out, j0),
+            16 => micro_tile_packed::<IB, 16>(lhs, depth, data, n, out, j0),
+            8 => micro_tile_packed::<IB, 8>(lhs, depth, data, n, out, j0),
+            _ => {
+                // Narrow tail panel (< 8 columns): scalar per column, still
+                // ascending-`k` per output element.
+                for jj in 0..width {
+                    for r in 0..IB {
+                        let mut acc = 0.0f32;
+                        for k in 0..depth {
+                            acc += lhs[r * depth + k] * data[k * width + jj];
+                        }
+                        out[r * n + j0 + jj] = acc;
+                    }
+                }
+            }
+        }
+    }
+    for r in 0..IB {
+        for (o, &b) in out[r * n..r * n + n].iter_mut().zip(bias) {
+            *o = act(*o + b);
         }
     }
 }
@@ -274,6 +441,26 @@ impl Matrix {
         self.cols = cols;
     }
 
+    /// Reshapes without zeroing, for callers that assign every element
+    /// before reading any (batch-assembly buffers in the serving hot path).
+    /// Existing contents become **unspecified** (stale values from earlier
+    /// uses); newly grown capacity is still zero-filled (no `unsafe` in
+    /// this crate). A steady-state reuse at the same size is free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn reset_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.reshape_for_overwrite(rows, cols);
+    }
+
+    /// Reuses this matrix's buffer as `src`'s shape and copies `src` in —
+    /// an allocation-free `clone_from` for cache buffers.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.reshape_for_overwrite(src.rows, src.cols);
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Reshapes without zeroing, for kernels that assign every element.
     /// Newly grown capacity is still zero-filled (no `unsafe` in this
     /// crate); a steady-state reuse at the same size is free.
@@ -300,10 +487,11 @@ impl Matrix {
         out
     }
 
-    /// Matrix product `self · rhs` written into `out` (resized and zeroed
-    /// first), avoiding the allocation of [`Matrix::matmul`]. Accumulation
-    /// order is identical to `matmul`, so results are bit-exact between the
-    /// two paths.
+    /// Matrix product `self · rhs` written into `out` (resized first),
+    /// avoiding the allocation of [`Matrix::matmul`]. Accumulation order is
+    /// identical to `matmul`, so results are bit-exact between the two
+    /// paths (see the [bit-exactness
+    /// contract](crate#bit-exactness-contract)).
     ///
     /// # Panics
     ///
@@ -341,6 +529,99 @@ impl Matrix {
                 &rhs.data,
                 n,
                 &mut out.data[i * n..(i + 1) * n],
+            );
+            i += 1;
+        }
+    }
+
+    /// Fused dense-layer forward: `out = act(self · packed + bias)` in one
+    /// kernel — the GEMM epilogue applies the bias and activation while the
+    /// accumulators are still in registers, eliminating the separate
+    /// bias-and-activation sweep over the output (`out` is resized first;
+    /// every element is assigned exactly once).
+    ///
+    /// Accumulation order per output element is identical to
+    /// [`Matrix::matmul_into`] followed by an elementwise
+    /// `act(x + bias)` pass, so the two pipelines are bit-exact — see the
+    /// [bit-exactness contract](crate#bit-exactness-contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != packed.rows()` or
+    /// `bias.len() != packed.cols()`.
+    pub fn matmul_bias_act_into(
+        &self,
+        packed: &PackedWeights,
+        bias: &[f32],
+        act: Activation,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(
+            self.cols,
+            packed.rows(),
+            "matmul_bias_act_into shape mismatch: {}x{} · {}x{}",
+            self.rows,
+            self.cols,
+            packed.rows(),
+            packed.cols()
+        );
+        assert_eq!(bias.len(), packed.cols(), "bias length must equal fan_out");
+        // Dispatch on the activation once, monomorphizing the whole kernel
+        // per variant: a runtime `Activation` in the epilogue's inner loop
+        // would leave a 5-way branch per output element (LLVM refuses to
+        // unswitch across the `tanh`/`exp` arms), costing ~10× on the wide
+        // tiles. `Activation::apply` on the matching scalar stays the
+        // source of truth for each variant's arithmetic.
+        match act {
+            Activation::Relu => {
+                self.fused_gemm_impl(packed, bias, out, |x| Activation::Relu.apply(x))
+            }
+            Activation::Tanh => {
+                self.fused_gemm_impl(packed, bias, out, |x| Activation::Tanh.apply(x))
+            }
+            Activation::Sigmoid => {
+                self.fused_gemm_impl(packed, bias, out, |x| Activation::Sigmoid.apply(x))
+            }
+            Activation::Identity => {
+                self.fused_gemm_impl(packed, bias, out, |x| Activation::Identity.apply(x))
+            }
+            Activation::LeakyRelu => {
+                self.fused_gemm_impl(packed, bias, out, |x| Activation::LeakyRelu.apply(x))
+            }
+        }
+    }
+
+    fn fused_gemm_impl<F: Fn(f32) -> f32 + Copy>(
+        &self,
+        packed: &PackedWeights,
+        bias: &[f32],
+        out: &mut Matrix,
+        act: F,
+    ) {
+        let n = packed.cols();
+        let depth = self.cols;
+        out.reshape_for_overwrite(self.rows, n);
+        const IB: usize = 4;
+        let mut i = 0;
+        while i + IB <= self.rows {
+            gemm_row_block_fused::<IB, F>(
+                &self.data[i * depth..(i + IB) * depth],
+                depth,
+                packed,
+                &mut out.data[i * n..(i + IB) * n],
+                bias,
+                act,
+            );
+            i += IB;
+        }
+        while i < self.rows {
+            gemm_row_block_fused::<1, F>(
+                &self.data[i * depth..(i + 1) * depth],
+                depth,
+                packed,
+                &mut out.data[i * n..(i + 1) * n],
+                bias,
+                act,
             );
             i += 1;
         }
@@ -741,6 +1022,69 @@ mod tests {
         let c = Matrix::identity(2);
         c.matmul_into(&b, &mut out);
         assert_eq!(out, b);
+    }
+
+    #[test]
+    fn packed_fused_matches_unfused_pipeline_bitwise() {
+        // Widths that exercise every tile path: 32-panel, 16, 8, and the
+        // scalar tail, plus row counts around the 4-row block boundary.
+        for &(m, k, n) in &[
+            (1usize, 3usize, 16usize),
+            (4, 16, 32),
+            (5, 32, 16),
+            (7, 16, 1),
+            (9, 5, 40),
+            (3, 8, 37),
+            (6, 4, 7),
+        ] {
+            let a = Matrix::from_vec(
+                m,
+                k,
+                (0..m * k).map(|i| (i as f32 * 0.37).sin() * 2.0).collect(),
+            );
+            let w = Matrix::from_vec(
+                k,
+                n,
+                (0..k * n).map(|i| (i as f32 * 0.11).cos() * 1.5).collect(),
+            );
+            let bias: Vec<f32> = (0..n).map(|i| (i as f32 * 0.71).sin()).collect();
+            let packed = PackedWeights::pack(&w);
+            assert_eq!((packed.rows(), packed.cols()), (k, n));
+            for act in [
+                Activation::Relu,
+                Activation::Tanh,
+                Activation::Identity,
+                Activation::LeakyRelu,
+            ] {
+                let mut fused = Matrix::zeros(1, 1);
+                a.matmul_bias_act_into(&packed, &bias, act, &mut fused);
+                let mut reference = a.matmul(&w).add_row_broadcast(&bias);
+                reference.map_inplace(|x| act.apply(x));
+                assert_eq!(fused.shape(), reference.shape());
+                for (f, r) in fused.as_slice().iter().zip(reference.as_slice()) {
+                    assert_eq!(f.to_bits(), r.to_bits(), "{m}x{k}x{n} {act:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_bias_act_into shape mismatch")]
+    fn fused_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let packed = PackedWeights::pack(&Matrix::zeros(4, 2));
+        let mut out = Matrix::zeros(1, 1);
+        a.matmul_bias_act_into(&packed, &[0.0, 0.0], Activation::Identity, &mut out);
+    }
+
+    #[test]
+    fn copy_from_and_reset_for_overwrite_reuse_buffers() {
+        let src = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let mut dst = Matrix::zeros(5, 7);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        dst.reset_for_overwrite(1, 3);
+        assert_eq!(dst.shape(), (1, 3));
     }
 
     #[test]

@@ -1,13 +1,36 @@
 //! Property-based tests for the NN substrate: algebraic identities of the
-//! matrix kernels and analytic properties of activations and losses.
+//! matrix kernels, analytic properties of activations and losses, and the
+//! bit-exactness contract across the scalar / batched / fused inference
+//! pipelines (see the `pinnsoc_nn` crate docs).
 
-use pinnsoc_nn::{Activation, Loss, Matrix};
+use pinnsoc_nn::matrix::PackedWeights;
+use pinnsoc_nn::{Activation, Dense, InferScratch, Init, Loss, Matrix, Mlp};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Strategy: a matrix of the given shape with bounded entries.
 fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(-10.0f32..10.0, rows * cols)
         .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Strategy: a matrix with *random* shape within the given bounds.
+fn sized_matrix(
+    rows: impl Strategy<Value = usize>,
+    cols: impl Strategy<Value = usize>,
+) -> impl Strategy<Value = Matrix> {
+    (rows, cols).prop_flat_map(|(r, c)| matrix(r, c))
+}
+
+fn any_activation() -> impl Strategy<Value = Activation> {
+    prop_oneof![
+        Just(Activation::Relu),
+        Just(Activation::Tanh),
+        Just(Activation::Sigmoid),
+        Just(Activation::Identity),
+        Just(Activation::LeakyRelu),
+    ]
 }
 
 fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
@@ -87,6 +110,110 @@ proptest! {
         for (out_row, &src) in idx.iter().enumerate() {
             prop_assert_eq!(g.row(out_row), a.row(src));
         }
+    }
+
+    /// Bit-exactness contract, kernel level: the fused packed-weight GEMM
+    /// must reproduce `matmul → bias broadcast → activation` bit-for-bit
+    /// across random shapes (covering every tile width incl. tails) and
+    /// activations.
+    #[test]
+    fn fused_gemm_bitwise_matches_unfused_pipeline(
+        x in sized_matrix(1usize..12, 1usize..24),
+        fan_out in 1usize..40,
+        bias_seed in -3.0f32..3.0,
+        act in any_activation(),
+    ) {
+        let k = x.cols();
+        let w = Matrix::from_vec(
+            k,
+            fan_out,
+            (0..k * fan_out).map(|i| ((i as f32) * 0.37 + bias_seed).sin()).collect(),
+        );
+        let bias: Vec<f32> = (0..fan_out).map(|i| (i as f32 * 0.19 - bias_seed).cos()).collect();
+        let packed = PackedWeights::pack(&w);
+        let mut fused = Matrix::zeros(1, 1);
+        x.matmul_bias_act_into(&packed, &bias, act, &mut fused);
+        let mut reference = x.matmul(&w).add_row_broadcast(&bias);
+        reference.map_inplace(|v| act.apply(v));
+        prop_assert_eq!(fused.shape(), reference.shape());
+        for (f, r) in fused.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert_eq!(f.to_bits(), r.to_bits(), "{} vs {}", f, r);
+        }
+    }
+
+    /// Bit-exactness contract, layer level: `infer`, `forward_batch`, and
+    /// `forward_batch_fused` agree bit-exactly per row across random layer
+    /// shapes, batch heights, and activations.
+    #[test]
+    fn dense_pipelines_bitwise_agree(
+        fan_in in 1usize..20,
+        fan_out in 1usize..40,
+        batch in 1usize..12,
+        seed in 0u64..1000,
+        act in any_activation(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layer = Dense::new(fan_in, fan_out, act, Init::HeNormal, &mut rng);
+        let x = Matrix::from_vec(
+            batch,
+            fan_in,
+            (0..batch * fan_in).map(|i| (i as f32 * 0.29 + seed as f32).sin() * 2.0).collect(),
+        );
+        let scalar_rows: Vec<Matrix> = (0..batch)
+            .map(|r| layer.infer(&Matrix::row_vector(x.row(r))))
+            .collect();
+        let mut batched = Matrix::zeros(1, 1);
+        layer.forward_batch(&x, &mut batched);
+        let mut fused = Matrix::zeros(1, 1);
+        layer.forward_batch_fused(&x, &mut fused);
+        prop_assert_eq!(batched.shape(), (batch, fan_out));
+        prop_assert_eq!(fused.shape(), (batch, fan_out));
+        for r in 0..batch {
+            for c in 0..fan_out {
+                let s = scalar_rows[r][(0, c)];
+                prop_assert_eq!(batched[(r, c)].to_bits(), s.to_bits(), "batch ({},{})", r, c);
+                prop_assert_eq!(fused[(r, c)].to_bits(), s.to_bits(), "fused ({},{})", r, c);
+            }
+        }
+    }
+
+    /// Bit-exactness contract, network level: full MLPs agree across the
+    /// three pipelines for random widths/depths/batch heights, including
+    /// scratch reuse between differently-sized batches.
+    #[test]
+    fn mlp_pipelines_bitwise_agree(
+        widths in proptest::collection::vec(1usize..24, 2..5),
+        batch in 1usize..10,
+        seed in 0u64..1000,
+        act in any_activation(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mlp = Mlp::new(&widths, act, Init::HeNormal, &mut rng);
+        let fan_in = widths[0];
+        let x = Matrix::from_vec(
+            batch,
+            fan_in,
+            (0..batch * fan_in).map(|i| ((i as f32) * 0.41 - 1.0).cos() * 1.5).collect(),
+        );
+        let mut scratch = InferScratch::default();
+        let batched = mlp.forward_batch(&x, &mut scratch).clone();
+        let fused = mlp.forward_batch_fused(&x, &mut scratch).clone();
+        let scalar = mlp.infer(&x);
+        prop_assert_eq!(batched.shape(), scalar.shape());
+        prop_assert_eq!(fused.shape(), scalar.shape());
+        for ((b, f), s) in batched
+            .as_slice()
+            .iter()
+            .zip(fused.as_slice())
+            .zip(scalar.as_slice())
+        {
+            prop_assert_eq!(b.to_bits(), s.to_bits(), "batched {} vs scalar {}", b, s);
+            prop_assert_eq!(f.to_bits(), s.to_bits(), "fused {} vs scalar {}", f, s);
+        }
+        // Reusing the same scratch for a single-row batch must not change
+        // row results (row independence).
+        let first_row = mlp.forward_batch_fused(&Matrix::row_vector(x.row(0)), &mut scratch);
+        prop_assert_eq!(first_row[(0, 0)].to_bits(), scalar[(0, 0)].to_bits());
     }
 
     #[test]

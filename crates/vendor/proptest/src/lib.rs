@@ -9,7 +9,7 @@
 //!
 //! Supported strategy combinators: numeric range expressions
 //! (`-10.0f32..10.0`, `0u64..=100`), [`Just`], [`Strategy::prop_map`],
-//! [`prop_oneof!`], and [`collection::vec`].
+//! [`Strategy::prop_flat_map`], [`prop_oneof!`], and [`collection::vec`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -61,6 +61,18 @@ pub trait Strategy {
         Map { inner: self, f }
     }
 
+    /// Maps drawn values into a *strategy* and draws from it — the way to
+    /// make one dimension of a case depend on another (e.g. a matrix whose
+    /// shape is itself sampled).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
     /// Type-erases the strategy (needed by [`prop_oneof!`]).
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
@@ -94,6 +106,21 @@ impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
 
     fn sample_value(&self, rng: &mut StdRng) -> U {
         (self.f)(self.inner.sample_value(rng))
+    }
+}
+
+/// Result of [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn sample_value(&self, rng: &mut StdRng) -> T::Value {
+        (self.f)(self.inner.sample_value(rng)).sample_value(rng)
     }
 }
 
