@@ -8,7 +8,7 @@
 
 use crate::config::TrainConfig;
 use crate::model::SocModel;
-use crate::trainer::train;
+use crate::train::train;
 use pinnsoc_battery::{aged_params, CellParams, CellSim, Soc, Soh};
 use pinnsoc_data::{Cycle, CycleKind, CycleMeta, NoiseConfig, SocDataset};
 use rand::rngs::StdRng;

@@ -113,7 +113,7 @@ pub fn is_physics_only(model: &SocModel) -> bool {
 mod tests {
     use super::*;
     use crate::config::{PinnVariant, TrainConfig};
-    use crate::trainer::train;
+    use crate::train::train;
     use pinnsoc_battery::Chemistry;
     use pinnsoc_data::{generate_sandia, NoiseConfig, SandiaConfig};
 

@@ -16,7 +16,7 @@
 //! | Module | Paper section |
 //! |---|---|
 //! | [`model`] | §III-A: the two-branch architecture (2,322 parameters), plus the batched serving API ([`SocModel::predict_batch`], [`BatchScratch`]) behind `pinnsoc-fleet` |
-//! | [`trainer`] | §III-B: split training + Eq. 2 physics loss |
+//! | [`train`] | §III-B: split training + Eq. 2 physics loss, decomposed into batcher / objective / epoch loop, plus pool-parallel [`train_many`] |
 //! | [`config`] | the six variants of Figs. 3–4 |
 //! | [`eval`] | MAE metrics of Figs. 3–4 and Table I |
 //! | [`rollout`] | Fig. 2 / Fig. 5: autoregressive multi-step prediction |
@@ -51,6 +51,7 @@ pub mod ensemble;
 pub mod eval;
 pub mod model;
 pub mod rollout;
+pub mod train;
 pub mod trainer;
 
 pub use baselines::{LstmBaselineConfig, LstmEstimator, MlpBaselineConfig, MlpEstimator};
@@ -58,7 +59,8 @@ pub use config::{PinnVariant, TrainConfig};
 pub use ensemble::SohEnsemble;
 pub use eval::{eval_estimation, eval_prediction, eval_prediction_oracle_soc, EvalReport};
 pub use model::{
-    BatchScratch, Branch1, Branch2, PredictQuery, SecondStage, SocModel, HIDDEN_WIDTHS,
+    BatchScratch, Branch1, Branch2, Branch2Features, PredictQuery, SecondStage, SocModel,
+    HIDDEN_WIDTHS,
 };
 pub use rollout::{autoregressive_rollout, Rollout};
-pub use trainer::{train, TrainReport};
+pub use train::{train, train_many, TrainReport, TrainTask};

@@ -112,14 +112,25 @@ impl Branch2 {
         avg_temperature_c: f64,
         horizon_s: f64,
     ) -> [f32; 4] {
-        let mut it = [avg_current_a, avg_temperature_c];
-        self.norm_it.normalize(&mut it);
-        [
-            soc_now as f32,
-            it[0] as f32,
-            it[1] as f32,
-            (horizon_s / self.horizon_scale_s) as f32,
-        ]
+        b2_feature_row(
+            &self.norm_it,
+            self.horizon_scale_s,
+            soc_now,
+            avg_current_a,
+            avg_temperature_c,
+            horizon_s,
+        )
+    }
+
+    /// A cloneable snapshot of this branch's featurization (normalizer +
+    /// horizon scale). The training objective featurizes physics batches
+    /// through this while holding the branch's network mutably; both paths
+    /// share [`b2_feature_row`], so the rows are bit-identical.
+    pub fn featurizer(&self) -> Branch2Features {
+        Branch2Features {
+            norm_it: self.norm_it.clone(),
+            horizon_scale_s: self.horizon_scale_s,
+        }
     }
 
     /// Precomputed feature tail shared by every query of one uniform
@@ -175,6 +186,58 @@ impl Branch2 {
             data.extend_from_slice(&f);
         }
         Matrix::from_vec(rows.len(), 4, data)
+    }
+}
+
+/// The one place Branch-2 feature rows are computed: `(SoC, Ī, T̄, N)` with
+/// SoC raw, current/temperature z-scored, and the horizon divided by the
+/// scale. [`Branch2::features`] and [`Branch2Features::features`] both
+/// delegate here, so the training-time physics featurization can never
+/// drift from the serving path.
+fn b2_feature_row(
+    norm_it: &Normalizer,
+    horizon_scale_s: f64,
+    soc_now: f64,
+    avg_current_a: f64,
+    avg_temperature_c: f64,
+    horizon_s: f64,
+) -> [f32; 4] {
+    let mut it = [avg_current_a, avg_temperature_c];
+    norm_it.normalize(&mut it);
+    [
+        soc_now as f32,
+        it[0] as f32,
+        it[1] as f32,
+        (horizon_s / horizon_scale_s) as f32,
+    ]
+}
+
+/// A detached [`Branch2`] featurization context (see
+/// [`Branch2::featurizer`]).
+#[derive(Debug, Clone)]
+pub struct Branch2Features {
+    norm_it: Normalizer,
+    horizon_scale_s: f64,
+}
+
+impl Branch2Features {
+    /// Normalized feature row for one prediction query — identical values
+    /// to [`Branch2::features`] on the branch this was taken from.
+    pub fn features(
+        &self,
+        soc_now: f64,
+        avg_current_a: f64,
+        avg_temperature_c: f64,
+        horizon_s: f64,
+    ) -> [f32; 4] {
+        b2_feature_row(
+            &self.norm_it,
+            self.horizon_scale_s,
+            soc_now,
+            avg_current_a,
+            avg_temperature_c,
+            horizon_s,
+        )
     }
 }
 

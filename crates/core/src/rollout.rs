@@ -107,7 +107,7 @@ pub fn autoregressive_rollout(model: &SocModel, cycle: &Cycle, step_s: f64) -> R
 mod tests {
     use super::*;
     use crate::config::{PinnVariant, TrainConfig};
-    use crate::trainer::train;
+    use crate::train::train;
     use pinnsoc_battery::Chemistry;
     use pinnsoc_data::{generate_sandia, NoiseConfig, SandiaConfig};
 

@@ -1,0 +1,132 @@
+//! Minibatch index shuffling and scratch-reusing row gathers.
+//!
+//! The monolithic trainer allocated two fresh matrices per minibatch (the
+//! gathered feature rows and the target column). The batcher owns both
+//! buffers and refills them in place, so the steady-state training step
+//! performs zero allocations on the data path. Shuffling draws from the
+//! caller's RNG with exactly the stream the old trainer used
+//! (`indices.shuffle`), keeping seeded runs bit-identical.
+
+use pinnsoc_nn::Matrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Epoch-shuffled minibatch gatherer with reusable gather buffers.
+#[derive(Debug, Clone)]
+pub struct Batcher {
+    indices: Vec<usize>,
+    x: Matrix,
+    y: Matrix,
+}
+
+impl Batcher {
+    /// A batcher over `samples` training rows (initially in order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is zero.
+    pub fn new(samples: usize) -> Self {
+        assert!(samples > 0, "need at least one training sample");
+        Self {
+            indices: (0..samples).collect(),
+            x: Matrix::zeros(1, 1),
+            y: Matrix::zeros(1, 1),
+        }
+    }
+
+    /// Number of training rows.
+    pub fn samples(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Number of minibatches per epoch at the given batch size (the last
+    /// one may be partial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn batches(&self, batch_size: usize) -> usize {
+        assert!(batch_size > 0, "batch size must be positive");
+        self.indices.len().div_ceil(batch_size)
+    }
+
+    /// Reshuffles the epoch order, drawing from `rng` exactly as
+    /// `indices.shuffle(rng)` does.
+    pub fn shuffle(&mut self, rng: &mut StdRng) {
+        self.indices.shuffle(rng);
+    }
+
+    /// Gathers minibatch `b` of the current epoch order into the reused
+    /// buffers: the selected `features` rows into an `len × cols` matrix
+    /// and the matching `targets` into an `len × 1` column. Values are
+    /// identical to the allocating `gather_rows` + `from_vec` path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range or `targets` is shorter than the
+    /// sample count.
+    pub fn gather(
+        &mut self,
+        b: usize,
+        batch_size: usize,
+        features: &Matrix,
+        targets: &[f32],
+    ) -> (&Matrix, &Matrix) {
+        let lo = b * batch_size;
+        let hi = (lo + batch_size).min(self.indices.len());
+        assert!(lo < hi, "minibatch {b} out of range");
+        let chunk = &self.indices[lo..hi];
+        features.gather_rows_into(chunk, &mut self.x);
+        self.y.reset_for_overwrite(chunk.len(), 1);
+        for (r, &i) in chunk.iter().enumerate() {
+            self.y.row_mut(r)[0] = targets[i];
+        }
+        (&self.x, &self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gather_matches_allocating_path() {
+        let features = Matrix::from_vec(7, 2, (0..14).map(|i| i as f32).collect());
+        let targets: Vec<f32> = (0..7).map(|i| i as f32 * 10.0).collect();
+        let mut batcher = Batcher::new(7);
+        let mut rng = StdRng::seed_from_u64(3);
+        batcher.shuffle(&mut rng);
+        // Reference: the old trainer's chunked gather.
+        let mut reference_rng = StdRng::seed_from_u64(3);
+        let mut indices: Vec<usize> = (0..7).collect();
+        indices.shuffle(&mut reference_rng);
+        assert_eq!(batcher.batches(3), 3);
+        for (b, chunk) in indices.chunks(3).enumerate() {
+            let rx = features.gather_rows(chunk);
+            let ry = Matrix::from_vec(chunk.len(), 1, chunk.iter().map(|&i| targets[i]).collect());
+            let (x, y) = batcher.gather(b, 3, &features, &targets);
+            assert_eq!(x, &rx, "batch {b}");
+            assert_eq!(y, &ry, "batch {b}");
+        }
+    }
+
+    #[test]
+    fn partial_final_batch_has_correct_height() {
+        let features = Matrix::from_vec(5, 1, (0..5).map(|i| i as f32).collect());
+        let targets = [0.0f32; 5];
+        let mut batcher = Batcher::new(5);
+        assert_eq!(batcher.batches(2), 3);
+        let (x, y) = batcher.gather(2, 2, &features, &targets);
+        assert_eq!(x.shape(), (1, 1));
+        assert_eq!(y.shape(), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_batch_panics() {
+        let features = Matrix::zeros(4, 1);
+        let mut batcher = Batcher::new(4);
+        let _ = batcher.gather(2, 2, &features, &[0.0; 4]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Pool-parallel training of independent models.
+//!
+//! Training tasks are independent — ensemble seeds, PINN variants, or
+//! different datasets entirely — so they scale across cores exactly the way
+//! fleet serving does: through the shared
+//! [`pinnsoc_runtime::WorkerPool`]. Each task carries its own
+//! [`TrainConfig`] seed, and [`train`] derives every RNG stream from that
+//! seed alone, so results are deterministic and **identical to running the
+//! same `train()` calls serially** regardless of worker count or completion
+//! order.
+
+use super::{train, TrainReport};
+use crate::config::TrainConfig;
+use crate::model::SocModel;
+use pinnsoc_data::SocDataset;
+use pinnsoc_runtime::{NoContext, PoolTask, WorkerPool};
+use std::sync::Arc;
+
+/// One independent training job: a dataset (shared by `Arc`, so N seeds on
+/// one dataset don't copy it N times) and its configuration.
+#[derive(Debug, Clone)]
+pub struct TrainTask {
+    /// The dataset to train on.
+    pub dataset: Arc<SocDataset>,
+    /// The variant, hyper-parameters, and seed.
+    pub config: TrainConfig,
+}
+
+impl TrainTask {
+    /// A task training `config` on `dataset`.
+    pub fn new(dataset: Arc<SocDataset>, config: TrainConfig) -> Self {
+        Self { dataset, config }
+    }
+}
+
+impl PoolTask for TrainTask {
+    type Ctx = ();
+    type Kind = ();
+    type Output = (SocModel, TrainReport);
+
+    fn run(&mut self, _: &(), (): ()) -> Self::Output {
+        train(&self.dataset, &self.config)
+    }
+}
+
+/// Trains every task, draining them through a persistent worker pool with
+/// `workers` extra threads (the calling thread always participates; `0`
+/// runs everything on the calling thread, which is optimal on a single-core
+/// host). Results are returned **in task order** and are bit-identical to
+/// calling [`train`] on each task serially.
+///
+/// # Panics
+///
+/// Panics if any training task panics (after every other task completed),
+/// or if a task's configuration is invalid.
+pub fn train_many(tasks: Vec<TrainTask>, workers: usize) -> Vec<(SocModel, TrainReport)> {
+    if tasks.is_empty() {
+        return Vec::new();
+    }
+    let mut pool: WorkerPool<NoContext, TrainTask> = WorkerPool::new(Arc::new(NoContext), workers);
+    let mut queue: Vec<(usize, TrainTask)> = tasks.into_iter().enumerate().collect();
+    let mut done = Vec::with_capacity(queue.len());
+    let panicked = pool.run((), &mut queue, &mut done);
+    assert!(!panicked, "a training task panicked");
+    // Completion order is nondeterministic under concurrency; the outputs
+    // are not — restore task order.
+    done.sort_unstable_by_key(|d| d.idx);
+    done.into_iter().map(|d| d.output).collect()
+}

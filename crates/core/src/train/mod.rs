@@ -1,0 +1,380 @@
+//! Split training scheme of §III-B, as a composable engine.
+//!
+//! Branch 1 is trained alone on `(V, I, T) → SoC(t)`; gradients never flow
+//! from Branch 2 into Branch 1. Branch 2 is trained on ground-truth
+//! `SoC(t)` inputs (teacher forcing) with the loss of Eq. 2: a data MAE
+//! term at the dataset horizon `N`, plus — for PINN variants — a label-free
+//! physics MAE term over randomly generated Coulomb-counting tuples with
+//! horizons drawn from the set 𝒩.
+//!
+//! The engine is split into four small layers, replacing the old
+//! single-function trainer without changing a single bit of its output at a
+//! fixed seed:
+//!
+//! - [`batcher`]: epoch shuffling plus scratch-reusing minibatch gathers —
+//!   zero allocations per steady-state step on the data path.
+//! - [`objective`]: the Eq. 2 loss behind the [`Objective`] trait. PINN
+//!   variants are *data* ([`Eq2Objective`] with an optional
+//!   [`PhysicsTerm`]), not match arms in the loop.
+//! - [`loop_`]: the epoch driver (cosine LR schedule, optimizer steps,
+//!   sample-weighted loss trace) shared by both branches.
+//! - [`many`]: [`train_many`] — pool-parallel training of independent
+//!   models over the shared `pinnsoc-runtime` worker pool, bit-identical
+//!   to the serial loop, feeding the fleet's hot-swap registry.
+//!
+//! [`train`] remains the thin façade over all of it. The forward/backward
+//! passes run through `pinnsoc-nn`'s fused, scratch-reusing training path
+//! ([`pinnsoc_nn::Mlp::forward_train`]), which is bit-exact with the
+//! allocating reference path by the crate's bit-exactness contract.
+
+use crate::config::{PinnVariant, TrainConfig};
+use crate::model::{Branch1, Branch2, SecondStage, SocModel};
+use pinnsoc_data::{
+    estimation_samples, prediction_pairs_all, Normalizer, PhysicsSampler, SocDataset,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+pub mod batcher;
+pub mod loop_;
+pub mod many;
+pub mod objective;
+
+pub use batcher::Batcher;
+pub use loop_::{run_epochs, EpochSpec};
+pub use many::{train_many, TrainTask};
+pub use objective::{Eq2Objective, Objective, PhysicsTerm};
+
+/// Per-epoch loss trace of one training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Variant label of the trained model.
+    pub label: String,
+    /// Branch 1 training MAE per epoch (sample-weighted average).
+    pub b1_loss: Vec<f32>,
+    /// Branch 2 combined loss (data + physics) per epoch, sample-weighted;
+    /// empty for Physics-Only.
+    pub b2_loss: Vec<f32>,
+}
+
+/// Trains a [`SocModel`] on a dataset according to the configuration.
+///
+/// Thin façade over the training engine: it assembles the branches, picks
+/// the [`Objective`] for the variant, and hands both branches to the shared
+/// epoch driver. Results at a fixed seed are bit-identical to the
+/// pre-decomposition trainer (enforced by a golden-value test).
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see [`TrainConfig::validate`])
+/// or the dataset has no training cycles.
+pub fn train(dataset: &SocDataset, config: &TrainConfig) -> (SocModel, TrainReport) {
+    config.validate();
+    assert!(!dataset.train.is_empty(), "dataset has no training cycles");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // ----- Branch 1: estimation -----
+    let est_samples: Vec<_> = dataset.train.iter().flat_map(estimation_samples).collect();
+    assert!(!est_samples.is_empty(), "no estimation samples");
+    let feature_rows: Vec<[f64; 3]> = est_samples.iter().map(|s| s.features()).collect();
+    let norm1 = Normalizer::fit(feature_rows.iter().map(|r| r.as_slice()));
+    let mut branch1 = Branch1::new(norm1, &mut rng);
+    // Small-output init (see the Branch 2 note below): start near the mean
+    // SoC instead of at random-scale outputs.
+    branch1.net_mut().scale_output_weights(0.1);
+    let features = branch1.feature_matrix(&feature_rows);
+    let targets: Vec<f32> = est_samples.iter().map(|s| s.soc as f32).collect();
+    let b1_loss = run_epochs(
+        branch1.net_mut(),
+        &features,
+        &targets,
+        EpochSpec {
+            epochs: config.b1_epochs,
+            batch_size: config.batch_size,
+            learning_rate: config.learning_rate,
+        },
+        &mut Eq2Objective::data_only(),
+        &mut rng,
+    );
+
+    // ----- Branch 2: prediction -----
+    let (stage2, b2_loss) = match &config.variant {
+        PinnVariant::PhysicsOnly => (
+            SecondStage::Coulomb {
+                capacity_ah: config.capacity_ah,
+            },
+            Vec::new(),
+        ),
+        variant => {
+            let pairs = prediction_pairs_all(&dataset.train, config.data_horizon_s);
+            assert!(
+                !pairs.is_empty(),
+                "no prediction pairs at horizon {}s",
+                config.data_horizon_s
+            );
+            let it_rows: Vec<[f64; 2]> = pairs
+                .iter()
+                .map(|p| [p.avg_current_a, p.avg_temperature_c])
+                .collect();
+            let norm_it = Normalizer::fit(it_rows.iter().map(|r| r.as_slice()));
+            let mut branch2 = Branch2::new(norm_it, config.data_horizon_s, &mut rng);
+            // The variant is data from here on: No-PINN trains the same
+            // loop with no physics term.
+            let mut objective = match variant {
+                PinnVariant::Pinn { horizons_s } => Eq2Objective::with_physics(PhysicsTerm::new(
+                    PhysicsSampler::new(
+                        dataset,
+                        horizons_s.clone(),
+                        config.physics_current,
+                        config.seed.wrapping_add(1),
+                    ),
+                    branch2.featurizer(),
+                    config.physics_weight,
+                )),
+                _ => Eq2Objective::data_only(),
+            };
+            // Small-output init: Branch 2 starts near its mean prediction,
+            // so the combined data + physics objective is well-conditioned
+            // from the first step (large random initial outputs can lock
+            // the horizon response into inverted basins).
+            branch2.net_mut().scale_output_weights(0.1);
+            let rows: Vec<[f64; 4]> = pairs.iter().map(|p| p.features()).collect();
+            let features = branch2.feature_matrix(&rows);
+            let targets: Vec<f32> = pairs.iter().map(|p| p.soc_next as f32).collect();
+            let losses = run_epochs(
+                branch2.net_mut(),
+                &features,
+                &targets,
+                EpochSpec {
+                    epochs: config.b2_epochs,
+                    batch_size: config.batch_size,
+                    learning_rate: config.learning_rate,
+                },
+                &mut objective,
+                &mut rng,
+            );
+            (SecondStage::Network(branch2), losses)
+        }
+    };
+
+    let label = config.variant.to_string();
+    let model = SocModel {
+        branch1,
+        stage2,
+        label: label.clone(),
+    };
+    (
+        model,
+        TrainReport {
+            label,
+            b1_loss,
+            b2_loss,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinnsoc_battery::Chemistry;
+    use pinnsoc_data::{generate_sandia, NoiseConfig, SandiaConfig};
+    use std::sync::Arc;
+
+    fn tiny_dataset() -> SocDataset {
+        generate_sandia(&SandiaConfig {
+            chemistries: vec![Chemistry::Nmc],
+            ambient_temps_c: vec![25.0],
+            cycles_per_condition: 1,
+            noise: NoiseConfig::none(),
+            ..SandiaConfig::default()
+        })
+    }
+
+    fn quick_config(variant: PinnVariant) -> TrainConfig {
+        TrainConfig {
+            b1_epochs: 30,
+            b2_epochs: 30,
+            batch_size: 16,
+            ..TrainConfig::sandia(variant, 42)
+        }
+    }
+
+    #[test]
+    fn branch1_loss_decreases() {
+        let ds = tiny_dataset();
+        let (_, report) = train(&ds, &quick_config(PinnVariant::NoPinn));
+        let first = report.b1_loss.first().unwrap();
+        let last = report.b1_loss.last().unwrap();
+        assert!(last < first, "B1 loss did not improve: {first} -> {last}");
+        assert!(*last < 0.1, "B1 final loss too high: {last}");
+    }
+
+    #[test]
+    fn branch2_loss_decreases() {
+        let ds = tiny_dataset();
+        let (_, report) = train(&ds, &quick_config(PinnVariant::NoPinn));
+        let first = report.b2_loss.first().unwrap();
+        let last = report.b2_loss.last().unwrap();
+        assert!(last < first, "B2 loss did not improve: {first} -> {last}");
+    }
+
+    #[test]
+    fn physics_only_skips_branch2() {
+        let ds = tiny_dataset();
+        let (model, report) = train(&ds, &quick_config(PinnVariant::PhysicsOnly));
+        assert!(report.b2_loss.is_empty());
+        assert!(matches!(model.stage2, SecondStage::Coulomb { .. }));
+        assert_eq!(model.label, "Physics-Only");
+    }
+
+    #[test]
+    fn pinn_trains_with_physics_batches() {
+        let ds = tiny_dataset();
+        let (model, report) = train(
+            &ds,
+            &quick_config(PinnVariant::pinn_all(&[120.0, 240.0, 360.0])),
+        );
+        assert!(!report.b2_loss.is_empty());
+        assert_eq!(model.label, "PINN-All");
+        assert!(matches!(model.stage2, SecondStage::Network(_)));
+    }
+
+    /// Golden-value regression against the pre-decomposition trainer: the
+    /// outputs below were captured from the monolithic `trainer::train` at
+    /// commit 1e75b11 (same dataset, same seeds). The decomposed engine —
+    /// batcher, objective trait, shared epoch driver, fused nn training
+    /// path — must reproduce them bit-for-bit.
+    #[test]
+    fn golden_no_pinn_model_is_bit_identical_to_pre_refactor_trainer() {
+        let ds = tiny_dataset();
+        let (m, _) = train(&ds, &quick_config(PinnVariant::NoPinn));
+        assert_eq!(m.estimate(3.7, 3.0, 25.0).to_bits(), 0x3fe0ede660000000);
+        assert_eq!(
+            m.predict_from(0.8, 3.0, 25.0, 120.0).to_bits(),
+            0x3fd85acea0000000
+        );
+        assert_eq!(
+            m.predict(3.9, 1.5, 24.0, 2.0, 26.0, 240.0).to_bits(),
+            0x3fdc87c6e0000000
+        );
+    }
+
+    /// Same golden contract for the PINN-All variant, which additionally
+    /// exercises the physics RNG stream, the stratified physics batches,
+    /// and the weighted second backward pass per step.
+    #[test]
+    fn golden_pinn_all_model_is_bit_identical_to_pre_refactor_trainer() {
+        let ds = tiny_dataset();
+        let (m, _) = train(
+            &ds,
+            &quick_config(PinnVariant::pinn_all(&[120.0, 240.0, 360.0])),
+        );
+        assert_eq!(m.estimate(3.7, 3.0, 25.0).to_bits(), 0x3fe0ede660000000);
+        assert_eq!(
+            m.predict_from(0.8, 3.0, 25.0, 120.0).to_bits(),
+            0x3fe44e2dc0000000
+        );
+        assert_eq!(
+            m.predict(3.9, 1.5, 24.0, 2.0, 26.0, 240.0).to_bits(),
+            0x3fee9a1e20000000
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let ds = tiny_dataset();
+        let (m1, _) = train(&ds, &quick_config(PinnVariant::NoPinn));
+        let (m2, _) = train(&ds, &quick_config(PinnVariant::NoPinn));
+        assert_eq!(m1.estimate(3.7, 3.0, 25.0), m2.estimate(3.7, 3.0, 25.0));
+        assert_eq!(
+            m1.predict_from(0.8, 3.0, 25.0, 120.0),
+            m2.predict_from(0.8, 3.0, 25.0, 120.0)
+        );
+    }
+
+    #[test]
+    fn pinn_training_is_deterministic_given_seed() {
+        // The PINN variant adds the physics sampler's derived RNG stream
+        // (seed + 1); determinism must hold across both streams, and the
+        // loss traces must match too.
+        let ds = tiny_dataset();
+        let config = quick_config(PinnVariant::pinn_all(&[120.0, 240.0, 360.0]));
+        let (m1, r1) = train(&ds, &config);
+        let (m2, r2) = train(&ds, &config);
+        assert_eq!(
+            m1.estimate(3.7, 3.0, 25.0).to_bits(),
+            m2.estimate(3.7, 3.0, 25.0).to_bits()
+        );
+        assert_eq!(
+            m1.predict_from(0.8, 3.0, 25.0, 120.0).to_bits(),
+            m2.predict_from(0.8, 3.0, 25.0, 120.0).to_bits()
+        );
+        assert_eq!(r1, r2, "loss traces must be reproducible");
+    }
+
+    #[test]
+    fn different_seeds_give_different_models() {
+        let ds = tiny_dataset();
+        let (m1, _) = train(&ds, &quick_config(PinnVariant::NoPinn));
+        let mut config = quick_config(PinnVariant::NoPinn);
+        config.seed = 43;
+        let (m2, _) = train(&ds, &config);
+        assert_ne!(m1.estimate(3.7, 3.0, 25.0), m2.estimate(3.7, 3.0, 25.0));
+    }
+
+    #[test]
+    fn trained_estimator_tracks_soc_on_train_data() {
+        let ds = tiny_dataset();
+        let (model, _) = train(&ds, &quick_config(PinnVariant::NoPinn));
+        let cycle = &ds.train[0];
+        let mut total = 0.0;
+        for r in &cycle.records {
+            total += (model.estimate(r.voltage_v, r.current_a, r.temperature_c) - r.soc).abs();
+        }
+        let mae = total / cycle.records.len() as f64;
+        assert!(mae < 0.08, "train-set estimation MAE too high: {mae}");
+    }
+
+    #[test]
+    fn train_many_matches_serial_training_exactly() {
+        let ds = Arc::new(tiny_dataset());
+        // Mixed seeds and variants in one run, including a physics variant.
+        let configs = [
+            quick_config(PinnVariant::NoPinn),
+            TrainConfig {
+                seed: 7,
+                ..quick_config(PinnVariant::NoPinn)
+            },
+            quick_config(PinnVariant::pinn_all(&[120.0, 240.0])),
+            quick_config(PinnVariant::PhysicsOnly),
+        ];
+        let serial: Vec<_> = configs.iter().map(|c| train(&ds, c)).collect();
+        for workers in [0usize, 2] {
+            let tasks: Vec<TrainTask> = configs
+                .iter()
+                .map(|c| TrainTask::new(Arc::clone(&ds), c.clone()))
+                .collect();
+            let pooled = train_many(tasks, workers);
+            assert_eq!(pooled.len(), serial.len());
+            for (i, ((ms, rs), (mp, rp))) in serial.iter().zip(&pooled).enumerate() {
+                assert_eq!(rs, rp, "task {i} (workers={workers}): loss trace");
+                assert_eq!(
+                    ms.estimate(3.7, 3.0, 25.0).to_bits(),
+                    mp.estimate(3.7, 3.0, 25.0).to_bits(),
+                    "task {i} (workers={workers}): estimate"
+                );
+                assert_eq!(
+                    ms.predict_from(0.8, 3.0, 25.0, 120.0).to_bits(),
+                    mp.predict_from(0.8, 3.0, 25.0, 120.0).to_bits(),
+                    "task {i} (workers={workers}): prediction"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn train_many_empty_is_empty() {
+        assert!(train_many(Vec::new(), 2).is_empty());
+    }
+}

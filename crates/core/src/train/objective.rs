@@ -1,0 +1,138 @@
+//! The per-minibatch training objective — Eq. 2 of the paper as data.
+//!
+//! The monolithic trainer encoded the PINN variants as match arms inside
+//! the epoch loop. Here the objective is a value: [`Eq2Objective`] holds an
+//! optional [`PhysicsTerm`], so *No-PINN is `physics: None` and every PINN
+//! variant is `physics: Some(..)`* — the epoch driver in
+//! [`super::loop_`] is variant-agnostic, and new composite objectives plug
+//! in behind the [`Objective`] trait without touching the loop.
+
+use crate::model::Branch2Features;
+use pinnsoc_data::{PhysicsSampler, PredictionSample};
+use pinnsoc_nn::{Loss, Matrix, Mlp, TrainScratch};
+
+/// One optimizer minibatch of a training objective.
+///
+/// Implementations run forward/backward over the gathered data batch
+/// (plus any auxiliary terms), leaving gradients accumulated on `net` for
+/// the driver's optimizer step, and return the batch's total loss.
+pub trait Objective {
+    /// Accumulates this minibatch's gradients on `net` and returns its
+    /// loss. The driver calls `opt.step(net)` afterwards.
+    fn batch_step(
+        &mut self,
+        net: &mut Mlp,
+        x: &Matrix,
+        y: &Matrix,
+        scratch: &mut TrainScratch,
+    ) -> f32;
+}
+
+/// The label-free physics term of Eq. 2: per minibatch, an equally sized
+/// batch of randomly generated Coulomb tuples, featurized through the
+/// branch's own normalization and weighted into the loss.
+#[derive(Debug, Clone)]
+pub struct PhysicsTerm {
+    sampler: PhysicsSampler,
+    featurizer: Branch2Features,
+    weight: f32,
+    /// Reused draw buffer (see [`PhysicsSampler::sample_batch_into`]).
+    batch: Vec<PredictionSample>,
+    /// Reused feature/target buffers for the physics forward pass.
+    px: Matrix,
+    py: Matrix,
+}
+
+impl PhysicsTerm {
+    /// A physics term drawing from `sampler`, featurizing with
+    /// `featurizer`, weighted by `weight` (the paper uses 1.0).
+    pub fn new(sampler: PhysicsSampler, featurizer: Branch2Features, weight: f32) -> Self {
+        Self {
+            sampler,
+            featurizer,
+            weight,
+            batch: Vec::new(),
+            px: Matrix::zeros(1, 1),
+            py: Matrix::zeros(1, 1),
+        }
+    }
+}
+
+/// The combined objective of Eq. 2: a data MAE term, plus — when the
+/// variant is physics-informed — a weighted, label-free physics MAE term.
+///
+/// All intermediates (loss gradients, physics draws, physics features) live
+/// in reused buffers, so the steady-state minibatch step allocates nothing.
+#[derive(Debug, Clone)]
+pub struct Eq2Objective {
+    physics: Option<PhysicsTerm>,
+    /// Reused loss-gradient buffer (shared by the data and physics terms).
+    grad: Matrix,
+}
+
+impl Eq2Objective {
+    /// A purely data-driven objective (Branch 1, and Branch 2 under
+    /// No-PINN).
+    pub fn data_only() -> Self {
+        Self {
+            physics: None,
+            grad: Matrix::zeros(1, 1),
+        }
+    }
+
+    /// Eq. 2 with the physics term attached (the PINN variants).
+    pub fn with_physics(term: PhysicsTerm) -> Self {
+        Self {
+            physics: Some(term),
+            grad: Matrix::zeros(1, 1),
+        }
+    }
+}
+
+impl Objective for Eq2Objective {
+    fn batch_step(
+        &mut self,
+        net: &mut Mlp,
+        x: &Matrix,
+        y: &Matrix,
+        scratch: &mut TrainScratch,
+    ) -> f32 {
+        // Data term of Eq. 2.
+        let loss = {
+            let pred = net.forward_train(x, scratch);
+            let loss = Loss::Mae.value(pred, y);
+            Loss::Mae.gradient_into(pred, y, &mut self.grad);
+            loss
+        };
+        net.zero_grad();
+        net.backward_train(&self.grad, scratch);
+        let Some(term) = &mut self.physics else {
+            return loss;
+        };
+        // Physics term of Eq. 2: an equally sized batch of randomly
+        // generated Coulomb tuples (teacher-free labels).
+        term.sampler.sample_batch_into(y.rows(), &mut term.batch);
+        term.px.reset_for_overwrite(term.batch.len(), 4);
+        term.py.reset_for_overwrite(term.batch.len(), 1);
+        for (r, s) in term.batch.iter().enumerate() {
+            let f = term.featurizer.features(
+                s.soc_now,
+                s.avg_current_a,
+                s.avg_temperature_c,
+                s.horizon_s,
+            );
+            term.px.row_mut(r).copy_from_slice(&f);
+            term.py.row_mut(r)[0] = s.soc_next as f32;
+        }
+        let total = {
+            let p_pred = net.forward_train(&term.px, scratch);
+            let total = loss + term.weight * Loss::Mae.value(p_pred, &term.py);
+            Loss::Mae.gradient_into(p_pred, &term.py, &mut self.grad);
+            total
+        };
+        let weight = term.weight;
+        self.grad.map_inplace(|g| g * weight);
+        net.backward_train(&self.grad, scratch);
+        total
+    }
+}

@@ -1,309 +1,7 @@
-//! Split training scheme of §III-B.
+//! Compatibility façade over the decomposed training engine.
 //!
-//! Branch 1 is trained alone on `(V, I, T) → SoC(t)`; gradients never flow
-//! from Branch 2 into Branch 1. Branch 2 is trained on ground-truth
-//! `SoC(t)` inputs (teacher forcing) with the loss of Eq. 2: a data MAE term
-//! at the dataset horizon `N`, plus — for PINN variants — a label-free
-//! physics MAE term over randomly generated Coulomb-counting tuples with
-//! horizons drawn from the set 𝒩.
+//! The monolithic trainer that used to live here is now the [`crate::train`]
+//! module tree (batcher / objective / epoch loop / pool-parallel
+//! `train_many`); this module keeps the historical import path working.
 
-use crate::config::{PinnVariant, TrainConfig};
-use crate::model::{Branch1, Branch2, SecondStage, SocModel};
-use pinnsoc_data::{
-    estimation_samples, prediction_pairs_all, Normalizer, PhysicsSampler, PredictionSample,
-    SocDataset,
-};
-use pinnsoc_nn::{Adam, Loss, LrSchedule, Matrix, Optimizer};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
-
-/// Per-epoch loss trace of one training run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct TrainReport {
-    /// Variant label of the trained model.
-    pub label: String,
-    /// Branch 1 training MAE per epoch.
-    pub b1_loss: Vec<f32>,
-    /// Branch 2 combined loss (data + physics) per epoch; empty for
-    /// Physics-Only.
-    pub b2_loss: Vec<f32>,
-}
-
-/// Trains a [`SocModel`] on a dataset according to the configuration.
-///
-/// # Panics
-///
-/// Panics if the configuration is invalid (see [`TrainConfig::validate`]) or
-/// the dataset has no training cycles.
-pub fn train(dataset: &SocDataset, config: &TrainConfig) -> (SocModel, TrainReport) {
-    config.validate();
-    assert!(!dataset.train.is_empty(), "dataset has no training cycles");
-    let mut rng = StdRng::seed_from_u64(config.seed);
-
-    // ----- Branch 1: estimation -----
-    let est_samples: Vec<_> = dataset.train.iter().flat_map(estimation_samples).collect();
-    assert!(!est_samples.is_empty(), "no estimation samples");
-    let feature_rows: Vec<[f64; 3]> = est_samples.iter().map(|s| s.features()).collect();
-    let norm1 = Normalizer::fit(feature_rows.iter().map(|r| r.as_slice()));
-    let mut branch1 = Branch1::new(norm1, &mut rng);
-    // Small-output init (see the Branch 2 note below): start near the mean
-    // SoC instead of at random-scale outputs.
-    branch1.net_mut().scale_output_weights(0.1);
-    let b1_loss = train_branch1(&mut branch1, &feature_rows, &est_samples, config, &mut rng);
-
-    // ----- Branch 2: prediction -----
-    let (stage2, b2_loss) = match &config.variant {
-        PinnVariant::PhysicsOnly => (
-            SecondStage::Coulomb {
-                capacity_ah: config.capacity_ah,
-            },
-            Vec::new(),
-        ),
-        variant => {
-            let pairs = prediction_pairs_all(&dataset.train, config.data_horizon_s);
-            assert!(
-                !pairs.is_empty(),
-                "no prediction pairs at horizon {}s",
-                config.data_horizon_s
-            );
-            let it_rows: Vec<[f64; 2]> = pairs
-                .iter()
-                .map(|p| [p.avg_current_a, p.avg_temperature_c])
-                .collect();
-            let norm_it = Normalizer::fit(it_rows.iter().map(|r| r.as_slice()));
-            let mut branch2 = Branch2::new(norm_it, config.data_horizon_s, &mut rng);
-            let sampler = match variant {
-                PinnVariant::Pinn { horizons_s } => Some(PhysicsSampler::new(
-                    dataset,
-                    horizons_s.clone(),
-                    config.physics_current,
-                    config.seed.wrapping_add(1),
-                )),
-                _ => None,
-            };
-            // Small-output init: Branch 2 starts near its mean prediction,
-            // so the combined data + physics objective is well-conditioned
-            // from the first step (large random initial outputs can lock
-            // the horizon response into inverted basins).
-            branch2.net_mut().scale_output_weights(0.1);
-            let losses = train_branch2(&mut branch2, &pairs, sampler, config, &mut rng);
-            (SecondStage::Network(branch2), losses)
-        }
-    };
-
-    let label = config.variant.to_string();
-    let model = SocModel {
-        branch1,
-        stage2,
-        label: label.clone(),
-    };
-    (
-        model,
-        TrainReport {
-            label,
-            b1_loss,
-            b2_loss,
-        },
-    )
-}
-
-fn train_branch1(
-    branch1: &mut Branch1,
-    feature_rows: &[[f64; 3]],
-    samples: &[pinnsoc_data::EstimationSample],
-    config: &TrainConfig,
-    rng: &mut StdRng,
-) -> Vec<f32> {
-    let features = branch1.feature_matrix(feature_rows);
-    let targets: Vec<f32> = samples.iter().map(|s| s.soc as f32).collect();
-    let mut opt = Adam::new(config.learning_rate);
-    let schedule = LrSchedule::Cosine {
-        total: config.b1_epochs,
-        min_lr: config.learning_rate * 0.05,
-    };
-    let mut indices: Vec<usize> = (0..samples.len()).collect();
-    let mut history = Vec::with_capacity(config.b1_epochs);
-    for epoch in 0..config.b1_epochs {
-        opt.set_learning_rate(schedule.rate_at(config.learning_rate, epoch));
-        indices.shuffle(rng);
-        let mut epoch_loss = 0.0_f32;
-        let mut batches = 0usize;
-        for chunk in indices.chunks(config.batch_size) {
-            let x = features.gather_rows(chunk);
-            let y = Matrix::from_vec(chunk.len(), 1, chunk.iter().map(|&i| targets[i]).collect());
-            let net = branch1.net_mut();
-            let pred = net.forward(&x);
-            epoch_loss += Loss::Mae.value(&pred, &y);
-            batches += 1;
-            let grad = Loss::Mae.gradient(&pred, &y);
-            net.zero_grad();
-            net.backward(&grad);
-            opt.step(net);
-        }
-        history.push(epoch_loss / batches.max(1) as f32);
-    }
-    history
-}
-
-fn train_branch2(
-    branch2: &mut Branch2,
-    pairs: &[PredictionSample],
-    mut physics: Option<PhysicsSampler>,
-    config: &TrainConfig,
-    rng: &mut StdRng,
-) -> Vec<f32> {
-    let rows: Vec<[f64; 4]> = pairs.iter().map(|p| p.features()).collect();
-    let features = branch2.feature_matrix(&rows);
-    let targets: Vec<f32> = pairs.iter().map(|p| p.soc_next as f32).collect();
-    let mut opt = Adam::new(config.learning_rate);
-    let schedule = LrSchedule::Cosine {
-        total: config.b2_epochs,
-        min_lr: config.learning_rate * 0.05,
-    };
-    let mut indices: Vec<usize> = (0..pairs.len()).collect();
-    let mut history = Vec::with_capacity(config.b2_epochs);
-    for epoch in 0..config.b2_epochs {
-        opt.set_learning_rate(schedule.rate_at(config.learning_rate, epoch));
-        indices.shuffle(rng);
-        let mut epoch_loss = 0.0_f32;
-        let mut batches = 0usize;
-        for chunk in indices.chunks(config.batch_size) {
-            let x = features.gather_rows(chunk);
-            let y = Matrix::from_vec(chunk.len(), 1, chunk.iter().map(|&i| targets[i]).collect());
-            // Data term of Eq. 2.
-            let net = branch2.net_mut();
-            let pred = net.forward(&x);
-            let mut batch_loss = Loss::Mae.value(&pred, &y);
-            let grad = Loss::Mae.gradient(&pred, &y);
-            net.zero_grad();
-            net.backward(&grad);
-            // Physics term of Eq. 2: an equally sized batch of randomly
-            // generated Coulomb tuples (teacher-free labels).
-            if let Some(sampler) = physics.as_mut() {
-                let batch = sampler.sample_batch(chunk.len());
-                let p_rows: Vec<[f64; 4]> = batch.iter().map(|p| p.features()).collect();
-                let px = branch2.feature_matrix(&p_rows);
-                let py = Matrix::from_vec(
-                    batch.len(),
-                    1,
-                    batch.iter().map(|p| p.soc_next as f32).collect(),
-                );
-                let net = branch2.net_mut();
-                let p_pred = net.forward(&px);
-                batch_loss += config.physics_weight * Loss::Mae.value(&p_pred, &py);
-                let p_grad = Loss::Mae
-                    .gradient(&p_pred, &py)
-                    .scale(config.physics_weight);
-                net.backward(&p_grad);
-            }
-            opt.step(branch2.net_mut());
-            epoch_loss += batch_loss;
-            batches += 1;
-        }
-        history.push(epoch_loss / batches.max(1) as f32);
-    }
-    history
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use pinnsoc_battery::Chemistry;
-    use pinnsoc_data::{generate_sandia, NoiseConfig, SandiaConfig};
-
-    fn tiny_dataset() -> SocDataset {
-        generate_sandia(&SandiaConfig {
-            chemistries: vec![Chemistry::Nmc],
-            ambient_temps_c: vec![25.0],
-            cycles_per_condition: 1,
-            noise: NoiseConfig::none(),
-            ..SandiaConfig::default()
-        })
-    }
-
-    fn quick_config(variant: PinnVariant) -> TrainConfig {
-        TrainConfig {
-            b1_epochs: 30,
-            b2_epochs: 30,
-            batch_size: 16,
-            ..TrainConfig::sandia(variant, 42)
-        }
-    }
-
-    #[test]
-    fn branch1_loss_decreases() {
-        let ds = tiny_dataset();
-        let (_, report) = train(&ds, &quick_config(PinnVariant::NoPinn));
-        let first = report.b1_loss.first().unwrap();
-        let last = report.b1_loss.last().unwrap();
-        assert!(last < first, "B1 loss did not improve: {first} -> {last}");
-        assert!(*last < 0.1, "B1 final loss too high: {last}");
-    }
-
-    #[test]
-    fn branch2_loss_decreases() {
-        let ds = tiny_dataset();
-        let (_, report) = train(&ds, &quick_config(PinnVariant::NoPinn));
-        let first = report.b2_loss.first().unwrap();
-        let last = report.b2_loss.last().unwrap();
-        assert!(last < first, "B2 loss did not improve: {first} -> {last}");
-    }
-
-    #[test]
-    fn physics_only_skips_branch2() {
-        let ds = tiny_dataset();
-        let (model, report) = train(&ds, &quick_config(PinnVariant::PhysicsOnly));
-        assert!(report.b2_loss.is_empty());
-        assert!(matches!(model.stage2, SecondStage::Coulomb { .. }));
-        assert_eq!(model.label, "Physics-Only");
-    }
-
-    #[test]
-    fn pinn_trains_with_physics_batches() {
-        let ds = tiny_dataset();
-        let (model, report) = train(
-            &ds,
-            &quick_config(PinnVariant::pinn_all(&[120.0, 240.0, 360.0])),
-        );
-        assert!(!report.b2_loss.is_empty());
-        assert_eq!(model.label, "PINN-All");
-        assert!(matches!(model.stage2, SecondStage::Network(_)));
-    }
-
-    #[test]
-    fn training_is_deterministic_given_seed() {
-        let ds = tiny_dataset();
-        let (m1, _) = train(&ds, &quick_config(PinnVariant::NoPinn));
-        let (m2, _) = train(&ds, &quick_config(PinnVariant::NoPinn));
-        assert_eq!(m1.estimate(3.7, 3.0, 25.0), m2.estimate(3.7, 3.0, 25.0));
-        assert_eq!(
-            m1.predict_from(0.8, 3.0, 25.0, 120.0),
-            m2.predict_from(0.8, 3.0, 25.0, 120.0)
-        );
-    }
-
-    #[test]
-    fn different_seeds_give_different_models() {
-        let ds = tiny_dataset();
-        let (m1, _) = train(&ds, &quick_config(PinnVariant::NoPinn));
-        let mut config = quick_config(PinnVariant::NoPinn);
-        config.seed = 43;
-        let (m2, _) = train(&ds, &config);
-        assert_ne!(m1.estimate(3.7, 3.0, 25.0), m2.estimate(3.7, 3.0, 25.0));
-    }
-
-    #[test]
-    fn trained_estimator_tracks_soc_on_train_data() {
-        let ds = tiny_dataset();
-        let (model, _) = train(&ds, &quick_config(PinnVariant::NoPinn));
-        let cycle = &ds.train[0];
-        let mut total = 0.0;
-        for r in &cycle.records {
-            total += (model.estimate(r.voltage_v, r.current_a, r.temperature_c) - r.soc).abs();
-        }
-        let mae = total / cycle.records.len() as f64;
-        assert!(mae < 0.08, "train-set estimation MAE too high: {mae}");
-    }
-}
+pub use crate::train::{train, TrainReport};

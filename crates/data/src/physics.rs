@@ -160,16 +160,27 @@ impl PhysicsSampler {
     /// quantity the physics loss exists to teach — instead of relying on
     /// horizon contrasts to emerge across independent draws.
     pub fn sample_batch(&mut self, n: usize) -> Vec<PredictionSample> {
+        let mut out = Vec::new();
+        self.sample_batch_into(n, &mut out);
+        out
+    }
+
+    /// [`PhysicsSampler::sample_batch`] into a caller-owned vector (cleared
+    /// first), avoiding the per-step allocation — the steady-state training
+    /// loop draws one physics batch per minibatch, so the buffer is reused
+    /// across every step. Draw order (and therefore the RNG stream) is
+    /// identical to [`PhysicsSampler::sample_batch`].
+    pub fn sample_batch_into(&mut self, n: usize, out: &mut Vec<PredictionSample>) {
+        out.clear();
         let k = self.horizons_s.len();
         let conditions = n.div_ceil(k);
-        let mut out = Vec::with_capacity(conditions * k);
+        out.reserve(conditions * k);
         for _ in 0..conditions {
             let condition = self.draw_condition();
             for i in 0..k {
                 out.push(self.tuple_at(condition, self.horizons_s[i]));
             }
         }
-        out
     }
 }
 
@@ -283,6 +294,20 @@ mod tests {
         let a = PhysicsSampler::new(&ds, vec![120.0], PhysicsCurrentMode::Pool, 7).sample_batch(10);
         let b = PhysicsSampler::new(&ds, vec![120.0], PhysicsCurrentMode::Pool, 7).sample_batch(10);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sample_batch_into_matches_sample_batch_and_reuses_buffer() {
+        let ds = tiny_dataset();
+        let mut a = PhysicsSampler::new(&ds, vec![60.0, 120.0], PhysicsCurrentMode::Pool, 11);
+        let mut b = a.clone();
+        let mut buf = Vec::new();
+        // Repeated draws through the reused buffer must track the
+        // allocating path draw-for-draw (same RNG stream).
+        for n in [10usize, 3, 16] {
+            b.sample_batch_into(n, &mut buf);
+            assert_eq!(a.sample_batch(n), buf);
+        }
     }
 
     #[test]

@@ -411,8 +411,8 @@ impl FleetEngine {
                 totals.0 += absorbed;
                 totals.1 += estimated;
             }
-            self.stage_times.accumulate(&done.shard.stage);
-            self.shards[done.idx] = Some(done.shard);
+            self.stage_times.accumulate(&done.task.stage);
+            self.shards[done.idx] = Some(done.task);
         }
         // Re-raise only after every surviving shard is checked back in.
         assert!(!panicked, "shard task panicked during process_pending");
@@ -473,7 +473,7 @@ impl FleetEngine {
             if let TaskOutput::Predict(mut pairs) = done.output {
                 out.append(&mut pairs);
             }
-            self.shards[done.idx] = Some(done.shard);
+            self.shards[done.idx] = Some(done.task);
         }
         // Re-raise only after every surviving shard is checked back in.
         assert!(!panicked, "shard task panicked during predict_all");

@@ -14,11 +14,12 @@
 //!   [`pinnsoc_battery::EkfEstimator`] fallback per cell), so batch
 //!   assembly gathers features from contiguous arrays and scatters results
 //!   back with linear writes.
-//! - Batch passes run on a **persistent worker pool**: workers park between
-//!   ticks and wake through an epoch/condvar handoff; the calling thread
-//!   participates in draining the shard queue, so a single-core host runs
-//!   the whole pass inline with zero thread spawns and zero steady-state
-//!   allocations per tick.
+//! - Batch passes run on a **persistent worker pool** (the shared
+//!   [`pinnsoc_runtime::WorkerPool`], which also powers pool-parallel
+//!   training): workers park between ticks and wake through an
+//!   epoch/condvar handoff; the calling thread participates in draining
+//!   the shard queue, so a single-core host runs the whole pass inline
+//!   with zero thread spawns and zero steady-state allocations per tick.
 //! - Telemetry ingestion is coalesced into fixed-size **micro-batches**,
 //!   each running through the fused batched forward paths
 //!   ([`pinnsoc::SocModel::estimate_features_into`] /

@@ -1,29 +1,28 @@
-//! Persistent worker pool backing the engine's batch passes.
+//! Fleet instantiation of the shared [`pinnsoc_runtime`] worker pool.
 //!
-//! PR 1 fanned shards out over `std::thread::scope`, paying one thread
-//! spawn + join per shard per tick. This pool spawns its workers once, at
-//! engine construction, and parks them between ticks: the engine hands a
-//! tick over by moving the active shards into a shared job queue, bumping
-//! an epoch counter, and waking the workers through a condvar. Workers (and
-//! the calling thread, which participates in draining the queue — on a
-//! single-core host it typically does all the work itself before a worker
-//! is even scheduled) pop shards, run them against a pinned model snapshot,
-//! and push them back with their results. Shards carry their own scratch
-//! buffers, so steady-state ticks spawn no threads and perform no
-//! allocations in the pool machinery (the queue and result buffers are
-//! reused engine-owned vectors).
+//! PR 2 built a persistent worker pool here (workers park between ticks,
+//! epoch/condvar handoff, shard ownership moving through the queue, caller
+//! participation). That machinery is now the generic
+//! [`pinnsoc_runtime::WorkerPool`], shared with the pool-parallel training
+//! layer (`pinnsoc::train_many`); this module keeps only the fleet-specific
+//! pieces — what a tick asks of a shard ([`JobKind`]), what a shard
+//! produces ([`TaskOutput`]), and the two trait hooks:
 //!
-//! Everything is safe code: shard ownership moves through the queue instead
-//! of being borrowed across threads, so no `unsafe`, no scoped threads, and
-//! no per-shard locks on the hot path — the single state mutex is held only
-//! for queue pops and result pushes.
+//! - [`Shard`] is the pool's task: it moves into the queue by ownership and
+//!   comes back inside a [`Done`] record, carrying its own scratch buffers,
+//!   so steady-state ticks spawn no threads and perform no allocations in
+//!   the pool machinery.
+//! - [`ModelRegistry`] is the pool's pin source: the model snapshot is
+//!   pinned under the same lock as each queue pop, so a task never runs
+//!   against a model older than its own tick's start, and a hot swap
+//!   (which never takes the pool lock) applies from the next pop on.
 
 use crate::engine::{Shard, WorkloadQuery};
 use crate::registry::ModelRegistry;
 use crate::telemetry::CellId;
 use pinnsoc::SocModel;
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use pinnsoc_runtime::{PinSource, PoolTask};
+use std::sync::Arc;
 
 /// What a tick asks each shard to do.
 #[derive(Debug, Clone, Copy)]
@@ -51,206 +50,38 @@ pub(crate) enum TaskOutput {
     Predict(Vec<(CellId, f64)>),
 }
 
-/// A completed shard: its index in the engine, the shard itself (ownership
-/// returns to the engine), and what it produced.
-#[derive(Debug)]
-pub(crate) struct Done {
-    pub idx: usize,
-    pub shard: Shard,
-    pub output: TaskOutput,
-}
+impl PinSource for ModelRegistry {
+    type Ctx = Arc<SocModel>;
 
-struct PoolState {
-    /// Bumped once per tick; workers compare it against the last epoch they
-    /// served to decide whether a wake-up means new work.
-    epoch: u64,
-    shutdown: bool,
-    kind: JobKind,
-    /// Shards awaiting processing this tick.
-    queue: Vec<(usize, Shard)>,
-    /// Shards currently being processed (by workers or the caller).
-    active: usize,
-    /// Completed shards, awaiting collection by the caller.
-    done: Vec<Done>,
-    /// Set when a task panicked this tick (its shard is lost with the
-    /// unwind). The tick still runs to quiescence so every *surviving*
-    /// shard returns to the engine, then the caller re-raises.
-    panicked: bool,
-}
-
-struct Shared {
-    registry: Arc<ModelRegistry>,
-    state: Mutex<PoolState>,
-    /// Signals workers that a new epoch's queue is ready (or shutdown).
-    work_ready: Condvar,
-    /// Signals the caller that the last active shard completed.
-    work_done: Condvar,
-}
-
-/// The persistent pool. Workers live as long as the pool; dropping it
-/// shuts them down and joins them.
-pub(crate) struct WorkerPool {
-    shared: Arc<Shared>,
-    handles: Vec<JoinHandle<()>>,
-}
-
-impl WorkerPool {
-    /// Spawns `workers` persistent worker threads (0 is valid: every tick
-    /// then runs entirely on the calling thread, which is optimal on a
-    /// single-core host).
-    pub(crate) fn new(registry: Arc<ModelRegistry>, workers: usize) -> Self {
-        let shared = Arc::new(Shared {
-            registry,
-            state: Mutex::new(PoolState {
-                epoch: 0,
-                shutdown: false,
-                kind: JobKind::Process { micro_batch: 1 },
-                queue: Vec::new(),
-                active: 0,
-                done: Vec::new(),
-                panicked: false,
-            }),
-            work_ready: Condvar::new(),
-            work_done: Condvar::new(),
-        });
-        let handles = (0..workers)
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
-            })
-            .collect();
-        Self { shared, handles }
-    }
-
-    /// Number of persistent worker threads (excluding the calling thread).
-    pub(crate) fn workers(&self) -> usize {
-        self.handles.len()
-    }
-
-    /// Runs one tick: drains `tasks` into the shared queue, wakes the
-    /// workers, participates in the drain, and collects every completed
-    /// shard into `done_out` (cleared first). Blocks until all tasks have
-    /// completed. Both vectors are caller-owned so their capacity is reused
-    /// across ticks.
-    ///
-    /// Returns `true` if any task panicked this tick. The tick still runs
-    /// to quiescence first, so every *surviving* shard is in `done_out` —
-    /// the engine restores those before re-raising (a panicking shard's
-    /// state is lost with its unwind, exactly as under the old
-    /// scoped-thread design's `join().expect`).
-    #[must_use = "a panicked tick must be re-raised after restoring shards"]
-    pub(crate) fn run(
-        &self,
-        kind: JobKind,
-        tasks: &mut Vec<(usize, Shard)>,
-        done_out: &mut Vec<Done>,
-    ) -> bool {
-        done_out.clear();
-        if tasks.is_empty() {
-            return false;
-        }
-        let mut st = self.shared.state.lock().expect("pool state poisoned");
-        debug_assert!(st.queue.is_empty() && st.active == 0 && st.done.is_empty());
-        st.kind = kind;
-        st.queue.append(tasks);
-        st.epoch = st.epoch.wrapping_add(1);
-        st.panicked = false;
-        if !self.handles.is_empty() && st.queue.len() > 1 {
-            // With a single task the caller will run it directly; don't
-            // wake workers just to find an empty queue.
-            self.shared.work_ready.notify_all();
-        }
-        st = drain_queue(&self.shared, st);
-        while st.active > 0 {
-            st = self.shared.work_done.wait(st).expect("pool state poisoned");
-            st = drain_queue(&self.shared, st);
-        }
-        std::mem::swap(&mut st.done, done_out);
-        st.panicked
+    fn pin(&self) -> Arc<SocModel> {
+        self.current()
     }
 }
 
-/// Pops and executes tasks until the queue is empty, from either the
-/// calling thread or a worker. The job kind and the model snapshot are
-/// read under the same lock as each pop: the queue may already belong to a
-/// newer epoch than the one that woke this thread, and a task must never
-/// run against a model older than its own tick's start
-/// (`ModelRegistry::swap` never takes the pool lock, so pinning under it
-/// cannot deadlock). A panicking task marks the tick panicked — its shard
-/// is lost with the unwind — instead of leaving `active` stuck and hanging
-/// the caller's quiescence wait.
-fn drain_queue<'m>(
-    shared: &'m Shared,
-    mut st: std::sync::MutexGuard<'m, PoolState>,
-) -> std::sync::MutexGuard<'m, PoolState> {
-    while let Some((idx, mut shard)) = st.queue.pop() {
-        let kind = st.kind;
-        let model = shared.registry.current();
-        st.active += 1;
-        drop(st);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute(&mut shard, &model, kind)
-        }));
-        st = shared.state.lock().expect("pool state poisoned");
-        st.active -= 1;
-        match result {
-            Ok(output) => st.done.push(Done { idx, shard, output }),
-            Err(_) => st.panicked = true,
-        }
-        if st.active == 0 && st.queue.is_empty() {
-            shared.work_done.notify_all();
-        }
-    }
-    st
-}
+impl PoolTask for Shard {
+    type Ctx = Arc<SocModel>;
+    type Kind = JobKind;
+    type Output = TaskOutput;
 
-impl Drop for WorkerPool {
-    fn drop(&mut self) {
-        {
-            let mut st = self.shared.state.lock().expect("pool state poisoned");
-            st.shutdown = true;
-            self.shared.work_ready.notify_all();
-        }
-        for handle in self.handles.drain(..) {
-            handle.join().expect("pool worker panicked");
-        }
-    }
-}
-
-fn execute(shard: &mut Shard, model: &SocModel, kind: JobKind) -> TaskOutput {
-    match kind {
-        JobKind::Process { micro_batch } => {
-            let (absorbed, estimated) = shard.process(model, micro_batch);
-            TaskOutput::Process {
-                absorbed,
-                estimated,
+    fn run(&mut self, model: &Arc<SocModel>, kind: JobKind) -> TaskOutput {
+        match kind {
+            JobKind::Process { micro_batch } => {
+                let (absorbed, estimated) = self.process(model, micro_batch);
+                TaskOutput::Process {
+                    absorbed,
+                    estimated,
+                }
             }
+            JobKind::PredictAll {
+                workload,
+                micro_batch,
+            } => TaskOutput::Predict(self.predict_all(model, &workload, micro_batch)),
         }
-        JobKind::PredictAll {
-            workload,
-            micro_batch,
-        } => TaskOutput::Predict(shard.predict_all(model, &workload, micro_batch)),
     }
 }
 
-fn worker_loop(shared: &Shared) {
-    let mut seen_epoch = 0u64;
-    loop {
-        let mut st = shared.state.lock().expect("pool state poisoned");
-        loop {
-            if st.shutdown {
-                return;
-            }
-            if st.epoch != seen_epoch && !st.queue.is_empty() {
-                break;
-            }
-            // Either no new epoch, or its queue was already drained by the
-            // caller and the other workers — nothing for us this tick.
-            seen_epoch = st.epoch;
-            st = shared.work_ready.wait(st).expect("pool state poisoned");
-        }
-        seen_epoch = st.epoch;
-        let st = drain_queue(shared, st);
-        drop(st);
-    }
-}
+/// The engine's pool: shards drained against pinned model snapshots.
+pub(crate) type WorkerPool = pinnsoc_runtime::WorkerPool<ModelRegistry, Shard>;
+
+/// A completed shard pass (see [`pinnsoc_runtime::Done`]).
+pub(crate) type Done = pinnsoc_runtime::Done<Shard>;

@@ -42,12 +42,31 @@ pub struct Dense {
     /// path packs once per trained model and reuses it for every batch.
     #[serde(skip)]
     packed: OnceLock<PackedWeights>,
+    /// Packed weight panels for the *training* forward pass
+    /// ([`Dense::forward_train_into`]). Unlike `packed`, which is dropped
+    /// on invalidation, this buffer is repacked **in place** after each
+    /// optimizer step (weights change every step during training, so
+    /// dropping it would allocate per step).
+    #[serde(skip)]
+    train_packed: Option<PackedWeights>,
+    /// Set whenever the weights may have changed; the next training
+    /// forward repacks `train_packed` in place.
+    #[serde(skip)]
+    train_packed_stale: bool,
 }
 
 #[derive(Debug, Clone)]
 struct Cache {
     input: Matrix,
     pre_activation: Matrix,
+    /// δ = dL/dy ⊙ σ'(z) of the latest backward pass (reused buffer).
+    delta: Matrix,
+    /// This pass's `xᵀ·δ` contribution, staged before accumulating into
+    /// `grad_weight` so repeated backward calls (data + physics terms of
+    /// one step) sum exactly like the allocating path.
+    grad_w_pass: Matrix,
+    /// This pass's per-column δ sums, staged like `grad_w_pass`.
+    bias_sums: Vec<f32>,
 }
 
 impl Cache {
@@ -55,6 +74,9 @@ impl Cache {
         Self {
             input: Matrix::zeros(1, 1),
             pre_activation: Matrix::zeros(1, 1),
+            delta: Matrix::zeros(1, 1),
+            grad_w_pass: Matrix::zeros(1, 1),
+            bias_sums: Vec::new(),
         }
     }
 }
@@ -76,6 +98,8 @@ impl Dense {
             grad_bias: vec![0.0; fan_out],
             cache: None,
             packed: OnceLock::new(),
+            train_packed: None,
+            train_packed_stale: false,
         }
     }
 
@@ -96,6 +120,8 @@ impl Dense {
             grad_bias: vec![0.0; fan_out],
             cache: None,
             packed: OnceLock::new(),
+            train_packed: None,
+            train_packed_stale: false,
         }
     }
 
@@ -134,6 +160,15 @@ impl Dense {
         self.weight.len()
     }
 
+    /// Invalidates every packed snapshot of the weights. Must be called by
+    /// every path that can mutate them — the serving panels are dropped
+    /// (repacked lazily on next use) and the training panels are marked for
+    /// an in-place repack.
+    fn invalidate_packed(&mut self) {
+        self.packed.take();
+        self.train_packed_stale = true;
+    }
+
     /// Scales the weight matrix (not the bias) by `factor` — used for
     /// small-output initialization of the final layer.
     ///
@@ -143,7 +178,7 @@ impl Dense {
     pub fn scale_weights(&mut self, factor: f32) {
         assert!(factor.is_finite(), "scale factor must be finite");
         self.weight.map_inplace(|w| w * factor);
-        self.packed.take();
+        self.invalidate_packed();
     }
 
     /// Forward pass; caches activations for a subsequent [`Dense::backward`].
@@ -161,6 +196,49 @@ impl Dense {
             }
         }
         self.activation.forward(&cache.pre_activation)
+    }
+
+    /// Training forward pass into a caller-owned buffer: the fused
+    /// GEMM-plus-bias kernel ([`Matrix::matmul_bias_act_into`] over
+    /// in-place-repacked [`PackedWeights`] panels) produces the
+    /// pre-activation, which is cached for [`Dense::backward_into`], then
+    /// the activation is applied into `out`. Steady-state training steps
+    /// allocate nothing in this layer: the cache buffers, the packed
+    /// panels, and `out` are all reused.
+    ///
+    /// Per-element outputs are bit-exact with [`Dense::forward`] (the
+    /// allocating training path) per the [bit-exactness
+    /// contract](crate#bit-exactness-contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.cols() != self.fan_in()`.
+    pub fn forward_train_into(&mut self, input: &Matrix, out: &mut Matrix) {
+        let cache = self.cache.get_or_insert_with(Cache::empty);
+        cache.input.copy_from(input);
+        // Repack in place only when the weights changed (once per optimizer
+        // step, amortized over the data and physics forward passes).
+        let stale = self.train_packed_stale;
+        match &mut self.train_packed {
+            Some(packed) => {
+                if stale {
+                    packed.pack_into(&self.weight);
+                }
+            }
+            none => *none = Some(PackedWeights::pack(&self.weight)),
+        }
+        self.train_packed_stale = false;
+        let packed = self.train_packed.as_ref().expect("just packed");
+        // Fused GEMM + bias (identity epilogue): the cached pre-activation
+        // includes the bias, exactly as in `forward`.
+        input.matmul_bias_act_into(
+            packed,
+            &self.bias,
+            Activation::Identity,
+            &mut cache.pre_activation,
+        );
+        let act = self.activation;
+        cache.pre_activation.map_into(out, |x| act.apply(x));
     }
 
     /// Forward pass without caching (inference-only, avoids the clone).
@@ -244,9 +322,56 @@ impl Dense {
         delta.matmul_nt(&self.weight)
     }
 
-    /// Clears accumulated gradients.
+    /// Backward pass into a caller-owned buffer: consumes `dL/dy`,
+    /// accumulates `dL/dW`, `dL/db`, and writes `dL/dx` into `grad_input`.
+    /// All intermediates (δ, this pass's weight-gradient and bias-sum
+    /// contributions) live in reused cache buffers, so steady-state
+    /// training steps allocate nothing here.
+    ///
+    /// Gradient values are bit-exact with [`Dense::backward`]: each pass's
+    /// contribution is staged from zero and then added to the accumulator,
+    /// exactly like the allocating path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a forward pass or with a gradient whose
+    /// shape does not match the cached batch.
+    pub fn backward_into(&mut self, grad_output: &Matrix, grad_input: &mut Matrix) {
+        let fan_out = self.weight.cols();
+        let cache = self.cache.as_mut().expect("backward called before forward");
+        assert_eq!(
+            grad_output.shape(),
+            (cache.input.rows(), fan_out),
+            "gradient shape mismatch"
+        );
+        // δ = dL/dy ⊙ σ'(z), elementwise into the reused buffer.
+        let act = self.activation;
+        grad_output.zip_into(&cache.pre_activation, &mut cache.delta, |g, z| {
+            g * act.derivative_scalar(z)
+        });
+        // dW = xᵀ·δ, db = Σ_batch δ, dx = δ·Wᵀ
+        cache
+            .input
+            .matmul_tn_into(&cache.delta, &mut cache.grad_w_pass);
+        match &mut self.grad_weight {
+            Some(g) => g.add_assign(&cache.grad_w_pass),
+            None => self.grad_weight = Some(cache.grad_w_pass.clone()),
+        }
+        cache.delta.column_sums_into(&mut cache.bias_sums);
+        for (gb, &d) in self.grad_bias.iter_mut().zip(&cache.bias_sums) {
+            *gb += d;
+        }
+        cache.delta.matmul_nt_into(&self.weight, grad_input);
+    }
+
+    /// Clears accumulated gradients. The weight-gradient buffer is kept
+    /// (zero-filled) once allocated, so steady-state training steps do not
+    /// reallocate it; a zeroed accumulator receives bit-identical values to
+    /// a freshly created one.
     pub fn zero_grad(&mut self) {
-        self.grad_weight = None;
+        if let Some(g) = &mut self.grad_weight {
+            g.as_mut_slice().fill(0.0);
+        }
         self.grad_bias.fill(0.0);
     }
 
@@ -256,7 +381,7 @@ impl Dense {
     pub fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
         // The visitor gets mutable parameter access (optimizer steps), so
         // any packed snapshot of the weights is stale after this.
-        self.packed.take();
+        self.invalidate_packed();
         let grad_w = self
             .grad_weight
             .get_or_insert_with(|| Matrix::zeros(self.weight.rows(), self.weight.cols()));

@@ -13,10 +13,14 @@
 //! ## Bit-exactness contract
 //!
 //! The workspace serves the same model through several pipelines — scalar
-//! [`Mlp::infer`], batched [`Mlp::forward_batch`], and the fused
-//! packed-weight path [`Mlp::forward_batch_fused`] — and the serving layers
-//! (`pinnsoc`, `pinnsoc-fleet`) promise that all of them return **bitwise
-//! identical** results per row. That promise rests on three invariants,
+//! [`Mlp::infer`], batched [`Mlp::forward_batch`], the fused packed-weight
+//! path [`Mlp::forward_batch_fused`], and the scratch-reusing training
+//! passes [`Mlp::forward_train`] / [`Mlp::backward_train`] — and the layers
+//! above (`pinnsoc`, `pinnsoc-fleet`) promise that all of them compute
+//! **bitwise identical** results per row (for training: identical
+//! predictions *and* identical accumulated gradients to
+//! [`Mlp::forward`] / [`Mlp::backward`]). That promise rests on three
+//! invariants,
 //! which every kernel in this crate must preserve:
 //!
 //! 1. **Ascending-`k` accumulation.** Each output element of a GEMM is the
@@ -92,6 +96,6 @@ pub use init::Init;
 pub use loss::{mae, max_abs_error, rmse, Loss};
 pub use lstm::Lstm;
 pub use matrix::{Matrix, PackedWeights};
-pub use mlp::{InferScratch, Mlp};
+pub use mlp::{InferScratch, Mlp, TrainScratch};
 pub use optim::{Adam, LrSchedule, Optimizer, Sgd, Trainable};
 pub use persist::{load_json, save_json, PersistError};

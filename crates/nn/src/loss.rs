@@ -41,6 +41,14 @@ impl Loss {
         prediction.zip_with(target, |p, t| self.pointwise_derivative(p - t) / n)
     }
 
+    /// [`Loss::gradient`] into a caller-owned buffer (resized first),
+    /// avoiding the allocation; element values are identical.
+    pub fn gradient_into(self, prediction: &Matrix, target: &Matrix, out: &mut Matrix) {
+        assert_eq!(prediction.shape(), target.shape(), "loss shape mismatch");
+        let n = prediction.len() as f32;
+        prediction.zip_into(target, out, |p, t| self.pointwise_derivative(p - t) / n);
+    }
+
     /// Pointwise penalty of a single residual `r = prediction - target`.
     pub fn pointwise(self, r: f32) -> f32 {
         match self {

@@ -123,14 +123,30 @@ pub struct PackedWeights {
 
 impl PackedWeights {
     /// Repacks `weight` (a `fan_in × fan_out` GEMM right-hand side) into
-    /// column panels.
+    /// column panels. Panel widths mirror the `gemm_row_block` column sweep
+    /// exactly, so the fused kernels tile the output identically.
     pub fn pack(weight: &Matrix) -> Self {
+        let mut packed = Self {
+            rows: 0,
+            cols: 0,
+            data: Vec::with_capacity(weight.len()),
+            panels: Vec::new(),
+        };
+        packed.pack_into(weight);
+        packed
+    }
+
+    /// Repacks `weight` into this buffer, reusing its storage — the
+    /// training path repacks once per optimizer step, so the panels must
+    /// not reallocate in the steady state. Produces exactly the layout of
+    /// [`PackedWeights::pack`].
+    pub fn pack_into(&mut self, weight: &Matrix) {
         let (rows, cols) = weight.shape();
-        let mut panels = Vec::new();
-        let mut data = Vec::with_capacity(rows * cols);
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.panels.clear();
         let mut j0 = 0usize;
-        // Panel widths mirror the `gemm_row_block` column sweep exactly, so
-        // the fused kernels tile the output identically.
         while j0 < cols {
             let width = match cols - j0 {
                 w if w >= 32 => 32,
@@ -138,21 +154,15 @@ impl PackedWeights {
                 w if w >= 8 => 8,
                 w => w,
             };
-            panels.push(Panel {
+            self.panels.push(Panel {
                 j0: j0 as u32,
                 width: width as u32,
-                offset: data.len() as u32,
+                offset: self.data.len() as u32,
             });
             for k in 0..rows {
-                data.extend_from_slice(&weight.row(k)[j0..j0 + width]);
+                self.data.extend_from_slice(&weight.row(k)[j0..j0 + width]);
             }
             j0 += width;
-        }
-        Self {
-            rows,
-            cols,
-            data,
-            panels,
         }
     }
 
@@ -631,12 +641,23 @@ impl Matrix {
     ///
     /// Shapes: `self` is `m × n`, `rhs` is `m × p`, result is `n × p`.
     pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(1, 1);
+        self.matmul_tn_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_tn`] into a caller-owned buffer (zeroed and resized
+    /// first), avoiding the allocation. Accumulation order is identical, so
+    /// the two paths are bit-exact — see the [bit-exactness
+    /// contract](crate#bit-exactness-contract).
+    pub fn matmul_tn_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows, rhs.rows,
             "matmul_tn shape mismatch: ({}x{})ᵀ · {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        // The rank-1 update sweep accumulates, so start from zeros.
+        out.reset(self.cols, rhs.cols);
         for i in 0..self.rows {
             let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
             let rhs_row = &rhs.data[i * rhs.cols..(i + 1) * rhs.cols];
@@ -650,19 +671,29 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// Computes `self · rhsᵀ` without materializing the transpose.
     ///
     /// Shapes: `self` is `m × n`, `rhs` is `p × n`, result is `m × p`.
     pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(1, 1);
+        self.matmul_nt_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_nt`] into a caller-owned buffer (resized first),
+    /// avoiding the allocation. Accumulation order is identical, so the two
+    /// paths are bit-exact — see the [bit-exactness
+    /// contract](crate#bit-exactness-contract).
+    pub fn matmul_nt_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_nt shape mismatch: {}x{} · ({}x{})ᵀ",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        // Every element is assigned from a register accumulator.
+        out.reshape_for_overwrite(self.rows, rhs.rows);
         for i in 0..self.rows {
             let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
             for j in 0..rhs.rows {
@@ -674,7 +705,6 @@ impl Matrix {
                 out.data[i * rhs.rows + j] = acc;
             }
         }
-        out
     }
 
     /// Returns the transpose as a new matrix.
@@ -745,6 +775,26 @@ impl Matrix {
         }
     }
 
+    /// Element-wise combination written into a caller-owned buffer (resized
+    /// first) — the allocation-free sibling of [`Matrix::zip_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shapes differ.
+    pub fn zip_into(&self, rhs: &Matrix, out: &mut Matrix, f: impl Fn(f32, f32) -> f32) {
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "element-wise op shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        out.reshape_for_overwrite(self.rows, self.cols);
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&rhs.data) {
+            *o = f(a, b);
+        }
+    }
+
     /// Returns a copy with every element transformed by `f`.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
         Matrix {
@@ -758,6 +808,15 @@ impl Matrix {
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
         for x in &mut self.data {
             *x = f(*x);
+        }
+    }
+
+    /// Writes `f` applied to every element into a caller-owned buffer
+    /// (resized first) — the allocation-free sibling of [`Matrix::map`].
+    pub fn map_into(&self, out: &mut Matrix, f: impl Fn(f32) -> f32) {
+        out.reshape_for_overwrite(self.rows, self.cols);
+        for (o, &x) in out.data.iter_mut().zip(&self.data) {
+            *o = f(x);
         }
     }
 
@@ -784,13 +843,22 @@ impl Matrix {
 
     /// Sums each column into a length-`cols` vector (bias gradient reduction).
     pub fn column_sums(&self) -> Vec<f32> {
-        let mut sums = vec![0.0; self.cols];
+        let mut sums = Vec::new();
+        self.column_sums_into(&mut sums);
+        sums
+    }
+
+    /// [`Matrix::column_sums`] into a caller-owned vector (cleared and
+    /// resized first), avoiding the allocation. Accumulation order is
+    /// identical, so the two paths are bit-exact.
+    pub fn column_sums_into(&self, sums: &mut Vec<f32>) {
+        sums.clear();
+        sums.resize(self.cols, 0.0);
         for r in 0..self.rows {
             for (s, &x) in sums.iter_mut().zip(self.row(r)) {
                 *s += x;
             }
         }
-        sums
     }
 
     /// Mean of all elements.
@@ -837,15 +905,27 @@ impl Matrix {
 
     /// Gathers the given rows (in order, repeats allowed) into a new matrix.
     pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(1, 1);
+        self.gather_rows_into(indices, &mut out);
+        out
+    }
+
+    /// [`Matrix::gather_rows`] into a caller-owned buffer (resized first),
+    /// avoiding the allocation — the minibatch gather of the steady-state
+    /// training step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or any index is out of bounds.
+    pub fn gather_rows_into(&self, indices: &[usize], out: &mut Matrix) {
         assert!(
             !indices.is_empty(),
             "gather_rows requires at least one index"
         );
-        let mut data = Vec::with_capacity(indices.len() * self.cols);
-        for &i in indices {
-            data.extend_from_slice(self.row(i));
+        out.reshape_for_overwrite(indices.len(), self.cols);
+        for (r, &i) in indices.iter().enumerate() {
+            out.row_mut(r).copy_from_slice(self.row(i));
         }
-        Matrix::from_vec(indices.len(), self.cols, data)
     }
 
     /// Extracts a contiguous block of columns `[start, start + count)`.

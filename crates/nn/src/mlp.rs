@@ -41,6 +41,19 @@ pub struct InferScratch {
     pong: Option<Matrix>,
 }
 
+/// Reusable ping-pong buffers for the scratch-reusing training passes
+/// ([`Mlp::forward_train`] / [`Mlp::backward_train`]).
+///
+/// One instance serves both directions: the forward activations are
+/// consumed layer-by-layer (each layer caches its own input), so the
+/// backward pass can ping-pong its gradients through the same two buffers.
+/// Keep one per training loop and the steady-state step allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct TrainScratch {
+    ping: Option<Matrix>,
+    pong: Option<Matrix>,
+}
+
 impl Mlp {
     /// Builds an MLP from layer `widths`, applying `hidden` activation to all
     /// layers except the last, which is linear ([`Activation::Identity`]).
@@ -124,6 +137,80 @@ impl Mlp {
             x = layer.forward(&x);
         }
         x
+    }
+
+    /// Scratch-reusing training forward pass: each layer runs
+    /// [`Dense::forward_train_into`] (fused GEMM-plus-bias over packed
+    /// weight panels, activations cached for the backward pass),
+    /// ping-ponging between the two scratch buffers so the steady-state
+    /// training step performs **zero allocations**. Returns a borrow of the
+    /// scratch buffer holding the `batch × output_dim` prediction.
+    ///
+    /// Outputs are bit-exact with [`Mlp::forward`] (the allocating
+    /// training path) per the [bit-exactness
+    /// contract](crate#bit-exactness-contract); call [`Mlp::backward_train`]
+    /// next, on the same scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.cols() != self.input_dim()`.
+    pub fn forward_train<'s>(
+        &mut self,
+        input: &Matrix,
+        scratch: &'s mut TrainScratch,
+    ) -> &'s Matrix {
+        assert_eq!(
+            input.cols(),
+            self.input_dim(),
+            "batch feature width mismatch"
+        );
+        for (li, layer) in self.layers.iter_mut().enumerate() {
+            let (src, dst) = if li % 2 == 0 {
+                (&scratch.ping, &mut scratch.pong)
+            } else {
+                (&scratch.pong, &mut scratch.ping)
+            };
+            let x = if li == 0 {
+                input
+            } else {
+                src.as_ref().expect("previous layer ran")
+            };
+            let out = dst.get_or_insert_with(|| Matrix::zeros(1, 1));
+            layer.forward_train_into(x, out);
+        }
+        let last = if self.layers.len().is_multiple_of(2) {
+            &scratch.ping
+        } else {
+            &scratch.pong
+        };
+        last.as_ref().expect("at least one layer ran")
+    }
+
+    /// Scratch-reusing backward pass paired with [`Mlp::forward_train`]:
+    /// propagates `dL/dy` through [`Dense::backward_into`], accumulating
+    /// parameter gradients, with the inter-layer gradients ping-ponging
+    /// through the scratch buffers (the forward activations they held are
+    /// no longer needed). The input gradient is not returned; use
+    /// [`Mlp::backward`] for cascaded networks.
+    ///
+    /// Accumulated gradients are bit-exact with [`Mlp::backward`].
+    pub fn backward_train(&mut self, grad_output: &Matrix, scratch: &mut TrainScratch) {
+        let depth = self.layers.len();
+        for (li, layer) in self.layers.iter_mut().enumerate().rev() {
+            let steps_done = depth - 1 - li;
+            let (src, dst) = if steps_done.is_multiple_of(2) {
+                (&scratch.pong, &mut scratch.ping)
+            } else {
+                (&scratch.ping, &mut scratch.pong)
+            };
+            let g = if steps_done == 0 {
+                grad_output
+            } else {
+                src.as_ref().expect("later layer ran")
+            };
+            let out = dst.get_or_insert_with(|| Matrix::zeros(1, 1));
+            layer.backward_into(g, out);
+        }
     }
 
     /// Inference-only forward pass (no caching).
@@ -484,6 +571,113 @@ mod tests {
         let x = Matrix::from_rows(&[&[0.1, -0.4, 0.7, 0.0], &[1.0, 0.5, -0.5, 2.0]]);
         let mut scratch = InferScratch::default();
         assert_eq!(m.forward_batch(&x, &mut scratch), &m.infer(&x));
+    }
+
+    #[test]
+    fn train_path_matches_classic_path_bitwise() {
+        use crate::loss::Loss;
+        use crate::optim::{Adam, Optimizer};
+        // The scratch-reusing fused training path must reproduce the
+        // allocating path bit-for-bit: predictions, accumulated gradients
+        // (including a second weighted backward per step, as the PINN
+        // objective performs), and the resulting weight trajectories.
+        let x = Matrix::from_vec(10, 3, (0..30).map(|i| (i as f32 * 0.29).sin()).collect());
+        let y = Matrix::from_vec(10, 1, (0..10).map(|i| (i as f32 * 0.13).cos()).collect());
+        let x2 = Matrix::from_vec(6, 3, (0..18).map(|i| (i as f32 * 0.41).cos()).collect());
+        let y2 = Matrix::from_vec(6, 1, (0..6).map(|i| (i as f32 * 0.57).sin()).collect());
+        let mut classic = Mlp::new(
+            &[3, 16, 32, 16, 1],
+            Activation::Relu,
+            Init::HeNormal,
+            &mut rng(),
+        );
+        let mut fused = classic.clone();
+        let mut opt_c = Adam::new(0.01);
+        let mut opt_f = Adam::new(0.01);
+        let mut scratch = TrainScratch::default();
+        let mut grad_buf = Matrix::zeros(1, 1);
+        for step in 0..20 {
+            // Classic step: data term + weighted auxiliary term.
+            let pred = classic.forward(&x);
+            let grad = Loss::Mae.gradient(&pred, &y);
+            classic.zero_grad();
+            classic.backward(&grad);
+            let pred2 = classic.forward(&x2);
+            let grad2 = Loss::Mae.gradient(&pred2, &y2).scale(0.7);
+            classic.backward(&grad2);
+            opt_c.step(&mut classic);
+            // Fused scratch-reusing step.
+            {
+                let pred_f = fused.forward_train(&x, &mut scratch);
+                assert_eq!(pred_f.shape(), pred.shape());
+                for (a, b) in pred_f.as_slice().iter().zip(pred.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "step {step}: prediction");
+                }
+                Loss::Mae.gradient_into(pred_f, &y, &mut grad_buf);
+            }
+            fused.zero_grad();
+            fused.backward_train(&grad_buf, &mut scratch);
+            {
+                let pred2_f = fused.forward_train(&x2, &mut scratch);
+                Loss::Mae.gradient_into(pred2_f, &y2, &mut grad_buf);
+            }
+            grad_buf.map_inplace(|g| g * 0.7);
+            fused.backward_train(&grad_buf, &mut scratch);
+            // Accumulated gradients must match bitwise before the step.
+            let mut grads = (Vec::new(), Vec::new());
+            classic.visit_params(&mut |_p, g| grads.0.extend_from_slice(g));
+            fused.visit_params(&mut |_p, g| grads.1.extend_from_slice(g));
+            for (i, (a, b)) in grads.0.iter().zip(&grads.1).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "step {step}: grad {i}");
+            }
+            opt_f.step(&mut fused);
+        }
+        // Final weights identical -> identical models.
+        let probe = Matrix::from_rows(&[&[0.2, -0.4, 0.9]]);
+        assert_eq!(
+            classic.infer(&probe)[(0, 0)].to_bits(),
+            fused.infer(&probe)[(0, 0)].to_bits()
+        );
+    }
+
+    #[test]
+    fn train_path_handles_changing_batch_sizes() {
+        use crate::loss::Loss;
+        use crate::optim::{Adam, Optimizer};
+        // Partial final minibatches shrink the batch height between steps;
+        // the reused buffers must track the shape and stay bit-exact.
+        let mut classic = Mlp::new(
+            &[2, 8, 1],
+            Activation::Tanh,
+            Init::XavierUniform,
+            &mut rng(),
+        );
+        let mut fused = classic.clone();
+        let mut opt_c = Adam::new(0.02);
+        let mut opt_f = Adam::new(0.02);
+        let mut scratch = TrainScratch::default();
+        let mut grad_buf = Matrix::zeros(1, 1);
+        for &b in &[7usize, 3, 7, 1, 4] {
+            let x = Matrix::from_vec(b, 2, (0..2 * b).map(|i| (i as f32 * 0.31).sin()).collect());
+            let y = Matrix::from_vec(b, 1, (0..b).map(|i| i as f32 * 0.1).collect());
+            let pred = classic.forward(&x);
+            let grad = Loss::Mae.gradient(&pred, &y);
+            classic.zero_grad();
+            classic.backward(&grad);
+            opt_c.step(&mut classic);
+            {
+                let pred_f = fused.forward_train(&x, &mut scratch);
+                Loss::Mae.gradient_into(pred_f, &y, &mut grad_buf);
+            }
+            fused.zero_grad();
+            fused.backward_train(&grad_buf, &mut scratch);
+            opt_f.step(&mut fused);
+        }
+        let probe = Matrix::from_rows(&[&[0.5, -0.25]]);
+        assert_eq!(
+            classic.infer(&probe)[(0, 0)].to_bits(),
+            fused.infer(&probe)[(0, 0)].to_bits()
+        );
     }
 
     #[test]

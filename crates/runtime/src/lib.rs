@@ -1,0 +1,33 @@
+//! # pinnsoc-runtime
+//!
+//! Shared execution runtime for the `pinnsoc` workspace.
+//!
+//! The one abstraction here is [`WorkerPool`]: a persistent, epoch-signalled
+//! worker pool whose tasks move *by ownership* through a shared queue. It
+//! was born as the serving engine's batch-pass backbone (`pinnsoc-fleet`)
+//! and is now shared with the training layer (`pinnsoc::train_many`), so
+//! both sides of the train→serve pipeline scale through the same machinery:
+//!
+//! - Workers are spawned once and **park between runs**; a run hands its
+//!   tasks over by bumping an epoch counter and waking the workers through a
+//!   condvar. Steady-state runs spawn no threads and perform no allocations
+//!   in the pool machinery (queue and result buffers are caller-owned
+//!   vectors, reused across runs).
+//! - The **calling thread participates** in draining the queue — on a
+//!   single-core host it typically does all the work itself before a worker
+//!   is even scheduled, so `workers = 0` is a valid (and optimal) setup
+//!   there.
+//! - Tasks run against a **pinned context** fetched from a [`PinSource`]
+//!   under the same lock as each queue pop (the fleet pins a hot-swappable
+//!   model snapshot; training pins nothing, via [`NoContext`]). A task
+//!   never runs against a context older than its own pop.
+//! - Everything is safe code: ownership moves through the queue instead of
+//!   being borrowed across threads — no `unsafe`, no scoped threads, and no
+//!   per-task locks on the hot path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pool;
+
+pub use pool::{Done, NoContext, PinSource, PoolTask, WorkerPool};

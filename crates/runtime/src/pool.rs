@@ -1,0 +1,400 @@
+//! Persistent worker pool with epoch/condvar handoff and caller
+//! participation.
+//!
+//! Extracted from the fleet serving engine (where it drains shard batch
+//! passes) so the training layer can drive independent training tasks
+//! through the same machinery. The pool is generic over three things:
+//!
+//! - [`PoolTask`]: the unit of work. Tasks are **owned values** that move
+//!   into the queue and come back inside [`Done`] records — no borrows
+//!   cross threads, so no `unsafe` and no scoped threads.
+//! - `PoolTask::Kind`: a per-run job description, shared by every task of
+//!   one run (the fleet's process-vs-predict switch; `()` for training).
+//! - [`PinSource`]: a shared context provider pinned under the queue lock
+//!   at every pop (the fleet's hot-swappable model registry; [`NoContext`]
+//!   when tasks are self-contained).
+//!
+//! Steady-state runs spawn no threads and perform no allocations in the
+//! pool machinery: the queue and result buffers are caller-owned vectors
+//! whose capacity is reused across runs.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work that moves through the pool by ownership.
+pub trait PoolTask: Send + 'static {
+    /// Context pinned from the [`PinSource`] at each queue pop (e.g. a
+    /// model snapshot). Never crosses threads: each pop pins its own.
+    type Ctx;
+    /// Per-run job description, copied to every task of the run.
+    type Kind: Copy + Send + 'static;
+    /// What one completed task produces.
+    type Output: Send + 'static;
+
+    /// Executes the task against the pinned context.
+    fn run(&mut self, ctx: &Self::Ctx, kind: Self::Kind) -> Self::Output;
+}
+
+/// Provides the per-pop execution context.
+///
+/// Implementations must be cheap to call under a lock (an `Arc` clone, an
+/// atomic load): the pool pins the context while holding its state mutex so
+/// a task never runs against a context older than its own pop. The source
+/// must never take the pool's own lock (the fleet registry's swap path
+/// upholds this), or pinning would deadlock.
+pub trait PinSource: Send + Sync + 'static {
+    /// The pinned context handed to [`PoolTask::run`].
+    type Ctx;
+
+    /// Pins the current context.
+    fn pin(&self) -> Self::Ctx;
+}
+
+/// [`PinSource`] for self-contained tasks that need no shared context.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoContext;
+
+impl PinSource for NoContext {
+    type Ctx = ();
+
+    fn pin(&self) {}
+}
+
+/// A completed task: its index in the submitting run, the task itself
+/// (ownership returns to the caller), and what it produced.
+#[derive(Debug)]
+pub struct Done<T: PoolTask> {
+    /// The caller-assigned index submitted alongside the task.
+    pub idx: usize,
+    /// The task, back in the caller's ownership.
+    pub task: T,
+    /// The task's output.
+    pub output: T::Output,
+}
+
+struct PoolState<T: PoolTask> {
+    /// Bumped once per run; workers compare it against the last epoch they
+    /// served to decide whether a wake-up means new work.
+    epoch: u64,
+    shutdown: bool,
+    /// The active run's job kind; `None` before the first run.
+    kind: Option<T::Kind>,
+    /// Tasks awaiting execution this run.
+    queue: Vec<(usize, T)>,
+    /// Tasks currently executing (on workers or the caller).
+    active: usize,
+    /// Completed tasks, awaiting collection by the caller.
+    done: Vec<Done<T>>,
+    /// Set when a task panicked this run (the task is lost with the
+    /// unwind). The run still drains to quiescence so every *surviving*
+    /// task returns to the caller, then the caller re-raises.
+    panicked: bool,
+}
+
+struct Shared<S: PinSource, T: PoolTask<Ctx = S::Ctx>> {
+    source: Arc<S>,
+    state: Mutex<PoolState<T>>,
+    /// Signals workers that a new epoch's queue is ready (or shutdown).
+    work_ready: Condvar,
+    /// Signals the caller that the last active task completed.
+    work_done: Condvar,
+}
+
+/// The persistent pool. Workers live as long as the pool; dropping it shuts
+/// them down and joins them.
+pub struct WorkerPool<S: PinSource, T: PoolTask<Ctx = S::Ctx>> {
+    shared: Arc<Shared<S, T>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<S: PinSource, T: PoolTask<Ctx = S::Ctx>> WorkerPool<S, T> {
+    /// Spawns `workers` persistent worker threads against `source` (0 is
+    /// valid: every run then executes entirely on the calling thread, which
+    /// is optimal on a single-core host).
+    pub fn new(source: Arc<S>, workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            source,
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                shutdown: false,
+                kind: None,
+                queue: Vec::new(),
+                active: 0,
+                done: Vec::new(),
+                panicked: false,
+            }),
+            work_ready: Condvar::new(),
+            work_done: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Number of persistent worker threads (excluding the calling thread).
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// The shared context source.
+    pub fn source(&self) -> &Arc<S> {
+        &self.shared.source
+    }
+
+    /// Runs one batch: drains `tasks` into the shared queue, wakes the
+    /// workers, participates in the drain, and collects every completed
+    /// task into `done_out` (cleared first). Blocks until all tasks have
+    /// completed. Both vectors are caller-owned so their capacity is reused
+    /// across runs.
+    ///
+    /// Takes `&mut self` deliberately: one run owns the shared queue until
+    /// quiescence, so overlapping runs on a shared pool would corrupt each
+    /// other's job kind and steal each other's completed tasks — the
+    /// exclusive borrow makes that impossible instead of a runtime
+    /// invariant.
+    ///
+    /// Returns `true` if any task panicked this run. The run still drains
+    /// to quiescence first, so every *surviving* task is in `done_out` —
+    /// the caller restores those before re-raising (a panicking task's
+    /// state is lost with its unwind).
+    #[must_use = "a panicked run must be re-raised after restoring tasks"]
+    pub fn run(
+        &mut self,
+        kind: T::Kind,
+        tasks: &mut Vec<(usize, T)>,
+        done_out: &mut Vec<Done<T>>,
+    ) -> bool {
+        done_out.clear();
+        if tasks.is_empty() {
+            return false;
+        }
+        let mut st = self.shared.state.lock().expect("pool state poisoned");
+        debug_assert!(st.queue.is_empty() && st.active == 0 && st.done.is_empty());
+        st.kind = Some(kind);
+        st.queue.append(tasks);
+        st.epoch = st.epoch.wrapping_add(1);
+        st.panicked = false;
+        if !self.handles.is_empty() && st.queue.len() > 1 {
+            // With a single task the caller will run it directly; don't
+            // wake workers just to find an empty queue.
+            self.shared.work_ready.notify_all();
+        }
+        st = drain_queue(&self.shared, st);
+        while st.active > 0 {
+            st = self.shared.work_done.wait(st).expect("pool state poisoned");
+            st = drain_queue(&self.shared, st);
+        }
+        std::mem::swap(&mut st.done, done_out);
+        st.panicked
+    }
+}
+
+/// Pops and executes tasks until the queue is empty, from either the
+/// calling thread or a worker. The job kind and the pinned context are read
+/// under the same lock as each pop: the queue may already belong to a newer
+/// epoch than the one that woke this thread, and a task must never run
+/// against a context older than its own pop. A panicking task marks the run
+/// panicked — the task is lost with the unwind — instead of leaving
+/// `active` stuck and hanging the caller's quiescence wait.
+fn drain_queue<'m, S: PinSource, T: PoolTask<Ctx = S::Ctx>>(
+    shared: &'m Shared<S, T>,
+    mut st: std::sync::MutexGuard<'m, PoolState<T>>,
+) -> std::sync::MutexGuard<'m, PoolState<T>> {
+    while let Some((idx, mut task)) = st.queue.pop() {
+        let kind = st.kind.expect("queue is non-empty only during a run");
+        let ctx = shared.source.pin();
+        st.active += 1;
+        drop(st);
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task.run(&ctx, kind)));
+        st = shared.state.lock().expect("pool state poisoned");
+        st.active -= 1;
+        match result {
+            Ok(output) => st.done.push(Done { idx, task, output }),
+            Err(_) => st.panicked = true,
+        }
+        if st.active == 0 && st.queue.is_empty() {
+            shared.work_done.notify_all();
+        }
+    }
+    st
+}
+
+impl<S: PinSource, T: PoolTask<Ctx = S::Ctx>> Drop for WorkerPool<S, T> {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            st.shutdown = true;
+            self.shared.work_ready.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            handle.join().expect("pool worker panicked");
+        }
+    }
+}
+
+fn worker_loop<S: PinSource, T: PoolTask<Ctx = S::Ctx>>(shared: &Shared<S, T>) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let mut st = shared.state.lock().expect("pool state poisoned");
+        loop {
+            if st.shutdown {
+                return;
+            }
+            if st.epoch != seen_epoch && !st.queue.is_empty() {
+                break;
+            }
+            // Either no new epoch, or its queue was already drained by the
+            // caller and the other workers — nothing for us this run.
+            seen_epoch = st.epoch;
+            st = shared.work_ready.wait(st).expect("pool state poisoned");
+        }
+        seen_epoch = st.epoch;
+        let st = drain_queue(shared, st);
+        drop(st);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A task that squares its payload, optionally panicking, and records
+    /// the context version it ran against.
+    struct Square {
+        value: u64,
+        seen_ctx: u64,
+        panic_on: Option<u64>,
+    }
+
+    impl PoolTask for Square {
+        type Ctx = u64;
+        type Kind = u64;
+        type Output = u64;
+
+        fn run(&mut self, ctx: &u64, kind: u64) -> u64 {
+            if self.panic_on == Some(self.value) {
+                panic!("boom");
+            }
+            self.seen_ctx = *ctx;
+            self.value * self.value + kind
+        }
+    }
+
+    /// A context source whose pinned value is a live atomic counter.
+    struct Versioned(AtomicU64);
+
+    impl PinSource for Versioned {
+        type Ctx = u64;
+
+        fn pin(&self) -> u64 {
+            self.0.load(Ordering::Acquire)
+        }
+    }
+
+    fn tasks(n: u64) -> Vec<(usize, Square)> {
+        (0..n)
+            .map(|i| {
+                (
+                    i as usize,
+                    Square {
+                        value: i,
+                        seen_ctx: u64::MAX,
+                        panic_on: None,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn results_identical_across_worker_counts() {
+        for workers in [0usize, 1, 3] {
+            let mut pool = WorkerPool::new(Arc::new(Versioned(AtomicU64::new(7))), workers);
+            assert_eq!(pool.workers(), workers);
+            let mut queue = tasks(20);
+            let mut done = Vec::new();
+            let panicked = pool.run(100, &mut queue, &mut done);
+            assert!(!panicked);
+            assert!(queue.is_empty(), "run drains the task vector");
+            assert_eq!(done.len(), 20);
+            done.sort_unstable_by_key(|d| d.idx);
+            for (i, d) in done.iter().enumerate() {
+                assert_eq!(d.idx, i);
+                assert_eq!(d.output, (i as u64) * (i as u64) + 100);
+                assert_eq!(d.task.seen_ctx, 7, "context pinned from the source");
+            }
+        }
+    }
+
+    #[test]
+    fn buffers_and_workers_are_reused_across_runs() {
+        let mut pool = WorkerPool::new(Arc::new(Versioned(AtomicU64::new(0))), 2);
+        let mut queue = Vec::new();
+        let mut done = Vec::new();
+        for run in 0..50u64 {
+            pool.source().0.store(run, Ordering::Release);
+            queue.extend(tasks(8));
+            let panicked = pool.run(run, &mut queue, &mut done);
+            assert!(!panicked);
+            assert_eq!(done.len(), 8, "run {run}");
+            for d in &done {
+                assert_eq!(d.output, (d.idx as u64).pow(2) + run);
+                assert_eq!(d.task.seen_ctx, run, "stale context pinned");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_run_is_a_noop() {
+        let mut pool: WorkerPool<NoContext, Noop> = WorkerPool::new(Arc::new(NoContext), 1);
+        let mut done = vec![Done {
+            idx: 9,
+            task: Noop,
+            output: (),
+        }];
+        assert!(!pool.run((), &mut Vec::new(), &mut done));
+        assert!(done.is_empty(), "done_out is cleared even with no tasks");
+    }
+
+    struct Noop;
+
+    impl PoolTask for Noop {
+        type Ctx = ();
+        type Kind = ();
+        type Output = ();
+
+        fn run(&mut self, _: &(), (): ()) {}
+    }
+
+    #[test]
+    fn panicked_task_reports_and_survivors_return() {
+        let mut pool = WorkerPool::new(Arc::new(Versioned(AtomicU64::new(0))), 2);
+        let mut queue = tasks(10);
+        queue[4].1.panic_on = Some(4);
+        let mut done = Vec::new();
+        let panicked = pool.run(0, &mut queue, &mut done);
+        assert!(panicked, "panic must be reported");
+        assert_eq!(done.len(), 9, "all surviving tasks return");
+        assert!(done.iter().all(|d| d.idx != 4));
+        // The pool stays usable for the next run.
+        let mut queue = tasks(3);
+        let mut done = Vec::new();
+        assert!(!pool.run(1, &mut queue, &mut done));
+        assert_eq!(done.len(), 3);
+    }
+
+    #[test]
+    fn drop_joins_idle_workers() {
+        let mut pool: WorkerPool<NoContext, Noop> = WorkerPool::new(Arc::new(NoContext), 4);
+        let mut queue = vec![(0, Noop), (1, Noop)];
+        let mut done = Vec::new();
+        assert!(!pool.run((), &mut queue, &mut done));
+        drop(pool); // must not hang or panic
+    }
+}

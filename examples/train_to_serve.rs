@@ -1,0 +1,138 @@
+//! Train → serve hot-swap: a fleet engine keeps ticking while a pool of
+//! training tasks produces candidate models, and each finished model is
+//! swapped into the running engine without dropping a batch.
+//!
+//! Run with `cargo run --release --example train_to_serve`.
+//!
+//! The moving parts:
+//!
+//! 1. A [`FleetEngine`] starts serving immediately from a crude
+//!    Physics-Only model (no Branch-2 training needed).
+//! 2. `train_many` trains the paper's data-driven variants — several seeds
+//!    and a PINN — through the shared `pinnsoc-runtime` worker pool.
+//! 3. The winning model is pushed through the engine's [`ModelRegistry`];
+//!    the swap applies at the next micro-batch boundary, so in-flight
+//!    ticks finish on their pinned snapshot and the next tick picks up the
+//!    new weights.
+
+use pinnsoc::{train_many, PinnVariant, TrainConfig, TrainTask};
+use pinnsoc_battery::Chemistry;
+use pinnsoc_data::{generate_sandia, NoiseConfig, SandiaConfig};
+use pinnsoc_fleet::{CellConfig, FleetConfig, FleetEngine, Telemetry, WorkloadQuery};
+use std::sync::Arc;
+
+fn main() {
+    // A small Sandia-style dataset: one NMC condition, clean signals.
+    let dataset = Arc::new(generate_sandia(&SandiaConfig {
+        chemistries: vec![Chemistry::Nmc],
+        ambient_temps_c: vec![25.0],
+        cycles_per_condition: 2,
+        noise: NoiseConfig::none(),
+        ..SandiaConfig::default()
+    }));
+
+    // Serve from day zero: the Physics-Only variant needs only Branch 1.
+    let quick = TrainConfig {
+        b1_epochs: 20,
+        b2_epochs: 20,
+        batch_size: 64,
+        ..TrainConfig::sandia(PinnVariant::PhysicsOnly, 1)
+    };
+    let (bootstrap, _) = pinnsoc::train(&dataset, &quick);
+    let mut engine = FleetEngine::new(bootstrap, FleetConfig::default());
+    for id in 0..500u64 {
+        engine.register(
+            id,
+            CellConfig {
+                initial_soc: 0.9,
+                capacity_ah: 3.0,
+            },
+        );
+    }
+    let workload = WorkloadQuery {
+        avg_current_a: 3.0,
+        avg_temperature_c: 25.0,
+        horizon_s: 120.0,
+    };
+    let tick = |engine: &mut FleetEngine, t: f64| {
+        for id in 0..500u64 {
+            engine.ingest(
+                id,
+                Telemetry {
+                    time_s: t,
+                    voltage_v: 3.6 + (id % 7) as f64 * 0.05,
+                    current_a: 1.0 + (id % 3) as f64,
+                    temperature_c: 25.0,
+                },
+            );
+        }
+        engine.process_pending();
+        engine.predict_all(workload)
+    };
+    let before = tick(&mut engine, 1.0);
+    println!(
+        "serving v{} ({}): first prediction {:.4}",
+        engine.registry().version(),
+        engine.registry().current().label,
+        before[0].1
+    );
+
+    // Meanwhile: pool-parallel training of the candidate models. Results
+    // are bit-identical to serial `train()` calls, whatever the worker
+    // count or completion order.
+    let candidates = vec![
+        TrainTask::new(
+            Arc::clone(&dataset),
+            TrainConfig {
+                seed: 11,
+                ..quick.clone()
+            },
+        ),
+        TrainTask::new(
+            Arc::clone(&dataset),
+            TrainConfig {
+                variant: PinnVariant::NoPinn,
+                seed: 12,
+                ..quick.clone()
+            },
+        ),
+        TrainTask::new(
+            Arc::clone(&dataset),
+            TrainConfig {
+                variant: PinnVariant::pinn_all(&[120.0, 240.0, 360.0]),
+                seed: 13,
+                ..quick.clone()
+            },
+        ),
+    ];
+    let workers = std::thread::available_parallelism().map_or(0, |p| usize::from(p) - 1);
+    println!(
+        "training {} candidates on {} pool workers + the calling thread...",
+        candidates.len(),
+        workers
+    );
+    let trained = train_many(candidates, workers);
+    for (model, report) in &trained {
+        println!(
+            "  trained {:<12} final B1 MAE {:.4}",
+            model.label,
+            report.b1_loss.last().copied().unwrap_or(f32::NAN)
+        );
+    }
+
+    // Promote the PINN into the running engine: the registry swap applies
+    // from the next pinned snapshot — no pause, no dropped batch.
+    let (pinn, _) = trained.into_iter().last().expect("trained candidates");
+    let version = engine.registry().swap(pinn);
+    let after = tick(&mut engine, 2.0);
+    println!(
+        "hot-swapped to v{version} ({}): first prediction {:.4}",
+        engine.registry().current().label,
+        after[0].1
+    );
+    assert_eq!(
+        after.len(),
+        before.len(),
+        "no cells dropped across the swap"
+    );
+}

@@ -1,0 +1,100 @@
+//! End-to-end train → serve: models produced by the pool-parallel trainer
+//! hot-swap into a running fleet engine between micro-batches, and the
+//! engine's post-swap outputs are bit-identical to scalar calls on the
+//! freshly trained model.
+
+use pinnsoc::{train, train_many, PinnVariant, TrainConfig, TrainTask};
+use pinnsoc_battery::Chemistry;
+use pinnsoc_data::{generate_sandia, NoiseConfig, SandiaConfig, SocDataset};
+use pinnsoc_fleet::{CellConfig, FleetConfig, FleetEngine, SocEstimate, Telemetry};
+use std::sync::Arc;
+
+fn dataset() -> SocDataset {
+    generate_sandia(&SandiaConfig {
+        chemistries: vec![Chemistry::Nmc],
+        ambient_temps_c: vec![25.0],
+        cycles_per_condition: 1,
+        noise: NoiseConfig::none(),
+        ..SandiaConfig::default()
+    })
+}
+
+fn quick(variant: PinnVariant, seed: u64) -> TrainConfig {
+    TrainConfig {
+        b1_epochs: 10,
+        b2_epochs: 10,
+        batch_size: 32,
+        ..TrainConfig::sandia(variant, seed)
+    }
+}
+
+#[test]
+fn train_many_output_hot_swaps_into_a_running_engine() {
+    let ds = Arc::new(dataset());
+    // Bootstrap model serves while the candidates train.
+    let (bootstrap, _) = train(&ds, &quick(PinnVariant::PhysicsOnly, 1));
+    let mut engine = FleetEngine::new(
+        bootstrap,
+        FleetConfig {
+            shards: 4,
+            micro_batch: 16,
+            workers: 1,
+            ekf_fallback: None,
+        },
+    );
+    for id in 0..100u64 {
+        engine.register(
+            id,
+            CellConfig {
+                initial_soc: 0.8,
+                capacity_ah: 3.0,
+            },
+        );
+    }
+    let feed = |engine: &mut FleetEngine, t: f64| {
+        for id in 0..100u64 {
+            engine.ingest(
+                id,
+                Telemetry {
+                    time_s: t,
+                    voltage_v: 3.4 + (id % 10) as f64 * 0.05,
+                    current_a: (id % 4) as f64,
+                    temperature_c: 24.0,
+                },
+            );
+        }
+        engine.process_pending()
+    };
+    assert_eq!(feed(&mut engine, 1.0), (100, 100));
+    let v1 = engine.registry().version();
+
+    // Pool-parallel candidates; the equivalence with serial train() is
+    // covered in pinnsoc's unit tests — here we care about the wiring.
+    let trained = train_many(
+        vec![
+            TrainTask::new(Arc::clone(&ds), quick(PinnVariant::NoPinn, 7)),
+            TrainTask::new(
+                Arc::clone(&ds),
+                quick(PinnVariant::pinn_all(&[120.0, 240.0]), 8),
+            ),
+        ],
+        1,
+    );
+    assert_eq!(trained.len(), 2);
+    let (pinn, _) = trained.into_iter().nth(1).expect("second candidate");
+    let reference = pinn.clone();
+    assert_eq!(engine.registry().swap(pinn), v1 + 1);
+
+    // Next tick runs against the swapped model: every estimate must match
+    // a scalar call on the trained model bit-for-bit (through the fleet's
+    // [0, 1] clamp), and no cell is dropped across the swap.
+    assert_eq!(feed(&mut engine, 2.0), (100, 100));
+    for id in 0..100u64 {
+        let (soc, source) = engine.estimate(id).expect("estimated");
+        assert_eq!(source, SocEstimate::Network);
+        let scalar = reference
+            .estimate(3.4 + (id % 10) as f64 * 0.05, (id % 4) as f64, 24.0)
+            .clamp(0.0, 1.0);
+        assert_eq!(soc.to_bits(), scalar.to_bits(), "cell {id}");
+    }
+}
