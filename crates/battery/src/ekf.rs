@@ -75,6 +75,13 @@ impl EkfEstimator {
         self.p[0][0].max(0.0).sqrt()
     }
 
+    /// State covariance (row-major 2×2 over `[SoC, v_rc]`). The update is
+    /// the plain `(I − KH)P` form, which preserves symmetry only up to
+    /// floating-point rounding — the property tests bound that drift.
+    pub fn covariance(&self) -> [[f64; 2]; 2] {
+        self.p
+    }
+
     /// One predict–correct cycle given a measurement interval.
     ///
     /// Returns the corrected SoC estimate.

@@ -149,4 +149,43 @@ proptest! {
             prop_assert!(ekf.soc_std().is_finite());
         }
     }
+
+    #[test]
+    fn ekf_covariance_finite_symmetric_soc_clamped_over_arbitrary_sequences(
+        chem in any_chemistry(),
+        init in 0.0f64..=1.0,
+        // Arbitrary finite telemetry: currents and voltages far outside any
+        // physical envelope, temperatures across the operating range, and
+        // wildly varying measurement intervals.
+        sequence in proptest::collection::vec(
+            (-60.0f64..60.0, 0.0f64..8.0, -40.0f64..60.0, 1e-3f64..300.0),
+            1..60,
+        ),
+    ) {
+        let mut ekf = EkfEstimator::new(CellParams::sandia(chem), Soc::clamped(init));
+        for (current, voltage, temp, dt) in sequence {
+            let s = ekf.update(current, voltage, temp, dt);
+            // The estimate is always a valid SoC.
+            prop_assert!((0.0..=1.0).contains(&s.value()));
+            let p = ekf.covariance();
+            let mut magnitude = 0.0f64;
+            for row in &p {
+                for &v in row {
+                    prop_assert!(v.is_finite(), "covariance entry not finite: {p:?}");
+                    magnitude = magnitude.max(v.abs());
+                }
+            }
+            // Variances must not go meaningfully negative, and the plain
+            // (I − KH)P update must keep the matrix symmetric up to
+            // floating-point rounding of the two off-diagonal expressions.
+            prop_assert!(p[0][0] >= -1e-12, "negative SoC variance: {}", p[0][0]);
+            prop_assert!(p[1][1] >= -1e-12, "negative v_rc variance: {}", p[1][1]);
+            let tolerance = 1e-9 * magnitude.max(1.0);
+            prop_assert!(
+                (p[0][1] - p[1][0]).abs() <= tolerance,
+                "asymmetric covariance: {p:?}"
+            );
+            prop_assert!(ekf.soc_std().is_finite());
+        }
+    }
 }

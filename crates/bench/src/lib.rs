@@ -23,6 +23,29 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::path::Path;
 
+/// The demo serving model used by the fleet/scenario walkthroughs and
+/// `scenario_baseline`: a Branch-1-focused PINN trained on the reduced
+/// Sandia protocol at seed 7 (one NMC cell, one temperature, no noise),
+/// deterministic and quick to train. One definition keeps the example
+/// walkthroughs and the recorded `BENCH_scenarios.json` numbers in
+/// lockstep; `smoke` shrinks the epoch counts for CI gates.
+pub fn demo_serving_model(smoke: bool) -> SocModel {
+    let dataset = pinnsoc_data::generate_sandia(&pinnsoc_data::SandiaConfig {
+        chemistries: vec![pinnsoc_battery::Chemistry::Nmc],
+        ambient_temps_c: vec![25.0],
+        cycles_per_condition: 1,
+        noise: pinnsoc_data::NoiseConfig::none(),
+        ..pinnsoc_data::SandiaConfig::default()
+    });
+    let config = TrainConfig {
+        b1_epochs: if smoke { 20 } else { 60 },
+        b2_epochs: if smoke { 10 } else { 30 },
+        batch_size: 16,
+        ..TrainConfig::sandia(PinnVariant::pinn_all(&[120.0, 240.0]), 7)
+    };
+    train(&dataset, &config).0
+}
+
 /// Mean of a slice.
 pub fn mean(xs: &[f64]) -> f64 {
     assert!(!xs.is_empty(), "mean of empty slice");

@@ -45,6 +45,56 @@ pub enum SocEstimate {
     Ekf,
 }
 
+/// What [`CellStore::absorb`] did with one telemetry report. Rejections are
+/// counted by the engine's [`crate::engine::TelemetryStats`] instead of
+/// being silently dropped — transport faults (out-of-order delivery, gateway
+/// NaNs, duplicated frames) are facts about the fleet a production operator
+/// needs to see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsorbOutcome {
+    /// Integrated and recorded as the cell's latest telemetry.
+    Accepted,
+    /// Accepted with a timestamp equal to the previous report's (a sensor
+    /// re-read or a duplicated frame): the latest fields are overwritten but
+    /// nothing is integrated over the zero-length interval.
+    DuplicateTimestamp,
+    /// Rejected without changes: a non-finite field (gateway glitch).
+    NonFinite,
+    /// Rejected without changes: timestamp older than the latest accepted
+    /// report (out-of-order delivery or clock skew).
+    TimeReversed,
+}
+
+impl AbsorbOutcome {
+    /// Whether the report was folded into the cell state.
+    pub fn accepted(self) -> bool {
+        matches!(
+            self,
+            AbsorbOutcome::Accepted | AbsorbOutcome::DuplicateTimestamp
+        )
+    }
+}
+
+/// Per-estimator view of one cell's current SoC estimates — the closed-loop
+/// validation seam: `pinnsoc-scenario` scores each estimator against the
+/// ground-truth simulator separately, not just the engine's `best` pick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimateBreakdown {
+    /// The engine's best estimate and its source (same policy as
+    /// [`CellStore::estimate`]).
+    pub best: (f64, SocEstimate),
+    /// Latest batched network estimate, clamped into `[0, 1]`; `None` until
+    /// a batch pass has covered the cell. May be stale — see
+    /// [`EstimateBreakdown::network_fresh`].
+    pub network: Option<f64>,
+    /// Whether the network estimate covers the latest accepted telemetry.
+    pub network_fresh: bool,
+    /// Running Coulomb-integrated SoC.
+    pub coulomb: f64,
+    /// EKF fallback SoC, when the engine enables the fallback.
+    pub ekf: Option<f64>,
+}
+
 /// Sentinel for "no network estimate yet" — strictly older than any finite
 /// telemetry timestamp, so the freshness check needs no separate flag.
 const NO_ESTIMATE: f64 = f64::NEG_INFINITY;
@@ -158,20 +208,20 @@ impl CellStore {
     }
 
     /// Folds one telemetry report into the slot's running integrators.
-    /// Returns `false` (and changes nothing) for non-finite or
-    /// time-reversed reports.
-    pub fn absorb(&mut self, slot: usize, t: Telemetry) -> bool {
+    /// Rejected reports (see [`AbsorbOutcome`]) change nothing.
+    pub fn absorb(&mut self, slot: usize, t: Telemetry) -> AbsorbOutcome {
         if !t.is_finite() {
-            return false;
+            return AbsorbOutcome::NonFinite;
         }
         // First report: nothing to integrate over yet.
-        let dt = if self.reports[slot] > 0 {
-            t.time_s - self.time_s[slot]
-        } else {
+        let first = self.reports[slot] == 0;
+        let dt = if first {
             0.0
+        } else {
+            t.time_s - self.time_s[slot]
         };
         if dt < 0.0 {
-            return false;
+            return AbsorbOutcome::TimeReversed;
         }
         if dt > 0.0 {
             self.coulomb[slot].update(t.current_a, dt);
@@ -184,7 +234,11 @@ impl CellStore {
         self.current_a[slot] = t.current_a;
         self.temperature_c[slot] = t.temperature_c;
         self.reports[slot] += 1;
-        true
+        if first || dt > 0.0 {
+            AbsorbOutcome::Accepted
+        } else {
+            AbsorbOutcome::DuplicateTimestamp
+        }
     }
 
     /// Gathers the normalized Branch-1 feature rows for `slots` straight
@@ -234,6 +288,20 @@ impl CellStore {
             return Some((ekf.soc().value(), SocEstimate::Ekf));
         }
         Some((self.coulomb[slot].soc().value(), SocEstimate::Coulomb))
+    }
+
+    /// Per-estimator breakdown of the slot's current estimates, or `None`
+    /// until any telemetry has been accepted.
+    pub fn breakdown(&self, slot: usize) -> Option<EstimateBreakdown> {
+        let best = self.estimate(slot)?;
+        let has_network = self.net_time_s[slot] > NO_ESTIMATE;
+        Some(EstimateBreakdown {
+            best,
+            network: has_network.then(|| self.net_soc[slot].clamp(0.0, 1.0)),
+            network_fresh: self.net_time_s[slot] >= self.time_s[slot],
+            coulomb: self.coulomb[slot].soc().value(),
+            ekf: self.ekf.get(slot).map(|e| e.soc().value()),
+        })
     }
 
     /// Predicted seconds until empty at the given constant discharge
@@ -328,9 +396,15 @@ mod tests {
     #[test]
     fn absorb_integrates_coulomb_between_reports() {
         let mut store = store_with_one(1.0, 3.0);
-        assert!(store.absorb(0, telemetry(0.0, 3.0)));
+        assert_eq!(
+            store.absorb(0, telemetry(0.0, 3.0)),
+            AbsorbOutcome::Accepted
+        );
         // 3 A for 1800 s = 1.5 Ah = half the capacity.
-        assert!(store.absorb(0, telemetry(1800.0, 3.0)));
+        assert_eq!(
+            store.absorb(0, telemetry(1800.0, 3.0)),
+            AbsorbOutcome::Accepted
+        );
         let (soc, source) = store.estimate(0).expect("has telemetry");
         assert_eq!(source, SocEstimate::Coulomb);
         assert!((soc - 0.5).abs() < 1e-9, "soc {soc}");
@@ -340,16 +414,68 @@ mod tests {
     #[test]
     fn rejects_nan_and_time_reversal() {
         let mut store = store_with_one(1.0, 3.0);
-        assert!(store.absorb(0, telemetry(10.0, 1.0)));
-        assert!(
-            !store.absorb(0, telemetry(5.0, 1.0)),
-            "time reversal accepted"
+        assert!(store.absorb(0, telemetry(10.0, 1.0)).accepted());
+        assert_eq!(
+            store.absorb(0, telemetry(5.0, 1.0)),
+            AbsorbOutcome::TimeReversed
         );
         let mut bad = telemetry(20.0, 1.0);
         bad.voltage_v = f64::NAN;
-        assert!(!store.absorb(0, bad), "NaN accepted");
+        assert_eq!(store.absorb(0, bad), AbsorbOutcome::NonFinite);
         assert_eq!(store.reports[0], 1);
         assert_eq!(store.latest(0).unwrap().time_s, 10.0);
+    }
+
+    #[test]
+    fn duplicate_timestamp_overwrites_without_integrating() {
+        let mut store = store_with_one(0.8, 3.0);
+        assert_eq!(
+            store.absorb(0, telemetry(10.0, 3.0)),
+            AbsorbOutcome::Accepted
+        );
+        let before = store.estimate(0).unwrap().0;
+        // Same timestamp, different reading: latest fields move, the
+        // integral does not.
+        let mut dup = telemetry(10.0, 5.0);
+        dup.voltage_v = 3.5;
+        assert_eq!(store.absorb(0, dup), AbsorbOutcome::DuplicateTimestamp);
+        assert_eq!(store.estimate(0).unwrap().0, before, "no integration");
+        assert_eq!(store.latest(0).unwrap().voltage_v, 3.5);
+        assert_eq!(store.reports[0], 2);
+    }
+
+    #[test]
+    fn breakdown_reports_every_estimator() {
+        let params = CellParams::lg_hg2();
+        let mut store = CellStore::new();
+        store.push(
+            1,
+            &CellConfig {
+                initial_soc: 0.8,
+                capacity_ah: params.capacity_ah,
+            },
+            Some(&params),
+        );
+        assert_eq!(store.breakdown(0), None, "no telemetry yet");
+        store.absorb(0, telemetry(0.0, 1.0));
+        store.absorb(0, telemetry(60.0, 1.0));
+        let b = store.breakdown(0).expect("has telemetry");
+        assert_eq!(b.network, None);
+        assert!(!b.network_fresh);
+        assert!(b.ekf.is_some());
+        assert_eq!(b.best, (b.ekf.unwrap(), SocEstimate::Ekf));
+        store.record_network_estimate(0, 0.42);
+        let b = store.breakdown(0).unwrap();
+        assert_eq!(b.network, Some(0.42));
+        assert!(b.network_fresh);
+        assert_eq!(b.best, (0.42, SocEstimate::Network));
+        // Newer telemetry makes the network estimate stale but keeps it
+        // visible in the breakdown.
+        store.absorb(0, telemetry(120.0, 1.0));
+        let b = store.breakdown(0).unwrap();
+        assert_eq!(b.network, Some(0.42));
+        assert!(!b.network_fresh);
+        assert_eq!(b.best.1, SocEstimate::Ekf);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! The fleet engine: sharded per-cell state, micro-batched inference, and
 //! fleet-level queries.
 
-use crate::cell::{CellConfig, CellSnapshot, CellStore, SocEstimate};
+use crate::cell::{
+    AbsorbOutcome, CellConfig, CellSnapshot, CellStore, EstimateBreakdown, SocEstimate,
+};
 use crate::id_index::IdIndex;
 use crate::pool::{Done, JobKind, TaskOutput, WorkerPool};
 use crate::registry::ModelRegistry;
@@ -9,6 +11,7 @@ use crate::telemetry::{CellId, Telemetry};
 use pinnsoc::{BatchScratch, SocModel};
 use pinnsoc_battery::CellParams;
 use pinnsoc_nn::Matrix;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -74,6 +77,44 @@ pub struct FleetStats {
     pub max_soc: f64,
 }
 
+/// Cumulative telemetry accounting since engine construction: what arrived,
+/// what was folded in, and what was rejected and why. Transport faults
+/// (out-of-order frames, gateway NaNs, duplicated deliveries) are never
+/// silently dropped — they land in these counters, which the closed-loop
+/// scenario harness (`pinnsoc-scenario`) reconciles against the faults it
+/// injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetryStats {
+    /// Reports folded into a cell's integrators (includes duplicates).
+    pub accepted: u64,
+    /// Accepted reports whose timestamp equaled the previous report's
+    /// (duplicated frame or sensor re-read): latest fields overwritten,
+    /// nothing integrated.
+    pub duplicate_timestamp: u64,
+    /// Rejected: a non-finite field.
+    pub rejected_non_finite: u64,
+    /// Rejected: timestamp older than the cell's latest accepted report.
+    pub rejected_time_reversed: u64,
+    /// Reports addressed to an id that was never registered (rejected at
+    /// ingest, before reaching any shard).
+    pub unknown_cell: u64,
+}
+
+impl TelemetryStats {
+    /// Total rejected reports (unknown cells included).
+    pub fn rejected(&self) -> u64 {
+        self.rejected_non_finite + self.rejected_time_reversed + self.unknown_cell
+    }
+
+    fn accumulate(&mut self, other: &TelemetryStats) {
+        self.accepted += other.accepted;
+        self.duplicate_timestamp += other.duplicate_timestamp;
+        self.rejected_non_finite += other.rejected_non_finite;
+        self.rejected_time_reversed += other.rejected_time_reversed;
+        self.unknown_cell += other.unknown_cell;
+    }
+}
+
 /// Cumulative wall time the batch passes spent per pipeline stage, summed
 /// across shards (worker time, not elapsed time: concurrent shards add
 /// up). The ingest stage happens on the caller in [`FleetEngine::ingest`]
@@ -135,6 +176,10 @@ pub(crate) struct Shard {
     /// Per-stage wall time of this shard's most recent processing pass
     /// (reset at the start of each pass; the engine accumulates deltas).
     stage: StageTimes,
+    /// Cumulative telemetry accounting for this shard's cells
+    /// (`unknown_cell` stays zero here — unknown ids are counted by the
+    /// engine at ingest, before a shard is involved).
+    telemetry: TelemetryStats,
 }
 
 impl Shard {
@@ -151,6 +196,7 @@ impl Shard {
             generation: 0,
             reporting: 0,
             stage: StageTimes::default(),
+            telemetry: TelemetryStats::default(),
         }
     }
 
@@ -173,7 +219,15 @@ impl Shard {
         let (cells, dirty) = (&mut self.cells, &mut self.dirty);
         for (slot, telemetry) in self.pending.drain(..) {
             let slot = slot as usize;
-            if cells.absorb(slot, telemetry) {
+            let outcome = cells.absorb(slot, telemetry);
+            match outcome {
+                AbsorbOutcome::Accepted => {}
+                AbsorbOutcome::DuplicateTimestamp => self.telemetry.duplicate_timestamp += 1,
+                AbsorbOutcome::NonFinite => self.telemetry.rejected_non_finite += 1,
+                AbsorbOutcome::TimeReversed => self.telemetry.rejected_time_reversed += 1,
+            }
+            if outcome.accepted() {
+                self.telemetry.accepted += 1;
                 absorbed += 1;
                 if cells.reports[slot] == 1 {
                     self.reporting += 1;
@@ -267,6 +321,8 @@ pub struct FleetEngine {
     tick_done: Vec<Done>,
     /// Per-stage time accumulated from completed shard passes.
     stage_times: StageTimes,
+    /// Reports addressed to unregistered ids (rejected before sharding).
+    unknown_cells: u64,
 }
 
 impl FleetEngine {
@@ -298,6 +354,7 @@ impl FleetEngine {
             tick_tasks: Vec::new(),
             tick_done: Vec::new(),
             stage_times: StageTimes::default(),
+            unknown_cells: 0,
         }
     }
 
@@ -377,7 +434,10 @@ impl FleetEngine {
                 shard.pending.push((slot as u32, telemetry));
                 true
             }
-            None => false,
+            None => {
+                self.unknown_cells += 1;
+                false
+            }
         }
     }
 
@@ -433,6 +493,30 @@ impl FleetEngine {
     pub fn cell(&self, id: CellId) -> Option<CellSnapshot> {
         let shard = self.shard(self.shard_of(id));
         shard.index.get(id).map(|slot| shard.cells.snapshot(slot))
+    }
+
+    /// Per-estimator breakdown (network / Coulomb / EKF) of one cell's
+    /// current estimates — the seam closed-loop validation scores each
+    /// estimator through. `None` for unknown or never-reporting cells.
+    pub fn estimate_breakdown(&self, id: CellId) -> Option<EstimateBreakdown> {
+        let shard = self.shard(self.shard_of(id));
+        shard
+            .index
+            .get(id)
+            .and_then(|slot| shard.cells.breakdown(slot))
+    }
+
+    /// Cumulative telemetry accounting (accepted / duplicate / rejected by
+    /// cause) summed over all shards since construction.
+    pub fn telemetry_stats(&self) -> TelemetryStats {
+        let mut stats = TelemetryStats {
+            unknown_cell: self.unknown_cells,
+            ..TelemetryStats::default()
+        };
+        for idx in 0..self.shards.len() {
+            stats.accumulate(&self.shard(idx).telemetry);
+        }
+        stats
     }
 
     /// Batched full-pipeline prediction for every reporting cell under one
@@ -934,6 +1018,38 @@ mod tests {
         // zero, but the total cannot.
         assert!(stages.total() > Duration::ZERO);
         assert!(stages.total() >= stages.gemm);
+    }
+
+    #[test]
+    fn telemetry_stats_count_rejections_by_cause() {
+        let mut engine = engine_with(4, 2);
+        engine.ingest(0, telemetry(10.0));
+        engine.ingest(0, telemetry(10.0)); // duplicate timestamp
+        engine.ingest(0, telemetry(5.0)); // time-reversed
+        let mut bad = telemetry(20.0);
+        bad.current_a = f64::NAN;
+        engine.ingest(0, bad); // non-finite
+        assert!(!engine.ingest(999, telemetry(1.0)), "unknown id");
+        engine.process_pending();
+        let stats = engine.telemetry_stats();
+        assert_eq!(
+            stats,
+            TelemetryStats {
+                accepted: 2,
+                duplicate_timestamp: 1,
+                rejected_non_finite: 1,
+                rejected_time_reversed: 1,
+                unknown_cell: 1,
+            }
+        );
+        assert_eq!(stats.rejected(), 3);
+        // The breakdown accessor mirrors the per-cell estimators.
+        let b = engine.estimate_breakdown(0).expect("cell 0 reported");
+        assert!(b.network_fresh);
+        assert_eq!(b.best.1, SocEstimate::Network);
+        assert_eq!(b.ekf, None, "EKF fallback disabled in this engine");
+        assert_eq!(engine.estimate_breakdown(1), None, "never reported");
+        assert_eq!(engine.estimate_breakdown(999), None, "unknown id");
     }
 
     #[test]

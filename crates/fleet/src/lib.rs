@@ -58,8 +58,10 @@ mod pool;
 pub mod registry;
 pub mod telemetry;
 
-pub use cell::{CellConfig, CellSnapshot, CellStore, SocEstimate};
-pub use engine::{FleetConfig, FleetEngine, FleetStats, StageTimes, WorkloadQuery};
+pub use cell::{
+    AbsorbOutcome, CellConfig, CellSnapshot, CellStore, EstimateBreakdown, SocEstimate,
+};
+pub use engine::{FleetConfig, FleetEngine, FleetStats, StageTimes, TelemetryStats, WorkloadQuery};
 pub use registry::ModelRegistry;
 pub use telemetry::{CellId, Telemetry};
 

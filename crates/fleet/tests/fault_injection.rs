@@ -1,0 +1,187 @@
+//! Fault-injection engine tests: corrupted telemetry aimed at one cell must
+//! never panic, never leak into any other cell's state (bit-match against a
+//! clean run), and must be surfaced in the engine's telemetry accounting
+//! rather than silently dropped.
+
+use pinnsoc_battery::CellParams;
+use pinnsoc_fleet::testing::untrained_model;
+use pinnsoc_fleet::{CellConfig, FleetConfig, FleetEngine, SocEstimate, Telemetry, TelemetryStats};
+
+const CELLS: u64 = 40;
+const VICTIM: u64 = 17;
+
+fn engine() -> FleetEngine {
+    let mut engine = FleetEngine::new(
+        untrained_model(),
+        FleetConfig {
+            shards: 4,
+            micro_batch: 8,
+            workers: 1,
+            ekf_fallback: Some(CellParams::nmc_18650()),
+        },
+    );
+    for id in 0..CELLS {
+        engine.register(
+            id,
+            CellConfig {
+                initial_soc: 0.9,
+                capacity_ah: 3.0,
+            },
+        );
+    }
+    engine
+}
+
+fn clean_report(id: u64, tick: u64) -> Telemetry {
+    Telemetry {
+        time_s: tick as f64 * 10.0,
+        voltage_v: 3.4 + id as f64 * 0.01,
+        current_a: 0.5 + (tick % 3) as f64,
+        temperature_c: 20.0 + id as f64 * 0.1,
+    }
+}
+
+/// Streams ten clean ticks into the engine, optionally injecting faulty
+/// reports for the victim cell via `inject`, and returns the per-cell
+/// estimate/breakdown state.
+fn run(mut inject: impl FnMut(&mut FleetEngine, u64)) -> (FleetEngine, Vec<String>) {
+    let mut engine = engine();
+    for tick in 1..=10 {
+        for id in 0..CELLS {
+            engine.ingest(id, clean_report(id, tick));
+        }
+        inject(&mut engine, tick);
+        engine.process_pending();
+    }
+    // Bit-exact state fingerprint per cell: best estimate bits, source, and
+    // the full estimator breakdown (network / coulomb / EKF).
+    let state = (0..CELLS)
+        .map(|id| {
+            let (soc, source) = engine.estimate(id).expect("all cells report");
+            let b = engine.estimate_breakdown(id).expect("breakdown");
+            format!(
+                "{:x} {source:?} {:x?} {} {:x} {:x?}",
+                soc.to_bits(),
+                b.network.map(f64::to_bits),
+                b.network_fresh,
+                b.coulomb.to_bits(),
+                b.ekf.map(f64::to_bits),
+            )
+        })
+        .collect();
+    (engine, state)
+}
+
+/// Faulty reports for one cell must not perturb any other cell, bit for bit.
+fn assert_unaffected_others(faulty: &[String], clean: &[String]) {
+    for id in 0..CELLS {
+        if id == VICTIM {
+            continue;
+        }
+        assert_eq!(
+            faulty[id as usize], clean[id as usize],
+            "cell {id}: corrupted by cell {VICTIM}'s faulty telemetry"
+        );
+    }
+}
+
+#[test]
+fn non_finite_telemetry_never_panics_or_leaks() {
+    let (_, clean) = run(|_, _| {});
+    let (engine, faulty) = run(|engine, tick| {
+        for field in 0..4u32 {
+            let mut bad = clean_report(VICTIM, tick);
+            // Stagger the timestamps so the coalesce loop sees the bad
+            // reports in several positions relative to the clean stream.
+            bad.time_s += field as f64;
+            match field {
+                0 => bad.time_s = f64::NAN,
+                1 => bad.voltage_v = f64::INFINITY,
+                2 => bad.current_a = f64::NEG_INFINITY,
+                _ => bad.temperature_c = f64::NAN,
+            }
+            engine.ingest(VICTIM, bad);
+        }
+    });
+    // Rejected wholesale: the victim's state bit-matches the clean run too.
+    assert_unaffected_others(&faulty, &clean);
+    assert_eq!(faulty[VICTIM as usize], clean[VICTIM as usize]);
+    let stats = engine.telemetry_stats();
+    assert_eq!(stats.rejected_non_finite, 40, "4 bad reports x 10 ticks");
+    assert_eq!(stats.accepted, CELLS * 10);
+}
+
+#[test]
+fn out_of_order_telemetry_never_panics_or_leaks() {
+    let (_, clean) = run(|_, _| {});
+    let (engine, faulty) = run(|engine, tick| {
+        // A stale report from two ticks ago, after the fresh one.
+        if tick >= 2 {
+            engine.ingest(VICTIM, clean_report(VICTIM, tick - 2));
+        }
+    });
+    assert_unaffected_others(&faulty, &clean);
+    assert_eq!(
+        faulty[VICTIM as usize], clean[VICTIM as usize],
+        "time-reversed reports must be rejected without a trace"
+    );
+    let stats = engine.telemetry_stats();
+    assert_eq!(stats.rejected_time_reversed, 9);
+    assert_eq!(stats.rejected_non_finite, 0);
+}
+
+#[test]
+fn duplicate_telemetry_never_panics_or_leaks() {
+    let (_, clean) = run(|_, _| {});
+    let (engine, faulty) = run(|engine, tick| {
+        engine.ingest(VICTIM, clean_report(VICTIM, tick));
+    });
+    // A byte-identical duplicate integrates nothing (dt = 0) and overwrites
+    // the latest reading with the same values: even the victim bit-matches.
+    assert_unaffected_others(&faulty, &clean);
+    assert_eq!(faulty[VICTIM as usize], clean[VICTIM as usize]);
+    let stats = engine.telemetry_stats();
+    assert_eq!(stats.duplicate_timestamp, 10);
+    assert_eq!(
+        stats.accepted,
+        CELLS * 10 + 10,
+        "duplicates count as accepted"
+    );
+}
+
+#[test]
+fn mixed_fault_burst_keeps_the_whole_fleet_serving() {
+    // Everything at once, against several victims, at high volume.
+    let (engine, state) = run(|engine, tick| {
+        for id in [VICTIM, 0, CELLS - 1] {
+            let mut nan = clean_report(id, tick);
+            nan.voltage_v = f64::NAN;
+            engine.ingest(id, nan);
+            engine.ingest(id, clean_report(id, tick)); // duplicate
+            if tick >= 3 {
+                engine.ingest(id, clean_report(id, tick - 2)); // stale
+            }
+        }
+        engine.ingest(9_999_999, clean_report(0, tick)); // unknown id
+    });
+    for (id, s) in state.iter().enumerate() {
+        assert!(!s.is_empty(), "cell {id} lost its estimate");
+        let (soc, source) = engine.estimate(id as u64).unwrap();
+        assert!((0.0..=1.0).contains(&soc));
+        assert_eq!(source, SocEstimate::Network, "cell {id}");
+    }
+    let stats = engine.telemetry_stats();
+    let expected = TelemetryStats {
+        accepted: CELLS * 10 + 30,
+        duplicate_timestamp: 30,
+        rejected_non_finite: 30,
+        rejected_time_reversed: 24,
+        unknown_cell: 10,
+    };
+    assert_eq!(stats, expected);
+    assert_eq!(
+        stats.rejected(),
+        30 + 24 + 10,
+        "rejected() sums every rejection cause"
+    );
+}

@@ -1,0 +1,381 @@
+//! The telemetry fault model: what happens to a measurement between the
+//! cell's BMS and the fleet engine.
+//!
+//! Faults come in two families. *Sensor* faults perturb the measurement
+//! itself (Gaussian noise per channel, occasional non-finite fields from a
+//! glitching gateway). *Transport* faults perturb delivery (dropout,
+//! duplicated frames, out-of-order arrival, per-cell clock skew and
+//! per-report clock jitter). Every draw comes from a per-cell seeded RNG,
+//! so a scenario's fault pattern is a pure function of its seed.
+
+use pinnsoc_fleet::Telemetry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+
+/// Per-scenario fault configuration. All probabilities are per report.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultModel {
+    /// Gaussian noise standard deviation on the voltage channel, volts.
+    pub voltage_noise_v: f64,
+    /// Gaussian noise standard deviation on the current channel, amps.
+    pub current_noise_a: f64,
+    /// Gaussian noise standard deviation on the temperature channel, °C.
+    pub temperature_noise_c: f64,
+    /// Probability a report is silently lost in transit.
+    pub dropout: f64,
+    /// Probability a delivered report arrives twice.
+    pub duplicate: f64,
+    /// Probability a report is delayed past the next delivered one (the
+    /// engine then sees a time-reversed report and must reject it).
+    pub reorder: f64,
+    /// Maximum per-cell constant clock offset, seconds (each cell draws a
+    /// fixed offset uniformly from `[-skew, skew]` at scenario start).
+    pub clock_skew_s: f64,
+    /// Per-report timestamp jitter, seconds (uniform in `[-jitter, jitter]`;
+    /// jitter larger than half the reporting interval produces occasional
+    /// time reversals on its own).
+    pub clock_jitter_s: f64,
+    /// Probability one measurement field is replaced by NaN.
+    pub non_finite: f64,
+}
+
+impl FaultModel {
+    /// No faults: telemetry arrives exactly as measured.
+    pub fn none() -> Self {
+        Self {
+            voltage_noise_v: 0.0,
+            current_noise_a: 0.0,
+            temperature_noise_c: 0.0,
+            dropout: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            clock_skew_s: 0.0,
+            clock_jitter_s: 0.0,
+            non_finite: 0.0,
+        }
+    }
+
+    /// Realistic BMS sensor noise (10 mV / 50 mA / 0.5 °C), no transport
+    /// faults.
+    pub fn sensor_noise() -> Self {
+        Self {
+            voltage_noise_v: 0.010,
+            current_noise_a: 0.050,
+            temperature_noise_c: 0.5,
+            ..Self::none()
+        }
+    }
+
+    /// Validates the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on probabilities outside `[0, 1]` or negative/non-finite
+    /// noise magnitudes.
+    pub fn validate(&self) {
+        for (name, p) in [
+            ("dropout", self.dropout),
+            ("duplicate", self.duplicate),
+            ("reorder", self.reorder),
+            ("non_finite", self.non_finite),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} probability must be in [0, 1], got {p}"
+            );
+        }
+        for (name, v) in [
+            ("voltage_noise_v", self.voltage_noise_v),
+            ("current_noise_a", self.current_noise_a),
+            ("temperature_noise_c", self.temperature_noise_c),
+            ("clock_skew_s", self.clock_skew_s),
+            ("clock_jitter_s", self.clock_jitter_s),
+        ] {
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "{name} must be finite and non-negative, got {v}"
+            );
+        }
+    }
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// How many faults of each kind a scenario injected (the runner reconciles
+/// these against the engine's `TelemetryStats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultCounts {
+    /// Reports lost in transit.
+    pub dropped: u64,
+    /// Reports delivered twice.
+    pub duplicated: u64,
+    /// Reports delayed past their successor.
+    pub reordered: u64,
+    /// Reports with a field replaced by NaN.
+    pub corrupted: u64,
+}
+
+impl FaultCounts {
+    pub(crate) fn accumulate(&mut self, other: &FaultCounts) {
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.reordered += other.reordered;
+        self.corrupted += other.corrupted;
+    }
+}
+
+/// One cell's transport channel: applies the fault model to each measured
+/// report and yields what actually reaches the engine, in arrival order.
+#[derive(Debug)]
+pub(crate) struct FaultChannel {
+    model: FaultModel,
+    rng: StdRng,
+    /// This cell's constant clock offset, seconds.
+    skew_s: f64,
+    /// A report held back to be delivered after its successor.
+    held: Option<Telemetry>,
+    pub(crate) counts: FaultCounts,
+}
+
+impl FaultChannel {
+    pub(crate) fn new(model: FaultModel, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let skew_s = if model.clock_skew_s > 0.0 {
+            (rng.gen::<f64>() * 2.0 - 1.0) * model.clock_skew_s
+        } else {
+            0.0
+        };
+        Self {
+            model,
+            rng,
+            skew_s,
+            held: None,
+            counts: FaultCounts::default(),
+        }
+    }
+
+    /// Transmits one measurement; whatever reaches the engine this instant
+    /// is appended to `out` in arrival order.
+    pub(crate) fn transmit(&mut self, mut report: Telemetry, out: &mut Vec<Telemetry>) {
+        // Sensor faults first: they corrupt the measurement itself.
+        report.time_s += self.skew_s;
+        if self.model.clock_jitter_s > 0.0 {
+            report.time_s += (self.rng.gen::<f64>() * 2.0 - 1.0) * self.model.clock_jitter_s;
+        }
+        for (std, field) in [
+            (self.model.voltage_noise_v, &mut report.voltage_v),
+            (self.model.current_noise_a, &mut report.current_a),
+            (self.model.temperature_noise_c, &mut report.temperature_c),
+        ] {
+            if std > 0.0 {
+                *field += Normal::new(0.0, std)
+                    .expect("validated finite std")
+                    .sample(&mut self.rng);
+            }
+        }
+        if self.model.non_finite > 0.0 && self.rng.gen::<f64>() < self.model.non_finite {
+            self.counts.corrupted += 1;
+            match self.rng.gen_range(0..3u32) {
+                0 => report.voltage_v = f64::NAN,
+                1 => report.current_a = f64::NAN,
+                _ => report.temperature_c = f64::NAN,
+            }
+        }
+        // Transport faults: decide this report's fate.
+        if self.model.dropout > 0.0 && self.rng.gen::<f64>() < self.model.dropout {
+            self.counts.dropped += 1;
+            return; // A held predecessor stays held for the next delivery.
+        }
+        if self.held.is_none()
+            && self.model.reorder > 0.0
+            && self.rng.gen::<f64>() < self.model.reorder
+        {
+            self.counts.reordered += 1;
+            self.held = Some(report);
+            return;
+        }
+        out.push(report);
+        if self.model.duplicate > 0.0 && self.rng.gen::<f64>() < self.model.duplicate {
+            self.counts.duplicated += 1;
+            out.push(report);
+        }
+        // A held (older) report arrives after the newer one it was delayed
+        // past — the out-of-order delivery the engine must survive.
+        if let Some(older) = self.held.take() {
+            out.push(older);
+        }
+    }
+
+    /// Delivers a report still held at the end of the stream (the delayed
+    /// packet eventually arrives). Without this, an end-of-stream hold
+    /// would be lost while still being booked as "reordered", and the
+    /// injected-vs-engine reconciliation could never balance.
+    pub(crate) fn flush(&mut self, out: &mut Vec<Telemetry>) {
+        if let Some(older) = self.held.take() {
+            out.push(older);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(t: f64) -> Telemetry {
+        Telemetry {
+            time_s: t,
+            voltage_v: 3.7,
+            current_a: 1.0,
+            temperature_c: 25.0,
+        }
+    }
+
+    #[test]
+    fn clean_channel_is_transparent() {
+        let mut channel = FaultChannel::new(FaultModel::none(), 7);
+        let mut out = Vec::new();
+        for k in 0..20 {
+            channel.transmit(report(k as f64), &mut out);
+        }
+        assert_eq!(out.len(), 20);
+        assert!(out.iter().enumerate().all(|(k, r)| r == &report(k as f64)));
+        assert_eq!(channel.counts, FaultCounts::default());
+    }
+
+    #[test]
+    fn dropout_loses_reports_and_counts_them() {
+        let model = FaultModel {
+            dropout: 0.5,
+            ..FaultModel::none()
+        };
+        let mut channel = FaultChannel::new(model, 3);
+        let mut out = Vec::new();
+        for k in 0..200 {
+            channel.transmit(report(k as f64), &mut out);
+        }
+        assert_eq!(out.len() as u64 + channel.counts.dropped, 200);
+        assert!(channel.counts.dropped > 50, "{:?}", channel.counts);
+    }
+
+    #[test]
+    fn reorder_delivers_older_after_newer() {
+        let model = FaultModel {
+            reorder: 1.0,
+            ..FaultModel::none()
+        };
+        let mut channel = FaultChannel::new(model, 5);
+        let mut out = Vec::new();
+        channel.transmit(report(1.0), &mut out);
+        assert!(out.is_empty(), "first report held");
+        channel.transmit(report(2.0), &mut out);
+        // The successor is delivered first, then the held (older) report.
+        assert_eq!(
+            out.iter().map(|r| r.time_s).collect::<Vec<_>>(),
+            vec![2.0, 1.0]
+        );
+        assert_eq!(channel.counts.reordered, 1);
+    }
+
+    #[test]
+    fn flush_delivers_an_end_of_stream_hold() {
+        let model = FaultModel {
+            reorder: 1.0,
+            ..FaultModel::none()
+        };
+        let mut channel = FaultChannel::new(model, 5);
+        let mut out = Vec::new();
+        channel.transmit(report(1.0), &mut out);
+        assert!(out.is_empty(), "last report of the stream held");
+        channel.flush(&mut out);
+        assert_eq!(out.len(), 1, "the delayed packet eventually arrives");
+        assert_eq!(out[0].time_s, 1.0);
+        assert_eq!(channel.counts.reordered, 1);
+        channel.flush(&mut out);
+        assert_eq!(out.len(), 1, "flush is idempotent");
+    }
+
+    #[test]
+    fn duplicates_arrive_twice() {
+        let model = FaultModel {
+            duplicate: 1.0,
+            ..FaultModel::none()
+        };
+        let mut channel = FaultChannel::new(model, 5);
+        let mut out = Vec::new();
+        channel.transmit(report(1.0), &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], out[1]);
+        assert_eq!(channel.counts.duplicated, 1);
+    }
+
+    #[test]
+    fn corruption_injects_nan_in_one_field() {
+        let model = FaultModel {
+            non_finite: 1.0,
+            ..FaultModel::none()
+        };
+        let mut channel = FaultChannel::new(model, 11);
+        let mut out = Vec::new();
+        channel.transmit(report(1.0), &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(!out[0].is_finite());
+        assert!(out[0].time_s.is_finite(), "timestamps are never corrupted");
+        assert_eq!(channel.counts.corrupted, 1);
+    }
+
+    #[test]
+    fn skew_shifts_every_timestamp_by_the_same_offset() {
+        let model = FaultModel {
+            clock_skew_s: 2.0,
+            ..FaultModel::none()
+        };
+        let mut channel = FaultChannel::new(model, 13);
+        let mut out = Vec::new();
+        channel.transmit(report(10.0), &mut out);
+        channel.transmit(report(20.0), &mut out);
+        let offset = out[0].time_s - 10.0;
+        assert!(offset.abs() <= 2.0);
+        assert!((out[1].time_s - 20.0 - offset).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channel_is_deterministic_per_seed() {
+        let model = FaultModel {
+            voltage_noise_v: 0.01,
+            dropout: 0.2,
+            duplicate: 0.1,
+            reorder: 0.1,
+            clock_jitter_s: 0.4,
+            non_finite: 0.05,
+            ..FaultModel::none()
+        };
+        // Compare debug renderings: injected NaNs make `PartialEq` useless
+        // (NaN != NaN) even though the streams are identical.
+        let run = |seed| {
+            let mut channel = FaultChannel::new(model, seed);
+            let mut out = Vec::new();
+            for k in 0..100 {
+                channel.transmit(report(k as f64), &mut out);
+            }
+            format!("{out:?} {:?}", channel.counts)
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout probability")]
+    fn invalid_probability_rejected() {
+        FaultModel {
+            dropout: 1.5,
+            ..FaultModel::none()
+        }
+        .validate();
+    }
+}

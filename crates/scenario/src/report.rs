@@ -1,0 +1,145 @@
+//! Scenario scoring results.
+//!
+//! Everything in a [`ScenarioReport`] is a deterministic function of the
+//! scenario specs and their seeds: error sums accumulate in a fixed order
+//! (cells ascending within each tick, ticks in time order), so the same
+//! suite produces a bit-identical report for any worker count. Wall-clock
+//! timings are deliberately kept *outside* the report (see
+//! `SuiteRun::timings`).
+
+use crate::faults::FaultCounts;
+use pinnsoc_fleet::TelemetryStats;
+use serde::{Deserialize, Serialize};
+
+/// Accuracy of one estimator against the ground-truth simulator, over every
+/// scored `(cell, tick)` pair where the estimator produced a value.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EstimatorAccuracy {
+    /// Mean absolute SoC error (0 when `count` is 0).
+    pub mae: f64,
+    /// Worst absolute SoC error.
+    pub max_abs: f64,
+    /// Scored `(cell, tick)` pairs.
+    pub count: u64,
+}
+
+/// Streaming absolute-error accumulator behind [`EstimatorAccuracy`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ErrorStat {
+    sum_abs: f64,
+    max_abs: f64,
+    count: u64,
+}
+
+impl ErrorStat {
+    pub(crate) fn add(&mut self, error: f64) {
+        let abs = error.abs();
+        self.sum_abs += abs;
+        self.max_abs = self.max_abs.max(abs);
+        self.count += 1;
+    }
+
+    pub(crate) fn finish(&self) -> EstimatorAccuracy {
+        EstimatorAccuracy {
+            mae: if self.count > 0 {
+                self.sum_abs / self.count as f64
+            } else {
+                0.0
+            },
+            max_abs: self.max_abs,
+            count: self.count,
+        }
+    }
+}
+
+/// Time-to-empty prediction accuracy at the scenario's end.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TteAccuracy {
+    /// Mean absolute time-to-empty error, seconds (0 when `count` is 0).
+    pub mean_abs_error_s: f64,
+    /// Worst absolute time-to-empty error, seconds.
+    pub max_abs_error_s: f64,
+    /// Cells scored.
+    pub count: u64,
+}
+
+/// Everything one scenario run produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Scenario name.
+    pub name: String,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Cells in the population.
+    pub cells: usize,
+    /// Engine processing passes executed (= scoring rounds).
+    pub ticks: usize,
+    /// Measurements the simulators produced (before faults).
+    pub reports_generated: u64,
+    /// Reports that reached the engine (after dropout/duplication).
+    pub reports_delivered: u64,
+    /// Faults the scenario injected, by kind.
+    pub injected: FaultCounts,
+    /// The engine's own telemetry accounting, to read against
+    /// [`ScenarioResult::injected`]. Delivered reports are always fully
+    /// accounted (`accepted + rejected == delivered`), but the per-kind
+    /// books only correspond loosely under combined fault modes: a
+    /// reordered report whose successor was itself corrupted or dropped can
+    /// still be accepted, a corrupted report can be dropped before reaching
+    /// the engine, a duplicated corrupted report is rejected twice, and
+    /// clock jitter produces time reversals of its own.
+    pub telemetry: TelemetryStats,
+    /// Accuracy of the engine's best estimate (its serving answer).
+    pub best: EstimatorAccuracy,
+    /// Accuracy of the latest network (Branch-1) estimate.
+    pub network: EstimatorAccuracy,
+    /// Accuracy of the running Coulomb integral.
+    pub coulomb: EstimatorAccuracy,
+    /// Accuracy of the EKF fallback.
+    pub ekf: EstimatorAccuracy,
+    /// Time-to-empty error at the scenario's end, against the simulator's
+    /// true remaining charge at a 1C reference discharge.
+    pub time_to_empty: TteAccuracy,
+    /// `(cell, tick)` pairs that could not be scored because the engine had
+    /// no estimate yet (e.g. every report dropped so far).
+    pub unscored_cell_ticks: u64,
+    /// Mean ground-truth SoC over the population when the scenario ended.
+    pub final_mean_true_soc: f64,
+}
+
+/// The deterministic outcome of a whole suite, in suite order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// One result per scenario, in the order the suite listed them.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+impl ScenarioReport {
+    /// Looks a scenario up by name.
+    pub fn get(&self, name: &str) -> Option<&ScenarioResult> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_stat_accumulates() {
+        let mut stat = ErrorStat::default();
+        stat.add(0.1);
+        stat.add(-0.3);
+        stat.add(0.2);
+        let acc = stat.finish();
+        assert!((acc.mae - 0.2).abs() < 1e-12);
+        assert_eq!(acc.max_abs, 0.3);
+        assert_eq!(acc.count, 3);
+    }
+
+    #[test]
+    fn empty_stat_is_zero() {
+        let acc = ErrorStat::default().finish();
+        assert_eq!(acc, EstimatorAccuracy::default());
+    }
+}

@@ -1,0 +1,403 @@
+//! Closed-loop scenario execution.
+//!
+//! [`run_scenario`] drives one scenario: per-cell ground-truth simulators
+//! generate telemetry, the fault channels mangle it, a live [`FleetEngine`]
+//! consumes it, and every processing pass the per-estimator estimates are
+//! scored against the simulators' true SoC. [`ScenarioRunner`] executes a
+//! whole suite pool-parallel over the shared [`pinnsoc_runtime`] worker
+//! pool; because each scenario run is a pure function of its spec and the
+//! model, the resulting [`ScenarioReport`] is bit-identical for any worker
+//! count.
+
+use crate::faults::{FaultChannel, FaultCounts};
+use crate::report::{ErrorStat, ScenarioReport, ScenarioResult, TteAccuracy};
+use crate::spec::{LoadSpec, Scenario};
+use pinnsoc::SocModel;
+use pinnsoc_battery::{aged_params, CellSim, Soc, Soh};
+use pinnsoc_cycles::{pulse_train, MixedCycleBuilder, Vehicle};
+use pinnsoc_fleet::{CellConfig, FleetConfig, FleetEngine, Telemetry};
+use pinnsoc_runtime::{NoContext, PoolTask, WorkerPool};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How each scenario's [`FleetEngine`] is configured. Engine results are
+/// bit-identical across worker counts (the fleet crate's contract), so
+/// these knobs affect throughput only, never the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineSpec {
+    /// Shards per engine.
+    pub shards: usize,
+    /// Cells per batched forward pass.
+    pub micro_batch: usize,
+    /// Persistent engine worker threads (the scenario's own thread always
+    /// participates). Kept small by default: suite-level parallelism comes
+    /// from the runner's pool, not from nesting wide engine pools.
+    pub workers: usize,
+}
+
+impl Default for EngineSpec {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            micro_batch: 64,
+            workers: 1,
+        }
+    }
+}
+
+/// Executes scenario suites pool-parallel.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioRunner {
+    /// Worker threads draining the suite (the calling thread participates;
+    /// 0 runs everything on the calling thread).
+    pub workers: usize,
+    /// Per-scenario engine configuration.
+    pub engine: EngineSpec,
+}
+
+/// A completed suite: the deterministic report plus the (host-dependent)
+/// wall-clock timings, kept separate so the report stays bit-comparable.
+#[derive(Debug, Clone)]
+pub struct SuiteRun {
+    /// The deterministic scoring report, in suite order.
+    pub report: ScenarioReport,
+    /// Per-scenario wall time, in suite order.
+    pub timings: Vec<ScenarioTiming>,
+}
+
+/// Wall-clock cost of one scenario on the measuring host.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioTiming {
+    /// Scenario name.
+    pub name: String,
+    /// Wall time of the whole closed loop (simulate + transmit + serve +
+    /// score), seconds.
+    pub wall_s: f64,
+    /// Scored cell-ticks per second of wall time.
+    pub cell_ticks_per_s: f64,
+}
+
+struct ScenarioTask {
+    scenario: Scenario,
+    model: Arc<SocModel>,
+    engine: EngineSpec,
+}
+
+impl PoolTask for ScenarioTask {
+    type Ctx = ();
+    type Kind = ();
+    type Output = (ScenarioResult, f64);
+
+    fn run(&mut self, _: &(), (): ()) -> Self::Output {
+        let start = Instant::now();
+        let result = run_scenario(&self.scenario, &self.model, &self.engine);
+        (result, start.elapsed().as_secs_f64())
+    }
+}
+
+impl ScenarioRunner {
+    /// Runs every scenario in `suite` against `model`, draining them
+    /// through a persistent worker pool. Results come back in suite order
+    /// and the report is bit-identical for any [`ScenarioRunner::workers`]
+    /// value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any scenario is invalid or a scenario task panics.
+    pub fn run(&self, suite: &[Scenario], model: &SocModel) -> SuiteRun {
+        for scenario in suite {
+            scenario.validate();
+        }
+        if suite.is_empty() {
+            return SuiteRun {
+                report: ScenarioReport {
+                    scenarios: Vec::new(),
+                },
+                timings: Vec::new(),
+            };
+        }
+        let model = Arc::new(model.clone());
+        let mut pool: WorkerPool<NoContext, ScenarioTask> =
+            WorkerPool::new(Arc::new(NoContext), self.workers);
+        let mut queue: Vec<(usize, ScenarioTask)> = suite
+            .iter()
+            .map(|scenario| ScenarioTask {
+                scenario: scenario.clone(),
+                model: Arc::clone(&model),
+                engine: self.engine,
+            })
+            .enumerate()
+            .collect();
+        let mut done = Vec::with_capacity(queue.len());
+        let panicked = pool.run((), &mut queue, &mut done);
+        assert!(!panicked, "a scenario task panicked");
+        // Completion order is nondeterministic under concurrency; the
+        // outputs are not — restore suite order.
+        done.sort_unstable_by_key(|d| d.idx);
+        let mut scenarios = Vec::with_capacity(done.len());
+        let mut timings = Vec::with_capacity(done.len());
+        for d in done {
+            let (result, wall_s) = d.output;
+            let cell_ticks = (result.cells * result.ticks) as f64;
+            timings.push(ScenarioTiming {
+                name: result.name.clone(),
+                wall_s,
+                cell_ticks_per_s: if wall_s > 0.0 {
+                    cell_ticks / wall_s
+                } else {
+                    0.0
+                },
+            });
+            scenarios.push(result);
+        }
+        SuiteRun {
+            report: ScenarioReport { scenarios },
+            timings,
+        }
+    }
+}
+
+/// Splitmix-style stream derivation so per-cell streams are decorrelated
+/// from the scenario seed and from each other.
+fn cell_stream(seed: u64, cell: u64, salt: u64) -> u64 {
+    seed ^ salt
+        ^ (cell
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9))
+}
+
+/// Builds one cell's per-step current demand, looping the source profile if
+/// the scenario outlasts it.
+fn cell_currents(scenario: &Scenario, cell: u64) -> Vec<f64> {
+    let params = &scenario.population.params;
+    let timing = &scenario.timing;
+    let steps = timing.steps();
+    let seed = cell_stream(scenario.seed, cell, 0x10AD);
+    let profile: Vec<f64> = match &scenario.load {
+        LoadSpec::ConstantCurrent { c_rate } => return vec![params.c_rate(*c_rate); steps],
+        LoadSpec::PulseTrain {
+            high_c,
+            pulse_s,
+            low_c,
+            rest_s,
+        } => {
+            let cycles = (timing.duration_s / (pulse_s + rest_s)).ceil().max(1.0) as usize;
+            pulse_train(
+                params.c_rate(*high_c),
+                *pulse_s,
+                params.c_rate(*low_c),
+                *rest_s,
+                cycles,
+                timing.dt_s,
+            )
+            .into_currents()
+        }
+        LoadSpec::Drive { schedule } => Vehicle::compact_ev()
+            .current_profile(&schedule.generate_with_dt(seed, timing.dt_s))
+            .into_currents(),
+        LoadSpec::MixedEv { segments } => Vehicle::compact_ev()
+            .current_profile(
+                &MixedCycleBuilder::new()
+                    .segments(*segments)
+                    .dt_s(timing.dt_s)
+                    .build(seed),
+            )
+            .into_currents(),
+    };
+    (0..steps).map(|k| profile[k % profile.len()]).collect()
+}
+
+/// Runs one scenario's closed loop on the calling thread.
+///
+/// # Panics
+///
+/// Panics if the scenario is invalid.
+pub fn run_scenario(scenario: &Scenario, model: &SocModel, engine: &EngineSpec) -> ScenarioResult {
+    scenario.validate();
+    let population = &scenario.population;
+    let timing = &scenario.timing;
+    let cells = population.cells;
+
+    // Population draws come from one stream so the fleet composition is a
+    // function of the scenario seed alone.
+    let mut rng = StdRng::seed_from_u64(scenario.seed);
+    let uniform = |rng: &mut StdRng, (lo, hi): (f64, f64)| lo + (hi - lo) * rng.gen::<f64>();
+    let ambient0 = scenario.environment.ambient_at(0.0, timing.duration_s);
+    let mut sims = Vec::with_capacity(cells);
+    let mut capacities = Vec::with_capacity(cells);
+    let mut channels = Vec::with_capacity(cells);
+    let mut currents = Vec::with_capacity(cells);
+    let mut fleet = FleetEngine::new(
+        model.clone(),
+        FleetConfig {
+            shards: engine.shards.max(1),
+            micro_batch: engine.micro_batch.max(1),
+            workers: engine.workers,
+            ekf_fallback: Some(population.params.clone()),
+        },
+    );
+    for id in 0..cells as u64 {
+        let soh = Soh::new(uniform(&mut rng, population.soh)).expect("validated range");
+        let initial_soc = uniform(&mut rng, population.initial_soc);
+        let aged = aged_params(&population.params, soh);
+        sims.push(CellSim::new(
+            aged.clone(),
+            Soc::clamped(initial_soc),
+            ambient0,
+        ));
+        capacities.push(aged.capacity_ah);
+        channels.push(FaultChannel::new(
+            scenario.faults,
+            cell_stream(scenario.seed, id, 0xFA17),
+        ));
+        currents.push(cell_currents(scenario, id));
+        fleet.register(
+            id,
+            CellConfig {
+                initial_soc,
+                capacity_ah: aged.capacity_ah,
+            },
+        );
+    }
+
+    let mut best = ErrorStat::default();
+    let mut network = ErrorStat::default();
+    let mut coulomb = ErrorStat::default();
+    let mut ekf = ErrorStat::default();
+    let mut unscored = 0u64;
+    let mut ticks = 0usize;
+    let mut reports_generated = 0u64;
+    let mut reports_delivered = 0u64;
+    let mut deliver = Vec::new();
+    // Rest-state baseline report at t = 0 (a BMS announces itself before
+    // drawing load). Without it the engine's integrators would skip the
+    // first interval: the report at t = dt would arrive with nothing to
+    // integrate against, leaving a permanent one-step Coulomb offset.
+    for (i, sim) in sims.iter().enumerate() {
+        reports_generated += 1;
+        channels[i].transmit(
+            Telemetry {
+                time_s: 0.0,
+                voltage_v: sim.terminal_voltage_if(0.0),
+                current_a: 0.0,
+                temperature_c: sim.state().temperature_c,
+            },
+            &mut deliver,
+        );
+        for report in deliver.drain(..) {
+            reports_delivered += 1;
+            fleet.ingest(i as u64, report);
+        }
+    }
+    for step in 1..=timing.steps() {
+        let t = step as f64 * timing.dt_s;
+        let ambient = scenario.environment.ambient_at(t, timing.duration_s);
+        for (i, sim) in sims.iter_mut().enumerate() {
+            sim.set_ambient_c(ambient);
+            let record = sim.step(currents[i][step - 1], timing.dt_s);
+            reports_generated += 1;
+            channels[i].transmit(
+                Telemetry {
+                    time_s: t,
+                    voltage_v: record.voltage_v,
+                    current_a: record.current_a,
+                    temperature_c: record.temperature_c,
+                },
+                &mut deliver,
+            );
+            for report in deliver.drain(..) {
+                reports_delivered += 1;
+                fleet.ingest(i as u64, report);
+            }
+        }
+        if step % timing.process_every == 0 {
+            fleet.process_pending();
+            ticks += 1;
+            for (i, sim) in sims.iter().enumerate() {
+                let truth = sim.state().soc.value();
+                match fleet.estimate_breakdown(i as u64) {
+                    Some(b) => {
+                        best.add(b.best.0 - truth);
+                        if let Some(soc) = b.network {
+                            network.add(soc - truth);
+                        }
+                        coulomb.add(b.coulomb - truth);
+                        if let Some(soc) = b.ekf {
+                            ekf.add(soc - truth);
+                        }
+                    }
+                    None => unscored += 1,
+                }
+            }
+        }
+    }
+
+    // End of stream: reports still held by reordering channels arrive now
+    // (the delayed packet shows up late rather than vanishing), and one
+    // final unconditional pass coalesces everything still pending — both
+    // the flushed holds and any tail steps past the last scoring tick when
+    // `steps` is not divisible by `process_every`. Without it the report's
+    // telemetry books would miss those reports and the end-of-run TTE would
+    // be scored from stale estimates. Absorbed outside the scored ticks —
+    // this pass refreshes accounting, not accuracy samples.
+    for (i, channel) in channels.iter_mut().enumerate() {
+        channel.flush(&mut deliver);
+        for report in deliver.drain(..) {
+            reports_delivered += 1;
+            fleet.ingest(i as u64, report);
+        }
+    }
+    fleet.process_pending();
+
+    // Time-to-empty at the scenario's end, against the simulator's true
+    // remaining charge, at a 1C (fresh-capacity) reference discharge.
+    let reference_a = population.params.c_rate(1.0);
+    let mut tte_sum = 0.0;
+    let mut tte_max = 0.0f64;
+    let mut tte_count = 0u64;
+    let mut true_soc_sum = 0.0;
+    for (i, sim) in sims.iter().enumerate() {
+        let truth = sim.state().soc.value();
+        true_soc_sum += truth;
+        if let Some(predicted) = fleet.time_to_empty(i as u64, reference_a) {
+            let actual = truth * 3600.0 * capacities[i] / reference_a;
+            let error = (predicted - actual).abs();
+            tte_sum += error;
+            tte_max = tte_max.max(error);
+            tte_count += 1;
+        }
+    }
+
+    let mut injected = FaultCounts::default();
+    for channel in &channels {
+        injected.accumulate(&channel.counts);
+    }
+    ScenarioResult {
+        name: scenario.name.clone(),
+        seed: scenario.seed,
+        cells,
+        ticks,
+        reports_generated,
+        reports_delivered,
+        injected,
+        telemetry: fleet.telemetry_stats(),
+        best: best.finish(),
+        network: network.finish(),
+        coulomb: coulomb.finish(),
+        ekf: ekf.finish(),
+        time_to_empty: TteAccuracy {
+            mean_abs_error_s: if tte_count > 0 {
+                tte_sum / tte_count as f64
+            } else {
+                0.0
+            },
+            max_abs_error_s: tte_max,
+            count: tte_count,
+        },
+        unscored_cell_ticks: unscored,
+        final_mean_true_soc: true_soc_sum / cells as f64,
+    }
+}

@@ -1,0 +1,376 @@
+//! The scenario DSL: a [`Scenario`] is pure data — population, load,
+//! environment, fault model, and timing — fully described by its fields and
+//! its seed, so every run is reproducible bit-for-bit.
+
+use crate::faults::FaultModel;
+use pinnsoc_battery::CellParams;
+use pinnsoc_cycles::DriveSchedule;
+use serde::{Deserialize, Serialize};
+
+/// One closed-loop validation scenario.
+///
+/// A ground-truth `pinnsoc_battery::CellSim` per cell generates telemetry,
+/// the fault model mangles it in transit, a live `pinnsoc_fleet::FleetEngine`
+/// consumes it, and every engine tick the estimates are scored against the
+/// simulators' true SoC. Everything random derives from `seed`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable scenario name (unique within a suite).
+    pub name: String,
+    /// Master seed: population draws, per-cell load profiles, and per-cell
+    /// fault channels all derive their streams from it.
+    pub seed: u64,
+    /// The cell population under test.
+    pub population: PopulationSpec,
+    /// What current each cell draws.
+    pub load: LoadSpec,
+    /// Ambient temperature over the scenario.
+    pub environment: EnvSchedule,
+    /// Telemetry corruption between the cells and the engine.
+    pub faults: FaultModel,
+    /// Step sizes and duration.
+    pub timing: Timing,
+}
+
+impl Scenario {
+    /// Validates the scenario, panicking with a clear message on
+    /// nonsensical values.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty population, out-of-range SoC/SoH spreads, invalid
+    /// timing, or an invalid fault model.
+    pub fn validate(&self) {
+        assert!(!self.name.is_empty(), "scenario needs a name");
+        self.population.validate();
+        self.load.validate();
+        self.environment.validate();
+        self.timing.validate();
+        self.faults.validate();
+    }
+}
+
+/// The cell population: chemistry, initial-SoC spread, and aging state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopulationSpec {
+    /// Number of cells.
+    pub cells: usize,
+    /// Fresh (SoH = 1) parameter set; aged cells derive from it through
+    /// [`pinnsoc_battery::aged_params`].
+    pub params: CellParams,
+    /// Per-cell initial SoC, drawn uniformly from this inclusive range.
+    pub initial_soc: (f64, f64),
+    /// Per-cell state of health, drawn uniformly from this inclusive range.
+    /// `(1.0, 1.0)` is a fresh fleet.
+    pub soh: (f64, f64),
+}
+
+impl PopulationSpec {
+    /// A fresh fleet of `cells` cells with the given parameters, starting
+    /// between 85% and 100% SoC.
+    pub fn fresh(cells: usize, params: CellParams) -> Self {
+        Self {
+            cells,
+            params,
+            initial_soc: (0.85, 1.0),
+            soh: (1.0, 1.0),
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.cells > 0, "population must contain at least one cell");
+        let (lo, hi) = self.initial_soc;
+        assert!(
+            (0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi) && lo <= hi,
+            "initial SoC range must be an ordered sub-range of [0, 1]"
+        );
+        let (lo, hi) = self.soh;
+        assert!(
+            lo > 0.0 && hi <= 1.0 && lo <= hi,
+            "SoH range must be an ordered sub-range of (0, 1]"
+        );
+    }
+}
+
+/// What current each cell draws. C-rates are relative to the population's
+/// *fresh* capacity (the load does not know a cell has aged — that is the
+/// point of aged-fleet scenarios).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LoadSpec {
+    /// Constant current at the given C-rate (positive = discharge).
+    ConstantCurrent {
+        /// Discharge C-rate.
+        c_rate: f64,
+    },
+    /// HPPC-style alternating pulse train.
+    PulseTrain {
+        /// Pulse C-rate.
+        high_c: f64,
+        /// Pulse duration, seconds.
+        pulse_s: f64,
+        /// Rest C-rate.
+        low_c: f64,
+        /// Rest duration, seconds.
+        rest_s: f64,
+    },
+    /// An EPA drive schedule, converted to per-cell current through the
+    /// compact-EV vehicle model. Each cell gets its own seeded trace
+    /// (statistically equivalent, not identical), looping if the scenario
+    /// outlasts the schedule.
+    Drive {
+        /// Which schedule to synthesize.
+        schedule: DriveSchedule,
+    },
+    /// Randomized EV usage: each cell drives its own mixed concatenation of
+    /// schedules (`pinnsoc_cycles::MixedCycleBuilder`).
+    MixedEv {
+        /// Schedule segments per cell.
+        segments: usize,
+    },
+}
+
+impl LoadSpec {
+    fn validate(&self) {
+        match self {
+            LoadSpec::ConstantCurrent { c_rate } => {
+                assert!(c_rate.is_finite(), "C-rate must be finite");
+            }
+            LoadSpec::PulseTrain {
+                high_c,
+                pulse_s,
+                low_c,
+                rest_s,
+            } => {
+                assert!(
+                    high_c.is_finite() && low_c.is_finite(),
+                    "C-rates must be finite"
+                );
+                assert!(
+                    *pulse_s > 0.0 && *rest_s > 0.0,
+                    "pulse and rest durations must be positive"
+                );
+            }
+            LoadSpec::Drive { .. } => {}
+            LoadSpec::MixedEv { segments } => {
+                assert!(*segments > 0, "at least one mixed segment required");
+            }
+        }
+    }
+}
+
+/// Ambient temperature over the scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EnvSchedule {
+    /// Fixed ambient, °C.
+    Constant(f64),
+    /// Linear sweep from `from_c` to `to_c` over the scenario duration.
+    Ramp {
+        /// Ambient at t = 0, °C.
+        from_c: f64,
+        /// Ambient at the end of the scenario, °C.
+        to_c: f64,
+    },
+    /// Sinusoidal ambient (diurnal-style cycling).
+    Sinusoid {
+        /// Mean ambient, °C.
+        mean_c: f64,
+        /// Peak deviation from the mean, °C.
+        amplitude_c: f64,
+        /// Oscillation period, seconds.
+        period_s: f64,
+    },
+}
+
+impl EnvSchedule {
+    /// Ambient temperature at elapsed time `t` of a `duration`-second run.
+    pub fn ambient_at(&self, t_s: f64, duration_s: f64) -> f64 {
+        match self {
+            EnvSchedule::Constant(c) => *c,
+            EnvSchedule::Ramp { from_c, to_c } => {
+                let frac = if duration_s > 0.0 {
+                    (t_s / duration_s).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+                from_c + (to_c - from_c) * frac
+            }
+            EnvSchedule::Sinusoid {
+                mean_c,
+                amplitude_c,
+                period_s,
+            } => mean_c + amplitude_c * (std::f64::consts::TAU * t_s / period_s).sin(),
+        }
+    }
+
+    fn validate(&self) {
+        match self {
+            EnvSchedule::Constant(c) => {
+                assert!(c.is_finite(), "ambient temperature must be finite");
+            }
+            EnvSchedule::Ramp { from_c, to_c } => {
+                assert!(
+                    from_c.is_finite() && to_c.is_finite(),
+                    "ramp temperatures must be finite"
+                );
+            }
+            EnvSchedule::Sinusoid {
+                mean_c,
+                amplitude_c,
+                period_s,
+            } => {
+                assert!(
+                    mean_c.is_finite() && amplitude_c.is_finite(),
+                    "sinusoid temperatures must be finite"
+                );
+                assert!(
+                    period_s.is_finite() && *period_s > 0.0,
+                    "sinusoid period must be positive and finite"
+                );
+            }
+        }
+    }
+}
+
+/// Step sizes and duration of one scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Timing {
+    /// Total simulated time, seconds.
+    pub duration_s: f64,
+    /// Simulation step — also the telemetry cadence: every cell reports
+    /// once per step (before faults).
+    pub dt_s: f64,
+    /// Telemetry steps between engine processing passes (scoring happens
+    /// after each pass).
+    pub process_every: usize,
+}
+
+impl Timing {
+    /// Telemetry steps in the scenario.
+    pub fn steps(&self) -> usize {
+        (self.duration_s / self.dt_s).round().max(1.0) as usize
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.duration_s > 0.0 && self.dt_s > 0.0,
+            "durations must be positive"
+        );
+        assert!(
+            self.duration_s >= self.dt_s,
+            "duration must cover at least one step"
+        );
+        assert!(self.process_every > 0, "process_every must be positive");
+        assert!(
+            self.steps() >= self.process_every,
+            "scenario must reach at least one processing pass"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> Scenario {
+        Scenario {
+            name: "test".into(),
+            seed: 1,
+            population: PopulationSpec::fresh(4, CellParams::nmc_18650()),
+            load: LoadSpec::ConstantCurrent { c_rate: 1.0 },
+            environment: EnvSchedule::Constant(25.0),
+            faults: FaultModel::none(),
+            timing: Timing {
+                duration_s: 60.0,
+                dt_s: 1.0,
+                process_every: 10,
+            },
+        }
+    }
+
+    #[test]
+    fn valid_scenario_passes() {
+        scenario().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn empty_population_rejected() {
+        let mut s = scenario();
+        s.population.cells = 0;
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "SoH range")]
+    fn inverted_soh_range_rejected() {
+        let mut s = scenario();
+        s.population.soh = (0.9, 0.7);
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processing pass")]
+    fn unreachable_process_tick_rejected() {
+        let mut s = scenario();
+        s.timing.process_every = 1000;
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "sinusoid period")]
+    fn zero_sinusoid_period_rejected() {
+        let mut s = scenario();
+        s.environment = EnvSchedule::Sinusoid {
+            mean_c: 20.0,
+            amplitude_c: 5.0,
+            period_s: 0.0,
+        };
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn nan_ambient_rejected() {
+        let mut s = scenario();
+        s.environment = EnvSchedule::Constant(f64::NAN);
+        s.validate();
+    }
+
+    #[test]
+    fn env_schedules_interpolate() {
+        assert_eq!(EnvSchedule::Constant(25.0).ambient_at(100.0, 200.0), 25.0);
+        let ramp = EnvSchedule::Ramp {
+            from_c: -10.0,
+            to_c: 30.0,
+        };
+        assert_eq!(ramp.ambient_at(0.0, 100.0), -10.0);
+        assert_eq!(ramp.ambient_at(50.0, 100.0), 10.0);
+        assert_eq!(ramp.ambient_at(100.0, 100.0), 30.0);
+        assert_eq!(ramp.ambient_at(500.0, 100.0), 30.0, "clamped past the end");
+        let sine = EnvSchedule::Sinusoid {
+            mean_c: 20.0,
+            amplitude_c: 5.0,
+            period_s: 100.0,
+        };
+        assert!((sine.ambient_at(25.0, 100.0) - 25.0).abs() < 1e-9);
+        assert!((sine.ambient_at(75.0, 100.0) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timing_steps_rounds() {
+        let t = Timing {
+            duration_s: 10.0,
+            dt_s: 3.0,
+            process_every: 1,
+        };
+        assert_eq!(t.steps(), 3);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = scenario();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

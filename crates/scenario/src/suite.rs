@@ -1,0 +1,273 @@
+//! The standard validation suite: the scenario battery every change to the
+//! serving or estimation stack should survive.
+
+use crate::faults::FaultModel;
+use crate::spec::{EnvSchedule, LoadSpec, PopulationSpec, Scenario, Timing};
+use pinnsoc_battery::CellParams;
+use pinnsoc_cycles::DriveSchedule;
+
+/// Standard per-scenario timing: 30 simulated minutes at 1 s telemetry,
+/// one engine pass (and scoring round) every 15 s.
+fn standard_timing() -> Timing {
+    Timing {
+        duration_s: 1800.0,
+        dt_s: 1.0,
+        process_every: 15,
+    }
+}
+
+fn scenario(
+    name: &str,
+    seed: u64,
+    population: PopulationSpec,
+    load: LoadSpec,
+    environment: EnvSchedule,
+    faults: FaultModel,
+) -> Scenario {
+    Scenario {
+        name: name.into(),
+        seed,
+        population,
+        load,
+        environment,
+        faults,
+        timing: standard_timing(),
+    }
+}
+
+/// The standard ten-scenario suite, spanning lab patterns, drive cycles,
+/// temperature sweeps, aged fleets, sensor noise, and transport faults.
+/// Every scenario derives its streams from `seed` plus its position, so one
+/// number reproduces the whole battery.
+pub fn standard_suite(seed: u64) -> Vec<Scenario> {
+    let fresh = |cells| PopulationSpec::fresh(cells, CellParams::nmc_18650());
+    vec![
+        // Clean lab baselines: the regime the paper trains in.
+        scenario(
+            "constant-1c-clean",
+            seed,
+            fresh(24),
+            LoadSpec::ConstantCurrent { c_rate: 1.0 },
+            EnvSchedule::Constant(25.0),
+            FaultModel::none(),
+        ),
+        scenario(
+            "pulse-hppc-clean",
+            seed.wrapping_add(1),
+            fresh(24),
+            LoadSpec::PulseTrain {
+                high_c: 2.0,
+                pulse_s: 10.0,
+                low_c: 0.1,
+                rest_s: 20.0,
+            },
+            EnvSchedule::Constant(25.0),
+            FaultModel::none(),
+        ),
+        // Drive cycles: the messy current spectra the LG dataset stands for.
+        scenario(
+            "drive-udds",
+            seed.wrapping_add(2),
+            fresh(24),
+            LoadSpec::Drive {
+                schedule: DriveSchedule::Udds,
+            },
+            EnvSchedule::Constant(25.0),
+            FaultModel::none(),
+        ),
+        scenario(
+            "drive-us06-hot",
+            seed.wrapping_add(3),
+            fresh(24),
+            LoadSpec::Drive {
+                schedule: DriveSchedule::Us06,
+            },
+            EnvSchedule::Constant(40.0),
+            FaultModel::none(),
+        ),
+        scenario(
+            "ev-mixed-random",
+            seed.wrapping_add(4),
+            fresh(24),
+            LoadSpec::MixedEv { segments: 2 },
+            EnvSchedule::Constant(25.0),
+            FaultModel::none(),
+        ),
+        // Environment stress: ambient sweeping through the whole Sandia
+        // temperature range within one run.
+        scenario(
+            "temperature-sweep",
+            seed.wrapping_add(5),
+            fresh(24),
+            LoadSpec::ConstantCurrent { c_rate: 0.5 },
+            EnvSchedule::Ramp {
+                from_c: -5.0,
+                to_c: 40.0,
+            },
+            FaultModel::none(),
+        ),
+        // Aged fleet: capacities 70–95% of rated, resistances grown to
+        // match; the load still assumes fresh capacity.
+        scenario(
+            "aged-fleet",
+            seed.wrapping_add(6),
+            PopulationSpec {
+                soh: (0.70, 0.95),
+                initial_soc: (0.80, 1.0),
+                ..PopulationSpec::fresh(24, CellParams::nmc_18650())
+            },
+            LoadSpec::Drive {
+                schedule: DriveSchedule::Udds,
+            },
+            EnvSchedule::Constant(25.0),
+            FaultModel::none(),
+        ),
+        // Sensor faults.
+        scenario(
+            "noisy-sensors",
+            seed.wrapping_add(7),
+            fresh(24),
+            LoadSpec::Drive {
+                schedule: DriveSchedule::La92,
+            },
+            EnvSchedule::Constant(25.0),
+            FaultModel::sensor_noise(),
+        ),
+        // Transport faults, two modes: plain dropout, then the full mess.
+        scenario(
+            "transport-dropout",
+            seed.wrapping_add(8),
+            fresh(24),
+            LoadSpec::Drive {
+                schedule: DriveSchedule::Udds,
+            },
+            EnvSchedule::Constant(25.0),
+            FaultModel {
+                dropout: 0.25,
+                ..FaultModel::none()
+            },
+        ),
+        scenario(
+            "transport-chaos",
+            seed.wrapping_add(9),
+            fresh(24),
+            LoadSpec::Drive {
+                schedule: DriveSchedule::Us06,
+            },
+            EnvSchedule::Sinusoid {
+                mean_c: 20.0,
+                amplitude_c: 10.0,
+                period_s: 900.0,
+            },
+            FaultModel {
+                dropout: 0.05,
+                duplicate: 0.10,
+                reorder: 0.10,
+                clock_skew_s: 0.25,
+                clock_jitter_s: 0.6,
+                non_finite: 0.02,
+                ..FaultModel::sensor_noise()
+            },
+        ),
+    ]
+}
+
+/// A three-scenario, CI-sized subset (small fleets, short runs) covering a
+/// clean drive cycle, an environment sweep, and the full transport-fault
+/// mix — used by the `scenario_baseline --smoke` gate.
+pub fn smoke_suite(seed: u64) -> Vec<Scenario> {
+    let timing = Timing {
+        duration_s: 300.0,
+        dt_s: 1.0,
+        process_every: 10,
+    };
+    standard_suite(seed)
+        .into_iter()
+        .filter(|s| {
+            matches!(
+                s.name.as_str(),
+                "drive-udds" | "temperature-sweep" | "transport-chaos"
+            )
+        })
+        .map(|mut s| {
+            s.population.cells = 8;
+            s.timing = timing;
+            s
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_suite_is_valid_distinct_and_broad() {
+        let suite = standard_suite(42);
+        assert!(
+            suite.len() >= 8,
+            "acceptance floor: {} scenarios",
+            suite.len()
+        );
+        let mut names: Vec<&str> = suite.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), suite.len(), "names must be unique");
+        for s in &suite {
+            s.validate();
+        }
+        // Coverage floors from the acceptance criteria.
+        assert!(
+            suite
+                .iter()
+                .any(|s| matches!(s.load, LoadSpec::Drive { .. } | LoadSpec::MixedEv { .. })),
+            "needs a drive cycle"
+        );
+        assert!(
+            suite
+                .iter()
+                .any(|s| matches!(s.environment, EnvSchedule::Ramp { .. })),
+            "needs a temperature sweep"
+        );
+        assert!(
+            suite.iter().any(|s| s.population.soh.0 < 1.0),
+            "needs aged cells"
+        );
+        assert!(
+            suite.iter().any(|s| s.faults.voltage_noise_v > 0.0),
+            "needs sensor noise"
+        );
+        let transport_modes = suite
+            .iter()
+            .flat_map(|s| {
+                [
+                    s.faults.dropout > 0.0,
+                    s.faults.duplicate > 0.0,
+                    s.faults.reorder > 0.0,
+                ]
+            })
+            .filter(|&on| on)
+            .count();
+        assert!(
+            transport_modes >= 2,
+            "needs two or more transport-fault modes"
+        );
+    }
+
+    #[test]
+    fn smoke_suite_is_a_small_subset() {
+        let smoke = smoke_suite(1);
+        assert_eq!(smoke.len(), 3);
+        for s in &smoke {
+            s.validate();
+            assert!(s.population.cells <= 8);
+            assert!(s.timing.duration_s <= 300.0);
+        }
+    }
+
+    #[test]
+    fn suites_differ_by_seed() {
+        assert_ne!(standard_suite(1), standard_suite(2));
+        assert_eq!(standard_suite(3), standard_suite(3));
+    }
+}

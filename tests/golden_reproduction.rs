@@ -1,0 +1,231 @@
+//! Golden paper-reproduction regression tests.
+//!
+//! These pin the Table-1 / Fig.-3 / Fig.-4 headline metrics — Sandia and LG
+//! prediction MAE per PINN variant, plus the shared Branch-1 estimation MAE
+//! — at seed 42 on the reduced end-to-end reproduction configurations, as
+//! **exact bit patterns**. The trainer refactor in PR 3 had to be
+//! golden-pinned after the fact; these tests make the whole reproduction
+//! pipeline (dataset generation → training → evaluation) drift-proof up
+//! front: any refactor that silently changes a single bit of the headline
+//! numbers fails here.
+//!
+//! The values were captured at the commit that introduced this file. If a
+//! *deliberate* numerical change lands (new RNG, retuned hyper-parameters),
+//! regenerate them with:
+//!
+//! ```text
+//! cargo test --release --test golden_reproduction -- --ignored --nocapture
+//! ```
+//!
+//! and update the tables below, noting the reason in the commit message.
+
+use pinnsoc::{eval_estimation, eval_prediction, train, PinnVariant, SocModel, TrainConfig};
+use pinnsoc_battery::Chemistry;
+use pinnsoc_data::{generate_lg, generate_sandia, LgConfig, NoiseConfig, SandiaConfig, SocDataset};
+
+const SEED: u64 = 42;
+
+/// The reduced Sandia-like protocol of `tests/end_to_end_sandia.rs`.
+fn sandia_dataset() -> SocDataset {
+    generate_sandia(&SandiaConfig {
+        chemistries: vec![Chemistry::Nmc],
+        ambient_temps_c: vec![15.0, 35.0],
+        cycles_per_condition: 2,
+        ..SandiaConfig::default()
+    })
+}
+
+fn sandia_config(variant: PinnVariant) -> TrainConfig {
+    TrainConfig {
+        b1_epochs: 80,
+        b2_epochs: 80,
+        batch_size: 16,
+        ..TrainConfig::sandia(variant, SEED)
+    }
+}
+
+/// The reduced LG-like protocol of `tests/end_to_end_lg.rs`.
+fn lg_dataset() -> SocDataset {
+    generate_lg(&LgConfig {
+        train_mixed: 3,
+        train_temps_c: vec![10.0, 25.0],
+        test_temps_c: vec![25.0],
+        mixed_segments: 3,
+        noise: NoiseConfig::default(),
+        ..LgConfig::default()
+    })
+}
+
+fn lg_config(variant: PinnVariant) -> TrainConfig {
+    TrainConfig {
+        b1_epochs: 10,
+        b2_epochs: 8,
+        ..TrainConfig::lg(variant, SEED)
+    }
+}
+
+/// One pinned variant: prediction MAE bits at the three figure horizons.
+struct GoldenVariant {
+    variant: PinnVariant,
+    mae_bits: [u64; 3],
+}
+
+/// Fig. 3 shape on the reduced Sandia protocol: the purely data-driven
+/// model degrades hard at the unseen 240 s / 360 s horizons while the
+/// physics-informed variants stay flat — the paper's central claim.
+fn sandia_variants() -> Vec<GoldenVariant> {
+    vec![
+        GoldenVariant {
+            variant: PinnVariant::NoPinn,
+            // 0.054375 / 0.136901 / 0.252127
+            mae_bits: [0x3fabd6fa9f8bddf3, 0x3fc185fa157e4c3a, 0x3fd022d77b56c655],
+        },
+        GoldenVariant {
+            variant: PinnVariant::PhysicsOnly,
+            // 0.066600 / 0.067783 / 0.069102
+            mae_bits: [0x3fb10cbabf6a25f4, 0x3fb15a3b6d688d03, 0x3fb1b0a7edc751a4],
+        },
+        GoldenVariant {
+            variant: PinnVariant::pinn_all(&[120.0, 240.0, 360.0]),
+            // 0.066723 / 0.075162 / 0.076969
+            mae_bits: [0x3fb114c44348a0a0, 0x3fb33dcbd501dc63, 0x3fb3b4428c2863f9],
+        },
+    ]
+}
+
+/// Fig. 4 shape on the reduced LG protocol (same story at 30/50/70 s).
+fn lg_variants() -> Vec<GoldenVariant> {
+    vec![
+        GoldenVariant {
+            variant: PinnVariant::NoPinn,
+            // 0.023189 / 0.101702 / 0.214819
+            mae_bits: [0x3f97bec1844fb02b, 0x3fba0922857e00e9, 0x3fcb7f2de9e24c19],
+        },
+        GoldenVariant {
+            variant: PinnVariant::PhysicsOnly,
+            // 0.019007 / 0.019101 / 0.019245
+            mae_bits: [0x3f93768c1270edfc, 0x3f938f43bf7982c4, 0x3f93b4f6f1ea82a1],
+        },
+        GoldenVariant {
+            variant: PinnVariant::pinn_all(&[30.0, 50.0, 70.0]),
+            // 0.025045 / 0.020145 / 0.023911
+            mae_bits: [0x3f99a562b6d7daad, 0x3f94a0f24b7010c1, 0x3f987c0034cd8b23],
+        },
+    ]
+}
+
+/// Branch-1 estimation MAE bits (identical across variants: Branch 1 trains
+/// from the same RNG stream before any variant-specific step).
+const SANDIA_ESTIMATION_MAE_BITS: u64 = 0x3fb0b4be050690a7; // 0.065258
+const LG_ESTIMATION_MAE_BITS: u64 = 0x3f936c146f0e0894; // 0.018967
+
+fn check_dataset(
+    label: &str,
+    dataset: &SocDataset,
+    horizons: [f64; 3],
+    variants: &[GoldenVariant],
+    make_config: impl Fn(PinnVariant) -> TrainConfig,
+    estimation_bits: u64,
+) {
+    let mut estimation_checked = false;
+    for golden in variants {
+        let (model, _) = train(dataset, &make_config(golden.variant.clone()));
+        if !estimation_checked && !matches!(golden.variant, PinnVariant::PhysicsOnly) {
+            let est = eval_estimation(&model, &dataset.test);
+            assert_eq!(
+                est.mae.to_bits(),
+                estimation_bits,
+                "{label} estimation MAE drifted: {:.6} (bits 0x{:016x})",
+                est.mae,
+                est.mae.to_bits()
+            );
+            estimation_checked = true;
+        }
+        for (h, &expected) in horizons.iter().zip(&golden.mae_bits) {
+            let report = eval_prediction(&model, &dataset.test, *h);
+            assert_eq!(
+                report.mae.to_bits(),
+                expected,
+                "{label} {} MAE at {h}s drifted: {:.6} (bits 0x{:016x})",
+                model.label,
+                report.mae,
+                report.mae.to_bits()
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_sandia_headline_metrics_at_seed_42() {
+    check_dataset(
+        "Sandia",
+        &sandia_dataset(),
+        [120.0, 240.0, 360.0],
+        &sandia_variants(),
+        sandia_config,
+        SANDIA_ESTIMATION_MAE_BITS,
+    );
+}
+
+#[test]
+fn golden_lg_headline_metrics_at_seed_42() {
+    check_dataset(
+        "LG",
+        &lg_dataset(),
+        [30.0, 50.0, 70.0],
+        &lg_variants(),
+        lg_config,
+        LG_ESTIMATION_MAE_BITS,
+    );
+}
+
+/// Regeneration helper (ignored): prints the current bit patterns in the
+/// exact shape of the tables above.
+#[test]
+#[ignore = "regenerates the golden tables; run with --ignored --nocapture"]
+fn print_golden_values() {
+    let print = |label: &str,
+                 dataset: &SocDataset,
+                 horizons: [f64; 3],
+                 variants: &[GoldenVariant],
+                 make_config: &dyn Fn(PinnVariant) -> TrainConfig| {
+        let mut estimation: Option<SocModel> = None;
+        for golden in variants {
+            let (model, _) = train(dataset, &make_config(golden.variant.clone()));
+            let bits: Vec<String> = horizons
+                .iter()
+                .map(|h| {
+                    let report = eval_prediction(&model, &dataset.test, *h);
+                    format!("0x{:016x} /* {:.6} */", report.mae.to_bits(), report.mae)
+                })
+                .collect();
+            println!("{label} {}: mae_bits: [{}]", model.label, bits.join(", "));
+            if estimation.is_none() && !matches!(golden.variant, PinnVariant::PhysicsOnly) {
+                estimation = Some(model);
+            }
+        }
+        let est = eval_estimation(
+            estimation.as_ref().expect("non-physics variant"),
+            &dataset.test,
+        );
+        println!(
+            "{label} estimation: 0x{:016x} /* {:.6} */",
+            est.mae.to_bits(),
+            est.mae
+        );
+    };
+    print(
+        "Sandia",
+        &sandia_dataset(),
+        [120.0, 240.0, 360.0],
+        &sandia_variants(),
+        &sandia_config,
+    );
+    print(
+        "LG",
+        &lg_dataset(),
+        [30.0, 50.0, 70.0],
+        &lg_variants(),
+        &lg_config,
+    );
+}
