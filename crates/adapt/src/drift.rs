@@ -1,0 +1,267 @@
+//! Drift detection: rolling network-vs-teacher disagreement per cohort.
+//!
+//! The network's estimate and the physics teachers' (EKF / Coulomb) estimate
+//! of the *same cell at the same instant* should agree when the network is
+//! in-domain; sustained disagreement is the train/serve distribution shift
+//! signal. The detector keeps a fixed-size rolling window of absolute
+//! disagreements per **cohort** (a SoH bucket — aged sub-fleets drift first)
+//! and reports a cohort as drifting once its rolling mean clears a threshold
+//! with enough samples behind it. Everything is plain accumulation in
+//! deterministic order: same observations, same verdicts, on any host.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A cohort label: cells that drift together (the harvester buckets by
+/// state of health).
+pub type CohortId = u32;
+
+/// Detector thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Rolling window length per cohort, samples.
+    pub window: usize,
+    /// Mean absolute network-vs-teacher disagreement (SoC fraction) at
+    /// which a cohort counts as drifting.
+    pub threshold: f64,
+    /// Minimum samples in a cohort's window before it may trigger (a lone
+    /// outlier is not drift).
+    pub min_samples: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        Self {
+            window: 256,
+            threshold: 0.08,
+            min_samples: 64,
+        }
+    }
+}
+
+impl DriftConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero window, a non-positive/non-finite threshold, or
+    /// `min_samples` exceeding the window.
+    pub fn validate(&self) {
+        assert!(self.window > 0, "drift window must be positive");
+        assert!(
+            self.threshold.is_finite() && self.threshold > 0.0,
+            "drift threshold must be positive and finite"
+        );
+        assert!(
+            self.min_samples > 0 && self.min_samples <= self.window,
+            "min_samples must lie in [1, window]"
+        );
+    }
+}
+
+/// One cohort's rolling disagreement window.
+#[derive(Debug, Clone, Default)]
+struct Window {
+    ring: Vec<f64>,
+    next: usize,
+}
+
+impl Window {
+    fn observe(&mut self, value: f64, capacity: usize) {
+        if self.ring.len() < capacity {
+            self.ring.push(value);
+            return;
+        }
+        self.ring[self.next] = value;
+        self.next = (self.next + 1) % capacity;
+    }
+
+    /// Mean recomputed from the ring (a few hundred adds per query beats a
+    /// running sum that accumulates float cancellation over months of
+    /// uptime; queries happen once per engine tick, not per sample).
+    fn mean(&self) -> f64 {
+        self.ring.iter().sum::<f64>() / self.ring.len() as f64
+    }
+}
+
+/// What the detector currently believes about one cohort.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftStatus {
+    /// The cohort.
+    pub cohort: CohortId,
+    /// Rolling mean absolute disagreement.
+    pub mean_disagreement: f64,
+    /// Samples currently in the window.
+    pub samples: usize,
+    /// Whether this cohort clears the trigger condition.
+    pub drifting: bool,
+}
+
+/// Rolling per-cohort network-vs-teacher disagreement scorer.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    config: DriftConfig,
+    cohorts: BTreeMap<CohortId, Window>,
+}
+
+impl DriftDetector {
+    /// A detector with the given thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: DriftConfig) -> Self {
+        config.validate();
+        Self {
+            config,
+            cohorts: BTreeMap::new(),
+        }
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> &DriftConfig {
+        &self.config
+    }
+
+    /// Records one absolute network-vs-teacher disagreement for a cohort.
+    /// Non-finite values are ignored (a corrupted estimate is a telemetry
+    /// problem, not evidence of model drift).
+    pub fn observe(&mut self, cohort: CohortId, disagreement: f64) {
+        if !disagreement.is_finite() {
+            return;
+        }
+        self.cohorts
+            .entry(cohort)
+            .or_default()
+            .observe(disagreement.abs(), self.config.window);
+    }
+
+    /// Status of one cohort, if it has any samples.
+    pub fn status(&self, cohort: CohortId) -> Option<DriftStatus> {
+        self.cohorts.get(&cohort).map(|w| {
+            let mean = w.mean();
+            let samples = w.ring.len();
+            DriftStatus {
+                cohort,
+                mean_disagreement: mean,
+                samples,
+                drifting: samples >= self.config.min_samples && mean >= self.config.threshold,
+            }
+        })
+    }
+
+    /// Every cohort's status, in ascending cohort order (deterministic).
+    pub fn statuses(&self) -> Vec<DriftStatus> {
+        self.cohorts
+            .keys()
+            .map(|&c| self.status(c).expect("cohort present"))
+            .collect()
+    }
+
+    /// The lowest-numbered drifting cohort, if any — the adaptation
+    /// engine's trigger.
+    pub fn triggered(&self) -> Option<DriftStatus> {
+        self.statuses().into_iter().find(|s| s.drifting)
+    }
+
+    /// Clears every cohort's window (called after an adaptation round: the
+    /// new model must earn its own disagreement history).
+    pub fn reset(&mut self) {
+        self.cohorts.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector(threshold: f64, min_samples: usize) -> DriftDetector {
+        DriftDetector::new(DriftConfig {
+            window: 16,
+            threshold,
+            min_samples,
+        })
+    }
+
+    #[test]
+    fn no_samples_no_status() {
+        let d = detector(0.1, 4);
+        assert_eq!(d.status(0), None);
+        assert!(d.triggered().is_none());
+        assert!(d.statuses().is_empty());
+    }
+
+    #[test]
+    fn small_disagreement_never_triggers() {
+        let mut d = detector(0.1, 4);
+        for _ in 0..100 {
+            d.observe(0, 0.01);
+        }
+        let s = d.status(0).unwrap();
+        assert!(!s.drifting);
+        assert!((s.mean_disagreement - 0.01).abs() < 1e-12);
+        assert_eq!(s.samples, 16, "window caps retained samples");
+    }
+
+    #[test]
+    fn sustained_disagreement_triggers_after_min_samples() {
+        let mut d = detector(0.1, 4);
+        for k in 0..3 {
+            d.observe(2, 0.5);
+            assert!(d.triggered().is_none(), "sample {k}: below min_samples");
+        }
+        d.observe(2, 0.5);
+        let t = d.triggered().expect("drifting");
+        assert_eq!(t.cohort, 2);
+        assert!(t.drifting);
+    }
+
+    #[test]
+    fn window_forgets_old_disagreement() {
+        let mut d = detector(0.1, 4);
+        for _ in 0..16 {
+            d.observe(0, 0.9);
+        }
+        assert!(d.triggered().is_some());
+        // A full window of agreement flushes the drift verdict.
+        for _ in 0..16 {
+            d.observe(0, 0.0);
+        }
+        assert!(d.triggered().is_none());
+    }
+
+    #[test]
+    fn cohorts_are_independent_and_reset_clears() {
+        let mut d = detector(0.1, 2);
+        d.observe(1, 0.4);
+        d.observe(1, 0.4);
+        d.observe(7, 0.01);
+        d.observe(7, 0.01);
+        assert_eq!(d.triggered().unwrap().cohort, 1);
+        assert!(!d.status(7).unwrap().drifting);
+        assert_eq!(d.statuses().len(), 2);
+        d.reset();
+        assert!(d.statuses().is_empty());
+    }
+
+    #[test]
+    fn non_finite_observations_are_ignored() {
+        let mut d = detector(0.1, 1);
+        d.observe(0, f64::NAN);
+        d.observe(0, f64::INFINITY);
+        assert_eq!(d.status(0), None);
+        d.observe(0, -0.5); // magnitude counts, sign does not
+        assert!(d.status(0).unwrap().drifting);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_samples")]
+    fn min_samples_beyond_window_rejected() {
+        DriftConfig {
+            window: 8,
+            threshold: 0.1,
+            min_samples: 9,
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,424 @@
+//! The adaptation engine: trigger → fine-tune → gate → hot-swap.
+//!
+//! [`AdaptationEngine::observe_tick`] is the whole loop, called once per
+//! fleet processing pass (directly, or through the
+//! [`pinnsoc_scenario::FleetObserver`] impl):
+//!
+//! 1. **Harvest** — the [`Harvester`] walks the fleet, captures gated
+//!    pseudo-labeled windows into the replay reservoir, and scores
+//!    per-cohort network-vs-teacher disagreement into the
+//!    [`DriftDetector`].
+//! 2. **Trigger** — when a cohort's rolling disagreement clears the drift
+//!    threshold (and the reservoir holds enough windows to be worth
+//!    training on), an adaptation round starts.
+//! 3. **Fine-tune** — candidate models warm-start from the *currently
+//!    served* snapshot and train on the replay mix (harvested windows +
+//!    original lab cycles, so the network cannot forget the lab regime)
+//!    via [`pinnsoc::train_many_with`] on the engine's persistent
+//!    [`pinnsoc_runtime::WorkerPool`] — the same machinery, and the same
+//!    bit-identical-across-worker-counts contract, as everything else in
+//!    the workspace.
+//! 4. **Gate** — every candidate and the incumbent are scored on the
+//!    promotion suite (closed-loop scenarios via
+//!    [`pinnsoc_scenario::ScenarioRunner`]); only a candidate that beats
+//!    the incumbent's network MAE by the configured margin may promote.
+//! 5. **Hot-swap** — the winner swaps into the fleet's
+//!    [`pinnsoc_fleet::ModelRegistry`] mid-tick (it serves from the next
+//!    batch pass), the incumbent is retained for [`AdaptationEngine::
+//!    rollback`], and the drift windows reset so the new model earns its
+//!    own history. A failed gate changes nothing: the serving model is
+//!    untouched, by construction.
+
+use crate::drift::{CohortId, DriftConfig, DriftDetector, DriftStatus};
+use crate::harvest::{HarvestConfig, HarvestStats, Harvester};
+use pinnsoc::{train_many_with, SocModel, TrainConfig, TrainTask};
+use pinnsoc_data::{Cycle, SocDataset};
+use pinnsoc_fleet::FleetEngine;
+use pinnsoc_runtime::{NoContext, WorkerPool};
+use pinnsoc_scenario::{EngineSpec, FleetObserver, Scenario, ScenarioRunner};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Promotion-gate configuration: the scenario suite a candidate must beat
+/// the incumbent on, and by how much.
+#[derive(Debug, Clone)]
+pub struct GateConfig {
+    /// Scenarios the gate scores models on (e.g.
+    /// [`pinnsoc_scenario::gate_suite`]). Scoring uses the network
+    /// estimator's MAE averaged across the suite.
+    pub suite: Vec<Scenario>,
+    /// Worker threads of the gate's scenario runner (throughput only — the
+    /// scores are bit-identical for any value, per the scenario contract).
+    pub runner_workers: usize,
+    /// Engine configuration of the gate's scenario fleets.
+    pub engine: EngineSpec,
+    /// Required relative improvement: a candidate promotes only when
+    /// `candidate_mae < incumbent_mae * (1 - min_improvement)`. `0` demands
+    /// strict improvement; `1` makes the gate impassable.
+    pub min_improvement: f64,
+}
+
+impl GateConfig {
+    fn validate(&self) {
+        assert!(!self.suite.is_empty(), "promotion gate needs scenarios");
+        for scenario in &self.suite {
+            scenario.validate();
+        }
+        assert!(
+            (0.0..=1.0).contains(&self.min_improvement),
+            "gate margin must be in [0, 1]"
+        );
+    }
+}
+
+/// Everything an [`AdaptationEngine`] needs to know.
+#[derive(Debug, Clone)]
+pub struct AdaptationConfig {
+    /// Drift-detector thresholds.
+    pub drift: DriftConfig,
+    /// Harvesting gates and reservoir sizing.
+    pub harvest: HarvestConfig,
+    /// Fine-tuning hyper-parameters. Typical online use: the serving
+    /// variant with a reduced learning rate, a handful of `b1_epochs`, and
+    /// `b2_epochs: 0` (Branch-1-only fine-tune — harvested windows carry no
+    /// horizon labels).
+    pub fine_tune: TrainConfig,
+    /// One fine-tune candidate is trained per seed (each overrides
+    /// `fine_tune.seed`); the gate picks the best.
+    pub candidate_seeds: Vec<u64>,
+    /// The promotion gate.
+    pub gate: GateConfig,
+    /// Worker threads of the persistent fine-tuning pool (throughput only;
+    /// results are bit-identical for any value).
+    pub train_workers: usize,
+    /// Lab training cycles mixed into every fine-tuning dataset so the
+    /// network keeps its lab-regime accuracy (anti-forgetting replay).
+    pub lab_cycles: usize,
+    /// Minimum harvested windows before a trigger may start a round.
+    pub min_reservoir: usize,
+    /// Observation ticks to wait after a round (promoted or rejected)
+    /// before the next may start.
+    pub cooldown_ticks: u64,
+}
+
+impl AdaptationConfig {
+    /// Validates every sub-configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message on any invalid field.
+    pub fn validate(&self) {
+        self.drift.validate();
+        self.harvest.validate();
+        self.fine_tune.validate();
+        assert!(
+            !self.candidate_seeds.is_empty(),
+            "need at least one fine-tune candidate seed"
+        );
+        self.gate.validate();
+        assert!(self.min_reservoir > 0, "min_reservoir must be positive");
+    }
+}
+
+/// What one [`AdaptationEngine::observe_tick`] call did.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AdaptOutcome {
+    /// Harvested and scored; no cohort is drifting.
+    Observed,
+    /// A round just ran; triggers are suppressed for the cooldown window.
+    Cooldown,
+    /// A cohort is drifting but the reservoir is still too small to train
+    /// on.
+    InsufficientData {
+        /// Windows currently in the reservoir.
+        reservoir: usize,
+    },
+    /// A candidate beat the incumbent and was hot-swapped into the
+    /// registry.
+    Promoted {
+        /// The cohort whose drift triggered the round.
+        cohort: CohortId,
+        /// Registry version now serving.
+        version: u64,
+        /// Incumbent's gate score (mean network MAE).
+        incumbent_mae: f64,
+        /// Promoted candidate's gate score.
+        candidate_mae: f64,
+    },
+    /// Every candidate failed the gate; the serving model is untouched.
+    Rejected {
+        /// The cohort whose drift triggered the round.
+        cohort: CohortId,
+        /// Incumbent's gate score (mean network MAE).
+        incumbent_mae: f64,
+        /// Best candidate's gate score.
+        best_candidate_mae: f64,
+    },
+}
+
+/// One noteworthy tick in an adaptation session (round-level outcomes:
+/// triggers that ran or were starved for data, promotions, rejections —
+/// not the per-tick `Observed`/`Cooldown` filler).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptEvent {
+    /// Observation tick (1-based, counting [`AdaptationEngine::
+    /// observe_tick`] calls).
+    pub tick: u64,
+    /// What happened.
+    pub outcome: AdaptOutcome,
+}
+
+/// Cumulative counters of one adaptation session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AdaptReport {
+    /// Observation ticks processed.
+    pub ticks_observed: u64,
+    /// Drift triggers that started a round.
+    pub triggers: u64,
+    /// Candidate models fine-tuned.
+    pub fine_tuned_candidates: u64,
+    /// Rounds whose best candidate passed the gate.
+    pub gate_passes: u64,
+    /// Rounds whose candidates all failed the gate.
+    pub gate_failures: u64,
+    /// Hot-swaps performed.
+    pub swaps: u64,
+    /// Rollbacks performed.
+    pub rollbacks: u64,
+    /// Harvesting accounting.
+    pub harvest: HarvestStats,
+}
+
+/// The closed-loop online-adaptation engine. See the module docs.
+pub struct AdaptationEngine {
+    config: AdaptationConfig,
+    harvester: Harvester,
+    drift: DriftDetector,
+    /// Persistent fine-tuning pool: workers park between rounds.
+    pool: WorkerPool<NoContext, TrainTask>,
+    /// Original lab data, mixed into every fine-tuning dataset.
+    lab: Arc<SocDataset>,
+    /// The model displaced by the latest promotion, for [`Self::rollback`].
+    previous: Option<Arc<SocModel>>,
+    /// The most recently promoted model (survives the serving fleet — the
+    /// bench harness scores it against held-out scenarios after the
+    /// session's engine is gone).
+    promoted: Option<Arc<SocModel>>,
+    cooldown: u64,
+    report: AdaptReport,
+    events: Vec<AdaptEvent>,
+}
+
+impl AdaptationEngine {
+    /// An engine adapting against `lab` as the anti-forgetting replay
+    /// source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or `lab` has no training
+    /// cycles.
+    pub fn new(config: AdaptationConfig, lab: Arc<SocDataset>) -> Self {
+        config.validate();
+        assert!(
+            config.lab_cycles == 0 || !lab.train.is_empty(),
+            "lab replay requested but the lab dataset has no training cycles"
+        );
+        let harvester = Harvester::new(config.harvest.clone());
+        let drift = DriftDetector::new(config.drift);
+        let pool = WorkerPool::new(Arc::new(NoContext), config.train_workers);
+        Self {
+            config,
+            harvester,
+            drift,
+            pool,
+            lab,
+            previous: None,
+            promoted: None,
+            cooldown: 0,
+            report: AdaptReport::default(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AdaptationConfig {
+        &self.config
+    }
+
+    /// The harvester (replay buffer + accounting).
+    pub fn harvester(&self) -> &Harvester {
+        &self.harvester
+    }
+
+    /// The drift detector's current per-cohort view.
+    pub fn drift_statuses(&self) -> Vec<DriftStatus> {
+        self.drift.statuses()
+    }
+
+    /// Session counters (harvest stats folded in).
+    pub fn report(&self) -> AdaptReport {
+        AdaptReport {
+            harvest: self.harvester.stats(),
+            ..self.report
+        }
+    }
+
+    /// Every non-trivial tick outcome so far, in tick order.
+    pub fn events(&self) -> &[AdaptEvent] {
+        &self.events
+    }
+
+    /// The most recently promoted model, if any round passed the gate.
+    pub fn promoted(&self) -> Option<&Arc<SocModel>> {
+        self.promoted.as_ref()
+    }
+
+    /// Runs one observation tick against the live fleet: harvest, drift
+    /// check, and — when triggered — the full fine-tune → gate → swap
+    /// round. A promotion swaps through [`FleetEngine::registry`] and
+    /// serves from the fleet's next batch pass.
+    ///
+    /// The whole loop is deterministic: for a fixed fleet history and
+    /// configuration, outcomes (and promoted weights) are bit-identical
+    /// regardless of `train_workers`, gate `runner_workers`, or the fleet's
+    /// own worker count.
+    pub fn observe_tick(&mut self, fleet: &FleetEngine) -> AdaptOutcome {
+        self.report.ticks_observed += 1;
+        self.harvester.observe_fleet(fleet, &mut self.drift);
+        let outcome = self.tick_outcome(fleet);
+        // The event log keeps round-level history only; per-tick filler
+        // (nothing drifting, cooldown counting down) would bury it.
+        if !matches!(outcome, AdaptOutcome::Observed | AdaptOutcome::Cooldown) {
+            self.events.push(AdaptEvent {
+                tick: self.report.ticks_observed,
+                outcome: outcome.clone(),
+            });
+        }
+        outcome
+    }
+
+    fn tick_outcome(&mut self, fleet: &FleetEngine) -> AdaptOutcome {
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return AdaptOutcome::Cooldown;
+        }
+        let Some(status) = self.drift.triggered() else {
+            return AdaptOutcome::Observed;
+        };
+        if self.harvester.reservoir().len() < self.config.min_reservoir {
+            return AdaptOutcome::InsufficientData {
+                reservoir: self.harvester.reservoir().len(),
+            };
+        }
+        self.adapt_round(fleet, status)
+    }
+
+    /// One full adaptation round against the drifting `status.cohort`.
+    fn adapt_round(&mut self, fleet: &FleetEngine, status: DriftStatus) -> AdaptOutcome {
+        self.report.triggers += 1;
+        self.cooldown = self.config.cooldown_ticks;
+        let incumbent = fleet.registry().current();
+        let dataset = self.fine_tune_dataset();
+
+        // Background fine-tune: every candidate warm-starts from the
+        // serving snapshot; the persistent pool drains them.
+        let tasks: Vec<TrainTask> = self
+            .config
+            .candidate_seeds
+            .iter()
+            .map(|&seed| {
+                let config = TrainConfig {
+                    seed,
+                    ..self.config.fine_tune.clone()
+                };
+                TrainTask::new(Arc::clone(&dataset), config).warm_started(Arc::clone(&incumbent))
+            })
+            .collect();
+        let candidates = train_many_with(&mut self.pool, tasks);
+        self.report.fine_tuned_candidates += candidates.len() as u64;
+
+        // Gate: incumbent and candidates on the same suite; ties break to
+        // the earliest seed (deterministic).
+        let incumbent_mae = self.gate_score(&incumbent);
+        let (best_idx, best_mae) = candidates
+            .iter()
+            .enumerate()
+            .map(|(idx, (model, _))| (idx, self.gate_score(model)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite gate scores"))
+            .expect("at least one candidate");
+
+        if best_mae < incumbent_mae * (1.0 - self.config.gate.min_improvement) {
+            let (mut promoted, _) = candidates.into_iter().nth(best_idx).expect("indexed");
+            promoted.label = format!("{}+adapt{}", incumbent.label, self.report.swaps + 1);
+            let promoted = Arc::new(promoted);
+            self.promoted = Some(Arc::clone(&promoted));
+            self.previous = Some(incumbent);
+            let version = fleet.registry().swap((*promoted).clone());
+            self.report.gate_passes += 1;
+            self.report.swaps += 1;
+            // The promoted model must earn its own drift history.
+            self.drift.reset();
+            AdaptOutcome::Promoted {
+                cohort: status.cohort,
+                version,
+                incumbent_mae,
+                candidate_mae: best_mae,
+            }
+        } else {
+            self.report.gate_failures += 1;
+            // Keep the windows (the drift is real and still unaddressed)
+            // but let the cooldown pace retries.
+            AdaptOutcome::Rejected {
+                cohort: status.cohort,
+                incumbent_mae,
+                best_candidate_mae: best_mae,
+            }
+        }
+    }
+
+    /// The replay mix: the first `lab_cycles` lab training cycles plus the
+    /// reservoir packaged as pseudo-cycles.
+    fn fine_tune_dataset(&self) -> Arc<SocDataset> {
+        let mut train: Vec<Cycle> = self
+            .lab
+            .train
+            .iter()
+            .take(self.config.lab_cycles)
+            .cloned()
+            .collect();
+        train.extend(self.harvester.pseudo_cycles());
+        Arc::new(SocDataset {
+            name: "adapt-replay".into(),
+            train,
+            test: Vec::new(),
+        })
+    }
+
+    /// Mean network MAE of `model` over the gate suite.
+    fn gate_score(&self, model: &SocModel) -> f64 {
+        let run = ScenarioRunner {
+            workers: self.config.gate.runner_workers,
+            engine: self.config.gate.engine,
+        }
+        .run(&self.config.gate.suite, model);
+        let scenarios = &run.report.scenarios;
+        scenarios.iter().map(|s| s.network.mae).sum::<f64>() / scenarios.len() as f64
+    }
+
+    /// Restores the model displaced by the latest promotion (the operator's
+    /// escape hatch when a gate-passing model still regresses in
+    /// production). Returns the new registry version, or `None` when there
+    /// is nothing to roll back to.
+    pub fn rollback(&mut self, fleet: &FleetEngine) -> Option<u64> {
+        let previous = self.previous.take()?;
+        self.report.rollbacks += 1;
+        self.drift.reset();
+        Some(fleet.registry().swap((*previous).clone()))
+    }
+}
+
+impl FleetObserver for AdaptationEngine {
+    fn after_tick(&mut self, fleet: &FleetEngine, _tick: usize, _time_s: f64) {
+        self.observe_tick(fleet);
+    }
+}

@@ -1,0 +1,299 @@
+//! Harvesting: turning live fleet telemetry into pseudo-labeled training
+//! windows.
+//!
+//! Every engine tick the harvester walks the fleet's per-cell estimator
+//! breakdowns and captures `(V, I, T) → SoC` windows **pseudo-labeled by
+//! the physics teachers** — the EKF when its own covariance says the label
+//! is trustworthy, the Coulomb integral when no EKF runs. Confidence gating
+//! keeps the replay buffer honest:
+//!
+//! - a tick whose engine-wide telemetry accounting
+//!   ([`pinnsoc_fleet::TelemetryStats`]) shows too high a rejected fraction
+//!   is skipped wholesale (a faulting transport poisons labels silently);
+//! - a cell whose EKF one-sigma SoC uncertainty exceeds the configured
+//!   bound contributes nothing (an uncertain teacher is worse than none);
+//! - a cell is sampled at most once per `min_dt_s` of telemetry time, so
+//!   fast tickers don't flood the buffer with near-duplicates.
+//!
+//! Accepted windows feed the seeded [`Reservoir`], giving fine-tuning a
+//! bounded, uniform sample over everything harvested so far; the same walk
+//! feeds the [`DriftDetector`] with per-cohort network-vs-teacher
+//! disagreement. Cohorts are state-of-health buckets (capacity relative to
+//! rated), because aged sub-fleets drift out of the lab distribution first.
+
+use crate::drift::{CohortId, DriftDetector};
+use crate::reservoir::Reservoir;
+use pinnsoc_battery::SimRecord;
+use pinnsoc_data::{Cycle, CycleKind, CycleMeta};
+use pinnsoc_fleet::{FleetEngine, TelemetryStats};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Harvesting thresholds and bookkeeping knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HarvestConfig {
+    /// Replay buffer capacity (windows).
+    pub reservoir_capacity: usize,
+    /// Seed of the reservoir's replacement stream.
+    pub seed: u64,
+    /// Maximum EKF one-sigma SoC uncertainty a pseudo-label may carry.
+    pub max_teacher_std: f64,
+    /// Maximum `rejected / delivered` telemetry fraction per tick before
+    /// the whole tick is considered fault-poisoned and skipped.
+    pub max_rejected_fraction: f64,
+    /// Minimum telemetry-time spacing between two windows of one cell,
+    /// seconds.
+    pub min_dt_s: f64,
+    /// Rated (fresh) capacity the SoH cohorts are measured against,
+    /// amp-hours.
+    pub rated_capacity_ah: f64,
+    /// Number of SoH cohorts across `(0, 1]`.
+    pub soh_buckets: u32,
+}
+
+impl Default for HarvestConfig {
+    fn default() -> Self {
+        Self {
+            reservoir_capacity: 4096,
+            seed: 0,
+            max_teacher_std: 0.05,
+            max_rejected_fraction: 0.5,
+            min_dt_s: 5.0,
+            rated_capacity_ah: 3.0,
+            soh_buckets: 4,
+        }
+    }
+}
+
+impl HarvestConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive capacity/std/spacing/rated-capacity, a
+    /// rejected fraction outside `[0, 1]`, or zero cohort buckets.
+    pub fn validate(&self) {
+        assert!(
+            self.reservoir_capacity > 0,
+            "reservoir capacity must be positive"
+        );
+        assert!(
+            self.max_teacher_std.is_finite() && self.max_teacher_std > 0.0,
+            "teacher std bound must be positive and finite"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.max_rejected_fraction),
+            "rejected fraction bound must be in [0, 1]"
+        );
+        assert!(
+            self.min_dt_s.is_finite() && self.min_dt_s >= 0.0,
+            "window spacing must be non-negative and finite"
+        );
+        assert!(
+            self.rated_capacity_ah.is_finite() && self.rated_capacity_ah > 0.0,
+            "rated capacity must be positive and finite"
+        );
+        assert!(self.soh_buckets > 0, "need at least one SoH cohort");
+    }
+
+    /// The SoH cohort of a cell with the given capacity: bucket `k` covers
+    /// `(k/buckets, (k+1)/buckets]` of the rated capacity, clamped so
+    /// over-rated and deeply degraded cells land in the edge buckets.
+    pub fn cohort_of(&self, capacity_ah: f64) -> CohortId {
+        let soh = (capacity_ah / self.rated_capacity_ah).clamp(0.0, 1.0);
+        // 1.0 maps into the top bucket, not one past it.
+        ((soh * self.soh_buckets as f64).ceil() as u32).clamp(1, self.soh_buckets) - 1
+    }
+}
+
+/// One harvested training window: the cell's latest sensor reading,
+/// pseudo-labeled by a physics teacher.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HarvestedSample {
+    /// Terminal voltage, volts.
+    pub voltage_v: f64,
+    /// Current, amps (positive = discharge).
+    pub current_a: f64,
+    /// Cell temperature, °C.
+    pub temperature_c: f64,
+    /// The teacher's SoC pseudo-label.
+    pub soc_label: f64,
+    /// SoH cohort of the source cell.
+    pub cohort: CohortId,
+}
+
+/// Cumulative harvesting accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HarvestStats {
+    /// Windows accepted into the reservoir.
+    pub harvested: u64,
+    /// Windows rejected because the EKF teacher was too uncertain.
+    pub rejected_uncertain_teacher: u64,
+    /// Windows skipped because the cell was sampled too recently
+    /// (`min_dt_s`) or its network estimate was stale.
+    pub skipped_stale: u64,
+    /// Whole ticks skipped because the engine's telemetry accounting showed
+    /// too many rejected reports.
+    pub skipped_faulty_ticks: u64,
+}
+
+/// Taps a [`FleetEngine`] for pseudo-labeled windows and disagreement
+/// observations. See the module docs for the gating rules.
+#[derive(Debug, Clone)]
+pub struct Harvester {
+    config: HarvestConfig,
+    reservoir: Reservoir<HarvestedSample>,
+    /// Last harvested telemetry timestamp per cell (`min_dt_s` gate).
+    last_window_s: HashMap<u64, f64>,
+    /// Engine telemetry books at the previous tick (delta gate).
+    last_telemetry: TelemetryStats,
+    stats: HarvestStats,
+}
+
+impl Harvester {
+    /// A harvester with an empty reservoir.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: HarvestConfig) -> Self {
+        config.validate();
+        let reservoir = Reservoir::new(config.reservoir_capacity, config.seed);
+        Self {
+            config,
+            reservoir,
+            last_window_s: HashMap::new(),
+            last_telemetry: TelemetryStats::default(),
+            stats: HarvestStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HarvestConfig {
+        &self.config
+    }
+
+    /// The replay buffer.
+    pub fn reservoir(&self) -> &Reservoir<HarvestedSample> {
+        &self.reservoir
+    }
+
+    /// Cumulative accounting.
+    pub fn stats(&self) -> HarvestStats {
+        self.stats
+    }
+
+    /// Walks the fleet once: harvests gated windows into the reservoir and
+    /// feeds per-cohort network-vs-teacher disagreement into `drift`. Call
+    /// after each engine processing pass.
+    pub fn observe_fleet(&mut self, fleet: &FleetEngine, drift: &mut DriftDetector) {
+        let books = fleet.telemetry_stats();
+        // Cumulative counters running backwards mean a *different* fleet is
+        // being observed now (engines count from construction): the old
+        // fleet's baselines — books and harvest timestamps alike — say
+        // nothing about this one.
+        if books.accepted < self.last_telemetry.accepted
+            || books.rejected() < self.last_telemetry.rejected()
+        {
+            self.last_telemetry = TelemetryStats::default();
+            self.last_window_s.clear();
+        }
+        // Tick-level telemetry-quality gate: when the transport is visibly
+        // faulting, labels integrated from that telemetry are suspect.
+        let accepted = books.accepted - self.last_telemetry.accepted;
+        let rejected = books.rejected() - self.last_telemetry.rejected();
+        self.last_telemetry = books;
+        if accepted == 0 {
+            return;
+        }
+        let delivered = accepted + rejected;
+        if rejected as f64 / delivered as f64 > self.config.max_rejected_fraction {
+            self.stats.skipped_faulty_ticks += 1;
+            return;
+        }
+        for id in fleet.ids() {
+            let Some(breakdown) = fleet.estimate_breakdown(id) else {
+                continue;
+            };
+            // Disagreement needs a network estimate covering the latest
+            // telemetry — a stale one would score an old model state.
+            let Some(network) = breakdown.network.filter(|_| breakdown.network_fresh) else {
+                self.stats.skipped_stale += 1;
+                continue;
+            };
+            // Teacher: EKF when trustworthy, Coulomb when no EKF runs.
+            let teacher = match (breakdown.ekf, breakdown.ekf_soc_std) {
+                (Some(soc), Some(std)) => {
+                    if std > self.config.max_teacher_std {
+                        self.stats.rejected_uncertain_teacher += 1;
+                        continue;
+                    }
+                    soc
+                }
+                _ => breakdown.coulomb,
+            };
+            let snapshot = fleet.cell(id).expect("breakdown implies registration");
+            let Some(latest) = snapshot.latest else {
+                continue;
+            };
+            let cohort = self.config.cohort_of(snapshot.capacity_ah);
+            drift.observe(cohort, network - teacher);
+            // Reservoir admission: at most one window per min_dt_s of
+            // telemetry time per cell.
+            if let Some(&last) = self.last_window_s.get(&id) {
+                if latest.time_s - last < self.config.min_dt_s {
+                    self.stats.skipped_stale += 1;
+                    continue;
+                }
+            }
+            self.last_window_s.insert(id, latest.time_s);
+            self.reservoir.push(HarvestedSample {
+                voltage_v: latest.voltage_v,
+                current_a: latest.current_a,
+                temperature_c: latest.temperature_c,
+                soc_label: teacher,
+                cohort,
+            });
+            self.stats.harvested += 1;
+        }
+    }
+
+    /// Packages the reservoir into pseudo-cycles for the fine-tuning
+    /// dataset (chunks of at most 255 windows, synthetic uniform
+    /// timestamps). Only Branch-1 estimation samples are extracted from
+    /// these — they are deliberately too short and too irregular for
+    /// horizon windowing — so the fine-tune config pairs them with real lab
+    /// cycles and `b2_epochs: 0`.
+    pub fn pseudo_cycles(&self) -> Vec<Cycle> {
+        self.reservoir
+            .as_slice()
+            .chunks(255)
+            .enumerate()
+            .map(|(chunk, samples)| {
+                let records = samples
+                    .iter()
+                    .enumerate()
+                    .map(|(k, s)| SimRecord {
+                        time_s: k as f64,
+                        voltage_v: s.voltage_v,
+                        current_a: s.current_a,
+                        temperature_c: s.temperature_c,
+                        soc: s.soc_label,
+                    })
+                    .collect();
+                Cycle::new(
+                    CycleMeta {
+                        kind: CycleKind::Mixed {
+                            index: (chunk + 1).min(u8::MAX as usize) as u8,
+                        },
+                        ambient_c: 25.0,
+                        cell: "harvested".into(),
+                        capacity_ah: self.config.rated_capacity_ah,
+                    },
+                    1.0,
+                    records,
+                )
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,73 @@
+//! # pinnsoc-adapt
+//!
+//! Online fleet adaptation for the `pinnsoc` workspace: the closed loop
+//! that turns the live fleet into its own training-data source.
+//!
+//! The scenario harness (`pinnsoc-scenario`) exposed the reproduction's
+//! biggest gap: the lab-trained two-branch PINN scores an SoC MAE around
+//! 0.2 on drive cycles while the onboard EKF sits near 0.01 — classic
+//! train/serve distribution shift. A production fleet closes that gap by
+//! retraining continuously from its own telemetry. This crate is that
+//! loop, composed from every prior subsystem:
+//!
+//! - A [`Harvester`] taps a live [`pinnsoc_fleet::FleetEngine`] (per-cell
+//!   estimator breakdowns, telemetry accounting) and captures `(V, I, T)`
+//!   windows **pseudo-labeled by the physics teachers** — the EKF when its
+//!   covariance vouches for the label, the Coulomb integral otherwise —
+//!   with confidence gating against uncertain teachers and fault-poisoned
+//!   ticks. Windows land in a bounded, seeded [`Reservoir`] (Algorithm R:
+//!   uniform over the whole stream) and are replayed **mixed with the
+//!   original lab data** so fine-tuning cannot forget the lab regime.
+//! - A [`DriftDetector`] scores rolling network-vs-teacher disagreement
+//!   per SoH **cohort** and decides *when* to adapt.
+//! - An [`AdaptationEngine`] reacts to a trigger by fine-tuning candidate
+//!   models — warm-started from the currently served snapshot via
+//!   [`pinnsoc::train_from`] — on its persistent
+//!   [`pinnsoc_runtime::WorkerPool`] in the background.
+//! - A **promotion gate** scores incumbent and candidates on a closed-loop
+//!   scenario suite ([`pinnsoc_scenario::gate_suite`]); only a candidate
+//!   that beats the incumbent's network MAE hot-swaps into the
+//!   [`pinnsoc_fleet::ModelRegistry`] mid-tick, with the incumbent kept
+//!   for [`AdaptationEngine::rollback`]. A failed gate leaves the serving
+//!   model untouched.
+//!
+//! Everything is seeded and deterministic: for a fixed fleet history and
+//! configuration the harvested buffer, the trigger ticks, the fine-tuned
+//! weights, the gate verdicts, and the promoted model are bit-identical
+//! across any combination of worker counts — the same contract the fleet,
+//! training, and scenario layers already hold.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use pinnsoc_adapt::{DriftConfig, DriftDetector};
+//!
+//! let mut drift = DriftDetector::new(DriftConfig {
+//!     window: 8,
+//!     threshold: 0.1,
+//!     min_samples: 4,
+//! });
+//! for _ in 0..4 {
+//!     drift.observe(0, 0.3); // network and teacher disagree by 0.3 SoC
+//! }
+//! assert!(drift.triggered().is_some(), "sustained disagreement is drift");
+//! ```
+//!
+//! For the full closed loop — a scenario feeding a live fleet while the
+//! adaptation engine harvests, fine-tunes, and hot-swaps — see
+//! `examples/online_adaptation.rs` and the `adapt_baseline` bench binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod drift;
+pub mod engine;
+pub mod harvest;
+pub mod reservoir;
+
+pub use drift::{CohortId, DriftConfig, DriftDetector, DriftStatus};
+pub use engine::{
+    AdaptEvent, AdaptOutcome, AdaptReport, AdaptationConfig, AdaptationEngine, GateConfig,
+};
+pub use harvest::{HarvestConfig, HarvestStats, HarvestedSample, Harvester};
+pub use reservoir::Reservoir;

@@ -1,0 +1,251 @@
+//! Harvester gating tests against a live fleet engine: what gets into the
+//! replay buffer, what is rejected, and why.
+
+use pinnsoc_adapt::{DriftConfig, DriftDetector, HarvestConfig, Harvester};
+use pinnsoc_battery::CellParams;
+use pinnsoc_fleet::testing::untrained_model;
+use pinnsoc_fleet::{CellConfig, FleetConfig, FleetEngine, Telemetry};
+
+fn drift() -> DriftDetector {
+    DriftDetector::new(DriftConfig {
+        window: 64,
+        threshold: 0.05,
+        min_samples: 8,
+    })
+}
+
+fn engine(cells: u64, ekf: bool) -> FleetEngine {
+    let mut engine = FleetEngine::new(
+        untrained_model(),
+        FleetConfig {
+            shards: 2,
+            micro_batch: 16,
+            workers: 0,
+            ekf_fallback: ekf.then(CellParams::nmc_18650),
+        },
+    );
+    for id in 0..cells {
+        engine.register(
+            id,
+            CellConfig {
+                initial_soc: 0.9,
+                capacity_ah: 3.0,
+            },
+        );
+    }
+    engine
+}
+
+fn feed(engine: &mut FleetEngine, cells: u64, t: f64) {
+    for id in 0..cells {
+        engine.ingest(
+            id,
+            Telemetry {
+                time_s: t,
+                voltage_v: 3.6 + id as f64 * 0.01,
+                current_a: 1.0,
+                temperature_c: 25.0,
+            },
+        );
+    }
+    engine.process_pending();
+}
+
+fn config() -> HarvestConfig {
+    HarvestConfig {
+        reservoir_capacity: 256,
+        seed: 7,
+        min_dt_s: 5.0,
+        ..HarvestConfig::default()
+    }
+}
+
+#[test]
+fn harvests_coulomb_labels_when_ekf_disabled() {
+    let mut engine = engine(10, false);
+    let mut harvester = Harvester::new(config());
+    let mut drift = drift();
+    for tick in 0..4 {
+        feed(&mut engine, 10, tick as f64 * 10.0);
+        harvester.observe_fleet(&engine, &mut drift);
+    }
+    let stats = harvester.stats();
+    assert_eq!(stats.harvested, 40, "10 cells x 4 ticks, all clean");
+    assert_eq!(stats.rejected_uncertain_teacher, 0);
+    assert_eq!(stats.skipped_faulty_ticks, 0);
+    for sample in harvester.reservoir().as_slice() {
+        assert!((0.0..=1.0).contains(&sample.soc_label), "Coulomb label");
+        assert_eq!(sample.cohort, harvester.config().cohort_of(3.0));
+    }
+    // Drift observations flowed too: the untrained network disagrees with
+    // the Coulomb teacher.
+    assert!(drift.status(sample_cohort(&harvester)).is_some());
+}
+
+fn sample_cohort(harvester: &Harvester) -> u32 {
+    harvester.reservoir().as_slice()[0].cohort
+}
+
+#[test]
+fn uncertain_ekf_teacher_is_rejected() {
+    // An EKF fresh off registration carries sqrt(0.05) ≈ 0.22 SoC sigma; a
+    // tight bound must reject every window until the filter converges.
+    let mut engine = engine(6, true);
+    let mut harvester = Harvester::new(HarvestConfig {
+        max_teacher_std: 1e-6,
+        ..config()
+    });
+    let mut drift = drift();
+    feed(&mut engine, 6, 10.0);
+    harvester.observe_fleet(&engine, &mut drift);
+    let stats = harvester.stats();
+    assert_eq!(stats.harvested, 0);
+    assert_eq!(stats.rejected_uncertain_teacher, 6);
+    assert!(harvester.reservoir().is_empty());
+    assert!(drift.statuses().is_empty(), "no teacher, no drift signal");
+}
+
+#[test]
+fn converged_ekf_teacher_is_accepted() {
+    let mut engine = engine(4, true);
+    let mut harvester = Harvester::new(config());
+    let mut drift = drift();
+    // Plenty of voltage corrections: the EKF covariance collapses well
+    // under the default 0.05 sigma bound.
+    for tick in 1..=30 {
+        feed(&mut engine, 4, tick as f64 * 10.0);
+    }
+    harvester.observe_fleet(&engine, &mut drift);
+    let stats = harvester.stats();
+    assert_eq!(stats.harvested, 4);
+    assert_eq!(stats.rejected_uncertain_teacher, 0);
+}
+
+#[test]
+fn fault_poisoned_ticks_are_skipped_wholesale() {
+    let mut engine = engine(8, false);
+    let mut harvester = Harvester::new(HarvestConfig {
+        max_rejected_fraction: 0.3,
+        ..config()
+    });
+    let mut drift = drift();
+    feed(&mut engine, 8, 10.0);
+    harvester.observe_fleet(&engine, &mut drift);
+    assert_eq!(harvester.stats().harvested, 8);
+    // Next tick: half the fleet reports NaNs — rejected fraction 0.5 > 0.3.
+    for id in 0..8u64 {
+        let mut t = Telemetry {
+            time_s: 20.0,
+            voltage_v: 3.6,
+            current_a: 1.0,
+            temperature_c: 25.0,
+        };
+        if id % 2 == 0 {
+            t.voltage_v = f64::NAN;
+        }
+        engine.ingest(id, t);
+    }
+    engine.process_pending();
+    harvester.observe_fleet(&engine, &mut drift);
+    let stats = harvester.stats();
+    assert_eq!(stats.skipped_faulty_ticks, 1);
+    assert_eq!(stats.harvested, 8, "poisoned tick contributed nothing");
+}
+
+#[test]
+fn min_dt_spacing_limits_per_cell_windows() {
+    let mut engine = engine(5, false);
+    let mut harvester = Harvester::new(HarvestConfig {
+        min_dt_s: 60.0,
+        ..config()
+    });
+    let mut drift = drift();
+    for tick in 1..=6 {
+        feed(&mut engine, 5, tick as f64 * 10.0); // 10 s apart < 60 s
+        harvester.observe_fleet(&engine, &mut drift);
+    }
+    // First tick harvests everyone; the next five are within the spacing.
+    assert_eq!(harvester.stats().harvested, 5);
+    feed(&mut engine, 5, 120.0);
+    harvester.observe_fleet(&engine, &mut drift);
+    assert_eq!(harvester.stats().harvested, 10, "spacing elapsed");
+}
+
+#[test]
+fn observing_a_second_fleet_resets_the_baselines() {
+    // One harvester, two fleets in sequence (the AdaptationEngine is a
+    // reusable observer): the second engine's cumulative telemetry books
+    // restart at zero and its timestamps restart at t=0 — neither may
+    // underflow the delta gate nor be suppressed by the first fleet's
+    // harvest timestamps.
+    let mut harvester = Harvester::new(config());
+    let mut drift = drift();
+    let mut first = engine(6, false);
+    for tick in 1..=5 {
+        feed(&mut first, 6, tick as f64 * 10.0);
+        harvester.observe_fleet(&first, &mut drift);
+    }
+    assert_eq!(harvester.stats().harvested, 30);
+    let mut second = engine(6, false);
+    feed(&mut second, 6, 10.0);
+    harvester.observe_fleet(&second, &mut drift);
+    let stats = harvester.stats();
+    assert_eq!(stats.harvested, 36, "second fleet harvests from scratch");
+    assert_eq!(stats.skipped_faulty_ticks, 0);
+}
+
+#[test]
+fn min_dt_skips_are_counted_as_stale() {
+    let mut engine = engine(3, false);
+    let mut harvester = Harvester::new(HarvestConfig {
+        min_dt_s: 60.0,
+        ..config()
+    });
+    let mut drift = drift();
+    feed(&mut engine, 3, 10.0);
+    harvester.observe_fleet(&engine, &mut drift);
+    feed(&mut engine, 3, 20.0);
+    harvester.observe_fleet(&engine, &mut drift);
+    let stats = harvester.stats();
+    assert_eq!(stats.harvested, 3);
+    assert_eq!(stats.skipped_stale, 3, "rate-limited windows are counted");
+}
+
+#[test]
+fn soh_cohorts_bucket_by_capacity() {
+    let config = HarvestConfig {
+        rated_capacity_ah: 3.0,
+        soh_buckets: 4,
+        ..HarvestConfig::default()
+    };
+    assert_eq!(config.cohort_of(3.0), 3, "fresh cell in the top bucket");
+    assert_eq!(config.cohort_of(3.5), 3, "over-rated clamps to top");
+    assert_eq!(config.cohort_of(2.4), 3, "SoH 0.8 -> bucket (0.75, 1.0]");
+    assert_eq!(config.cohort_of(2.2), 2);
+    assert_eq!(config.cohort_of(1.6), 2, "SoH 0.53 -> bucket (0.5, 0.75]");
+    assert_eq!(config.cohort_of(0.9), 1);
+    assert_eq!(config.cohort_of(0.1), 0);
+    assert_eq!(config.cohort_of(0.0), 0, "degenerate clamps to bottom");
+}
+
+#[test]
+fn pseudo_cycles_package_the_reservoir() {
+    let mut engine = engine(12, false);
+    let mut harvester = Harvester::new(config());
+    let mut drift = drift();
+    for tick in 1..=3 {
+        feed(&mut engine, 12, tick as f64 * 10.0);
+        harvester.observe_fleet(&engine, &mut drift);
+    }
+    let cycles = harvester.pseudo_cycles();
+    assert_eq!(cycles.len(), 1, "36 windows fit one chunk");
+    let cycle = &cycles[0];
+    assert_eq!(cycle.len(), harvester.reservoir().len());
+    assert_eq!(cycle.meta.cell, "harvested");
+    for (record, sample) in cycle.records.iter().zip(harvester.reservoir().as_slice()) {
+        assert_eq!(record.voltage_v, sample.voltage_v);
+        assert_eq!(record.soc, sample.soc_label);
+    }
+    // Empty reservoir packages to nothing.
+    assert!(Harvester::new(config()).pseudo_cycles().is_empty());
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the adaptation primitives: the replay
+//! reservoir's sampling invariants and the drift detector's response
+//! shape.
+
+use pinnsoc_adapt::{DriftConfig, DriftDetector, Reservoir};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn reservoir_never_exceeds_capacity(
+        capacity in 1usize..64,
+        stream in 0u64..500,
+        seed in 0u64..1000,
+    ) {
+        let mut r = Reservoir::new(capacity, seed);
+        for k in 0..stream {
+            r.push(k);
+            prop_assert!(r.len() <= capacity);
+            prop_assert_eq!(r.seen(), k + 1);
+        }
+        prop_assert_eq!(r.len(), capacity.min(stream as usize));
+        // Every retained item came from the stream.
+        for &item in r.as_slice() {
+            prop_assert!(item < stream.max(1));
+        }
+    }
+
+    #[test]
+    fn reservoir_is_deterministic_per_seed(
+        capacity in 1usize..32,
+        stream in 1u64..300,
+        seed in 0u64..1000,
+    ) {
+        let mut a = Reservoir::new(capacity, seed);
+        let mut b = Reservoir::new(capacity, seed);
+        for k in 0..stream {
+            a.push(k);
+            b.push(k);
+        }
+        prop_assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn drift_never_triggers_on_clean_telemetry(
+        disagreements in proptest::collection::vec(0.0f64..0.049, 1..200),
+        cohort in 0u32..8,
+    ) {
+        // Every observed disagreement sits below the threshold, so no
+        // window mean can reach it: a clean fleet must never trigger.
+        let mut d = DriftDetector::new(DriftConfig {
+            window: 32,
+            threshold: 0.05,
+            min_samples: 1,
+        });
+        for &x in &disagreements {
+            d.observe(cohort, x);
+            prop_assert!(d.triggered().is_none());
+        }
+        let status = d.status(cohort).expect("observed");
+        prop_assert!(status.mean_disagreement < 0.05);
+    }
+
+    #[test]
+    fn drift_mean_responds_monotonically_to_injected_disagreement(
+        base in 0.0f64..0.2,
+        boost in 0.001f64..0.5,
+        samples in 1usize..64,
+    ) {
+        // Two identical detectors, one fed a uniformly larger disagreement:
+        // its rolling mean must be strictly larger, and it can never
+        // trigger later than the smaller one.
+        let config = DriftConfig { window: 32, threshold: 0.15, min_samples: 4 };
+        let mut low = DriftDetector::new(config);
+        let mut high = DriftDetector::new(config);
+        for _ in 0..samples {
+            low.observe(0, base);
+            high.observe(0, base + boost);
+            let m_low = low.status(0).unwrap().mean_disagreement;
+            let m_high = high.status(0).unwrap().mean_disagreement;
+            prop_assert!(m_high > m_low, "means {m_high} !> {m_low}");
+            if low.triggered().is_some() {
+                prop_assert!(high.triggered().is_some(), "monotone trigger");
+            }
+        }
+    }
+
+    #[test]
+    fn drift_triggers_once_sustained_disagreement_clears_threshold(
+        level in 0.2f64..1.0,
+        min_samples in 1usize..16,
+    ) {
+        let mut d = DriftDetector::new(DriftConfig {
+            window: 32,
+            threshold: 0.15,
+            min_samples,
+        });
+        for k in 0..min_samples {
+            prop_assert!(d.triggered().is_none(), "early trigger at {k}");
+            d.observe(3, level);
+        }
+        let t = d.triggered().expect("sustained drift must trigger");
+        prop_assert_eq!(t.cohort, 3);
+    }
+}

@@ -1,0 +1,335 @@
+//! Online-adaptation baseline: closes the drive-cycle train/serve gap that
+//! `scenario_baseline` exposed, and records the receipts.
+//!
+//! The flow mirrors production: the lab-trained demo serving model runs a
+//! closed-loop `drifting-fleet` session (aged mixed-EV fleet, mid-run cold
+//! snap) while a `pinnsoc-adapt` [`AdaptationEngine`] rides along as a
+//! fleet observer — harvesting EKF-labeled windows, detecting drift,
+//! fine-tuning candidates in the background, and hot-swapping the gate
+//! winner mid-session. The frozen lab model and the adapted model are then
+//! both scored on **held-out** drive-cycle scenarios (same specs, different
+//! fleet seeds), and the adapted network's MAE must be strictly below the
+//! frozen network's on every one.
+//!
+//! Run with `cargo run --release -p pinnsoc-bench --bin adapt_baseline` to
+//! regenerate `BENCH_adapt.json`. Pass `--smoke` for the CI-sized gate:
+//! shrunken fleets and epochs, the same end-to-end loop and the same
+//! adapted-beats-frozen assertions, the adaptation session asserted
+//! **bit-identical** between worker counts 0 and 2, and no file written.
+
+use pinnsoc::SocModel;
+use pinnsoc_adapt::{
+    AdaptEvent, AdaptReport, AdaptationConfig, AdaptationEngine, DriftConfig, GateConfig,
+    HarvestConfig,
+};
+use pinnsoc_bench::{demo_serving_model, demo_training_dataset};
+use pinnsoc_scenario::{
+    gate_suite, run_scenario_observed, standard_suite, EngineSpec, Scenario, ScenarioRunner,
+};
+use serde::Serialize;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Suite seed — keep stable across PRs so the recorded numbers stay
+/// comparable (same seed as `scenario_baseline`).
+const SUITE_SEED: u64 = 42;
+/// Offset for the held-out scoring fleets: same scenario specs, fleets the
+/// adaptation session never saw.
+const HELD_OUT_OFFSET: u64 = 1000;
+
+/// The drive-cycle scenarios the adapted model is judged on.
+const DRIVE_SCENARIOS: [&str; 4] = [
+    "drive-udds",
+    "drive-us06-hot",
+    "ev-mixed-random",
+    "drifting-fleet",
+];
+
+#[derive(Debug, Serialize)]
+struct ScenarioComparison {
+    name: String,
+    frozen_network_mae: f64,
+    adapted_network_mae: f64,
+    frozen_best_mae: f64,
+    adapted_best_mae: f64,
+    ekf_mae: f64,
+    network_improvement_pct: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct AdaptationSession {
+    scenario: String,
+    promoted_label: String,
+    report: AdaptReport,
+    events: Vec<AdaptEvent>,
+}
+
+#[derive(Debug, Serialize)]
+struct HostInfo {
+    threads: usize,
+    workers: usize,
+    os: &'static str,
+    arch: &'static str,
+    git_rev: String,
+}
+
+#[derive(Debug, Serialize)]
+struct Baseline {
+    description: String,
+    model: String,
+    suite_seed: u64,
+    held_out_seed_offset: u64,
+    /// Worker counts whose full adaptation sessions were compared
+    /// bit-for-bit.
+    determinism_checked_workers: [usize; 2],
+    host: HostInfo,
+    session: AdaptationSession,
+    scenarios: Vec<ScenarioComparison>,
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|rev| rev.trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// The closed-loop session scenario: `drifting-fleet` from the standard
+/// suite (aged mixed-EV fleet), with the ambient widened to a hot-to-cold
+/// sweep — a production fleet harvests across its whole operating envelope,
+/// not one cabin temperature, and the adapted model is judged on held-out
+/// scenarios spanning that envelope. Shrunk in smoke mode.
+fn session_scenario(smoke: bool) -> Scenario {
+    let mut scenario = standard_suite(SUITE_SEED)
+        .into_iter()
+        .find(|s| s.name == "drifting-fleet")
+        .expect("standard suite carries the drift scenario");
+    scenario.environment = pinnsoc_scenario::EnvSchedule::Ramp {
+        from_c: 40.0,
+        to_c: -5.0,
+    };
+    if smoke {
+        scenario.population.cells = 8;
+        scenario.timing.duration_s = 600.0;
+    }
+    scenario
+}
+
+/// Held-out drive-cycle scenarios for frozen-vs-adapted scoring.
+fn scoring_suite(smoke: bool) -> Vec<Scenario> {
+    standard_suite(SUITE_SEED.wrapping_add(HELD_OUT_OFFSET))
+        .into_iter()
+        .filter(|s| DRIVE_SCENARIOS.contains(&s.name.as_str()))
+        .map(|mut s| {
+            if smoke {
+                s.population.cells = 8;
+                s.timing.duration_s = 300.0;
+            }
+            s
+        })
+        .collect()
+}
+
+fn adaptation_config(smoke: bool, workers: usize) -> AdaptationConfig {
+    let gate = gate_suite(SUITE_SEED)
+        .into_iter()
+        .map(|mut s| {
+            if smoke {
+                s.population.cells = 4;
+                s.timing.duration_s = 120.0;
+            }
+            s
+        })
+        .collect();
+    AdaptationConfig {
+        drift: DriftConfig {
+            window: 256,
+            threshold: 0.08,
+            min_samples: 64,
+        },
+        harvest: HarvestConfig {
+            reservoir_capacity: 2048,
+            seed: SUITE_SEED,
+            min_dt_s: 2.0,
+            rated_capacity_ah: 3.0,
+            ..HarvestConfig::default()
+        },
+        fine_tune: pinnsoc::TrainConfig {
+            b1_epochs: if smoke { 30 } else { 40 },
+            b2_epochs: 0, // harvested windows carry no horizon labels
+            batch_size: 64,
+            learning_rate: 1e-3,
+            ..pinnsoc::TrainConfig::sandia(pinnsoc::PinnVariant::NoPinn, 0)
+        },
+        candidate_seeds: vec![1, 2],
+        gate: GateConfig {
+            suite: gate,
+            runner_workers: workers,
+            engine: EngineSpec {
+                shards: 2,
+                micro_batch: 32,
+                workers,
+            },
+            min_improvement: 0.0,
+        },
+        train_workers: workers,
+        lab_cycles: 4,
+        min_reservoir: if smoke { 64 } else { 256 },
+        // Short enough for several rounds per session: each later round
+        // fine-tunes on a fuller reservoir and must beat the previous
+        // promotion at the gate to swap again.
+        cooldown_ticks: if smoke { 10 } else { 25 },
+    }
+}
+
+/// Runs the full adaptation session at one worker count and returns the
+/// engine (promoted model, report, events inside).
+fn run_session(smoke: bool, workers: usize, model: &SocModel) -> AdaptationEngine {
+    let lab = Arc::new(demo_training_dataset());
+    let mut adapt = AdaptationEngine::new(adaptation_config(smoke, workers), lab);
+    let scenario = session_scenario(smoke);
+    run_scenario_observed(
+        &scenario,
+        model,
+        &EngineSpec {
+            shards: 4,
+            micro_batch: 64,
+            workers,
+        },
+        &mut adapt,
+    );
+    adapt
+}
+
+/// JSON fingerprint of everything deterministic about a session.
+fn session_fingerprint(adapt: &AdaptationEngine) -> String {
+    let promoted = adapt
+        .promoted()
+        .map(|m| serde_json::to_string(&**m).expect("serializable"))
+        .unwrap_or_default();
+    let events = serde_json::to_string(&adapt.events().to_vec()).expect("serializable");
+    let report = serde_json::to_string(&adapt.report()).expect("serializable");
+    format!("{promoted}|{events}|{report}")
+}
+
+fn score(suite: &[Scenario], model: &SocModel) -> Vec<pinnsoc_scenario::ScenarioResult> {
+    ScenarioRunner {
+        workers: 2,
+        ..ScenarioRunner::default()
+    }
+    .run(suite, model)
+    .report
+    .scenarios
+}
+
+fn main() {
+    let smoke = std::env::args().any(|arg| arg == "--smoke");
+    let workers = [0usize, 2];
+    println!(
+        "training the frozen lab model ({})...",
+        if smoke { "smoke size" } else { "full size" }
+    );
+    let frozen = demo_serving_model(smoke);
+
+    // The adaptation session, twice: the loop's determinism contract says
+    // worker counts change throughput, never results.
+    println!("running the closed-loop adaptation session (workers {workers:?})...");
+    let fingerprint0 = session_fingerprint(&run_session(smoke, workers[0], &frozen));
+    let adapt = run_session(smoke, workers[1], &frozen);
+    assert_eq!(
+        fingerprint0,
+        session_fingerprint(&adapt),
+        "adaptation session must be bit-identical across worker counts {workers:?}"
+    );
+    println!("determinism check OK: workers {workers:?} produced bit-identical sessions");
+
+    let report = adapt.report();
+    println!(
+        "session: {} ticks, {} windows harvested, {} trigger(s), {} gate pass(es), {} swap(s)",
+        report.ticks_observed,
+        report.harvest.harvested,
+        report.triggers,
+        report.gate_passes,
+        report.swaps
+    );
+    assert!(
+        report.swaps >= 1,
+        "the drifting session must promote at least one adapted model"
+    );
+    let adapted = Arc::clone(adapt.promoted().expect("swaps >= 1"));
+
+    // Frozen vs adapted on held-out drive-cycle fleets.
+    println!("scoring frozen vs adapted on held-out drive scenarios...");
+    let suite = scoring_suite(smoke);
+    let frozen_results = score(&suite, &frozen);
+    let adapted_results = score(&suite, &adapted);
+    let mut comparisons = Vec::new();
+    println!(
+        "\n{:<18} {:>12} {:>12} {:>9} {:>12}",
+        "scenario", "frozen net", "adapted net", "ekf", "improvement"
+    );
+    for (f, a) in frozen_results.iter().zip(&adapted_results) {
+        let improvement = 100.0 * (f.network.mae - a.network.mae) / f.network.mae;
+        println!(
+            "{:<18} {:>12.4} {:>12.4} {:>9.4} {:>11.1}%",
+            f.name, f.network.mae, a.network.mae, f.ekf.mae, improvement
+        );
+        assert!(
+            a.network.mae < f.network.mae,
+            "{}: adapted network MAE {} must be strictly below frozen {}",
+            f.name,
+            a.network.mae,
+            f.network.mae
+        );
+        comparisons.push(ScenarioComparison {
+            name: f.name.clone(),
+            frozen_network_mae: f.network.mae,
+            adapted_network_mae: a.network.mae,
+            frozen_best_mae: f.best.mae,
+            adapted_best_mae: a.best.mae,
+            ekf_mae: f.ekf.mae,
+            network_improvement_pct: improvement,
+        });
+    }
+
+    if smoke {
+        println!("\nsmoke run OK (BENCH_adapt.json untouched)");
+        return;
+    }
+
+    let baseline = Baseline {
+        description: "Closed-loop online adaptation: a drifting-fleet session harvests \
+                      EKF-labeled windows from a live FleetEngine, fine-tunes warm-started \
+                      candidates on the shared worker pool, gates them on closed-loop \
+                      scenarios, and hot-swaps the winner; frozen vs adapted network SoC MAE \
+                      on held-out drive-cycle fleets"
+            .into(),
+        model: "two-branch PINN-All (2,322 params), Sandia-reduced training, seed 7".into(),
+        suite_seed: SUITE_SEED,
+        held_out_seed_offset: HELD_OUT_OFFSET,
+        determinism_checked_workers: workers,
+        host: HostInfo {
+            threads: std::thread::available_parallelism().map_or(1, usize::from),
+            workers: workers[1],
+            os: std::env::consts::OS,
+            arch: std::env::consts::ARCH,
+            git_rev: git_rev(),
+        },
+        session: AdaptationSession {
+            scenario: session_scenario(false).name,
+            promoted_label: adapted.label.clone(),
+            report,
+            events: adapt.events().to_vec(),
+        },
+        scenarios: comparisons,
+    };
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_adapt.json");
+    let json = serde_json::to_string_pretty(&baseline).expect("serializable");
+    std::fs::write(&path, json).expect("write BENCH_adapt.json");
+    println!("\nwrote BENCH_adapt.json");
+}

@@ -23,20 +23,30 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::path::Path;
 
-/// The demo serving model used by the fleet/scenario walkthroughs and
-/// `scenario_baseline`: a Branch-1-focused PINN trained on the reduced
-/// Sandia protocol at seed 7 (one NMC cell, one temperature, no noise),
-/// deterministic and quick to train. One definition keeps the example
-/// walkthroughs and the recorded `BENCH_scenarios.json` numbers in
-/// lockstep; `smoke` shrinks the epoch counts for CI gates.
-pub fn demo_serving_model(smoke: bool) -> SocModel {
-    let dataset = pinnsoc_data::generate_sandia(&pinnsoc_data::SandiaConfig {
+/// The lab dataset behind [`demo_serving_model`]: the reduced Sandia
+/// protocol (one NMC cell, one temperature, no noise). Also the
+/// anti-forgetting replay source of the `adapt_baseline` online-adaptation
+/// session — mixing *the same lab cycles the serving model trained on* into
+/// every fine-tune is what keeps adaptation from trading lab accuracy for
+/// drive-cycle accuracy.
+pub fn demo_training_dataset() -> SocDataset {
+    pinnsoc_data::generate_sandia(&pinnsoc_data::SandiaConfig {
         chemistries: vec![pinnsoc_battery::Chemistry::Nmc],
         ambient_temps_c: vec![25.0],
         cycles_per_condition: 1,
         noise: pinnsoc_data::NoiseConfig::none(),
         ..pinnsoc_data::SandiaConfig::default()
-    });
+    })
+}
+
+/// The demo serving model used by the fleet/scenario walkthroughs and
+/// `scenario_baseline`: a Branch-1-focused PINN trained on
+/// [`demo_training_dataset`] at seed 7, deterministic and quick to train.
+/// One definition keeps the example walkthroughs and the recorded
+/// `BENCH_scenarios.json` numbers in lockstep; `smoke` shrinks the epoch
+/// counts for CI gates.
+pub fn demo_serving_model(smoke: bool) -> SocModel {
+    let dataset = demo_training_dataset();
     let config = TrainConfig {
         b1_epochs: if smoke { 20 } else { 60 },
         b2_epochs: if smoke { 10 } else { 30 },

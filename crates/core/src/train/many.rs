@@ -9,7 +9,7 @@
 //! same `train()` calls serially** regardless of worker count or completion
 //! order.
 
-use super::{train, TrainReport};
+use super::{train_from, TrainReport};
 use crate::config::TrainConfig;
 use crate::model::SocModel;
 use pinnsoc_data::SocDataset;
@@ -17,19 +17,35 @@ use pinnsoc_runtime::{NoContext, PoolTask, WorkerPool};
 use std::sync::Arc;
 
 /// One independent training job: a dataset (shared by `Arc`, so N seeds on
-/// one dataset don't copy it N times) and its configuration.
+/// one dataset don't copy it N times), its configuration, and an optional
+/// warm-start model (shared the same way — N fine-tune candidates off one
+/// serving snapshot don't copy the weights N times).
 #[derive(Debug, Clone)]
 pub struct TrainTask {
     /// The dataset to train on.
     pub dataset: Arc<SocDataset>,
     /// The variant, hyper-parameters, and seed.
     pub config: TrainConfig,
+    /// Initial weights and normalizers (see [`train_from`]); `None` trains
+    /// from random init.
+    pub warm_start: Option<Arc<SocModel>>,
 }
 
 impl TrainTask {
-    /// A task training `config` on `dataset`.
+    /// A task training `config` on `dataset` from random init.
     pub fn new(dataset: Arc<SocDataset>, config: TrainConfig) -> Self {
-        Self { dataset, config }
+        Self {
+            dataset,
+            config,
+            warm_start: None,
+        }
+    }
+
+    /// The same task, warm-started from `model` (the fine-tuning form used
+    /// by the online-adaptation loop).
+    pub fn warm_started(mut self, model: Arc<SocModel>) -> Self {
+        self.warm_start = Some(model);
+        self
     }
 }
 
@@ -39,7 +55,7 @@ impl PoolTask for TrainTask {
     type Output = (SocModel, TrainReport);
 
     fn run(&mut self, _: &(), (): ()) -> Self::Output {
-        train(&self.dataset, &self.config)
+        train_from(&self.dataset, &self.config, self.warm_start.as_deref())
     }
 }
 
@@ -58,6 +74,25 @@ pub fn train_many(tasks: Vec<TrainTask>, workers: usize) -> Vec<(SocModel, Train
         return Vec::new();
     }
     let mut pool: WorkerPool<NoContext, TrainTask> = WorkerPool::new(Arc::new(NoContext), workers);
+    train_many_with(&mut pool, tasks)
+}
+
+/// [`train_many`] over a caller-owned pool, so repeated training rounds
+/// (e.g. the online-adaptation engine's background fine-tunes) reuse the
+/// same parked worker threads instead of spawning a pool per round. Same
+/// ordering and bit-identity contract as [`train_many`].
+///
+/// # Panics
+///
+/// Panics if any training task panics (after every other task completed),
+/// or if a task's configuration is invalid.
+pub fn train_many_with(
+    pool: &mut WorkerPool<NoContext, TrainTask>,
+    tasks: Vec<TrainTask>,
+) -> Vec<(SocModel, TrainReport)> {
+    if tasks.is_empty() {
+        return Vec::new();
+    }
     let mut queue: Vec<(usize, TrainTask)> = tasks.into_iter().enumerate().collect();
     let mut done = Vec::with_capacity(queue.len());
     let panicked = pool.run((), &mut queue, &mut done);

@@ -43,7 +43,7 @@ pub mod objective;
 
 pub use batcher::Batcher;
 pub use loop_::{run_epochs, EpochSpec};
-pub use many::{train_many, TrainTask};
+pub use many::{train_many, train_many_with, TrainTask};
 pub use objective::{Eq2Objective, Objective, PhysicsTerm};
 
 /// Per-epoch loss trace of one training run.
@@ -64,12 +64,46 @@ pub struct TrainReport {
 /// the [`Objective`] for the variant, and hands both branches to the shared
 /// epoch driver. Results at a fixed seed are bit-identical to the
 /// pre-decomposition trainer (enforced by a golden-value test).
+/// Equivalent to [`train_from`] with no warm start.
 ///
 /// # Panics
 ///
 /// Panics if the configuration is invalid (see [`TrainConfig::validate`])
 /// or the dataset has no training cycles.
 pub fn train(dataset: &SocDataset, config: &TrainConfig) -> (SocModel, TrainReport) {
+    train_from(dataset, config, None)
+}
+
+/// Trains a [`SocModel`], optionally **warm-starting** from an existing
+/// model — the fine-tuning entry point behind `pinnsoc-adapt`'s online
+/// adaptation loop.
+///
+/// With `warm: None` this is exactly [`train`]: branches are random-
+/// initialized from the config seed and their normalizers are fit on the
+/// dataset (golden tests pin this path bit-identical to the pre-warm-start
+/// trainer). With `warm: Some(model)`:
+///
+/// - Both branches start from the warm model's **weights and normalizers**
+///   (refitting normalization would silently re-scale the inputs the warm
+///   weights were calibrated for), and the small-output init rescale is
+///   skipped — it is an init-time conditioning trick, not a fine-tune one.
+/// - `config.b2_epochs == 0` with a neural warm second stage is the
+///   Branch-1-only fast path: the warm Branch 2 passes through untouched
+///   and no prediction pairs are assembled (harvested pseudo-cycles are
+///   generally too short to window at the data horizon).
+/// - Everything else (shuffling, LR schedule, physics streams) derives from
+///   `config.seed` exactly as in cold training, so fine-tuning is as
+///   deterministic as training from scratch.
+///
+/// # Panics
+///
+/// As [`train`]; additionally if a warm Branch-2 is required but training
+/// data yields no prediction pairs at the configured horizon.
+pub fn train_from(
+    dataset: &SocDataset,
+    config: &TrainConfig,
+    warm: Option<&SocModel>,
+) -> (SocModel, TrainReport) {
     config.validate();
     assert!(!dataset.train.is_empty(), "dataset has no training cycles");
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -78,11 +112,17 @@ pub fn train(dataset: &SocDataset, config: &TrainConfig) -> (SocModel, TrainRepo
     let est_samples: Vec<_> = dataset.train.iter().flat_map(estimation_samples).collect();
     assert!(!est_samples.is_empty(), "no estimation samples");
     let feature_rows: Vec<[f64; 3]> = est_samples.iter().map(|s| s.features()).collect();
-    let norm1 = Normalizer::fit(feature_rows.iter().map(|r| r.as_slice()));
-    let mut branch1 = Branch1::new(norm1, &mut rng);
-    // Small-output init (see the Branch 2 note below): start near the mean
-    // SoC instead of at random-scale outputs.
-    branch1.net_mut().scale_output_weights(0.1);
+    let mut branch1 = match warm {
+        Some(model) => model.branch1.clone(),
+        None => {
+            let norm1 = Normalizer::fit(feature_rows.iter().map(|r| r.as_slice()));
+            let mut branch1 = Branch1::new(norm1, &mut rng);
+            // Small-output init (see the Branch 2 note below): start near
+            // the mean SoC instead of at random-scale outputs.
+            branch1.net_mut().scale_output_weights(0.1);
+            branch1
+        }
+    };
     let features = branch1.feature_matrix(&feature_rows);
     let targets: Vec<f32> = est_samples.iter().map(|s| s.soc as f32).collect();
     let b1_loss = run_epochs(
@@ -99,6 +139,10 @@ pub fn train(dataset: &SocDataset, config: &TrainConfig) -> (SocModel, TrainRepo
     );
 
     // ----- Branch 2: prediction -----
+    let warm_b2 = warm.and_then(|model| match &model.stage2 {
+        SecondStage::Network(b2) => Some(b2),
+        SecondStage::Coulomb { .. } => None,
+    });
     let (stage2, b2_loss) = match &config.variant {
         PinnVariant::PhysicsOnly => (
             SecondStage::Coulomb {
@@ -106,6 +150,13 @@ pub fn train(dataset: &SocDataset, config: &TrainConfig) -> (SocModel, TrainRepo
             },
             Vec::new(),
         ),
+        _ if config.b2_epochs == 0 && warm_b2.is_some() => {
+            // Branch-1-only fine-tune: the warm predictor passes through.
+            (
+                SecondStage::Network(warm_b2.expect("checked").clone()),
+                Vec::new(),
+            )
+        }
         variant => {
             let pairs = prediction_pairs_all(&dataset.train, config.data_horizon_s);
             assert!(
@@ -113,12 +164,17 @@ pub fn train(dataset: &SocDataset, config: &TrainConfig) -> (SocModel, TrainRepo
                 "no prediction pairs at horizon {}s",
                 config.data_horizon_s
             );
-            let it_rows: Vec<[f64; 2]> = pairs
-                .iter()
-                .map(|p| [p.avg_current_a, p.avg_temperature_c])
-                .collect();
-            let norm_it = Normalizer::fit(it_rows.iter().map(|r| r.as_slice()));
-            let mut branch2 = Branch2::new(norm_it, config.data_horizon_s, &mut rng);
+            let mut branch2 = match warm_b2 {
+                Some(b2) => b2.clone(),
+                None => {
+                    let it_rows: Vec<[f64; 2]> = pairs
+                        .iter()
+                        .map(|p| [p.avg_current_a, p.avg_temperature_c])
+                        .collect();
+                    let norm_it = Normalizer::fit(it_rows.iter().map(|r| r.as_slice()));
+                    Branch2::new(norm_it, config.data_horizon_s, &mut rng)
+                }
+            };
             // The variant is data from here on: No-PINN trains the same
             // loop with no physics term.
             let mut objective = match variant {
@@ -134,11 +190,14 @@ pub fn train(dataset: &SocDataset, config: &TrainConfig) -> (SocModel, TrainRepo
                 )),
                 _ => Eq2Objective::data_only(),
             };
-            // Small-output init: Branch 2 starts near its mean prediction,
-            // so the combined data + physics objective is well-conditioned
-            // from the first step (large random initial outputs can lock
-            // the horizon response into inverted basins).
-            branch2.net_mut().scale_output_weights(0.1);
+            if warm_b2.is_none() {
+                // Small-output init: Branch 2 starts near its mean
+                // prediction, so the combined data + physics objective is
+                // well-conditioned from the first step (large random initial
+                // outputs can lock the horizon response into inverted
+                // basins).
+                branch2.net_mut().scale_output_weights(0.1);
+            }
             let rows: Vec<[f64; 4]> = pairs.iter().map(|p| p.features()).collect();
             let features = branch2.feature_matrix(&rows);
             let targets: Vec<f32> = pairs.iter().map(|p| p.soc_next as f32).collect();
@@ -376,5 +435,117 @@ mod tests {
     #[test]
     fn train_many_empty_is_empty() {
         assert!(train_many(Vec::new(), 2).is_empty());
+    }
+
+    #[test]
+    fn warm_start_with_zero_epochs_is_identity() {
+        // Fine-tuning for zero epochs must hand the warm model back
+        // bit-for-bit: weights, normalizers, and both branches untouched.
+        let ds = tiny_dataset();
+        let (warm, _) = train(&ds, &quick_config(PinnVariant::NoPinn));
+        let frozen = TrainConfig {
+            b1_epochs: 0,
+            b2_epochs: 0,
+            ..quick_config(PinnVariant::NoPinn)
+        };
+        let (tuned, report) = train_from(&ds, &frozen, Some(&warm));
+        assert!(report.b1_loss.is_empty() && report.b2_loss.is_empty());
+        assert_eq!(
+            tuned.estimate(3.7, 3.0, 25.0).to_bits(),
+            warm.estimate(3.7, 3.0, 25.0).to_bits()
+        );
+        assert_eq!(
+            tuned.predict(3.9, 1.5, 24.0, 2.0, 26.0, 240.0).to_bits(),
+            warm.predict(3.9, 1.5, 24.0, 2.0, 26.0, 240.0).to_bits()
+        );
+    }
+
+    #[test]
+    fn warm_start_branch1_fine_tune_moves_b1_and_freezes_b2() {
+        let ds = tiny_dataset();
+        let (warm, _) = train(&ds, &quick_config(PinnVariant::NoPinn));
+        let config = TrainConfig {
+            b1_epochs: 5,
+            b2_epochs: 0,
+            learning_rate: 1e-3,
+            ..quick_config(PinnVariant::NoPinn)
+        };
+        let (tuned, report) = train_from(&ds, &config, Some(&warm));
+        assert_eq!(report.b1_loss.len(), 5);
+        assert!(report.b2_loss.is_empty());
+        assert_ne!(
+            tuned.estimate(3.7, 3.0, 25.0).to_bits(),
+            warm.estimate(3.7, 3.0, 25.0).to_bits(),
+            "Branch 1 must have trained"
+        );
+        // Branch 2 passed through untouched: identical predictions from the
+        // same starting SoC.
+        assert_eq!(
+            tuned.predict_from(0.8, 3.0, 25.0, 120.0).to_bits(),
+            warm.predict_from(0.8, 3.0, 25.0, 120.0).to_bits()
+        );
+        // Warm-start fine-tuning is deterministic like everything else.
+        let (tuned2, report2) = train_from(&ds, &config, Some(&warm));
+        assert_eq!(report, report2);
+        assert_eq!(
+            tuned.estimate(3.7, 3.0, 25.0).to_bits(),
+            tuned2.estimate(3.7, 3.0, 25.0).to_bits()
+        );
+    }
+
+    #[test]
+    fn warm_start_keeps_improving_training_loss() {
+        // Continuing training from a trained model should start near the
+        // warm model's final loss, not re-climb a random-init cliff.
+        let ds = tiny_dataset();
+        let (warm, warm_report) = train(&ds, &quick_config(PinnVariant::NoPinn));
+        let config = TrainConfig {
+            b1_epochs: 5,
+            b2_epochs: 0,
+            learning_rate: 1e-3,
+            ..quick_config(PinnVariant::NoPinn)
+        };
+        let (_, report) = train_from(&ds, &config, Some(&warm));
+        let warm_final = *warm_report.b1_loss.last().unwrap();
+        let resumed_first = report.b1_loss[0];
+        assert!(
+            resumed_first < warm_final * 3.0 + 0.05,
+            "warm start lost the trained state: {warm_final} -> {resumed_first}"
+        );
+    }
+
+    #[test]
+    fn warm_started_train_many_matches_serial_train_from() {
+        let ds = Arc::new(tiny_dataset());
+        let (warm, _) = train(&ds, &quick_config(PinnVariant::NoPinn));
+        let warm = Arc::new(warm);
+        let configs: Vec<TrainConfig> = [11u64, 12]
+            .iter()
+            .map(|&seed| TrainConfig {
+                b1_epochs: 4,
+                b2_epochs: 0,
+                seed,
+                ..quick_config(PinnVariant::NoPinn)
+            })
+            .collect();
+        let serial: Vec<_> = configs
+            .iter()
+            .map(|c| train_from(&ds, c, Some(&warm)))
+            .collect();
+        for workers in [0usize, 2] {
+            let tasks: Vec<TrainTask> = configs
+                .iter()
+                .map(|c| TrainTask::new(Arc::clone(&ds), c.clone()).warm_started(Arc::clone(&warm)))
+                .collect();
+            let pooled = train_many(tasks, workers);
+            for (i, ((ms, rs), (mp, rp))) in serial.iter().zip(&pooled).enumerate() {
+                assert_eq!(rs, rp, "task {i} (workers={workers}): loss trace");
+                assert_eq!(
+                    ms.estimate(3.7, 3.0, 25.0).to_bits(),
+                    mp.estimate(3.7, 3.0, 25.0).to_bits(),
+                    "task {i} (workers={workers})"
+                );
+            }
+        }
     }
 }

@@ -93,6 +93,11 @@ pub struct EstimateBreakdown {
     pub coulomb: f64,
     /// EKF fallback SoC, when the engine enables the fallback.
     pub ekf: Option<f64>,
+    /// One-sigma uncertainty of the EKF SoC estimate (square root of its
+    /// SoC covariance entry) — the confidence signal online-adaptation
+    /// harvesting gates pseudo-labels on. `None` when the fallback is
+    /// disabled.
+    pub ekf_soc_std: Option<f64>,
 }
 
 /// Sentinel for "no network estimate yet" — strictly older than any finite
@@ -301,7 +306,35 @@ impl CellStore {
             network_fresh: self.net_time_s[slot] >= self.time_s[slot],
             coulomb: self.coulomb[slot].soc().value(),
             ekf: self.ekf.get(slot).map(|e| e.soc().value()),
+            ekf_soc_std: self.ekf.get(slot).map(|e| e.soc_std()),
         })
+    }
+
+    /// Removes the cell at `slot` by swapping the last cell into its place
+    /// (O(1); every parallel array moves together). Returns the id of the
+    /// moved cell when one changed slots — the caller must repoint its index
+    /// entry — or `None` when the removed cell was last.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn swap_remove(&mut self, slot: usize) -> Option<CellId> {
+        let last = self.ids.len() - 1;
+        self.ids.swap_remove(slot);
+        self.capacity_ah.swap_remove(slot);
+        self.time_s.swap_remove(slot);
+        self.voltage_v.swap_remove(slot);
+        self.current_a.swap_remove(slot);
+        self.temperature_c.swap_remove(slot);
+        self.reports.swap_remove(slot);
+        self.net_time_s.swap_remove(slot);
+        self.net_soc.swap_remove(slot);
+        self.dirty_generation.swap_remove(slot);
+        self.coulomb.swap_remove(slot);
+        if !self.ekf.is_empty() {
+            self.ekf.swap_remove(slot);
+        }
+        (slot != last).then(|| self.ids[slot])
     }
 
     /// Predicted seconds until empty at the given constant discharge
@@ -545,6 +578,62 @@ mod tests {
         assert_eq!(untouched.id, 7);
         assert_eq!(untouched.latest, None);
         assert_eq!(untouched.estimate(), None);
+    }
+
+    #[test]
+    fn swap_remove_moves_last_cell_and_keeps_state() {
+        let params = CellParams::lg_hg2();
+        let mut store = CellStore::new();
+        for id in 1..=3u64 {
+            store.push(
+                id,
+                &CellConfig {
+                    initial_soc: 0.5 + id as f64 * 0.1,
+                    capacity_ah: params.capacity_ah,
+                },
+                Some(&params),
+            );
+        }
+        store.absorb(0, telemetry(1.0, 1.0));
+        store.absorb(2, telemetry(2.0, 2.0));
+        store.record_network_estimate(2, 0.33);
+        let before = store.snapshot(2);
+        // Remove the middle cell: cell 3 moves into slot 1.
+        assert_eq!(store.swap_remove(1), Some(3));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.ids, vec![1, 3]);
+        let moved = store.snapshot(1);
+        assert_eq!(moved.id, before.id);
+        assert_eq!(moved.latest, before.latest);
+        assert_eq!(moved.network_estimate, before.network_estimate);
+        assert_eq!(moved.estimate(), before.estimate());
+        assert_eq!(moved.ekf_soc, before.ekf_soc);
+        // Removing the last cell moves nothing.
+        assert_eq!(store.swap_remove(1), None);
+        assert_eq!(store.ids, vec![1]);
+    }
+
+    #[test]
+    fn breakdown_exposes_ekf_uncertainty() {
+        let params = CellParams::lg_hg2();
+        let mut store = CellStore::new();
+        store.push(
+            1,
+            &CellConfig {
+                initial_soc: 0.8,
+                capacity_ah: params.capacity_ah,
+            },
+            Some(&params),
+        );
+        store.absorb(0, telemetry(0.0, 1.0));
+        store.absorb(0, telemetry(60.0, 1.0));
+        let b = store.breakdown(0).expect("has telemetry");
+        let std = b.ekf_soc_std.expect("EKF enabled");
+        assert!(std.is_finite() && std >= 0.0);
+        // EKF disabled: no uncertainty either.
+        let mut plain = store_with_one(0.8, 3.0);
+        plain.absorb(0, telemetry(0.0, 1.0));
+        assert_eq!(plain.breakdown(0).unwrap().ekf_soc_std, None);
     }
 
     #[test]

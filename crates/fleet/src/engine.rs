@@ -406,6 +406,46 @@ impl FleetEngine {
         true
     }
 
+    /// Deregisters a cell, dropping its state and any queued telemetry.
+    /// Returns `false` when the id is not registered. Other cells' state and
+    /// estimates are untouched bit-for-bit: removal swaps the shard's last
+    /// slot into the freed one (repointing its index entry and any queued
+    /// telemetry), and the per-cell math never depends on slot position.
+    pub fn deregister(&mut self, id: CellId) -> bool {
+        let shard_idx = self.shard_of(id);
+        let shard = self.shard_mut(shard_idx);
+        let Some(slot) = shard.index.remove(id) else {
+            return false;
+        };
+        if shard.cells.reports[slot] > 0 {
+            shard.reporting -= 1;
+        }
+        shard.pending.retain(|(s, _)| *s as usize != slot);
+        if let Some(moved_id) = shard.cells.swap_remove(slot) {
+            // The shard's last cell now lives in `slot`; its queued
+            // telemetry and index entry must follow it.
+            let last = shard.cells.len() as u32;
+            for (s, _) in shard.pending.iter_mut() {
+                if *s == last {
+                    *s = slot as u32;
+                }
+            }
+            shard.index.reassign(moved_id, slot);
+        }
+        true
+    }
+
+    /// Ids of every registered cell, in shard order (stable for a fixed
+    /// registration/deregistration history — the deterministic iteration
+    /// seam the online-adaptation harvester walks each tick).
+    pub fn ids(&self) -> Vec<CellId> {
+        let mut out = Vec::with_capacity(self.len());
+        for idx in 0..self.shards.len() {
+            out.extend_from_slice(&self.shard(idx).cells.ids);
+        }
+        out
+    }
+
     /// Registered cell count.
     pub fn len(&self) -> usize {
         (0..self.shards.len())
@@ -1050,6 +1090,104 @@ mod tests {
         assert_eq!(b.ekf, None, "EKF fallback disabled in this engine");
         assert_eq!(engine.estimate_breakdown(1), None, "never reported");
         assert_eq!(engine.estimate_breakdown(999), None, "unknown id");
+    }
+
+    #[test]
+    fn deregister_removes_cell_and_leaves_others_bit_unchanged() {
+        let mut engine = engine_with(40, 4);
+        let feed = |engine: &mut FleetEngine, t: f64| {
+            for id in 0..40u64 {
+                engine.ingest(
+                    id,
+                    Telemetry {
+                        time_s: t,
+                        voltage_v: 3.3 + id as f64 * 0.01,
+                        current_a: (id % 5) as f64 * 0.4,
+                        temperature_c: 21.0 + id as f64 * 0.1,
+                    },
+                );
+            }
+        };
+        feed(&mut engine, 1.0);
+        engine.process_pending();
+        let before: Vec<(u64, u64)> = (0..40u64)
+            .filter(|&id| id != 17)
+            .map(|id| (id, engine.estimate(id).unwrap().0.to_bits()))
+            .collect();
+        assert!(engine.deregister(17));
+        assert!(!engine.deregister(17), "double deregister");
+        assert!(!engine.deregister(9999), "unknown id");
+        assert_eq!(engine.len(), 39);
+        assert!(!engine.contains(17));
+        assert_eq!(engine.estimate(17), None);
+        let mut ids = engine.ids();
+        ids.sort_unstable();
+        assert_eq!(ids.len(), 39);
+        assert!(!ids.contains(&17));
+        // Remaining estimates are untouched bit-for-bit by the removal.
+        for (id, bits) in &before {
+            assert_eq!(
+                engine.estimate(*id).unwrap().0.to_bits(),
+                *bits,
+                "cell {id} changed across deregister"
+            );
+        }
+        // Telemetry to the removed id is rejected at ingest; everyone else
+        // keeps ticking, bit-matching a control engine that processed the
+        // same stream (per-cell math is slot-independent).
+        assert!(!engine.ingest(17, telemetry(2.0)));
+        feed(&mut engine, 2.0);
+        let (absorbed, _) = engine.process_pending();
+        assert_eq!(absorbed, 39);
+        let mut control = engine_with(40, 4);
+        feed(&mut control, 1.0);
+        control.process_pending();
+        control.deregister(17);
+        feed(&mut control, 2.0);
+        control.process_pending();
+        for id in (0..40u64).filter(|&id| id != 17) {
+            assert_eq!(
+                engine.estimate(id).unwrap().0.to_bits(),
+                control.estimate(id).unwrap().0.to_bits(),
+                "cell {id} diverged post-deregister"
+            );
+        }
+        // The explicit ingest above plus feed()'s own attempt at id 17.
+        assert_eq!(engine.telemetry_stats().unknown_cell, 2);
+    }
+
+    #[test]
+    fn deregister_with_pending_telemetry_remaps_swapped_cell() {
+        // One shard, so slots are dense: deregistering slot 0 swaps the last
+        // cell (highest id) into it while its telemetry is still queued.
+        let mut engine = engine_with(8, 1);
+        for id in 0..8u64 {
+            engine.ingest(
+                id,
+                Telemetry {
+                    time_s: 1.0,
+                    voltage_v: 3.2 + id as f64 * 0.05,
+                    current_a: 1.0,
+                    temperature_c: 25.0,
+                },
+            );
+        }
+        assert!(engine.deregister(0));
+        let (absorbed, estimated) = engine.process_pending();
+        assert_eq!((absorbed, estimated), (7, 7), "queued reports survive");
+        let model = engine.registry().current();
+        for id in 1..8u64 {
+            let (soc, _) = engine.estimate(id).unwrap();
+            let scalar = model
+                .estimate(3.2 + id as f64 * 0.05, 1.0, 25.0)
+                .clamp(0.0, 1.0);
+            assert_eq!(soc.to_bits(), scalar.to_bits(), "cell {id}");
+        }
+        // The freed id can re-register and serve again.
+        assert!(engine.register(0, CellConfig::default()));
+        assert!(engine.ingest(0, telemetry(2.0)));
+        engine.process_pending();
+        assert!(engine.estimate(0).is_some());
     }
 
     #[test]

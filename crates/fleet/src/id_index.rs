@@ -3,23 +3,30 @@
 //! `std::collections::HashMap` pays SipHash on every probe — measurable at
 //! fleet scale, where one tick performs one lookup per telemetry report
 //! (100k+ lookups per pass). Cell ids are producer-minted integers, so a
-//! multiplicative (Fibonacci) hash is enough to spread them, and the engine
-//! never unregisters cells, so the table is insert-only: linear probing
-//! with no tombstones, ~16 bytes per bucket, grown at 50% load.
+//! multiplicative (Fibonacci) hash is enough to spread them: linear probing,
+//! ~16 bytes per bucket, grown at 50% load. Deregistration marks buckets
+//! with a tombstone (probes walk through it, inserts reuse it); tombstones
+//! count toward the load factor and are dropped wholesale on growth, so
+//! churn-heavy fleets cannot degrade probe chains unboundedly.
 
 use crate::telemetry::CellId;
 
-/// Insert-only open-addressing map from [`CellId`] to a dense slot index.
+/// Open-addressing map from [`CellId`] to a dense slot index.
 #[derive(Debug, Clone)]
 pub(crate) struct IdIndex {
     keys: Vec<CellId>,
-    /// Slot per bucket; [`EMPTY`] marks an unused bucket.
+    /// Slot per bucket; [`EMPTY`] marks a never-used bucket, [`TOMBSTONE`] a
+    /// deregistered one.
     slots: Vec<u32>,
     mask: usize,
     len: usize,
+    /// Buckets that terminate no probe chain (live + tombstones) — the load
+    /// the grow trigger watches.
+    used: usize,
 }
 
 const EMPTY: u32 = u32::MAX;
+const TOMBSTONE: u32 = u32::MAX - 1;
 
 /// 2^64 / φ — the Fibonacci hashing multiplier.
 const MULTIPLIER: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -32,6 +39,7 @@ impl IdIndex {
             slots: vec![EMPTY; capacity],
             mask: capacity - 1,
             len: 0,
+            used: 0,
         }
     }
 
@@ -57,7 +65,7 @@ impl IdIndex {
             if slot == EMPTY {
                 return None;
             }
-            if self.keys[bucket] == id {
+            if slot != TOMBSTONE && self.keys[bucket] == id {
                 return Some(slot as usize);
             }
             bucket = (bucket + 1) & self.mask;
@@ -72,20 +80,78 @@ impl IdIndex {
     /// Panics if `slot` does not fit the internal `u32` representation
     /// (4 billion cells per shard is beyond the engine's design envelope).
     pub(crate) fn insert(&mut self, id: CellId, slot: usize) -> bool {
-        assert!(slot < EMPTY as usize, "slot index overflows the id index");
-        if self.len * 2 >= self.slots.len() {
+        assert!(
+            slot < TOMBSTONE as usize,
+            "slot index overflows the id index"
+        );
+        if self.used * 2 >= self.slots.len() {
             self.grow();
         }
         let mut bucket = self.bucket_of(id);
+        // First tombstone of the probe chain — reused once the whole chain
+        // confirms the id is absent (stopping early at a tombstone could
+        // duplicate an id that lives further down the chain).
+        let mut reusable = None;
         loop {
-            if self.slots[bucket] == EMPTY {
-                self.keys[bucket] = id;
-                self.slots[bucket] = slot as u32;
-                self.len += 1;
-                return true;
+            match self.slots[bucket] {
+                EMPTY => {
+                    let target = match reusable {
+                        Some(t) => t,
+                        None => {
+                            self.used += 1;
+                            bucket
+                        }
+                    };
+                    self.keys[target] = id;
+                    self.slots[target] = slot as u32;
+                    self.len += 1;
+                    return true;
+                }
+                TOMBSTONE if reusable.is_none() => reusable = Some(bucket),
+                TOMBSTONE => {}
+                _ if self.keys[bucket] == id => return false,
+                _ => {}
             }
-            if self.keys[bucket] == id {
-                return false;
+            bucket = (bucket + 1) & self.mask;
+        }
+    }
+
+    /// Removes `id`, returning the slot it mapped to. The bucket becomes a
+    /// tombstone so probe chains passing through it stay intact.
+    pub(crate) fn remove(&mut self, id: CellId) -> Option<usize> {
+        let mut bucket = self.bucket_of(id);
+        loop {
+            let slot = self.slots[bucket];
+            if slot == EMPTY {
+                return None;
+            }
+            if slot != TOMBSTONE && self.keys[bucket] == id {
+                self.slots[bucket] = TOMBSTONE;
+                self.len -= 1;
+                return Some(slot as usize);
+            }
+            bucket = (bucket + 1) & self.mask;
+        }
+    }
+
+    /// Repoints an existing `id` at a new slot (used when a swap-removal
+    /// moves the store's last cell into the freed slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not present or `slot` overflows the representation.
+    pub(crate) fn reassign(&mut self, id: CellId, slot: usize) {
+        assert!(
+            slot < TOMBSTONE as usize,
+            "slot index overflows the id index"
+        );
+        let mut bucket = self.bucket_of(id);
+        loop {
+            let current = self.slots[bucket];
+            assert!(current != EMPTY, "reassign of unregistered id {id}");
+            if current != TOMBSTONE && self.keys[bucket] == id {
+                self.slots[bucket] = slot as u32;
+                return;
             }
             bucket = (bucket + 1) & self.mask;
         }
@@ -96,8 +162,9 @@ impl IdIndex {
         let old_keys = std::mem::replace(&mut self.keys, vec![0; new_capacity]);
         let old_slots = std::mem::replace(&mut self.slots, vec![EMPTY; new_capacity]);
         self.mask = new_capacity - 1;
+        // Tombstones are dropped wholesale: only live entries re-hash.
         for (key, slot) in old_keys.into_iter().zip(old_slots) {
-            if slot == EMPTY {
+            if slot == EMPTY || slot == TOMBSTONE {
                 continue;
             }
             let mut bucket = self.bucket_of(key);
@@ -107,6 +174,7 @@ impl IdIndex {
             self.keys[bucket] = key;
             self.slots[bucket] = slot;
         }
+        self.used = self.len;
     }
 }
 
@@ -151,6 +219,75 @@ mod tests {
         for (slot, &id) in ids.iter().enumerate() {
             assert_eq!(index.get(id), Some(slot));
         }
+    }
+
+    #[test]
+    fn remove_tombstones_and_reinsertion() {
+        let mut index = IdIndex::new();
+        for slot in 0..100usize {
+            assert!(index.insert(slot as u64 * 7, slot));
+        }
+        assert_eq!(index.remove(7 * 42), Some(42));
+        assert_eq!(index.len(), 99);
+        assert_eq!(index.get(7 * 42), None);
+        assert_eq!(index.remove(7 * 42), None, "double remove");
+        // Chains passing through the tombstone still resolve.
+        for slot in (0..100usize).filter(|&s| s != 42) {
+            assert_eq!(index.get(slot as u64 * 7), Some(slot), "slot {slot}");
+        }
+        // The freed id can be registered again (reusing the tombstone).
+        assert!(index.insert(7 * 42, 500));
+        assert_eq!(index.get(7 * 42), Some(500));
+        assert_eq!(index.len(), 100);
+    }
+
+    #[test]
+    fn insert_through_tombstone_rejects_duplicate_down_chain() {
+        let mut index = IdIndex::new();
+        // Colliding ids land in one probe chain (multiples share low entropy
+        // in a 16-bucket table); removing the first leaves a tombstone in
+        // front of the second.
+        let ids: Vec<u64> = (0..6).map(|i| i * 1_000_003).collect();
+        for (slot, &id) in ids.iter().enumerate() {
+            assert!(index.insert(id, slot));
+        }
+        index.remove(ids[0]);
+        // Re-inserting an id that lives *past* the tombstone must be
+        // rejected, not duplicated into the tombstone bucket.
+        assert!(!index.insert(ids[3], 999));
+        assert_eq!(index.get(ids[3]), Some(3));
+    }
+
+    #[test]
+    fn reassign_moves_slot() {
+        let mut index = IdIndex::new();
+        index.insert(10, 0);
+        index.insert(20, 1);
+        index.reassign(20, 0);
+        assert_eq!(index.get(20), Some(0));
+        assert_eq!(index.get(10), Some(0), "reassign touches only its id");
+    }
+
+    #[test]
+    fn churn_keeps_resolving_across_growth() {
+        // Register/deregister churn: the table must keep every live mapping
+        // correct while tombstones accumulate and growth sweeps them away.
+        let mut index = IdIndex::new();
+        for wave in 0..10u64 {
+            for k in 0..200u64 {
+                assert!(index.insert(wave * 1000 + k, (wave * 200 + k) as usize));
+            }
+            for k in (0..200u64).step_by(2) {
+                assert!(index.remove(wave * 1000 + k).is_some());
+            }
+        }
+        for wave in 0..10u64 {
+            for k in 0..200u64 {
+                let expected = (k % 2 == 1).then_some((wave * 200 + k) as usize);
+                assert_eq!(index.get(wave * 1000 + k), expected);
+            }
+        }
+        assert_eq!(index.len(), 10 * 100);
     }
 
     #[test]

@@ -25,10 +25,14 @@
 //!   [`pinnsoc_runtime::WorkerPool`] and produces a [`ScenarioReport`]
 //!   that is **bit-identical across worker counts** at a fixed seed —
 //!   wall-clock timings live outside the report ([`SuiteRun::timings`]).
-//! - [`standard_suite`] is the ten-scenario battery (lab patterns, drive
+//! - [`standard_suite`] is the eleven-scenario battery (lab patterns, drive
 //!   cycles, temperature sweep, aged fleet, sensor noise, two transport
-//!   fault modes) behind `scenario_baseline` and `BENCH_scenarios.json`;
-//!   [`smoke_suite`] is its CI-sized subset.
+//!   fault modes, a mid-run drift) behind `scenario_baseline` and
+//!   `BENCH_scenarios.json`; [`smoke_suite`] is its CI-sized subset and
+//!   [`gate_suite`] the online-adaptation promotion gate.
+//! - [`run_scenario_observed`] attaches a [`FleetObserver`] to the live
+//!   engine — the seam `pinnsoc-adapt` harvests through and hot-swaps
+//!   models mid-run with.
 //!
 //! ## Quick example
 //!
@@ -53,6 +57,9 @@ pub mod suite;
 
 pub use faults::{FaultCounts, FaultModel};
 pub use report::{EstimatorAccuracy, ScenarioReport, ScenarioResult, TteAccuracy};
-pub use runner::{run_scenario, EngineSpec, ScenarioRunner, ScenarioTiming, SuiteRun};
+pub use runner::{
+    run_scenario, run_scenario_observed, EngineSpec, FleetObserver, NoopObserver, ScenarioRunner,
+    ScenarioTiming, SuiteRun,
+};
 pub use spec::{EnvSchedule, LoadSpec, PopulationSpec, Scenario, Timing};
-pub use suite::{smoke_suite, standard_suite};
+pub use suite::{gate_suite, smoke_suite, standard_suite};

@@ -210,12 +210,48 @@ fn cell_currents(scenario: &Scenario, cell: u64) -> Vec<f64> {
     (0..steps).map(|k| profile[k % profile.len()]).collect()
 }
 
+/// Observer hook into a closed-loop scenario run: called with the live
+/// engine after every scored processing pass.
+///
+/// This is the seam the online-adaptation loop (`pinnsoc-adapt`) plugs into:
+/// an observer can read per-cell breakdowns, harvest pseudo-labels, and even
+/// hot-swap the served model mid-run through
+/// [`FleetEngine::registry`] — swaps land at the engine's next batch pass,
+/// exactly as in production.
+pub trait FleetObserver {
+    /// Called after scored engine pass `tick` (1-based), at simulated time
+    /// `time_s`.
+    fn after_tick(&mut self, fleet: &FleetEngine, tick: usize, time_s: f64);
+}
+
+/// The do-nothing observer behind plain [`run_scenario`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl FleetObserver for NoopObserver {
+    fn after_tick(&mut self, _: &FleetEngine, _: usize, _: f64) {}
+}
+
 /// Runs one scenario's closed loop on the calling thread.
 ///
 /// # Panics
 ///
 /// Panics if the scenario is invalid.
 pub fn run_scenario(scenario: &Scenario, model: &SocModel, engine: &EngineSpec) -> ScenarioResult {
+    run_scenario_observed(scenario, model, engine, &mut NoopObserver)
+}
+
+/// [`run_scenario`] with a [`FleetObserver`] attached (see the trait docs).
+///
+/// # Panics
+///
+/// Panics if the scenario is invalid.
+pub fn run_scenario_observed(
+    scenario: &Scenario,
+    model: &SocModel,
+    engine: &EngineSpec,
+    observer: &mut dyn FleetObserver,
+) -> ScenarioResult {
     scenario.validate();
     let population = &scenario.population;
     let timing = &scenario.timing;
@@ -332,6 +368,7 @@ pub fn run_scenario(scenario: &Scenario, model: &SocModel, engine: &EngineSpec) 
                     None => unscored += 1,
                 }
             }
+            observer.after_tick(&fleet, ticks, t);
         }
     }
 

@@ -179,6 +179,18 @@ pub enum EnvSchedule {
         /// Oscillation period, seconds.
         period_s: f64,
     },
+    /// Abrupt mid-run shift (a cold snap, a vehicle leaving a heated
+    /// garage): the distribution-shift injection the online-adaptation
+    /// drift detector exists for.
+    Step {
+        /// Ambient before the shift, °C.
+        before_c: f64,
+        /// Ambient from the shift on, °C.
+        after_c: f64,
+        /// When the shift lands, as a fraction of the scenario duration
+        /// in `(0, 1)`.
+        at_frac: f64,
+    },
 }
 
 impl EnvSchedule {
@@ -199,6 +211,17 @@ impl EnvSchedule {
                 amplitude_c,
                 period_s,
             } => mean_c + amplitude_c * (std::f64::consts::TAU * t_s / period_s).sin(),
+            EnvSchedule::Step {
+                before_c,
+                after_c,
+                at_frac,
+            } => {
+                if duration_s > 0.0 && t_s / duration_s >= *at_frac {
+                    *after_c
+                } else {
+                    *before_c
+                }
+            }
         }
     }
 
@@ -225,6 +248,20 @@ impl EnvSchedule {
                 assert!(
                     period_s.is_finite() && *period_s > 0.0,
                     "sinusoid period must be positive and finite"
+                );
+            }
+            EnvSchedule::Step {
+                before_c,
+                after_c,
+                at_frac,
+            } => {
+                assert!(
+                    before_c.is_finite() && after_c.is_finite(),
+                    "step temperatures must be finite"
+                );
+                assert!(
+                    at_frac.is_finite() && *at_frac > 0.0 && *at_frac < 1.0,
+                    "step fraction must lie strictly inside (0, 1)"
                 );
             }
         }
@@ -354,6 +391,27 @@ mod tests {
         };
         assert!((sine.ambient_at(25.0, 100.0) - 25.0).abs() < 1e-9);
         assert!((sine.ambient_at(75.0, 100.0) - 15.0).abs() < 1e-9);
+        let step = EnvSchedule::Step {
+            before_c: 25.0,
+            after_c: -5.0,
+            at_frac: 0.5,
+        };
+        assert_eq!(step.ambient_at(0.0, 100.0), 25.0);
+        assert_eq!(step.ambient_at(49.9, 100.0), 25.0);
+        assert_eq!(step.ambient_at(50.0, 100.0), -5.0, "shift is inclusive");
+        assert_eq!(step.ambient_at(100.0, 100.0), -5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "step fraction")]
+    fn step_fraction_outside_unit_interval_rejected() {
+        let mut s = scenario();
+        s.environment = EnvSchedule::Step {
+            before_c: 20.0,
+            after_c: 0.0,
+            at_frac: 1.0,
+        };
+        s.validate();
     }
 
     #[test]

@@ -35,7 +35,7 @@ fn scenario(
     }
 }
 
-/// The standard ten-scenario suite, spanning lab patterns, drive cycles,
+/// The standard eleven-scenario suite, spanning lab patterns, drive cycles,
 /// temperature sweeps, aged fleets, sensor noise, and transport faults.
 /// Every scenario derives its streams from `seed` plus its position, so one
 /// number reproduces the whole battery.
@@ -169,6 +169,72 @@ pub fn standard_suite(seed: u64) -> Vec<Scenario> {
                 ..FaultModel::sensor_noise()
             },
         ),
+        // Distribution shift mid-run: an aged fleet of mixed-EV drivers hits
+        // an abrupt cold snap halfway through — the train/serve drift that
+        // the `pinnsoc-adapt` online-adaptation loop exists to close.
+        scenario(
+            "drifting-fleet",
+            seed.wrapping_add(10),
+            PopulationSpec {
+                soh: (0.75, 0.92),
+                initial_soc: (0.70, 0.95),
+                ..PopulationSpec::fresh(24, CellParams::nmc_18650())
+            },
+            LoadSpec::MixedEv { segments: 2 },
+            EnvSchedule::Step {
+                before_c: 25.0,
+                after_c: -5.0,
+                at_frac: 0.5,
+            },
+            FaultModel::none(),
+        ),
+    ]
+}
+
+/// The promotion-gate suite of the online-adaptation loop: a CI-sized
+/// battery of the regimes adaptation targets (a drive cycle, and a mid-run
+/// temperature-step drift on an aged sub-fleet). A fine-tuned candidate
+/// must beat the incumbent's network MAE across these before it may
+/// hot-swap into the serving registry — small on purpose, since the gate
+/// runs inside the adaptation loop.
+pub fn gate_suite(seed: u64) -> Vec<Scenario> {
+    let timing = Timing {
+        duration_s: 240.0,
+        dt_s: 1.0,
+        process_every: 10,
+    };
+    vec![
+        Scenario {
+            name: "gate-drive-udds".into(),
+            seed,
+            population: PopulationSpec {
+                initial_soc: (0.75, 0.95),
+                ..PopulationSpec::fresh(6, CellParams::nmc_18650())
+            },
+            load: LoadSpec::Drive {
+                schedule: DriveSchedule::Udds,
+            },
+            environment: EnvSchedule::Constant(25.0),
+            faults: FaultModel::none(),
+            timing,
+        },
+        Scenario {
+            name: "gate-drift-step".into(),
+            seed: seed.wrapping_add(1),
+            population: PopulationSpec {
+                soh: (0.80, 0.95),
+                initial_soc: (0.70, 0.95),
+                ..PopulationSpec::fresh(6, CellParams::nmc_18650())
+            },
+            load: LoadSpec::MixedEv { segments: 1 },
+            environment: EnvSchedule::Step {
+                before_c: 25.0,
+                after_c: -5.0,
+                at_frac: 0.5,
+            },
+            faults: FaultModel::none(),
+            timing,
+        },
     ]
 }
 
@@ -252,6 +318,29 @@ mod tests {
             transport_modes >= 2,
             "needs two or more transport-fault modes"
         );
+        // The suite must exercise the condition online adaptation exists
+        // for: a mid-run shift on a degraded population.
+        let drift = suite
+            .iter()
+            .find(|s| s.name == "drifting-fleet")
+            .expect("needs the drifting-fleet scenario");
+        assert!(matches!(drift.environment, EnvSchedule::Step { .. }));
+        assert!(drift.population.soh.0 < 1.0);
+    }
+
+    #[test]
+    fn gate_suite_is_small_and_covers_drift() {
+        let gate = gate_suite(3);
+        assert_eq!(gate.len(), 2);
+        for s in &gate {
+            s.validate();
+            assert!(s.population.cells <= 8, "gate must stay cheap");
+            assert!(s.timing.duration_s <= 300.0);
+        }
+        assert!(gate
+            .iter()
+            .any(|s| matches!(s.environment, EnvSchedule::Step { .. })));
+        assert_ne!(gate_suite(1), gate_suite(2));
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Online-adaptation walkthrough: a lab-trained model serves a drifting
+//! fleet while `pinnsoc-adapt` closes the train/serve gap live — harvesting
+//! EKF-labeled windows from the fleet's own telemetry, detecting drift,
+//! fine-tuning warm-started candidates in the background, and hot-swapping
+//! each gate winner into the serving registry mid-session.
+//!
+//! Run with `cargo run --release --example online_adaptation`.
+
+use pinnsoc::{PinnVariant, TrainConfig};
+use pinnsoc_adapt::{
+    AdaptOutcome, AdaptationConfig, AdaptationEngine, DriftConfig, GateConfig, HarvestConfig,
+};
+use pinnsoc_bench::{demo_serving_model, demo_training_dataset};
+use pinnsoc_scenario::{
+    gate_suite, run_scenario_observed, standard_suite, EngineSpec, EnvSchedule, ScenarioRunner,
+};
+use std::sync::Arc;
+
+fn main() {
+    // 1. The frozen lab model: trained on clean Sandia-style cycling. The
+    //    scenario harness showed it scores ~0.2 SoC MAE on drive cycles —
+    //    an order of magnitude worse than the onboard EKF.
+    println!("training the lab model (reduced Sandia protocol)...");
+    let lab_data = Arc::new(demo_training_dataset());
+    let frozen = demo_serving_model(false);
+    println!(
+        "  trained {} ({} params)",
+        frozen.label,
+        frozen.param_count()
+    );
+
+    // 2. The adaptation engine: drift thresholds, harvesting gates, a
+    //    Branch-1-only fine-tune recipe (harvested windows carry no horizon
+    //    labels), and the promotion gate's scenario suite.
+    let mut adapt = AdaptationEngine::new(
+        AdaptationConfig {
+            drift: DriftConfig {
+                window: 256,
+                threshold: 0.08,
+                min_samples: 64,
+            },
+            harvest: HarvestConfig {
+                reservoir_capacity: 2048,
+                seed: 42,
+                min_dt_s: 2.0,
+                rated_capacity_ah: 3.0,
+                ..HarvestConfig::default()
+            },
+            fine_tune: TrainConfig {
+                b1_epochs: 40,
+                b2_epochs: 0,
+                batch_size: 64,
+                learning_rate: 1e-3,
+                ..TrainConfig::sandia(PinnVariant::NoPinn, 0)
+            },
+            candidate_seeds: vec![1, 2],
+            gate: GateConfig {
+                suite: gate_suite(42),
+                runner_workers: 1,
+                engine: EngineSpec::default(),
+                min_improvement: 0.0,
+            },
+            train_workers: 1,
+            lab_cycles: 4,
+            min_reservoir: 256,
+            cooldown_ticks: 25,
+        },
+        lab_data,
+    );
+
+    // 3. The closed-loop session: an aged mixed-EV fleet sweeping the whole
+    //    ambient envelope. The adaptation engine rides along as a fleet
+    //    observer — every hot-swap it performs applies to the live engine's
+    //    next batch pass.
+    let mut session = standard_suite(42)
+        .into_iter()
+        .find(|s| s.name == "drifting-fleet")
+        .expect("standard suite carries the drift scenario");
+    session.environment = EnvSchedule::Ramp {
+        from_c: 40.0,
+        to_c: -5.0,
+    };
+    println!("running the drifting-fleet session with adaptation attached...");
+    run_scenario_observed(&session, &frozen, &EngineSpec::default(), &mut adapt);
+    for event in adapt.events() {
+        match &event.outcome {
+            AdaptOutcome::Promoted {
+                cohort,
+                version,
+                incumbent_mae,
+                candidate_mae,
+            } => println!(
+                "  tick {:>3}: cohort {cohort} drifted -> fine-tuned, gate passed \
+                 ({incumbent_mae:.4} -> {candidate_mae:.4}), swapped to v{version}",
+                event.tick
+            ),
+            AdaptOutcome::Rejected {
+                incumbent_mae,
+                best_candidate_mae,
+                ..
+            } => println!(
+                "  tick {:>3}: gate rejected ({best_candidate_mae:.4} vs {incumbent_mae:.4}) — \
+                 serving model untouched",
+                event.tick
+            ),
+            _ => {}
+        }
+    }
+    let report = adapt.report();
+    println!(
+        "  {} windows harvested, {} trigger(s), {} swap(s)",
+        report.harvest.harvested, report.triggers, report.swaps
+    );
+
+    // 4. The receipts: frozen vs adapted on held-out drive-cycle fleets.
+    let adapted = adapt.promoted().expect("the drifting session promotes");
+    let suite: Vec<_> = standard_suite(1042)
+        .into_iter()
+        .filter(|s| matches!(s.name.as_str(), "drive-udds" | "ev-mixed-random"))
+        .collect();
+    println!("\nscoring frozen vs adapted on held-out drive fleets...");
+    let runner = ScenarioRunner::default();
+    let frozen_run = runner.run(&suite, &frozen);
+    let adapted_run = runner.run(&suite, adapted);
+    println!(
+        "{:<18} {:>12} {:>12} {:>9}",
+        "scenario", "frozen net", "adapted net", "ekf"
+    );
+    for (f, a) in frozen_run
+        .report
+        .scenarios
+        .iter()
+        .zip(&adapted_run.report.scenarios)
+    {
+        println!(
+            "{:<18} {:>12.4} {:>12.4} {:>9.4}",
+            f.name, f.network.mae, a.network.mae, f.ekf.mae
+        );
+    }
+    println!("\nthe fleet just retrained itself from its own telemetry.");
+}

@@ -15,7 +15,7 @@ fn main() {
     let model = demo_serving_model(false);
     println!("  trained {} ({} params)", model.label, model.param_count());
 
-    // 2. Run the standard suite: ten scenarios spanning lab patterns, drive
+    // 2. Run the standard suite: eleven scenarios spanning lab patterns, drive
     //    cycles, a temperature sweep, an aged fleet, sensor noise, and
     //    transport faults. Scenarios drain through the shared worker pool;
     //    the report is bit-identical for any worker count.

@@ -1,0 +1,237 @@
+//! End-to-end online adaptation: drift injected → detector triggers →
+//! background fine-tune on the pool → promotion gate → hot-swap — with the
+//! gate-failure path leaving the serving model untouched, and the whole
+//! loop bit-identical across worker counts.
+
+use pinnsoc::{PinnVariant, TrainConfig};
+use pinnsoc_adapt::{
+    AdaptOutcome, AdaptationConfig, AdaptationEngine, DriftConfig, GateConfig, HarvestConfig,
+};
+use pinnsoc_battery::{CellParams, CellSim, Soc};
+use pinnsoc_bench::demo_training_dataset;
+use pinnsoc_fleet::testing::untrained_model;
+use pinnsoc_fleet::{CellConfig, FleetConfig, FleetEngine, SocEstimate, Telemetry};
+use pinnsoc_scenario::{gate_suite, EngineSpec};
+use std::sync::Arc;
+
+const CELLS: u64 = 8;
+
+fn adaptation_config(workers: usize) -> AdaptationConfig {
+    // A small gate: the standard gate scenarios, shrunk CI-size.
+    let suite = gate_suite(42)
+        .into_iter()
+        .map(|mut s| {
+            s.population.cells = 4;
+            s.timing.duration_s = 120.0;
+            s
+        })
+        .collect();
+    AdaptationConfig {
+        drift: DriftConfig {
+            window: 128,
+            threshold: 0.05,
+            min_samples: 32,
+        },
+        harvest: HarvestConfig {
+            reservoir_capacity: 512,
+            seed: 9,
+            min_dt_s: 1.0,
+            rated_capacity_ah: 3.0,
+            ..HarvestConfig::default()
+        },
+        fine_tune: TrainConfig {
+            b1_epochs: 20,
+            b2_epochs: 0, // Branch-1-only fine-tune
+            batch_size: 32,
+            ..TrainConfig::sandia(PinnVariant::NoPinn, 0)
+        },
+        candidate_seeds: vec![1],
+        gate: GateConfig {
+            suite,
+            runner_workers: workers,
+            engine: EngineSpec {
+                shards: 2,
+                micro_batch: 16,
+                workers,
+            },
+            min_improvement: 0.0,
+        },
+        train_workers: workers,
+        lab_cycles: 1,
+        min_reservoir: 64,
+        cooldown_ticks: 50,
+    }
+}
+
+/// Drives a fleet of ground-truth simulators for `seconds` of telemetry
+/// under a time-varying load, processing and observing every 10 s, and
+/// returns the engine plus the adaptation engine's outcomes.
+fn run_session(
+    adapt: &mut AdaptationEngine,
+    workers: usize,
+    seconds: usize,
+) -> (FleetEngine, Vec<AdaptOutcome>) {
+    let params = CellParams::nmc_18650();
+    let mut engine = FleetEngine::new(
+        untrained_model(),
+        FleetConfig {
+            shards: 2,
+            micro_batch: 16,
+            workers,
+            ekf_fallback: Some(params.clone()),
+        },
+    );
+    let mut sims = Vec::new();
+    for id in 0..CELLS {
+        let initial = 0.95 - id as f64 * 0.02;
+        engine.register(
+            id,
+            CellConfig {
+                initial_soc: initial,
+                capacity_ah: params.capacity_ah,
+            },
+        );
+        sims.push(CellSim::new(params.clone(), Soc::clamped(initial), 25.0));
+    }
+    let mut outcomes = Vec::new();
+    for t in 1..=seconds {
+        // A dynamic load regime the lab model never saw: per-cell phase-
+        // shifted current swings between regen and ~2C discharge.
+        for (i, sim) in sims.iter_mut().enumerate() {
+            let current = 2.5 + 2.0 * ((t as f64 / 25.0) + i as f64 * 0.7).sin();
+            let rec = sim.step(current, 1.0);
+            engine.ingest(
+                i as u64,
+                Telemetry {
+                    time_s: t as f64,
+                    voltage_v: rec.voltage_v,
+                    current_a: rec.current_a,
+                    temperature_c: rec.temperature_c,
+                },
+            );
+        }
+        if t % 10 == 0 {
+            engine.process_pending();
+            outcomes.push(adapt.observe_tick(&engine));
+        }
+    }
+    (engine, outcomes)
+}
+
+#[test]
+fn drift_triggers_fine_tune_gate_and_hot_swap() {
+    let lab = Arc::new(demo_training_dataset());
+    let mut adapt = AdaptationEngine::new(adaptation_config(0), Arc::clone(&lab));
+    let (mut engine, outcomes) = run_session(&mut adapt, 0, 400);
+
+    let promoted_at = outcomes
+        .iter()
+        .position(|o| matches!(o, AdaptOutcome::Promoted { .. }))
+        .expect("drift on an untrained network must promote a candidate");
+    let AdaptOutcome::Promoted {
+        version,
+        incumbent_mae,
+        candidate_mae,
+        ..
+    } = &outcomes[promoted_at]
+    else {
+        unreachable!()
+    };
+    assert_eq!(*version, 2, "first swap bumps the registry to v2");
+    assert!(
+        candidate_mae < incumbent_mae,
+        "gate passed without improvement: {candidate_mae} vs {incumbent_mae}"
+    );
+    assert_eq!(engine.registry().version(), 2);
+    let report = adapt.report();
+    assert_eq!(report.triggers, 1, "cooldown paces further rounds");
+    assert_eq!((report.gate_passes, report.swaps), (1, 1));
+    assert!(report.harvest.harvested >= 64);
+    let promoted = engine.registry().current();
+    assert!(promoted.label.starts_with("untrained+adapt"));
+
+    // Post-swap estimates bit-match scalar calls on the promoted model.
+    for id in 0..CELLS {
+        engine.ingest(
+            id,
+            Telemetry {
+                time_s: 1e6,
+                voltage_v: 3.5 + id as f64 * 0.02,
+                current_a: 1.5,
+                temperature_c: 24.0,
+            },
+        );
+    }
+    engine.process_pending();
+    for id in 0..CELLS {
+        let (soc, source) = engine.estimate(id).expect("estimated");
+        assert_eq!(source, SocEstimate::Network);
+        let scalar = promoted
+            .estimate(3.5 + id as f64 * 0.02, 1.5, 24.0)
+            .clamp(0.0, 1.0);
+        assert_eq!(soc.to_bits(), scalar.to_bits(), "cell {id}");
+    }
+
+    // Rollback restores the displaced incumbent.
+    let rolled = adapt.rollback(&engine).expect("a swap happened");
+    assert_eq!(rolled, 3);
+    assert_eq!(engine.registry().current().label, "untrained");
+    assert_eq!(adapt.report().rollbacks, 1);
+    assert_eq!(adapt.rollback(&engine), None, "nothing left to roll back");
+}
+
+#[test]
+fn failed_gate_leaves_serving_model_untouched() {
+    let lab = Arc::new(demo_training_dataset());
+    let mut config = adaptation_config(0);
+    // An impassable gate: a candidate would need MAE strictly below zero.
+    config.gate.min_improvement = 1.0;
+    let mut adapt = AdaptationEngine::new(config, lab);
+    let (engine, outcomes) = run_session(&mut adapt, 0, 400);
+
+    let rejected = outcomes
+        .iter()
+        .find(|o| matches!(o, AdaptOutcome::Rejected { .. }))
+        .expect("the round must run and be rejected");
+    let AdaptOutcome::Rejected {
+        incumbent_mae,
+        best_candidate_mae,
+        ..
+    } = rejected
+    else {
+        unreachable!()
+    };
+    assert!(incumbent_mae.is_finite() && best_candidate_mae.is_finite());
+    // The serving model never changed: same registry version, same label,
+    // and no swap recorded.
+    assert_eq!(engine.registry().version(), 1);
+    assert_eq!(engine.registry().current().label, "untrained");
+    let report = adapt.report();
+    assert_eq!(report.gate_failures, 1);
+    assert_eq!((report.swaps, report.gate_passes), (0, 0));
+    assert!(!outcomes
+        .iter()
+        .any(|o| matches!(o, AdaptOutcome::Promoted { .. })));
+}
+
+#[test]
+fn adapt_loop_is_bit_identical_across_worker_counts() {
+    let lab = Arc::new(demo_training_dataset());
+    let mut fingerprints = Vec::new();
+    for workers in [0usize, 2] {
+        let mut adapt = AdaptationEngine::new(adaptation_config(workers), Arc::clone(&lab));
+        let (engine, outcomes) = run_session(&mut adapt, workers, 300);
+        let model = engine.registry().current();
+        let fingerprint = (
+            serde_json::to_string(&*model).expect("serializable"),
+            serde_json::to_string(&outcomes).expect("serializable"),
+            serde_json::to_string(&adapt.report()).expect("serializable"),
+            engine.registry().version(),
+        );
+        fingerprints.push(fingerprint);
+    }
+    assert_eq!(
+        fingerprints[0], fingerprints[1],
+        "adaptation loop must be bit-identical across worker counts"
+    );
+}
