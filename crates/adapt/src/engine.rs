@@ -31,13 +31,16 @@
 
 use crate::drift::{CohortId, DriftConfig, DriftDetector, DriftStatus};
 use crate::harvest::{HarvestConfig, HarvestStats, Harvester};
+use crate::obs::AdaptObs;
 use pinnsoc::{train_many_with, SocModel, TrainConfig, TrainTask};
 use pinnsoc_data::{Cycle, SocDataset};
 use pinnsoc_fleet::FleetEngine;
+use pinnsoc_obs::ObsHub;
 use pinnsoc_runtime::{NoContext, WorkerPool};
 use pinnsoc_scenario::{EngineSpec, FleetObserver, Scenario, ScenarioRunner};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Promotion-gate configuration: the scenario suite a candidate must beat
 /// the incumbent on, and by how much.
@@ -207,6 +210,8 @@ pub struct AdaptationEngine {
     cooldown: u64,
     report: AdaptReport,
     events: Vec<AdaptEvent>,
+    /// Observability handle; `None` runs the loop fully uninstrumented.
+    obs: Option<AdaptObs>,
 }
 
 impl AdaptationEngine {
@@ -237,7 +242,25 @@ impl AdaptationEngine {
             cooldown: 0,
             report: AdaptReport::default(),
             events: Vec::new(),
+            obs: None,
         }
+    }
+
+    /// Attaches observability: every tick updates `pinnsoc_adapt_*` series
+    /// (drift gauges per cohort, harvest books by cause, gate verdicts,
+    /// promotion/rollback counters) in `hub`, round-level outcomes land in
+    /// the ring log, fine-tune candidates report their `pinnsoc_train_*`
+    /// epochs, and the gate's scenario runs record `pinnsoc_scenario_*`
+    /// series. Outcomes, promoted weights, and every report stay
+    /// **bit-identical** to an unobserved engine — recording only reads
+    /// what the loop already computed.
+    pub fn attach_obs(&mut self, hub: &Arc<ObsHub>) {
+        self.obs = Some(AdaptObs::new(hub));
+    }
+
+    /// The attached hub, if any.
+    pub fn obs_hub(&self) -> Option<&Arc<ObsHub>> {
+        self.obs.as_ref().map(AdaptObs::hub)
     }
 
     /// The configuration.
@@ -294,6 +317,12 @@ impl AdaptationEngine {
                 outcome: outcome.clone(),
             });
         }
+        if let Some(obs) = self.obs.as_mut() {
+            let statuses = self.drift.statuses();
+            let stats = self.harvester.stats();
+            let reservoir = self.harvester.reservoir().len();
+            obs.record_tick(&statuses, &stats, reservoir, &outcome);
+        }
         outcome
     }
 
@@ -315,6 +344,7 @@ impl AdaptationEngine {
 
     /// One full adaptation round against the drifting `status.cohort`.
     fn adapt_round(&mut self, fleet: &FleetEngine, status: DriftStatus) -> AdaptOutcome {
+        let round_start = self.obs.as_ref().map(|_| Instant::now());
         self.report.triggers += 1;
         self.cooldown = self.config.cooldown_ticks;
         let incumbent = fleet.registry().current();
@@ -331,7 +361,12 @@ impl AdaptationEngine {
                     seed,
                     ..self.config.fine_tune.clone()
                 };
-                TrainTask::new(Arc::clone(&dataset), config).warm_started(Arc::clone(&incumbent))
+                let task = TrainTask::new(Arc::clone(&dataset), config)
+                    .warm_started(Arc::clone(&incumbent));
+                match &self.obs {
+                    Some(obs) => task.observed(Arc::clone(obs.hub())),
+                    None => task,
+                }
             })
             .collect();
         let candidates = train_many_with(&mut self.pool, tasks);
@@ -347,7 +382,8 @@ impl AdaptationEngine {
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite gate scores"))
             .expect("at least one candidate");
 
-        if best_mae < incumbent_mae * (1.0 - self.config.gate.min_improvement) {
+        let fine_tuned = candidates.len() as u64;
+        let outcome = if best_mae < incumbent_mae * (1.0 - self.config.gate.min_improvement) {
             let (mut promoted, _) = candidates.into_iter().nth(best_idx).expect("indexed");
             promoted.label = format!("{}+adapt{}", incumbent.label, self.report.swaps + 1);
             let promoted = Arc::new(promoted);
@@ -373,7 +409,11 @@ impl AdaptationEngine {
                 incumbent_mae,
                 best_candidate_mae: best_mae,
             }
+        };
+        if let (Some(obs), Some(start)) = (self.obs.as_ref(), round_start) {
+            obs.record_round(start.elapsed().as_secs_f64(), fine_tuned);
         }
+        outcome
     }
 
     /// The replay mix: the first `lab_cycles` lab training cycles plus the
@@ -399,6 +439,7 @@ impl AdaptationEngine {
         let run = ScenarioRunner {
             workers: self.config.gate.runner_workers,
             engine: self.config.gate.engine,
+            obs: self.obs.as_ref().map(|obs| Arc::clone(obs.hub())),
         }
         .run(&self.config.gate.suite, model);
         let scenarios = &run.report.scenarios;
@@ -413,7 +454,11 @@ impl AdaptationEngine {
         let previous = self.previous.take()?;
         self.report.rollbacks += 1;
         self.drift.reset();
-        Some(fleet.registry().swap((*previous).clone()))
+        let version = fleet.registry().swap((*previous).clone());
+        if let Some(obs) = &self.obs {
+            obs.record_rollback(version);
+        }
+        Some(version)
     }
 }
 

@@ -137,6 +137,24 @@ pub struct HarvestStats {
     pub skipped_faulty_ticks: u64,
 }
 
+impl HarvestStats {
+    /// Per-field difference `self - prev`, saturating at zero — turns two
+    /// cumulative snapshots into one interval's books (the observability
+    /// layer's per-tick accounting).
+    pub fn delta(&self, prev: &HarvestStats) -> HarvestStats {
+        HarvestStats {
+            harvested: self.harvested.saturating_sub(prev.harvested),
+            rejected_uncertain_teacher: self
+                .rejected_uncertain_teacher
+                .saturating_sub(prev.rejected_uncertain_teacher),
+            skipped_stale: self.skipped_stale.saturating_sub(prev.skipped_stale),
+            skipped_faulty_ticks: self
+                .skipped_faulty_ticks
+                .saturating_sub(prev.skipped_faulty_ticks),
+        }
+    }
+}
+
 /// Taps a [`FleetEngine`] for pseudo-labeled windows and disagreement
 /// observations. See the module docs for the gating rules.
 #[derive(Debug, Clone)]
@@ -200,8 +218,9 @@ impl Harvester {
         }
         // Tick-level telemetry-quality gate: when the transport is visibly
         // faulting, labels integrated from that telemetry are suspect.
-        let accepted = books.accepted - self.last_telemetry.accepted;
-        let rejected = books.rejected() - self.last_telemetry.rejected();
+        let tick_books = books.delta(&self.last_telemetry);
+        let accepted = tick_books.accepted;
+        let rejected = tick_books.rejected();
         self.last_telemetry = books;
         if accepted == 0 {
             return;

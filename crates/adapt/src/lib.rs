@@ -63,6 +63,7 @@
 pub mod drift;
 pub mod engine;
 pub mod harvest;
+mod obs;
 pub mod reservoir;
 
 pub use drift::{CohortId, DriftConfig, DriftDetector, DriftStatus};

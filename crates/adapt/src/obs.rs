@@ -1,0 +1,230 @@
+//! Adaptation-loop observability: drift scores per cohort, harvest books
+//! by cause, gate verdicts, promotions, and rollbacks as
+//! `pinnsoc_adapt_*` series plus ring events for round-level outcomes.
+//!
+//! The adaptation tick is a control-plane event (one call per engine
+//! processing pass, bounded work), so recording goes straight through the
+//! registry's locked entry points — no per-worker local accumulation is
+//! needed here, and registration is idempotent so dynamic cohort gauges can
+//! be minted as cohorts first appear.
+
+use crate::drift::{CohortId, DriftStatus};
+use crate::engine::AdaptOutcome;
+use crate::harvest::HarvestStats;
+use pinnsoc_obs::{MetricId, ObsHub};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Histogram bounds for adaptation rounds: fine-tune + gate suites run for
+/// seconds to minutes, far past the microsecond-scale default buckets.
+const ROUND_BUCKETS: &[f64] = &[
+    1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+];
+
+/// Per-engine handle on the `pinnsoc_adapt_*` series.
+#[derive(Debug)]
+pub(crate) struct AdaptObs {
+    hub: Arc<ObsHub>,
+    ticks: MetricId,
+    triggers: MetricId,
+    insufficient: MetricId,
+    gate_passes: MetricId,
+    gate_failures: MetricId,
+    swaps: MetricId,
+    rollbacks: MetricId,
+    candidates: MetricId,
+    round_seconds: MetricId,
+    reservoir: MetricId,
+    incumbent_mae: MetricId,
+    best_candidate_mae: MetricId,
+    harvested: MetricId,
+    rejected_uncertain: MetricId,
+    skipped_stale: MetricId,
+    skipped_faulty: MetricId,
+    /// `(mean_disagreement, samples)` gauges per cohort, minted on first
+    /// sighting.
+    cohort_gauges: HashMap<CohortId, (MetricId, MetricId)>,
+    /// Harvest books at the previous tick, for per-tick deltas.
+    last_harvest: HarvestStats,
+}
+
+impl AdaptObs {
+    pub(crate) fn new(hub: &Arc<ObsHub>) -> Self {
+        let reg = hub.registry();
+        let window = |outcome: &str| -> MetricId {
+            reg.counter_with(
+                "pinnsoc_adapt_harvest_windows_total",
+                "Harvest decisions by outcome (skipped_faulty_tick counts \
+                 whole skipped ticks, not windows).",
+                &[("outcome", outcome)],
+            )
+        };
+        Self {
+            ticks: reg.counter(
+                "pinnsoc_adapt_ticks_total",
+                "Adaptation observation ticks processed.",
+            ),
+            triggers: reg.counter(
+                "pinnsoc_adapt_triggers_total",
+                "Drift triggers that ran a full adaptation round.",
+            ),
+            insufficient: reg.counter(
+                "pinnsoc_adapt_insufficient_data_total",
+                "Triggers starved by a too-small reservoir.",
+            ),
+            gate_passes: reg.counter(
+                "pinnsoc_adapt_gate_passes_total",
+                "Rounds whose best candidate passed the promotion gate.",
+            ),
+            gate_failures: reg.counter(
+                "pinnsoc_adapt_gate_failures_total",
+                "Rounds whose candidates all failed the promotion gate.",
+            ),
+            swaps: reg.counter(
+                "pinnsoc_adapt_swaps_total",
+                "Hot-swaps performed by promotions.",
+            ),
+            rollbacks: reg.counter(
+                "pinnsoc_adapt_rollbacks_total",
+                "Operator rollbacks to the displaced model.",
+            ),
+            candidates: reg.counter(
+                "pinnsoc_adapt_candidates_total",
+                "Candidate models fine-tuned.",
+            ),
+            round_seconds: reg.histogram(
+                "pinnsoc_adapt_round_seconds",
+                "Wall time of one adaptation round (fine-tune + gate).",
+                ROUND_BUCKETS,
+            ),
+            reservoir: reg.gauge(
+                "pinnsoc_adapt_reservoir_windows",
+                "Windows currently in the replay reservoir.",
+            ),
+            incumbent_mae: reg.gauge(
+                "pinnsoc_adapt_gate_incumbent_mae",
+                "Incumbent's gate score in the most recent round.",
+            ),
+            best_candidate_mae: reg.gauge(
+                "pinnsoc_adapt_gate_best_candidate_mae",
+                "Best candidate's gate score in the most recent round.",
+            ),
+            harvested: window("harvested"),
+            rejected_uncertain: window("rejected_uncertain_teacher"),
+            skipped_stale: window("skipped_stale"),
+            skipped_faulty: window("skipped_faulty_tick"),
+            cohort_gauges: HashMap::new(),
+            last_harvest: HarvestStats::default(),
+            hub: Arc::clone(hub),
+        }
+    }
+
+    pub(crate) fn hub(&self) -> &Arc<ObsHub> {
+        &self.hub
+    }
+
+    /// Folds one observation tick into the hub: tick/harvest counters,
+    /// reservoir and per-cohort drift gauges, and the outcome's books plus
+    /// a ring event for anything round-level.
+    pub(crate) fn record_tick(
+        &mut self,
+        statuses: &[DriftStatus],
+        harvest: &HarvestStats,
+        reservoir: usize,
+        outcome: &AdaptOutcome,
+    ) {
+        let reg = self.hub.registry();
+        reg.add(self.ticks, 1);
+        reg.set(self.reservoir, reservoir as f64);
+        let tick_books = harvest.delta(&self.last_harvest);
+        self.last_harvest = *harvest;
+        reg.add(self.harvested, tick_books.harvested);
+        reg.add(
+            self.rejected_uncertain,
+            tick_books.rejected_uncertain_teacher,
+        );
+        reg.add(self.skipped_stale, tick_books.skipped_stale);
+        reg.add(self.skipped_faulty, tick_books.skipped_faulty_ticks);
+        for status in statuses {
+            let (mean, samples) = *self.cohort_gauges.entry(status.cohort).or_insert_with(|| {
+                let cohort = status.cohort.to_string();
+                let labels: &[(&str, &str)] = &[("cohort", &cohort)];
+                (
+                    reg.gauge_with(
+                        "pinnsoc_adapt_drift_mean_disagreement",
+                        "Rolling mean network-vs-teacher SoC disagreement.",
+                        labels,
+                    ),
+                    reg.gauge_with(
+                        "pinnsoc_adapt_drift_samples",
+                        "Samples in the cohort's rolling drift window.",
+                        labels,
+                    ),
+                )
+            });
+            reg.set(mean, status.mean_disagreement);
+            reg.set(samples, status.samples as f64);
+        }
+        match outcome {
+            AdaptOutcome::Observed | AdaptOutcome::Cooldown => {}
+            AdaptOutcome::InsufficientData { reservoir } => {
+                reg.add(self.insufficient, 1);
+                self.hub.emit(
+                    "adapt",
+                    format!("drift trigger starved: reservoir holds {reservoir} window(s)"),
+                );
+            }
+            AdaptOutcome::Promoted {
+                cohort,
+                version,
+                incumbent_mae,
+                candidate_mae,
+            } => {
+                reg.add(self.triggers, 1);
+                reg.add(self.gate_passes, 1);
+                reg.add(self.swaps, 1);
+                reg.set(self.incumbent_mae, *incumbent_mae);
+                reg.set(self.best_candidate_mae, *candidate_mae);
+                self.hub.emit(
+                    "adapt",
+                    format!(
+                        "promoted v{version} for cohort {cohort}: candidate MAE \
+                         {candidate_mae:.4} vs incumbent {incumbent_mae:.4}"
+                    ),
+                );
+            }
+            AdaptOutcome::Rejected {
+                cohort,
+                incumbent_mae,
+                best_candidate_mae,
+            } => {
+                reg.add(self.triggers, 1);
+                reg.add(self.gate_failures, 1);
+                reg.set(self.incumbent_mae, *incumbent_mae);
+                reg.set(self.best_candidate_mae, *best_candidate_mae);
+                self.hub.emit(
+                    "adapt",
+                    format!(
+                        "gate rejected every candidate for cohort {cohort}: best \
+                         {best_candidate_mae:.4} vs incumbent {incumbent_mae:.4}"
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Books one completed adaptation round (wall time and how many
+    /// candidates it fine-tuned).
+    pub(crate) fn record_round(&self, wall_s: f64, candidates: u64) {
+        let reg = self.hub.registry();
+        reg.observe(self.round_seconds, wall_s);
+        reg.add(self.candidates, candidates);
+    }
+
+    /// Books one operator rollback.
+    pub(crate) fn record_rollback(&self, version: u64) {
+        self.hub.registry().add(self.rollbacks, 1);
+        self.hub
+            .emit("adapt", format!("rollback: registry back to v{version}"));
+    }
+}

@@ -22,7 +22,7 @@ use pinnsoc_adapt::{
     AdaptEvent, AdaptReport, AdaptationConfig, AdaptationEngine, DriftConfig, GateConfig,
     HarvestConfig,
 };
-use pinnsoc_bench::{demo_serving_model, demo_training_dataset};
+use pinnsoc_bench::{demo_serving_model, demo_training_dataset, host_info, HostInfo};
 use pinnsoc_scenario::{
     gate_suite, run_scenario_observed, standard_suite, EngineSpec, Scenario, ScenarioRunner,
 };
@@ -65,15 +65,6 @@ struct AdaptationSession {
 }
 
 #[derive(Debug, Serialize)]
-struct HostInfo {
-    threads: usize,
-    workers: usize,
-    os: &'static str,
-    arch: &'static str,
-    git_rev: String,
-}
-
-#[derive(Debug, Serialize)]
 struct Baseline {
     description: String,
     model: String,
@@ -85,18 +76,6 @@ struct Baseline {
     host: HostInfo,
     session: AdaptationSession,
     scenarios: Vec<ScenarioComparison>,
-}
-
-fn git_rev() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .current_dir(env!("CARGO_MANIFEST_DIR"))
-        .output()
-        .ok()
-        .filter(|out| out.status.success())
-        .and_then(|out| String::from_utf8(out.stdout).ok())
-        .map(|rev| rev.trim().to_string())
-        .unwrap_or_else(|| "unknown".into())
 }
 
 /// The closed-loop session scenario: `drifting-fleet` from the standard
@@ -313,13 +292,7 @@ fn main() {
         suite_seed: SUITE_SEED,
         held_out_seed_offset: HELD_OUT_OFFSET,
         determinism_checked_workers: workers,
-        host: HostInfo {
-            threads: std::thread::available_parallelism().map_or(1, usize::from),
-            workers: workers[1],
-            os: std::env::consts::OS,
-            arch: std::env::consts::ARCH,
-            git_rev: git_rev(),
-        },
+        host: host_info(workers[1]),
         session: AdaptationSession {
             scenario: session_scenario(false).name,
             promoted_label: adapted.label.clone(),

@@ -13,6 +13,7 @@
 //! size) so the perf trajectory across PRs is comparable.
 
 use pinnsoc::{BatchScratch, PredictQuery, SocModel};
+use pinnsoc_bench::{host_info, HostInfo};
 use pinnsoc_fleet::testing::untrained_model;
 use pinnsoc_fleet::{CellConfig, FleetConfig, FleetEngine, Telemetry, WorkloadQuery};
 use serde::Serialize;
@@ -56,24 +57,12 @@ struct SizeResult {
 }
 
 #[derive(Debug, Serialize)]
-struct HostInfo {
-    /// `std::thread::available_parallelism` on the measuring host.
-    threads: usize,
-    /// Persistent pool workers the engine resolved (auto = threads − 1,
-    /// capped at the shard count).
-    workers: usize,
-    shards: usize,
-    micro_batch: usize,
-    os: &'static str,
-    arch: &'static str,
-    git_rev: String,
-}
-
-#[derive(Debug, Serialize)]
 struct Baseline {
     description: String,
     model: String,
     reps: usize,
+    shards: usize,
+    micro_batch: usize,
     host: HostInfo,
     results: Vec<SizeResult>,
 }
@@ -107,18 +96,6 @@ fn median_time(reps: usize, mut f: impl FnMut()) -> f64 {
         .collect();
     samples.sort_by(f64::total_cmp);
     samples[samples.len() / 2]
-}
-
-fn git_rev() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .current_dir(env!("CARGO_MANIFEST_DIR"))
-        .output()
-        .ok()
-        .filter(|out| out.status.success())
-        .and_then(|out| String::from_utf8(out.stdout).ok())
-        .map(|rev| rev.trim().to_string())
-        .unwrap_or_else(|| "unknown".into())
 }
 
 fn measure(model: &SocModel, fleet_size: usize, reps: usize, check: bool) -> SizeResult {
@@ -301,15 +278,9 @@ fn main() {
             .into(),
         model: "two-branch PINN (2,322 params), untrained weights".into(),
         reps,
-        host: HostInfo {
-            threads: std::thread::available_parallelism().map_or(1, usize::from),
-            workers: probe.worker_threads(),
-            shards: SHARDS,
-            micro_batch: MICRO_BATCH,
-            os: std::env::consts::OS,
-            arch: std::env::consts::ARCH,
-            git_rev: git_rev(),
-        },
+        shards: SHARDS,
+        micro_batch: MICRO_BATCH,
+        host: host_info(probe.worker_threads()),
         results,
     };
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fleet.json");

@@ -10,7 +10,7 @@
 //! `BENCH_scenarios.json`. The full run performs the same determinism check
 //! before writing the file.
 
-use pinnsoc_bench::demo_serving_model;
+use pinnsoc_bench::{demo_serving_model, host_info, HostInfo};
 use pinnsoc_scenario::{smoke_suite, standard_suite, Scenario, ScenarioRunner, SuiteRun};
 use serde::Serialize;
 use std::path::Path;
@@ -27,15 +27,6 @@ struct ScenarioBench {
 }
 
 #[derive(Debug, Serialize)]
-struct HostInfo {
-    threads: usize,
-    runner_workers: usize,
-    os: &'static str,
-    arch: &'static str,
-    git_rev: String,
-}
-
-#[derive(Debug, Serialize)]
 struct Baseline {
     description: String,
     model: String,
@@ -44,18 +35,6 @@ struct Baseline {
     determinism_checked_workers: [usize; 2],
     host: HostInfo,
     scenarios: Vec<ScenarioBench>,
-}
-
-fn git_rev() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .current_dir(env!("CARGO_MANIFEST_DIR"))
-        .output()
-        .ok()
-        .filter(|out| out.status.success())
-        .and_then(|out| String::from_utf8(out.stdout).ok())
-        .map(|rev| rev.trim().to_string())
-        .unwrap_or_else(|| "unknown".into())
 }
 
 /// Runs the suite at two worker counts and asserts the deterministic
@@ -168,13 +147,7 @@ fn main() {
         model: "two-branch PINN-All (2,322 params), Sandia-reduced training, seed 7".into(),
         suite_seed: SUITE_SEED,
         determinism_checked_workers: workers,
-        host: HostInfo {
-            threads: std::thread::available_parallelism().map_or(1, usize::from),
-            runner_workers: workers[1],
-            os: std::env::consts::OS,
-            arch: std::env::consts::ARCH,
-            git_rev: git_rev(),
-        },
+        host: host_info(workers[1]),
         scenarios,
     };
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_scenarios.json");

@@ -16,6 +16,7 @@
 use pinnsoc::train::{run_epochs, Batcher, EpochSpec, Eq2Objective, PhysicsTerm};
 use pinnsoc::{train, train_many, Branch2, PinnVariant, TrainConfig, TrainTask};
 use pinnsoc_battery::Chemistry;
+use pinnsoc_bench::{host_info, HostInfo};
 use pinnsoc_data::{
     estimation_samples, generate_sandia, prediction_pairs_all, NoiseConfig, Normalizer,
     PhysicsSampler, SandiaConfig, SocDataset,
@@ -96,14 +97,6 @@ struct MultiSeed {
     pool_seconds: f64,
     /// serial / pool.
     speedup: f64,
-}
-
-#[derive(Debug, Serialize)]
-struct HostInfo {
-    threads: usize,
-    os: &'static str,
-    arch: &'static str,
-    git_rev: String,
 }
 
 #[derive(Debug, Serialize)]
@@ -379,18 +372,6 @@ fn multi_seed(ds: &SocDataset, seeds: usize, epochs: usize) -> MultiSeed {
     }
 }
 
-fn git_rev() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .current_dir(env!("CARGO_MANIFEST_DIR"))
-        .output()
-        .ok()
-        .filter(|out| out.status.success())
-        .and_then(|out| String::from_utf8(out.stdout).ok())
-        .map(|rev| rev.trim().to_string())
-        .unwrap_or_else(|| "unknown".into())
-}
-
 fn main() {
     let smoke = std::env::args().any(|arg| arg == "--smoke");
     let ds = dataset();
@@ -475,12 +456,7 @@ fn main() {
                       pool-parallel multi-seed training wall time"
             .into(),
         model: "two-branch PINN (2,322 params), Sandia-style dataset".into(),
-        host: HostInfo {
-            threads: std::thread::available_parallelism().map_or(1, usize::from),
-            os: std::env::consts::OS,
-            arch: std::env::consts::ARCH,
-            git_rev: git_rev(),
-        },
+        host: host_info(multi.workers),
         branch_throughput,
         step_allocations,
         multi_seed: multi,

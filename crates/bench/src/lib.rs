@@ -204,6 +204,50 @@ pub fn print_horizon_table(results: &[VariantResult], horizons_s: &[f64]) {
     }
 }
 
+/// Host metadata stamped into every `BENCH_*.json` at the workspace root so
+/// the perf trajectory across PRs stays comparable. One definition shared
+/// by all baseline bins (they used to carry diverging copies).
+#[derive(Debug, Clone, Serialize)]
+pub struct HostInfo {
+    /// `std::thread::available_parallelism` on the measuring host.
+    pub threads: usize,
+    /// Worker threads the measured pool resolved; the meaning is
+    /// per-bench (engine workers, runner workers, training workers, ...).
+    pub workers: usize,
+    /// `std::env::consts::OS`.
+    pub os: &'static str,
+    /// `std::env::consts::ARCH`.
+    pub arch: &'static str,
+    /// Short git revision of the measured tree, or `"unknown"`.
+    pub git_rev: String,
+}
+
+/// Captures [`HostInfo`] for a bench whose measured pool resolved `workers`
+/// worker threads.
+pub fn host_info(workers: usize) -> HostInfo {
+    HostInfo {
+        threads: std::thread::available_parallelism().map_or(1, usize::from),
+        workers,
+        os: std::env::consts::OS,
+        arch: std::env::consts::ARCH,
+        git_rev: git_rev(),
+    }
+}
+
+/// Short git revision of the workspace checkout, or `"unknown"` when git or
+/// the repository is unavailable (e.g. a source tarball).
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|rev| rev.trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
 /// Writes any serializable result to `results/<name>.json` under the
 /// workspace root (creating the directory if needed).
 ///

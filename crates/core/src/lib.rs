@@ -63,4 +63,6 @@ pub use model::{
     HIDDEN_WIDTHS,
 };
 pub use rollout::{autoregressive_rollout, Rollout};
-pub use train::{train, train_from, train_many, train_many_with, TrainReport, TrainTask};
+pub use train::{
+    train, train_from, train_from_with, train_many, train_many_with, TrainReport, TrainTask,
+};

@@ -9,6 +9,7 @@ use super::batcher::Batcher;
 use super::objective::Objective;
 use pinnsoc_nn::{Adam, LrSchedule, Matrix, Mlp, Optimizer, TrainScratch};
 use rand::rngs::StdRng;
+use std::time::Instant;
 
 /// Shape of one branch's epoch loop.
 #[derive(Debug, Clone, Copy)]
@@ -20,6 +21,45 @@ pub struct EpochSpec {
     /// Adam base learning rate (cosine-annealed to 5% over the run).
     pub learning_rate: f32,
 }
+
+/// Per-epoch observation handed to an [`EpochSink`].
+#[derive(Debug, Clone, Copy)]
+pub struct EpochStats {
+    /// Zero-based epoch index.
+    pub epoch: usize,
+    /// Sample-weighted loss of this epoch.
+    pub loss: f32,
+    /// Learning rate this epoch (after the cosine schedule).
+    pub lr: f32,
+    /// Samples in the epoch (the full dataset; every epoch sees all).
+    pub samples: usize,
+    /// Wall time of the epoch, seconds.
+    pub wall_s: f64,
+    /// Heap allocations during the epoch, when an allocation counter is
+    /// installed via `pinnsoc_obs::alloc_hook` (`None` otherwise).
+    pub allocs: Option<u64>,
+}
+
+/// Observer of the epoch loop with a no-op default, so the uninstrumented
+/// path ([`run_epochs`]) compiles to exactly the pre-observability loop —
+/// not even the clock is read unless [`EpochSink::is_live`] says so.
+pub trait EpochSink {
+    /// True when epochs should be measured and reported.
+    fn is_live(&self) -> bool {
+        false
+    }
+
+    /// Called once per completed epoch.
+    fn epoch(&mut self, stats: &EpochStats) {
+        let _ = stats;
+    }
+}
+
+/// The do-nothing sink behind [`run_epochs`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopEpochSink;
+
+impl EpochSink for NoopEpochSink {}
 
 /// Runs `spec.epochs` epochs of minibatch training on `net` and returns the
 /// per-epoch loss trace.
@@ -37,6 +77,31 @@ pub fn run_epochs(
     objective: &mut dyn Objective,
     rng: &mut StdRng,
 ) -> Vec<f32> {
+    run_epochs_observed(
+        net,
+        features,
+        targets,
+        spec,
+        objective,
+        rng,
+        &mut NoopEpochSink,
+    )
+}
+
+/// [`run_epochs`] with a per-epoch observer. The model trajectory and the
+/// returned loss trace are bit-identical to the unobserved loop for any
+/// sink: observation reads quantities the loop already computed and the
+/// clock — it never touches the data, RNG, or optimizer state.
+#[allow(clippy::too_many_arguments)]
+pub fn run_epochs_observed(
+    net: &mut Mlp,
+    features: &Matrix,
+    targets: &[f32],
+    spec: EpochSpec,
+    objective: &mut dyn Objective,
+    rng: &mut StdRng,
+    sink: &mut dyn EpochSink,
+) -> Vec<f32> {
     assert_eq!(
         features.rows(),
         targets.len(),
@@ -51,8 +116,16 @@ pub fn run_epochs(
     let mut scratch = TrainScratch::default();
     let mut history = Vec::with_capacity(spec.epochs);
     let total_samples = targets.len() as f32;
+    let live = sink.is_live();
     for epoch in 0..spec.epochs {
-        opt.set_learning_rate(schedule.rate_at(spec.learning_rate, epoch));
+        let epoch_start = live.then(Instant::now);
+        let allocs_before = if live {
+            pinnsoc_obs::alloc_hook::current()
+        } else {
+            None
+        };
+        let lr = schedule.rate_at(spec.learning_rate, epoch);
+        opt.set_learning_rate(lr);
         batcher.shuffle(rng);
         let mut weighted_loss = 0.0_f32;
         for b in 0..batcher.batches(spec.batch_size) {
@@ -62,7 +135,21 @@ pub fn run_epochs(
             opt.step(net);
             weighted_loss += loss * samples;
         }
-        history.push(weighted_loss / total_samples);
+        let loss = weighted_loss / total_samples;
+        history.push(loss);
+        if let Some(start) = epoch_start {
+            let allocs = pinnsoc_obs::alloc_hook::current()
+                .zip(allocs_before)
+                .map(|(now, before)| now.saturating_sub(before));
+            sink.epoch(&EpochStats {
+                epoch,
+                loss,
+                lr,
+                samples: targets.len(),
+                wall_s: start.elapsed().as_secs_f64(),
+                allocs,
+            });
+        }
     }
     history
 }

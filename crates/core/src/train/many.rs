@@ -9,10 +9,11 @@
 //! same `train()` calls serially** regardless of worker count or completion
 //! order.
 
-use super::{train_from, TrainReport};
+use super::{train_from_with, TrainReport};
 use crate::config::TrainConfig;
 use crate::model::SocModel;
 use pinnsoc_data::SocDataset;
+use pinnsoc_obs::ObsHub;
 use pinnsoc_runtime::{NoContext, PoolTask, WorkerPool};
 use std::sync::Arc;
 
@@ -26,9 +27,13 @@ pub struct TrainTask {
     pub dataset: Arc<SocDataset>,
     /// The variant, hyper-parameters, and seed.
     pub config: TrainConfig,
-    /// Initial weights and normalizers (see [`train_from`]); `None` trains
-    /// from random init.
+    /// Initial weights and normalizers (see
+    /// [`train_from`](super::train_from)); `None` trains from random init.
     pub warm_start: Option<Arc<SocModel>>,
+    /// Observability hub receiving per-epoch `pinnsoc_train_*` series;
+    /// `None` trains fully uninstrumented (zero overhead). Results are
+    /// bit-identical either way.
+    pub obs: Option<Arc<ObsHub>>,
 }
 
 impl TrainTask {
@@ -38,6 +43,7 @@ impl TrainTask {
             dataset,
             config,
             warm_start: None,
+            obs: None,
         }
     }
 
@@ -45,6 +51,12 @@ impl TrainTask {
     /// by the online-adaptation loop).
     pub fn warm_started(mut self, model: Arc<SocModel>) -> Self {
         self.warm_start = Some(model);
+        self
+    }
+
+    /// The same task, reporting per-epoch training metrics into `hub`.
+    pub fn observed(mut self, hub: Arc<ObsHub>) -> Self {
+        self.obs = Some(hub);
         self
     }
 }
@@ -55,7 +67,12 @@ impl PoolTask for TrainTask {
     type Output = (SocModel, TrainReport);
 
     fn run(&mut self, _: &(), (): ()) -> Self::Output {
-        train_from(&self.dataset, &self.config, self.warm_start.as_deref())
+        train_from_with(
+            &self.dataset,
+            &self.config,
+            self.warm_start.as_deref(),
+            self.obs.as_ref(),
+        )
     }
 }
 

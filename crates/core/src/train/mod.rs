@@ -32,19 +32,23 @@ use crate::model::{Branch1, Branch2, SecondStage, SocModel};
 use pinnsoc_data::{
     estimation_samples, prediction_pairs_all, Normalizer, PhysicsSampler, SocDataset,
 };
+use pinnsoc_obs::ObsHub;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 pub mod batcher;
 pub mod loop_;
 pub mod many;
 pub mod objective;
+pub mod obs;
 
 pub use batcher::Batcher;
-pub use loop_::{run_epochs, EpochSpec};
+pub use loop_::{run_epochs, run_epochs_observed, EpochSink, EpochSpec, EpochStats, NoopEpochSink};
 pub use many::{train_many, train_many_with, TrainTask};
 pub use objective::{Eq2Objective, Objective, PhysicsTerm};
+pub use obs::TrainObs;
 
 /// Per-epoch loss trace of one training run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -104,6 +108,25 @@ pub fn train_from(
     config: &TrainConfig,
     warm: Option<&SocModel>,
 ) -> (SocModel, TrainReport) {
+    train_from_with(dataset, config, warm, None)
+}
+
+/// [`train_from`] with optional observability: when `hub` is `Some`, each
+/// branch's epoch loop reports `pinnsoc_train_*` series (loss, LR,
+/// epoch wall time, throughput, allocation counts) labeled `branch="b1"` /
+/// `branch="b2"`. The trained model and report are **bit-identical** to
+/// [`train_from`] either way — observation reads values the loop already
+/// computed, never the other direction.
+///
+/// # Panics
+///
+/// As [`train_from`].
+pub fn train_from_with(
+    dataset: &SocDataset,
+    config: &TrainConfig,
+    warm: Option<&SocModel>,
+    hub: Option<&Arc<ObsHub>>,
+) -> (SocModel, TrainReport) {
     config.validate();
     assert!(!dataset.train.is_empty(), "dataset has no training cycles");
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -125,7 +148,13 @@ pub fn train_from(
     };
     let features = branch1.feature_matrix(&feature_rows);
     let targets: Vec<f32> = est_samples.iter().map(|s| s.soc as f32).collect();
-    let b1_loss = run_epochs(
+    let mut b1_obs = hub.map(|h| TrainObs::new(h, "b1"));
+    let mut noop = NoopEpochSink;
+    let b1_sink: &mut dyn EpochSink = match b1_obs.as_mut() {
+        Some(sink) => sink,
+        None => &mut noop,
+    };
+    let b1_loss = run_epochs_observed(
         branch1.net_mut(),
         &features,
         &targets,
@@ -136,7 +165,11 @@ pub fn train_from(
         },
         &mut Eq2Objective::data_only(),
         &mut rng,
+        b1_sink,
     );
+    if let Some(obs) = b1_obs {
+        obs.finish();
+    }
 
     // ----- Branch 2: prediction -----
     let warm_b2 = warm.and_then(|model| match &model.stage2 {
@@ -201,7 +234,13 @@ pub fn train_from(
             let rows: Vec<[f64; 4]> = pairs.iter().map(|p| p.features()).collect();
             let features = branch2.feature_matrix(&rows);
             let targets: Vec<f32> = pairs.iter().map(|p| p.soc_next as f32).collect();
-            let losses = run_epochs(
+            let mut b2_obs = hub.map(|h| TrainObs::new(h, "b2"));
+            let mut noop = NoopEpochSink;
+            let b2_sink: &mut dyn EpochSink = match b2_obs.as_mut() {
+                Some(sink) => sink,
+                None => &mut noop,
+            };
+            let losses = run_epochs_observed(
                 branch2.net_mut(),
                 &features,
                 &targets,
@@ -212,7 +251,11 @@ pub fn train_from(
                 },
                 &mut objective,
                 &mut rng,
+                b2_sink,
             );
+            if let Some(obs) = b2_obs {
+                obs.finish();
+            }
             (SecondStage::Network(branch2), losses)
         }
     };

@@ -1,0 +1,95 @@
+//! Training observability: per-epoch loss, learning rate, throughput,
+//! and allocation counts as `pinnsoc_train_*` series.
+//!
+//! [`TrainObs`] is an [`EpochSink`] labeled by branch (`branch="b1"` /
+//! `branch="b2"`); the epoch driver feeds it one [`EpochStats`] per epoch
+//! and [`TrainObs::finish`] merges the accumulated buffer into the hub in
+//! one lock acquisition — a training worker never holds the registry lock
+//! mid-epoch.
+
+use super::loop_::{EpochSink, EpochStats};
+use pinnsoc_obs::{LocalMetrics, MetricId, ObsHub, DURATION_BUCKETS};
+use std::sync::Arc;
+
+/// Records one branch's epoch loop into a hub.
+#[derive(Debug)]
+pub struct TrainObs {
+    hub: Arc<ObsHub>,
+    local: LocalMetrics,
+    epochs: MetricId,
+    epoch_seconds: MetricId,
+    loss: MetricId,
+    lr: MetricId,
+    samples_per_s: MetricId,
+    allocs: MetricId,
+}
+
+impl TrainObs {
+    /// Registers the `pinnsoc_train_*` series for `branch` (idempotent).
+    pub fn new(hub: &Arc<ObsHub>, branch: &str) -> Self {
+        let reg = hub.registry();
+        let labels: &[(&str, &str)] = &[("branch", branch)];
+        Self {
+            hub: Arc::clone(hub),
+            epochs: reg.counter_with(
+                "pinnsoc_train_epochs_total",
+                "Completed training epochs.",
+                labels,
+            ),
+            epoch_seconds: reg.histogram_with(
+                "pinnsoc_train_epoch_seconds",
+                "Wall time of one training epoch.",
+                labels,
+                DURATION_BUCKETS,
+            ),
+            loss: reg.gauge_with(
+                "pinnsoc_train_epoch_loss",
+                "Sample-weighted loss of the most recent epoch.",
+                labels,
+            ),
+            lr: reg.gauge_with(
+                "pinnsoc_train_lr",
+                "Learning rate of the most recent epoch (cosine schedule).",
+                labels,
+            ),
+            samples_per_s: reg.gauge_with(
+                "pinnsoc_train_samples_per_second",
+                "Training throughput of the most recent epoch.",
+                labels,
+            ),
+            allocs: reg.counter_with(
+                "pinnsoc_train_allocs_total",
+                "Heap allocations during training epochs (needs an \
+                 installed alloc hook; 0 otherwise).",
+                labels,
+            ),
+            local: reg.local(),
+        }
+    }
+
+    /// Merges everything recorded so far into the hub — one registry
+    /// lock for the whole branch run.
+    pub fn finish(mut self) {
+        self.hub.registry().merge(&mut self.local);
+    }
+}
+
+impl EpochSink for TrainObs {
+    fn is_live(&self) -> bool {
+        true
+    }
+
+    fn epoch(&mut self, stats: &EpochStats) {
+        self.local.add(self.epochs, 1);
+        self.local.observe(self.epoch_seconds, stats.wall_s);
+        self.local.set(self.loss, stats.loss as f64);
+        self.local.set(self.lr, stats.lr as f64);
+        if stats.wall_s > 0.0 {
+            self.local
+                .set(self.samples_per_s, stats.samples as f64 / stats.wall_s);
+        }
+        if let Some(allocs) = stats.allocs {
+            self.local.add(self.allocs, allocs);
+        }
+    }
+}

@@ -5,12 +5,15 @@ use crate::cell::{
     AbsorbOutcome, CellConfig, CellSnapshot, CellStore, EstimateBreakdown, SocEstimate,
 };
 use crate::id_index::IdIndex;
+use crate::obs::{EngineObs, FleetMetricIds, ShardObs};
 use crate::pool::{Done, JobKind, TaskOutput, WorkerPool};
 use crate::registry::ModelRegistry;
 use crate::telemetry::{CellId, Telemetry};
 use pinnsoc::{BatchScratch, SocModel};
 use pinnsoc_battery::CellParams;
 use pinnsoc_nn::Matrix;
+use pinnsoc_obs::ObsHub;
+use pinnsoc_runtime::PoolObs;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -106,6 +109,26 @@ impl TelemetryStats {
         self.rejected_non_finite + self.rejected_time_reversed + self.unknown_cell
     }
 
+    /// Per-field difference `self − prev`, turning two cumulative books
+    /// into one interval's counts. Saturating: if `prev` is ahead on any
+    /// field (e.g. the books belong to different engines after a reset),
+    /// that field's delta is 0 rather than wrapping.
+    pub fn delta(&self, prev: &TelemetryStats) -> TelemetryStats {
+        TelemetryStats {
+            accepted: self.accepted.saturating_sub(prev.accepted),
+            duplicate_timestamp: self
+                .duplicate_timestamp
+                .saturating_sub(prev.duplicate_timestamp),
+            rejected_non_finite: self
+                .rejected_non_finite
+                .saturating_sub(prev.rejected_non_finite),
+            rejected_time_reversed: self
+                .rejected_time_reversed
+                .saturating_sub(prev.rejected_time_reversed),
+            unknown_cell: self.unknown_cell.saturating_sub(prev.unknown_cell),
+        }
+    }
+
     fn accumulate(&mut self, other: &TelemetryStats) {
         self.accepted += other.accepted;
         self.duplicate_timestamp += other.duplicate_timestamp;
@@ -180,6 +203,9 @@ pub(crate) struct Shard {
     /// (`unknown_cell` stays zero here — unknown ids are counted by the
     /// engine at ingest, before a shard is involved).
     telemetry: TelemetryStats,
+    /// Recording buffer when observability is attached; travels with the
+    /// shard through the pool, merged by the engine at tick boundaries.
+    obs: Option<ShardObs>,
 }
 
 impl Shard {
@@ -197,6 +223,7 @@ impl Shard {
             reporting: 0,
             stage: StageTimes::default(),
             telemetry: TelemetryStats::default(),
+            obs: None,
         }
     }
 
@@ -261,7 +288,14 @@ impl Shard {
             self.stage.scatter += t - mark;
             mark = t;
         }
-        (absorbed, self.dirty.len())
+        let estimated = self.dirty.len();
+        // Worker-side recording: plain slot arithmetic over durations the
+        // pass already measured — no locks, no extra clock reads.
+        let (stage, telemetry) = (self.stage, self.telemetry);
+        if let Some(obs) = self.obs.as_mut() {
+            obs.record_pass(&stage, absorbed, estimated, &telemetry);
+        }
+        (absorbed, estimated)
     }
 
     /// Batched full-pipeline prediction for every reporting cell under one
@@ -323,6 +357,8 @@ pub struct FleetEngine {
     stage_times: StageTimes,
     /// Reports addressed to unregistered ids (rejected before sharding).
     unknown_cells: u64,
+    /// Engine-thread observability state when attached.
+    obs: Option<EngineObs>,
 }
 
 impl FleetEngine {
@@ -355,7 +391,41 @@ impl FleetEngine {
             tick_done: Vec::new(),
             stage_times: StageTimes::default(),
             unknown_cells: 0,
+            obs: None,
         }
+    }
+
+    /// Attaches observability: registers every `pinnsoc_fleet_*` series
+    /// on `hub` (idempotently), equips each shard with a worker-side
+    /// recording buffer, instruments the worker pool (as `pool="fleet"`),
+    /// and hooks model swaps into the event log. Estimates are
+    /// bit-identical with and without an attached hub — instrumentation
+    /// only reads timings and counts the engine already computes.
+    pub fn attach_obs(&mut self, hub: &Arc<ObsHub>) {
+        let ids = Arc::new(FleetMetricIds::register(hub));
+        self.pool.attach_obs(PoolObs::new(hub, "fleet"));
+        for slot in self.shards.iter_mut() {
+            let shard = slot.as_mut().expect(Self::SHARD_LOST);
+            shard.obs = Some(ShardObs {
+                local: hub.registry().local(),
+                ids: Arc::clone(&ids),
+                last_telemetry: shard.telemetry,
+            });
+        }
+        self.registry.attach_obs(hub);
+        hub.registry()
+            .set(ids.model_version, self.registry.version() as f64);
+        self.obs = Some(EngineObs {
+            hub: Arc::clone(hub),
+            ids,
+            local: hub.registry().local(),
+            last_unknown_cells: self.unknown_cells,
+        });
+    }
+
+    /// The attached observability hub, if any.
+    pub fn obs_hub(&self) -> Option<&Arc<ObsHub>> {
+        self.obs.as_ref().map(|obs| &obs.hub)
     }
 
     /// The model registry, for hot swaps (shareable across threads).
@@ -485,6 +555,8 @@ impl FleetEngine {
     /// every touched cell through the persistent worker pool. Returns
     /// `(reports_absorbed, cells_estimated)` fleet-wide.
     pub fn process_pending(&mut self) -> (usize, usize) {
+        // Clock read only when observability is attached.
+        let tick_start = self.obs.as_ref().map(|_| Instant::now());
         let micro_batch = self.config.micro_batch;
         self.tick_tasks.clear();
         for (idx, slot) in self.shards.iter_mut().enumerate() {
@@ -513,6 +585,33 @@ impl FleetEngine {
             }
             self.stage_times.accumulate(&done.task.stage);
             self.shards[done.idx] = Some(done.task);
+        }
+        // Tick boundary: the engine thread merges every shard's local
+        // buffer and refreshes the fleet-shape gauges. Workers are
+        // quiescent, so no lock is ever contended from the hot path.
+        if let (Some(obs), Some(start)) = (self.obs.as_mut(), tick_start) {
+            let mut cells = 0usize;
+            let mut reporting = 0usize;
+            for slot in self.shards.iter_mut() {
+                let shard = slot.as_mut().expect(Self::SHARD_LOST);
+                cells += shard.cells.len();
+                reporting += shard.reporting;
+                if let Some(shard_obs) = shard.obs.as_mut() {
+                    obs.hub.registry().merge(&mut shard_obs.local);
+                }
+            }
+            let ids = &obs.ids;
+            obs.local.add(ids.ticks, 1);
+            obs.local
+                .observe(ids.tick_seconds, start.elapsed().as_secs_f64());
+            let unknown = self.unknown_cells - obs.last_unknown_cells;
+            obs.last_unknown_cells = self.unknown_cells;
+            obs.local.add(ids.telemetry_unknown_cell, unknown);
+            obs.local.set(ids.cells, cells as f64);
+            obs.local.set(ids.reporting, reporting as f64);
+            obs.local
+                .set(ids.model_version, self.registry.version() as f64);
+            obs.hub.registry().merge(&mut obs.local);
         }
         // Re-raise only after every surviving shard is checked back in.
         assert!(!panicked, "shard task panicked during process_pending");
@@ -563,6 +662,7 @@ impl FleetEngine {
     /// described workload, drained from the worker pool. Results are in
     /// shard order; pair order within a shard follows registration order.
     pub fn predict_all(&mut self, workload: WorkloadQuery) -> Vec<(CellId, f64)> {
+        let pass_start = self.obs.as_ref().map(|_| Instant::now());
         let micro_batch = self.config.micro_batch;
         self.tick_tasks.clear();
         for (idx, slot) in self.shards.iter_mut().enumerate() {
@@ -598,6 +698,11 @@ impl FleetEngine {
                 out.append(&mut pairs);
             }
             self.shards[done.idx] = Some(done.task);
+        }
+        if let (Some(obs), Some(start)) = (self.obs.as_mut(), pass_start) {
+            obs.local
+                .observe(obs.ids.predict_seconds, start.elapsed().as_secs_f64());
+            obs.hub.registry().merge(&mut obs.local);
         }
         // Re-raise only after every surviving shard is checked back in.
         assert!(!panicked, "shard task panicked during predict_all");
@@ -742,6 +847,7 @@ impl FleetEngine {
 mod tests {
     use super::*;
     use crate::testing::untrained_model;
+    use pinnsoc_obs::SampleValue;
 
     fn telemetry(time_s: f64) -> Telemetry {
         Telemetry {
@@ -1188,6 +1294,131 @@ mod tests {
         assert!(engine.ingest(0, telemetry(2.0)));
         engine.process_pending();
         assert!(engine.estimate(0).is_some());
+    }
+
+    #[test]
+    fn attached_obs_records_fleet_series_and_leaves_estimates_bit_identical() {
+        let feed = |engine: &mut FleetEngine, t: f64| {
+            for id in 0..120u64 {
+                engine.ingest(
+                    id,
+                    Telemetry {
+                        time_s: t,
+                        voltage_v: 3.2 + id as f64 * 0.006,
+                        current_a: (id % 7) as f64 * 0.3,
+                        temperature_c: 19.0 + id as f64 * 0.08,
+                    },
+                );
+            }
+        };
+        let hub = pinnsoc_obs::ObsHub::new();
+        let mut observed = engine_with_workers(120, 4, 2);
+        observed.attach_obs(&hub);
+        assert!(observed.obs_hub().is_some());
+        let mut control = engine_with_workers(120, 4, 2);
+        assert!(control.obs_hub().is_none());
+        for tick in 1..=3 {
+            feed(&mut observed, tick as f64);
+            feed(&mut control, tick as f64);
+            assert_eq!(observed.process_pending(), control.process_pending());
+        }
+        // Bit-identity: instrumentation must not perturb a single estimate.
+        for id in 0..120u64 {
+            assert_eq!(
+                observed.estimate(id).unwrap().0.to_bits(),
+                control.estimate(id).unwrap().0.to_bits(),
+                "cell {id}"
+            );
+        }
+        // The series landed: stage histograms, tick counters, gauges.
+        let snap = hub.snapshot();
+        assert_eq!(
+            snap.metrics
+                .counter_total("pinnsoc_fleet_reports_absorbed_total"),
+            360
+        );
+        assert_eq!(snap.metrics.counter_total("pinnsoc_fleet_ticks_total"), 3);
+        let gemm = snap
+            .metrics
+            .find("pinnsoc_fleet_stage_seconds", &[("stage", "gemm")])
+            .expect("gemm stage series");
+        let SampleValue::Histogram(gemm) = &gemm.value else {
+            panic!("stage series must be a histogram");
+        };
+        assert!(gemm.count > 0, "at least one shard pass per tick");
+        assert!(gemm.quantile(0.99) >= gemm.quantile(0.5));
+        match snap.metrics.find("pinnsoc_fleet_cells", &[]).unwrap().value {
+            SampleValue::Gauge(v) => assert_eq!(v, 120.0),
+            ref v => panic!("{v:?}"),
+        }
+        // A swap shows up as a version gauge bump and a ring event.
+        observed.registry().swap(untrained_model());
+        feed(&mut observed, 10.0);
+        observed.process_pending();
+        let snap = hub.snapshot();
+        match snap
+            .metrics
+            .find("pinnsoc_fleet_model_version", &[])
+            .unwrap()
+            .value
+        {
+            SampleValue::Gauge(v) => assert_eq!(v, 2.0),
+            ref v => panic!("{v:?}"),
+        }
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| e.source == "fleet" && e.message.contains("model swap to v2")));
+        // Telemetry books export by outcome, including unknown cells.
+        observed.ingest(9999, telemetry(1.0));
+        observed.process_pending();
+        let snap = hub.snapshot();
+        let unknown = snap
+            .metrics
+            .find(
+                "pinnsoc_fleet_telemetry_reports_total",
+                &[("outcome", "unknown_cell")],
+            )
+            .unwrap();
+        match unknown.value {
+            SampleValue::Counter(n) => assert_eq!(n, 1),
+            ref v => panic!("{v:?}"),
+        }
+        // Prometheus exposition renders without panicking and includes
+        // the fleet namespace.
+        assert!(hub
+            .prometheus()
+            .contains("pinnsoc_fleet_tick_seconds_bucket"));
+    }
+
+    #[test]
+    fn telemetry_stats_delta_is_per_field_and_saturating() {
+        let prev = TelemetryStats {
+            accepted: 10,
+            duplicate_timestamp: 2,
+            rejected_non_finite: 1,
+            rejected_time_reversed: 0,
+            unknown_cell: 5,
+        };
+        let now = TelemetryStats {
+            accepted: 15,
+            duplicate_timestamp: 2,
+            rejected_non_finite: 4,
+            rejected_time_reversed: 1,
+            unknown_cell: 3, // behind: a different engine's book
+        };
+        let d = now.delta(&prev);
+        assert_eq!(
+            d,
+            TelemetryStats {
+                accepted: 5,
+                duplicate_timestamp: 0,
+                rejected_non_finite: 3,
+                rejected_time_reversed: 1,
+                unknown_cell: 0,
+            }
+        );
+        assert_eq!(now.delta(&now), TelemetryStats::default());
     }
 
     #[test]

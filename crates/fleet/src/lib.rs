@@ -54,6 +54,7 @@
 pub mod cell;
 pub mod engine;
 mod id_index;
+mod obs;
 mod pool;
 pub mod registry;
 pub mod telemetry;

@@ -1,10 +1,12 @@
 //! Hot-swappable model storage.
 
+use crate::obs::RegistryObs;
 use pinnsoc::SocModel;
 use pinnsoc_nn::PersistError;
+use pinnsoc_obs::ObsHub;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// Shared, versioned holder of the currently served [`SocModel`].
 ///
@@ -17,6 +19,8 @@ use std::sync::{Arc, RwLock};
 pub struct ModelRegistry {
     model: RwLock<Arc<SocModel>>,
     version: AtomicU64,
+    /// Write-once observability hook; `swap` reads it lock-free.
+    obs: OnceLock<RegistryObs>,
 }
 
 impl ModelRegistry {
@@ -25,7 +29,23 @@ impl ModelRegistry {
         Self {
             model: RwLock::new(Arc::new(model)),
             version: AtomicU64::new(1),
+            obs: OnceLock::new(),
         }
+    }
+
+    /// Hooks swaps into `hub`: every [`ModelRegistry::swap`] updates the
+    /// `pinnsoc_fleet_model_version` gauge and logs a ring event. First
+    /// attachment wins; later calls are no-ops (the registry is shared
+    /// across threads, so the hook is write-once by construction).
+    pub fn attach_obs(&self, hub: &Arc<ObsHub>) {
+        let version_gauge = hub.registry().gauge(
+            "pinnsoc_fleet_model_version",
+            "Version of the served model.",
+        );
+        let _ = self.obs.set(RegistryObs {
+            hub: Arc::clone(hub),
+            version_gauge,
+        });
     }
 
     /// Snapshot of the model being served right now.
@@ -35,11 +55,22 @@ impl ModelRegistry {
 
     /// Serves `model` from the next snapshot on; returns the new version.
     pub fn swap(&self, model: SocModel) -> u64 {
-        let mut served = self.model.write().expect("registry lock poisoned");
-        *served = Arc::new(model);
-        // Bump while still holding the write lock so concurrent swaps
-        // cannot pair a returned version with another swap's model.
-        self.version.fetch_add(1, Ordering::AcqRel) + 1
+        let label = self.obs.get().map(|_| model.label.clone());
+        let version = {
+            let mut served = self.model.write().expect("registry lock poisoned");
+            *served = Arc::new(model);
+            // Bump while still holding the write lock so concurrent swaps
+            // cannot pair a returned version with another swap's model.
+            self.version.fetch_add(1, Ordering::AcqRel) + 1
+        };
+        // Observability happens outside the write lock: a slow exporter
+        // can never stall readers.
+        if let (Some(obs), Some(label)) = (self.obs.get(), label) {
+            obs.hub.registry().set(obs.version_gauge, version as f64);
+            obs.hub
+                .emit("fleet", format!("model swap to v{version} ('{label}')"));
+        }
+        version
     }
 
     /// Loads a model persisted with `pinnsoc_nn::save_json` and swaps it

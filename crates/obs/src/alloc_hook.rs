@@ -1,0 +1,50 @@
+//! Installable allocation-counter hook.
+//!
+//! Rust allows exactly one `#[global_allocator]` per binary, and in this
+//! workspace the counting allocator lives in bench bins (e.g.
+//! `train_baseline`, `obs_baseline`) rather than in a library. Library
+//! code that wants to report allocation deltas (training epoch
+//! instrumentation) therefore reads through this hook: the binary that
+//! owns the counting allocator installs its `alloc_count` function at
+//! startup, and everything else sees `None` and skips the metric.
+
+use std::sync::OnceLock;
+
+static HOOK: OnceLock<fn() -> u64> = OnceLock::new();
+
+/// Installs the process-wide allocation counter. First caller wins;
+/// later calls are ignored (returns whether this call installed it).
+pub fn install(counter: fn() -> u64) -> bool {
+    HOOK.set(counter).is_ok()
+}
+
+/// Current allocation count, if a counting allocator registered itself.
+pub fn current() -> Option<u64> {
+    HOOK.get().map(|f| f())
+}
+
+/// True once a counter is installed.
+pub fn installed() -> bool {
+    HOOK.get().is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_count() -> u64 {
+        42
+    }
+
+    #[test]
+    fn install_is_first_wins_and_current_reads_through() {
+        // Tests in one binary share the static, so tolerate either order.
+        if install(fake_count) {
+            assert_eq!(current(), Some(42));
+        }
+        assert!(installed());
+        assert!(current().is_some());
+        // Second install is ignored but reports false.
+        assert!(!install(fake_count));
+    }
+}

@@ -1,0 +1,155 @@
+//! The [`ObsHub`]: one shared handle bundling the metrics registry, the
+//! recent-events ring, and a monotonic epoch for event timestamps.
+//!
+//! Subsystems accept an `Arc<ObsHub>` through an `attach_obs` method and
+//! register their metrics against [`ObsHub::registry`]; operators read
+//! through [`ObsHub::snapshot`] (JSON-serializable) or
+//! [`ObsHub::prometheus`]. Both are non-blocking with respect to the
+//! tick loop: they clone under mutexes that workers never hold.
+
+use crate::export::prometheus_text;
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::ring::{ObsEvent, RingLog};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default capacity of the recent-events ring.
+pub const DEFAULT_EVENT_CAPACITY: usize = 256;
+
+/// Shared observability handle for one process.
+pub struct ObsHub {
+    registry: MetricsRegistry,
+    events: Mutex<RingLog>,
+    created: Instant,
+}
+
+impl ObsHub {
+    /// Creates a hub with the default event-ring capacity, ready to
+    /// share across subsystems.
+    pub fn new() -> Arc<Self> {
+        Self::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// Creates a hub retaining at most `capacity` recent events.
+    pub fn with_event_capacity(capacity: usize) -> Arc<Self> {
+        Arc::new(Self {
+            registry: MetricsRegistry::new(),
+            events: Mutex::new(RingLog::new(capacity)),
+            created: Instant::now(),
+        })
+    }
+
+    /// The metric registry subsystems register against.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Seconds since the hub was created (monotonic).
+    pub fn uptime_s(&self) -> f64 {
+        self.created.elapsed().as_secs_f64()
+    }
+
+    /// Appends an event to the ring log; returns its sequence number.
+    pub fn emit(&self, source: &str, message: impl Into<String>) -> u64 {
+        let uptime = self.uptime_s();
+        self.events
+            .lock()
+            .expect("obs event log poisoned")
+            .push(uptime, source, message)
+    }
+
+    /// Copy of the retained events, oldest first.
+    pub fn recent_events(&self) -> Vec<ObsEvent> {
+        self.events
+            .lock()
+            .expect("obs event log poisoned")
+            .events()
+            .cloned()
+            .collect()
+    }
+
+    /// Point-in-time copy of all metrics plus the event ring. Safe to
+    /// call from any thread at any time; never stalls the tick loop
+    /// (workers record into local buffers and never hold hub locks).
+    pub fn snapshot(&self) -> ObsSnapshot {
+        ObsSnapshot {
+            uptime_s: self.uptime_s(),
+            metrics: self.registry.snapshot(),
+            events: self.recent_events(),
+        }
+    }
+
+    /// Prometheus text exposition of the current metric values.
+    pub fn prometheus(&self) -> String {
+        prometheus_text(&self.registry.snapshot())
+    }
+}
+
+impl fmt::Debug for ObsHub {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObsHub")
+            .field("metrics", &self.registry.len())
+            .field(
+                "events",
+                &self.events.lock().expect("obs event log poisoned").len(),
+            )
+            .field("uptime_s", &self.uptime_s())
+            .finish()
+    }
+}
+
+/// Serializable snapshot of the whole hub (JSON export = serialize me).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObsSnapshot {
+    /// Seconds since hub creation when the snapshot was taken.
+    pub uptime_s: f64,
+    /// All registered metric series and their values.
+    pub metrics: MetricsSnapshot,
+    /// Retained recent events, oldest first.
+    pub events: Vec<ObsEvent>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_bundles_metrics_and_events() {
+        let hub = ObsHub::with_event_capacity(2);
+        let c = hub.registry().counter("pinnsoc_demo_total", "h");
+        hub.registry().add(c, 3);
+        hub.emit("fleet", "model swap v1 -> v2");
+        hub.emit("adapt", "drift trigger cohort 0");
+        hub.emit("adapt", "gate pass");
+        let snap = hub.snapshot();
+        assert_eq!(snap.metrics.counter_total("pinnsoc_demo_total"), 3);
+        assert_eq!(snap.events.len(), 2); // capacity 2, oldest evicted
+        assert_eq!(snap.events[0].source, "adapt");
+        assert!(snap.uptime_s >= 0.0);
+        assert!(hub.prometheus().contains("pinnsoc_demo_total 3"));
+        let dbg = format!("{hub:?}");
+        assert!(dbg.contains("ObsHub"));
+    }
+
+    #[test]
+    fn snapshot_is_concurrency_safe() {
+        let hub = ObsHub::new();
+        let c = hub.registry().counter("pinnsoc_c_total", "h");
+        std::thread::scope(|scope| {
+            let h2 = Arc::clone(&hub);
+            scope.spawn(move || {
+                for _ in 0..100 {
+                    h2.registry().add(c, 1);
+                    h2.emit("t", "tick");
+                }
+            });
+            for _ in 0..50 {
+                let _ = hub.snapshot();
+                let _ = hub.prometheus();
+            }
+        });
+        assert_eq!(hub.snapshot().metrics.counter_total("pinnsoc_c_total"), 100);
+    }
+}

@@ -1,0 +1,678 @@
+//! The metrics registry: counters, gauges, and fixed-bucket histograms.
+//!
+//! Two-tier design. The shared [`MetricsRegistry`] holds the canonical
+//! values behind one mutex; hot paths never touch it. Instead each shard
+//! or worker owns a [`LocalMetrics`] — a plain vector of slots indexed by
+//! [`MetricId`] — and records with ordinary integer/float arithmetic. The
+//! coordinating thread calls [`MetricsRegistry::merge`] at tick
+//! boundaries, folding every local delta into the shared values and
+//! clearing the local buffer, so the mutex is taken once per tick instead
+//! of once per sample.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Handle to one registered metric: an index into the registry's value
+/// table (and into every [`LocalMetrics`] derived from it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MetricId(pub(crate) usize);
+
+impl MetricId {
+    /// The raw slot index (stable for the lifetime of the registry).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// What a metric measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Monotonically increasing `u64`.
+    Counter,
+    /// Last-write-wins `f64`.
+    Gauge,
+    /// Fixed-bucket distribution of `f64` observations.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Prometheus `# TYPE` spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Immutable description of a registered metric.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricSpec {
+    /// Full metric name, e.g. `pinnsoc_fleet_stage_seconds`.
+    pub name: String,
+    /// One-line help string for exporters.
+    pub help: String,
+    /// Counter, gauge, or histogram.
+    pub kind: MetricKind,
+    /// Label pairs, e.g. `[("stage", "gemm")]`. Sorted at registration so
+    /// label order never creates duplicate series.
+    pub labels: Vec<(String, String)>,
+    /// Upper bucket bounds for histograms (ascending); empty otherwise.
+    pub buckets: Vec<f64>,
+}
+
+#[derive(Debug, Clone)]
+enum Value {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(HistogramValue),
+}
+
+#[derive(Debug, Clone)]
+struct HistogramValue {
+    /// Shared ascending upper bounds; `counts` has one extra +Inf slot.
+    bounds: Arc<[f64]>,
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl HistogramValue {
+    fn new(bounds: Arc<[f64]>) -> Self {
+        let n = bounds.len() + 1;
+        Self {
+            bounds,
+            counts: vec![0; n],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        let slot = bucket_index(&self.bounds, v);
+        self.counts[slot] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+}
+
+/// Index of the first bucket whose upper bound admits `v` (last slot is
+/// the implicit +Inf bucket).
+fn bucket_index(bounds: &[f64], v: f64) -> usize {
+    bounds.iter().position(|&b| v <= b).unwrap_or(bounds.len())
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    specs: Vec<MetricSpec>,
+    values: Vec<Value>,
+    /// `name{label=value,...}` → slot, for idempotent registration.
+    index: BTreeMap<String, usize>,
+}
+
+/// Shared registry of metric definitions and canonical values.
+///
+/// All methods take `&self`; interior state lives behind one mutex that
+/// is only locked on registration, cold-path recording, merge, and
+/// snapshot — never by hot-path code (which records into
+/// [`LocalMetrics`]).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+fn series_key(name: &str, labels: &[(String, String)]) -> String {
+    use std::fmt::Write;
+    let mut key = String::with_capacity(name.len() + 16 * labels.len());
+    key.push_str(name);
+    for (k, v) in labels {
+        let _ = write!(key, "\u{0}{k}\u{0}{v}");
+    }
+    key
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        buckets: &[f64],
+    ) -> MetricId {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        let key = series_key(name, &labels);
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        if let Some(&slot) = inner.index.get(&key) {
+            assert_eq!(
+                inner.specs[slot].kind, kind,
+                "metric {name} re-registered with a different kind"
+            );
+            return MetricId(slot);
+        }
+        debug_assert!(
+            buckets.windows(2).all(|w| w[0] < w[1]),
+            "histogram buckets for {name} must be strictly ascending"
+        );
+        let slot = inner.specs.len();
+        let value = match kind {
+            MetricKind::Counter => Value::Counter(0),
+            MetricKind::Gauge => Value::Gauge(0.0),
+            MetricKind::Histogram => Value::Histogram(HistogramValue::new(buckets.into())),
+        };
+        inner.specs.push(MetricSpec {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            labels,
+            buckets: buckets.to_vec(),
+        });
+        inner.values.push(value);
+        inner.index.insert(key, slot);
+        MetricId(slot)
+    }
+
+    /// Registers (or looks up) an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> MetricId {
+        self.register(name, help, MetricKind::Counter, &[], &[])
+    }
+
+    /// Registers (or looks up) a labeled counter.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> MetricId {
+        self.register(name, help, MetricKind::Counter, labels, &[])
+    }
+
+    /// Registers (or looks up) an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> MetricId {
+        self.register(name, help, MetricKind::Gauge, &[], &[])
+    }
+
+    /// Registers (or looks up) a labeled gauge.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> MetricId {
+        self.register(name, help, MetricKind::Gauge, labels, &[])
+    }
+
+    /// Registers (or looks up) an unlabeled histogram with the given
+    /// ascending upper bucket bounds.
+    pub fn histogram(&self, name: &str, help: &str, buckets: &[f64]) -> MetricId {
+        self.register(name, help, MetricKind::Histogram, &[], buckets)
+    }
+
+    /// Registers (or looks up) a labeled histogram.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        buckets: &[f64],
+    ) -> MetricId {
+        self.register(name, help, MetricKind::Histogram, labels, buckets)
+    }
+
+    /// Cold-path counter increment (locks the registry; use
+    /// [`LocalMetrics`] on hot paths).
+    pub fn add(&self, id: MetricId, n: u64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        match &mut inner.values[id.0] {
+            Value::Counter(c) => *c += n,
+            other => panic!("add() on non-counter metric {other:?}"),
+        }
+    }
+
+    /// Cold-path gauge store.
+    pub fn set(&self, id: MetricId, v: f64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        match &mut inner.values[id.0] {
+            Value::Gauge(g) => *g = v,
+            other => panic!("set() on non-gauge metric {other:?}"),
+        }
+    }
+
+    /// Cold-path histogram observation.
+    pub fn observe(&self, id: MetricId, v: f64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        match &mut inner.values[id.0] {
+            Value::Histogram(h) => h.observe(v),
+            other => panic!("observe() on non-histogram metric {other:?}"),
+        }
+    }
+
+    /// Creates a thread-local accumulation buffer sized for every metric
+    /// registered so far. Ids minted later must use the cold-path
+    /// `add`/`set`/`observe` on the registry (or a fresh `local()`).
+    pub fn local(&self) -> LocalMetrics {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        LocalMetrics {
+            slots: inner.specs.iter().map(LocalSlot::fresh).collect(),
+        }
+    }
+
+    /// Folds every delta accumulated in `local` into the shared values
+    /// and clears `local` for reuse. One lock acquisition total.
+    pub fn merge(&self, local: &mut LocalMetrics) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        for (slot, value) in local.slots.iter_mut().zip(inner.values.iter_mut()) {
+            match (slot, value) {
+                (LocalSlot::Counter(n), Value::Counter(c)) => {
+                    *c += *n;
+                    *n = 0;
+                }
+                (LocalSlot::Gauge { value: v, set }, Value::Gauge(g)) => {
+                    if *set {
+                        *g = *v;
+                        *set = false;
+                    }
+                }
+                (
+                    LocalSlot::Histogram {
+                        counts, sum, count, ..
+                    },
+                    Value::Histogram(h),
+                ) => {
+                    if *count > 0 {
+                        for (dst, src) in h.counts.iter_mut().zip(counts.iter_mut()) {
+                            *dst += *src;
+                            *src = 0;
+                        }
+                        h.sum += *sum;
+                        h.count += *count;
+                        *sum = 0.0;
+                        *count = 0;
+                    }
+                }
+                (slot, value) => panic!("local slot {slot:?} does not match {value:?}"),
+            }
+        }
+        // Slots created after this local was built: append fresh shared
+        // state only exists for ids the registry knows, so any excess
+        // local slots mean ids minted by a *different* registry — a bug.
+        assert!(
+            local.slots.len() <= inner.values.len(),
+            "LocalMetrics has more slots than the registry it merges into"
+        );
+    }
+
+    /// Point-in-time copy of every metric. Non-blocking for the tick
+    /// loop: the lock is held only long enough to clone the value table
+    /// (workers never hold it).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let metrics = inner
+            .specs
+            .iter()
+            .zip(inner.values.iter())
+            .map(|(spec, value)| MetricSample {
+                name: spec.name.clone(),
+                help: spec.help.clone(),
+                kind: spec.kind,
+                labels: spec.labels.clone(),
+                value: match value {
+                    Value::Counter(c) => SampleValue::Counter(*c),
+                    Value::Gauge(g) => SampleValue::Gauge(*g),
+                    Value::Histogram(h) => SampleValue::Histogram(HistogramSnapshot {
+                        bounds: h.bounds.to_vec(),
+                        counts: h.counts.clone(),
+                        sum: h.sum,
+                        count: h.count,
+                    }),
+                },
+            })
+            .collect();
+        MetricsSnapshot { metrics }
+    }
+
+    /// Number of registered series.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("metrics registry poisoned")
+            .specs
+            .len()
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[derive(Debug, Clone)]
+enum LocalSlot {
+    Counter(u64),
+    Gauge {
+        value: f64,
+        set: bool,
+    },
+    Histogram {
+        bounds: Arc<[f64]>,
+        counts: Vec<u64>,
+        sum: f64,
+        count: u64,
+    },
+}
+
+impl LocalSlot {
+    fn fresh(spec: &MetricSpec) -> Self {
+        match spec.kind {
+            MetricKind::Counter => LocalSlot::Counter(0),
+            MetricKind::Gauge => LocalSlot::Gauge {
+                value: 0.0,
+                set: false,
+            },
+            MetricKind::Histogram => {
+                let bounds: Arc<[f64]> = spec.buckets.as_slice().into();
+                let n = bounds.len() + 1;
+                LocalSlot::Histogram {
+                    bounds,
+                    counts: vec![0; n],
+                    sum: 0.0,
+                    count: 0,
+                }
+            }
+        }
+    }
+}
+
+/// Per-shard / per-worker accumulation buffer: plain slots, no locks, no
+/// atomics. Created by [`MetricsRegistry::local`], drained by
+/// [`MetricsRegistry::merge`].
+#[derive(Debug, Clone, Default)]
+pub struct LocalMetrics {
+    slots: Vec<LocalSlot>,
+}
+
+impl LocalMetrics {
+    /// Adds `n` to a counter slot.
+    #[inline]
+    pub fn add(&mut self, id: MetricId, n: u64) {
+        match self.slots.get_mut(id.0) {
+            Some(LocalSlot::Counter(c)) => *c += n,
+            Some(other) => panic!("add() on non-counter local slot {other:?}"),
+            None => panic!("metric id {} unknown to this LocalMetrics", id.0),
+        }
+    }
+
+    /// Stores `v` into a gauge slot (last write before merge wins).
+    #[inline]
+    pub fn set(&mut self, id: MetricId, v: f64) {
+        match self.slots.get_mut(id.0) {
+            Some(LocalSlot::Gauge { value, set }) => {
+                *value = v;
+                *set = true;
+            }
+            Some(other) => panic!("set() on non-gauge local slot {other:?}"),
+            None => panic!("metric id {} unknown to this LocalMetrics", id.0),
+        }
+    }
+
+    /// Records `v` into a histogram slot.
+    #[inline]
+    pub fn observe(&mut self, id: MetricId, v: f64) {
+        match self.slots.get_mut(id.0) {
+            Some(LocalSlot::Histogram {
+                bounds,
+                counts,
+                sum,
+                count,
+            }) => {
+                counts[bucket_index(bounds, v)] += 1;
+                *sum += v;
+                *count += 1;
+            }
+            Some(other) => panic!("observe() on non-histogram local slot {other:?}"),
+            None => panic!("metric id {} unknown to this LocalMetrics", id.0),
+        }
+    }
+
+    /// True when no sample has been recorded since the last merge.
+    pub fn is_clear(&self) -> bool {
+        self.slots.iter().all(|s| match s {
+            LocalSlot::Counter(c) => *c == 0,
+            LocalSlot::Gauge { set, .. } => !*set,
+            LocalSlot::Histogram { count, .. } => *count == 0,
+        })
+    }
+}
+
+/// Serializable point-in-time view of the whole registry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// One entry per registered series.
+    pub metrics: Vec<MetricSample>,
+}
+
+impl MetricsSnapshot {
+    /// Finds a series by name and exact label set (order-insensitive).
+    pub fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricSample> {
+        let mut want: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        want.sort();
+        self.metrics
+            .iter()
+            .find(|m| m.name == name && m.labels == want)
+    }
+
+    /// Sum over every series with this name (counters only).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|m| m.name == name)
+            .filter_map(|m| match &m.value {
+                SampleValue::Counter(c) => Some(*c),
+                _ => None,
+            })
+            .sum()
+    }
+}
+
+/// One exported series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricSample {
+    /// Metric name.
+    pub name: String,
+    /// Help string.
+    pub help: String,
+    /// Kind (drives the exposition format).
+    pub kind: MetricKind,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// Current value.
+    pub value: SampleValue,
+}
+
+/// Value payload of a [`MetricSample`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum SampleValue {
+    /// Monotonic count.
+    Counter(u64),
+    /// Instantaneous value.
+    Gauge(f64),
+    /// Bucketed distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// Frozen histogram state with quantile estimation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Ascending upper bucket bounds (the final +Inf bound is implicit).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; `bounds.len() + 1` entries, last is +Inf.
+    pub counts: Vec<u64>,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (0 ≤ q ≤ 1) by linear interpolation
+    /// within the bucket containing the target rank — the standard
+    /// Prometheus `histogram_quantile` scheme. Returns 0 for an empty
+    /// histogram; observations in the +Inf bucket clamp to the largest
+    /// finite bound.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = seen + c;
+            if (next as f64) >= rank && c > 0 {
+                let upper = self
+                    .bounds
+                    .get(i)
+                    .copied()
+                    .unwrap_or_else(|| self.bounds.last().copied().unwrap_or(0.0));
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let into = (rank - seen as f64) / c as f64;
+                return lower + (upper - lower) * into.clamp(0.0, 1.0);
+            }
+            seen = next;
+        }
+        self.bounds.last().copied().unwrap_or(0.0)
+    }
+
+    /// Mean observation (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_label_order_insensitive() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter_with("pinnsoc_t_total", "help", &[("a", "1"), ("b", "2")]);
+        let b = reg.counter_with("pinnsoc_t_total", "help", &[("b", "2"), ("a", "1")]);
+        assert_eq!(a, b);
+        assert_eq!(reg.len(), 1);
+        let c = reg.counter_with("pinnsoc_t_total", "help", &[("a", "2")]);
+        assert_ne!(a, c);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_conflict_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("pinnsoc_x", "h");
+        reg.gauge("pinnsoc_x", "h");
+    }
+
+    #[test]
+    fn local_merge_folds_and_clears() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("pinnsoc_c_total", "h");
+        let g = reg.gauge("pinnsoc_g", "h");
+        let h = reg.histogram("pinnsoc_h_seconds", "h", &[0.1, 1.0]);
+        let mut local = reg.local();
+        local.add(c, 3);
+        local.set(g, 7.5);
+        local.observe(h, 0.05);
+        local.observe(h, 0.5);
+        local.observe(h, 5.0);
+        assert!(!local.is_clear());
+        reg.merge(&mut local);
+        assert!(local.is_clear());
+        // Second merge is a no-op.
+        reg.merge(&mut local);
+        let snap = reg.snapshot();
+        match &snap.find("pinnsoc_c_total", &[]).unwrap().value {
+            SampleValue::Counter(n) => assert_eq!(*n, 3),
+            v => panic!("{v:?}"),
+        }
+        match &snap.find("pinnsoc_g", &[]).unwrap().value {
+            SampleValue::Gauge(v) => assert_eq!(*v, 7.5),
+            v => panic!("{v:?}"),
+        }
+        match &snap.find("pinnsoc_h_seconds", &[]).unwrap().value {
+            SampleValue::Histogram(hist) => {
+                assert_eq!(hist.counts, vec![1, 1, 1]);
+                assert_eq!(hist.count, 3);
+                assert!((hist.sum - 5.55).abs() < 1e-12);
+            }
+            v => panic!("{v:?}"),
+        }
+    }
+
+    #[test]
+    fn gauge_merge_without_set_preserves_shared_value() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("pinnsoc_g", "h");
+        reg.set(g, 42.0);
+        let mut local = reg.local();
+        reg.merge(&mut local);
+        match &reg.snapshot().find("pinnsoc_g", &[]).unwrap().value {
+            SampleValue::Gauge(v) => assert_eq!(*v, 42.0),
+            v => panic!("{v:?}"),
+        }
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("pinnsoc_h", "h", &[1.0, 2.0, 4.0]);
+        for _ in 0..50 {
+            reg.observe(h, 0.5);
+        }
+        for _ in 0..50 {
+            reg.observe(h, 3.0);
+        }
+        let snap = reg.snapshot();
+        let SampleValue::Histogram(hist) = &snap.find("pinnsoc_h", &[]).unwrap().value else {
+            panic!("not a histogram");
+        };
+        let p50 = hist.quantile(0.5);
+        assert!((0.0..=1.0).contains(&p50), "p50 {p50}");
+        let p99 = hist.quantile(0.99);
+        assert!((2.0..=4.0).contains(&p99), "p99 {p99}");
+        assert!((hist.mean() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = HistogramSnapshot {
+            bounds: vec![1.0],
+            counts: vec![0, 0],
+            sum: 0.0,
+            count: 0,
+        };
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn late_registration_stays_recordable_via_cold_path() {
+        let reg = MetricsRegistry::new();
+        let c1 = reg.counter("pinnsoc_a_total", "h");
+        let mut local = reg.local();
+        let c2 = reg.counter("pinnsoc_b_total", "h");
+        local.add(c1, 1);
+        reg.add(c2, 2); // new ids use the cold path until a fresh local()
+        reg.merge(&mut local);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter_total("pinnsoc_a_total"), 1);
+        assert_eq!(snap.counter_total("pinnsoc_b_total"), 2);
+    }
+}

@@ -1,0 +1,140 @@
+//! The [`Recorder`] trait: how instrumented code talks to metrics
+//! without knowing whether observability is attached.
+//!
+//! Hot-path code takes `&mut impl Recorder` (or holds an
+//! `Option<LocalMetrics>` and records only when `Some`). The default
+//! method bodies are empty, so with [`NoopRecorder`] the calls inline to
+//! nothing and the instrumented function costs exactly what the
+//! uninstrumented one did.
+
+use crate::metrics::{LocalMetrics, MetricId};
+
+/// Sink for metric samples with a no-op default implementation.
+pub trait Recorder {
+    /// True when samples actually land somewhere; lets callers skip
+    /// computing expensive sample values (e.g. reading a clock) when off.
+    #[inline]
+    fn is_live(&self) -> bool {
+        false
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    fn add(&mut self, id: MetricId, n: u64) {
+        let _ = (id, n);
+    }
+
+    /// Stores `v` into a gauge.
+    #[inline]
+    fn set(&mut self, id: MetricId, v: f64) {
+        let _ = (id, v);
+    }
+
+    /// Records `v` into a histogram.
+    #[inline]
+    fn observe(&mut self, id: MetricId, v: f64) {
+        let _ = (id, v);
+    }
+}
+
+/// The do-nothing recorder: every method compiles to an empty body.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+impl Recorder for LocalMetrics {
+    #[inline]
+    fn is_live(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn add(&mut self, id: MetricId, n: u64) {
+        LocalMetrics::add(self, id, n);
+    }
+
+    #[inline]
+    fn set(&mut self, id: MetricId, v: f64) {
+        LocalMetrics::set(self, id, v);
+    }
+
+    #[inline]
+    fn observe(&mut self, id: MetricId, v: f64) {
+        LocalMetrics::observe(self, id, v);
+    }
+}
+
+/// `Option<R>` records when `Some` — the natural shape for structs that
+/// hold observability as an optional attachment.
+impl<R: Recorder> Recorder for Option<R> {
+    #[inline]
+    fn is_live(&self) -> bool {
+        self.as_ref().is_some_and(|r| r.is_live())
+    }
+
+    #[inline]
+    fn add(&mut self, id: MetricId, n: u64) {
+        if let Some(r) = self {
+            r.add(id, n);
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, id: MetricId, v: f64) {
+        if let Some(r) = self {
+            r.set(id, v);
+        }
+    }
+
+    #[inline]
+    fn observe(&mut self, id: MetricId, v: f64) {
+        if let Some(r) = self {
+            r.observe(id, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{MetricsRegistry, SampleValue};
+
+    #[test]
+    fn noop_is_not_live_and_ignores_samples() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("pinnsoc_c_total", "h");
+        let mut r = NoopRecorder;
+        assert!(!r.is_live());
+        r.add(c, 5);
+        assert_eq!(reg.snapshot().counter_total("pinnsoc_c_total"), 0);
+    }
+
+    #[test]
+    fn local_metrics_is_live_and_records() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("pinnsoc_c_total", "h");
+        let mut local = reg.local();
+        assert!(Recorder::is_live(&local));
+        Recorder::add(&mut local, c, 2);
+        reg.merge(&mut local);
+        assert_eq!(reg.snapshot().counter_total("pinnsoc_c_total"), 2);
+    }
+
+    #[test]
+    fn option_recorder_dispatches_on_some() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("pinnsoc_g", "h");
+        let mut none: Option<LocalMetrics> = None;
+        assert!(!none.is_live());
+        none.set(g, 1.0); // no-op
+        let mut some = Some(reg.local());
+        assert!(some.is_live());
+        some.set(g, 9.0);
+        reg.merge(some.as_mut().unwrap());
+        match &reg.snapshot().find("pinnsoc_g", &[]).unwrap().value {
+            SampleValue::Gauge(v) => assert_eq!(*v, 9.0),
+            v => panic!("{v:?}"),
+        }
+    }
+}

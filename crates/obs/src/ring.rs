@@ -1,0 +1,113 @@
+//! Ring-buffered recent-events log for post-mortems.
+//!
+//! Bounded memory, oldest-first eviction: the log keeps the last
+//! `capacity` events (model swaps, drift triggers, gate verdicts, worker
+//! panics) with a global sequence number so dropped history is visible
+//! as a gap in `seq`.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One logged event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObsEvent {
+    /// Monotonic sequence number across the life of the log (never
+    /// resets, so eviction shows up as a gap).
+    pub seq: u64,
+    /// Seconds since the owning hub was created (monotonic clock).
+    pub uptime_s: f64,
+    /// Emitting subsystem, e.g. `fleet`, `adapt`, `runtime`.
+    pub source: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Fixed-capacity event ring.
+#[derive(Debug, Clone)]
+pub struct RingLog {
+    capacity: usize,
+    next_seq: u64,
+    buf: VecDeque<ObsEvent>,
+}
+
+impl RingLog {
+    /// Creates a ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            next_seq: 0,
+            buf: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full. Returns the
+    /// event's sequence number.
+    pub fn push(&mut self, uptime_s: f64, source: &str, message: impl Into<String>) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(ObsEvent {
+            seq,
+            uptime_s,
+            source: source.to_string(),
+            message: message.into(),
+        });
+        seq
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &ObsEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been logged (or everything evicted).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events ever pushed (retained + evicted).
+    pub fn total_pushed(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_keeps_newest_and_seq_is_global() {
+        let mut log = RingLog::new(3);
+        for i in 0..5 {
+            log.push(i as f64, "test", format!("event {i}"));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.total_pushed(), 5);
+        let seqs: Vec<u64> = log.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert_eq!(log.events().next().unwrap().message, "event 2");
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut log = RingLog::new(0);
+        assert_eq!(log.capacity(), 1);
+        log.push(0.0, "a", "x");
+        log.push(0.0, "a", "y");
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.events().next().unwrap().message, "y");
+    }
+}

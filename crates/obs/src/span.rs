@@ -1,0 +1,118 @@
+//! Structured span timing with monotonic timestamps.
+//!
+//! Two shapes, both backed by [`std::time::Instant`]:
+//!
+//! - [`SpanTimer`]: explicit start/stop for code that wants to decide
+//!   where the elapsed time goes (e.g. choosing a histogram per stage).
+//! - [`span`]: an RAII guard that records elapsed seconds into one
+//!   histogram when dropped — `span!`-style without a macro.
+//!
+//! Neither reads the clock when the recorder is not live, so disabled
+//! instrumentation skips even the `Instant::now()` syscall-ish cost.
+
+use crate::metrics::MetricId;
+use crate::recorder::Recorder;
+use std::time::Instant;
+
+/// Explicit monotonic stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanTimer {
+    start: Instant,
+}
+
+impl SpanTimer {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since [`SpanTimer::start`].
+    pub fn elapsed_s(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Records the elapsed seconds into `id` and returns them.
+    pub fn finish<R: Recorder>(self, rec: &mut R, id: MetricId) -> f64 {
+        let s = self.elapsed_s();
+        rec.observe(id, s);
+        s
+    }
+}
+
+/// RAII span: times from construction to drop, recording seconds into a
+/// histogram. Construct via [`span`].
+#[derive(Debug)]
+pub struct Span<'a, R: Recorder> {
+    rec: &'a mut R,
+    id: MetricId,
+    start: Option<Instant>,
+}
+
+/// Opens a span over `rec`; when the guard drops, the elapsed seconds
+/// land in histogram `id`. If `rec` is not live the clock is never read.
+pub fn span<R: Recorder>(rec: &mut R, id: MetricId) -> Span<'_, R> {
+    let start = rec.is_live().then(Instant::now);
+    Span { rec, id, start }
+}
+
+impl<R: Recorder> Drop for Span<'_, R> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.rec.observe(self.id, start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{MetricsRegistry, SampleValue};
+    use crate::recorder::NoopRecorder;
+
+    #[test]
+    fn span_records_elapsed_seconds_on_drop() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("pinnsoc_span_seconds", "h", &[1.0]);
+        let mut local = reg.local();
+        {
+            let _guard = span(&mut local, h);
+            std::hint::black_box(());
+        }
+        reg.merge(&mut local);
+        let snap = reg.snapshot();
+        let SampleValue::Histogram(hist) = &snap.find("pinnsoc_span_seconds", &[]).unwrap().value
+        else {
+            panic!("not a histogram");
+        };
+        assert_eq!(hist.count, 1);
+        assert!(hist.sum >= 0.0);
+    }
+
+    #[test]
+    fn span_over_noop_never_starts_the_clock() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("pinnsoc_span_seconds", "h", &[1.0]);
+        let mut rec = NoopRecorder;
+        let guard = span(&mut rec, h);
+        assert!(guard.start.is_none());
+    }
+
+    #[test]
+    fn timer_finish_reports_duration() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("pinnsoc_t_seconds", "h", &[1.0]);
+        let mut local = reg.local();
+        let t = SpanTimer::start();
+        let s = t.finish(&mut local, h);
+        assert!(s >= 0.0);
+        reg.merge(&mut local);
+        let snap = reg.snapshot();
+        let SampleValue::Histogram(hist) = &snap.find("pinnsoc_t_seconds", &[]).unwrap().value
+        else {
+            panic!("not a histogram");
+        };
+        assert_eq!(hist.count, 1);
+    }
+}

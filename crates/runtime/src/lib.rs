@@ -28,6 +28,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod obs;
 pub mod pool;
 
+pub use obs::PoolObs;
 pub use pool::{Done, NoContext, PinSource, PoolTask, WorkerPool};

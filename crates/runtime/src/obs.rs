@@ -1,0 +1,106 @@
+//! Pool observability: queue depth, worker occupancy, and epoch handoff
+//! latency per named pool.
+//!
+//! The pool's hot path is the state mutex every pop already takes, so the
+//! instrumentation adds **no new locks and no atomics**: per-run counters
+//! are plain fields in the pool state, bumped under the lock each thread
+//! already holds, and the *calling* thread folds them into a
+//! [`LocalMetrics`] buffer merged into the shared registry once per run.
+//! Workers never touch the registry. With no [`PoolObs`] attached, the
+//! per-pop cost is a single `bool` test.
+
+use pinnsoc_obs::{LocalMetrics, MetricId, ObsHub, COUNT_BUCKETS, DURATION_BUCKETS};
+use std::sync::Arc;
+
+/// Observability attachment for one [`WorkerPool`](crate::WorkerPool),
+/// labeling every series with the pool's name (`pool="fleet"`,
+/// `pool="train"`, ...). Created with [`PoolObs::new`] and handed to
+/// `WorkerPool::attach_obs`.
+#[derive(Debug)]
+pub struct PoolObs {
+    pub(crate) hub: Arc<ObsHub>,
+    pub(crate) local: LocalMetrics,
+    pub(crate) name: String,
+    /// Tasks queued at run submit (histogram, per run).
+    pub(crate) queue_depth: MetricId,
+    /// Wall time of one full run, submit to quiescence.
+    pub(crate) run_seconds: MetricId,
+    /// Submit → first worker pop: the epoch/condvar handoff latency.
+    pub(crate) handoff_seconds: MetricId,
+    /// Tasks executed by worker threads / by the calling thread.
+    pub(crate) worker_tasks: MetricId,
+    pub(crate) caller_tasks: MetricId,
+    /// Fraction of the last run's tasks executed by workers.
+    pub(crate) worker_occupancy: MetricId,
+    /// Completed runs.
+    pub(crate) runs: MetricId,
+}
+
+impl PoolObs {
+    /// Registers the `pinnsoc_runtime_pool_*` series for a pool named
+    /// `pool` (idempotent: re-attaching reuses the same series).
+    pub fn new(hub: &Arc<ObsHub>, pool: &str) -> Self {
+        let reg = hub.registry();
+        let labels: &[(&str, &str)] = &[("pool", pool)];
+        let queue_depth = reg.histogram_with(
+            "pinnsoc_runtime_pool_queue_depth",
+            "Tasks queued at run submit.",
+            labels,
+            COUNT_BUCKETS,
+        );
+        let run_seconds = reg.histogram_with(
+            "pinnsoc_runtime_pool_run_seconds",
+            "Wall time of one pool run, submit to quiescence.",
+            labels,
+            DURATION_BUCKETS,
+        );
+        let handoff_seconds = reg.histogram_with(
+            "pinnsoc_runtime_pool_handoff_seconds",
+            "Latency from run submit to the first worker-thread pop.",
+            labels,
+            DURATION_BUCKETS,
+        );
+        let worker_tasks = reg.counter_with(
+            "pinnsoc_runtime_pool_worker_tasks_total",
+            "Tasks executed by worker threads.",
+            labels,
+        );
+        let caller_tasks = reg.counter_with(
+            "pinnsoc_runtime_pool_caller_tasks_total",
+            "Tasks executed by the calling thread.",
+            labels,
+        );
+        let worker_occupancy = reg.gauge_with(
+            "pinnsoc_runtime_pool_worker_occupancy",
+            "Fraction of the last run's tasks executed by workers.",
+            labels,
+        );
+        let runs = reg.counter_with(
+            "pinnsoc_runtime_pool_runs_total",
+            "Completed pool runs.",
+            labels,
+        );
+        Self {
+            hub: Arc::clone(hub),
+            local: reg.local(),
+            name: pool.to_string(),
+            queue_depth,
+            run_seconds,
+            handoff_seconds,
+            worker_tasks,
+            caller_tasks,
+            worker_occupancy,
+            runs,
+        }
+    }
+
+    /// The hub this attachment reports into.
+    pub fn hub(&self) -> &Arc<ObsHub> {
+        &self.hub
+    }
+
+    /// The pool label on every series.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}

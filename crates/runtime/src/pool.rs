@@ -18,8 +18,10 @@
 //! pool machinery: the queue and result buffers are caller-owned vectors
 //! whose capacity is reused across runs.
 
+use crate::obs::PoolObs;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A unit of work that moves through the pool by ownership.
 pub trait PoolTask: Send + 'static {
@@ -89,6 +91,16 @@ struct PoolState<T: PoolTask> {
     /// unwind). The run still drains to quiescence so every *surviving*
     /// task returns to the caller, then the caller re-raises.
     panicked: bool,
+    /// Observability fields, live only while a [`PoolObs`] is attached.
+    /// Bumped under this mutex — which every pop already holds — so the
+    /// instrumented hot path takes no extra lock and no atomics; the
+    /// caller reads them back after quiescence.
+    obs_active: bool,
+    /// Tasks executed by worker threads / the calling thread this run.
+    worker_tasks: u64,
+    caller_tasks: u64,
+    /// First worker-thread pop this run: epoch handoff latency probe.
+    first_worker_pop: Option<Instant>,
 }
 
 struct Shared<S: PinSource, T: PoolTask<Ctx = S::Ctx>> {
@@ -105,6 +117,8 @@ struct Shared<S: PinSource, T: PoolTask<Ctx = S::Ctx>> {
 pub struct WorkerPool<S: PinSource, T: PoolTask<Ctx = S::Ctx>> {
     shared: Arc<Shared<S, T>>,
     handles: Vec<JoinHandle<()>>,
+    /// Observability attachment; `None` costs one `bool` test per pop.
+    obs: Option<PoolObs>,
 }
 
 impl<S: PinSource, T: PoolTask<Ctx = S::Ctx>> WorkerPool<S, T> {
@@ -122,6 +136,10 @@ impl<S: PinSource, T: PoolTask<Ctx = S::Ctx>> WorkerPool<S, T> {
                 active: 0,
                 done: Vec::new(),
                 panicked: false,
+                obs_active: false,
+                worker_tasks: 0,
+                caller_tasks: 0,
+                first_worker_pop: None,
             }),
             work_ready: Condvar::new(),
             work_done: Condvar::new(),
@@ -132,7 +150,23 @@ impl<S: PinSource, T: PoolTask<Ctx = S::Ctx>> WorkerPool<S, T> {
                 std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
-        Self { shared, handles }
+        Self {
+            shared,
+            handles,
+            obs: None,
+        }
+    }
+
+    /// Attaches observability: queue depth, run/handoff latency, and
+    /// worker-vs-caller task counts land in `obs`'s hub, labeled with the
+    /// pool name. Replaces any previous attachment.
+    pub fn attach_obs(&mut self, obs: PoolObs) {
+        self.obs = Some(obs);
+    }
+
+    /// Detaches observability, returning the attachment if one was set.
+    pub fn detach_obs(&mut self) -> Option<PoolObs> {
+        self.obs.take()
     }
 
     /// Number of persistent worker threads (excluding the calling thread).
@@ -172,24 +206,62 @@ impl<S: PinSource, T: PoolTask<Ctx = S::Ctx>> WorkerPool<S, T> {
         if tasks.is_empty() {
             return false;
         }
+        // The clock is read only when observability is attached.
+        let run_start = self.obs.as_ref().map(|_| Instant::now());
+        let depth = tasks.len();
         let mut st = self.shared.state.lock().expect("pool state poisoned");
         debug_assert!(st.queue.is_empty() && st.active == 0 && st.done.is_empty());
         st.kind = Some(kind);
         st.queue.append(tasks);
         st.epoch = st.epoch.wrapping_add(1);
         st.panicked = false;
+        st.obs_active = self.obs.is_some();
+        st.worker_tasks = 0;
+        st.caller_tasks = 0;
+        st.first_worker_pop = None;
         if !self.handles.is_empty() && st.queue.len() > 1 {
             // With a single task the caller will run it directly; don't
             // wake workers just to find an empty queue.
             self.shared.work_ready.notify_all();
         }
-        st = drain_queue(&self.shared, st);
+        st = drain_queue(&self.shared, st, false);
         while st.active > 0 {
             st = self.shared.work_done.wait(st).expect("pool state poisoned");
-            st = drain_queue(&self.shared, st);
+            st = drain_queue(&self.shared, st, false);
         }
         std::mem::swap(&mut st.done, done_out);
-        st.panicked
+        let panicked = st.panicked;
+        if let (Some(obs), Some(start)) = (self.obs.as_mut(), run_start) {
+            // Quiescent: workers are parked, so the per-run fields are
+            // final. Fold everything into the local buffer and merge —
+            // one registry lock per run, held by the caller only.
+            let worker_tasks = st.worker_tasks;
+            let caller_tasks = st.caller_tasks;
+            let handoff = st
+                .first_worker_pop
+                .map(|t| t.duration_since(start).as_secs_f64());
+            drop(st);
+            obs.local.observe(obs.queue_depth, depth as f64);
+            obs.local
+                .observe(obs.run_seconds, start.elapsed().as_secs_f64());
+            if let Some(handoff) = handoff {
+                obs.local.observe(obs.handoff_seconds, handoff);
+            }
+            obs.local.add(obs.worker_tasks, worker_tasks);
+            obs.local.add(obs.caller_tasks, caller_tasks);
+            let total = worker_tasks + caller_tasks;
+            if total > 0 {
+                obs.local
+                    .set(obs.worker_occupancy, worker_tasks as f64 / total as f64);
+            }
+            obs.local.add(obs.runs, 1);
+            obs.hub.registry().merge(&mut obs.local);
+            if panicked {
+                obs.hub
+                    .emit("runtime", format!("task panicked in pool '{}'", obs.name));
+            }
+        }
+        panicked
     }
 }
 
@@ -203,8 +275,14 @@ impl<S: PinSource, T: PoolTask<Ctx = S::Ctx>> WorkerPool<S, T> {
 fn drain_queue<'m, S: PinSource, T: PoolTask<Ctx = S::Ctx>>(
     shared: &'m Shared<S, T>,
     mut st: std::sync::MutexGuard<'m, PoolState<T>>,
+    is_worker: bool,
 ) -> std::sync::MutexGuard<'m, PoolState<T>> {
     while let Some((idx, mut task)) = st.queue.pop() {
+        if st.obs_active && is_worker && st.first_worker_pop.is_none() {
+            // Epoch handoff latency probe: first worker-thread pop of
+            // the run. Under the lock this pop already holds.
+            st.first_worker_pop = Some(Instant::now());
+        }
         let kind = st.kind.expect("queue is non-empty only during a run");
         let ctx = shared.source.pin();
         st.active += 1;
@@ -213,6 +291,13 @@ fn drain_queue<'m, S: PinSource, T: PoolTask<Ctx = S::Ctx>>(
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task.run(&ctx, kind)));
         st = shared.state.lock().expect("pool state poisoned");
         st.active -= 1;
+        if st.obs_active {
+            if is_worker {
+                st.worker_tasks += 1;
+            } else {
+                st.caller_tasks += 1;
+            }
+        }
         match result {
             Ok(output) => st.done.push(Done { idx, task, output }),
             Err(_) => st.panicked = true,
@@ -254,7 +339,7 @@ fn worker_loop<S: PinSource, T: PoolTask<Ctx = S::Ctx>>(shared: &Shared<S, T>) {
             st = shared.work_ready.wait(st).expect("pool state poisoned");
         }
         seen_epoch = st.epoch;
-        let st = drain_queue(shared, st);
+        let st = drain_queue(shared, st, true);
         drop(st);
     }
 }
@@ -387,6 +472,45 @@ mod tests {
         let mut done = Vec::new();
         assert!(!pool.run(1, &mut queue, &mut done));
         assert_eq!(done.len(), 3);
+    }
+
+    #[test]
+    fn attached_obs_accounts_every_task_without_changing_results() {
+        let hub = pinnsoc_obs::ObsHub::new();
+        let mut pool = WorkerPool::new(Arc::new(Versioned(AtomicU64::new(7))), 2);
+        pool.attach_obs(PoolObs::new(&hub, "test"));
+        let mut queue = tasks(12);
+        let mut done = Vec::new();
+        assert!(!pool.run(3, &mut queue, &mut done));
+        assert_eq!(done.len(), 12);
+        done.sort_unstable_by_key(|d| d.idx);
+        for (i, d) in done.iter().enumerate() {
+            assert_eq!(d.output, (i as u64) * (i as u64) + 3);
+        }
+        let snap = hub.snapshot();
+        assert_eq!(
+            snap.metrics
+                .counter_total("pinnsoc_runtime_pool_runs_total"),
+            1
+        );
+        // Every task is attributed to exactly one side of the handoff.
+        let executed = snap
+            .metrics
+            .counter_total("pinnsoc_runtime_pool_worker_tasks_total")
+            + snap
+                .metrics
+                .counter_total("pinnsoc_runtime_pool_caller_tasks_total");
+        assert_eq!(executed, 12);
+        assert!(pool.detach_obs().is_some());
+        // Detached: the next run leaves the series untouched.
+        let mut queue = tasks(4);
+        assert!(!pool.run(0, &mut queue, &mut done));
+        assert_eq!(
+            hub.snapshot()
+                .metrics
+                .counter_total("pinnsoc_runtime_pool_runs_total"),
+            1
+        );
     }
 
     #[test]

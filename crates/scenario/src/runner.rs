@@ -16,6 +16,7 @@ use pinnsoc::SocModel;
 use pinnsoc_battery::{aged_params, CellSim, Soc, Soh};
 use pinnsoc_cycles::{pulse_train, MixedCycleBuilder, Vehicle};
 use pinnsoc_fleet::{CellConfig, FleetConfig, FleetEngine, Telemetry};
+use pinnsoc_obs::{ObsHub, DURATION_BUCKETS};
 use pinnsoc_runtime::{NoContext, PoolTask, WorkerPool};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -56,6 +57,11 @@ pub struct ScenarioRunner {
     pub workers: usize,
     /// Per-scenario engine configuration.
     pub engine: EngineSpec,
+    /// Observability hub receiving per-scenario `pinnsoc_scenario_*` series
+    /// and a suite-completion ring event; `None` runs fully uninstrumented.
+    /// The [`ScenarioReport`] is bit-identical either way — recording reads
+    /// the finished results at suite end, on the coordinating thread only.
+    pub obs: Option<Arc<ObsHub>>,
 }
 
 /// A completed suite: the deterministic report plus the (host-dependent)
@@ -153,11 +159,91 @@ impl ScenarioRunner {
             });
             scenarios.push(result);
         }
-        SuiteRun {
+        let run = SuiteRun {
             report: ScenarioReport { scenarios },
             timings,
+        };
+        if let Some(hub) = &self.obs {
+            record_suite(hub, &run);
         }
+        run
     }
+
+    /// The same runner, reporting suite results into `hub`.
+    pub fn observed(mut self, hub: Arc<ObsHub>) -> Self {
+        self.obs = Some(hub);
+        self
+    }
+}
+
+/// Folds a finished suite into the hub. Cold path — once per suite, after
+/// every scenario completed — so it uses the registry's locked entry points
+/// directly; registration is idempotent, so repeated `run()` calls keep
+/// appending to the same series.
+fn record_suite(hub: &Arc<ObsHub>, run: &SuiteRun) {
+    let reg = hub.registry();
+    let mut cell_ticks_total = 0u64;
+    for (result, timing) in run.report.scenarios.iter().zip(&run.timings) {
+        let labels: &[(&str, &str)] = &[("scenario", &result.name)];
+        reg.add(
+            reg.counter_with(
+                "pinnsoc_scenario_runs_total",
+                "Completed closed-loop scenario runs.",
+                labels,
+            ),
+            1,
+        );
+        reg.observe(
+            reg.histogram_with(
+                "pinnsoc_scenario_wall_seconds",
+                "Wall time of one closed-loop scenario run.",
+                labels,
+                DURATION_BUCKETS,
+            ),
+            timing.wall_s,
+        );
+        reg.set(
+            reg.gauge_with(
+                "pinnsoc_scenario_best_mae",
+                "Best-estimate SoC MAE of the most recent run.",
+                labels,
+            ),
+            result.best.mae,
+        );
+        reg.set(
+            reg.gauge_with(
+                "pinnsoc_scenario_tte_mae_seconds",
+                "Time-to-empty MAE of the most recent run, seconds.",
+                labels,
+            ),
+            result.time_to_empty.mean_abs_error_s,
+        );
+        let cell_ticks = (result.cells * result.ticks) as u64;
+        cell_ticks_total += cell_ticks;
+        reg.add(
+            reg.counter_with(
+                "pinnsoc_scenario_cell_ticks_total",
+                "Scored (cell, tick) pairs.",
+                labels,
+            ),
+            cell_ticks,
+        );
+        reg.add(
+            reg.counter_with(
+                "pinnsoc_scenario_unscored_cell_ticks_total",
+                "(cell, tick) pairs the engine could not score yet.",
+                labels,
+            ),
+            result.unscored_cell_ticks,
+        );
+    }
+    hub.emit(
+        "scenario",
+        format!(
+            "suite of {} scenario(s) complete ({cell_ticks_total} cell-ticks scored)",
+            run.report.scenarios.len()
+        ),
+    );
 }
 
 /// Splitmix-style stream derivation so per-cell streams are decorrelated

@@ -210,3 +210,31 @@ fn empty_suite_is_harmless() {
     assert!(run.report.scenarios.is_empty());
     assert!(run.timings.is_empty());
 }
+
+#[test]
+fn observed_suite_is_bit_identical_and_records_series() {
+    let model = untrained_model();
+    let control = ScenarioRunner::default().run(&smoke_suite(9), &model);
+    let hub = pinnsoc_obs::ObsHub::new();
+    let observed = ScenarioRunner::default()
+        .observed(std::sync::Arc::clone(&hub))
+        .run(&smoke_suite(9), &model);
+    assert_eq!(
+        control.report, observed.report,
+        "attaching obs must not change the report"
+    );
+    let snapshot = hub.registry().snapshot();
+    let runs = snapshot.counter_total("pinnsoc_scenario_runs_total");
+    assert_eq!(runs, observed.report.scenarios.len() as u64);
+    let cell_ticks = snapshot.counter_total("pinnsoc_scenario_cell_ticks_total");
+    let expected: u64 = observed
+        .report
+        .scenarios
+        .iter()
+        .map(|s| (s.cells * s.ticks) as u64)
+        .sum();
+    assert_eq!(cell_ticks, expected);
+    let events = hub.recent_events();
+    assert_eq!(events.len(), 1, "one suite-completion event");
+    assert!(events[0].message.contains("suite of"));
+}
