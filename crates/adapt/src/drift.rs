@@ -84,6 +84,20 @@ impl Window {
     }
 }
 
+/// One cohort's rolling window, exported for persistence: the ring
+/// contents in storage order plus the next replacement slot. Importing
+/// this into a detector with the same [`DriftConfig`] reproduces the
+/// original window bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CohortWindow {
+    /// The cohort.
+    pub cohort: CohortId,
+    /// Ring contents in storage (not arrival) order.
+    pub ring: Vec<f64>,
+    /// Index the next past-capacity observation overwrites.
+    pub next: usize,
+}
+
 /// What the detector currently believes about one cohort.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DriftStatus {
@@ -169,6 +183,60 @@ impl DriftDetector {
     pub fn reset(&mut self) {
         self.cohorts.clear();
     }
+
+    /// Every cohort's window in ascending cohort order, for persistence.
+    pub fn export_windows(&self) -> Vec<CohortWindow> {
+        self.cohorts
+            .iter()
+            .map(|(&cohort, w)| CohortWindow {
+                cohort,
+                ring: w.ring.clone(),
+                next: w.next,
+            })
+            .collect()
+    }
+
+    /// Replaces the detector's state with previously exported windows. The
+    /// importing detector must be configured with the same window length
+    /// the exporter had, or the restored rings would break the ring-buffer
+    /// invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a window exceeds the configured length, its `next` slot is
+    /// out of range, or a ring value is non-finite (none of which a live
+    /// detector can produce — a mismatch means the persisted state belongs
+    /// to a different configuration).
+    pub fn import_windows(&mut self, windows: Vec<CohortWindow>) {
+        self.cohorts.clear();
+        for w in windows {
+            assert!(
+                w.ring.len() <= self.config.window,
+                "cohort {}: persisted ring ({}) exceeds configured window ({})",
+                w.cohort,
+                w.ring.len(),
+                self.config.window
+            );
+            assert!(
+                w.next < w.ring.len().max(1),
+                "cohort {}: replacement slot {} out of range",
+                w.cohort,
+                w.next
+            );
+            assert!(
+                w.ring.iter().all(|v| v.is_finite()),
+                "cohort {}: persisted ring holds a non-finite value",
+                w.cohort
+            );
+            self.cohorts.insert(
+                w.cohort,
+                Window {
+                    ring: w.ring,
+                    next: w.next,
+                },
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -252,6 +320,38 @@ mod tests {
         assert_eq!(d.status(0), None);
         d.observe(0, -0.5); // magnitude counts, sign does not
         assert!(d.status(0).unwrap().drifting);
+    }
+
+    #[test]
+    fn export_import_round_trips_and_continues_identically() {
+        let mut control = detector(0.1, 4);
+        for k in 0..40 {
+            control.observe((k % 3) as CohortId, 0.02 * (k % 7) as f64);
+        }
+        let mut restored = detector(0.1, 4);
+        restored.import_windows(control.export_windows());
+        assert_eq!(restored.export_windows(), control.export_windows());
+        assert_eq!(restored.statuses(), control.statuses());
+        // Continuation: the rings wrap at the same slots.
+        for k in 0..40 {
+            control.observe((k % 3) as CohortId, 0.03 * (k % 5) as f64);
+            restored.observe((k % 3) as CohortId, 0.03 * (k % 5) as f64);
+        }
+        assert_eq!(restored.export_windows(), control.export_windows());
+        // Import replaces, never merges.
+        restored.import_windows(Vec::new());
+        assert!(restored.statuses().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds configured window")]
+    fn import_rejects_oversized_windows() {
+        let mut d = detector(0.1, 4); // window 16
+        d.import_windows(vec![CohortWindow {
+            cohort: 0,
+            ring: vec![0.0; 17],
+            next: 0,
+        }]);
     }
 
     #[test]

@@ -29,8 +29,8 @@
 //!    own history. A failed gate changes nothing: the serving model is
 //!    untouched, by construction.
 
-use crate::drift::{CohortId, DriftConfig, DriftDetector, DriftStatus};
-use crate::harvest::{HarvestConfig, HarvestStats, Harvester};
+use crate::drift::{CohortId, CohortWindow, DriftConfig, DriftDetector, DriftStatus};
+use crate::harvest::{HarvestConfig, HarvestStats, Harvester, HarvesterSession};
 use crate::obs::AdaptObs;
 use pinnsoc::{train_many_with, SocModel, TrainConfig, TrainTask};
 use pinnsoc_data::{Cycle, SocDataset};
@@ -192,6 +192,33 @@ pub struct AdaptReport {
     pub harvest: HarvestStats,
 }
 
+/// Everything of an adaptation session that must survive a process
+/// restart: the replay reservoir and its gate baselines, the per-cohort
+/// drift windows, the cooldown counter, and the round-level history. The
+/// `pinnsoc-durable` snapshot carries it as a named extension blob (see
+/// [`AdaptationEngine::export_session_blob`]), so a recovered fleet
+/// resumes adapting exactly where the crashed process stopped.
+///
+/// Models are deliberately **not** in the session: the serving model is
+/// already persisted (and recovered) by the fleet snapshot itself, and the
+/// rollback/promotion history of `Arc<SocModel>` handles does not outlive
+/// the process — after a restart the recovered serving model is the new
+/// incumbent with a clean rollback slate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptSession {
+    /// Harvester state: reservoir, per-cell timestamps, telemetry books,
+    /// accounting.
+    pub harvester: HarvesterSession,
+    /// Per-cohort drift windows, ascending by cohort.
+    pub drift: Vec<CohortWindow>,
+    /// Observation ticks still to wait before the next round may trigger.
+    pub cooldown: u64,
+    /// Session counters.
+    pub report: AdaptReport,
+    /// Round-level event log.
+    pub events: Vec<AdaptEvent>,
+}
+
 /// The closed-loop online-adaptation engine. See the module docs.
 pub struct AdaptationEngine {
     config: AdaptationConfig,
@@ -294,6 +321,62 @@ impl AdaptationEngine {
     /// The most recently promoted model, if any round passed the gate.
     pub fn promoted(&self) -> Option<&Arc<SocModel>> {
         self.promoted.as_ref()
+    }
+
+    /// Exports the session state a restart needs (see [`AdaptSession`]).
+    pub fn export_session(&self) -> AdaptSession {
+        AdaptSession {
+            harvester: self.harvester.export_session(),
+            drift: self.drift.export_windows(),
+            cooldown: self.cooldown,
+            report: self.report,
+            events: self.events.clone(),
+        }
+    }
+
+    /// Replaces this engine's session state with a previously exported one.
+    /// The engine must be configured identically to the exporter (the
+    /// configuration is not part of the session); the fleet it subsequently
+    /// observes must be the recovered continuation of the one the exporter
+    /// observed, or the carried-over gate baselines are meaningless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the persisted state is inconsistent with this engine's
+    /// configuration (reservoir capacity or drift window mismatch).
+    pub fn restore_session(&mut self, session: AdaptSession) {
+        self.harvester.restore_session(session.harvester);
+        self.drift.import_windows(session.drift);
+        self.cooldown = session.cooldown;
+        self.report = session.report;
+        self.events = session.events;
+    }
+
+    /// [`Self::export_session`] as a self-describing JSON blob — the
+    /// payload for `DurableFleet::set_extension("adapt-session", ...)`.
+    pub fn export_session_blob(&self) -> Vec<u8> {
+        serde_json::to_string(&self.export_session())
+            .expect("adapt session is plain serializable data")
+            .into_bytes()
+    }
+
+    /// Restores from a blob produced by [`Self::export_session_blob`]
+    /// (typically read back through `DurableFleet::extension` after
+    /// recovery). Returns an `InvalidData` error on a malformed blob
+    /// without touching the engine's state.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the blob is not UTF-8 JSON or does not decode to an
+    /// [`AdaptSession`].
+    pub fn restore_session_blob(&mut self, blob: &[u8]) -> std::io::Result<()> {
+        let invalid = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let text = std::str::from_utf8(blob)
+            .map_err(|e| invalid(format!("adapt session blob is not UTF-8: {e}")))?;
+        let session: AdaptSession = serde_json::from_str(text)
+            .map_err(|e| invalid(format!("adapt session blob does not decode: {e}")))?;
+        self.restore_session(session);
+        Ok(())
     }
 
     /// Runs one observation tick against the live fleet: harvest, drift

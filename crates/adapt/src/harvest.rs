@@ -155,6 +155,28 @@ impl HarvestStats {
     }
 }
 
+/// A harvester's complete persistent state, exported for crash-safe
+/// storage (the `pinnsoc-durable` snapshot carries it as a named extension
+/// blob). Restoring it into a harvester with the same [`HarvestConfig`]
+/// resumes harvesting bit-identically: the reservoir's replacement RNG is
+/// rebuilt by seed-replay, and the gates' baselines (per-cell timestamps,
+/// telemetry books) carry over so no window is double-admitted or
+/// spuriously rate-limited across the restart.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HarvesterSession {
+    /// Total windows ever offered to the reservoir.
+    pub reservoir_seen: u64,
+    /// Retained reservoir contents, in storage order.
+    pub reservoir_items: Vec<HarvestedSample>,
+    /// Last harvested telemetry timestamp per cell, ascending by id
+    /// (sorted so the exported blob is deterministic).
+    pub last_window_s: Vec<(u64, f64)>,
+    /// Engine telemetry books at the last observed tick.
+    pub last_telemetry: TelemetryStats,
+    /// Cumulative accounting.
+    pub stats: HarvestStats,
+}
+
 /// Taps a [`FleetEngine`] for pseudo-labeled windows and disagreement
 /// observations. See the module docs for the gating rules.
 #[derive(Debug, Clone)]
@@ -199,6 +221,41 @@ impl Harvester {
     /// Cumulative accounting.
     pub fn stats(&self) -> HarvestStats {
         self.stats
+    }
+
+    /// Exports everything a restart needs (see [`HarvesterSession`]).
+    pub fn export_session(&self) -> HarvesterSession {
+        let mut last_window_s: Vec<(u64, f64)> =
+            self.last_window_s.iter().map(|(&id, &t)| (id, t)).collect();
+        last_window_s.sort_unstable_by_key(|&(id, _)| id);
+        HarvesterSession {
+            reservoir_seen: self.reservoir.seen(),
+            reservoir_items: self.reservoir.as_slice().to_vec(),
+            last_window_s,
+            last_telemetry: self.last_telemetry,
+            stats: self.stats,
+        }
+    }
+
+    /// Replaces this harvester's state with a previously exported session.
+    /// The configuration (capacity, seed, gates) is **not** part of the
+    /// session — it comes from this harvester's own [`HarvestConfig`],
+    /// which must match the exporter's for the resume to be exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the persisted reservoir is inconsistent with this
+    /// harvester's capacity (see [`Reservoir::restore`]).
+    pub fn restore_session(&mut self, session: HarvesterSession) {
+        self.reservoir = Reservoir::restore(
+            self.config.reservoir_capacity,
+            self.config.seed,
+            session.reservoir_seen,
+            session.reservoir_items,
+        );
+        self.last_window_s = session.last_window_s.into_iter().collect();
+        self.last_telemetry = session.last_telemetry;
+        self.stats = session.stats;
     }
 
     /// Walks the fleet once: harvests gated windows into the reservoir and

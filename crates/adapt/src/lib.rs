@@ -30,6 +30,12 @@
 //!   [`pinnsoc_fleet::ModelRegistry`] mid-tick, with the incumbent kept
 //!   for [`AdaptationEngine::rollback`]. A failed gate leaves the serving
 //!   model untouched.
+//! - An [`AdaptSession`] captures everything the loop must carry across a
+//!   process restart — reservoir (RNG position restored by seed-replay),
+//!   per-cohort drift windows, gate baselines, cooldown, round history —
+//!   as a JSON blob sized for `pinnsoc-durable`'s named snapshot
+//!   extensions, so a crash-recovered fleet resumes adapting
+//!   bit-identically.
 //!
 //! Everything is seeded and deterministic: for a fixed fleet history and
 //! configuration the harvested buffer, the trigger ticks, the fine-tuned
@@ -66,9 +72,10 @@ pub mod harvest;
 mod obs;
 pub mod reservoir;
 
-pub use drift::{CohortId, DriftConfig, DriftDetector, DriftStatus};
+pub use drift::{CohortId, CohortWindow, DriftConfig, DriftDetector, DriftStatus};
 pub use engine::{
-    AdaptEvent, AdaptOutcome, AdaptReport, AdaptationConfig, AdaptationEngine, GateConfig,
+    AdaptEvent, AdaptOutcome, AdaptReport, AdaptSession, AdaptationConfig, AdaptationEngine,
+    GateConfig,
 };
-pub use harvest::{HarvestConfig, HarvestStats, HarvestedSample, Harvester};
+pub use harvest::{HarvestConfig, HarvestStats, HarvestedSample, Harvester, HarvesterSession};
 pub use reservoir::Reservoir;

@@ -18,6 +18,7 @@ use rand::{Rng, SeedableRng};
 pub struct Reservoir<T> {
     items: Vec<T>,
     capacity: usize,
+    seed: u64,
     seen: u64,
     rng: StdRng,
 }
@@ -34,9 +35,47 @@ impl<T> Reservoir<T> {
         Self {
             items: Vec::with_capacity(capacity),
             capacity,
+            seed,
             seen: 0,
             rng: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// Rebuilds a reservoir from persisted state: the retained `items` and
+    /// the total offer count `seen`, as exported by [`Self::as_slice`] and
+    /// [`Self::seen`]. The replacement RNG has no serialized form; instead
+    /// its position is restored by replaying the draw sequence — one
+    /// `gen_range(0..n)` per past-capacity push, a pure function of
+    /// `(seed, push index)` — so a restored reservoir's future contents are
+    /// bit-identical to one that never stopped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `items.len() != min(seen, capacity)`
+    /// (the invariant every live reservoir maintains).
+    pub fn restore(capacity: usize, seed: u64, seen: u64, items: Vec<T>) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        assert_eq!(
+            items.len() as u64,
+            seen.min(capacity as u64),
+            "persisted reservoir holds min(seen, capacity) items"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        for n in (capacity as u64 + 1)..=seen {
+            let _ = rng.gen_range(0..n);
+        }
+        Self {
+            items,
+            capacity,
+            seed,
+            seen,
+            rng,
+        }
+    }
+
+    /// The seed all replacement randomness derives from.
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Offers one item to the reservoir. The first `capacity` offers are
@@ -117,6 +156,42 @@ mod tests {
         }
         assert_eq!(a.as_slice(), b.as_slice());
         assert_ne!(a.as_slice(), c.as_slice(), "different seed, different draw");
+    }
+
+    #[test]
+    fn restore_continues_bit_identically() {
+        // Export mid-stream, rebuild, keep pushing into both: the restored
+        // reservoir must track the uninterrupted control exactly — both
+        // below capacity (no draws to replay) and deep past it.
+        for cut in [3u64, 10, 250] {
+            let mut control = Reservoir::new(10, 99);
+            for k in 0..cut {
+                control.push(k);
+            }
+            let mut restored = Reservoir::restore(
+                control.capacity(),
+                control.seed(),
+                control.seen(),
+                control.as_slice().to_vec(),
+            );
+            assert_eq!(restored.seed(), 99);
+            for k in cut..cut + 400 {
+                control.push(k);
+                restored.push(k);
+                assert_eq!(
+                    control.as_slice(),
+                    restored.as_slice(),
+                    "cut {cut}, push {k}"
+                );
+            }
+            assert_eq!(control.seen(), restored.seen());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "min(seen, capacity)")]
+    fn restore_rejects_inconsistent_state() {
+        let _ = Reservoir::restore(4, 0, 100, vec![1u64, 2]);
     }
 
     #[test]

@@ -1,0 +1,245 @@
+//! Adaptation-session persistence: the reservoir, drift windows, gate
+//! baselines, and round history survive a process restart — both as a
+//! plain blob round-trip and through a real `pinnsoc-durable` crash →
+//! recover cycle — and the resumed session continues bit-identically to
+//! an uninterrupted control.
+
+use pinnsoc::{PinnVariant, TrainConfig};
+use pinnsoc_adapt::{AdaptationConfig, AdaptationEngine, DriftConfig, GateConfig, HarvestConfig};
+use pinnsoc_data::SocDataset;
+use pinnsoc_durable::{recover, DurableConfig, DurableFleet};
+use pinnsoc_fleet::testing::untrained_model;
+use pinnsoc_fleet::{CellConfig, FleetConfig, FleetEngine, Telemetry};
+use pinnsoc_scenario::{smoke_suite, EngineSpec};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const CELLS: u64 = 12;
+const CRASH_TICK: u64 = 9;
+const TOTAL_TICKS: u64 = 18;
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn tmpdir() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "pinnsoc-adapt-session-{}-{}",
+        std::process::id(),
+        DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// A config whose drift trigger fires on the untrained network's large
+/// network-vs-Coulomb disagreement, but whose `min_reservoir` is set far
+/// out of reach — every trigger lands as a cheap `InsufficientData` event
+/// (round history to persist) without ever fine-tuning.
+fn config() -> AdaptationConfig {
+    AdaptationConfig {
+        drift: DriftConfig {
+            window: 32,
+            threshold: 0.02,
+            min_samples: 16,
+        },
+        harvest: HarvestConfig {
+            reservoir_capacity: 64,
+            seed: 11,
+            min_dt_s: 15.0,
+            rated_capacity_ah: 3.0,
+            ..HarvestConfig::default()
+        },
+        fine_tune: TrainConfig {
+            b1_epochs: 1,
+            b2_epochs: 0,
+            ..TrainConfig::sandia(PinnVariant::NoPinn, 0)
+        },
+        candidate_seeds: vec![1],
+        gate: GateConfig {
+            suite: smoke_suite(3),
+            runner_workers: 0,
+            engine: EngineSpec::default(),
+            min_improvement: 0.0,
+        },
+        train_workers: 0,
+        lab_cycles: 0,
+        min_reservoir: usize::MAX,
+        cooldown_ticks: 4,
+    }
+}
+
+fn adapt_engine() -> AdaptationEngine {
+    let lab = Arc::new(SocDataset {
+        name: "empty-lab".into(),
+        train: Vec::new(),
+        test: Vec::new(),
+    });
+    AdaptationEngine::new(config(), lab)
+}
+
+fn fleet() -> FleetEngine {
+    let mut engine = FleetEngine::new(
+        untrained_model(),
+        FleetConfig {
+            shards: 2,
+            micro_batch: 16,
+            workers: 0,
+            ekf_fallback: None,
+        },
+    );
+    for id in 0..CELLS {
+        engine.register(
+            id,
+            CellConfig {
+                initial_soc: 0.9,
+                // Spread capacities across SoH cohorts so several drift
+                // windows exist to persist.
+                capacity_ah: 3.0 - (id % 4) as f64 * 0.6,
+            },
+        );
+    }
+    engine
+}
+
+fn feed(tick: u64, id: u64) -> Telemetry {
+    Telemetry {
+        time_s: tick as f64 * 10.0,
+        voltage_v: 3.6 + id as f64 * 0.005 - tick as f64 * 0.002,
+        current_a: 1.0 + (id % 3) as f64 * 0.25,
+        temperature_c: 25.0,
+    }
+}
+
+/// Two engines must agree on everything observable.
+fn assert_sessions_match(control: &AdaptationEngine, resumed: &AdaptationEngine, at: u64) {
+    assert_eq!(
+        control.export_session(),
+        resumed.export_session(),
+        "sessions diverged at tick {at}"
+    );
+    assert_eq!(
+        control.report(),
+        resumed.report(),
+        "reports diverged at tick {at}"
+    );
+    assert_eq!(control.events(), resumed.events());
+    assert_eq!(control.drift_statuses(), resumed.drift_statuses());
+}
+
+#[test]
+fn session_blob_round_trips_and_continues_identically() {
+    let mut engine = fleet();
+    let mut control = adapt_engine();
+    for tick in 1..=CRASH_TICK {
+        for id in 0..CELLS {
+            engine.ingest(id, feed(tick, id));
+        }
+        engine.process_pending();
+        control.observe_tick(&engine);
+    }
+    assert!(
+        !control.events().is_empty(),
+        "test premise: the untrained network must have triggered by now"
+    );
+
+    let mut resumed = adapt_engine();
+    resumed
+        .restore_session_blob(&control.export_session_blob())
+        .expect("blob decodes");
+    assert_sessions_match(&control, &resumed, CRASH_TICK);
+
+    // Both observe the same live fleet from here: outcomes and state must
+    // stay identical tick for tick.
+    for tick in CRASH_TICK + 1..=TOTAL_TICKS {
+        for id in 0..CELLS {
+            engine.ingest(id, feed(tick, id));
+        }
+        engine.process_pending();
+        let a = control.observe_tick(&engine);
+        let b = resumed.observe_tick(&engine);
+        assert_eq!(a, b, "outcomes diverged at tick {tick}");
+        assert_sessions_match(&control, &resumed, tick);
+    }
+    assert!(control.report().harvest.harvested > 0, "windows flowed");
+}
+
+#[test]
+fn malformed_blob_is_rejected_without_state_change() {
+    let mut engine = adapt_engine();
+    let before = engine.export_session();
+    for garbage in [&b"not json"[..], &[0xFF, 0xFE][..], b"{\"half\":"] {
+        let err = engine.restore_session_blob(garbage).expect_err("must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+    assert_eq!(
+        engine.export_session(),
+        before,
+        "failed restore mutated state"
+    );
+}
+
+/// The full restart story: the session rides the durable snapshot as the
+/// `adapt-session` extension blob, the process dies, and the recovered
+/// fleet + restored session finish the run bit-identical to a control
+/// that never crashed — estimates and adaptation state both.
+#[test]
+fn session_survives_durable_recovery() {
+    // Control: uninterrupted fleet + adaptation engine.
+    let mut control_fleet = fleet();
+    let mut control = adapt_engine();
+    for tick in 1..=TOTAL_TICKS {
+        for id in 0..CELLS {
+            control_fleet.ingest(id, feed(tick, id));
+        }
+        control_fleet.process_pending();
+        control.observe_tick(&control_fleet);
+    }
+
+    // Doomed process: same feed through a DurableFleet, session blob
+    // refreshed into the extension slot each tick, snapshot at the crash
+    // boundary, then dropped cold.
+    let dir = tmpdir();
+    let durable_config = DurableConfig::new(&dir);
+    let mut durable =
+        DurableFleet::create(fleet(), durable_config.clone()).expect("create durable fleet");
+    let mut adapt = adapt_engine();
+    for tick in 1..=CRASH_TICK {
+        for id in 0..CELLS {
+            durable.ingest(id, feed(tick, id));
+        }
+        durable.process_pending().expect("tick commits");
+        adapt.observe_tick(durable.engine());
+        durable.set_extension("adapt-session", adapt.export_session_blob());
+    }
+    durable.snapshot_now().expect("snapshot at crash boundary");
+    drop(durable);
+    drop(adapt);
+
+    // Restart: recover the fleet, restore the session from the snapshot's
+    // extension blob, finish the run.
+    let (mut durable, report) = recover(durable_config, 0).expect("recovery");
+    assert_eq!(report.tick, CRASH_TICK);
+    let mut adapt = adapt_engine();
+    let blob = durable
+        .extension("adapt-session")
+        .expect("session blob survived the snapshot")
+        .to_vec();
+    adapt.restore_session_blob(&blob).expect("session restores");
+    for tick in CRASH_TICK + 1..=TOTAL_TICKS {
+        for id in 0..CELLS {
+            durable.ingest(id, feed(tick, id));
+        }
+        durable.process_pending().expect("tick commits");
+        adapt.observe_tick(durable.engine());
+        durable.set_extension("adapt-session", adapt.export_session_blob());
+    }
+
+    // Adaptation state matches the never-crashed control exactly...
+    assert_sessions_match(&control, &adapt, TOTAL_TICKS);
+    // ...and so do the fleet's estimates, bit for bit.
+    for id in 0..CELLS {
+        let (a, src_a) = control_fleet.estimate(id).expect("control estimate");
+        let (b, src_b) = durable.engine().estimate(id).expect("recovered estimate");
+        assert_eq!(a.to_bits(), b.to_bits(), "cell {id} SoC diverged");
+        assert_eq!(src_a, src_b, "cell {id} estimator source diverged");
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

@@ -81,6 +81,16 @@ impl CoulombCounter {
         self.soc
     }
 
+    /// The configured current-sensor bias, amps.
+    pub fn sensor_bias_a(&self) -> f64 {
+        self.sensor_bias_a
+    }
+
+    /// Rated capacity the integral is measured against, amp-hours.
+    pub fn capacity_ah(&self) -> f64 {
+        self.capacity_ah
+    }
+
     /// Integrates one measurement interval.
     pub fn update(&mut self, measured_current_a: f64, dt_s: f64) -> Soc {
         assert!(dt_s > 0.0, "time step must be positive");

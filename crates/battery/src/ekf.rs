@@ -7,6 +7,25 @@
 
 use crate::chemistry::CellParams;
 use crate::types::Soc;
+use serde::{Deserialize, Serialize};
+
+/// The complete mutable state of an [`EkfEstimator`], for persistence.
+///
+/// Captures everything [`EkfEstimator::update`] reads and writes besides
+/// the (immutable) cell parameters: restoring via
+/// [`EkfEstimator::from_state`] with the same parameters yields a filter
+/// whose subsequent updates are bit-identical to the original's.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EkfState {
+    /// State estimate `[SoC, v_rc]`.
+    pub x: [f64; 2],
+    /// State covariance (row-major 2×2).
+    pub p: [[f64; 2]; 2],
+    /// Process noise diagonal.
+    pub q: [f64; 2],
+    /// Measurement noise variance (volts²).
+    pub r: f64,
+}
 
 /// Extended Kalman filter tracking `[SoC, v_rc]` of a first-order ECM.
 ///
@@ -63,6 +82,30 @@ impl EkfEstimator {
         self.q = [q_soc, q_vrc];
         self.r = r_meas;
         self
+    }
+
+    /// Rebuilds a filter from persisted state and the original parameters.
+    ///
+    /// The inverse of [`Self::state`]: subsequent [`Self::update`] calls are
+    /// bit-identical to the filter the state was exported from.
+    pub fn from_state(params: CellParams, state: EkfState) -> Self {
+        Self {
+            params,
+            x: state.x,
+            p: state.p,
+            q: state.q,
+            r: state.r,
+        }
+    }
+
+    /// Exports the complete mutable filter state (see [`EkfState`]).
+    pub fn state(&self) -> EkfState {
+        EkfState {
+            x: self.x,
+            p: self.p,
+            q: self.q,
+            r: self.r,
+        }
     }
 
     /// Current SoC estimate.

@@ -51,7 +51,7 @@ pub use aging::{aged_params, FadeModel, Soh};
 pub use chemistry::{CellParams, Chemistry};
 pub use coulomb::{coulomb_predict, CoulombCounter};
 pub use ecm::{Ecm, EcmOrder};
-pub use ekf::EkfEstimator;
+pub use ekf::{EkfEstimator, EkfState};
 pub use ocv::{OcvCurve, OcvCurveError};
 pub use ocv_estimator::OcvSocEstimator;
 pub use sim::{CellSim, SimRun};

@@ -1,0 +1,132 @@
+//! Fixed-width little-endian binary encoding shared by the WAL and the
+//! snapshot format.
+//!
+//! Floats are encoded through [`f64::to_bits`], so every value — including
+//! the fleet's `-inf` "no network estimate yet" sentinel, negative zero,
+//! and any NaN payload — round-trips bit-exactly. The decoder is
+//! no-panic by construction: every read returns `Option`, and a corrupt or
+//! truncated buffer yields `None` instead of an out-of-bounds slice.
+
+/// Appends fixed-width primitives to a byte buffer.
+#[derive(Debug)]
+pub(crate) struct Enc<'a>(pub &'a mut Vec<u8>);
+
+impl Enc<'_> {
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Length-prefixed byte blob (`u32` length, then the bytes).
+    pub(crate) fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.0.extend_from_slice(v);
+    }
+}
+
+/// Cursor over a byte slice; every read is bounds-checked.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub(crate) fn u8(&mut self) -> Option<u8> {
+        let v = *self.buf.get(self.pos)?;
+        self.pos += 1;
+        Some(v)
+    }
+
+    pub(crate) fn u32(&mut self) -> Option<u32> {
+        let bytes = self.buf.get(self.pos..self.pos + 4)?;
+        self.pos += 4;
+        Some(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn u64(&mut self) -> Option<u64> {
+        let bytes = self.buf.get(self.pos..self.pos + 8)?;
+        self.pos += 8;
+        Some(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    /// Length-prefixed byte blob. `None` when the prefix overruns the
+    /// buffer — a huge corrupt length cannot trigger a huge allocation,
+    /// because the slice is taken before anything is copied.
+    pub(crate) fn bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            return None;
+        }
+        let v = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Some(v)
+    }
+
+    /// Exactly `n` raw bytes.
+    pub(crate) fn raw(&mut self, n: usize) -> Option<&'a [u8]> {
+        let v = self.buf.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = Vec::new();
+        let mut enc = Enc(&mut buf);
+        enc.u8(7);
+        enc.u32(0xDEAD_BEEF);
+        enc.u64(u64::MAX);
+        enc.f64(f64::NEG_INFINITY);
+        enc.f64(-0.0);
+        enc.bytes(b"blob");
+        let mut dec = Dec::new(&buf);
+        assert_eq!(dec.u8(), Some(7));
+        assert_eq!(dec.u32(), Some(0xDEAD_BEEF));
+        assert_eq!(dec.u64(), Some(u64::MAX));
+        assert_eq!(
+            dec.f64().map(f64::to_bits),
+            Some(f64::NEG_INFINITY.to_bits())
+        );
+        assert_eq!(dec.f64().map(f64::to_bits), Some((-0.0f64).to_bits()));
+        assert_eq!(dec.bytes(), Some(&b"blob"[..]));
+        assert_eq!(dec.remaining(), 0);
+        assert_eq!(dec.u8(), None, "reads past the end are None, not panics");
+    }
+
+    #[test]
+    fn corrupt_length_prefix_is_rejected() {
+        let mut buf = Vec::new();
+        Enc(&mut buf).u32(u32::MAX); // absurd blob length, no payload
+        assert_eq!(Dec::new(&buf).bytes(), None);
+    }
+}

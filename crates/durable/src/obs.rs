@@ -1,0 +1,110 @@
+//! Observability wiring: `pinnsoc_durable_*` series.
+//!
+//! All recording happens at tick boundaries or during recovery — both cold
+//! paths — so the durable layer uses direct registry operations (the same
+//! pattern as the scenario harness's suite recording) instead of a
+//! worker-local buffer. With no hub attached, nothing is recorded and the
+//! logged byte stream is byte-identical.
+
+use crate::RecoveryReport;
+use pinnsoc_obs::{MetricId, ObsHub, DURATION_BUCKETS};
+use std::sync::Arc;
+
+/// Metric handles for one [`crate::DurableFleet`].
+#[derive(Debug)]
+pub(crate) struct DurableObs {
+    pub(crate) hub: Arc<ObsHub>,
+    pub(crate) records: MetricId,
+    pub(crate) bytes: MetricId,
+    pub(crate) commits: MetricId,
+    pub(crate) flush_seconds: MetricId,
+    pub(crate) snapshots: MetricId,
+    pub(crate) snapshot_seconds: MetricId,
+    pub(crate) rotations: MetricId,
+    pub(crate) segment_bytes: MetricId,
+    pub(crate) tick: MetricId,
+}
+
+impl DurableObs {
+    pub(crate) fn new(hub: &Arc<ObsHub>) -> Self {
+        let r = hub.registry();
+        Self {
+            hub: Arc::clone(hub),
+            records: r.counter(
+                "pinnsoc_durable_records_total",
+                "WAL records flushed to disk",
+            ),
+            bytes: r.counter(
+                "pinnsoc_durable_bytes_total",
+                "Framed WAL bytes flushed to disk",
+            ),
+            commits: r.counter(
+                "pinnsoc_durable_commits_total",
+                "Tick-boundary commit records written",
+            ),
+            flush_seconds: r.histogram(
+                "pinnsoc_durable_flush_seconds",
+                "Wall time of tick-boundary WAL flushes",
+                DURATION_BUCKETS,
+            ),
+            snapshots: r.counter(
+                "pinnsoc_durable_snapshots_total",
+                "Snapshots written (including the creation/recovery baselines)",
+            ),
+            snapshot_seconds: r.histogram(
+                "pinnsoc_durable_snapshot_seconds",
+                "Wall time of snapshot writes (encode + temp-write + rename)",
+                DURATION_BUCKETS,
+            ),
+            rotations: r.counter("pinnsoc_durable_rotations_total", "WAL segment rotations"),
+            segment_bytes: r.gauge(
+                "pinnsoc_durable_segment_bytes",
+                "Bytes in the active WAL segment (header included)",
+            ),
+            tick: r.gauge(
+                "pinnsoc_durable_tick",
+                "Committed-tick counter (monotonic across restarts)",
+            ),
+        }
+    }
+}
+
+/// Records one recovery's counters into `hub`: replayed records, commits,
+/// the truncated tail, the dropped uncommitted records, and how far the
+/// replayed WAL tail ran past the snapshot. Call after [`crate::recover`].
+pub fn record_recovery(hub: &Arc<ObsHub>, report: &RecoveryReport) {
+    let r = hub.registry();
+    let recoveries = r.counter("pinnsoc_durable_recoveries_total", "Recoveries performed");
+    r.add(recoveries, 1);
+    let replayed = r.gauge(
+        "pinnsoc_durable_recovery_records_replayed",
+        "WAL records applied by the latest recovery",
+    );
+    r.set(replayed, report.records_replayed as f64);
+    let truncated = r.gauge(
+        "pinnsoc_durable_recovery_truncated_bytes",
+        "WAL bytes refused by the latest recovery (torn tail / corruption)",
+    );
+    r.set(truncated, report.truncated_tail_bytes as f64);
+    let dropped = r.gauge(
+        "pinnsoc_durable_recovery_dropped_uncommitted",
+        "Valid-but-uncommitted records dropped by the latest recovery",
+    );
+    r.set(dropped, report.dropped_uncommitted_records as f64);
+    let age = r.gauge(
+        "pinnsoc_durable_recovery_snapshot_age_ticks",
+        "Ticks the latest recovery replayed past its snapshot",
+    );
+    r.set(age, report.snapshot_age_ticks() as f64);
+    hub.emit(
+        "durable",
+        format!(
+            "recovered tick {} from snapshot tick {} (+{} records, {} truncated bytes, {} uncommitted dropped)",
+            report.tick,
+            report.snapshot_tick,
+            report.records_replayed,
+            report.truncated_tail_bytes,
+            report.dropped_uncommitted_records
+        ),
+    );
+}

@@ -1,0 +1,571 @@
+//! The write-ahead log: checksummed, length-prefixed records in rotating
+//! segment files.
+//!
+//! ## On-disk format
+//!
+//! Each segment file `wal-<n>.log` starts with the 8-byte magic
+//! `PSOCWAL1`, followed by records:
+//!
+//! ```text
+//! [len: u32][crc: u32][payload: len bytes]
+//! payload = [op: u8][seq: u64][body…]
+//! ```
+//!
+//! `crc` is the CRC-32 of the payload. `seq` is a monotonic record counter
+//! spanning segments and restarts. The reader is corruption-tolerant by
+//! construction: a record whose length overruns the file, whose CRC
+//! mismatches, whose op byte is unknown, or whose body is the wrong width
+//! ends the log right there — **truncate at first bad record** — and the
+//! valid prefix before it is returned untouched. A torn tail write (the
+//! only corruption a crash can produce under buffered appends) therefore
+//! costs exactly the uncommitted tail.
+//!
+//! Replay semantics live one level up (see [`crate::recover`]): only
+//! records up to the last valid [`WalOp::Commit`] are applied, so a tick's
+//! partially-flushed ingests never pollute recovered state.
+
+use crate::codec::{Dec, Enc};
+use crate::crc::crc32;
+use pinnsoc_fleet::{CellId, Telemetry};
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every WAL segment (format version in the suffix).
+pub const WAL_MAGIC: &[u8; 8] = b"PSOCWAL1";
+
+/// Upper bound on a record payload. Real records are under 64 bytes; the
+/// bound only exists so a corrupt length prefix reads as corruption
+/// instead of a gigabyte allocation.
+pub const MAX_RECORD_BYTES: u32 = 1 << 20;
+
+const OP_REGISTER: u8 = 1;
+const OP_DEREGISTER: u8 = 2;
+const OP_REPORT: u8 = 3;
+const OP_COMMIT: u8 = 4;
+
+/// One logged fleet mutation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WalOp {
+    /// A cell registered with its initial integrator seed.
+    Register {
+        /// The cell's fleet-unique id.
+        id: CellId,
+        /// Assumed SoC at registration.
+        initial_soc: f64,
+        /// Rated capacity, amp-hours.
+        capacity_ah: f64,
+    },
+    /// A cell deregistered.
+    Deregister {
+        /// The cell's fleet-unique id.
+        id: CellId,
+    },
+    /// One telemetry report as ingested (logged before the accept/reject
+    /// decision — absorb outcomes are deterministic, so replay re-derives
+    /// them and the telemetry books stay bit-identical).
+    Report {
+        /// The addressed cell id (possibly unregistered — replay re-counts
+        /// the unknown-cell rejection exactly as the original ingest did).
+        id: CellId,
+        /// The report.
+        telemetry: Telemetry,
+    },
+    /// A tick boundary: every record before this one was folded into the
+    /// engine by `process_pending` tick `tick`. Replay applies records only
+    /// up to the last valid commit.
+    Commit {
+        /// Monotonic committed-tick counter (survives restarts).
+        tick: u64,
+    },
+}
+
+/// A decoded WAL record: a monotonic sequence number and the operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalRecord {
+    /// Monotonic record counter spanning segments and restarts.
+    pub seq: u64,
+    /// The logged operation.
+    pub op: WalOp,
+}
+
+/// Appends one encoded record (`len`/`crc` framing included) to `out`.
+/// Encodes in place — payload first, frame backfilled — so bulk flushes
+/// allocate nothing per record.
+pub fn encode_record(out: &mut Vec<u8>, record: &WalRecord) {
+    let frame_at = out.len();
+    out.extend_from_slice(&[0u8; 8]); // len + crc, backfilled below
+    let payload_at = out.len();
+    let mut enc = Enc(out);
+    match record.op {
+        WalOp::Register {
+            id,
+            initial_soc,
+            capacity_ah,
+        } => {
+            enc.u8(OP_REGISTER);
+            enc.u64(record.seq);
+            enc.u64(id);
+            enc.f64(initial_soc);
+            enc.f64(capacity_ah);
+        }
+        WalOp::Deregister { id } => {
+            enc.u8(OP_DEREGISTER);
+            enc.u64(record.seq);
+            enc.u64(id);
+        }
+        WalOp::Report { id, telemetry } => {
+            enc.u8(OP_REPORT);
+            enc.u64(record.seq);
+            enc.u64(id);
+            enc.f64(telemetry.time_s);
+            enc.f64(telemetry.voltage_v);
+            enc.f64(telemetry.current_a);
+            enc.f64(telemetry.temperature_c);
+        }
+        WalOp::Commit { tick } => {
+            enc.u8(OP_COMMIT);
+            enc.u64(record.seq);
+            enc.u64(tick);
+        }
+    }
+    let len = (out.len() - payload_at) as u32;
+    let crc = crc32(&out[payload_at..]);
+    out[frame_at..frame_at + 4].copy_from_slice(&len.to_le_bytes());
+    out[frame_at + 4..frame_at + 8].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Decodes one record payload (everything after the `len`/`crc` frame).
+/// `None` on an unknown op byte, a short body, or trailing bytes — strict
+/// by design, so a CRC collision on garbage still cannot yield a record.
+fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
+    let mut dec = Dec::new(payload);
+    let op = dec.u8()?;
+    let seq = dec.u64()?;
+    let op = match op {
+        OP_REGISTER => WalOp::Register {
+            id: dec.u64()?,
+            initial_soc: dec.f64()?,
+            capacity_ah: dec.f64()?,
+        },
+        OP_DEREGISTER => WalOp::Deregister { id: dec.u64()? },
+        OP_REPORT => WalOp::Report {
+            id: dec.u64()?,
+            telemetry: Telemetry {
+                time_s: dec.f64()?,
+                voltage_v: dec.f64()?,
+                current_a: dec.f64()?,
+                temperature_c: dec.f64()?,
+            },
+        },
+        OP_COMMIT => WalOp::Commit { tick: dec.u64()? },
+        _ => return None,
+    };
+    (dec.remaining() == 0).then_some(WalRecord { seq, op })
+}
+
+/// What [`read_segment`] recovered from one segment's bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentRead {
+    /// The valid record prefix, in file order.
+    pub records: Vec<WalRecord>,
+    /// Bytes after the last valid record (torn tail, flipped bits, or a
+    /// missing/corrupt header — in which case it is the whole file).
+    pub truncated_bytes: u64,
+}
+
+/// Parses one segment's bytes — pure, total, and panic-free: any input
+/// yields the longest valid record prefix plus a count of the bytes it
+/// refused.
+pub fn read_segment(bytes: &[u8]) -> SegmentRead {
+    let mut records = Vec::new();
+    if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return SegmentRead {
+            records,
+            truncated_bytes: bytes.len() as u64,
+        };
+    }
+    let mut dec = Dec::new(&bytes[WAL_MAGIC.len()..]);
+    while dec.remaining() > 0 {
+        // Parse on a cursor copy: a failed record must not consume bytes,
+        // so the truncation count covers the whole refused tail.
+        let parsed = (|| {
+            let mut cursor = dec;
+            let len = cursor.u32()?;
+            if len > MAX_RECORD_BYTES {
+                return None;
+            }
+            let crc = cursor.u32()?;
+            let payload = cursor.raw(len as usize)?;
+            if crc32(payload) != crc {
+                return None;
+            }
+            decode_payload(payload).map(|record| (record, cursor))
+        })();
+        match parsed {
+            Some((record, cursor)) => {
+                records.push(record);
+                dec = cursor;
+            }
+            None => {
+                return SegmentRead {
+                    truncated_bytes: dec.remaining() as u64,
+                    records,
+                };
+            }
+        }
+    }
+    SegmentRead {
+        records,
+        truncated_bytes: 0,
+    }
+}
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("wal-{index:010}.log"))
+}
+
+/// Segment indices present in `dir`, ascending.
+pub(crate) fn list_segments(dir: &Path) -> std::io::Result<Vec<u64>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(index) = name
+            .strip_prefix("wal-")
+            .and_then(|rest| rest.strip_suffix(".log"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            out.push(index);
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// Everything [`read_wal_dir`] recovered from a log directory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalScan {
+    /// Valid records across all segments, in log order.
+    pub records: Vec<WalRecord>,
+    /// Bytes refused at and after the first bad record (later segments
+    /// included: a mid-log corruption invalidates everything behind it,
+    /// because record order is the replay contract).
+    pub truncated_bytes: u64,
+    /// Highest segment index present (even if corrupt), for the writer to
+    /// continue numbering past.
+    pub max_segment: Option<u64>,
+}
+
+/// Reads every segment in `dir` in index order, stopping at the first bad
+/// record anywhere in the log.
+pub fn read_wal_dir(dir: &Path) -> std::io::Result<WalScan> {
+    let segments = list_segments(dir)?;
+    let mut scan = WalScan {
+        records: Vec::new(),
+        truncated_bytes: 0,
+        max_segment: segments.last().copied(),
+    };
+    let mut poisoned = false;
+    for &index in &segments {
+        let path = segment_path(dir, index);
+        let mut bytes = Vec::new();
+        File::open(&path)?.read_to_end(&mut bytes)?;
+        if poisoned {
+            scan.truncated_bytes += bytes.len() as u64;
+            continue;
+        }
+        let read = read_segment(&bytes);
+        scan.records.extend(read.records);
+        if read.truncated_bytes > 0 {
+            scan.truncated_bytes += read.truncated_bytes;
+            poisoned = true;
+        }
+    }
+    Ok(scan)
+}
+
+/// Accounting for one [`WalWriter::flush`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlushStats {
+    /// Records written by this flush.
+    pub records: u64,
+    /// Framed bytes written by this flush.
+    pub bytes: u64,
+}
+
+/// Buffered, rotating WAL writer.
+///
+/// Appends only push the raw record into an in-memory pending list — no
+/// encoding, no checksumming — so the per-ingest hot-path cost is one
+/// `Vec` push. [`WalWriter::flush`] does all the work in bulk at tick
+/// boundaries: encode + CRC into a reused scratch buffer, one `write` to
+/// the operating system, optionally `fsync`ing when configured for
+/// power-loss durability rather than crash durability. Both buffers keep
+/// their capacity across flushes, so a steady-state tick allocates
+/// nothing on the logging path.
+#[derive(Debug)]
+pub struct WalWriter {
+    dir: PathBuf,
+    file: BufWriter<File>,
+    segment: u64,
+    segment_bytes: u64,
+    next_seq: u64,
+    pending: Vec<WalRecord>,
+    scratch: Vec<u8>,
+    max_segment_bytes: u64,
+    fsync: bool,
+}
+
+impl WalWriter {
+    /// Opens a fresh segment `first_segment` in `dir` (created if missing),
+    /// continuing the sequence counter at `next_seq`.
+    pub fn create(
+        dir: &Path,
+        first_segment: u64,
+        next_seq: u64,
+        max_segment_bytes: u64,
+        fsync: bool,
+    ) -> std::io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        let file = Self::open_segment(dir, first_segment)?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            file,
+            segment: first_segment,
+            segment_bytes: WAL_MAGIC.len() as u64,
+            next_seq,
+            pending: Vec::new(),
+            scratch: Vec::new(),
+            max_segment_bytes: max_segment_bytes.max(1),
+            fsync,
+        })
+    }
+
+    fn open_segment(dir: &Path, index: u64) -> std::io::Result<BufWriter<File>> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(segment_path(dir, index))?;
+        let mut file = BufWriter::new(file);
+        file.write_all(WAL_MAGIC)?;
+        Ok(file)
+    }
+
+    /// Appends one operation to the in-memory pending list and returns its
+    /// sequence number. Nothing is encoded or reaches the file until
+    /// [`Self::flush`].
+    #[inline]
+    pub fn append(&mut self, op: WalOp) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push(WalRecord { seq, op });
+        seq
+    }
+
+    /// Sequence number of the most recently appended record (0 when none
+    /// ever was).
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Records appended but not yet flushed.
+    pub fn buffered_records(&self) -> u64 {
+        self.pending.len() as u64
+    }
+
+    /// Current segment index.
+    pub fn segment(&self) -> u64 {
+        self.segment
+    }
+
+    /// Bytes written to the current segment (flushed, header included).
+    pub fn segment_bytes(&self) -> u64 {
+        self.segment_bytes
+    }
+
+    /// Encodes and checksums every pending record in bulk, writes them to
+    /// the current segment, and flushes to the operating system (plus
+    /// `fsync` when configured).
+    pub fn flush(&mut self) -> std::io::Result<FlushStats> {
+        self.scratch.clear();
+        for record in &self.pending {
+            encode_record(&mut self.scratch, record);
+        }
+        let stats = FlushStats {
+            records: self.pending.len() as u64,
+            bytes: self.scratch.len() as u64,
+        };
+        self.pending.clear();
+        if !self.scratch.is_empty() {
+            self.file.write_all(&self.scratch)?;
+            self.segment_bytes += self.scratch.len() as u64;
+        }
+        self.file.flush()?;
+        if self.fsync {
+            self.file.get_ref().sync_data()?;
+        }
+        Ok(stats)
+    }
+
+    /// Whether the current segment has grown past the rotation threshold.
+    pub fn wants_rotation(&self) -> bool {
+        self.segment_bytes >= self.max_segment_bytes
+    }
+
+    /// Closes the current segment and opens the next. Call only with an
+    /// empty buffer (i.e. after [`Self::flush`]).
+    pub fn rotate(&mut self) -> std::io::Result<()> {
+        debug_assert!(self.pending.is_empty(), "rotate mid-buffer loses records");
+        self.file.flush()?;
+        let next = self.segment + 1;
+        self.file = Self::open_segment(&self.dir, next)?;
+        self.segment = next;
+        self.segment_bytes = WAL_MAGIC.len() as u64;
+        Ok(())
+    }
+
+    /// Deletes every segment with an index below `keep_from` — the
+    /// snapshot-triggered truncation (everything below is covered by the
+    /// snapshot's `last_seq`).
+    pub fn delete_segments_below(&self, keep_from: u64) -> std::io::Result<u64> {
+        let mut deleted = 0;
+        for index in list_segments(&self.dir)? {
+            if index < keep_from {
+                fs::remove_file(segment_path(&self.dir, index))?;
+                deleted += 1;
+            }
+        }
+        Ok(deleted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(seq: u64, id: CellId, time_s: f64) -> WalRecord {
+        WalRecord {
+            seq,
+            op: WalOp::Report {
+                id,
+                telemetry: Telemetry {
+                    time_s,
+                    voltage_v: 3.7,
+                    current_a: 1.0,
+                    temperature_c: 25.0,
+                },
+            },
+        }
+    }
+
+    fn sample_segment() -> (Vec<u8>, Vec<WalRecord>) {
+        let records = vec![
+            WalRecord {
+                seq: 1,
+                op: WalOp::Register {
+                    id: 7,
+                    initial_soc: 0.9,
+                    capacity_ah: 3.0,
+                },
+            },
+            report(2, 7, 1.0),
+            WalRecord {
+                seq: 3,
+                op: WalOp::Commit { tick: 1 },
+            },
+            WalRecord {
+                seq: 4,
+                op: WalOp::Deregister { id: 7 },
+            },
+        ];
+        let mut bytes = WAL_MAGIC.to_vec();
+        for record in &records {
+            encode_record(&mut bytes, record);
+        }
+        (bytes, records)
+    }
+
+    #[test]
+    fn roundtrip_clean_segment() {
+        let (bytes, records) = sample_segment();
+        let read = read_segment(&bytes);
+        assert_eq!(read.records, records);
+        assert_eq!(read.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn truncation_drops_only_the_tail() {
+        let (bytes, records) = sample_segment();
+        for cut in 0..bytes.len() {
+            let read = read_segment(&bytes[..cut]);
+            assert!(read.records.len() <= records.len());
+            assert_eq!(
+                read.records,
+                records[..read.records.len()],
+                "cut at {cut}: prefix mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flip_never_yields_a_corrupt_record() {
+        let (bytes, records) = sample_segment();
+        for byte in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[byte] ^= 0x10;
+            let read = read_segment(&flipped);
+            // Every surviving record must be one of the originals, in
+            // order: the flip can only shorten the log, never corrupt it.
+            for (got, want) in read.records.iter().zip(&records) {
+                assert_eq!(got, want, "flip at byte {byte}");
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_refuses_whole_file() {
+        let (mut bytes, _) = sample_segment();
+        bytes[0] ^= 0xFF;
+        let read = read_segment(&bytes);
+        assert!(read.records.is_empty());
+        assert_eq!(read.truncated_bytes, bytes.len() as u64);
+    }
+
+    #[test]
+    fn writer_flush_rotate_and_truncate() {
+        let dir = std::env::temp_dir().join(format!("pinnsoc_wal_test_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut wal = WalWriter::create(&dir, 0, 1, 256, false).unwrap();
+        for k in 0..20u64 {
+            wal.append(WalOp::Report {
+                id: k,
+                telemetry: Telemetry {
+                    time_s: k as f64,
+                    voltage_v: 3.7,
+                    current_a: 1.0,
+                    temperature_c: 25.0,
+                },
+            });
+        }
+        wal.append(WalOp::Commit { tick: 1 });
+        let stats = wal.flush().unwrap();
+        assert_eq!(stats.records, 21);
+        assert!(wal.wants_rotation(), "256-byte threshold long passed");
+        wal.rotate().unwrap();
+        assert_eq!(wal.segment(), 1);
+        wal.append(WalOp::Commit { tick: 2 });
+        wal.flush().unwrap();
+
+        let scan = read_wal_dir(&dir).unwrap();
+        assert_eq!(scan.records.len(), 22);
+        assert_eq!(scan.truncated_bytes, 0);
+        assert_eq!(scan.max_segment, Some(1));
+        assert_eq!(scan.records.last().unwrap().seq, 22);
+
+        assert_eq!(wal.delete_segments_below(1).unwrap(), 1);
+        let scan = read_wal_dir(&dir).unwrap();
+        assert_eq!(scan.records.len(), 1, "only segment 1 remains");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,298 @@
+//! End-to-end crash/recover integration: a [`DurableFleet`] killed
+//! mid-tick (buffered records lost, torn tail on disk) recovers to the
+//! last committed tick and — fed the remaining telemetry — lands on
+//! estimates bit-identical to an uninterrupted control engine.
+
+use pinnsoc_durable::{recover, DurableConfig, DurableFleet};
+use pinnsoc_fleet::testing::untrained_model;
+use pinnsoc_fleet::{CellConfig, FleetConfig, FleetEngine, Telemetry};
+use std::path::PathBuf;
+
+const CELLS: u64 = 40;
+const SHARDS: usize = 4;
+const TICKS: u64 = 12;
+const KILL_TICK: u64 = 7;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pinnsoc-durable-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn engine(workers: usize) -> FleetEngine {
+    FleetEngine::new(
+        untrained_model(),
+        FleetConfig {
+            shards: SHARDS,
+            micro_batch: 8,
+            workers,
+            ekf_fallback: None,
+        },
+    )
+}
+
+/// Deterministic per-(tick, cell) telemetry — the "feed" both the control
+/// engine and the crash/recover run consume.
+fn feed(tick: u64, id: u64) -> Telemetry {
+    Telemetry {
+        time_s: tick as f64 * 10.0,
+        voltage_v: 3.5 + 0.01 * ((id % 7) as f64) + 0.001 * (tick as f64),
+        current_a: 0.8 + 0.05 * ((id % 3) as f64),
+        temperature_c: 25.0 + 0.1 * ((id % 11) as f64),
+    }
+}
+
+fn run_control(workers: usize) -> FleetEngine {
+    let mut control = engine(workers);
+    for id in 0..CELLS {
+        control.register(
+            id,
+            CellConfig {
+                initial_soc: 0.9,
+                capacity_ah: 3.0,
+            },
+        );
+    }
+    for tick in 1..=TICKS {
+        for id in 0..CELLS {
+            control.ingest(id, feed(tick, id));
+        }
+        control.process_pending();
+    }
+    control
+}
+
+fn assert_bit_identical(control: &FleetEngine, recovered: &FleetEngine) {
+    assert_eq!(control.ids(), recovered.ids());
+    for id in control.ids() {
+        let (lhs, lhs_src) = control.estimate(id).expect("control estimate");
+        let (rhs, rhs_src) = recovered.estimate(id).expect("recovered estimate");
+        assert_eq!(
+            lhs.to_bits(),
+            rhs.to_bits(),
+            "cell {id}: control {lhs} vs recovered {rhs}"
+        );
+        assert_eq!(lhs_src, rhs_src, "cell {id} estimate source");
+    }
+}
+
+/// The core contract, exercised at both worker counts: kill mid-tick
+/// (half a tick's reports buffered but unflushed), recover, finish the
+/// feed, and bit-match the uninterrupted control.
+fn crash_recover_roundtrip(workers: usize, tag: &str) {
+    let dir = tmpdir(tag);
+    let mut durable = DurableFleet::create(
+        engine(workers),
+        DurableConfig {
+            snapshot_every_ticks: 3,
+            ..DurableConfig::new(&dir)
+        },
+    )
+    .expect("create");
+    for id in 0..CELLS {
+        durable.register(
+            id,
+            CellConfig {
+                initial_soc: 0.9,
+                capacity_ah: 3.0,
+            },
+        );
+    }
+    for tick in 1..=KILL_TICK {
+        for id in 0..CELLS {
+            durable.ingest(id, feed(tick, id));
+        }
+        durable.process_pending().expect("tick");
+    }
+    // The torn tick: half the reports land in the buffer, then the
+    // process "dies" — no flush, no commit.
+    for id in 0..CELLS / 2 {
+        durable.ingest(id, feed(KILL_TICK + 1, id));
+    }
+    drop(durable);
+
+    let (mut recovered, report) = recover(DurableConfig::new(&dir), workers).expect("recover");
+    assert_eq!(report.tick, KILL_TICK, "recovers to the last commit");
+    assert_eq!(
+        report.dropped_uncommitted_records, 0,
+        "buffered-but-unflushed records never reached disk"
+    );
+    assert!(report.commits_replayed <= KILL_TICK);
+
+    // Resume the feed from the recovered tick boundary.
+    for tick in recovered.tick() + 1..=TICKS {
+        for id in 0..CELLS {
+            recovered.ingest(id, feed(tick, id));
+        }
+        recovered.process_pending().expect("resumed tick");
+    }
+    assert_eq!(recovered.tick(), TICKS);
+    assert_bit_identical(&run_control(workers), recovered.engine());
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn crash_recovery_is_bit_identical_inline() {
+    crash_recover_roundtrip(0, "inline");
+}
+
+#[test]
+fn crash_recovery_is_bit_identical_workers() {
+    crash_recover_roundtrip(2, "workers");
+}
+
+/// A flushed-but-uncommitted tail (crash after flush, before the next
+/// commit was flushed) is dropped and counted.
+#[test]
+fn flushed_uncommitted_tail_is_dropped() {
+    let dir = tmpdir("uncommitted");
+    let mut durable = DurableFleet::create(engine(0), DurableConfig::new(&dir)).expect("create");
+    for id in 0..4 {
+        durable.register(
+            id,
+            CellConfig {
+                initial_soc: 0.5,
+                capacity_ah: 3.0,
+            },
+        );
+    }
+    for id in 0..4 {
+        durable.ingest(id, feed(1, id));
+    }
+    durable.process_pending().expect("tick 1");
+    // Force tick-2 reports onto disk without their commit.
+    for id in 0..4 {
+        durable.ingest(id, feed(2, id));
+    }
+    durable.flush_wal().expect("flush without commit");
+    drop(durable);
+
+    let (recovered, report) = recover(DurableConfig::new(&dir), 0).expect("recover");
+    assert_eq!(report.tick, 1);
+    assert_eq!(report.dropped_uncommitted_records, 4);
+    assert_eq!(recovered.tick(), 1);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// A torn write (garbage appended to the live segment) is truncated away,
+/// never an error.
+#[test]
+fn torn_tail_bytes_are_truncated() {
+    let dir = tmpdir("torn");
+    let mut durable = DurableFleet::create(engine(0), DurableConfig::new(&dir)).expect("create");
+    durable.register(
+        1,
+        CellConfig {
+            initial_soc: 0.7,
+            capacity_ah: 2.0,
+        },
+    );
+    durable.ingest(1, feed(1, 1));
+    durable.process_pending().expect("tick");
+    drop(durable);
+    let segment = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .map(|n| n.to_string_lossy().starts_with("wal-"))
+                .unwrap_or(false)
+        })
+        .max()
+        .expect("live segment");
+
+    use std::io::Write as _;
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(segment)
+        .expect("open segment");
+    file.write_all(&[0xAB; 37]).expect("torn bytes");
+    drop(file);
+
+    let (recovered, report) = recover(DurableConfig::new(&dir), 0).expect("recover");
+    assert_eq!(report.truncated_tail_bytes, 37);
+    assert_eq!(report.tick, 1);
+    assert!(recovered.engine().contains(1));
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// Snapshot truncation keeps the directory bounded: after a snapshot,
+/// only the fresh segment survives, and recovery needs no replay.
+#[test]
+fn snapshot_truncates_the_log() {
+    let dir = tmpdir("truncate");
+    let mut durable = DurableFleet::create(
+        engine(0),
+        DurableConfig {
+            snapshot_every_ticks: 2,
+            ..DurableConfig::new(&dir)
+        },
+    )
+    .expect("create");
+    durable.register(
+        9,
+        CellConfig {
+            initial_soc: 0.6,
+            capacity_ah: 3.0,
+        },
+    );
+    for tick in 1..=4 {
+        durable.ingest(9, feed(tick, 9));
+        durable.process_pending().expect("tick");
+    }
+    drop(durable);
+
+    let segments: Vec<_> = std::fs::read_dir(&dir)
+        .expect("read dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("wal-"))
+        .collect();
+    assert_eq!(segments.len(), 1, "snapshot drops covered segments");
+
+    let (_, report) = recover(DurableConfig::new(&dir), 0).expect("recover");
+    assert_eq!(
+        report.records_replayed, 0,
+        "snapshot already holds everything"
+    );
+    assert_eq!(report.tick, 4);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// Extension blobs survive the crash loop.
+#[test]
+fn extensions_round_trip_through_recovery() {
+    let dir = tmpdir("ext");
+    let mut durable = DurableFleet::create(engine(0), DurableConfig::new(&dir)).expect("create");
+    durable.set_extension("adapt-session", b"{\"seen\":42}".to_vec());
+    durable.snapshot_now().expect("snapshot");
+    drop(durable);
+
+    let (recovered, report) = recover(DurableConfig::new(&dir), 0).expect("recover");
+    assert_eq!(
+        report.extensions,
+        vec![("adapt-session".to_string(), b"{\"seen\":42}".to_vec())]
+    );
+    assert_eq!(
+        recovered.extension("adapt-session"),
+        Some(&b"{\"seen\":42}"[..])
+    );
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// Guard rails: recovery demands a snapshot; create demands a clean dir.
+#[test]
+fn recover_requires_a_snapshot_and_create_requires_a_clean_dir() {
+    let dir = tmpdir("guards");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let err = recover(DurableConfig::new(&dir), 0).expect_err("no snapshot");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+    let durable = DurableFleet::create(engine(0), DurableConfig::new(&dir)).expect("create");
+    drop(durable);
+    let err = DurableFleet::create(engine(0), DurableConfig::new(&dir))
+        .expect_err("dir already holds state");
+    assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

@@ -1,0 +1,162 @@
+//! Adversarial property tests for the WAL reader: against arbitrary
+//! truncation, bit flips, duplicated frames, and raw garbage, the reader
+//! never panics, never yields a record that was not written, and always
+//! recovers the longest valid prefix the damage allows.
+//!
+//! Records are compared by their encoded frames, not `PartialEq` — the
+//! strategies generate telemetry from raw bit patterns (NaNs included),
+//! and the contract is bit-exactness.
+
+use pinnsoc_durable::{encode_record, read_segment, WalOp, WalRecord, WAL_MAGIC};
+use pinnsoc_fleet::Telemetry;
+use proptest::prelude::*;
+
+fn any_op() -> impl Strategy<Value = WalOp> {
+    prop_oneof![
+        (0u64..=u64::MAX, 0.0f64..=1.0, 0.1f64..100.0).prop_map(
+            |(id, initial_soc, capacity_ah)| WalOp::Register {
+                id,
+                initial_soc,
+                capacity_ah,
+            }
+        ),
+        (0u64..=u64::MAX).prop_map(|id| WalOp::Deregister { id }),
+        (
+            0u64..=u64::MAX,
+            0u64..=u64::MAX,
+            0u64..=u64::MAX,
+            0u64..=u64::MAX,
+            0u64..=u64::MAX,
+        )
+            .prop_map(|(id, t, v, c, temp)| WalOp::Report {
+                id,
+                // From-bits floats: the codec must round-trip ANY payload,
+                // including NaNs and infinities, bit-exactly.
+                telemetry: Telemetry {
+                    time_s: f64::from_bits(t),
+                    voltage_v: f64::from_bits(v),
+                    current_a: f64::from_bits(c),
+                    temperature_c: f64::from_bits(temp),
+                },
+            }),
+        (0u64..=u64::MAX).prop_map(|tick| WalOp::Commit { tick }),
+    ]
+}
+
+fn any_segment() -> impl Strategy<Value = (Vec<WalRecord>, Vec<u8>)> {
+    collection::vec(any_op(), 0usize..24).prop_map(|ops| {
+        let records: Vec<WalRecord> = ops
+            .into_iter()
+            .enumerate()
+            .map(|(i, op)| WalRecord {
+                seq: i as u64 + 1,
+                op,
+            })
+            .collect();
+        let mut bytes = WAL_MAGIC.to_vec();
+        for record in &records {
+            encode_record(&mut bytes, record);
+        }
+        (records, bytes)
+    })
+}
+
+fn frame(record: &WalRecord) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_record(&mut out, record);
+    out
+}
+
+/// Scales a sampled unit fraction onto `0..len` (`len > 0`).
+fn index(frac: f64, len: usize) -> usize {
+    ((frac * len as f64) as usize).min(len - 1)
+}
+
+/// Bit-exact prefix check: every yielded record re-encodes to the frame of
+/// the original at the same position.
+fn assert_is_prefix(read: &[WalRecord], written: &[WalRecord]) {
+    assert!(read.len() <= written.len(), "reader invented records");
+    for (i, (got, want)) in read.iter().zip(written).enumerate() {
+        assert_eq!(frame(got), frame(want), "record {i} not bit-identical");
+    }
+}
+
+proptest! {
+    /// Truncation at an arbitrary offset: the reader yields a bit-exact
+    /// record prefix and refuses exactly the bytes past it.
+    #[test]
+    fn truncation_recovers_longest_valid_prefix(
+        (records, bytes) in any_segment(),
+        frac in 0.0f64..1.0,
+    ) {
+        let cut = index(frac, bytes.len() + 1);
+        let read = read_segment(&bytes[..cut]);
+        assert_is_prefix(&read.records, &records);
+        let consumed: usize =
+            WAL_MAGIC.len() + read.records.iter().map(|r| frame(r).len()).sum::<usize>();
+        if cut == bytes.len() {
+            prop_assert_eq!(read.records.len(), records.len());
+            prop_assert_eq!(read.truncated_bytes, 0);
+        } else if cut < WAL_MAGIC.len() {
+            prop_assert_eq!(read.records.len(), 0);
+            prop_assert_eq!(read.truncated_bytes, cut as u64);
+        } else {
+            prop_assert_eq!(read.truncated_bytes, (cut - consumed) as u64);
+        }
+    }
+
+    /// A single flipped bit anywhere in the file: never a panic, never a
+    /// corrupt record — only a (possibly shorter) bit-exact prefix.
+    #[test]
+    fn single_bit_flip_never_yields_a_corrupt_record(
+        (records, bytes) in any_segment(),
+        frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut damaged = bytes.clone();
+        let pos = index(frac, damaged.len());
+        damaged[pos] ^= 1 << bit;
+        let read = read_segment(&damaged);
+        if pos < WAL_MAGIC.len() {
+            prop_assert_eq!(read.records.len(), 0, "bad magic must refuse the whole file");
+            prop_assert_eq!(read.truncated_bytes, damaged.len() as u64);
+        } else {
+            assert_is_prefix(&read.records, &records);
+        }
+    }
+
+    /// Duplicated frames (a retried write) decode as duplicates — the
+    /// reader is frame-faithful; replay's monotonic-seq filter upstream
+    /// handles the rest.
+    #[test]
+    fn duplicated_frames_are_yielded_verbatim(
+        (records, bytes) in any_segment(),
+        frac in 0.0f64..1.0,
+    ) {
+        if !records.is_empty() {
+            let dup = index(frac, records.len());
+            let mut doubled = bytes.clone();
+            encode_record(&mut doubled, &records[dup]);
+            let read = read_segment(&doubled);
+            prop_assert_eq!(read.records.len(), records.len() + 1);
+            assert_is_prefix(&read.records[..records.len()], &records);
+            prop_assert_eq!(
+                frame(&read.records[records.len()]),
+                frame(&records[dup]),
+                "the duplicate decodes bit-identically"
+            );
+            prop_assert_eq!(read.truncated_bytes, 0);
+        }
+    }
+
+    /// Raw garbage after the magic: no panic, and decode + truncation fully
+    /// account for the input.
+    #[test]
+    fn arbitrary_garbage_never_panics(noise in collection::vec(0u8..=255, 0usize..512)) {
+        let mut bytes = WAL_MAGIC.to_vec();
+        bytes.extend_from_slice(&noise);
+        let read = read_segment(&bytes);
+        let consumed: usize = read.records.iter().map(|r| frame(r).len()).sum();
+        prop_assert_eq!(consumed + read.truncated_bytes as usize, noise.len());
+    }
+}

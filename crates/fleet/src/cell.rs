@@ -11,8 +11,45 @@
 
 use crate::telemetry::{CellId, Telemetry};
 use pinnsoc::SocModel;
-use pinnsoc_battery::{CellParams, CoulombCounter, EkfEstimator, Soc};
+use pinnsoc_battery::{CellParams, CoulombCounter, EkfEstimator, EkfState, Soc};
 use pinnsoc_nn::Matrix;
+
+/// Complete persisted state of one cell — everything [`CellStore`] tracks
+/// besides the transient coalescing generation, flattened for durable
+/// snapshots.
+///
+/// [`CellStore::import_cell`] with this record reproduces a slot whose
+/// subsequent absorbs and estimates are bit-identical to the exported
+/// cell's. `net_time_s` keeps the raw sentinel encoding (`-inf` for "no
+/// network estimate"), so the pair round-trips through `f64::to_bits`
+/// without a separate flag.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellPersist {
+    /// The cell's fleet-unique id.
+    pub id: CellId,
+    /// Rated capacity, amp-hours.
+    pub capacity_ah: f64,
+    /// Latest accepted telemetry fields (valid iff `reports > 0`).
+    pub time_s: f64,
+    /// Latest accepted terminal voltage, volts.
+    pub voltage_v: f64,
+    /// Latest accepted current, amps.
+    pub current_a: f64,
+    /// Latest accepted temperature, °C.
+    pub temperature_c: f64,
+    /// Telemetry reports accepted since registration.
+    pub reports: u64,
+    /// Timestamp the latest network estimate covers (`-inf` when none).
+    pub net_time_s: f64,
+    /// Latest network estimate value.
+    pub net_soc: f64,
+    /// Running Coulomb-integrated SoC.
+    pub coulomb_soc: f64,
+    /// Coulomb counter's current-sensor bias, amps.
+    pub coulomb_bias_a: f64,
+    /// EKF fallback state, when the engine enables the fallback.
+    pub ekf: Option<EkfState>,
+}
 
 /// Registration-time description of one cell.
 #[derive(Debug, Clone)]
@@ -348,6 +385,66 @@ impl CellStore {
         Some(soc * 3600.0 * self.capacity_ah[slot] / discharge_current_a)
     }
 
+    /// Exports the slot's complete persisted state (see [`CellPersist`]).
+    pub fn export_cell(&self, slot: usize) -> CellPersist {
+        CellPersist {
+            id: self.ids[slot],
+            capacity_ah: self.capacity_ah[slot],
+            time_s: self.time_s[slot],
+            voltage_v: self.voltage_v[slot],
+            current_a: self.current_a[slot],
+            temperature_c: self.temperature_c[slot],
+            reports: self.reports[slot],
+            net_time_s: self.net_time_s[slot],
+            net_soc: self.net_soc[slot],
+            coulomb_soc: self.coulomb[slot].soc().value(),
+            coulomb_bias_a: self.coulomb[slot].sensor_bias_a(),
+            ekf: self.ekf.get(slot).map(EkfEstimator::state),
+        }
+    }
+
+    /// Appends a cell rebuilt from persisted state and returns its slot —
+    /// the recovery counterpart of [`Self::push`]. As there, `ekf_params`
+    /// must be the engine-wide fallback parameters (the per-cell capacity
+    /// overrides the fleet default). The coalescing generation restarts at
+    /// zero; it only dedups within a single processing pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell.capacity_ah` is not positive, or if the presence of
+    /// `ekf_params` disagrees with the persisted EKF state (the snapshot was
+    /// taken under a different fallback configuration).
+    pub fn import_cell(&mut self, cell: &CellPersist, ekf_params: Option<&CellParams>) -> usize {
+        assert_eq!(
+            ekf_params.is_some(),
+            cell.ekf.is_some(),
+            "EKF fallback configuration mismatch between engine and persisted cell"
+        );
+        let slot = self.ids.len();
+        self.ids.push(cell.id);
+        self.capacity_ah.push(cell.capacity_ah);
+        self.time_s.push(cell.time_s);
+        self.voltage_v.push(cell.voltage_v);
+        self.current_a.push(cell.current_a);
+        self.temperature_c.push(cell.temperature_c);
+        self.reports.push(cell.reports);
+        self.net_time_s.push(cell.net_time_s);
+        self.net_soc.push(cell.net_soc);
+        self.dirty_generation.push(0);
+        // A persisted SoC is a former `Soc::value()`, always in [0, 1]:
+        // `clamped` is the bit-exact identity there.
+        self.coulomb.push(
+            CoulombCounter::new(Soc::clamped(cell.coulomb_soc), cell.capacity_ah)
+                .with_sensor_bias(cell.coulomb_bias_a),
+        );
+        if let (Some(params), Some(state)) = (ekf_params, cell.ekf) {
+            let mut params = params.clone();
+            params.capacity_ah = cell.capacity_ah;
+            self.ekf.push(EkfEstimator::from_state(params, state));
+        }
+        slot
+    }
+
     /// Owned read view of one cell's full tracked state.
     pub fn snapshot(&self, slot: usize) -> CellSnapshot {
         CellSnapshot {
@@ -634,6 +731,59 @@ mod tests {
         let mut plain = store_with_one(0.8, 3.0);
         plain.absorb(0, telemetry(0.0, 1.0));
         assert_eq!(plain.breakdown(0).unwrap().ekf_soc_std, None);
+    }
+
+    #[test]
+    fn export_import_roundtrip_is_bit_identical() {
+        let params = CellParams::lg_hg2();
+        let mut store = CellStore::new();
+        store.push(
+            9,
+            &CellConfig {
+                initial_soc: 0.8,
+                capacity_ah: params.capacity_ah,
+            },
+            Some(&params),
+        );
+        store.absorb(0, telemetry(0.0, 1.0));
+        store.absorb(0, telemetry(60.0, 2.0));
+        store.record_network_estimate(0, 0.77);
+        store.absorb(0, telemetry(120.0, 1.5));
+        let persist = store.export_cell(0);
+        let mut restored = CellStore::new();
+        restored.import_cell(&persist, Some(&params));
+        assert_eq!(restored.export_cell(0), persist, "lossless round trip");
+        // Subsequent absorbs integrate bit-identically to the original.
+        for step in 3..10 {
+            let t = telemetry(step as f64 * 60.0, 1.0 + step as f64 * 0.1);
+            assert_eq!(store.absorb(0, t), restored.absorb(0, t));
+            assert_eq!(
+                store.estimate(0).unwrap().0.to_bits(),
+                restored.estimate(0).unwrap().0.to_bits()
+            );
+            assert_eq!(store.breakdown(0), restored.breakdown(0));
+        }
+    }
+
+    #[test]
+    fn export_import_preserves_no_estimate_sentinel() {
+        let store = store_with_one(1.0, 3.0);
+        let persist = store.export_cell(0);
+        assert_eq!(persist.reports, 0);
+        assert!(persist.net_time_s == f64::NEG_INFINITY);
+        let mut restored = CellStore::new();
+        restored.import_cell(&persist, None);
+        assert_eq!(restored.estimate(0), None);
+        assert_eq!(restored.latest(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "EKF fallback configuration mismatch")]
+    fn import_rejects_fallback_mismatch() {
+        let store = store_with_one(1.0, 3.0);
+        let persist = store.export_cell(0);
+        let mut restored = CellStore::new();
+        restored.import_cell(&persist, Some(&CellParams::lg_hg2()));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! fleet-level queries.
 
 use crate::cell::{
-    AbsorbOutcome, CellConfig, CellSnapshot, CellStore, EstimateBreakdown, SocEstimate,
+    AbsorbOutcome, CellConfig, CellPersist, CellSnapshot, CellStore, EstimateBreakdown, SocEstimate,
 };
 use crate::id_index::IdIndex;
 use crate::obs::{EngineObs, FleetMetricIds, ShardObs};
@@ -658,6 +658,63 @@ impl FleetEngine {
         stats
     }
 
+    /// Flattened persisted state of every cell, in shard order then slot
+    /// order — exactly the order [`Self::import_cells`] must replay to
+    /// reproduce each cell's `(shard, slot)` placement. The durability
+    /// layer's snapshot seam.
+    pub fn export_cells(&self) -> Vec<CellPersist> {
+        let mut out = Vec::with_capacity(self.len());
+        for idx in 0..self.shards.len() {
+            let shard = self.shard(idx);
+            for slot in 0..shard.cells.len() {
+                out.push(shard.cells.export_cell(slot));
+            }
+        }
+        out
+    }
+
+    /// Rebuilds cells from persisted state — the recovery counterpart of
+    /// [`Self::export_cells`]. Cells shard by `id % shards` as always, so
+    /// replaying an export taken under the same shard count reproduces
+    /// every `(shard, slot)` placement and the engine's subsequent
+    /// estimates are bit-identical to the exporting engine's.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate id or an EKF-fallback mismatch between this
+    /// engine's configuration and the persisted cells.
+    pub fn import_cells(&mut self, cells: &[CellPersist]) {
+        let ekf = self.config.ekf_fallback.clone();
+        for cell in cells {
+            let shard_idx = self.shard_of(cell.id);
+            let shard = self.shard_mut(shard_idx);
+            assert!(
+                shard.index.get(cell.id).is_none(),
+                "persisted cell id {} already registered",
+                cell.id
+            );
+            let slot = shard.cells.import_cell(cell, ekf.as_ref());
+            shard.index.insert(cell.id, slot);
+            if cell.reports > 0 {
+                shard.reporting += 1;
+            }
+        }
+    }
+
+    /// Seeds the cumulative telemetry books from a persisted aggregate —
+    /// the recovery counterpart of [`Self::telemetry_stats`]. The aggregate
+    /// cannot be split back into per-shard books (and nothing reads them
+    /// per shard), so the whole sum lands on shard 0 with `unknown_cell`
+    /// routed to the engine-level counter; [`Self::telemetry_stats`] then
+    /// reports continuous totals across a restart.
+    pub fn restore_telemetry_stats(&mut self, stats: TelemetryStats) {
+        self.unknown_cells = stats.unknown_cell;
+        self.shard_mut(0).telemetry = TelemetryStats {
+            unknown_cell: 0,
+            ..stats
+        };
+    }
+
     /// Batched full-pipeline prediction for every reporting cell under one
     /// described workload, drained from the worker pool. Results are in
     /// shard order; pair order within a shard follows registration order.
@@ -928,6 +985,71 @@ mod tests {
             estimated, 1,
             "five reports must coalesce into one batch slot"
         );
+    }
+
+    #[test]
+    fn export_import_reproduces_engine_bit_for_bit() {
+        let build = || {
+            let mut engine = engine_with(60, 4);
+            for step in 0..3 {
+                for id in 0..60u64 {
+                    engine.ingest(
+                        id,
+                        Telemetry {
+                            time_s: 1.0 + step as f64 * 10.0,
+                            voltage_v: 3.2 + id as f64 * 0.01,
+                            current_a: 0.5 + id as f64 * 0.02,
+                            temperature_c: 22.0 + id as f64 * 0.1,
+                        },
+                    );
+                }
+                engine.process_pending();
+            }
+            engine.ingest(1000, telemetry(1.0)); // unknown-cell book
+            engine
+        };
+        let mut original = build();
+        let export = original.export_cells();
+        let books = original.telemetry_stats();
+
+        let mut restored = FleetEngine::new(
+            untrained_model(),
+            FleetConfig {
+                shards: 4,
+                micro_batch: 8,
+                workers: 0,
+                ekf_fallback: None,
+            },
+        );
+        restored.import_cells(&export);
+        restored.restore_telemetry_stats(books);
+        assert_eq!(restored.len(), 60);
+        assert_eq!(restored.ids(), original.ids(), "shard/slot placement");
+        assert_eq!(restored.telemetry_stats(), books);
+        assert_eq!(restored.export_cells(), export, "lossless round trip");
+
+        // Continue both engines identically: estimates stay bit-identical.
+        for engine in [&mut original, &mut restored] {
+            for id in 0..60u64 {
+                engine.ingest(
+                    id,
+                    Telemetry {
+                        time_s: 40.0,
+                        voltage_v: 3.3 + id as f64 * 0.005,
+                        current_a: 1.0,
+                        temperature_c: 24.0,
+                    },
+                );
+            }
+            engine.process_pending();
+        }
+        for id in 0..60u64 {
+            let a = original.estimate(id).unwrap();
+            let b = restored.estimate(id).unwrap();
+            assert_eq!(a.1, b.1, "cell {id} source");
+            assert_eq!(a.0.to_bits(), b.0.to_bits(), "cell {id} estimate");
+        }
+        assert_eq!(original.telemetry_stats(), restored.telemetry_stats());
     }
 
     #[test]

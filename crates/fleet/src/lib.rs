@@ -60,7 +60,7 @@ pub mod registry;
 pub mod telemetry;
 
 pub use cell::{
-    AbsorbOutcome, CellConfig, CellSnapshot, CellStore, EstimateBreakdown, SocEstimate,
+    AbsorbOutcome, CellConfig, CellPersist, CellSnapshot, CellStore, EstimateBreakdown, SocEstimate,
 };
 pub use engine::{FleetConfig, FleetEngine, FleetStats, StageTimes, TelemetryStats, WorkloadQuery};
 pub use registry::ModelRegistry;

@@ -19,9 +19,17 @@
 //! whose capacity is reused across runs.
 
 use crate::obs::PoolObs;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+// Poisoned locks are recovered (`PoisonError::into_inner`) everywhere in
+// this module rather than propagated: the state mutex guards only
+// plain-data bookkeeping, and every panic that can fire with the lock held
+// happens before the critical section mutates anything (task bodies run
+// outside the lock, behind `catch_unwind`). Propagating the poison would
+// turn one dead worker into a panic in every other thread that touches the
+// pool — including `Drop`, where a second panic aborts the process.
 
 /// A unit of work that moves through the pool by ownership.
 pub trait PoolTask: Send + 'static {
@@ -209,7 +217,11 @@ impl<S: PinSource, T: PoolTask<Ctx = S::Ctx>> WorkerPool<S, T> {
         // The clock is read only when observability is attached.
         let run_start = self.obs.as_ref().map(|_| Instant::now());
         let depth = tasks.len();
-        let mut st = self.shared.state.lock().expect("pool state poisoned");
+        let mut st = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         debug_assert!(st.queue.is_empty() && st.active == 0 && st.done.is_empty());
         st.kind = Some(kind);
         st.queue.append(tasks);
@@ -226,7 +238,11 @@ impl<S: PinSource, T: PoolTask<Ctx = S::Ctx>> WorkerPool<S, T> {
         }
         st = drain_queue(&self.shared, st, false);
         while st.active > 0 {
-            st = self.shared.work_done.wait(st).expect("pool state poisoned");
+            st = self
+                .shared
+                .work_done
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
             st = drain_queue(&self.shared, st, false);
         }
         std::mem::swap(&mut st.done, done_out);
@@ -289,7 +305,7 @@ fn drain_queue<'m, S: PinSource, T: PoolTask<Ctx = S::Ctx>>(
         drop(st);
         let result =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task.run(&ctx, kind)));
-        st = shared.state.lock().expect("pool state poisoned");
+        st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
         st.active -= 1;
         if st.obs_active {
             if is_worker {
@@ -312,12 +328,32 @@ fn drain_queue<'m, S: PinSource, T: PoolTask<Ctx = S::Ctx>>(
 impl<S: PinSource, T: PoolTask<Ctx = S::Ctx>> Drop for WorkerPool<S, T> {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            let mut st = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             st.shutdown = true;
             self.shared.work_ready.notify_all();
         }
+        // Tolerate workers that died (e.g. a panicking `PinSource`): a
+        // `Drop` that panics on a dead worker double-panics during unwind
+        // and aborts the whole process — strictly worse than finishing
+        // shutdown and reporting. Dead workers surface through the pool's
+        // obs event ring when observability is attached.
+        let mut dead = 0usize;
         for handle in self.handles.drain(..) {
-            handle.join().expect("pool worker panicked");
+            if handle.join().is_err() {
+                dead += 1;
+            }
+        }
+        if dead > 0 {
+            if let Some(obs) = &self.obs {
+                obs.hub.emit(
+                    "runtime",
+                    format!("pool '{}' shut down with {dead} dead worker(s)", obs.name),
+                );
+            }
         }
     }
 }
@@ -325,7 +361,7 @@ impl<S: PinSource, T: PoolTask<Ctx = S::Ctx>> Drop for WorkerPool<S, T> {
 fn worker_loop<S: PinSource, T: PoolTask<Ctx = S::Ctx>>(shared: &Shared<S, T>) {
     let mut seen_epoch = 0u64;
     loop {
-        let mut st = shared.state.lock().expect("pool state poisoned");
+        let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if st.shutdown {
                 return;
@@ -336,7 +372,10 @@ fn worker_loop<S: PinSource, T: PoolTask<Ctx = S::Ctx>>(shared: &Shared<S, T>) {
             // Either no new epoch, or its queue was already drained by the
             // caller and the other workers — nothing for us this run.
             seen_epoch = st.epoch;
-            st = shared.work_ready.wait(st).expect("pool state poisoned");
+            st = shared
+                .work_ready
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         seen_epoch = st.epoch;
         let st = drain_queue(shared, st, true);
@@ -510,6 +549,78 @@ mod tests {
                 .metrics
                 .counter_total("pinnsoc_runtime_pool_runs_total"),
             1
+        );
+    }
+
+    /// A [`PinSource`] that kills worker threads: `pin` panics on unnamed
+    /// threads (pool workers), after rendezvousing with the caller's
+    /// in-flight task so the worker is guaranteed to have engaged. Test
+    /// threads carry the test's name, so the caller pins harmlessly.
+    struct WorkerKiller(std::sync::Barrier);
+
+    impl PinSource for WorkerKiller {
+        type Ctx = ();
+
+        fn pin(&self) {
+            if std::thread::current().name().is_none() {
+                self.0.wait();
+                panic!("worker dies with the state lock held");
+            }
+        }
+    }
+
+    /// Blocks until the worker has reached its fatal `pin`, so the worker
+    /// death is deterministic, not a race.
+    struct Rendezvous(Arc<WorkerKiller>);
+
+    impl PoolTask for Rendezvous {
+        type Ctx = ();
+        type Kind = ();
+        type Output = ();
+
+        fn run(&mut self, _: &(), (): ()) {
+            self.0 .0.wait();
+        }
+    }
+
+    #[test]
+    fn dead_worker_poisons_nothing_and_drop_survives() {
+        let source = Arc::new(WorkerKiller(std::sync::Barrier::new(2)));
+        let hub = pinnsoc_obs::ObsHub::new();
+        let mut pool = WorkerPool::new(Arc::clone(&source), 1);
+        pool.attach_obs(PoolObs::new(&hub, "doomed"));
+        // Two tasks: the caller pops one and blocks in it until the worker
+        // has popped the other and died inside `pin` — with the state lock
+        // held, poisoning it. The worker's task is lost with the unwind.
+        let mut queue = vec![
+            (0, Rendezvous(Arc::clone(&source))),
+            (1, Rendezvous(Arc::clone(&source))),
+        ];
+        let mut done = Vec::new();
+        let panicked = pool.run((), &mut queue, &mut done);
+        assert!(!panicked, "pin deaths are not task panics");
+        assert_eq!(done.len(), 1, "the worker's popped task died with it");
+
+        // The poisoned lock is recovered, not propagated: the pool keeps
+        // serving runs on the calling thread (named, so it pins fine). A
+        // one-party barrier makes these tasks complete instantly.
+        let solo = Arc::new(WorkerKiller(std::sync::Barrier::new(1)));
+        let mut queue = vec![
+            (0, Rendezvous(Arc::clone(&solo))),
+            (1, Rendezvous(Arc::clone(&solo))),
+        ];
+        assert!(!pool.run((), &mut queue, &mut done));
+        assert_eq!(done.len(), 2);
+
+        // Drop joins the dead worker without double-panicking, and the
+        // death surfaces through the obs event ring.
+        drop(pool);
+        let events = hub.snapshot().events;
+        assert!(
+            events
+                .iter()
+                .any(|e| e.source == "runtime" && e.message.contains("1 dead worker")),
+            "dead worker not surfaced: {events:?}"
         );
     }
 

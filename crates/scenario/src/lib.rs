@@ -33,6 +33,11 @@
 //! - [`run_scenario_observed`] attaches a [`FleetObserver`] to the live
 //!   engine — the seam `pinnsoc-adapt` harvests through and hot-swaps
 //!   models mid-run with.
+//! - [`run_crash_scenario`] extends the fault repertoire to the process
+//!   itself: a seeded [`CrashPlan`] kills a `pinnsoc_durable::DurableFleet`
+//!   mid-tick / mid-snapshot / mid-rotation, recovers it, finishes the
+//!   scenario, and bit-compares the final estimates against an
+//!   uninterrupted control.
 //!
 //! ## Quick example
 //!
@@ -49,12 +54,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crash;
 pub mod faults;
 pub mod report;
 pub mod runner;
 pub mod spec;
 pub mod suite;
 
+pub use crash::{run_crash_scenario, CellEstimate, CrashPlan, CrashPoint, CrashScenarioRun};
 pub use faults::{FaultCounts, FaultModel};
 pub use report::{EstimatorAccuracy, ScenarioReport, ScenarioResult, TteAccuracy};
 pub use runner::{

@@ -248,7 +248,7 @@ fn record_suite(hub: &Arc<ObsHub>, run: &SuiteRun) {
 
 /// Splitmix-style stream derivation so per-cell streams are decorrelated
 /// from the scenario seed and from each other.
-fn cell_stream(seed: u64, cell: u64, salt: u64) -> u64 {
+pub(crate) fn cell_stream(seed: u64, cell: u64, salt: u64) -> u64 {
     seed ^ salt
         ^ (cell
             .wrapping_add(0x9E37_79B9_7F4A_7C15)
@@ -257,7 +257,7 @@ fn cell_stream(seed: u64, cell: u64, salt: u64) -> u64 {
 
 /// Builds one cell's per-step current demand, looping the source profile if
 /// the scenario outlasts it.
-fn cell_currents(scenario: &Scenario, cell: u64) -> Vec<f64> {
+pub(crate) fn cell_currents(scenario: &Scenario, cell: u64) -> Vec<f64> {
     let params = &scenario.population.params;
     let timing = &scenario.timing;
     let steps = timing.steps();

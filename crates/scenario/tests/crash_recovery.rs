@@ -1,0 +1,99 @@
+//! Crash-recovery bit-identity: a seeded scenario killed at a random tick,
+//! recovered, and driven to completion must produce final per-cell
+//! estimates bit-identical to an uninterrupted control — at worker counts
+//! 0 and 2, for every crash point.
+
+use pinnsoc_fleet::testing::untrained_model;
+use pinnsoc_scenario::{
+    run_crash_scenario, smoke_suite, CrashPlan, CrashPoint, EngineSpec, Scenario,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn tmpdir() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "pinnsoc-crash-it-{}-{}",
+        std::process::id(),
+        DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn check(scenario: &Scenario, plan: &CrashPlan, workers: usize) {
+    let engine = EngineSpec {
+        workers,
+        ..EngineSpec::default()
+    };
+    let dir = tmpdir();
+    let run = run_crash_scenario(scenario, &untrained_model(), &engine, plan, &dir, None)
+        .expect("crash scenario I/O");
+    assert!(
+        run.bit_identical(),
+        "{}: kill at tick {} ({:?}, workers {workers}) resumed at {} and diverged \
+         (recovery: {:?})",
+        scenario.name,
+        plan.kill_tick,
+        plan.point,
+        run.resumed_tick,
+        run.recovery,
+    );
+    assert!(run.resumed_tick <= plan.kill_tick);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random kill tick × random smoke scenario × every crash point, at
+    /// workers 0 and 2. The transport-chaos scenario is in the pool, so
+    /// the fast-forward's fault-channel replay (held/reordered packets
+    /// straddling the crash) is exercised too.
+    #[test]
+    fn crash_recovery_is_bit_identical(kill in 1u64..29, pick in 0usize..3) {
+        let scenario = &smoke_suite(2_024)[pick];
+        for point in [CrashPoint::MidTick, CrashPoint::MidSnapshot, CrashPoint::MidRotation] {
+            for workers in [0usize, 2] {
+                check(scenario, &CrashPlan::at_tick(kill).with_point(point), workers);
+            }
+        }
+    }
+}
+
+/// Recovery counters land in the hub when one is attached.
+#[test]
+fn recovery_counters_reach_the_hub() {
+    let scenario = &smoke_suite(7)[0];
+    let hub = pinnsoc_obs::ObsHub::new();
+    let dir = tmpdir();
+    let run = run_crash_scenario(
+        scenario,
+        &untrained_model(),
+        &EngineSpec::default(),
+        &CrashPlan::at_tick(5),
+        &dir,
+        Some(&hub),
+    )
+    .expect("crash scenario I/O");
+    assert!(run.bit_identical());
+    let snap = hub.snapshot();
+    assert_eq!(
+        snap.metrics
+            .counter_total("pinnsoc_durable_recoveries_total"),
+        1
+    );
+    assert!(
+        snap.metrics
+            .find("pinnsoc_durable_recovery_snapshot_age_ticks", &[])
+            .is_some(),
+        "snapshot-age gauge missing"
+    );
+    assert!(
+        snap.events
+            .iter()
+            .any(|e| e.source == "durable" && e.message.contains("recovered tick")),
+        "recovery event missing from the ring"
+    );
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
