@@ -32,12 +32,16 @@
 use crate::drift::{CohortId, CohortWindow, DriftConfig, DriftDetector, DriftStatus};
 use crate::harvest::{HarvestConfig, HarvestStats, Harvester, HarvesterSession};
 use crate::obs::AdaptObs;
-use pinnsoc::{train_many_with, SocModel, TrainConfig, TrainTask};
+use pinnsoc::{
+    train_many_with, Matrix, QuantizedSocModel, SecondStage, SocModel, TrainConfig, TrainTask,
+};
 use pinnsoc_data::{Cycle, SocDataset};
-use pinnsoc_fleet::FleetEngine;
+use pinnsoc_fleet::{FleetEngine, GateTolerance};
 use pinnsoc_obs::ObsHub;
 use pinnsoc_runtime::{NoContext, WorkerPool};
-use pinnsoc_scenario::{EngineSpec, FleetObserver, Scenario, ScenarioRunner};
+use pinnsoc_scenario::{
+    gate_quantized, EngineSpec, FleetObserver, QuantizedGateConfig, Scenario, ScenarioRunner,
+};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
@@ -74,6 +78,33 @@ impl GateConfig {
     }
 }
 
+/// Post-promotion int8 quantization. When configured, every promotion is
+/// followed by a quantize round: the freshly promoted model is int8-
+/// quantized against calibration data drawn from the lab replay cycles
+/// plus the harvest reservoir (the same mix it was fine-tuned on), scored
+/// through [`pinnsoc_scenario::gate_quantized`] on the promotion suite,
+/// and — only on a gate pass — installed as the registry's serving shadow
+/// via the minted [`pinnsoc_fleet::GateCertificate`]. A gate failure (or
+/// degenerate calibration) changes nothing: serving stays f32.
+#[derive(Debug, Clone)]
+pub struct QuantizeConfig {
+    /// How much accuracy the int8 build may lose versus its f32 source on
+    /// the gate suite before it is rejected.
+    pub tolerance: GateTolerance,
+    /// Calibration rows (one per telemetry record) drawn for activation-
+    /// scale calibration, capped across lab and harvested cycles.
+    pub calibration_rows: usize,
+}
+
+impl QuantizeConfig {
+    fn validate(&self) {
+        assert!(
+            self.calibration_rows > 0,
+            "quantization needs at least one calibration row"
+        );
+    }
+}
+
 /// Everything an [`AdaptationEngine`] needs to know.
 #[derive(Debug, Clone)]
 pub struct AdaptationConfig {
@@ -102,6 +133,9 @@ pub struct AdaptationConfig {
     /// Observation ticks to wait after a round (promoted or rejected)
     /// before the next may start.
     pub cooldown_ticks: u64,
+    /// When set, every promotion is followed by an int8 quantize round
+    /// (see [`QuantizeConfig`]). `None` serves promoted models f32-only.
+    pub quantize: Option<QuantizeConfig>,
 }
 
 impl AdaptationConfig {
@@ -120,6 +154,9 @@ impl AdaptationConfig {
         );
         self.gate.validate();
         assert!(self.min_reservoir > 0, "min_reservoir must be positive");
+        if let Some(quantize) = &self.quantize {
+            quantize.validate();
+        }
     }
 }
 
@@ -157,6 +194,30 @@ pub enum AdaptOutcome {
         /// Best candidate's gate score.
         best_candidate_mae: f64,
     },
+    /// The just-promoted model's int8 build passed the quantized gate and
+    /// was installed as the registry's serving shadow.
+    QuantizedInstalled {
+        /// Registry version the shadow was installed under.
+        version: u64,
+        /// The f32 incumbent's mean network MAE on the gate suite.
+        incumbent_mae: f64,
+        /// The int8 shadow's mean network MAE on the gate suite.
+        quantized_mae: f64,
+    },
+    /// The just-promoted model's int8 build failed the quantized gate; no
+    /// certificate was minted and serving stays f32.
+    QuantizedRejected {
+        /// The f32 incumbent's mean network MAE on the gate suite.
+        incumbent_mae: f64,
+        /// The rejected int8 build's mean network MAE on the gate suite.
+        quantized_mae: f64,
+    },
+    /// Quantization could not even produce a candidate (degenerate
+    /// calibration, or the registry moved mid-round); no gate ran.
+    QuantizedSkipped {
+        /// Why the round stopped short of the gate.
+        reason: String,
+    },
 }
 
 /// One noteworthy tick in an adaptation session (round-level outcomes:
@@ -188,6 +249,14 @@ pub struct AdaptReport {
     pub swaps: u64,
     /// Rollbacks performed.
     pub rollbacks: u64,
+    /// Post-promotion quantize rounds whose int8 build passed the
+    /// quantized gate and installed as the serving shadow.
+    #[serde(default)]
+    pub quantize_gate_passes: u64,
+    /// Post-promotion quantize rounds whose int8 build failed the
+    /// quantized gate (degenerate-calibration skips count here too).
+    #[serde(default)]
+    pub quantize_gate_failures: u64,
     /// Harvesting accounting.
     pub harvest: HarvestStats,
 }
@@ -406,6 +475,19 @@ impl AdaptationEngine {
             let reservoir = self.harvester.reservoir().len();
             obs.record_tick(&statuses, &stats, reservoir, &outcome);
         }
+        // A promotion immediately tries to earn its int8 serving shadow:
+        // the quantize round is its own event at the same tick, and its
+        // only path into the registry is a quantized-gate certificate.
+        if matches!(outcome, AdaptOutcome::Promoted { .. }) && self.config.quantize.is_some() {
+            let followup = self.quantize_round(fleet);
+            if let Some(obs) = self.obs.as_ref() {
+                obs.record_quantize(&followup);
+            }
+            self.events.push(AdaptEvent {
+                tick: self.report.ticks_observed,
+                outcome: followup,
+            });
+        }
         outcome
     }
 
@@ -497,6 +579,106 @@ impl AdaptationEngine {
             obs.record_round(start.elapsed().as_secs_f64(), fine_tuned);
         }
         outcome
+    }
+
+    /// One post-promotion quantize round: calibrate → quantize → gate →
+    /// (on a pass) install the shadow. Serving changes only through the
+    /// minted certificate; every other path out of here leaves the
+    /// registry's f32-only state untouched.
+    fn quantize_round(&mut self, fleet: &FleetEngine) -> AdaptOutcome {
+        let quantize = self.config.quantize.as_ref().expect("checked by caller");
+        let registry = fleet.registry();
+        let incumbent = registry.current();
+        let Some((b1, b2)) = self.calibration_matrices(&incumbent, quantize.calibration_rows)
+        else {
+            self.report.quantize_gate_failures += 1;
+            return AdaptOutcome::QuantizedSkipped {
+                reason: "no calibration data: lab replay and reservoir are both empty".into(),
+            };
+        };
+        let candidate = match QuantizedSocModel::quantize(Arc::clone(&incumbent), &b1, b2.as_ref())
+        {
+            Ok(candidate) => Arc::new(candidate),
+            Err(error) => {
+                self.report.quantize_gate_failures += 1;
+                return AdaptOutcome::QuantizedSkipped {
+                    reason: error.to_string(),
+                };
+            }
+        };
+        let outcome = gate_quantized(
+            &candidate,
+            &QuantizedGateConfig {
+                suite: self.config.gate.suite.clone(),
+                runner_workers: self.config.gate.runner_workers,
+                engine: self.config.gate.engine,
+                tolerance: quantize.tolerance,
+                registry_version: registry.version(),
+                obs: self.obs.as_ref().map(|obs| Arc::clone(obs.hub())),
+            },
+        );
+        let Some(certificate) = outcome.certificate else {
+            self.report.quantize_gate_failures += 1;
+            return AdaptOutcome::QuantizedRejected {
+                incumbent_mae: outcome.incumbent_mae,
+                quantized_mae: outcome.quantized_mae,
+            };
+        };
+        match registry.install_quantized(candidate, &certificate) {
+            Ok(version) => {
+                self.report.quantize_gate_passes += 1;
+                AdaptOutcome::QuantizedInstalled {
+                    version,
+                    incumbent_mae: outcome.incumbent_mae,
+                    quantized_mae: outcome.quantized_mae,
+                }
+            }
+            Err(error) => {
+                self.report.quantize_gate_failures += 1;
+                AdaptOutcome::QuantizedSkipped {
+                    reason: format!("registry refused the certificate: {error}"),
+                }
+            }
+        }
+    }
+
+    /// Calibration rows for activation-scale quantization: real telemetry
+    /// from the lab replay cycles plus the harvest reservoir — the same
+    /// data mix fine-tuning trains on, so the int8 scales cover what the
+    /// adapted model actually serves. Returns `None` when no records are
+    /// available at all.
+    fn calibration_matrices(
+        &self,
+        model: &SocModel,
+        rows: usize,
+    ) -> Option<(Matrix, Option<Matrix>)> {
+        // Branch 2 predicts across horizons; cycle the calibration rows
+        // through short / medium / long so the horizon feature's scale is
+        // exercised, not just its shortest value.
+        const HORIZONS_S: [f64; 3] = [15.0, 60.0, 300.0];
+        let mut b1_rows: Vec<[f64; 3]> = Vec::with_capacity(rows.min(1024));
+        let mut b2_rows: Vec<[f64; 4]> = Vec::with_capacity(rows.min(1024));
+        let pseudo = self.harvester.pseudo_cycles();
+        let lab = self.lab.train.iter().take(self.config.lab_cycles);
+        'cycles: for cycle in lab.chain(pseudo.iter()) {
+            for record in &cycle.records {
+                if b1_rows.len() >= rows {
+                    break 'cycles;
+                }
+                b1_rows.push([record.voltage_v, record.current_a, record.temperature_c]);
+                let horizon = HORIZONS_S[b2_rows.len() % HORIZONS_S.len()];
+                b2_rows.push([record.soc, record.current_a, record.temperature_c, horizon]);
+            }
+        }
+        if b1_rows.is_empty() {
+            return None;
+        }
+        let b1 = model.branch1.feature_matrix(&b1_rows);
+        let b2 = match &model.stage2 {
+            SecondStage::Network(branch2) => Some(branch2.feature_matrix(&b2_rows)),
+            _ => None,
+        };
+        Some((b1, b2))
     }
 
     /// The replay mix: the first `lab_cycles` lab training cycles plus the

@@ -75,7 +75,7 @@ pub mod reservoir;
 pub use drift::{CohortId, CohortWindow, DriftConfig, DriftDetector, DriftStatus};
 pub use engine::{
     AdaptEvent, AdaptOutcome, AdaptReport, AdaptSession, AdaptationConfig, AdaptationEngine,
-    GateConfig,
+    GateConfig, QuantizeConfig,
 };
 pub use harvest::{HarvestConfig, HarvestStats, HarvestedSample, Harvester, HarvesterSession};
 pub use reservoir::Reservoir;

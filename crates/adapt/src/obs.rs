@@ -37,6 +37,9 @@ pub(crate) struct AdaptObs {
     reservoir: MetricId,
     incumbent_mae: MetricId,
     best_candidate_mae: MetricId,
+    quantize_pass: MetricId,
+    quantize_fail: MetricId,
+    quantize_skip: MetricId,
     harvested: MetricId,
     rejected_uncertain: MetricId,
     skipped_stale: MetricId,
@@ -57,6 +60,14 @@ impl AdaptObs {
                 "Harvest decisions by outcome (skipped_faulty_tick counts \
                  whole skipped ticks, not windows).",
                 &[("outcome", outcome)],
+            )
+        };
+        let quantize = |verdict: &str| -> MetricId {
+            reg.counter_with(
+                "pinnsoc_adapt_quantized_gate_total",
+                "Post-promotion quantize rounds by verdict (skipped = no \
+                 gate ran: degenerate calibration or a stale registry).",
+                &[("verdict", verdict)],
             )
         };
         Self {
@@ -109,6 +120,9 @@ impl AdaptObs {
                 "pinnsoc_adapt_gate_best_candidate_mae",
                 "Best candidate's gate score in the most recent round.",
             ),
+            quantize_pass: quantize("pass"),
+            quantize_fail: quantize("fail"),
+            quantize_skip: quantize("skipped"),
             harvested: window("harvested"),
             rejected_uncertain: window("rejected_uncertain_teacher"),
             skipped_stale: window("skipped_stale"),
@@ -210,6 +224,51 @@ impl AdaptObs {
                     ),
                 );
             }
+            // Quantize follow-ups are separate events recorded through
+            // `record_quantize`; they never arrive as a tick's outcome.
+            AdaptOutcome::QuantizedInstalled { .. }
+            | AdaptOutcome::QuantizedRejected { .. }
+            | AdaptOutcome::QuantizedSkipped { .. } => {}
+        }
+    }
+
+    /// Books one post-promotion quantize round by verdict.
+    pub(crate) fn record_quantize(&self, outcome: &AdaptOutcome) {
+        let reg = self.hub.registry();
+        match outcome {
+            AdaptOutcome::QuantizedInstalled {
+                version,
+                incumbent_mae,
+                quantized_mae,
+            } => {
+                reg.add(self.quantize_pass, 1);
+                self.hub.emit(
+                    "adapt",
+                    format!(
+                        "quantized shadow installed at v{version}: int8 MAE \
+                         {quantized_mae:.4} vs f32 {incumbent_mae:.4}"
+                    ),
+                );
+            }
+            AdaptOutcome::QuantizedRejected {
+                incumbent_mae,
+                quantized_mae,
+            } => {
+                reg.add(self.quantize_fail, 1);
+                self.hub.emit(
+                    "adapt",
+                    format!(
+                        "quantized gate rejected the int8 build: MAE \
+                         {quantized_mae:.4} vs f32 {incumbent_mae:.4}; serving stays f32"
+                    ),
+                );
+            }
+            AdaptOutcome::QuantizedSkipped { reason } => {
+                reg.add(self.quantize_skip, 1);
+                self.hub
+                    .emit("adapt", format!("quantize round skipped: {reason}"));
+            }
+            _ => {}
         }
     }
 

@@ -22,6 +22,7 @@ fn engine(cells: u64, ekf: bool) -> FleetEngine {
             micro_batch: 16,
             workers: 0,
             ekf_fallback: ekf.then(CellParams::nmc_18650),
+            ..FleetConfig::default()
         },
     );
     for id in 0..cells {

@@ -63,6 +63,7 @@ fn config() -> AdaptationConfig {
         lab_cycles: 0,
         min_reservoir: usize::MAX,
         cooldown_ticks: 4,
+        quantize: None,
     }
 }
 
@@ -83,6 +84,7 @@ fn fleet() -> FleetEngine {
             micro_batch: 16,
             workers: 0,
             ekf_fallback: None,
+            ..FleetConfig::default()
         },
     );
     for id in 0..CELLS {

@@ -76,6 +76,7 @@ fn bench_fleet(c: &mut Criterion) {
             micro_batch: 512,
             workers: 0,
             ekf_fallback: None,
+            ..FleetConfig::default()
         },
     );
     for id in 0..n {

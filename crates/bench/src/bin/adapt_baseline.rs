@@ -163,6 +163,7 @@ fn adaptation_config(smoke: bool, workers: usize) -> AdaptationConfig {
         // fine-tunes on a fuller reservoir and must beat the previous
         // promotion at the gate to swap again.
         cooldown_ticks: if smoke { 10 } else { 25 },
+        quantize: None,
     }
 }
 

@@ -108,6 +108,7 @@ fn new_engine(fleet_size: usize) -> FleetEngine {
             micro_batch: MICRO_BATCH,
             workers: 0,
             ekf_fallback: None,
+            ..FleetConfig::default()
         },
     );
     for id in 0..fleet_size as u64 {

@@ -13,12 +13,16 @@
 //! size) so the perf trajectory across PRs is comparable.
 
 use pinnsoc::{BatchScratch, PredictQuery, SocModel};
-use pinnsoc_bench::{host_info, HostInfo};
-use pinnsoc_fleet::testing::untrained_model;
-use pinnsoc_fleet::{CellConfig, FleetConfig, FleetEngine, Telemetry, WorkloadQuery};
+use pinnsoc_bench::{host_info_with_mode, HostInfo};
+use pinnsoc_fleet::testing::{quantize_untrained, untrained_model};
+use pinnsoc_fleet::{
+    CellConfig, FleetConfig, FleetEngine, GateCertificate, GateTolerance, ServingMode, Telemetry,
+    WorkloadQuery,
+};
 use serde::Serialize;
 use std::hint::black_box;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Serving protocol constants — keep stable across PRs so the recorded
@@ -28,10 +32,12 @@ const MICRO_BATCH: usize = 512;
 
 #[derive(Debug, Serialize)]
 struct StageBreakdownMs {
-    /// Queueing telemetry into the engine (id lookup + per-shard push);
-    /// timed by this harness around the ingest loop.
+    /// Accepting telemetry into the engine — id lookup, integrator update,
+    /// and dirty-slot dedup all happen at ingest; timed by this harness
+    /// around the ingest loop.
     ingest: f64,
-    /// Integrator updates + dirty-slot dedup (engine stage timer).
+    /// Legacy drain-the-queue stage — reads zero now that integration
+    /// happens at ingest; kept so the JSON schema is stable across PRs.
     coalesce: f64,
     /// Feature assembly from the SoA cell state (engine stage timer).
     gather: f64,
@@ -51,9 +57,15 @@ struct SizeResult {
     batched_cells_per_sec: f64,
     speedup: f64,
     engine_process_cells_per_sec: f64,
+    /// Same engine pass with `ServingMode::Int8` and a certified quantized
+    /// shadow installed — the serving configuration the int8 work exists
+    /// for.
+    engine_process_int8_cells_per_sec: f64,
+    int8_engine_speedup: f64,
     parallel_batched_cells_per_sec: f64,
     parallel_speedup: f64,
     stage_breakdown_ms_per_tick: StageBreakdownMs,
+    stage_breakdown_int8_ms_per_tick: StageBreakdownMs,
 }
 
 #[derive(Debug, Serialize)]
@@ -98,6 +110,120 @@ fn median_time(reps: usize, mut f: impl FnMut()) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Builds a serving engine over `fleet_size` registered cells; in int8
+/// mode, installs a quantized shadow of the incumbent through the
+/// certificate door (this bench measures speed, not accuracy, so the
+/// certificate is minted from trivially-equal gate scores — the legality
+/// chain itself is exercised by the scenario gate tests).
+fn serving_engine(model: &SocModel, fleet_size: usize, int8: bool) -> FleetEngine {
+    let mut engine = FleetEngine::new(
+        model.clone(),
+        FleetConfig {
+            shards: SHARDS,
+            micro_batch: MICRO_BATCH,
+            workers: 0,
+            ekf_fallback: None,
+            serving: if int8 {
+                ServingMode::Int8
+            } else {
+                ServingMode::F32
+            },
+        },
+    );
+    for id in 0..fleet_size as u64 {
+        engine.register(
+            id,
+            CellConfig {
+                initial_soc: 0.9,
+                capacity_ah: 3.0,
+            },
+        );
+    }
+    if int8 {
+        let registry = engine.registry();
+        let incumbent = registry.current();
+        let quantized = Arc::new(quantize_untrained(&incumbent));
+        let cert = GateCertificate::attest(
+            &incumbent,
+            registry.version(),
+            0.02,
+            0.02,
+            GateTolerance::default(),
+            1,
+        )
+        .expect("equal scores pass any tolerance");
+        registry
+            .install_quantized(quantized, &cert)
+            .expect("fresh registry accepts its own certificate");
+    }
+    engine
+}
+
+/// One serving steady state: ingest one report per cell + drain + batched
+/// estimate refresh, timed as whole ticks (median over `reps`), with the
+/// per-stage breakdown of the same ticks.
+fn engine_pass(
+    engine: &mut FleetEngine,
+    fleet_size: usize,
+    reps: usize,
+    check: bool,
+) -> (f64, StageBreakdownMs) {
+    let mut tick = 0.0f64;
+    let run_tick = |engine: &mut FleetEngine, tick: &mut f64| {
+        *tick += 1.0;
+        let start = Instant::now();
+        for id in 0..fleet_size as u64 {
+            engine.ingest(
+                id,
+                Telemetry {
+                    time_s: *tick,
+                    voltage_v: 3.7,
+                    current_a: 1.0,
+                    temperature_c: 25.0,
+                },
+            );
+        }
+        let ingest_s = start.elapsed().as_secs_f64();
+        let totals = black_box(engine.process_pending());
+        (start.elapsed().as_secs_f64(), ingest_s, totals)
+    };
+    // Warm-up tick, then reset the stage clocks so the breakdown covers
+    // exactly the timed reps.
+    let (_, _, warm) = run_tick(engine, &mut tick);
+    if check {
+        assert_eq!(
+            warm,
+            (fleet_size, fleet_size),
+            "engine must absorb and estimate every cell"
+        );
+    }
+    engine.reset_stage_times();
+    let mut tick_samples = Vec::with_capacity(reps);
+    let mut ingest_total_s = 0.0;
+    for _ in 0..reps {
+        let (tick_s, ingest_s, totals) = run_tick(engine, &mut tick);
+        if check {
+            assert_eq!(totals, (fleet_size, fleet_size), "engine dropped cells");
+        }
+        tick_samples.push(tick_s);
+        ingest_total_s += ingest_s;
+    }
+    tick_samples.sort_by(f64::total_cmp);
+    let engine_s = tick_samples[tick_samples.len() / 2];
+    let stages = engine.stage_times();
+    let per_tick_ms = |s: f64| s * 1e3 / reps as f64;
+    let mean_tick_s: f64 = tick_samples.iter().sum::<f64>();
+    let breakdown = StageBreakdownMs {
+        ingest: per_tick_ms(ingest_total_s),
+        coalesce: per_tick_ms(stages.coalesce.as_secs_f64()),
+        gather: per_tick_ms(stages.gather.as_secs_f64()),
+        gemm: per_tick_ms(stages.gemm.as_secs_f64()),
+        scatter: per_tick_ms(stages.scatter.as_secs_f64()),
+        other: per_tick_ms((mean_tick_s - ingest_total_s - stages.total().as_secs_f64()).max(0.0)),
+    };
+    (engine_s, breakdown)
+}
+
 fn measure(model: &SocModel, fleet_size: usize, reps: usize, check: bool) -> SizeResult {
     let qs = queries(fleet_size);
 
@@ -129,81 +255,14 @@ fn measure(model: &SocModel, fleet_size: usize, reps: usize, check: bool) -> Siz
         black_box(out.last().copied());
     });
 
-    let mut engine = FleetEngine::new(
-        model.clone(),
-        FleetConfig {
-            shards: SHARDS,
-            micro_batch: MICRO_BATCH,
-            workers: 0,
-            ekf_fallback: None,
-        },
-    );
-    for id in 0..fleet_size as u64 {
-        engine.register(
-            id,
-            CellConfig {
-                initial_soc: 0.9,
-                capacity_ah: 3.0,
-            },
-        );
-    }
-    // Engine pass = ingest one report per cell + drain + batched estimate
-    // refresh, all timed as one tick (the serving steady state). The stage
-    // timers and the harness-side ingest timer together give the per-stage
-    // breakdown of the same ticks the median is computed from.
-    let mut tick = 0.0f64;
-    let run_tick = |engine: &mut FleetEngine, tick: &mut f64| {
-        *tick += 1.0;
-        let start = Instant::now();
-        for id in 0..fleet_size as u64 {
-            engine.ingest(
-                id,
-                Telemetry {
-                    time_s: *tick,
-                    voltage_v: 3.7,
-                    current_a: 1.0,
-                    temperature_c: 25.0,
-                },
-            );
-        }
-        let ingest_s = start.elapsed().as_secs_f64();
-        let totals = black_box(engine.process_pending());
-        (start.elapsed().as_secs_f64(), ingest_s, totals)
-    };
-    // Warm-up tick, then reset the stage clocks so the breakdown covers
-    // exactly the timed reps.
-    let (_, _, warm) = run_tick(&mut engine, &mut tick);
-    if check {
-        assert_eq!(
-            warm,
-            (fleet_size, fleet_size),
-            "engine must absorb and estimate every cell"
-        );
-    }
-    engine.reset_stage_times();
-    let mut tick_samples = Vec::with_capacity(reps);
-    let mut ingest_total_s = 0.0;
-    for _ in 0..reps {
-        let (tick_s, ingest_s, totals) = run_tick(&mut engine, &mut tick);
-        if check {
-            assert_eq!(totals, (fleet_size, fleet_size), "engine dropped cells");
-        }
-        tick_samples.push(tick_s);
-        ingest_total_s += ingest_s;
-    }
-    tick_samples.sort_by(f64::total_cmp);
-    let engine_s = tick_samples[tick_samples.len() / 2];
-    let stages = engine.stage_times();
-    let per_tick_ms = |s: f64| s * 1e3 / reps as f64;
-    let mean_tick_s: f64 = tick_samples.iter().sum::<f64>();
-    let breakdown = StageBreakdownMs {
-        ingest: per_tick_ms(ingest_total_s),
-        coalesce: per_tick_ms(stages.coalesce.as_secs_f64()),
-        gather: per_tick_ms(stages.gather.as_secs_f64()),
-        gemm: per_tick_ms(stages.gemm.as_secs_f64()),
-        scatter: per_tick_ms(stages.scatter.as_secs_f64()),
-        other: per_tick_ms((mean_tick_s - ingest_total_s - stages.total().as_secs_f64()).max(0.0)),
-    };
+    // The serving steady state in both modes over the same fleet shape:
+    // the f32 engine first (the historical baseline series), then the
+    // int8-shadowed engine.
+    let mut engine = serving_engine(model, fleet_size, false);
+    let (engine_s, breakdown) = engine_pass(&mut engine, fleet_size, reps, check);
+    let mut int8_engine = serving_engine(model, fleet_size, true);
+    let (int8_s, int8_breakdown) = engine_pass(&mut int8_engine, fleet_size, reps, check);
+    drop(int8_engine);
 
     let parallel_s = median_time(reps, || {
         black_box(engine.predict_all(WorkloadQuery {
@@ -220,9 +279,12 @@ fn measure(model: &SocModel, fleet_size: usize, reps: usize, check: bool) -> Siz
         batched_cells_per_sec: n / batched_s,
         speedup: sequential_s / batched_s,
         engine_process_cells_per_sec: n / engine_s,
+        engine_process_int8_cells_per_sec: n / int8_s,
+        int8_engine_speedup: engine_s / int8_s,
         parallel_batched_cells_per_sec: n / parallel_s,
         parallel_speedup: sequential_s / parallel_s,
         stage_breakdown_ms_per_tick: breakdown,
+        stage_breakdown_int8_ms_per_tick: int8_breakdown,
     }
 }
 
@@ -240,19 +302,25 @@ fn main() {
         .map(|&n| {
             let r = measure(&model, n, reps, smoke);
             println!(
-                "fleet {n:>6}: sequential {:>10.0}/s | batched {:>10.0}/s ({:.2}x) | sharded-parallel {:>10.0}/s ({:.2}x) | engine pass {:>10.0}/s",
+                "fleet {n:>6}: sequential {:>10.0}/s | batched {:>10.0}/s ({:.2}x) | sharded-parallel {:>10.0}/s ({:.2}x) | engine pass {:>10.0}/s | int8 pass {:>10.0}/s ({:.2}x)",
                 r.sequential_cells_per_sec,
                 r.batched_cells_per_sec,
                 r.speedup,
                 r.parallel_batched_cells_per_sec,
                 r.parallel_speedup,
                 r.engine_process_cells_per_sec,
+                r.engine_process_int8_cells_per_sec,
+                r.int8_engine_speedup,
             );
-            let b = &r.stage_breakdown_ms_per_tick;
-            println!(
-                "             tick breakdown (ms): ingest {:.3} | coalesce {:.3} | gather {:.3} | gemm {:.3} | scatter {:.3} | other {:.3}",
-                b.ingest, b.coalesce, b.gather, b.gemm, b.scatter, b.other,
-            );
+            for (label, b) in [
+                ("f32 ", &r.stage_breakdown_ms_per_tick),
+                ("int8", &r.stage_breakdown_int8_ms_per_tick),
+            ] {
+                println!(
+                    "             {label} tick breakdown (ms): ingest {:.3} | coalesce {:.3} | gather {:.3} | gemm {:.3} | scatter {:.3} | other {:.3}",
+                    b.ingest, b.coalesce, b.gather, b.gemm, b.scatter, b.other,
+                );
+            }
             r
         })
         .collect();
@@ -263,24 +331,17 @@ fn main() {
     }
 
     // Resolve the auto worker count exactly like the measured engines did.
-    let probe = FleetEngine::new(
-        model,
-        FleetConfig {
-            shards: SHARDS,
-            micro_batch: MICRO_BATCH,
-            workers: 0,
-            ekf_fallback: None,
-        },
-    );
+    let probe = serving_engine(&model, 1, false);
     let baseline = Baseline {
         description: "Batched vs sequential full-pipeline SoC prediction throughput; \
-                      engine = ingest + coalesce + sharded micro-batched estimate pass"
+                      engine = integrate-at-ingest + sharded micro-batched estimate pass, \
+                      measured in f32 serving mode and with a certified int8 shadow"
             .into(),
         model: "two-branch PINN (2,322 params), untrained weights".into(),
         reps,
         shards: SHARDS,
         micro_batch: MICRO_BATCH,
-        host: host_info(probe.worker_threads()),
+        host: host_info_with_mode(probe.worker_threads(), "f32+int8"),
         results,
     };
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fleet.json");

@@ -121,6 +121,7 @@ fn new_engine(model: &pinnsoc::SocModel, fleet_size: usize) -> FleetEngine {
             micro_batch: MICRO_BATCH,
             workers: 0,
             ekf_fallback: None,
+            ..FleetConfig::default()
         },
     );
     for id in 0..fleet_size as u64 {
@@ -329,6 +330,7 @@ fn adaptation_config() -> AdaptationConfig {
         lab_cycles: 4,
         min_reservoir: 64,
         cooldown_ticks: 10,
+        quantize: None,
     }
 }
 

@@ -220,17 +220,38 @@ pub struct HostInfo {
     pub arch: &'static str,
     /// Short git revision of the measured tree, or `"unknown"`.
     pub git_rev: String,
+    /// Active GEMM kernel path on the measuring host (`avx2` / `sse2` /
+    /// `scalar`), as resolved by `pinnsoc_nn::kernel::active` — forced
+    /// paths (`PINNSOC_FORCE_KERNEL`) are reported as forced, so bench
+    /// JSONs from different hosts or forcing modes stay comparable.
+    pub kernel_path: &'static str,
+    /// Int8 accumulate flavor the quantized GEMMs sub-dispatch to under
+    /// `kernel_path` (`avx512-vnni` / `avx-vnni` / `avx2-madd` / ...) —
+    /// int8 speedups depend on it, the f32 numbers do not.
+    pub int8_kernel: &'static str,
+    /// Numeric serving mode of the measured path: `"f32"` for the
+    /// baseline pipelines, `"int8"` when the bench measured quantized
+    /// serving.
+    pub quantization: &'static str,
 }
 
 /// Captures [`HostInfo`] for a bench whose measured pool resolved `workers`
-/// worker threads.
+/// worker threads, serving f32 (the default mode).
 pub fn host_info(workers: usize) -> HostInfo {
+    host_info_with_mode(workers, "f32")
+}
+
+/// [`host_info`] with an explicit quantization mode label.
+pub fn host_info_with_mode(workers: usize, quantization: &'static str) -> HostInfo {
     HostInfo {
         threads: std::thread::available_parallelism().map_or(1, usize::from),
         workers,
         os: std::env::consts::OS,
         arch: std::env::consts::ARCH,
         git_rev: git_rev(),
+        kernel_path: pinnsoc_nn::kernel::active().as_str(),
+        int8_kernel: pinnsoc_nn::kernel::int8_flavor(),
+        quantization,
     }
 }
 

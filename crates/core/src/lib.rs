@@ -50,6 +50,7 @@ pub mod config;
 pub mod ensemble;
 pub mod eval;
 pub mod model;
+pub mod quantized;
 pub mod rollout;
 pub mod train;
 pub mod trainer;
@@ -62,6 +63,10 @@ pub use model::{
     BatchScratch, Branch1, Branch2, Branch2Features, PredictQuery, SecondStage, SocModel,
     HIDDEN_WIDTHS,
 };
+pub use quantized::{model_fingerprint, QuantBatchScratch, QuantizeError, QuantizedSocModel};
+// Re-exported so quantization callers can build calibration matrices
+// without depending on `pinnsoc-nn` directly.
+pub use pinnsoc_nn::Matrix;
 pub use rollout::{autoregressive_rollout, Rollout};
 pub use train::{
     train, train_from, train_from_with, train_many, train_many_with, TrainReport, TrainTask,

@@ -44,6 +44,14 @@ impl Branch1 {
         [row[0] as f32, row[1] as f32, row[2] as f32]
     }
 
+    /// The input normalizer's `(means, stds)` over `(V, I, T)`, for batched
+    /// gather loops that hoist the constants and apply `(x − mean) / std`
+    /// inline — the same operation sequence as [`Self::features`], so the
+    /// hoisted form stays bit-identical.
+    pub fn norm_stats(&self) -> (&[f64], &[f64]) {
+        self.norm.stats()
+    }
+
     /// Estimates SoC from one sensor reading.
     pub fn estimate(&self, voltage_v: f64, current_a: f64, temperature_c: f64) -> f64 {
         let f = self.features(voltage_v, current_a, temperature_c);

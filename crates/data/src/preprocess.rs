@@ -147,6 +147,14 @@ impl Normalizer {
         self.means.len()
     }
 
+    /// The fitted per-feature `(means, stds)` — for callers that hoist the
+    /// constants out of a hot loop and apply `(x − mean) / std` themselves
+    /// (the exact per-element operation sequence of [`Self::normalize`],
+    /// so results stay bit-identical).
+    pub fn stats(&self) -> (&[f64], &[f64]) {
+        (&self.means, &self.stds)
+    }
+
     /// Normalizes a feature row in place.
     ///
     /// # Panics

@@ -401,6 +401,7 @@ pub fn recover(
             micro_batch: snapshot.micro_batch,
             workers,
             ekf_fallback,
+            ..FleetConfig::default()
         },
     );
     engine.import_cells(&snapshot.cells);

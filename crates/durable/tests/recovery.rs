@@ -27,6 +27,7 @@ fn engine(workers: usize) -> FleetEngine {
             micro_batch: 8,
             workers,
             ekf_fallback: None,
+            ..FleetConfig::default()
         },
     )
 }

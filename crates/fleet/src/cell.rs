@@ -294,14 +294,21 @@ impl CellStore {
     /// Panics if `slots` is empty or contains an out-of-range slot.
     pub(crate) fn gather_features(&self, slots: &[u32], model: &SocModel, features: &mut Matrix) {
         features.reset_for_overwrite(slots.len(), 3);
+        // Hoist the normalization constants and write the flat buffer
+        // directly: per element this is the same `(x − mean) / std` f64
+        // divide followed by an f32 cast that `Branch1::features` performs,
+        // so the gather stays bit-identical to the scalar path while
+        // skipping the per-row call and bounds machinery.
+        let (means, stds) = model.branch1.norm_stats();
+        let (mv, mi, mt) = (means[0], means[1], means[2]);
+        let (sv, si, st) = (stds[0], stds[1], stds[2]);
+        let out = features.as_mut_slice();
         for (r, &slot) in slots.iter().enumerate() {
             let slot = slot as usize;
-            let f = model.branch1.features(
-                self.voltage_v[slot],
-                self.current_a[slot],
-                self.temperature_c[slot],
-            );
-            features.row_mut(r).copy_from_slice(&f);
+            let base = r * 3;
+            out[base] = ((self.voltage_v[slot] - mv) / sv) as f32;
+            out[base + 1] = ((self.current_a[slot] - mi) / si) as f32;
+            out[base + 2] = ((self.temperature_c[slot] - mt) / st) as f32;
         }
     }
 

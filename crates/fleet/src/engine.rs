@@ -9,7 +9,7 @@ use crate::obs::{EngineObs, FleetMetricIds, ShardObs};
 use crate::pool::{Done, JobKind, TaskOutput, WorkerPool};
 use crate::registry::ModelRegistry;
 use crate::telemetry::{CellId, Telemetry};
-use pinnsoc::{BatchScratch, SocModel};
+use pinnsoc::{BatchScratch, QuantBatchScratch, QuantizedSocModel, SocModel};
 use pinnsoc_battery::CellParams;
 use pinnsoc_nn::Matrix;
 use pinnsoc_obs::ObsHub;
@@ -17,6 +17,24 @@ use pinnsoc_runtime::PoolObs;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Which network the batch passes serve with.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServingMode {
+    /// The f32 incumbent — the accuracy reference; always available.
+    #[default]
+    F32,
+    /// The int8 quantized shadow, when one is installed in the registry
+    /// (a [`crate::GateCertificate`]-backed
+    /// [`ModelRegistry::install_quantized`]). Until then — and again after
+    /// any [`ModelRegistry::swap`], which clears the shadow — passes
+    /// degrade to the f32 incumbent rather than stalling; each pass picks
+    /// per its pinned snapshot, so the transition lands at a batch
+    /// boundary like a hot swap. Featurization and the ingest-side physics
+    /// (Coulomb / EKF) stay f32 either way; only the network forward runs
+    /// int8.
+    Int8,
+}
 
 /// Engine-wide configuration.
 #[derive(Debug, Clone)]
@@ -41,6 +59,8 @@ pub struct FleetConfig {
     /// built from these parameters (used when no network estimate covers
     /// the latest telemetry).
     pub ekf_fallback: Option<CellParams>,
+    /// Which network the batch passes serve with (see [`ServingMode`]).
+    pub serving: ServingMode,
 }
 
 impl Default for FleetConfig {
@@ -50,6 +70,7 @@ impl Default for FleetConfig {
             micro_batch: 256,
             workers: 0,
             ekf_fallback: None,
+            serving: ServingMode::F32,
         }
     }
 }
@@ -145,8 +166,10 @@ impl TelemetryStats {
 /// bench harness times it as a block instead.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageTimes {
-    /// Draining queued telemetry into the per-cell integrators (Coulomb /
-    /// EKF updates, dirty-slot dedup).
+    /// Legacy stage: draining queued telemetry into the per-cell
+    /// integrators. Integration now happens at ingest (outside the batch
+    /// pass), so this reads zero; the field survives so recorded
+    /// `BENCH_fleet.json` breakdowns keep a stable schema across PRs.
     pub coalesce: Duration,
     /// Assembling normalized feature rows from the structure-of-arrays
     /// cell state into the batch input matrix.
@@ -177,21 +200,27 @@ impl StageTimes {
 pub(crate) struct Shard {
     cells: CellStore,
     index: IdIndex,
-    /// Accepted-but-unprocessed telemetry in arrival order (slot, report).
-    pending: Vec<(u32, Telemetry)>,
     /// Per-shard inference scratch (lives with the shard so steady-state
     /// processing allocates nothing).
     scratch: BatchScratch,
+    /// Int8 counterpart of `scratch`, used when a pass serves the
+    /// quantized model. Empty buffers (a few `Vec`s) until the first int8
+    /// pass, so f32-only fleets pay nothing for it.
+    qscratch: QuantBatchScratch,
     /// Gather buffer: the normalized `micro_batch × 3` feature matrix.
     features: Matrix,
     /// Per-micro-batch network outputs.
     estimates: Vec<f64>,
     /// Reused list of slots touched since the last pass (same
-    /// zero-steady-state-allocation rationale as `scratch`).
+    /// zero-steady-state-allocation rationale as `scratch`), populated
+    /// incrementally by [`Shard::absorb_one`] at ingest.
     dirty: Vec<u32>,
+    /// Reports absorbed at ingest since the last pass.
+    tick_absorbed: usize,
     /// Reused slot list for full-shard passes (`predict_all`).
     batch_slots: Vec<u32>,
-    /// Monotonic processing-pass counter backing the O(1) dirty-slot dedup.
+    /// Generation tag of the *upcoming* pass, backing the O(1) dirty-slot
+    /// dedup (bumped at the end of each pass).
     generation: u64,
     /// Cells that have accepted at least one report — lets the engine skip
     /// queueing shards with nothing to predict.
@@ -213,13 +242,16 @@ impl Shard {
         Self {
             cells: CellStore::new(),
             index: IdIndex::new(),
-            pending: Vec::new(),
             scratch: BatchScratch::default(),
+            qscratch: QuantBatchScratch::default(),
             features: Matrix::zeros(1, 1),
             estimates: Vec::new(),
             dirty: Vec::new(),
+            tick_absorbed: 0,
             batch_slots: Vec::new(),
-            generation: 0,
+            // Registration seeds `dirty_generation` rows with 0, so the
+            // first pass must tag with something greater.
+            generation: 1,
             reporting: 0,
             stage: StageTimes::default(),
             telemetry: TelemetryStats::default(),
@@ -227,46 +259,30 @@ impl Shard {
         }
     }
 
-    /// Drains pending telemetry into the per-cell integrators, then runs
-    /// the network over every touched cell in micro-batches. Telemetry is
-    /// coalesced: a cell reporting five times since the last pass is
-    /// integrated five times but estimated once, at its latest reading.
+    /// Runs the network over every cell touched since the last pass, in
+    /// micro-batches. Telemetry is coalesced: a cell reporting five times
+    /// since the last pass was integrated five times at ingest but is
+    /// estimated once, at its latest reading.
     /// Returns `(reports_absorbed, cells_estimated)`.
-    pub(crate) fn process(&mut self, model: &SocModel, micro_batch: usize) -> (usize, usize) {
-        let tick_start = Instant::now();
+    ///
+    /// `quantized` (when present) must be an artifact of `model` — the pool
+    /// passes both halves of one pinned [`crate::ServingSnapshot`], whose
+    /// registry invariant guarantees exactly that. The gather stage always
+    /// featurizes through the f32 `model` (the quantized artifact shares
+    /// its normalizers bit-for-bit); only the GEMM stage switches.
+    pub(crate) fn process(
+        &mut self,
+        model: &SocModel,
+        quantized: Option<&QuantizedSocModel>,
+        micro_batch: usize,
+    ) -> (usize, usize) {
         // `stage` holds exactly this pass's times; the engine accumulates
-        // per-tick deltas when the shard checks back in.
+        // per-tick deltas when the shard checks back in. Integration
+        // happened at ingest (see `absorb_one`), so the pass starts straight
+        // at the gather stage and `coalesce` stays zero.
         self.stage = StageTimes::default();
-        let mut absorbed = 0usize;
-        self.generation += 1;
-        self.dirty.clear();
-        let generation = self.generation;
-        // drain(..) keeps the pending queue's capacity for the next tick
-        // (mem::take would re-grow it from zero every pass).
-        let (cells, dirty) = (&mut self.cells, &mut self.dirty);
-        for (slot, telemetry) in self.pending.drain(..) {
-            let slot = slot as usize;
-            let outcome = cells.absorb(slot, telemetry);
-            match outcome {
-                AbsorbOutcome::Accepted => {}
-                AbsorbOutcome::DuplicateTimestamp => self.telemetry.duplicate_timestamp += 1,
-                AbsorbOutcome::NonFinite => self.telemetry.rejected_non_finite += 1,
-                AbsorbOutcome::TimeReversed => self.telemetry.rejected_time_reversed += 1,
-            }
-            if outcome.accepted() {
-                self.telemetry.accepted += 1;
-                absorbed += 1;
-                if cells.reports[slot] == 1 {
-                    self.reporting += 1;
-                }
-                if cells.dirty_generation[slot] != generation {
-                    cells.dirty_generation[slot] = generation;
-                    dirty.push(slot as u32);
-                }
-            }
-        }
+        let absorbed = std::mem::take(&mut self.tick_absorbed);
         let mut mark = Instant::now();
-        self.stage.coalesce += mark - tick_start;
         for batch in self.dirty.chunks(micro_batch) {
             // Gather: normalized features straight from the SoA telemetry
             // arrays into the batch input matrix — no per-cell struct hops.
@@ -274,9 +290,21 @@ impl Shard {
             let t = Instant::now();
             self.stage.gather += t - mark;
             mark = t;
-            // GEMM: the fused batched forward pass.
+            // GEMM: the fused batched forward pass (int8 when serving a
+            // quantized shadow, f32 otherwise).
             self.estimates.clear();
-            model.estimate_features_into(&self.features, &mut self.scratch, &mut self.estimates);
+            match quantized {
+                Some(q) => q.estimate_features_into(
+                    &self.features,
+                    &mut self.qscratch,
+                    &mut self.estimates,
+                ),
+                None => model.estimate_features_into(
+                    &self.features,
+                    &mut self.scratch,
+                    &mut self.estimates,
+                ),
+            }
             let t = Instant::now();
             self.stage.gemm += t - mark;
             mark = t;
@@ -289,20 +317,52 @@ impl Shard {
             mark = t;
         }
         let estimated = self.dirty.len();
+        self.dirty.clear();
+        self.generation += 1;
         // Worker-side recording: plain slot arithmetic over durations the
         // pass already measured — no locks, no extra clock reads.
         let (stage, telemetry) = (self.stage, self.telemetry);
         if let Some(obs) = self.obs.as_mut() {
-            obs.record_pass(&stage, absorbed, estimated, &telemetry);
+            obs.record_pass(&stage, absorbed, estimated, &telemetry, quantized.is_some());
         }
         (absorbed, estimated)
     }
 
+    /// Folds one report into the cell store, the telemetry books, and the
+    /// upcoming pass's dirty list — the single integration path, called at
+    /// ingest on the caller thread regardless of worker count, which is
+    /// what keeps every observable bit-identical across worker counts.
+    #[inline]
+    fn absorb_one(&mut self, slot: usize, telemetry: Telemetry) {
+        let outcome = self.cells.absorb(slot, telemetry);
+        match outcome {
+            AbsorbOutcome::Accepted => {}
+            AbsorbOutcome::DuplicateTimestamp => self.telemetry.duplicate_timestamp += 1,
+            AbsorbOutcome::NonFinite => self.telemetry.rejected_non_finite += 1,
+            AbsorbOutcome::TimeReversed => self.telemetry.rejected_time_reversed += 1,
+        }
+        // Duplicate-timestamp reports still count as accepted (they were
+        // folded into the store), exactly as the books always have.
+        if outcome.accepted() {
+            self.telemetry.accepted += 1;
+            self.tick_absorbed += 1;
+            if self.cells.reports[slot] == 1 {
+                self.reporting += 1;
+            }
+            if self.cells.dirty_generation[slot] != self.generation {
+                self.cells.dirty_generation[slot] = self.generation;
+                self.dirty.push(slot as u32);
+            }
+        }
+    }
+
     /// Batched full-pipeline prediction for every reporting cell under one
-    /// described workload.
+    /// described workload. Same `quantized` contract as
+    /// [`Shard::process`].
     pub(crate) fn predict_all(
         &mut self,
         model: &SocModel,
+        quantized: Option<&QuantizedSocModel>,
         workload: &WorkloadQuery,
         micro_batch: usize,
     ) -> Vec<(CellId, f64)> {
@@ -313,14 +373,24 @@ impl Shard {
         for batch in self.batch_slots.chunks(micro_batch) {
             self.cells.gather_features(batch, model, &mut self.features);
             self.estimates.clear();
-            model.predict_uniform_into(
-                &self.features,
-                workload.avg_current_a,
-                workload.avg_temperature_c,
-                workload.horizon_s,
-                &mut self.scratch,
-                &mut self.estimates,
-            );
+            match quantized {
+                Some(q) => q.predict_uniform_into(
+                    &self.features,
+                    workload.avg_current_a,
+                    workload.avg_temperature_c,
+                    workload.horizon_s,
+                    &mut self.qscratch,
+                    &mut self.estimates,
+                ),
+                None => model.predict_uniform_into(
+                    &self.features,
+                    workload.avg_current_a,
+                    workload.avg_temperature_c,
+                    workload.horizon_s,
+                    &mut self.scratch,
+                    &mut self.estimates,
+                ),
+            }
             out.extend(
                 batch
                     .iter()
@@ -336,10 +406,11 @@ impl Shard {
 /// through batched forward passes.
 ///
 /// See the crate docs for the architecture; the short version: cells are
-/// sharded by id into structure-of-arrays stores, telemetry is queued per
-/// shard, and [`FleetEngine::process_pending`] hands the active shards to a
-/// persistent worker pool, each running fused micro-batched GEMMs against a
-/// pinned model snapshot from the [`ModelRegistry`].
+/// sharded by id into structure-of-arrays stores, telemetry is integrated
+/// into them at ingest, and [`FleetEngine::process_pending`] hands the
+/// touched shards to a persistent worker pool, each running fused
+/// micro-batched GEMMs against a pinned model snapshot from the
+/// [`ModelRegistry`].
 pub struct FleetEngine {
     registry: Arc<ModelRegistry>,
     config: FleetConfig,
@@ -366,6 +437,27 @@ impl FleetEngine {
     /// Zero values for `shards` / `micro_batch` are lifted to 1; see
     /// [`FleetConfig::workers`] for worker-count semantics.
     pub fn new(model: SocModel, config: FleetConfig) -> Self {
+        Self::with_registry(Arc::new(ModelRegistry::new(model)), config)
+    }
+
+    /// Creates an engine that serves `quantized` on its batch passes —
+    /// the gate's **evaluation seam**. The registry is pre-seeded with the
+    /// candidate (bypassing [`ModelRegistry::install_quantized`]'s
+    /// certificate check) precisely so the scenario gate can measure the
+    /// candidate's accuracy *before* any certificate exists; the engine is
+    /// private to the gate run and its registry is never the production
+    /// one. Production promotion still has exactly one door:
+    /// `install_quantized` with a [`crate::GateCertificate`].
+    pub fn new_quantized_eval(quantized: Arc<QuantizedSocModel>, config: FleetConfig) -> Self {
+        let registry = Arc::new(ModelRegistry::new_for_evaluation(quantized));
+        let config = FleetConfig {
+            serving: ServingMode::Int8,
+            ..config
+        };
+        Self::with_registry(registry, config)
+    }
+
+    fn with_registry(registry: Arc<ModelRegistry>, config: FleetConfig) -> Self {
         let config = FleetConfig {
             shards: config.shards.max(1),
             micro_batch: config.micro_batch.max(1),
@@ -378,7 +470,6 @@ impl FleetEngine {
         }
         .min(config.shards);
         let shards = (0..config.shards).map(|_| Some(Shard::new())).collect();
-        let registry = Arc::new(ModelRegistry::new(model));
         let pool = WorkerPool::new(Arc::clone(&registry), workers);
         Self {
             registry,
@@ -415,6 +506,11 @@ impl FleetEngine {
         self.registry.attach_obs(hub);
         hub.registry()
             .set(ids.model_version, self.registry.version() as f64);
+        // The kernel path is decided once per process (runtime CPU
+        // detection, or the PINNSOC_FORCE_KERNEL override) — record it so
+        // exported metrics say which GEMM code path produced them.
+        hub.registry()
+            .set(ids.kernel_path, pinnsoc_nn::kernel::active() as u8 as f64);
         self.obs = Some(EngineObs {
             hub: Arc::clone(hub),
             ids,
@@ -444,8 +540,26 @@ impl FleetEngine {
         self.pool.workers()
     }
 
-    fn shard_of(&self, id: CellId) -> usize {
-        (id % self.config.shards as u64) as usize
+    /// Shard routing plus the id's *index key* within that shard. With a
+    /// power-of-two shard count the low bits select the shard and are
+    /// constant within it, so the key drops them (`id >> log2(shards)`) —
+    /// keeping the per-shard dense id tables truly dense: consecutive
+    /// producer ids land in consecutive table entries instead of every
+    /// `shards`-th one, so a fleet-wide ingest sweep touches every byte it
+    /// loads. The mapping is injective per shard either way. One 64-bit
+    /// hardware divide per report is also measurable at fleet scale — the
+    /// power-of-two route is a mask and a shift.
+    fn route(shards: usize, id: CellId) -> (usize, CellId) {
+        let shards = shards as u64;
+        if shards.is_power_of_two() {
+            ((id & (shards - 1)) as usize, id >> shards.trailing_zeros())
+        } else {
+            ((id % shards) as usize, id)
+        }
+    }
+
+    fn shard_and_key(&self, id: CellId) -> (usize, CellId) {
+        Self::route(self.config.shards, id)
     }
 
     /// A `None` slot outside a batch pass means a prior pass's task
@@ -466,41 +580,43 @@ impl FleetEngine {
     /// already registered.
     pub fn register(&mut self, id: CellId, config: CellConfig) -> bool {
         let ekf = self.config.ekf_fallback.clone();
-        let shard_idx = self.shard_of(id);
+        let (shard_idx, key) = self.shard_and_key(id);
         let shard = self.shard_mut(shard_idx);
-        if shard.index.get(id).is_some() {
+        if shard.index.get(key).is_some() {
             return false;
         }
         let slot = shard.cells.push(id, &config, ekf.as_ref());
-        shard.index.insert(id, slot);
+        shard.index.insert(key, slot);
         true
     }
 
-    /// Deregisters a cell, dropping its state and any queued telemetry.
-    /// Returns `false` when the id is not registered. Other cells' state and
+    /// Deregisters a cell, dropping its state. Its reports stay counted in
+    /// the telemetry books (they were integrated at ingest). Returns
+    /// `false` when the id is not registered. Other cells' state and
     /// estimates are untouched bit-for-bit: removal swaps the shard's last
-    /// slot into the freed one (repointing its index entry and any queued
-    /// telemetry), and the per-cell math never depends on slot position.
+    /// slot into the freed one (repointing its index entry and dirty
+    /// mark), and the per-cell math never depends on slot position.
     pub fn deregister(&mut self, id: CellId) -> bool {
-        let shard_idx = self.shard_of(id);
+        let shards = self.config.shards;
+        let (shard_idx, key) = self.shard_and_key(id);
         let shard = self.shard_mut(shard_idx);
-        let Some(slot) = shard.index.remove(id) else {
+        let Some(slot) = shard.index.remove(key) else {
             return false;
         };
         if shard.cells.reports[slot] > 0 {
             shard.reporting -= 1;
         }
-        shard.pending.retain(|(s, _)| *s as usize != slot);
+        shard.dirty.retain(|&s| s as usize != slot);
         if let Some(moved_id) = shard.cells.swap_remove(slot) {
-            // The shard's last cell now lives in `slot`; its queued
-            // telemetry and index entry must follow it.
+            // The shard's last cell now lives in `slot`; its dirty mark
+            // and index entry must follow it.
             let last = shard.cells.len() as u32;
-            for (s, _) in shard.pending.iter_mut() {
+            for s in shard.dirty.iter_mut() {
                 if *s == last {
                     *s = slot as u32;
                 }
             }
-            shard.index.reassign(moved_id, slot);
+            shard.index.reassign(Self::route(shards, moved_id).1, slot);
         }
         true
     }
@@ -530,18 +646,24 @@ impl FleetEngine {
 
     /// Whether `id` is registered.
     pub fn contains(&self, id: CellId) -> bool {
-        self.shard(self.shard_of(id)).index.get(id).is_some()
+        let (shard_idx, key) = self.shard_and_key(id);
+        self.shard(shard_idx).index.get(key).is_some()
     }
 
-    /// Queues one telemetry report. Returns `false` for unknown cells.
-    /// Integration and estimation happen at the next
-    /// [`FleetEngine::process_pending`].
+    /// Accepts one telemetry report, integrating it into the cell's state
+    /// immediately (Coulomb / EKF update, telemetry books, dirty mark).
+    /// Returns `false` for unknown cells. Estimation happens at the next
+    /// [`FleetEngine::process_pending`]. Integrating here instead of
+    /// queueing saves a full write-then-reread of every report (~8 MB/tick
+    /// at 100k cells) and makes worker count unobservable: ingest runs on
+    /// the caller thread in call order no matter how the batch passes are
+    /// parallelized.
     pub fn ingest(&mut self, id: CellId, telemetry: Telemetry) -> bool {
-        let shard_idx = self.shard_of(id);
+        let (shard_idx, key) = self.shard_and_key(id);
         let shard = self.shard_mut(shard_idx);
-        match shard.index.get(id) {
+        match shard.index.get(key) {
             Some(slot) => {
-                shard.pending.push((slot as u32, telemetry));
+                shard.absorb_one(slot, telemetry);
                 true
             }
             None => {
@@ -551,8 +673,9 @@ impl FleetEngine {
         }
     }
 
-    /// Drains all queued telemetry and refreshes network estimates for
-    /// every touched cell through the persistent worker pool. Returns
+    /// Refreshes network estimates for every cell touched since the last
+    /// pass, through the persistent worker pool (integration already
+    /// happened at [`FleetEngine::ingest`]). Returns
     /// `(reports_absorbed, cells_estimated)` fleet-wide.
     pub fn process_pending(&mut self) -> (usize, usize) {
         // Clock read only when observability is attached.
@@ -563,13 +686,16 @@ impl FleetEngine {
             // Idle shards contribute (0, 0) by construction — don't queue
             // them (sparse-telemetry ticks commonly touch a few shards out
             // of many).
-            if slot.as_ref().is_some_and(|s| !s.pending.is_empty()) {
+            if slot.as_ref().is_some_and(|s| !s.dirty.is_empty()) {
                 self.tick_tasks
                     .push((idx, slot.take().expect(Self::SHARD_LOST)));
             }
         }
         let panicked = self.pool.run(
-            JobKind::Process { micro_batch },
+            JobKind::Process {
+                micro_batch,
+                int8: self.config.serving == ServingMode::Int8,
+            },
             &mut self.tick_tasks,
             &mut self.tick_done,
         );
@@ -611,6 +737,12 @@ impl FleetEngine {
             obs.local.set(ids.reporting, reporting as f64);
             obs.local
                 .set(ids.model_version, self.registry.version() as f64);
+            let quantized_installed = self.registry.quantized().is_some();
+            obs.local
+                .set(ids.quantized_active, u64::from(quantized_installed) as f64);
+            if quantized_installed && self.config.serving == ServingMode::Int8 {
+                obs.local.add(ids.quantized_ticks, 1);
+            }
             obs.hub.registry().merge(&mut obs.local);
         }
         // Re-raise only after every surviving shard is checked back in.
@@ -620,28 +752,31 @@ impl FleetEngine {
 
     /// Best current SoC estimate for one cell, with its source.
     pub fn estimate(&self, id: CellId) -> Option<(f64, SocEstimate)> {
-        let shard = self.shard(self.shard_of(id));
+        let (shard_idx, key) = self.shard_and_key(id);
+        let shard = self.shard(shard_idx);
         shard
             .index
-            .get(id)
+            .get(key)
             .and_then(|slot| shard.cells.estimate(slot))
     }
 
     /// Read access to one cell's full tracked state (an owned snapshot
     /// assembled from the shard's structure-of-arrays store).
     pub fn cell(&self, id: CellId) -> Option<CellSnapshot> {
-        let shard = self.shard(self.shard_of(id));
-        shard.index.get(id).map(|slot| shard.cells.snapshot(slot))
+        let (shard_idx, key) = self.shard_and_key(id);
+        let shard = self.shard(shard_idx);
+        shard.index.get(key).map(|slot| shard.cells.snapshot(slot))
     }
 
     /// Per-estimator breakdown (network / Coulomb / EKF) of one cell's
     /// current estimates — the seam closed-loop validation scores each
     /// estimator through. `None` for unknown or never-reporting cells.
     pub fn estimate_breakdown(&self, id: CellId) -> Option<EstimateBreakdown> {
-        let shard = self.shard(self.shard_of(id));
+        let (shard_idx, key) = self.shard_and_key(id);
+        let shard = self.shard(shard_idx);
         shard
             .index
-            .get(id)
+            .get(key)
             .and_then(|slot| shard.cells.breakdown(slot))
     }
 
@@ -686,15 +821,15 @@ impl FleetEngine {
     pub fn import_cells(&mut self, cells: &[CellPersist]) {
         let ekf = self.config.ekf_fallback.clone();
         for cell in cells {
-            let shard_idx = self.shard_of(cell.id);
+            let (shard_idx, key) = self.shard_and_key(cell.id);
             let shard = self.shard_mut(shard_idx);
             assert!(
-                shard.index.get(cell.id).is_none(),
+                shard.index.get(key).is_none(),
                 "persisted cell id {} already registered",
                 cell.id
             );
             let slot = shard.cells.import_cell(cell, ekf.as_ref());
-            shard.index.insert(cell.id, slot);
+            shard.index.insert(key, slot);
             if cell.reports > 0 {
                 shard.reporting += 1;
             }
@@ -734,6 +869,7 @@ impl FleetEngine {
             JobKind::PredictAll {
                 workload,
                 micro_batch,
+                int8: self.config.serving == ServingMode::Int8,
             },
             &mut self.tick_tasks,
             &mut self.tick_done,
@@ -774,8 +910,9 @@ impl FleetEngine {
         let mut rows: Vec<[f32; 3]> = Vec::with_capacity(ids.len());
         let mut positions = Vec::with_capacity(ids.len());
         for (pos, &id) in ids.iter().enumerate() {
-            let shard = self.shard(self.shard_of(id));
-            if let Some(slot) = shard.index.get(id) {
+            let (shard_idx, key) = self.shard_and_key(id);
+            let shard = self.shard(shard_idx);
+            if let Some(slot) = shard.index.get(key) {
                 if shard.cells.reports[slot] > 0 {
                     rows.push(model.branch1.features(
                         shard.cells.voltage_v[slot],
@@ -815,10 +952,11 @@ impl FleetEngine {
     /// Predicted seconds until empty for one cell at a constant discharge
     /// current.
     pub fn time_to_empty(&self, id: CellId, discharge_current_a: f64) -> Option<f64> {
-        let shard = self.shard(self.shard_of(id));
+        let (shard_idx, key) = self.shard_and_key(id);
+        let shard = self.shard(shard_idx);
         shard
             .index
-            .get(id)
+            .get(key)
             .and_then(|slot| shard.cells.time_to_empty_s(slot, discharge_current_a))
     }
 
@@ -929,6 +1067,7 @@ mod tests {
                 micro_batch: 8,
                 workers,
                 ekf_fallback: None,
+                ..FleetConfig::default()
             },
         );
         for id in 0..cells {
@@ -1019,6 +1158,7 @@ mod tests {
                 micro_batch: 8,
                 workers: 0,
                 ekf_fallback: None,
+                ..FleetConfig::default()
             },
         );
         restored.import_cells(&export);
@@ -1231,6 +1371,7 @@ mod tests {
                 micro_batch: 16,
                 workers: 0,
                 ekf_fallback: None,
+                ..FleetConfig::default()
             },
         );
         for id in 0..10 {
@@ -1402,7 +1543,10 @@ mod tests {
         }
         assert!(engine.deregister(0));
         let (absorbed, estimated) = engine.process_pending();
-        assert_eq!((absorbed, estimated), (7, 7), "queued reports survive");
+        // All 8 reports count as absorbed (the doomed cell's is flushed at
+        // deregister so the books match across worker counts), but only the
+        // 7 survivors estimate.
+        assert_eq!((absorbed, estimated), (8, 7), "queued reports survive");
         let model = engine.registry().current();
         for id in 1..8u64 {
             let (soc, _) = engine.estimate(id).unwrap();
@@ -1541,6 +1685,172 @@ mod tests {
             }
         );
         assert_eq!(now.delta(&now), TelemetryStats::default());
+    }
+
+    /// Builds an int8-mode engine with cells registered and a quantized
+    /// shadow of the incumbent already installed through the certificate
+    /// door.
+    fn quantized_engine(cells: u64, shards: usize, workers: usize) -> FleetEngine {
+        let mut engine = FleetEngine::new(
+            untrained_model(),
+            FleetConfig {
+                shards,
+                micro_batch: 8,
+                workers,
+                ekf_fallback: None,
+                serving: ServingMode::Int8,
+            },
+        );
+        for id in 0..cells {
+            engine.register(
+                id,
+                CellConfig {
+                    initial_soc: 0.9,
+                    capacity_ah: 3.0,
+                },
+            );
+        }
+        let registry = engine.registry();
+        let quantized = Arc::new(crate::testing::quantize_untrained(&registry.current()));
+        let cert = crate::registry::GateCertificate::attest(
+            &registry.current(),
+            registry.version(),
+            0.02,
+            0.02,
+            crate::registry::GateTolerance::default(),
+            2,
+        )
+        .unwrap();
+        registry.install_quantized(quantized, &cert).unwrap();
+        engine
+    }
+
+    /// The raw (unclamped) network estimate — [`FleetEngine::estimate`]
+    /// clamps into `[0, 1]`, which would mask path differences whenever an
+    /// untrained model saturates the clamp.
+    fn raw_estimate(engine: &FleetEngine, id: u64) -> f64 {
+        engine.cell(id).unwrap().network_estimate.unwrap().1
+    }
+
+    #[test]
+    fn int8_mode_without_installed_shadow_is_bit_identical_f32() {
+        let mut f32_engine = engine_with(40, 4);
+        let mut int8_engine = engine_with(40, 4);
+        int8_engine.config.serving = ServingMode::Int8;
+        for id in 0..40 {
+            f32_engine.ingest(id, telemetry(1.0));
+            int8_engine.ingest(id, telemetry(1.0));
+        }
+        f32_engine.process_pending();
+        int8_engine.process_pending();
+        for id in 0..40 {
+            assert_eq!(
+                raw_estimate(&f32_engine, id).to_bits(),
+                raw_estimate(&int8_engine, id).to_bits(),
+                "no shadow installed: int8 mode must degrade to the f32 path"
+            );
+        }
+    }
+
+    #[test]
+    fn int8_serving_differs_from_f32_but_tracks_it() {
+        let mut f32_engine = engine_with(40, 4);
+        let mut int8_engine = quantized_engine(40, 4, 0);
+        for id in 0..40 {
+            f32_engine.ingest(id, telemetry(1.0));
+            int8_engine.ingest(id, telemetry(1.0));
+        }
+        assert_eq!(f32_engine.process_pending(), (40, 40));
+        assert_eq!(int8_engine.process_pending(), (40, 40));
+        let mut any_differ = false;
+        for id in 0..40 {
+            let src_f = f32_engine.estimate(id).unwrap().1;
+            let src_q = int8_engine.estimate(id).unwrap().1;
+            assert_eq!((src_f, src_q), (SocEstimate::Network, SocEstimate::Network));
+            let f = raw_estimate(&f32_engine, id);
+            let q = raw_estimate(&int8_engine, id);
+            assert!((f - q).abs() < 0.1, "cell {id}: {f} vs {q}");
+            any_differ |= f.to_bits() != q.to_bits();
+        }
+        assert!(any_differ, "int8 path suspiciously bit-identical to f32");
+        // predict_all runs the quantized full pipeline.
+        let workload = WorkloadQuery {
+            avg_current_a: 1.0,
+            avg_temperature_c: 25.0,
+            horizon_s: 60.0,
+        };
+        let f32_preds = f32_engine.predict_all(workload);
+        let int8_preds = int8_engine.predict_all(workload);
+        assert_eq!(f32_preds.len(), int8_preds.len());
+        for ((id_f, p_f), (id_q, p_q)) in f32_preds.iter().zip(&int8_preds) {
+            assert_eq!(id_f, id_q);
+            assert!((p_f - p_q).abs() < 0.2, "cell {id_f}: {p_f} vs {p_q}");
+        }
+    }
+
+    #[test]
+    fn int8_serving_is_worker_count_invariant() {
+        let runs: Vec<Vec<u64>> = [0usize, 2, 4]
+            .iter()
+            .map(|&workers| {
+                let mut engine = quantized_engine(60, 4, workers);
+                for id in 0..60 {
+                    engine.ingest(id, telemetry(1.0));
+                }
+                engine.process_pending();
+                (0..60)
+                    .map(|id| raw_estimate(&engine, id).to_bits())
+                    .collect()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+    }
+
+    #[test]
+    fn swap_during_int8_serving_falls_back_to_new_f32_incumbent() {
+        let mut engine = quantized_engine(20, 2, 0);
+        for id in 0..20 {
+            engine.ingest(id, telemetry(1.0));
+        }
+        engine.process_pending();
+        // The swap clears the shadow; the next tick serves the new f32.
+        let mut replacement = crate::testing::untrained_model_seeded(7);
+        replacement.label = "v2".into();
+        engine.registry().swap(replacement);
+        assert!(engine.registry().quantized().is_none());
+        let mut control = FleetEngine::new(
+            crate::testing::untrained_model_seeded(7),
+            FleetConfig {
+                shards: 2,
+                micro_batch: 8,
+                workers: 0,
+                ekf_fallback: None,
+                ..FleetConfig::default()
+            },
+        );
+        for id in 0..20 {
+            control.register(
+                id,
+                CellConfig {
+                    initial_soc: 0.9,
+                    capacity_ah: 3.0,
+                },
+            );
+        }
+        for id in 0..20 {
+            engine.ingest(id, telemetry(2.0));
+            control.ingest(id, telemetry(2.0));
+        }
+        engine.process_pending();
+        control.process_pending();
+        for id in 0..20 {
+            assert_eq!(
+                raw_estimate(&engine, id).to_bits(),
+                raw_estimate(&control, id).to_bits(),
+                "post-swap int8 mode must serve the new incumbent's exact f32 outputs"
+            );
+        }
     }
 
     #[test]

@@ -1,74 +1,141 @@
-//! Minimal open-addressing `CellId → slot` index for the ingest hot path.
+//! Minimal `CellId → slot` index for the ingest hot path.
 //!
 //! `std::collections::HashMap` pays SipHash on every probe — measurable at
 //! fleet scale, where one tick performs one lookup per telemetry report
-//! (100k+ lookups per pass). Cell ids are producer-minted integers, so a
-//! multiplicative (Fibonacci) hash is enough to spread them: linear probing,
-//! ~16 bytes per bucket, grown at 50% load. Deregistration marks buckets
-//! with a tombstone (probes walk through it, inserts reuse it); tombstones
-//! count toward the load factor and are dropped wholesale on growth, so
-//! churn-heavy fleets cannot degrade probe chains unboundedly.
+//! (100k+ lookups per pass). Cell ids are producer-minted integers, and in
+//! practice almost always *dense* ones (0..N or close; the engine keys its
+//! per-shard indices shard-relative, which keeps that density after
+//! power-of-two sharding), so the index keeps two representations and
+//! picks per registration history:
+//!
+//! - **Dense**: a direct `id → slot` table. One bounds check and one load
+//!   per lookup, and sequential producers walk it with the hardware
+//!   prefetcher — this is what makes 100k-report ingest ticks cheap. Active
+//!   while ids stay within a small multiple of the registered population
+//!   (bounded memory: at most ~64 bytes per live cell).
+//! - **Hash**: open addressing with a multiplicative (Fibonacci) hash and
+//!   linear probing; key and slot packed side by side in one 16-byte bucket
+//!   so a probe touches a single cache line per step. Buckets grow at 50%
+//!   load. Deregistration marks buckets with a tombstone (probes walk
+//!   through it, inserts reuse it); tombstones count toward the load factor
+//!   and are dropped wholesale on growth, so churn-heavy fleets cannot
+//!   degrade probe chains unboundedly.
+//!
+//! The first id too sparse for the dense table migrates the whole index to
+//! the hash representation, one way (lookup results are identical in both,
+//! so the switch is invisible to callers).
 
 use crate::telemetry::CellId;
 
-/// Open-addressing map from [`CellId`] to a dense slot index.
-#[derive(Debug, Clone)]
-pub(crate) struct IdIndex {
-    keys: Vec<CellId>,
-    /// Slot per bucket; [`EMPTY`] marks a never-used bucket, [`TOMBSTONE`] a
-    /// deregistered one.
-    slots: Vec<u32>,
-    mask: usize,
-    len: usize,
-    /// Buckets that terminate no probe chain (live + tombstones) — the load
-    /// the grow trigger watches.
-    used: usize,
+/// One hash-probe bucket: key and slot side by side, 16 bytes, so a probe
+/// touches exactly one cache line per step instead of one line in a `keys`
+/// array plus one in a parallel `slots` array.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    key: CellId,
+    /// [`EMPTY`] marks a never-used bucket, [`TOMBSTONE`] a deregistered
+    /// one.
+    slot: u32,
 }
 
 const EMPTY: u32 = u32::MAX;
 const TOMBSTONE: u32 = u32::MAX - 1;
 
+const VACANT: Bucket = Bucket {
+    key: 0,
+    slot: EMPTY,
+};
+
 /// 2^64 / φ — the Fibonacci hashing multiplier.
 const MULTIPLIER: u64 = 0x9E37_79B9_7F4A_7C15;
 
+/// Ids below this always stay dense (a 4 KiB table is cheaper than any
+/// hashing), regardless of how few cells are registered.
+const DENSE_FLOOR: u64 = 1024;
+
+/// Beyond the floor, the dense table is kept only while the largest id
+/// stays within this multiple of the registered population — bounding the
+/// table at ~64 bytes per live cell.
+const DENSE_SLACK: u64 = 16;
+
+#[derive(Debug, Clone)]
+enum Repr {
+    /// Direct `id → slot` table ([`EMPTY`] = unregistered). No tombstones:
+    /// removal just clears the entry.
+    Dense { slots: Vec<u32>, len: usize },
+    Hash {
+        buckets: Vec<Bucket>,
+        mask: usize,
+        /// `64 - log2(capacity)` — the hash fold shift, cached so the hot
+        /// lookup path does not recompute it from `mask` per probe.
+        shift: u32,
+        len: usize,
+        /// Buckets that terminate no probe chain (live + tombstones) — the
+        /// load the grow trigger watches.
+        used: usize,
+    },
+}
+
+/// Adaptive map from [`CellId`] to a dense slot index (see module docs).
+#[derive(Debug, Clone)]
+pub(crate) struct IdIndex {
+    repr: Repr,
+}
+
+fn new_hash(capacity: usize) -> Repr {
+    Repr::Hash {
+        buckets: vec![VACANT; capacity],
+        mask: capacity - 1,
+        shift: 64 - capacity.trailing_zeros(),
+        len: 0,
+        used: 0,
+    }
+}
+
 impl IdIndex {
     pub(crate) fn new() -> Self {
-        let capacity = 16usize;
         Self {
-            keys: vec![0; capacity],
-            slots: vec![EMPTY; capacity],
-            mask: capacity - 1,
-            len: 0,
-            used: 0,
+            repr: Repr::Dense {
+                slots: Vec::new(),
+                len: 0,
+            },
         }
-    }
-
-    #[inline]
-    fn bucket_of(&self, id: CellId) -> usize {
-        // High bits of the multiplicative hash, folded to the table size
-        // (power of two, so the shift keeps the best-mixed bits).
-        (id.wrapping_mul(MULTIPLIER) >> (64 - self.mask.count_ones())) as usize & self.mask
     }
 
     /// Number of registered ids.
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
-        self.len
+        match &self.repr {
+            Repr::Dense { len, .. } | Repr::Hash { len, .. } => *len,
+        }
     }
 
     /// The slot registered for `id`, if any.
     #[inline]
     pub(crate) fn get(&self, id: CellId) -> Option<usize> {
-        let mut bucket = self.bucket_of(id);
-        loop {
-            let slot = self.slots[bucket];
-            if slot == EMPTY {
-                return None;
+        match &self.repr {
+            Repr::Dense { slots, .. } => match slots.get(id as usize) {
+                Some(&slot) if slot != EMPTY => Some(slot as usize),
+                _ => None,
+            },
+            Repr::Hash {
+                buckets,
+                mask,
+                shift,
+                ..
+            } => {
+                let mut bucket = (id.wrapping_mul(MULTIPLIER) >> shift) as usize & mask;
+                loop {
+                    let b = buckets[bucket];
+                    if b.slot == EMPTY {
+                        return None;
+                    }
+                    if b.slot != TOMBSTONE && b.key == id {
+                        return Some(b.slot as usize);
+                    }
+                    bucket = (bucket + 1) & mask;
+                }
             }
-            if slot != TOMBSTONE && self.keys[bucket] == id {
-                return Some(slot as usize);
-            }
-            bucket = (bucket + 1) & self.mask;
         }
     }
 
@@ -84,53 +151,62 @@ impl IdIndex {
             slot < TOMBSTONE as usize,
             "slot index overflows the id index"
         );
-        if self.used * 2 >= self.slots.len() {
-            self.grow();
-        }
-        let mut bucket = self.bucket_of(id);
-        // First tombstone of the probe chain — reused once the whole chain
-        // confirms the id is absent (stopping early at a tombstone could
-        // duplicate an id that lives further down the chain).
-        let mut reusable = None;
-        loop {
-            match self.slots[bucket] {
-                EMPTY => {
-                    let target = match reusable {
-                        Some(t) => t,
-                        None => {
-                            self.used += 1;
-                            bucket
-                        }
-                    };
-                    self.keys[target] = id;
-                    self.slots[target] = slot as u32;
-                    self.len += 1;
-                    return true;
+        if let Repr::Dense { slots, len } = &mut self.repr {
+            if id < DENSE_FLOOR || id < DENSE_SLACK * (*len as u64 + 1) {
+                let idx = id as usize;
+                if idx >= slots.len() {
+                    let grown = (idx + 1).max(slots.len() * 2);
+                    slots.resize(grown, EMPTY);
                 }
-                TOMBSTONE if reusable.is_none() => reusable = Some(bucket),
-                TOMBSTONE => {}
-                _ if self.keys[bucket] == id => return false,
-                _ => {}
+                if slots[idx] != EMPTY {
+                    return false;
+                }
+                slots[idx] = slot as u32;
+                *len += 1;
+                return true;
             }
-            bucket = (bucket + 1) & self.mask;
+            // This id is too sparse for a direct table: migrate to the
+            // hash representation, permanently.
+            self.migrate_to_hash();
         }
+        self.hash_insert(id, slot)
     }
 
-    /// Removes `id`, returning the slot it mapped to. The bucket becomes a
-    /// tombstone so probe chains passing through it stay intact.
+    /// Removes `id`, returning the slot it mapped to. In the hash
+    /// representation the bucket becomes a tombstone so probe chains
+    /// passing through it stay intact.
     pub(crate) fn remove(&mut self, id: CellId) -> Option<usize> {
-        let mut bucket = self.bucket_of(id);
-        loop {
-            let slot = self.slots[bucket];
-            if slot == EMPTY {
-                return None;
+        match &mut self.repr {
+            Repr::Dense { slots, len } => match slots.get_mut(id as usize) {
+                Some(slot) if *slot != EMPTY => {
+                    let freed = *slot as usize;
+                    *slot = EMPTY;
+                    *len -= 1;
+                    Some(freed)
+                }
+                _ => None,
+            },
+            Repr::Hash {
+                buckets,
+                mask,
+                shift,
+                len,
+                ..
+            } => {
+                let mut bucket = (id.wrapping_mul(MULTIPLIER) >> *shift) as usize & *mask;
+                loop {
+                    let b = buckets[bucket];
+                    if b.slot == EMPTY {
+                        return None;
+                    }
+                    if b.slot != TOMBSTONE && b.key == id {
+                        buckets[bucket].slot = TOMBSTONE;
+                        *len -= 1;
+                        return Some(b.slot as usize);
+                    }
+                    bucket = (bucket + 1) & *mask;
+                }
             }
-            if slot != TOMBSTONE && self.keys[bucket] == id {
-                self.slots[bucket] = TOMBSTONE;
-                self.len -= 1;
-                return Some(slot as usize);
-            }
-            bucket = (bucket + 1) & self.mask;
         }
     }
 
@@ -145,42 +221,130 @@ impl IdIndex {
             slot < TOMBSTONE as usize,
             "slot index overflows the id index"
         );
-        let mut bucket = self.bucket_of(id);
-        loop {
-            let current = self.slots[bucket];
-            assert!(current != EMPTY, "reassign of unregistered id {id}");
-            if current != TOMBSTONE && self.keys[bucket] == id {
-                self.slots[bucket] = slot as u32;
-                return;
+        match &mut self.repr {
+            Repr::Dense { slots, .. } => {
+                let entry = slots
+                    .get_mut(id as usize)
+                    .filter(|s| **s != EMPTY)
+                    .unwrap_or_else(|| panic!("reassign of unregistered id {id}"));
+                *entry = slot as u32;
             }
-            bucket = (bucket + 1) & self.mask;
+            Repr::Hash {
+                buckets,
+                mask,
+                shift,
+                ..
+            } => {
+                let mut bucket = (id.wrapping_mul(MULTIPLIER) >> *shift) as usize & *mask;
+                loop {
+                    let b = buckets[bucket];
+                    assert!(b.slot != EMPTY, "reassign of unregistered id {id}");
+                    if b.slot != TOMBSTONE && b.key == id {
+                        buckets[bucket].slot = slot as u32;
+                        return;
+                    }
+                    bucket = (bucket + 1) & *mask;
+                }
+            }
         }
     }
 
-    fn grow(&mut self) {
-        let new_capacity = self.slots.len() * 2;
-        let old_keys = std::mem::replace(&mut self.keys, vec![0; new_capacity]);
-        let old_slots = std::mem::replace(&mut self.slots, vec![EMPTY; new_capacity]);
-        self.mask = new_capacity - 1;
-        // Tombstones are dropped wholesale: only live entries re-hash.
-        for (key, slot) in old_keys.into_iter().zip(old_slots) {
-            if slot == EMPTY || slot == TOMBSTONE {
-                continue;
+    /// Rebuilds the index as a hash table holding every live dense entry.
+    fn migrate_to_hash(&mut self) {
+        let capacity = match &self.repr {
+            Repr::Dense { len, .. } => (len.max(&8) * 4).next_power_of_two(),
+            Repr::Hash { .. } => return,
+        };
+        let Repr::Dense { slots, .. } = std::mem::replace(&mut self.repr, new_hash(capacity))
+        else {
+            unreachable!()
+        };
+        for (id, &slot) in slots.iter().enumerate() {
+            if slot != EMPTY {
+                self.hash_insert(id as u64, slot as usize);
             }
-            let mut bucket = self.bucket_of(key);
-            while self.slots[bucket] != EMPTY {
-                bucket = (bucket + 1) & self.mask;
-            }
-            self.keys[bucket] = key;
-            self.slots[bucket] = slot;
         }
-        self.used = self.len;
     }
+
+    fn hash_insert(&mut self, id: CellId, slot: usize) -> bool {
+        let Repr::Hash {
+            buckets,
+            mask,
+            shift,
+            len,
+            used,
+        } = &mut self.repr
+        else {
+            unreachable!("hash_insert on a dense index");
+        };
+        if *used * 2 >= buckets.len() {
+            grow(buckets, mask, shift, used, *len);
+        }
+        let mut bucket = (id.wrapping_mul(MULTIPLIER) >> *shift) as usize & *mask;
+        // First tombstone of the probe chain — reused once the whole chain
+        // confirms the id is absent (stopping early at a tombstone could
+        // duplicate an id that lives further down the chain).
+        let mut reusable = None;
+        loop {
+            let b = buckets[bucket];
+            match b.slot {
+                EMPTY => {
+                    let target = match reusable {
+                        Some(t) => t,
+                        None => {
+                            *used += 1;
+                            bucket
+                        }
+                    };
+                    buckets[target] = Bucket {
+                        key: id,
+                        slot: slot as u32,
+                    };
+                    *len += 1;
+                    return true;
+                }
+                TOMBSTONE if reusable.is_none() => reusable = Some(bucket),
+                TOMBSTONE => {}
+                _ if b.key == id => return false,
+                _ => {}
+            }
+            bucket = (bucket + 1) & *mask;
+        }
+    }
+}
+
+fn grow(
+    buckets: &mut Vec<Bucket>,
+    mask: &mut usize,
+    shift: &mut u32,
+    used: &mut usize,
+    len: usize,
+) {
+    let new_capacity = buckets.len() * 2;
+    let old = std::mem::replace(buckets, vec![VACANT; new_capacity]);
+    *mask = new_capacity - 1;
+    *shift = 64 - new_capacity.trailing_zeros();
+    // Tombstones are dropped wholesale: only live entries re-hash.
+    for b in old {
+        if b.slot == EMPTY || b.slot == TOMBSTONE {
+            continue;
+        }
+        let mut bucket = (b.key.wrapping_mul(MULTIPLIER) >> *shift) as usize & *mask;
+        while buckets[bucket].slot != EMPTY {
+            bucket = (bucket + 1) & *mask;
+        }
+        buckets[bucket] = b;
+    }
+    *used = len;
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn is_dense(index: &IdIndex) -> bool {
+        matches!(index.repr, Repr::Dense { .. })
+    }
 
     #[test]
     fn insert_get_roundtrip_with_growth() {
@@ -196,6 +360,7 @@ mod tests {
         }
         assert_eq!(index.get(1), None);
         assert_eq!(index.get(u64::MAX), None);
+        assert!(is_dense(&index), "8x-strided ids are within dense slack");
     }
 
     #[test]
@@ -210,12 +375,13 @@ mod tests {
     #[test]
     fn adversarial_ids_colliding_buckets_still_resolve() {
         let mut index = IdIndex::new();
-        // Ids crafted to collide in a 16-bucket table (same high bits after
-        // the multiply): sequential multiples of the inverse-ish pattern.
+        // Sparse ids force the hash representation; the multiples share
+        // low entropy in a small table, stressing the probe chains.
         let ids: Vec<u64> = (0..64).map(|i| i * 1_000_003).collect();
         for (slot, &id) in ids.iter().enumerate() {
             assert!(index.insert(id, slot));
         }
+        assert!(!is_dense(&index), "1e6-spaced ids must migrate to hash");
         for (slot, &id) in ids.iter().enumerate() {
             assert_eq!(index.get(id), Some(slot));
         }
@@ -242,15 +408,36 @@ mod tests {
     }
 
     #[test]
+    fn hash_remove_tombstones_and_reinsertion() {
+        // Same churn shape as above, forced onto the hash representation
+        // (its removals leave tombstones instead of clearing entries).
+        let mut index = IdIndex::new();
+        for slot in 0..100usize {
+            assert!(index.insert(slot as u64 * 1_000_003, slot));
+        }
+        assert!(!is_dense(&index));
+        assert_eq!(index.remove(42 * 1_000_003), Some(42));
+        assert_eq!(index.len(), 99);
+        assert_eq!(index.get(42 * 1_000_003), None);
+        assert_eq!(index.remove(42 * 1_000_003), None, "double remove");
+        for slot in (0..100usize).filter(|&s| s != 42) {
+            assert_eq!(index.get(slot as u64 * 1_000_003), Some(slot));
+        }
+        assert!(index.insert(42 * 1_000_003, 500));
+        assert_eq!(index.get(42 * 1_000_003), Some(500));
+        assert_eq!(index.len(), 100);
+    }
+
+    #[test]
     fn insert_through_tombstone_rejects_duplicate_down_chain() {
         let mut index = IdIndex::new();
-        // Colliding ids land in one probe chain (multiples share low entropy
-        // in a 16-bucket table); removing the first leaves a tombstone in
-        // front of the second.
-        let ids: Vec<u64> = (0..6).map(|i| i * 1_000_003).collect();
+        // Colliding sparse ids land in one probe chain; removing the first
+        // leaves a tombstone in front of the second.
+        let ids: Vec<u64> = (1..7).map(|i| i * 1_000_003).collect();
         for (slot, &id) in ids.iter().enumerate() {
             assert!(index.insert(id, slot));
         }
+        assert!(!is_dense(&index));
         index.remove(ids[0]);
         // Re-inserting an id that lives *past* the tombstone must be
         // rejected, not duplicated into the tombstone bucket.
@@ -266,6 +453,14 @@ mod tests {
         index.reassign(20, 0);
         assert_eq!(index.get(20), Some(0));
         assert_eq!(index.get(10), Some(0), "reassign touches only its id");
+
+        // Same on the hash representation.
+        let mut index = IdIndex::new();
+        index.insert(10 * 1_000_003, 0);
+        index.insert(20 * 1_000_003, 1);
+        index.reassign(20 * 1_000_003, 0);
+        assert_eq!(index.get(20 * 1_000_003), Some(0));
+        assert_eq!(index.get(10 * 1_000_003), Some(0));
     }
 
     #[test]
@@ -295,7 +490,40 @@ mod tests {
         let mut index = IdIndex::new();
         assert!(index.insert(0, 7));
         assert!(index.insert(u64::MAX, 9));
+        assert!(!is_dense(&index), "u64::MAX cannot be a table offset");
         assert_eq!(index.get(0), Some(7));
         assert_eq!(index.get(u64::MAX), Some(9));
+    }
+
+    #[test]
+    fn migration_preserves_every_live_mapping() {
+        let mut index = IdIndex::new();
+        for slot in 0..500usize {
+            assert!(index.insert(slot as u64, slot));
+        }
+        index.remove(123);
+        assert!(is_dense(&index));
+        // One sparse id flips the representation mid-life.
+        assert!(index.insert(1 << 40, 500));
+        assert!(!is_dense(&index));
+        assert_eq!(index.len(), 500);
+        for slot in (0..500usize).filter(|&s| s != 123) {
+            assert_eq!(index.get(slot as u64), Some(slot), "slot {slot}");
+        }
+        assert_eq!(index.get(123), None, "removed entry must not resurrect");
+        assert_eq!(index.get(1 << 40), Some(500));
+    }
+
+    #[test]
+    fn small_ids_stay_dense_under_floor_regardless_of_population() {
+        let mut index = IdIndex::new();
+        assert!(
+            index.insert(1023, 0),
+            "floor admits ids below 1024 at len 0"
+        );
+        assert!(is_dense(&index));
+        assert!(index.insert(1 << 20, 1), "sparse id migrates");
+        assert!(!is_dense(&index));
+        assert_eq!(index.get(1023), Some(0));
     }
 }

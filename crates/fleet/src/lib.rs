@@ -20,8 +20,10 @@
 //!   epoch/condvar handoff; the calling thread participates in draining
 //!   the shard queue, so a single-core host runs the whole pass inline
 //!   with zero thread spawns and zero steady-state allocations per tick.
-//! - Telemetry ingestion is coalesced into fixed-size **micro-batches**,
-//!   each running through the fused batched forward paths
+//! - Telemetry integrates into the shard state **at ingest** (no staging
+//!   queue to write and re-read); batch passes then estimate the touched
+//!   cells in fixed-size **micro-batches**, each running through the fused
+//!   batched forward paths
 //!   ([`pinnsoc::SocModel::estimate_features_into`] /
 //!   [`pinnsoc::SocModel::predict_uniform_into`]) — one fused GEMM per
 //!   layer per batch instead of one tiny GEMM per cell.
@@ -30,8 +32,8 @@
 //!   an `Arc` snapshot per pass, so a swap lands at the next pass.
 //! - Fleet-level queries: SoC histograms, cells below a threshold, and
 //!   per-cell predicted time-to-empty. Per-stage timing
-//!   ([`StageTimes`]: coalesce / gather / GEMM / scatter) backs the bench
-//!   harness's breakdown.
+//!   ([`StageTimes`]: gather / GEMM / scatter) backs the bench harness's
+//!   breakdown.
 //!
 //! ## Quick example
 //!
@@ -62,17 +64,20 @@ pub mod telemetry;
 pub use cell::{
     AbsorbOutcome, CellConfig, CellPersist, CellSnapshot, CellStore, EstimateBreakdown, SocEstimate,
 };
-pub use engine::{FleetConfig, FleetEngine, FleetStats, StageTimes, TelemetryStats, WorkloadQuery};
-pub use registry::ModelRegistry;
+pub use engine::{
+    FleetConfig, FleetEngine, FleetStats, ServingMode, StageTimes, TelemetryStats, WorkloadQuery,
+};
+pub use registry::{GateCertificate, GateTolerance, InstallError, ModelRegistry, ServingSnapshot};
 pub use telemetry::{CellId, Telemetry};
 
 /// Helpers for doctests and benches that need a model without a training
 /// run.
 pub mod testing {
-    use pinnsoc::{Branch1, Branch2, SecondStage, SocModel};
+    use pinnsoc::{Branch1, Branch2, QuantizedSocModel, SecondStage, SocModel};
     use pinnsoc_data::Normalizer;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::sync::Arc;
 
     /// Builds an untrained two-branch model with sane normalizers — enough
     /// for exercising the serving machinery when a trained model is not
@@ -98,5 +103,32 @@ pub mod testing {
             )),
             label: "untrained".into(),
         }
+    }
+
+    /// Int8-quantizes `model` with a small calibration sweep over the
+    /// same sensor ranges [`untrained_model`]'s normalizers were fit on —
+    /// enough for exercising the quantized serving machinery in tests.
+    pub fn quantize_untrained(model: &Arc<SocModel>) -> QuantizedSocModel {
+        let readings: Vec<[f64; 3]> = (0..64)
+            .map(|i| {
+                let t = i as f64 / 63.0;
+                [2.8 + 1.4 * t, 14.0 * t - 5.0, 45.0 * t]
+            })
+            .collect();
+        let b1 = model.branch1.feature_matrix(&readings);
+        let b2 = match &model.stage2 {
+            SecondStage::Network(b2) => {
+                let rows: Vec<[f64; 4]> = (0..64)
+                    .map(|i| {
+                        let t = i as f64 / 63.0;
+                        [t, 14.0 * t - 5.0, 45.0 * t, 15.0 + 585.0 * t]
+                    })
+                    .collect();
+                Some(b2.feature_matrix(&rows))
+            }
+            SecondStage::Coulomb { .. } => None,
+        };
+        QuantizedSocModel::quantize(Arc::clone(model), &b1, b2.as_ref())
+            .expect("calibration sweep covers the normalizer ranges")
     }
 }

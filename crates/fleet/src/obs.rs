@@ -42,6 +42,15 @@ pub(crate) struct FleetMetricIds {
     pub cells: MetricId,
     pub reporting: MetricId,
     pub model_version: MetricId,
+    /// Detected GEMM kernel path ([`pinnsoc_nn::kernel::KernelPath`] as a
+    /// numeric code: 1 = scalar, 2 = SSE2, 3 = AVX2), set at attach.
+    pub kernel_path: MetricId,
+    /// 1 when a gate-certified quantized shadow is installed, else 0.
+    pub quantized_active: MetricId,
+    /// Cell estimates served by the int8 quantized path.
+    pub quantized_estimated: MetricId,
+    /// Ticks whose batch passes served the quantized model.
+    pub quantized_ticks: MetricId,
 }
 
 impl FleetMetricIds {
@@ -106,6 +115,22 @@ impl FleetMetricIds {
                 "pinnsoc_fleet_model_version",
                 "Version of the served model.",
             ),
+            kernel_path: reg.gauge(
+                "pinnsoc_fleet_kernel_path",
+                "Active GEMM kernel path (1=scalar, 2=sse2, 3=avx2).",
+            ),
+            quantized_active: reg.gauge(
+                "pinnsoc_fleet_quantized_active",
+                "Whether a gate-certified quantized model is installed (0/1).",
+            ),
+            quantized_estimated: reg.counter(
+                "pinnsoc_fleet_quantized_cells_estimated_total",
+                "Cell estimates served by the int8 quantized path.",
+            ),
+            quantized_ticks: reg.counter(
+                "pinnsoc_fleet_quantized_ticks_total",
+                "Ticks whose batch passes served the quantized model.",
+            ),
         }
     }
 }
@@ -132,8 +157,12 @@ impl ShardObs {
         absorbed: usize,
         estimated: usize,
         telemetry: &TelemetryStats,
+        quantized: bool,
     ) {
         let ids = &self.ids;
+        if quantized {
+            self.local.add(ids.quantized_estimated, estimated as u64);
+        }
         self.local
             .observe(ids.stage_coalesce, stage.coalesce.as_secs_f64());
         self.local

@@ -12,25 +12,27 @@
 //!   comes back inside a [`Done`] record, carrying its own scratch buffers,
 //!   so steady-state ticks spawn no threads and perform no allocations in
 //!   the pool machinery.
-//! - [`ModelRegistry`] is the pool's pin source: the model snapshot is
+//! - [`ModelRegistry`] is the pool's pin source: the serving snapshot (f32
+//!   incumbent plus optional quantized shadow, from one registry lock) is
 //!   pinned under the same lock as each queue pop, so a task never runs
-//!   against a model older than its own tick's start, and a hot swap
-//!   (which never takes the pool lock) applies from the next pop on.
+//!   against a model older than its own tick's start, a hot swap (which
+//!   never takes the pool lock) applies from the next pop on, and a task
+//!   can never pair a quantized artifact with a different f32 incumbent.
 
 use crate::engine::{Shard, WorkloadQuery};
-use crate::registry::ModelRegistry;
+use crate::registry::{ModelRegistry, ServingSnapshot};
 use crate::telemetry::CellId;
-use pinnsoc::SocModel;
 use pinnsoc_runtime::{PinSource, PoolTask};
-use std::sync::Arc;
 
 /// What a tick asks each shard to do.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum JobKind {
-    /// Drain pending telemetry and refresh network estimates.
+    /// Refresh network estimates for the shard's dirty cells.
     Process {
         /// Cells per batched forward pass.
         micro_batch: usize,
+        /// Serve int8 when the pinned snapshot carries a quantized shadow.
+        int8: bool,
     },
     /// Full-pipeline prediction for every reporting cell.
     PredictAll {
@@ -38,6 +40,8 @@ pub(crate) enum JobKind {
         workload: WorkloadQuery,
         /// Cells per batched forward pass.
         micro_batch: usize,
+        /// Serve int8 when the pinned snapshot carries a quantized shadow.
+        int8: bool,
     },
 }
 
@@ -51,22 +55,35 @@ pub(crate) enum TaskOutput {
 }
 
 impl PinSource for ModelRegistry {
-    type Ctx = Arc<SocModel>;
+    type Ctx = ServingSnapshot;
 
-    fn pin(&self) -> Arc<SocModel> {
-        self.current()
+    fn pin(&self) -> ServingSnapshot {
+        self.snapshot()
+    }
+}
+
+/// The quantized model to serve with, honoring the job's serving mode:
+/// `None` (→ f32) unless int8 was requested *and* the snapshot carries a
+/// certified shadow. Int8 mode degrades to f32 rather than stalling when
+/// no quantized model has been installed (or a swap just cleared it).
+fn quantized_for(snapshot: &ServingSnapshot, int8: bool) -> Option<&pinnsoc::QuantizedSocModel> {
+    if int8 {
+        snapshot.quantized.as_deref()
+    } else {
+        None
     }
 }
 
 impl PoolTask for Shard {
-    type Ctx = Arc<SocModel>;
+    type Ctx = ServingSnapshot;
     type Kind = JobKind;
     type Output = TaskOutput;
 
-    fn run(&mut self, model: &Arc<SocModel>, kind: JobKind) -> TaskOutput {
+    fn run(&mut self, snapshot: &ServingSnapshot, kind: JobKind) -> TaskOutput {
         match kind {
-            JobKind::Process { micro_batch } => {
-                let (absorbed, estimated) = self.process(model, micro_batch);
+            JobKind::Process { micro_batch, int8 } => {
+                let (absorbed, estimated) =
+                    self.process(&snapshot.model, quantized_for(snapshot, int8), micro_batch);
                 TaskOutput::Process {
                     absorbed,
                     estimated,
@@ -75,12 +92,18 @@ impl PoolTask for Shard {
             JobKind::PredictAll {
                 workload,
                 micro_batch,
-            } => TaskOutput::Predict(self.predict_all(model, &workload, micro_batch)),
+                int8,
+            } => TaskOutput::Predict(self.predict_all(
+                &snapshot.model,
+                quantized_for(snapshot, int8),
+                &workload,
+                micro_batch,
+            )),
         }
     }
 }
 
-/// The engine's pool: shards drained against pinned model snapshots.
+/// The engine's pool: shards drained against pinned serving snapshots.
 pub(crate) type WorkerPool = pinnsoc_runtime::WorkerPool<ModelRegistry, Shard>;
 
 /// A completed shard pass (see [`pinnsoc_runtime::Done`]).

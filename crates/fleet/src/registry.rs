@@ -1,33 +1,226 @@
-//! Hot-swappable model storage.
+//! Hot-swappable model storage, including the quantized-serving slot and
+//! the gate-certificate contract that guards it.
 
 use crate::obs::RegistryObs;
-use pinnsoc::SocModel;
+use pinnsoc::{model_fingerprint, QuantizedSocModel, SocModel};
 use pinnsoc_nn::PersistError;
 use pinnsoc_obs::ObsHub;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
-/// Shared, versioned holder of the currently served [`SocModel`].
+/// What the registry serves right now: the f32 incumbent plus an optional
+/// int8 shadow quantized *from that incumbent*. Held behind one lock so a
+/// snapshot can never pair a quantized model with a different f32 model.
+#[derive(Debug, Clone)]
+pub struct ServingSnapshot {
+    /// The f32 incumbent — always present, always the accuracy reference.
+    pub model: Arc<SocModel>,
+    /// Gate-certified int8 artifact of `model`, if one has been installed
+    /// since the last [`ModelRegistry::swap`].
+    pub quantized: Option<Arc<QuantizedSocModel>>,
+}
+
+/// Accuracy tolerance a quantized candidate must meet against the f32
+/// incumbent: pass iff
+/// `quantized_mae <= incumbent_mae * (1 + rel) + abs`.
 ///
-/// Readers take an [`Arc`] snapshot ([`ModelRegistry::current`]) and run
+/// Quantization trades precision for speed, so the criterion is
+/// *within-tolerance* rather than *improves* — but the tolerance is still
+/// enforced end-to-end on the scenario suite, never assumed from the
+/// per-layer analytic bounds.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GateTolerance {
+    /// Allowed relative MAE regression (e.g. `0.05` = 5 %).
+    pub rel: f64,
+    /// Allowed absolute MAE slack on top (guards the tiny-MAE regime where
+    /// a relative bound alone is meaninglessly strict).
+    pub abs: f64,
+}
+
+impl Default for GateTolerance {
+    fn default() -> Self {
+        Self {
+            rel: 0.05,
+            abs: 1e-4,
+        }
+    }
+}
+
+impl GateTolerance {
+    /// The pass criterion (see type docs).
+    pub fn passes(&self, incumbent_mae: f64, quantized_mae: f64) -> bool {
+        quantized_mae.is_finite()
+            && incumbent_mae.is_finite()
+            && quantized_mae <= incumbent_mae * (1.0 + self.rel) + self.abs
+    }
+}
+
+/// Proof that a quantized candidate passed the scenario gate against a
+/// specific incumbent. All fields are private and the only constructor is
+/// [`GateCertificate::attest`], which refuses to mint a certificate for a
+/// failing score — so a `GateCertificate` value *is* the pass, and
+/// [`ModelRegistry::install_quantized`] (the only door into serving) can
+/// demand one. Speed can never silently buy accuracy.
+#[derive(Debug, Clone)]
+pub struct GateCertificate {
+    /// Fingerprint of the incumbent the gate compared against.
+    incumbent_fingerprint: u64,
+    /// Registry version of that incumbent when the gate ran.
+    registry_version: u64,
+    incumbent_mae: f64,
+    quantized_mae: f64,
+    tolerance: GateTolerance,
+    scenarios: usize,
+}
+
+impl GateCertificate {
+    /// Mints a certificate iff `quantized_mae` is within `tolerance` of
+    /// `incumbent_mae` ([`GateTolerance::passes`]). Returns `None` for a
+    /// failing score — a failing certificate cannot exist.
+    ///
+    /// `incumbent` and `registry_version` must describe the model the gate
+    /// actually scored; [`ModelRegistry::install_quantized`] re-checks both
+    /// against the live registry, so a stale certificate (incumbent swapped
+    /// after the gate ran) is refused at installation.
+    pub fn attest(
+        incumbent: &SocModel,
+        registry_version: u64,
+        incumbent_mae: f64,
+        quantized_mae: f64,
+        tolerance: GateTolerance,
+        scenarios: usize,
+    ) -> Option<Self> {
+        tolerance
+            .passes(incumbent_mae, quantized_mae)
+            .then(|| Self {
+                incumbent_fingerprint: model_fingerprint(incumbent),
+                registry_version,
+                incumbent_mae,
+                quantized_mae,
+                tolerance,
+                scenarios,
+            })
+    }
+
+    /// Scenario-suite MAE of the incumbent when the gate ran.
+    pub fn incumbent_mae(&self) -> f64 {
+        self.incumbent_mae
+    }
+
+    /// Scenario-suite MAE of the certified quantized candidate.
+    pub fn quantized_mae(&self) -> f64 {
+        self.quantized_mae
+    }
+
+    /// The tolerance the gate enforced.
+    pub fn tolerance(&self) -> GateTolerance {
+        self.tolerance
+    }
+
+    /// How many scenarios the gate suite ran.
+    pub fn scenarios(&self) -> usize {
+        self.scenarios
+    }
+
+    /// Registry version the certificate is bound to.
+    pub fn registry_version(&self) -> u64 {
+        self.registry_version
+    }
+}
+
+/// Why [`ModelRegistry::install_quantized`] refused a candidate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstallError {
+    /// The registry's version moved since the certificate was minted: the
+    /// gate compared against a model that is no longer serving.
+    StaleCertificate {
+        /// Version the certificate was bound to.
+        certified: u64,
+        /// Version serving now.
+        current: u64,
+    },
+    /// The certificate's incumbent fingerprint does not match the live
+    /// model (defence in depth beyond the version check).
+    IncumbentMismatch,
+    /// The candidate was quantized from different weights than the live
+    /// incumbent — it approximates some other model.
+    SourceMismatch,
+}
+
+impl std::fmt::Display for InstallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InstallError::StaleCertificate { certified, current } => write!(
+                f,
+                "certificate bound to registry v{certified} but v{current} is serving"
+            ),
+            InstallError::IncumbentMismatch => {
+                write!(
+                    f,
+                    "certificate incumbent fingerprint does not match the served model"
+                )
+            }
+            InstallError::SourceMismatch => {
+                write!(
+                    f,
+                    "candidate was quantized from different weights than the served model"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstallError {}
+
+/// Shared, versioned holder of the currently served [`SocModel`] and its
+/// optional gate-certified int8 shadow.
+///
+/// Readers take a [`ServingSnapshot`] ([`ModelRegistry::snapshot`]) and run
 /// whole micro-batches against it, so a concurrent [`ModelRegistry::swap`]
 /// never stalls or tears an in-flight batch — the new model simply applies
-/// from each worker's next snapshot. The inner `RwLock` is held only for
-/// the duration of an `Arc` clone or store, never across inference.
+/// from each worker's next snapshot, and the f32/quantized pair in one
+/// snapshot is always consistent. The inner `RwLock` is held only for the
+/// duration of an `Arc` clone or store, never across inference.
+///
+/// A quantized model enters serving only through
+/// [`ModelRegistry::install_quantized`] with a [`GateCertificate`]; a
+/// [`ModelRegistry::swap`] clears the slot (the old artifact does not
+/// approximate the new incumbent).
 #[derive(Debug)]
 pub struct ModelRegistry {
-    model: RwLock<Arc<SocModel>>,
+    served: RwLock<ServingSnapshot>,
     version: AtomicU64,
     /// Write-once observability hook; `swap` reads it lock-free.
     obs: OnceLock<RegistryObs>,
 }
 
 impl ModelRegistry {
-    /// Creates a registry serving `model` as version 1.
+    /// Creates a registry serving `model` as version 1, with no quantized
+    /// shadow.
     pub fn new(model: SocModel) -> Self {
         Self {
-            model: RwLock::new(Arc::new(model)),
+            served: RwLock::new(ServingSnapshot {
+                model: Arc::new(model),
+                quantized: None,
+            }),
+            version: AtomicU64::new(1),
+            obs: OnceLock::new(),
+        }
+    }
+
+    /// Registry pre-seeded with an **uncertified** quantized shadow (its
+    /// f32 source as the incumbent) — the gate's evaluation seam, reached
+    /// only through `FleetEngine::new_quantized_eval`. Kept crate-private
+    /// so no external caller can put an ungated quantized model behind a
+    /// shared registry; production installation goes through
+    /// [`ModelRegistry::install_quantized`].
+    pub(crate) fn new_for_evaluation(quantized: Arc<QuantizedSocModel>) -> Self {
+        Self {
+            served: RwLock::new(ServingSnapshot {
+                model: Arc::clone(quantized.source()),
+                quantized: Some(quantized),
+            }),
             version: AtomicU64::new(1),
             obs: OnceLock::new(),
         }
@@ -48,17 +241,42 @@ impl ModelRegistry {
         });
     }
 
-    /// Snapshot of the model being served right now.
+    /// Snapshot of the f32 model being served right now.
     pub fn current(&self) -> Arc<SocModel> {
-        self.model.read().expect("registry lock poisoned").clone()
+        self.served
+            .read()
+            .expect("registry lock poisoned")
+            .model
+            .clone()
+    }
+
+    /// The quantized shadow being served right now, if any.
+    pub fn quantized(&self) -> Option<Arc<QuantizedSocModel>> {
+        self.served
+            .read()
+            .expect("registry lock poisoned")
+            .quantized
+            .clone()
+    }
+
+    /// Consistent snapshot of everything being served: the f32 incumbent
+    /// and its quantized shadow come from one lock acquisition, so they
+    /// can never be torn across a concurrent swap or installation.
+    pub fn snapshot(&self) -> ServingSnapshot {
+        self.served.read().expect("registry lock poisoned").clone()
     }
 
     /// Serves `model` from the next snapshot on; returns the new version.
+    ///
+    /// Clears any installed quantized shadow: it approximated the *old*
+    /// incumbent, and serving it against the new one would break the gate
+    /// contract.
     pub fn swap(&self, model: SocModel) -> u64 {
         let label = self.obs.get().map(|_| model.label.clone());
         let version = {
-            let mut served = self.model.write().expect("registry lock poisoned");
-            *served = Arc::new(model);
+            let mut served = self.served.write().expect("registry lock poisoned");
+            served.model = Arc::new(model);
+            served.quantized = None;
             // Bump while still holding the write lock so concurrent swaps
             // cannot pair a returned version with another swap's model.
             self.version.fetch_add(1, Ordering::AcqRel) + 1
@@ -71,6 +289,56 @@ impl ModelRegistry {
                 .emit("fleet", format!("model swap to v{version} ('{label}')"));
         }
         version
+    }
+
+    /// Installs a gate-certified quantized shadow of the *current*
+    /// incumbent; int8-mode engines serve it from their next snapshot.
+    /// Returns the registry version it was installed under.
+    ///
+    /// The certificate is re-validated against the live registry under the
+    /// write lock: its bound version and incumbent fingerprint must match
+    /// what is serving *now*, and the candidate's source fingerprint must
+    /// match too. A candidate that skipped the gate cannot forge the
+    /// certificate (no public constructor mints a failing one), and a
+    /// certificate outlived by a swap is refused here.
+    ///
+    /// # Errors
+    ///
+    /// See [`InstallError`]; the served state is untouched on error.
+    pub fn install_quantized(
+        &self,
+        quantized: Arc<QuantizedSocModel>,
+        certificate: &GateCertificate,
+    ) -> Result<u64, InstallError> {
+        let version = {
+            let mut served = self.served.write().expect("registry lock poisoned");
+            let current = self.version.load(Ordering::Acquire);
+            if certificate.registry_version != current {
+                return Err(InstallError::StaleCertificate {
+                    certified: certificate.registry_version,
+                    current,
+                });
+            }
+            let live = model_fingerprint(&served.model);
+            if certificate.incumbent_fingerprint != live {
+                return Err(InstallError::IncumbentMismatch);
+            }
+            if quantized.fingerprint() != live {
+                return Err(InstallError::SourceMismatch);
+            }
+            served.quantized = Some(quantized);
+            current
+        };
+        if let Some(obs) = self.obs.get() {
+            obs.hub.emit(
+                "fleet",
+                format!(
+                    "quantized model installed under v{version} (gate MAE {:.5} vs {:.5})",
+                    certificate.quantized_mae, certificate.incumbent_mae
+                ),
+            );
+        }
+        Ok(version)
     }
 
     /// Loads a model persisted with `pinnsoc_nn::save_json` and swaps it
@@ -94,7 +362,7 @@ impl ModelRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testing::untrained_model;
+    use crate::testing::{quantize_untrained, untrained_model};
 
     #[test]
     fn swap_bumps_version_and_changes_snapshot() {
@@ -160,5 +428,86 @@ mod tests {
             });
         });
         assert_eq!(registry.version(), 51);
+    }
+
+    #[test]
+    fn attest_refuses_failing_scores() {
+        let model = untrained_model();
+        let tol = GateTolerance {
+            rel: 0.05,
+            abs: 1e-4,
+        };
+        assert!(GateCertificate::attest(&model, 1, 0.02, 0.0212, tol, 2).is_none());
+        assert!(GateCertificate::attest(&model, 1, 0.02, f64::NAN, tol, 2).is_none());
+        let cert = GateCertificate::attest(&model, 1, 0.02, 0.0209, tol, 2).unwrap();
+        assert_eq!(cert.registry_version(), 1);
+        assert!(cert.quantized_mae() <= cert.incumbent_mae() * 1.05 + 1e-4);
+    }
+
+    #[test]
+    fn install_validates_version_and_fingerprints() {
+        let incumbent = untrained_model();
+        let registry = ModelRegistry::new(incumbent.clone());
+        let quantized = Arc::new(quantize_untrained(&registry.current()));
+        let tol = GateTolerance::default();
+
+        // Stale version: certificate minted against v1, registry at v2.
+        let cert = GateCertificate::attest(&incumbent, 1, 0.02, 0.02, tol, 2).unwrap();
+        registry.swap(incumbent.clone());
+        assert_eq!(
+            registry.install_quantized(Arc::clone(&quantized), &cert),
+            Err(InstallError::StaleCertificate {
+                certified: 1,
+                current: 2
+            })
+        );
+        assert!(registry.quantized().is_none());
+
+        // Matching version but wrong incumbent fingerprint.
+        let other = crate::testing::untrained_model_seeded(99);
+        let cert = GateCertificate::attest(&other, 2, 0.02, 0.02, tol, 2).unwrap();
+        assert_eq!(
+            registry.install_quantized(Arc::clone(&quantized), &cert),
+            Err(InstallError::IncumbentMismatch)
+        );
+
+        // Candidate quantized from different weights than the incumbent.
+        let cert = GateCertificate::attest(&incumbent, 2, 0.02, 0.02, tol, 2).unwrap();
+        let foreign = Arc::new(quantize_untrained(&Arc::new(
+            crate::testing::untrained_model_seeded(99),
+        )));
+        assert_eq!(
+            registry.install_quantized(foreign, &cert),
+            Err(InstallError::SourceMismatch)
+        );
+
+        // The legitimate path: re-quantize from the live incumbent.
+        let quantized = Arc::new(quantize_untrained(&registry.current()));
+        assert_eq!(
+            registry.install_quantized(Arc::clone(&quantized), &cert),
+            Ok(2)
+        );
+        let snap = registry.snapshot();
+        assert!(snap.quantized.is_some());
+        assert_eq!(
+            snap.quantized.unwrap().fingerprint(),
+            pinnsoc::model_fingerprint(&snap.model)
+        );
+    }
+
+    #[test]
+    fn swap_clears_quantized_slot() {
+        let incumbent = untrained_model();
+        let registry = ModelRegistry::new(incumbent.clone());
+        let quantized = Arc::new(quantize_untrained(&registry.current()));
+        let cert = GateCertificate::attest(&incumbent, 1, 0.02, 0.02, GateTolerance::default(), 2)
+            .unwrap();
+        registry.install_quantized(quantized, &cert).unwrap();
+        assert!(registry.quantized().is_some());
+        registry.swap(untrained_model());
+        assert!(
+            registry.quantized().is_none(),
+            "a swap must clear the quantized shadow: it approximates the old incumbent"
+        );
     }
 }

@@ -18,6 +18,7 @@ fn engine() -> FleetEngine {
             micro_batch: 8,
             workers: 1,
             ekf_fallback: Some(CellParams::nmc_18650()),
+            ..FleetConfig::default()
         },
     );
     for id in 0..CELLS {

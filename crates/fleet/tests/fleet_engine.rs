@@ -82,6 +82,7 @@ fn thousand_cell_fleet_tracks_ground_truth_coulomb_soc() {
             // exercised even on single-core test hosts.
             workers: 2,
             ekf_fallback: None,
+            ..FleetConfig::default()
         },
     );
     let mut sims: Vec<CellSim> = (0..cells)
@@ -205,6 +206,7 @@ fn hundred_thousand_cells_single_pass() {
             micro_batch: 1024,
             workers: 0,
             ekf_fallback: None,
+            ..FleetConfig::default()
         },
     );
     for id in 0..cells {

@@ -28,6 +28,14 @@
 //!    add per step, regardless of tile size, batch height, row blocking, or
 //!    weight packing. Float addition is not associative, so any reordering
 //!    (tree reductions, SIMD shuffles, `mul_add`) would break parity.
+//!    The SIMD paths in [`kernel`] honour this by vectorizing across the
+//!    *output column* dimension only — each lane is an independent
+//!    ascending-`k` accumulator with separate multiply and add
+//!    instructions (no FMA) — so **the f32 SIMD paths are bit-identical
+//!    to the scalar reference**, proptested in `tests/proptest_nn.rs`.
+//!    The int8 path accumulates in `i32` (exact integer arithmetic, so
+//!    kernel paths trivially agree) and carries an analytic
+//!    quantization-error bound instead; see [`quant`].
 //! 2. **Row independence.** A row's result never depends on which other
 //!    rows share its batch; batching is purely a storage/layout concern.
 //! 3. **Epilogue equivalence.** Bias and activation are applied to the
@@ -73,7 +81,10 @@
 //! }
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed back in exactly one place:
+// the `std::arch` SIMD intrinsics inside `kernel`, each with a
+// `// SAFETY:` comment. Everything else stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod account;
@@ -81,21 +92,25 @@ pub mod activation;
 pub mod dense;
 pub mod gradcheck;
 pub mod init;
+pub mod kernel;
 pub mod loss;
 pub mod lstm;
 pub mod matrix;
 pub mod mlp;
 pub mod optim;
 pub mod persist;
+pub mod quant;
 
 pub use account::{Account, CostReport, LstmQuery};
 pub use activation::Activation;
 pub use dense::Dense;
 pub use gradcheck::{check_mlp_gradients, GradCheckReport};
 pub use init::Init;
+pub use kernel::KernelPath;
 pub use loss::{mae, max_abs_error, rmse, Loss};
 pub use lstm::Lstm;
 pub use matrix::{Matrix, PackedWeights};
 pub use mlp::{InferScratch, Mlp, TrainScratch};
 pub use optim::{Adam, LrSchedule, Optimizer, Sgd, Trainable};
 pub use persist::{load_json, save_json, PersistError};
+pub use quant::{CalibrationStats, QuantScratch, QuantizedMlp, QuantizedPackedWeights};

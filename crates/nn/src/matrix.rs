@@ -7,6 +7,7 @@
 //! samples with `f` features is a `b × f` matrix.
 
 use crate::activation::Activation;
+use crate::kernel::{self, KernelPath};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -79,12 +80,16 @@ fn gemm_row_block<const IB: usize>(
 }
 
 /// One column panel of a [`PackedWeights`] layout: `width` output columns
-/// starting at `j0`, stored k-major (`panel[k * width + j]`) at `offset`
-/// into the packed buffer.
+/// starting at `j0`, stored k-major (`panel[k * stride + j]`) at `offset`
+/// into the packed buffer. `stride` is the *stored* column count: tail
+/// panels narrower than a SIMD lane group are zero-padded to `stride = 8`
+/// so the vector kernels never need a tail branch (the padded lanes
+/// accumulate exact zeros and are simply not copied out).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Panel {
     j0: u32,
     width: u32,
+    stride: u32,
     offset: u32,
 }
 
@@ -154,13 +159,20 @@ impl PackedWeights {
                 w if w >= 8 => 8,
                 w => w,
             };
+            // Lane-aligned storage: a tail narrower than one 8-lane group
+            // is padded with zero columns so the SIMD kernels can always
+            // run a full strip (the padded lanes sum exact zeros and are
+            // discarded on store).
+            let stride = width.max(8);
             self.panels.push(Panel {
                 j0: j0 as u32,
                 width: width as u32,
+                stride: stride as u32,
                 offset: self.data.len() as u32,
             });
             for k in 0..rows {
                 self.data.extend_from_slice(&weight.row(k)[j0..j0 + width]);
+                self.data.resize(self.data.len() + (stride - width), 0.0);
             }
             j0 += width;
         }
@@ -226,19 +238,21 @@ fn gemm_row_block_fused<const IB: usize, F: Fn(f32) -> f32 + Copy>(
     for panel in &packed.panels {
         let j0 = panel.j0 as usize;
         let width = panel.width as usize;
-        let data = &packed.data[panel.offset as usize..panel.offset as usize + depth * width];
+        let stride = panel.stride as usize;
+        let data = &packed.data[panel.offset as usize..panel.offset as usize + depth * stride];
         match width {
             32 => micro_tile_packed::<IB, 32>(lhs, depth, data, n, out, j0),
             16 => micro_tile_packed::<IB, 16>(lhs, depth, data, n, out, j0),
             8 => micro_tile_packed::<IB, 8>(lhs, depth, data, n, out, j0),
             _ => {
-                // Narrow tail panel (< 8 columns): scalar per column, still
-                // ascending-`k` per output element.
+                // Narrow tail panel (< 8 columns, zero-padded to `stride`):
+                // scalar per live column, still ascending-`k` per output
+                // element.
                 for jj in 0..width {
                     for r in 0..IB {
                         let mut acc = 0.0f32;
                         for k in 0..depth {
-                            acc += lhs[r * depth + k] * data[k * width + jj];
+                            acc += lhs[r * depth + k] * data[k * stride + jj];
                         }
                         out[r * n + j0 + jj] = acc;
                     }
@@ -269,6 +283,14 @@ pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Default for Matrix {
+    /// A `1 × 1` zero matrix — the smallest valid shape, for scratch
+    /// buffers that are resized on first use.
+    fn default() -> Self {
+        Matrix::zeros(1, 1)
+    }
 }
 
 impl fmt::Debug for Matrix {
@@ -426,14 +448,25 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Copies column `c` into a new vector.
-    pub fn col(&self, c: usize) -> Vec<f32> {
+    /// Iterates over column `c` without allocating (row-major storage, so
+    /// this is a strided walk).
+    pub fn col_iter(&self, c: usize) -> impl Iterator<Item = f32> + '_ {
         assert!(
             c < self.cols,
             "column index {c} out of bounds ({})",
             self.cols
         );
-        (0..self.rows).map(|r| self[(r, c)]).collect()
+        self.data[c..].iter().step_by(self.cols).copied()
+    }
+
+    /// Copies column `c` into `out`, whose length must equal the row
+    /// count. The allocation-free replacement for the old
+    /// `col(&self) -> Vec<f32>`.
+    pub fn col_into(&self, c: usize, out: &mut [f32]) {
+        assert_eq!(out.len(), self.rows, "column buffer length mismatch");
+        for (o, v) in out.iter_mut().zip(self.col_iter(c)) {
+            *o = v;
+        }
     }
 
     /// Reuses this matrix's storage as a zeroed `rows × cols` buffer,
@@ -507,6 +540,14 @@ impl Matrix {
     ///
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.matmul_into_with(rhs, out, kernel::active());
+    }
+
+    /// [`Matrix::matmul_into`] on an explicit kernel path — the parity
+    /// tests and microbenches compare paths without touching the
+    /// process-global selection. Paths the host cannot run clamp down to
+    /// its best supported one; every path is bit-identical.
+    pub fn matmul_into_with(&self, rhs: &Matrix, out: &mut Matrix, path: KernelPath) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul shape mismatch: {}x{} · {}x{}",
@@ -516,31 +557,95 @@ impl Matrix {
         out.reshape_for_overwrite(self.rows, rhs.cols);
         let n = rhs.cols;
         let depth = self.cols;
-        // Register-blocked GEMM: 4-row blocks swept by the widest
-        // micro-tile that fits (32 → 16 → 8 columns → scalar tail), with a
-        // 1-row pass for the remainder rows. See [`micro_tile`] for the
-        // register-blocking rationale and the bit-parity guarantee.
-        const IB: usize = 4;
-        let mut i = 0;
-        while i + IB <= self.rows {
-            gemm_row_block::<IB>(
-                &self.data[i * depth..(i + IB) * depth],
-                depth,
-                &rhs.data,
-                n,
-                &mut out.data[i * n..(i + IB) * n],
-            );
-            i += IB;
-        }
-        while i < self.rows {
-            gemm_row_block::<1>(
-                &self.data[i * depth..(i + 1) * depth],
-                depth,
-                &rhs.data,
-                n,
-                &mut out.data[i * n..(i + 1) * n],
-            );
-            i += 1;
+        match path.min(kernel::detect()) {
+            #[cfg(target_arch = "x86_64")]
+            KernelPath::Sse2 | KernelPath::Avx2 => {
+                let avx2 = path == KernelPath::Avx2;
+                // AVX2 sweeps the strip-aligned columns for the whole
+                // batch in a single kernel call; the narrow column tail —
+                // and the whole matrix on SSE2 — runs the per-block
+                // kernels.
+                let mut j = 0;
+                if avx2 {
+                    let strips = n / 8;
+                    if strips > 0 {
+                        kernel::x86::gemm_batch(
+                            &self.data,
+                            self.rows,
+                            depth,
+                            &rhs.data,
+                            n,
+                            strips,
+                            &mut out.data,
+                            n,
+                        );
+                        j = strips * 8;
+                    }
+                }
+                if j < n {
+                    let mut i = 0;
+                    while i < self.rows {
+                        let ib = if self.rows - i >= 8 { 8 } else { 1 };
+                        let lhs = &self.data[i * depth..(i + ib) * depth];
+                        let out_block = &mut out.data[i * n + j..(i + ib - 1) * n + n];
+                        if ib == 8 {
+                            kernel::x86::gemm_block::<8>(
+                                avx2,
+                                lhs,
+                                depth,
+                                &rhs.data[j..],
+                                n,
+                                n - j,
+                                false,
+                                out_block,
+                                n,
+                            );
+                        } else {
+                            kernel::x86::gemm_block::<1>(
+                                avx2,
+                                lhs,
+                                depth,
+                                &rhs.data[j..],
+                                n,
+                                n - j,
+                                false,
+                                out_block,
+                                n,
+                            );
+                        }
+                        i += ib;
+                    }
+                }
+            }
+            _ => {
+                // Register-blocked scalar GEMM: 4-row blocks swept by the
+                // widest micro-tile that fits (32 → 16 → 8 columns →
+                // scalar tail), with a 1-row pass for the remainder rows.
+                // See [`micro_tile`] for the register-blocking rationale
+                // and the bit-parity guarantee.
+                const IB: usize = 4;
+                let mut i = 0;
+                while i + IB <= self.rows {
+                    gemm_row_block::<IB>(
+                        &self.data[i * depth..(i + IB) * depth],
+                        depth,
+                        &rhs.data,
+                        n,
+                        &mut out.data[i * n..(i + IB) * n],
+                    );
+                    i += IB;
+                }
+                while i < self.rows {
+                    gemm_row_block::<1>(
+                        &self.data[i * depth..(i + 1) * depth],
+                        depth,
+                        &rhs.data,
+                        n,
+                        &mut out.data[i * n..(i + 1) * n],
+                    );
+                    i += 1;
+                }
+            }
         }
     }
 
@@ -566,6 +671,19 @@ impl Matrix {
         act: Activation,
         out: &mut Matrix,
     ) {
+        self.matmul_bias_act_into_with(packed, bias, act, out, kernel::active());
+    }
+
+    /// [`Matrix::matmul_bias_act_into`] on an explicit kernel path — see
+    /// [`Matrix::matmul_into_with`].
+    pub fn matmul_bias_act_into_with(
+        &self,
+        packed: &PackedWeights,
+        bias: &[f32],
+        act: Activation,
+        out: &mut Matrix,
+        path: KernelPath,
+    ) {
         assert_eq!(
             self.cols,
             packed.rows(),
@@ -576,6 +694,7 @@ impl Matrix {
             packed.cols()
         );
         assert_eq!(bias.len(), packed.cols(), "bias length must equal fan_out");
+        let path = path.min(kernel::detect());
         // Dispatch on the activation once, monomorphizing the whole kernel
         // per variant: a runtime `Activation` in the epilogue's inner loop
         // would leave a 5-way branch per output element (LLVM refuses to
@@ -584,19 +703,19 @@ impl Matrix {
         // source of truth for each variant's arithmetic.
         match act {
             Activation::Relu => {
-                self.fused_gemm_impl(packed, bias, out, |x| Activation::Relu.apply(x))
+                self.fused_gemm_impl(packed, bias, out, |x| Activation::Relu.apply(x), path)
             }
             Activation::Tanh => {
-                self.fused_gemm_impl(packed, bias, out, |x| Activation::Tanh.apply(x))
+                self.fused_gemm_impl(packed, bias, out, |x| Activation::Tanh.apply(x), path)
             }
             Activation::Sigmoid => {
-                self.fused_gemm_impl(packed, bias, out, |x| Activation::Sigmoid.apply(x))
+                self.fused_gemm_impl(packed, bias, out, |x| Activation::Sigmoid.apply(x), path)
             }
             Activation::Identity => {
-                self.fused_gemm_impl(packed, bias, out, |x| Activation::Identity.apply(x))
+                self.fused_gemm_impl(packed, bias, out, |x| Activation::Identity.apply(x), path)
             }
             Activation::LeakyRelu => {
-                self.fused_gemm_impl(packed, bias, out, |x| Activation::LeakyRelu.apply(x))
+                self.fused_gemm_impl(packed, bias, out, |x| Activation::LeakyRelu.apply(x), path)
             }
         }
     }
@@ -607,33 +726,90 @@ impl Matrix {
         bias: &[f32],
         out: &mut Matrix,
         act: F,
+        path: KernelPath,
     ) {
         let n = packed.cols();
         let depth = self.cols;
         out.reshape_for_overwrite(self.rows, n);
-        const IB: usize = 4;
-        let mut i = 0;
-        while i + IB <= self.rows {
-            gemm_row_block_fused::<IB, F>(
-                &self.data[i * depth..(i + IB) * depth],
-                depth,
-                packed,
-                &mut out.data[i * n..(i + IB) * n],
-                bias,
-                act,
-            );
-            i += IB;
-        }
-        while i < self.rows {
-            gemm_row_block_fused::<1, F>(
-                &self.data[i * depth..(i + 1) * depth],
-                depth,
-                packed,
-                &mut out.data[i * n..(i + 1) * n],
-                bias,
-                act,
-            );
-            i += 1;
+        match path {
+            #[cfg(target_arch = "x86_64")]
+            KernelPath::Sse2 | KernelPath::Avx2 => {
+                let avx2 = path == KernelPath::Avx2;
+                for panel in &packed.panels {
+                    let j0 = panel.j0 as usize;
+                    let width = panel.width as usize;
+                    let stride = panel.stride as usize;
+                    let data =
+                        &packed.data[panel.offset as usize..panel.offset as usize + depth * stride];
+                    let padded = stride != width;
+                    // A full panel's width is a whole number of 8-column
+                    // strips, so AVX2 sweeps it for the entire batch in
+                    // one kernel call; padded tail panels — and every
+                    // panel on SSE2 — run the per-block kernels.
+                    if avx2 && !padded {
+                        kernel::x86::gemm_batch(
+                            &self.data,
+                            self.rows,
+                            depth,
+                            data,
+                            stride,
+                            width / 8,
+                            &mut out.data[j0..],
+                            n,
+                        );
+                        continue;
+                    }
+                    let mut i = 0;
+                    while i < self.rows {
+                        let ib = if self.rows - i >= 8 { 8 } else { 1 };
+                        let lhs = &self.data[i * depth..(i + ib) * depth];
+                        let out_block = &mut out.data[i * n + j0..(i + ib - 1) * n + n];
+                        if ib == 8 {
+                            kernel::x86::gemm_block::<8>(
+                                avx2, lhs, depth, data, stride, width, padded, out_block, n,
+                            );
+                        } else {
+                            kernel::x86::gemm_block::<1>(
+                                avx2, lhs, depth, data, stride, width, padded, out_block, n,
+                            );
+                        }
+                        i += ib;
+                    }
+                }
+                // Identical scalar epilogue to the reference kernel: each
+                // element is rewritten once as `act(sum + bias)`.
+                for row in out.data.chunks_exact_mut(n).take(self.rows) {
+                    for (o, &b) in row.iter_mut().zip(bias) {
+                        *o = act(*o + b);
+                    }
+                }
+            }
+            _ => {
+                const IB: usize = 4;
+                let mut i = 0;
+                while i + IB <= self.rows {
+                    gemm_row_block_fused::<IB, F>(
+                        &self.data[i * depth..(i + IB) * depth],
+                        depth,
+                        packed,
+                        &mut out.data[i * n..(i + IB) * n],
+                        bias,
+                        act,
+                    );
+                    i += IB;
+                }
+                while i < self.rows {
+                    gemm_row_block_fused::<1, F>(
+                        &self.data[i * depth..(i + 1) * depth],
+                        depth,
+                        packed,
+                        &mut out.data[i * n..(i + 1) * n],
+                        bias,
+                        act,
+                    );
+                    i += 1;
+                }
+            }
         }
     }
 
@@ -651,13 +827,24 @@ impl Matrix {
     /// the two paths are bit-exact — see the [bit-exactness
     /// contract](crate#bit-exactness-contract).
     pub fn matmul_tn_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.matmul_tn_into_with(rhs, out, kernel::active());
+    }
+
+    /// [`Matrix::matmul_tn_into`] on an explicit kernel path — see
+    /// [`Matrix::matmul_into_with`].
+    pub fn matmul_tn_into_with(&self, rhs: &Matrix, out: &mut Matrix, path: KernelPath) {
         assert_eq!(
             self.rows, rhs.rows,
             "matmul_tn shape mismatch: ({}x{})ᵀ · {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        // The rank-1 update sweep accumulates, so start from zeros.
+        // The rank-1 update sweep accumulates, so start from zeros. Every
+        // path applies the identical per-element `+= a * b` updates in
+        // ascending-`i` order (SIMD vectorizes across `j`, which holds
+        // independent output elements), including the exact-zero skip, so
+        // results are bit-exact across paths.
         out.reset(self.cols, rhs.cols);
+        let path = path.min(kernel::detect());
         for i in 0..self.rows {
             let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
             let rhs_row = &rhs.data[i * rhs.cols..(i + 1) * rhs.cols];
@@ -666,8 +853,16 @@ impl Matrix {
                     continue;
                 }
                 let out_row = &mut out.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
+                match path {
+                    #[cfg(target_arch = "x86_64")]
+                    KernelPath::Sse2 | KernelPath::Avx2 => {
+                        kernel::x86::axpy_row(path == KernelPath::Avx2, a, rhs_row, out_row);
+                    }
+                    _ => {
+                        for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                            *o += a * b;
+                        }
+                    }
                 }
             }
         }
@@ -687,11 +882,44 @@ impl Matrix {
     /// paths are bit-exact — see the [bit-exactness
     /// contract](crate#bit-exactness-contract).
     pub fn matmul_nt_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        self.matmul_nt_into_with(rhs, out, kernel::active());
+    }
+
+    /// [`Matrix::matmul_nt_into`] on an explicit kernel path — see
+    /// [`Matrix::matmul_into_with`].
+    pub fn matmul_nt_into_with(&self, rhs: &Matrix, out: &mut Matrix, path: KernelPath) {
         assert_eq!(
             self.cols, rhs.cols,
             "matmul_nt shape mismatch: {}x{} · ({}x{})ᵀ",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+        let path = path.min(kernel::detect());
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = path;
+        #[cfg(target_arch = "x86_64")]
+        if matches!(path, KernelPath::Sse2 | KernelPath::Avx2) {
+            // A dot-product form would need horizontal lane sums, which
+            // reorder the accumulation. Instead transpose `rhs` into a
+            // thread-local scratch and run the column-vectorized GEMM:
+            // each output element still sums `a[i][k] * b[j][k]` in
+            // ascending shared-dimension order, bit-exact with the scalar
+            // loop below.
+            thread_local! {
+                static NT_SCRATCH: std::cell::RefCell<Matrix> =
+                    std::cell::RefCell::new(Matrix::zeros(1, 1));
+            }
+            NT_SCRATCH.with(|scratch| {
+                let mut rhs_t = scratch.borrow_mut();
+                rhs_t.reshape_for_overwrite(rhs.cols, rhs.rows);
+                for r in 0..rhs.rows {
+                    for c in 0..rhs.cols {
+                        rhs_t.data[c * rhs.rows + r] = rhs.data[r * rhs.cols + c];
+                    }
+                }
+                self.matmul_into_with(&rhs_t, out, path);
+            });
+            return;
+        }
         // Every element is assigned from a register accumulator.
         out.reshape_for_overwrite(self.rows, rhs.rows);
         for i in 0..self.rows {
@@ -1020,6 +1248,15 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
         let b = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[-1.0, 1.0, 0.5]]);
         assert_eq!(a.matmul_nt(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn col_iter_and_col_into_match_strided_walk() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.col_iter(1).collect::<Vec<_>>(), vec![2.0, 5.0]);
+        let mut buf = [0.0f32; 2];
+        a.col_into(2, &mut buf);
+        assert_eq!(buf, [3.0, 6.0]);
     }
 
     #[test]

@@ -233,6 +233,7 @@ fn fleet_config(scenario: &Scenario, engine: &EngineSpec) -> FleetConfig {
         micro_batch: engine.micro_batch.max(1),
         workers: engine.workers,
         ekf_fallback: Some(scenario.population.params.clone()),
+        ..FleetConfig::default()
     }
 }
 

@@ -1,0 +1,125 @@
+//! The quantized-promotion gate: the **only** legal road from an int8
+//! candidate to production serving.
+//!
+//! [`gate_quantized`] runs the same closed-loop suite (normally
+//! [`crate::gate_suite`] — the suite online adaptation already gates
+//! fine-tuned candidates through) twice: once against the f32 incumbent
+//! the candidate was quantized from, once against the candidate through
+//! the fleet's int8 evaluation seam. Both runs see identical seeded
+//! physics, faults, and scoring; only the serving network differs. The
+//! candidate's mean network MAE must land within a
+//! [`GateTolerance`] of the incumbent's, and only then is a
+//! [`GateCertificate`] minted ([`GateCertificate::attest`] refuses failing
+//! scores by construction). The certificate is what
+//! [`pinnsoc_fleet::ModelRegistry::install_quantized`] demands — so a
+//! quantized model that skipped or failed this gate structurally cannot
+//! reach serving, and speed can never silently buy accuracy.
+
+use crate::runner::{EngineSpec, ScenarioRunner, SuiteRun};
+use crate::spec::Scenario;
+use pinnsoc::QuantizedSocModel;
+use pinnsoc_fleet::{GateCertificate, GateTolerance};
+use pinnsoc_obs::ObsHub;
+use std::sync::Arc;
+
+/// How to run the quantized-promotion gate.
+#[derive(Debug, Clone)]
+pub struct QuantizedGateConfig {
+    /// The scenarios to score both models on (normally
+    /// [`crate::gate_suite`]). Must be non-empty.
+    pub suite: Vec<Scenario>,
+    /// Worker threads for the suite runner (the calling thread
+    /// participates).
+    pub runner_workers: usize,
+    /// Per-scenario engine configuration.
+    pub engine: EngineSpec,
+    /// The accuracy tolerance the candidate must meet.
+    pub tolerance: GateTolerance,
+    /// The registry version of the incumbent the candidate would shadow —
+    /// a minted certificate is bound to it, and
+    /// [`pinnsoc_fleet::ModelRegistry::install_quantized`] refuses the
+    /// certificate if the registry has moved on since.
+    pub registry_version: u64,
+    /// Observability hub for the underlying suite runs, if any.
+    pub obs: Option<Arc<ObsHub>>,
+}
+
+/// What the gate measured, pass or fail.
+#[derive(Debug)]
+pub struct QuantizedGateOutcome {
+    /// Mean network MAE of the f32 incumbent over the suite.
+    pub incumbent_mae: f64,
+    /// Mean network MAE of the int8 candidate over the suite.
+    pub quantized_mae: f64,
+    /// `Some` iff the candidate passed — the proof
+    /// [`pinnsoc_fleet::ModelRegistry::install_quantized`] demands.
+    pub certificate: Option<GateCertificate>,
+    /// The incumbent's full suite run (diagnostics).
+    pub incumbent_run: SuiteRun,
+    /// The candidate's full suite run (diagnostics).
+    pub quantized_run: SuiteRun,
+}
+
+impl QuantizedGateOutcome {
+    /// Whether the candidate passed the gate.
+    pub fn passed(&self) -> bool {
+        self.certificate.is_some()
+    }
+}
+
+/// Mean network MAE over a finished suite.
+pub(crate) fn suite_network_mae(run: &SuiteRun) -> f64 {
+    let scenarios = &run.report.scenarios;
+    scenarios.iter().map(|s| s.network.mae).sum::<f64>() / scenarios.len() as f64
+}
+
+/// Scores `candidate` against its own f32 source over the configured suite
+/// and mints a [`GateCertificate`] iff the candidate's accuracy is within
+/// tolerance. See the [module docs](self) for the promotion contract.
+///
+/// # Panics
+///
+/// Panics if the suite is empty or any scenario is invalid.
+pub fn gate_quantized(
+    candidate: &Arc<QuantizedSocModel>,
+    config: &QuantizedGateConfig,
+) -> QuantizedGateOutcome {
+    assert!(!config.suite.is_empty(), "gate needs at least one scenario");
+    let runner = ScenarioRunner {
+        workers: config.runner_workers,
+        engine: config.engine,
+        obs: config.obs.clone(),
+    };
+    let incumbent_run = runner.run(&config.suite, candidate.source());
+    let quantized_run = runner.run_quantized(&config.suite, candidate);
+    let incumbent_mae = suite_network_mae(&incumbent_run);
+    let quantized_mae = suite_network_mae(&quantized_run);
+    let certificate = GateCertificate::attest(
+        candidate.source(),
+        config.registry_version,
+        incumbent_mae,
+        quantized_mae,
+        config.tolerance,
+        config.suite.len(),
+    );
+    if let Some(hub) = &config.obs {
+        let verdict = if certificate.is_some() {
+            "pass"
+        } else {
+            "fail"
+        };
+        hub.emit(
+            "scenario",
+            format!(
+                "quantized gate {verdict}: candidate MAE {quantized_mae:.5} vs incumbent {incumbent_mae:.5}"
+            ),
+        );
+    }
+    QuantizedGateOutcome {
+        incumbent_mae,
+        quantized_mae,
+        certificate,
+        incumbent_run,
+        quantized_run,
+    }
+}

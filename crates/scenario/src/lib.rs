@@ -56,6 +56,7 @@
 
 pub mod crash;
 pub mod faults;
+pub mod gate;
 pub mod report;
 pub mod runner;
 pub mod spec;
@@ -63,10 +64,11 @@ pub mod suite;
 
 pub use crash::{run_crash_scenario, CellEstimate, CrashPlan, CrashPoint, CrashScenarioRun};
 pub use faults::{FaultCounts, FaultModel};
+pub use gate::{gate_quantized, QuantizedGateConfig, QuantizedGateOutcome};
 pub use report::{EstimatorAccuracy, ScenarioReport, ScenarioResult, TteAccuracy};
 pub use runner::{
-    run_scenario, run_scenario_observed, EngineSpec, FleetObserver, NoopObserver, ScenarioRunner,
-    ScenarioTiming, SuiteRun,
+    run_scenario, run_scenario_observed, run_scenario_quantized, EngineSpec, FleetObserver,
+    NoopObserver, ScenarioRunner, ScenarioTiming, ServedModel, SuiteRun,
 };
 pub use spec::{EnvSchedule, LoadSpec, PopulationSpec, Scenario, Timing};
 pub use suite::{gate_suite, smoke_suite, standard_suite};

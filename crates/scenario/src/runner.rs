@@ -12,7 +12,7 @@
 use crate::faults::{FaultChannel, FaultCounts};
 use crate::report::{ErrorStat, ScenarioReport, ScenarioResult, TteAccuracy};
 use crate::spec::{LoadSpec, Scenario};
-use pinnsoc::SocModel;
+use pinnsoc::{QuantizedSocModel, SocModel};
 use pinnsoc_battery::{aged_params, CellSim, Soc, Soh};
 use pinnsoc_cycles::{pulse_train, MixedCycleBuilder, Vehicle};
 use pinnsoc_fleet::{CellConfig, FleetConfig, FleetEngine, Telemetry};
@@ -86,9 +86,34 @@ pub struct ScenarioTiming {
     pub cell_ticks_per_s: f64,
 }
 
+/// Which model a scenario's engine serves: the f32 reference path, or an
+/// int8 quantized candidate through the fleet's evaluation seam
+/// ([`FleetEngine::new_quantized_eval`]). The whole closed loop — faults,
+/// physics, scoring — is identical either way; only the serving network
+/// differs.
+#[derive(Debug, Clone)]
+pub enum ServedModel {
+    /// Serve the f32 model.
+    F32(Arc<SocModel>),
+    /// Serve an int8 quantized candidate (the promotion gate's evaluation
+    /// path — see `crate::gate`).
+    Int8(Arc<QuantizedSocModel>),
+}
+
+impl ServedModel {
+    fn make_fleet(&self, config: FleetConfig) -> FleetEngine {
+        match self {
+            ServedModel::F32(model) => FleetEngine::new((**model).clone(), config),
+            ServedModel::Int8(quantized) => {
+                FleetEngine::new_quantized_eval(Arc::clone(quantized), config)
+            }
+        }
+    }
+}
+
 struct ScenarioTask {
     scenario: Scenario,
-    model: Arc<SocModel>,
+    served: ServedModel,
     engine: EngineSpec,
 }
 
@@ -99,7 +124,12 @@ impl PoolTask for ScenarioTask {
 
     fn run(&mut self, _: &(), (): ()) -> Self::Output {
         let start = Instant::now();
-        let result = run_scenario(&self.scenario, &self.model, &self.engine);
+        let result = run_scenario_served(
+            &self.scenario,
+            &self.served,
+            &self.engine,
+            &mut NoopObserver,
+        );
         (result, start.elapsed().as_secs_f64())
     }
 }
@@ -114,6 +144,26 @@ impl ScenarioRunner {
     ///
     /// Panics if any scenario is invalid or a scenario task panics.
     pub fn run(&self, suite: &[Scenario], model: &SocModel) -> SuiteRun {
+        self.run_served(suite, &ServedModel::F32(Arc::new(model.clone())))
+    }
+
+    /// [`ScenarioRunner::run`] against an int8 quantized candidate — the
+    /// promotion gate's measurement path (see `crate::gate`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any scenario is invalid or a scenario task panics.
+    pub fn run_quantized(
+        &self,
+        suite: &[Scenario],
+        quantized: &Arc<QuantizedSocModel>,
+    ) -> SuiteRun {
+        self.run_served(suite, &ServedModel::Int8(Arc::clone(quantized)))
+    }
+
+    /// Runs every scenario in `suite` against `served`; see
+    /// [`ScenarioRunner::run`].
+    pub fn run_served(&self, suite: &[Scenario], served: &ServedModel) -> SuiteRun {
         for scenario in suite {
             scenario.validate();
         }
@@ -125,14 +175,13 @@ impl ScenarioRunner {
                 timings: Vec::new(),
             };
         }
-        let model = Arc::new(model.clone());
         let mut pool: WorkerPool<NoContext, ScenarioTask> =
             WorkerPool::new(Arc::new(NoContext), self.workers);
         let mut queue: Vec<(usize, ScenarioTask)> = suite
             .iter()
             .map(|scenario| ScenarioTask {
                 scenario: scenario.clone(),
-                model: Arc::clone(&model),
+                served: served.clone(),
                 engine: self.engine,
             })
             .enumerate()
@@ -338,6 +387,45 @@ pub fn run_scenario_observed(
     engine: &EngineSpec,
     observer: &mut dyn FleetObserver,
 ) -> ScenarioResult {
+    run_scenario_served(
+        scenario,
+        &ServedModel::F32(Arc::new(model.clone())),
+        engine,
+        observer,
+    )
+}
+
+/// [`run_scenario`] against a quantized candidate on the calling thread.
+///
+/// # Panics
+///
+/// Panics if the scenario is invalid.
+pub fn run_scenario_quantized(
+    scenario: &Scenario,
+    quantized: &Arc<QuantizedSocModel>,
+    engine: &EngineSpec,
+) -> ScenarioResult {
+    run_scenario_served(
+        scenario,
+        &ServedModel::Int8(Arc::clone(quantized)),
+        engine,
+        &mut NoopObserver,
+    )
+}
+
+/// The one closed loop behind every `run_scenario*` entry point: the
+/// served model decides only how the scenario's [`FleetEngine`] is built —
+/// simulation, fault injection, and scoring never branch on it.
+///
+/// # Panics
+///
+/// Panics if the scenario is invalid.
+pub fn run_scenario_served(
+    scenario: &Scenario,
+    served: &ServedModel,
+    engine: &EngineSpec,
+    observer: &mut dyn FleetObserver,
+) -> ScenarioResult {
     scenario.validate();
     let population = &scenario.population;
     let timing = &scenario.timing;
@@ -352,15 +440,13 @@ pub fn run_scenario_observed(
     let mut capacities = Vec::with_capacity(cells);
     let mut channels = Vec::with_capacity(cells);
     let mut currents = Vec::with_capacity(cells);
-    let mut fleet = FleetEngine::new(
-        model.clone(),
-        FleetConfig {
-            shards: engine.shards.max(1),
-            micro_batch: engine.micro_batch.max(1),
-            workers: engine.workers,
-            ekf_fallback: Some(population.params.clone()),
-        },
-    );
+    let mut fleet = served.make_fleet(FleetConfig {
+        shards: engine.shards.max(1),
+        micro_batch: engine.micro_batch.max(1),
+        workers: engine.workers,
+        ekf_fallback: Some(population.params.clone()),
+        ..FleetConfig::default()
+    });
     for id in 0..cells as u64 {
         let soh = Soh::new(uniform(&mut rng, population.soh)).expect("validated range");
         let initial_soc = uniform(&mut rng, population.initial_soc);

@@ -1,0 +1,150 @@
+//! The quantized-promotion contract, end to end: a quantized model reaches
+//! `ModelRegistry` only through a `gate_suite` pass against its f32
+//! incumbent, a deliberately mis-calibrated candidate fails that gate, and
+//! with no certificate minted the fleet keeps serving bit-identical f32.
+
+use pinnsoc::{Matrix, QuantizedSocModel, SecondStage};
+use pinnsoc_fleet::testing::{quantize_untrained, untrained_model};
+use pinnsoc_fleet::{CellConfig, FleetConfig, FleetEngine, GateTolerance, ServingMode, Telemetry};
+use pinnsoc_scenario::{gate_quantized, gate_suite, EngineSpec, QuantizedGateConfig};
+use std::sync::Arc;
+
+fn gate_config(registry_version: u64) -> QuantizedGateConfig {
+    QuantizedGateConfig {
+        suite: gate_suite(11),
+        runner_workers: 0,
+        engine: EngineSpec {
+            shards: 2,
+            micro_batch: 32,
+            workers: 0,
+        },
+        // The untrained incumbent's suite MAE is dominated by output
+        // clamping, so a relative band scaled to it would be far wider
+        // than any quantization distortion; a small absolute band
+        // measures the int8-vs-f32 gap directly. A well-calibrated
+        // candidate lands ~1e-4 from its source; mis-calibration costs
+        // over 1e-2.
+        tolerance: GateTolerance {
+            rel: 0.0,
+            abs: 0.005,
+        },
+        registry_version,
+        obs: None,
+    }
+}
+
+/// A candidate whose activation scales were calibrated on near-zero
+/// inputs: real serving inputs then clip at ±127 codes and the network
+/// output is grossly distorted. `quantize` accepts it — the ranges are
+/// non-zero, so only the end-to-end gate can catch it.
+fn mis_calibrated_candidate(model: &Arc<pinnsoc::SocModel>) -> Arc<QuantizedSocModel> {
+    let tiny = |cols: usize| {
+        let rows = 8;
+        let mut data = vec![0.0f32; rows * cols];
+        for (i, v) in data.iter_mut().enumerate() {
+            *v = 1e-6 * (i as f32 + 1.0);
+        }
+        Matrix::from_vec(rows, cols, data)
+    };
+    let b2 = matches!(model.stage2, SecondStage::Network(_)).then(|| tiny(4));
+    Arc::new(QuantizedSocModel::quantize(Arc::clone(model), &tiny(3), b2.as_ref()).unwrap())
+}
+
+#[test]
+fn well_calibrated_candidate_passes_gate_and_installs() {
+    let engine = FleetEngine::new(untrained_model(), FleetConfig::default());
+    let registry = engine.registry();
+    let incumbent = registry.current();
+    let candidate = Arc::new(quantize_untrained(&incumbent));
+
+    let outcome = gate_quantized(&candidate, &gate_config(registry.version()));
+    assert!(
+        outcome.passed(),
+        "well-calibrated candidate should pass: candidate MAE {} vs incumbent {}",
+        outcome.quantized_mae,
+        outcome.incumbent_mae
+    );
+    assert!(outcome.incumbent_mae.is_finite() && outcome.quantized_mae.is_finite());
+
+    // The minted certificate is the registry's admission ticket.
+    let certificate = outcome.certificate.expect("passed");
+    let version = registry
+        .install_quantized(Arc::clone(&candidate), &certificate)
+        .expect("certificate matches the live incumbent");
+    assert_eq!(version, registry.version());
+    let snapshot = registry.snapshot();
+    let installed = snapshot.quantized.expect("installed");
+    assert_eq!(
+        installed.fingerprint(),
+        pinnsoc::model_fingerprint(&snapshot.model)
+    );
+}
+
+#[test]
+fn mis_calibrated_candidate_fails_gate_and_serving_stays_f32() {
+    let incumbent = Arc::new(untrained_model());
+    let candidate = mis_calibrated_candidate(&incumbent);
+
+    let outcome = gate_quantized(&candidate, &gate_config(1));
+    assert!(
+        !outcome.passed(),
+        "mis-calibrated candidate must fail: candidate MAE {} vs incumbent {}",
+        outcome.quantized_mae,
+        outcome.incumbent_mae
+    );
+    assert!(
+        outcome.quantized_mae > outcome.incumbent_mae,
+        "clipping should visibly hurt accuracy"
+    );
+    assert!(outcome.certificate.is_none(), "no certificate on failure");
+
+    // With no certificate there is no way into the registry, so an
+    // int8-mode fleet keeps serving the f32 incumbent — bit-identical to a
+    // pure-f32 control engine.
+    let config = FleetConfig {
+        shards: 2,
+        micro_batch: 8,
+        workers: 0,
+        ekf_fallback: None,
+        serving: ServingMode::F32,
+    };
+    let mut int8_engine = FleetEngine::new(
+        (*incumbent).clone(),
+        FleetConfig {
+            serving: ServingMode::Int8,
+            ..config.clone()
+        },
+    );
+    let mut control = FleetEngine::new((*incumbent).clone(), config);
+    for engine in [&mut int8_engine, &mut control] {
+        for id in 0..24u64 {
+            engine.register(
+                id,
+                CellConfig {
+                    initial_soc: 0.8,
+                    capacity_ah: 3.0,
+                },
+            );
+            engine.ingest(
+                id,
+                Telemetry {
+                    time_s: 1.0,
+                    voltage_v: 3.6 + 0.01 * id as f64,
+                    current_a: 1.0,
+                    temperature_c: 25.0,
+                },
+            );
+        }
+        engine.process_pending();
+    }
+    assert!(int8_engine.registry().quantized().is_none());
+    for id in 0..24u64 {
+        let a = int8_engine.cell(id).unwrap().network_estimate.unwrap().1;
+        let b = control.cell(id).unwrap().network_estimate.unwrap().1;
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "cell {id}: failed gate must leave serving bit-identical f32"
+        );
+    }
+}

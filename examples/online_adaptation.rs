@@ -64,6 +64,9 @@ fn main() {
             lab_cycles: 4,
             min_reservoir: 256,
             cooldown_ticks: 25,
+            // This walkthrough stops at the f32 hot-swap; the int8 story
+            // lives in the quantized-serving example and gate tests.
+            quantize: None,
         },
         lab_data,
     );

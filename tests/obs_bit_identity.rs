@@ -96,6 +96,7 @@ fn adaptation_config(case: &SessionCase, workers: usize) -> AdaptationConfig {
         lab_cycles: 1,
         min_reservoir: 64,
         cooldown_ticks: 50,
+        quantize: None,
     }
 }
 
@@ -118,6 +119,7 @@ fn run_session(case: &SessionCase, workers: usize, hub: Option<&Arc<ObsHub>>) ->
             micro_batch: 16,
             workers,
             ekf_fallback: Some(params.clone()),
+            ..FleetConfig::default()
         },
     );
     let lab = Arc::new(demo_training_dataset());

@@ -6,6 +6,7 @@
 use pinnsoc::{PinnVariant, TrainConfig};
 use pinnsoc_adapt::{
     AdaptOutcome, AdaptationConfig, AdaptationEngine, DriftConfig, GateConfig, HarvestConfig,
+    QuantizeConfig,
 };
 use pinnsoc_battery::{CellParams, CellSim, Soc};
 use pinnsoc_bench::demo_training_dataset;
@@ -60,6 +61,7 @@ fn adaptation_config(workers: usize) -> AdaptationConfig {
         lab_cycles: 1,
         min_reservoir: 64,
         cooldown_ticks: 50,
+        quantize: None,
     }
 }
 
@@ -79,6 +81,7 @@ fn run_session(
             micro_batch: 16,
             workers,
             ekf_fallback: Some(params.clone()),
+            ..FleetConfig::default()
         },
     );
     let mut sims = Vec::new();
@@ -234,4 +237,99 @@ fn adapt_loop_is_bit_identical_across_worker_counts() {
         fingerprints[0], fingerprints[1],
         "adaptation loop must be bit-identical across worker counts"
     );
+}
+
+#[test]
+fn promotion_with_quantize_config_installs_gated_int8_shadow() {
+    let lab = Arc::new(demo_training_dataset());
+    let mut config = adaptation_config(0);
+    config.quantize = Some(QuantizeConfig {
+        // The promoted network's suite MAE is clamp-dominated at this
+        // training budget, so (as in the scenario-level gate tests) a
+        // small absolute band is the meaningful check.
+        tolerance: pinnsoc_fleet::GateTolerance {
+            rel: 0.05,
+            abs: 0.02,
+        },
+        calibration_rows: 256,
+    });
+    let mut adapt = AdaptationEngine::new(config, lab);
+    let (mut engine, outcomes) = run_session(&mut adapt, 0, 400);
+
+    assert!(
+        outcomes
+            .iter()
+            .any(|o| matches!(o, AdaptOutcome::Promoted { .. })),
+        "drift on an untrained network must promote a candidate"
+    );
+    // The quantize follow-up is its own event at the promotion tick.
+    let followup = adapt
+        .events()
+        .iter()
+        .find(|e| {
+            matches!(
+                e.outcome,
+                AdaptOutcome::QuantizedInstalled { .. }
+                    | AdaptOutcome::QuantizedRejected { .. }
+                    | AdaptOutcome::QuantizedSkipped { .. }
+            )
+        })
+        .expect("a promotion with quantize configured runs a quantize round");
+    let AdaptOutcome::QuantizedInstalled {
+        version,
+        incumbent_mae,
+        quantized_mae,
+    } = &followup.outcome
+    else {
+        panic!("well-calibrated int8 build should pass: {:?}", followup);
+    };
+    assert_eq!(*version, 2, "shadow installs under the promoted version");
+    assert!(incumbent_mae.is_finite() && quantized_mae.is_finite());
+    assert_eq!(adapt.report().quantize_gate_passes, 1);
+    assert_eq!(adapt.report().quantize_gate_failures, 0);
+
+    // The registry now serves the promoted f32 model with its certified
+    // int8 shadow; the shadow was quantized from exactly that model.
+    let snapshot = engine.registry().snapshot();
+    let shadow = snapshot.quantized.expect("shadow installed");
+    assert_eq!(
+        shadow.fingerprint(),
+        pinnsoc::model_fingerprint(&snapshot.model)
+    );
+
+    // A later f32 promotion (here: rollback, same registry path) evicts
+    // the shadow — a certificate never outlives its incumbent.
+    adapt.rollback(&engine).expect("a swap happened");
+    assert!(engine.registry().snapshot().quantized.is_none());
+    engine.process_pending();
+}
+
+#[test]
+fn impassable_quantize_gate_leaves_serving_f32_only() {
+    let lab = Arc::new(demo_training_dataset());
+    let mut config = adaptation_config(0);
+    // rel 0 / abs 0 demands the int8 build match f32 exactly — impossible.
+    config.quantize = Some(QuantizeConfig {
+        tolerance: pinnsoc_fleet::GateTolerance { rel: 0.0, abs: 0.0 },
+        calibration_rows: 256,
+    });
+    let mut adapt = AdaptationEngine::new(config, lab);
+    let (engine, _) = run_session(&mut adapt, 0, 400);
+
+    let followup = adapt
+        .events()
+        .iter()
+        .find_map(|e| match &e.outcome {
+            AdaptOutcome::QuantizedRejected {
+                incumbent_mae,
+                quantized_mae,
+            } => Some((*incumbent_mae, *quantized_mae)),
+            _ => None,
+        })
+        .expect("the int8 build must be rejected by the exact-match gate");
+    assert!(followup.0.is_finite() && followup.1.is_finite());
+    assert_eq!(adapt.report().quantize_gate_failures, 1);
+    assert_eq!(adapt.report().quantize_gate_passes, 0);
+    // No certificate, no shadow: the registry stays f32-only.
+    assert!(engine.registry().snapshot().quantized.is_none());
 }

@@ -40,6 +40,7 @@ fn train_many_output_hot_swaps_into_a_running_engine() {
             micro_batch: 16,
             workers: 1,
             ekf_fallback: None,
+            ..FleetConfig::default()
         },
     );
     for id in 0..100u64 {
