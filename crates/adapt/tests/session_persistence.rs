@@ -209,7 +209,9 @@ fn session_survives_durable_recovery() {
         }
         durable.process_pending().expect("tick commits");
         adapt.observe_tick(durable.engine());
-        durable.set_extension("adapt-session", adapt.export_session_blob());
+        durable
+            .set_extension("adapt-session", adapt.export_session_blob())
+            .expect("session blob under the WAL record cap");
     }
     durable.snapshot_now().expect("snapshot at crash boundary");
     drop(durable);
@@ -231,7 +233,9 @@ fn session_survives_durable_recovery() {
         }
         durable.process_pending().expect("tick commits");
         adapt.observe_tick(durable.engine());
-        durable.set_extension("adapt-session", adapt.export_session_blob());
+        durable
+            .set_extension("adapt-session", adapt.export_session_blob())
+            .expect("session blob under the WAL record cap");
     }
 
     // Adaptation state matches the never-crashed control exactly...

@@ -27,7 +27,7 @@
 
 use crate::obs::DurableObs;
 use crate::snapshot::{read_snapshot, snapshot_path, write_snapshot, SnapshotData};
-use crate::wal::{list_segments, read_wal_dir, WalOp, WalWriter};
+use crate::wal::{list_segments, read_wal_dir, OversizedRecord, WalOp, WalWriter};
 use pinnsoc::SocModel;
 use pinnsoc_battery::CellParams;
 use pinnsoc_fleet::{CellConfig, CellId, FleetConfig, FleetEngine, Telemetry};
@@ -105,6 +105,12 @@ impl RecoveryReport {
 fn invalid_data(message: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message.into())
 }
+
+/// Justification for the `expect` on every fixed-width append: those ops
+/// encode to under 64 bytes (see [`WalOp::payload_bytes`]), far below
+/// [`crate::wal::MAX_RECORD_BYTES`] — only variable-width extension blobs
+/// can be oversized, and [`DurableFleet::set_extension`] surfaces that.
+const FIXED_WIDTH_OP: &str = "fixed-width WAL op is always under MAX_RECORD_BYTES";
 
 /// A [`FleetEngine`] wrapped in crash safety: registrations, ingests, and
 /// tick boundaries append to a buffered WAL flushed at each
@@ -220,11 +226,13 @@ impl DurableFleet {
         let (initial_soc, capacity_ah) = (config.initial_soc, config.capacity_ah);
         let registered = self.engine.register(id, config);
         if registered {
-            self.wal.append(WalOp::Register {
-                id,
-                initial_soc,
-                capacity_ah,
-            });
+            self.wal
+                .append(WalOp::Register {
+                    id,
+                    initial_soc,
+                    capacity_ah,
+                })
+                .expect(FIXED_WIDTH_OP);
         }
         registered
     }
@@ -234,7 +242,9 @@ impl DurableFleet {
     pub fn deregister(&mut self, id: CellId) -> bool {
         let removed = self.engine.deregister(id);
         if removed {
-            self.wal.append(WalOp::Deregister { id });
+            self.wal
+                .append(WalOp::Deregister { id })
+                .expect(FIXED_WIDTH_OP);
         }
         removed
     }
@@ -243,7 +253,9 @@ impl DurableFleet {
     /// even rejected ones — because replay re-derives the accept/reject
     /// decisions to keep the telemetry books bit-identical.
     pub fn ingest(&mut self, id: CellId, telemetry: Telemetry) -> bool {
-        self.wal.append(WalOp::Report { id, telemetry });
+        self.wal
+            .append(WalOp::Report { id, telemetry })
+            .expect(FIXED_WIDTH_OP);
         self.engine.ingest(id, telemetry)
     }
 
@@ -254,7 +266,9 @@ impl DurableFleet {
         let totals = self.engine.process_pending();
         self.tick += 1;
         self.ticks_since_snapshot += 1;
-        self.wal.append(WalOp::Commit { tick: self.tick });
+        self.wal
+            .append(WalOp::Commit { tick: self.tick })
+            .expect(FIXED_WIDTH_OP);
         let flush_start = Instant::now();
         let flushed = self.wal.flush()?;
         self.last_flush_seconds = flush_start.elapsed().as_secs_f64();
@@ -288,15 +302,30 @@ impl DurableFleet {
         self.wal.flush()
     }
 
-    /// Stores (or replaces) a named extension blob. Blobs ride inside
-    /// every subsequent snapshot and come back through
-    /// [`RecoveryReport::extensions`] — the persistence seam for state
-    /// this crate doesn't know about (the adaptation session).
-    pub fn set_extension(&mut self, name: &str, blob: Vec<u8>) {
+    /// Stores (or replaces) a named extension blob — the persistence seam
+    /// for state this crate doesn't know about (the adaptation session).
+    /// The update is WAL-logged, so it becomes durable at the next commit
+    /// (tick boundary) instead of waiting for the next snapshot; blobs
+    /// also ride inside every subsequent snapshot and come back through
+    /// [`RecoveryReport::extensions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OversizedRecord`] — leaving both the WAL and the current
+    /// blob untouched — when the encoded record would exceed
+    /// [`crate::wal::MAX_RECORD_BYTES`] (the one op a caller can make
+    /// arbitrarily large). Callers with over-cap state must shard it
+    /// across multiple named extensions.
+    pub fn set_extension(&mut self, name: &str, blob: Vec<u8>) -> Result<(), OversizedRecord> {
+        self.wal.append(WalOp::Extension {
+            name: name.to_string(),
+            blob: blob.clone(),
+        })?;
         match self.extensions.iter_mut().find(|(n, _)| n == name) {
             Some((_, existing)) => *existing = blob,
             None => self.extensions.push((name.to_string(), blob)),
         }
+        Ok(())
     }
 
     /// The current blob for `name`, if one was set or recovered.
@@ -424,8 +453,9 @@ pub fn recover(
         dropped_uncommitted_records: 0,
         truncated_tail_bytes: scan.truncated_bytes,
         tick: snapshot.tick,
-        extensions: snapshot.extensions.clone(),
+        extensions: Vec::new(),
     };
+    let mut extensions = snapshot.extensions;
     let mut applied_seq = snapshot.last_seq;
     let replay_end = last_commit.map_or(0, |i| i + 1);
     for record in &scan.records[..replay_end] {
@@ -436,33 +466,42 @@ pub fn recover(
         }
         applied_seq = record.seq;
         report.records_replayed += 1;
-        match record.op {
+        match &record.op {
             WalOp::Register {
                 id,
                 initial_soc,
                 capacity_ah,
             } => {
                 engine.register(
-                    id,
+                    *id,
                     CellConfig {
-                        initial_soc,
-                        capacity_ah,
+                        initial_soc: *initial_soc,
+                        capacity_ah: *capacity_ah,
                     },
                 );
             }
             WalOp::Deregister { id } => {
-                engine.deregister(id);
+                engine.deregister(*id);
             }
             WalOp::Report { id, telemetry } => {
-                engine.ingest(id, telemetry);
+                engine.ingest(*id, *telemetry);
             }
             WalOp::Commit { tick } => {
                 engine.process_pending();
                 report.commits_replayed += 1;
-                report.tick = tick;
+                report.tick = *tick;
+            }
+            WalOp::Extension { name, blob } => {
+                // Same last-write-wins semantics as `set_extension`;
+                // commit-bounded like every other replayed mutation.
+                match extensions.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, existing)) => existing.clone_from(blob),
+                    None => extensions.push((name.clone(), blob.clone())),
+                }
             }
         }
     }
+    report.extensions = extensions.clone();
     report.dropped_uncommitted_records = scan.records[replay_end..]
         .iter()
         .filter(|r| r.seq > applied_seq)
@@ -486,7 +525,7 @@ pub fn recover(
         config,
         tick: report.tick,
         ticks_since_snapshot: 0,
-        extensions: snapshot.extensions,
+        extensions,
         last_flush_seconds: 0.0,
         obs: None,
     };

@@ -18,6 +18,15 @@
 //!   I/O happens once per tick at [`DurableFleet::process_pending`], with
 //!   rotation and snapshot-triggered truncation folded into the same
 //!   boundary.
+//! - **The record cap holds on both sides.** [`MAX_RECORD_BYTES`] is
+//!   enforced by the reader (a corrupt length prefix cannot trigger a
+//!   huge allocation) *and* by [`WalWriter::append`], which rejects an
+//!   oversized record with [`wal::OversizedRecord`] before framing it —
+//!   a record the writer framed but the reader refused would read as
+//!   corruption at recovery and silently truncate every committed record
+//!   behind it. Only variable-width extension blobs
+//!   ([`DurableFleet::set_extension`]) can hit the cap; the fixed-width
+//!   ops are all under 64 bytes.
 //! - **Recovery is a tick boundary.** Replay applies records only up to
 //!   the last valid commit, so recovered state is a state the
 //!   uninterrupted engine also passed through — the basis of the
@@ -54,6 +63,6 @@ pub use snapshot::{
     SNAPSHOT_FILE, SNAPSHOT_MAGIC,
 };
 pub use wal::{
-    encode_record, read_segment, read_wal_dir, FlushStats, SegmentRead, WalOp, WalRecord, WalScan,
-    WalWriter, MAX_RECORD_BYTES, WAL_MAGIC,
+    encode_record, read_segment, read_wal_dir, FlushStats, OversizedRecord, SegmentRead, WalOp,
+    WalRecord, WalScan, WalWriter, MAX_RECORD_BYTES, WAL_MAGIC,
 };

@@ -34,18 +34,24 @@ use std::path::{Path, PathBuf};
 /// Magic bytes opening every WAL segment (format version in the suffix).
 pub const WAL_MAGIC: &[u8; 8] = b"PSOCWAL1";
 
-/// Upper bound on a record payload. Real records are under 64 bytes; the
-/// bound only exists so a corrupt length prefix reads as corruption
-/// instead of a gigabyte allocation.
+/// Upper bound on a record payload, enforced on **both** sides of the log.
+/// The reader refuses a larger length prefix so corruption cannot trigger
+/// a gigabyte allocation; [`WalWriter::append`] rejects a larger payload
+/// with [`OversizedRecord`] *before* it is framed, because a record the
+/// writer frames but the reader refuses would read as corruption at
+/// recovery and silently truncate every committed record behind it.
+/// Fixed-width ops are under 64 bytes; only [`WalOp::Extension`] blobs can
+/// approach the cap.
 pub const MAX_RECORD_BYTES: u32 = 1 << 20;
 
 const OP_REGISTER: u8 = 1;
 const OP_DEREGISTER: u8 = 2;
 const OP_REPORT: u8 = 3;
 const OP_COMMIT: u8 = 4;
+const OP_EXTENSION: u8 = 5;
 
 /// One logged fleet mutation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum WalOp {
     /// A cell registered with its initial integrator seed.
     Register {
@@ -78,10 +84,58 @@ pub enum WalOp {
         /// Monotonic committed-tick counter (survives restarts).
         tick: u64,
     },
+    /// An opaque subsystem blob updated (e.g. an adaptation session), so
+    /// extensions set between snapshots survive a crash instead of only
+    /// persisting at the next snapshot. The one variable-length op — the
+    /// reason [`WalWriter::append`] must enforce [`MAX_RECORD_BYTES`].
+    Extension {
+        /// Namespaced extension key (e.g. `"adapt/session"`).
+        name: String,
+        /// The opaque payload; replaces any prior blob under `name`.
+        blob: Vec<u8>,
+    },
 }
 
+impl WalOp {
+    /// Encoded payload width (`op` byte + `seq` + body) — what the frame's
+    /// `len` field will hold, computed without encoding so the append-time
+    /// cap check costs no allocation.
+    pub fn payload_bytes(&self) -> u64 {
+        let body = match self {
+            WalOp::Register { .. } => 8 + 8 + 8,
+            WalOp::Deregister { .. } => 8,
+            WalOp::Report { .. } => 8 + 4 * 8,
+            WalOp::Commit { .. } => 8,
+            WalOp::Extension { name, blob } => 4 + name.len() as u64 + 4 + blob.len() as u64,
+        };
+        1 + 8 + body
+    }
+}
+
+/// Rejection returned by [`WalWriter::append`] for a record whose encoded
+/// payload would exceed [`MAX_RECORD_BYTES`]. The record is **not**
+/// buffered: framing it anyway would poison the log — the reader treats an
+/// over-cap length prefix as corruption and truncates everything after it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OversizedRecord {
+    /// Encoded payload width of the rejected record.
+    pub payload_bytes: u64,
+}
+
+impl std::fmt::Display for OversizedRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "WAL record payload of {} bytes exceeds MAX_RECORD_BYTES ({})",
+            self.payload_bytes, MAX_RECORD_BYTES
+        )
+    }
+}
+
+impl std::error::Error for OversizedRecord {}
+
 /// A decoded WAL record: a monotonic sequence number and the operation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WalRecord {
     /// Monotonic record counter spanning segments and restarts.
     pub seq: u64,
@@ -97,7 +151,7 @@ pub fn encode_record(out: &mut Vec<u8>, record: &WalRecord) {
     out.extend_from_slice(&[0u8; 8]); // len + crc, backfilled below
     let payload_at = out.len();
     let mut enc = Enc(out);
-    match record.op {
+    match &record.op {
         WalOp::Register {
             id,
             initial_soc,
@@ -105,19 +159,19 @@ pub fn encode_record(out: &mut Vec<u8>, record: &WalRecord) {
         } => {
             enc.u8(OP_REGISTER);
             enc.u64(record.seq);
-            enc.u64(id);
-            enc.f64(initial_soc);
-            enc.f64(capacity_ah);
+            enc.u64(*id);
+            enc.f64(*initial_soc);
+            enc.f64(*capacity_ah);
         }
         WalOp::Deregister { id } => {
             enc.u8(OP_DEREGISTER);
             enc.u64(record.seq);
-            enc.u64(id);
+            enc.u64(*id);
         }
         WalOp::Report { id, telemetry } => {
             enc.u8(OP_REPORT);
             enc.u64(record.seq);
-            enc.u64(id);
+            enc.u64(*id);
             enc.f64(telemetry.time_s);
             enc.f64(telemetry.voltage_v);
             enc.f64(telemetry.current_a);
@@ -126,7 +180,13 @@ pub fn encode_record(out: &mut Vec<u8>, record: &WalRecord) {
         WalOp::Commit { tick } => {
             enc.u8(OP_COMMIT);
             enc.u64(record.seq);
-            enc.u64(tick);
+            enc.u64(*tick);
+        }
+        WalOp::Extension { name, blob } => {
+            enc.u8(OP_EXTENSION);
+            enc.u64(record.seq);
+            enc.bytes(name.as_bytes());
+            enc.bytes(blob);
         }
     }
     let len = (out.len() - payload_at) as u32;
@@ -159,6 +219,11 @@ fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
             },
         },
         OP_COMMIT => WalOp::Commit { tick: dec.u64()? },
+        OP_EXTENSION => {
+            let name = String::from_utf8(dec.bytes()?.to_vec()).ok()?;
+            let blob = dec.bytes()?.to_vec();
+            WalOp::Extension { name, blob }
+        }
         _ => return None,
     };
     (dec.remaining() == 0).then_some(WalRecord { seq, op })
@@ -355,12 +420,26 @@ impl WalWriter {
     /// Appends one operation to the in-memory pending list and returns its
     /// sequence number. Nothing is encoded or reaches the file until
     /// [`Self::flush`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OversizedRecord`] — without buffering anything or
+    /// consuming a sequence number — when the encoded payload would exceed
+    /// [`MAX_RECORD_BYTES`]. The cap must hold at append time: the reader
+    /// enforces it too, so a framed over-cap record would read as
+    /// corruption at recovery and silently truncate every committed record
+    /// behind it. Every fixed-width op is far under the cap by
+    /// construction; only [`WalOp::Extension`] can hit it.
     #[inline]
-    pub fn append(&mut self, op: WalOp) -> u64 {
+    pub fn append(&mut self, op: WalOp) -> Result<u64, OversizedRecord> {
+        let payload_bytes = op.payload_bytes();
+        if payload_bytes > MAX_RECORD_BYTES as u64 {
+            return Err(OversizedRecord { payload_bytes });
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         self.pending.push(WalRecord { seq, op });
-        seq
+        Ok(seq)
     }
 
     /// Sequence number of the most recently appended record (0 when none
@@ -546,15 +625,16 @@ mod tests {
                     current_a: 1.0,
                     temperature_c: 25.0,
                 },
-            });
+            })
+            .unwrap();
         }
-        wal.append(WalOp::Commit { tick: 1 });
+        wal.append(WalOp::Commit { tick: 1 }).unwrap();
         let stats = wal.flush().unwrap();
         assert_eq!(stats.records, 21);
         assert!(wal.wants_rotation(), "256-byte threshold long passed");
         wal.rotate().unwrap();
         assert_eq!(wal.segment(), 1);
-        wal.append(WalOp::Commit { tick: 2 });
+        wal.append(WalOp::Commit { tick: 2 }).unwrap();
         wal.flush().unwrap();
 
         let scan = read_wal_dir(&dir).unwrap();
@@ -566,6 +646,119 @@ mod tests {
         assert_eq!(wal.delete_segments_below(1).unwrap(), 1);
         let scan = read_wal_dir(&dir).unwrap();
         assert_eq!(scan.records.len(), 1, "only segment 1 remains");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Blob length that makes an `Extension` payload exactly `target`
+    /// bytes wide for the given name.
+    fn blob_len_for_payload(name: &str, target: u64) -> usize {
+        (target
+            - WalOp::Extension {
+                name: name.into(),
+                blob: Vec::new(),
+            }
+            .payload_bytes()) as usize
+    }
+
+    #[test]
+    fn payload_bytes_matches_encoded_width() {
+        let ops = [
+            WalOp::Register {
+                id: 7,
+                initial_soc: 0.9,
+                capacity_ah: 3.0,
+            },
+            WalOp::Deregister { id: 7 },
+            report(0, 7, 1.0).op,
+            WalOp::Commit { tick: 3 },
+            WalOp::Extension {
+                name: "adapt/session".into(),
+                blob: vec![0xAB; 137],
+            },
+        ];
+        for op in ops {
+            let mut bytes = Vec::new();
+            encode_record(
+                &mut bytes,
+                &WalRecord {
+                    seq: 9,
+                    op: op.clone(),
+                },
+            );
+            // Frame is 8 bytes (len + crc); the rest is the payload.
+            assert_eq!(
+                op.payload_bytes(),
+                (bytes.len() - 8) as u64,
+                "payload_bytes out of sync with encode_record for {op:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn extension_record_roundtrips_bit_exact() {
+        let record = WalRecord {
+            seq: 11,
+            op: WalOp::Extension {
+                name: "adapt/session".into(),
+                blob: (0..=255u8).cycle().take(1000).collect(),
+            },
+        };
+        let mut bytes = WAL_MAGIC.to_vec();
+        encode_record(&mut bytes, &record);
+        let read = read_segment(&bytes);
+        assert_eq!(read.records, vec![record]);
+        assert_eq!(read.truncated_bytes, 0);
+    }
+
+    /// The append-time cap, at the boundary: a record at exactly
+    /// `MAX_RECORD_BYTES` is accepted and round-trips through the reader;
+    /// one byte over is rejected *before* framing, so the log stays clean
+    /// and every later committed record survives recovery.
+    #[test]
+    fn append_cap_boundary_roundtrip_and_rejection() {
+        let dir = std::env::temp_dir().join(format!("pinnsoc_wal_cap_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut wal = WalWriter::create(&dir, 0, 1, u64::MAX, false).unwrap();
+
+        // Exactly at the cap: accepted.
+        let at_cap = WalOp::Extension {
+            name: "cap".into(),
+            blob: vec![0x5A; blob_len_for_payload("cap", MAX_RECORD_BYTES as u64)],
+        };
+        assert_eq!(at_cap.payload_bytes(), MAX_RECORD_BYTES as u64);
+        assert_eq!(wal.append(at_cap.clone()), Ok(1));
+
+        // One byte over: rejected, no sequence number consumed, nothing
+        // buffered.
+        let over_cap = WalOp::Extension {
+            name: "cap".into(),
+            blob: vec![0x5A; blob_len_for_payload("cap", MAX_RECORD_BYTES as u64 + 1)],
+        };
+        assert_eq!(
+            wal.append(over_cap),
+            Err(OversizedRecord {
+                payload_bytes: MAX_RECORD_BYTES as u64 + 1
+            })
+        );
+        assert_eq!(wal.buffered_records(), 1, "rejected record must not buffer");
+
+        // A committed record *after* the rejection must survive recovery —
+        // the exact failure mode the write-side cap exists to prevent.
+        assert_eq!(wal.append(WalOp::Commit { tick: 1 }), Ok(2));
+        wal.flush().unwrap();
+
+        let scan = read_wal_dir(&dir).unwrap();
+        assert_eq!(scan.truncated_bytes, 0, "log must parse clean");
+        assert_eq!(
+            scan.records,
+            vec![
+                WalRecord { seq: 1, op: at_cap },
+                WalRecord {
+                    seq: 2,
+                    op: WalOp::Commit { tick: 1 }
+                },
+            ]
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 }

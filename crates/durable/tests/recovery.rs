@@ -266,7 +266,9 @@ fn snapshot_truncates_the_log() {
 fn extensions_round_trip_through_recovery() {
     let dir = tmpdir("ext");
     let mut durable = DurableFleet::create(engine(0), DurableConfig::new(&dir)).expect("create");
-    durable.set_extension("adapt-session", b"{\"seen\":42}".to_vec());
+    durable
+        .set_extension("adapt-session", b"{\"seen\":42}".to_vec())
+        .expect("small blob");
     durable.snapshot_now().expect("snapshot");
     drop(durable);
 
@@ -295,5 +297,56 @@ fn recover_requires_a_snapshot_and_create_requires_a_clean_dir() {
     let err = DurableFleet::create(engine(0), DurableConfig::new(&dir))
         .expect_err("dir already holds state");
     assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// An extension blob set *between* snapshots is WAL-logged and survives a
+/// crash: recovery replays it up to the last commit, without any snapshot
+/// having carried it. (Before the write-path cap fix, extensions only
+/// persisted at the next snapshot — a crash in between silently lost
+/// them.)
+#[test]
+fn wal_logged_extension_survives_crash_without_snapshot() {
+    let dir = tmpdir("extension");
+    let mut durable = DurableFleet::create(
+        engine(0),
+        DurableConfig {
+            // Cadence disabled: nothing snapshots after creation, so the
+            // blob can only come back through WAL replay.
+            snapshot_every_ticks: 0,
+            ..DurableConfig::new(&dir)
+        },
+    )
+    .expect("create");
+    durable.register(
+        3,
+        CellConfig {
+            initial_soc: 0.8,
+            capacity_ah: 3.0,
+        },
+    );
+    durable
+        .set_extension("adapt/session", vec![1, 2, 3])
+        .expect("small blob");
+    durable.ingest(3, feed(1, 3));
+    durable.process_pending().expect("tick 1 commits the blob");
+    // Overwritten after the last commit: this version must NOT survive —
+    // replay is commit-bounded for extensions exactly like every other op.
+    durable
+        .set_extension("adapt/session", vec![9, 9, 9])
+        .expect("small blob");
+    drop(durable);
+
+    let (recovered, report) = recover(DurableConfig::new(&dir), 0).expect("recover");
+    assert_eq!(report.tick, 1);
+    assert_eq!(
+        recovered.extension("adapt/session"),
+        Some(&[1u8, 2, 3][..]),
+        "committed extension must survive without a snapshot"
+    );
+    assert_eq!(
+        report.extensions,
+        vec![("adapt/session".to_string(), vec![1, 2, 3])]
+    );
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }

@@ -40,6 +40,16 @@ fn any_op() -> impl Strategy<Value = WalOp> {
                 },
             }),
         (0u64..=u64::MAX).prop_map(|tick| WalOp::Commit { tick }),
+        // Variable-width records: arbitrary binary blobs under arbitrary
+        // (possibly empty, possibly non-ASCII) names.
+        (
+            collection::vec(0u8..=255, 0usize..12),
+            collection::vec(0u8..=255, 0usize..96),
+        )
+            .prop_map(|(name, blob)| WalOp::Extension {
+                name: String::from_utf8_lossy(&name).into_owned(),
+                blob,
+            }),
     ]
 }
 

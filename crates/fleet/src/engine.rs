@@ -540,21 +540,25 @@ impl FleetEngine {
         self.pool.workers()
     }
 
-    /// Shard routing plus the id's *index key* within that shard. With a
-    /// power-of-two shard count the low bits select the shard and are
-    /// constant within it, so the key drops them (`id >> log2(shards)`) —
-    /// keeping the per-shard dense id tables truly dense: consecutive
+    /// Shard routing plus the id's *index key* within that shard. The
+    /// shard selector (`id % shards`) is constant within a shard, so the
+    /// key divides it out — `id >> log2(shards)` on the power-of-two
+    /// route, `id / shards` on the modulo route — keeping the per-shard
+    /// dense id tables truly dense at *any* shard count: consecutive
     /// producer ids land in consecutive table entries instead of every
     /// `shards`-th one, so a fleet-wide ingest sweep touches every byte it
-    /// loads. The mapping is injective per shard either way. One 64-bit
-    /// hardware divide per report is also measurable at fleet scale — the
-    /// power-of-two route is a mask and a shift.
-    fn route(shards: usize, id: CellId) -> (usize, CellId) {
+    /// loads (and never migrates to the hash path just because the shard
+    /// count is not a power of two). The mapping is injective per shard
+    /// either way: two ids in one shard agree on `id % shards`, so equal
+    /// quotients would force equal ids. One 64-bit hardware divide per
+    /// report is also measurable at fleet scale — the power-of-two route
+    /// is a mask and a shift.
+    pub(crate) fn route(shards: usize, id: CellId) -> (usize, CellId) {
         let shards = shards as u64;
         if shards.is_power_of_two() {
             ((id & (shards - 1)) as usize, id >> shards.trailing_zeros())
         } else {
-            ((id % shards) as usize, id)
+            ((id % shards) as usize, id / shards)
         }
     }
 
@@ -1032,6 +1036,21 @@ impl FleetEngine {
             for slot in 0..shard.cells.len() {
                 if let Some((soc, _)) = shard.cells.estimate(slot) {
                     f(shard.cells.ids[slot], soc);
+                }
+            }
+        }
+    }
+
+    /// Calls `f` with every reporting cell's id and full per-estimator
+    /// breakdown, in shard order then slot order — the service tier's bulk
+    /// snapshot seam: one linear sweep over the structure-of-arrays store
+    /// instead of one routed [`Self::estimate_breakdown`] lookup per cell.
+    pub fn for_each_breakdown(&self, mut f: impl FnMut(CellId, EstimateBreakdown)) {
+        for idx in 0..self.shards.len() {
+            let shard = self.shard(idx);
+            for slot in 0..shard.cells.len() {
+                if let Some(breakdown) = shard.cells.breakdown(slot) {
+                    f(shard.cells.ids[slot], breakdown);
                 }
             }
         }
@@ -1868,5 +1887,91 @@ mod tests {
         );
         assert_eq!(engine.soc_histogram(4), vec![0, 0, 0, 0]);
         assert_eq!(engine.stats().reporting, 0);
+    }
+
+    /// Regression for the modulo-route key bug: with a non-power-of-two
+    /// shard count the index key used to be the *full* id, so consecutive
+    /// producer ids occupied every `shards`-th dense-table entry and (for
+    /// shard counts above the dense slack) migrated every shard to the
+    /// hash path. With `id / shards` keys, consecutive ids fill each
+    /// shard's table contiguously and every shard stays dense.
+    #[test]
+    fn consecutive_ids_stay_dense_on_non_power_of_two_shards() {
+        // 17 > DENSE_SLACK, so the old full-id keys would migrate to hash
+        // at id ≈ 272; 10k ids make the regression unmissable.
+        let engine = engine_with(10_000, 17);
+        for idx in 0..17 {
+            let shard = engine.shards[idx].as_ref().expect("shard present");
+            assert!(
+                shard.index.is_dense(),
+                "shard {idx} migrated to the hash representation on \
+                 consecutive ids"
+            );
+        }
+        // Spot-check the index still resolves.
+        assert!(engine.contains(0) && engine.contains(9_999));
+        assert!(!engine.contains(10_000));
+    }
+
+    mod route_props {
+        use super::super::FleetEngine;
+        use proptest::prelude::*;
+        use std::collections::{HashMap, HashSet};
+
+        proptest! {
+            /// Injectivity: two distinct ids routed to the same shard must
+            /// get distinct keys — on both the power-of-two and the modulo
+            /// route. (A collision would make one cell's state silently
+            /// alias another's.)
+            #[test]
+            fn route_is_injective_per_shard(
+                shards in 1usize..=40,
+                ids in collection::vec(0u64..=u64::MAX, 1usize..200),
+            ) {
+                let ids: HashSet<u64> = ids.into_iter().collect();
+                let mut seen: HashMap<usize, HashMap<u64, u64>> = HashMap::new();
+                for &id in &ids {
+                    let (shard, key) = FleetEngine::route(shards, id);
+                    prop_assert!(shard < shards, "shard selector out of range");
+                    if let Some(prior) = seen.entry(shard).or_default().insert(key, id) {
+                        prop_assert_eq!(
+                            prior, id,
+                            "ids {} and {} collide on shard {} key {}",
+                            prior, id, shard, key
+                        );
+                    }
+                }
+            }
+
+            /// Dense occupancy: routing consecutive ids `0..n` must fill
+            /// each shard's key space contiguously from zero — keys are
+            /// exactly `0..count` per shard, with no gaps that would waste
+            /// dense-table entries or trigger premature hash migration.
+            #[test]
+            fn consecutive_ids_fill_shard_keys_contiguously(
+                shards in 1usize..=40,
+                n in 1u64..3_000,
+            ) {
+                let mut keys_per_shard: Vec<HashSet<u64>> = vec![HashSet::new(); shards];
+                for id in 0..n {
+                    let (shard, key) = FleetEngine::route(shards, id);
+                    prop_assert!(
+                        keys_per_shard[shard].insert(key),
+                        "duplicate key {} on shard {}", key, shard
+                    );
+                }
+                for (shard, keys) in keys_per_shard.iter().enumerate() {
+                    let count = keys.len() as u64;
+                    for k in 0..count {
+                        prop_assert!(
+                            keys.contains(&k),
+                            "shard {} is missing key {} (count {}): keys are \
+                             not dense from zero",
+                            shard, k, count
+                        );
+                    }
+                }
+            }
+        }
     }
 }

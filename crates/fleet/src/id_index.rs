@@ -4,9 +4,10 @@
 //! fleet scale, where one tick performs one lookup per telemetry report
 //! (100k+ lookups per pass). Cell ids are producer-minted integers, and in
 //! practice almost always *dense* ones (0..N or close; the engine keys its
-//! per-shard indices shard-relative, which keeps that density after
-//! power-of-two sharding), so the index keeps two representations and
-//! picks per registration history:
+//! per-shard indices shard-relative — `id >> log2(shards)` on the
+//! power-of-two route, `id / shards` on the modulo route — which keeps
+//! that density after sharding at any shard count), so the index keeps two
+//! representations and picks per registration history:
 //!
 //! - **Dense**: a direct `id → slot` table. One bounds check and one load
 //!   per lookup, and sequential producers walk it with the hardware
@@ -108,6 +109,15 @@ impl IdIndex {
         match &self.repr {
             Repr::Dense { len, .. } | Repr::Hash { len, .. } => *len,
         }
+    }
+
+    /// Whether the index still holds the dense (direct-table)
+    /// representation — the regression probe for shard-relative key
+    /// density (a routing scheme that feeds sparse keys here silently
+    /// migrates every shard to the hash path).
+    #[cfg(test)]
+    pub(crate) fn is_dense(&self) -> bool {
+        matches!(self.repr, Repr::Dense { .. })
     }
 
     /// The slot registered for `id`, if any.
@@ -343,7 +353,7 @@ mod tests {
     use super::*;
 
     fn is_dense(index: &IdIndex) -> bool {
-        matches!(index.repr, Repr::Dense { .. })
+        index.is_dense()
     }
 
     #[test]

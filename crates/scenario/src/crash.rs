@@ -283,10 +283,16 @@ fn run_control(scenario: &Scenario, model: &SocModel, engine: &EngineSpec) -> Ve
     final_estimates(&fleet)
 }
 
-/// Vandalizes the durability directory the way the planned crash point
-/// would, with damage sizes drawn from the scenario seed.
-fn tear(dir: &Path, scenario: &Scenario, point: CrashPoint) -> std::io::Result<()> {
-    let mut rng = StdRng::seed_from_u64(scenario.seed ^ 0xC4A5_0FDE_AD00_0001);
+/// Vandalizes a durability directory the way the given crash point would,
+/// with damage sizes drawn deterministically from `seed`. Public so other
+/// crash harnesses (the service tier's per-engine kill test) can reuse the
+/// exact process-death simulation [`run_crash_scenario`] applies.
+///
+/// # Errors
+///
+/// Propagates filesystem failures from the vandalism itself.
+pub fn tear_directory(dir: &Path, seed: u64, point: CrashPoint) -> std::io::Result<()> {
+    let mut rng = StdRng::seed_from_u64(seed);
     let live_segment = || -> std::io::Result<Option<std::path::PathBuf>> {
         let mut segments: Vec<_> = std::fs::read_dir(dir)?
             .filter_map(|e| e.ok())
@@ -412,7 +418,7 @@ pub fn run_crash_scenario(
     }
     // The kill: no flush, no shutdown — the process is simply gone.
     drop(doomed);
-    tear(dir, scenario, plan.point)?;
+    tear_directory(dir, scenario.seed ^ 0xC4A5_0FDE_AD00_0001, plan.point)?;
 
     // Phase 2: recover, then continue the scenario from the recovered
     // commit with freshly rebuilt (seed-identical) generation state.

@@ -132,8 +132,11 @@ impl FaultCounts {
 
 /// One cell's transport channel: applies the fault model to each measured
 /// report and yields what actually reaches the engine, in arrival order.
+/// Public so external traffic generators (the service-tier latency bench)
+/// can push the same seeded adversarial streams through their own ingest
+/// paths.
 #[derive(Debug)]
-pub(crate) struct FaultChannel {
+pub struct FaultChannel {
     model: FaultModel,
     rng: StdRng,
     /// This cell's constant clock offset, seconds.
@@ -144,7 +147,9 @@ pub(crate) struct FaultChannel {
 }
 
 impl FaultChannel {
-    pub(crate) fn new(model: FaultModel, seed: u64) -> Self {
+    /// Opens one cell's channel under `model`, seeded so the fault stream
+    /// is a pure function of `(model, seed)`.
+    pub fn new(model: FaultModel, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let skew_s = if model.clock_skew_s > 0.0 {
             (rng.gen::<f64>() * 2.0 - 1.0) * model.clock_skew_s
@@ -162,7 +167,7 @@ impl FaultChannel {
 
     /// Transmits one measurement; whatever reaches the engine this instant
     /// is appended to `out` in arrival order.
-    pub(crate) fn transmit(&mut self, mut report: Telemetry, out: &mut Vec<Telemetry>) {
+    pub fn transmit(&mut self, mut report: Telemetry, out: &mut Vec<Telemetry>) {
         // Sensor faults first: they corrupt the measurement itself.
         report.time_s += self.skew_s;
         if self.model.clock_jitter_s > 0.0 {
@@ -216,10 +221,15 @@ impl FaultChannel {
     /// packet eventually arrives). Without this, an end-of-stream hold
     /// would be lost while still being booked as "reordered", and the
     /// injected-vs-engine reconciliation could never balance.
-    pub(crate) fn flush(&mut self, out: &mut Vec<Telemetry>) {
+    pub fn flush(&mut self, out: &mut Vec<Telemetry>) {
         if let Some(older) = self.held.take() {
             out.push(older);
         }
+    }
+
+    /// Faults injected so far, by kind.
+    pub fn counts(&self) -> FaultCounts {
+        self.counts
     }
 }
 

@@ -62,8 +62,10 @@ pub mod runner;
 pub mod spec;
 pub mod suite;
 
-pub use crash::{run_crash_scenario, CellEstimate, CrashPlan, CrashPoint, CrashScenarioRun};
-pub use faults::{FaultCounts, FaultModel};
+pub use crash::{
+    run_crash_scenario, tear_directory, CellEstimate, CrashPlan, CrashPoint, CrashScenarioRun,
+};
+pub use faults::{FaultChannel, FaultCounts, FaultModel};
 pub use gate::{gate_quantized, QuantizedGateConfig, QuantizedGateOutcome};
 pub use report::{EstimatorAccuracy, ScenarioReport, ScenarioResult, TteAccuracy};
 pub use runner::{

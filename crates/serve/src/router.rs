@@ -1,0 +1,122 @@
+//! Consistent cell-to-engine routing via rendezvous (highest-random-weight)
+//! hashing.
+//!
+//! Each cell id is scored against every engine with a seeded mix hash; the
+//! engine with the highest score owns the cell. Rendezvous hashing gives
+//! the two properties the serve tier needs:
+//!
+//! - **A partition**: every id maps to exactly one engine, with no shared
+//!   routing table to keep consistent — any handle holding the engine
+//!   count routes identically.
+//! - **Minimal disruption**: growing the tier from `n` to `n + 1` engines
+//!   moves only the `1 / (n + 1)` of cells whose new engine wins the
+//!   score, instead of reshuffling nearly everything the way `id % n`
+//!   does.
+//!
+//! Note the distinction from intra-engine sharding: the router decides
+//! *which engine* owns a cell; `pinnsoc_fleet`'s shard route decides which
+//! shard inside that engine. Estimates depend only on a cell's own
+//! telemetry stream, so placement never changes the numbers — snapshot
+//! aggregates are built from an id-sorted sweep precisely so the tier's
+//! outputs stay bit-identical across engine counts (see
+//! [`crate::ServeSnapshot`]).
+
+use pinnsoc_fleet::CellId;
+
+/// `splitmix64` finalizer: a cheap, well-mixed 64-bit permutation.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stateless rendezvous router over `engines` lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineRouter {
+    engines: usize,
+}
+
+impl EngineRouter {
+    /// Builds a router over `engines` lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engines` is zero.
+    pub fn new(engines: usize) -> Self {
+        assert!(engines > 0, "router needs at least one engine");
+        EngineRouter { engines }
+    }
+
+    /// Number of engines routed across.
+    pub fn engines(&self) -> usize {
+        self.engines
+    }
+
+    /// The engine owning `id`: the highest-scoring lane under the mix
+    /// hash. Deterministic, allocation-free, and identical on every
+    /// handle with the same engine count.
+    pub fn route(&self, id: CellId) -> usize {
+        let mut best = 0usize;
+        let mut best_score = mix(id ^ mix(1));
+        for engine in 1..self.engines {
+            let score = mix(id ^ mix(engine as u64 + 1));
+            if score > best_score {
+                best = engine;
+                best_score = score;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_a_partition_and_deterministic() {
+        let router = EngineRouter::new(5);
+        for id in 0..10_000u64 {
+            let engine = router.route(id);
+            assert!(engine < 5);
+            assert_eq!(engine, router.route(id), "routing must be stable");
+        }
+    }
+
+    #[test]
+    fn load_spreads_across_engines() {
+        let router = EngineRouter::new(4);
+        let mut counts = [0usize; 4];
+        for id in 0..40_000u64 {
+            counts[router.route(id)] += 1;
+        }
+        for (engine, &count) in counts.iter().enumerate() {
+            assert!(
+                (7_000..=13_000).contains(&count),
+                "engine {engine} got {count} of 40000 cells — hash is skewed"
+            );
+        }
+    }
+
+    /// The rendezvous property: adding an engine only relocates cells that
+    /// move TO the new engine; every other assignment is untouched.
+    #[test]
+    fn growth_moves_only_cells_bound_for_the_new_engine() {
+        let before = EngineRouter::new(4);
+        let after = EngineRouter::new(5);
+        let mut moved = 0usize;
+        for id in 0..20_000u64 {
+            let (old, new) = (before.route(id), after.route(id));
+            if old != new {
+                assert_eq!(new, 4, "cell {id} moved between old engines");
+                moved += 1;
+            }
+        }
+        // Expected share ≈ 1/5; allow wide slack for hash variance.
+        assert!(
+            (2_000..=6_000).contains(&moved),
+            "moved {moved} of 20000 — not the ~1/5 rendezvous share"
+        );
+    }
+}

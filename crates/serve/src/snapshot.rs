@@ -1,0 +1,248 @@
+//! Read-side snapshots: immutable, id-sorted views of the whole tier,
+//! published once per tick and queried without ever touching the engines.
+//!
+//! ## Consistency model
+//!
+//! - A snapshot is **tick-atomic**: it reflects every frame drained up to
+//!   one tick boundary and nothing later. Readers never see a half-applied
+//!   tick.
+//! - Readers are **wait-free in practice**: [`SnapshotReader::snapshot`]
+//!   holds the publish lock only long enough to clone an `Arc` (no
+//!   allocation, no engine access); all query work — histograms,
+//!   threshold scans, per-cell lookups — runs against the reader's own
+//!   pinned snapshot. A reader iterating a snapshot for minutes costs the
+//!   tick loop nothing but delayed buffer reuse.
+//! - The tick loop **double-buffers**: publishing swaps an `Arc` pointer
+//!   and hands the previous snapshot back; once the last reader drops it,
+//!   its cell buffer is reclaimed for a future tick
+//!   (`Arc::try_unwrap`), so steady-state serving re-uses two buffers
+//!   instead of allocating per tick.
+//! - Aggregates are computed from the **id-sorted** cell sweep, giving
+//!   every float reduction one canonical summation order. That is what
+//!   makes tier outputs bit-identical across engine counts, per-engine
+//!   shard counts, and worker counts: placement changes where a cell
+//!   lives, never where it lands in the sorted sweep.
+
+use pinnsoc_fleet::{CellId, EstimateBreakdown, FleetStats};
+use std::sync::{Arc, RwLock};
+
+/// An immutable view of every reporting cell in the tier at one tick
+/// boundary, sorted by cell id.
+#[derive(Debug, Clone)]
+pub struct ServeSnapshot {
+    /// The tier tick this snapshot was published at (0 = the empty
+    /// pre-first-tick snapshot).
+    pub tick: u64,
+    /// Registered cells across all live engines (reporting or not).
+    pub registered: usize,
+    /// Engines that contributed (crashed lanes are excluded until
+    /// recovered).
+    pub live_engines: usize,
+    /// `(id, breakdown)` for every reporting cell, ascending by id.
+    pub cells: Vec<(CellId, EstimateBreakdown)>,
+    stats: FleetStats,
+}
+
+impl ServeSnapshot {
+    /// The empty snapshot readers see before the first tick.
+    pub fn empty() -> Self {
+        ServeSnapshot {
+            tick: 0,
+            registered: 0,
+            live_engines: 0,
+            cells: Vec::new(),
+            stats: FleetStats {
+                cells: 0,
+                reporting: 0,
+                mean_soc: 0.0,
+                min_soc: 0.0,
+                max_soc: 0.0,
+            },
+        }
+    }
+
+    /// Builds a snapshot from an unsorted cell sweep: sorts by id and
+    /// folds the aggregates in that canonical order.
+    pub(crate) fn build(
+        tick: u64,
+        registered: usize,
+        live_engines: usize,
+        mut cells: Vec<(CellId, EstimateBreakdown)>,
+    ) -> Self {
+        cells.sort_unstable_by_key(|(id, _)| *id);
+        let mut stats = FleetStats {
+            cells: registered,
+            reporting: 0,
+            mean_soc: 0.0,
+            min_soc: f64::MAX,
+            max_soc: f64::MIN,
+        };
+        for (_, breakdown) in &cells {
+            let soc = breakdown.best.0;
+            stats.reporting += 1;
+            stats.mean_soc += soc;
+            stats.min_soc = stats.min_soc.min(soc);
+            stats.max_soc = stats.max_soc.max(soc);
+        }
+        if stats.reporting == 0 {
+            stats.min_soc = 0.0;
+            stats.max_soc = 0.0;
+        } else {
+            stats.mean_soc /= stats.reporting as f64;
+        }
+        ServeSnapshot {
+            tick,
+            registered,
+            live_engines,
+            cells,
+            stats,
+        }
+    }
+
+    /// Fleet-level summary over the snapshot's reporting cells, folded in
+    /// id order (bit-stable across tier topology).
+    pub fn stats(&self) -> FleetStats {
+        self.stats
+    }
+
+    /// One cell's full per-estimator breakdown, by binary search.
+    pub fn breakdown(&self, id: CellId) -> Option<&EstimateBreakdown> {
+        self.cells
+            .binary_search_by_key(&id, |(id, _)| *id)
+            .ok()
+            .map(|idx| &self.cells[idx].1)
+    }
+
+    /// Histogram of best-estimate SoC: `bins` equal buckets over `[0, 1]`,
+    /// last bucket closed — the same binning as
+    /// [`pinnsoc_fleet::FleetEngine::soc_histogram`], summed over the
+    /// whole tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero.
+    pub fn soc_histogram(&self, bins: usize) -> Vec<usize> {
+        assert!(bins > 0, "need at least one bin");
+        let mut histogram = vec![0usize; bins];
+        for (_, breakdown) in &self.cells {
+            let bin = ((breakdown.best.0 * bins as f64) as usize).min(bins - 1);
+            histogram[bin] += 1;
+        }
+        histogram
+    }
+
+    /// Ids of reporting cells whose best estimate is below `threshold`,
+    /// ascending (already sorted — the sweep is in id order).
+    pub fn cells_below(&self, threshold: f64) -> Vec<CellId> {
+        self.cells
+            .iter()
+            .filter(|(_, b)| b.best.0 < threshold)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+}
+
+/// The publish point: a single `Arc` swap per tick.
+#[derive(Debug)]
+pub(crate) struct SnapshotSlot {
+    current: RwLock<Arc<ServeSnapshot>>,
+}
+
+impl SnapshotSlot {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(SnapshotSlot {
+            current: RwLock::new(Arc::new(ServeSnapshot::empty())),
+        })
+    }
+
+    /// Swaps in `next` and returns the displaced snapshot so the tick
+    /// loop can reclaim its buffer once readers let go.
+    pub(crate) fn publish(&self, next: Arc<ServeSnapshot>) -> Arc<ServeSnapshot> {
+        let mut guard = self.current.write().expect("snapshot lock poisoned");
+        std::mem::replace(&mut *guard, next)
+    }
+
+    pub(crate) fn load(&self) -> Arc<ServeSnapshot> {
+        self.current.read().expect("snapshot lock poisoned").clone()
+    }
+}
+
+/// A cloneable read handle: pin the current snapshot with
+/// [`snapshot`](Self::snapshot), then query it for as long as needed
+/// without affecting the tick loop.
+#[derive(Debug, Clone)]
+pub struct SnapshotReader {
+    pub(crate) slot: Arc<SnapshotSlot>,
+}
+
+impl SnapshotReader {
+    /// The most recently published snapshot.
+    pub fn snapshot(&self) -> Arc<ServeSnapshot> {
+        self.slot.load()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pinnsoc_fleet::SocEstimate;
+
+    fn cell(id: CellId, soc: f64) -> (CellId, EstimateBreakdown) {
+        (
+            id,
+            EstimateBreakdown {
+                best: (soc, SocEstimate::Coulomb),
+                network: None,
+                network_fresh: false,
+                coulomb: soc,
+                ekf: None,
+                ekf_soc_std: None,
+            },
+        )
+    }
+
+    #[test]
+    fn build_sorts_and_aggregates_in_id_order() {
+        let snap = ServeSnapshot::build(3, 5, 2, vec![cell(9, 0.2), cell(1, 0.8), cell(4, 0.5)]);
+        let ids: Vec<u64> = snap.cells.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![1, 4, 9]);
+        let stats = snap.stats();
+        assert_eq!(stats.cells, 5);
+        assert_eq!(stats.reporting, 3);
+        assert_eq!(stats.min_soc, 0.2);
+        assert_eq!(stats.max_soc, 0.8);
+        // Canonical order: id order is 1, 4, 9 → 0.8 then 0.5 then 0.2.
+        let expected: f64 = (0.8 + 0.5 + 0.2) / 3.0;
+        assert_eq!(stats.mean_soc.to_bits(), expected.to_bits());
+        assert_eq!(snap.breakdown(4).expect("present").best.0, 0.5);
+        assert!(snap.breakdown(2).is_none());
+        assert_eq!(snap.cells_below(0.6), vec![4, 9]);
+        // 0.2 → bin 0; 0.5 and 0.8 → bin 1 (half-open buckets).
+        assert_eq!(snap.soc_histogram(2), vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_snapshot_is_well_formed() {
+        let snap = ServeSnapshot::empty();
+        assert_eq!(snap.stats().reporting, 0);
+        assert_eq!(snap.stats().mean_soc, 0.0);
+        assert!(snap.cells_below(1.0).is_empty());
+        assert_eq!(snap.soc_histogram(4), vec![0; 4]);
+    }
+
+    #[test]
+    fn publish_swaps_and_returns_previous() {
+        let slot = SnapshotSlot::new();
+        let reader = SnapshotReader {
+            slot: Arc::clone(&slot),
+        };
+        let pinned = reader.snapshot();
+        assert_eq!(pinned.tick, 0);
+        let prev = slot.publish(Arc::new(ServeSnapshot::build(1, 0, 1, Vec::new())));
+        assert_eq!(prev.tick, 0);
+        // The pinned snapshot stays valid after the swap...
+        assert_eq!(pinned.tick, 0);
+        // ...and new reads see the fresh one.
+        assert_eq!(reader.snapshot().tick, 1);
+    }
+}

@@ -1,0 +1,251 @@
+//! End-to-end serve-tier crash recovery: one engine's [`DurableFleet`]
+//! dies mid-run under router traffic, its directory is vandalized the
+//! way `pinnsoc_scenario`'s crash harness does, and after recovery the
+//! tier must finish bit-identical to an uninterrupted control — at a
+//! *different* engine/shard/worker topology, so the test pins crash
+//! safety and topology invariance in one comparison.
+//!
+//! [`DurableFleet`]: pinnsoc_durable::DurableFleet
+
+use pinnsoc_fleet::testing::untrained_model;
+use pinnsoc_fleet::{CellConfig, FleetConfig, Telemetry};
+use pinnsoc_scenario::{tear_directory, CrashPoint};
+use pinnsoc_serve::{DurabilitySpec, ServeConfig, ServeTier};
+use std::path::PathBuf;
+
+const CELLS: u64 = 48;
+const TICKS: u64 = 12;
+const KILL_TICK: u64 = 6;
+const CRASHED_ENGINE: usize = 1;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("pinnsoc-serve-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn feed(tick: u64, id: u64) -> Telemetry {
+    Telemetry {
+        time_s: tick as f64 * 10.0,
+        voltage_v: 3.5 + 0.01 * ((id % 7) as f64) + 0.001 * (tick as f64),
+        current_a: 0.8 + 0.05 * ((id % 3) as f64),
+        temperature_c: 25.0 + 0.1 * ((id % 11) as f64),
+    }
+}
+
+fn fleet_config(shards: usize, workers: usize) -> FleetConfig {
+    FleetConfig {
+        shards,
+        micro_batch: 8,
+        workers,
+        ekf_fallback: None,
+        ..FleetConfig::default()
+    }
+}
+
+fn register_all(tier: &mut ServeTier) {
+    for id in 0..CELLS {
+        assert!(tier.register(
+            id,
+            CellConfig {
+                initial_soc: 0.9,
+                capacity_ah: 3.0,
+            },
+        ));
+    }
+}
+
+/// An uninterrupted plain tier at a different topology, fed the same
+/// traffic tick-for-tick.
+fn control_bits() -> Vec<(u64, u64)> {
+    let mut control = ServeTier::new(
+        untrained_model(),
+        ServeConfig {
+            engines: 2,
+            ring_capacity: 2 * CELLS as usize,
+            fleet: fleet_config(3, 2),
+            durability: None,
+        },
+    )
+    .expect("plain tier");
+    register_all(&mut control);
+    let handle = control.handle();
+    for tick in 1..=TICKS {
+        for id in 0..CELLS {
+            assert!(handle.ingest(id, feed(tick, id)).enqueued());
+        }
+        control.tick().expect("control tick");
+    }
+    let snapshot = control.reader().snapshot();
+    assert_eq!(snapshot.cells.len() as u64, CELLS);
+    snapshot
+        .cells
+        .iter()
+        .map(|(id, b)| (*id, b.best.0.to_bits()))
+        .collect()
+}
+
+fn crash_recover_run(point: CrashPoint, tag: &str) {
+    let root = tmpdir(tag);
+    let mut tier = ServeTier::new(
+        untrained_model(),
+        ServeConfig {
+            engines: 3,
+            ring_capacity: 2 * CELLS as usize,
+            fleet: fleet_config(2, 0),
+            durability: Some(DurabilitySpec {
+                root: root.clone(),
+                snapshot_every_ticks: 3,
+            }),
+        },
+    )
+    .expect("durable tier");
+    register_all(&mut tier);
+    let handle = tier.handle();
+
+    for tick in 1..=KILL_TICK {
+        for id in 0..CELLS {
+            assert!(handle.ingest(id, feed(tick, id)).enqueued());
+        }
+        tier.tick().expect("pre-crash tick");
+    }
+
+    // The next tick's traffic is already in flight on the rings when the
+    // engine dies: the outage must not lose it.
+    for id in 0..CELLS {
+        assert!(handle.ingest(id, feed(KILL_TICK + 1, id)).enqueued());
+    }
+    let dir = tier.crash_engine(CRASHED_ENGINE);
+    assert!(tier.is_down(CRASHED_ENGINE));
+
+    // The survivors keep serving the degraded tier.
+    let report = tier.tick().expect("degraded tick");
+    assert_eq!(report.skipped_lanes, 1);
+    assert!(report.drained < CELLS as usize, "dead lane kept its frames");
+    let degraded = tier.reader().snapshot();
+    assert_eq!(degraded.live_engines, 2);
+    assert!(
+        (degraded.cells.len() as u64) < CELLS,
+        "dead engine's cells drop out of the degraded snapshot"
+    );
+
+    // Vandalize the directory exactly the way the scenario crash harness
+    // models process death at this crash point, then recover.
+    tear_directory(&dir, 0xC4A5_0FDE ^ KILL_TICK, point).expect("tear");
+    let recovery = tier.recover_engine(CRASHED_ENGINE).expect("recover");
+    assert_eq!(
+        recovery.tick, KILL_TICK,
+        "recovery lands on the last commit"
+    );
+    assert!(!tier.is_down(CRASHED_ENGINE));
+
+    // The buffered outage traffic drains on the first post-recovery tick.
+    let report = tier.tick().expect("catch-up tick");
+    assert_eq!(report.skipped_lanes, 0);
+    assert!(
+        report.drained > 0,
+        "ring-buffered frames survive the outage"
+    );
+    assert_eq!(
+        tier.reader().snapshot().cells.len() as u64,
+        CELLS,
+        "every cell reports again after recovery"
+    );
+
+    for tick in KILL_TICK + 2..=TICKS {
+        for id in 0..CELLS {
+            assert!(handle.ingest(id, feed(tick, id)).enqueued());
+        }
+        tier.tick().expect("post-recovery tick");
+    }
+
+    let snapshot = tier.reader().snapshot();
+    let crashed_bits: Vec<(u64, u64)> = snapshot
+        .cells
+        .iter()
+        .map(|(id, b)| (*id, b.best.0.to_bits()))
+        .collect();
+    assert_eq!(
+        crashed_bits,
+        control_bits(),
+        "{point:?}: crash + recovery moved a bit vs the uninterrupted control"
+    );
+    drop(tier);
+    std::fs::remove_dir_all(&root).expect("cleanup");
+}
+
+#[test]
+fn engine_crash_mid_tick_recovers_bit_identical() {
+    crash_recover_run(CrashPoint::MidTick, "midtick");
+}
+
+#[test]
+fn engine_crash_mid_snapshot_recovers_bit_identical() {
+    crash_recover_run(CrashPoint::MidSnapshot, "midsnapshot");
+}
+
+#[test]
+fn engine_crash_mid_rotation_recovers_bit_identical() {
+    crash_recover_run(CrashPoint::MidRotation, "midrotation");
+}
+
+/// During an outage the dead lane's ring fills and surfaces backpressure;
+/// accounting reconciles exactly and enqueued frames all land after
+/// recovery.
+#[test]
+fn outage_overflow_is_explicit_and_enqueued_frames_all_land() {
+    let root = tmpdir("overflow");
+    let mut tier = ServeTier::new(
+        untrained_model(),
+        ServeConfig {
+            engines: 2,
+            ring_capacity: 8,
+            fleet: fleet_config(1, 0),
+            durability: Some(DurabilitySpec {
+                root: root.clone(),
+                snapshot_every_ticks: 0,
+            }),
+        },
+    )
+    .expect("durable tier");
+    // One cell pinned to each engine so the dead lane is addressable.
+    let router = *tier.router();
+    let on_dead = (0..).find(|&id| router.route(id) == 0).expect("routable");
+    register_all(&mut tier);
+    tier.register(
+        on_dead + CELLS,
+        CellConfig {
+            initial_soc: 0.9,
+            capacity_ah: 3.0,
+        },
+    );
+
+    let handle = tier.handle();
+    handle.ingest(on_dead, feed(1, on_dead));
+    tier.tick().expect("tick");
+    let dir = tier.crash_engine(0);
+    let mut enqueued = 0u64;
+    let mut refused = 0u64;
+    for attempt in 0..20u64 {
+        if handle
+            .ingest(on_dead, feed(attempt + 2, on_dead))
+            .enqueued()
+        {
+            enqueued += 1;
+        } else {
+            refused += 1;
+        }
+    }
+    assert_eq!(enqueued, 8, "ring buffers exactly its capacity");
+    assert_eq!(refused, 12);
+    assert_eq!(tier.backpressure_total(), 12);
+
+    tear_directory(&dir, 7, CrashPoint::MidTick).expect("tear");
+    tier.recover_engine(0).expect("recover");
+    let report = tier.tick().expect("catch-up");
+    assert_eq!(report.drained, 8, "every enqueued frame lands");
+    assert_eq!(report.telemetry.accepted, 8);
+    drop(tier);
+    std::fs::remove_dir_all(&root).expect("cleanup");
+}
