@@ -30,7 +30,7 @@ use pinnsoc_adapt::{AdaptationConfig, AdaptationEngine, DriftConfig, GateConfig,
 use pinnsoc_bench::{demo_serving_model, demo_training_dataset, host_info, HostInfo};
 use pinnsoc_fleet::testing::untrained_model;
 use pinnsoc_fleet::{CellConfig, FleetConfig, FleetEngine, SocEstimate, Telemetry};
-use pinnsoc_obs::{ObsHub, SampleValue};
+use pinnsoc_obs::{FlightRecorder, ObsHub, SampleValue};
 use pinnsoc_scenario::{
     run_scenario_observed, smoke_suite, standard_suite, EngineSpec, Scenario, ScenarioRunner,
 };
@@ -96,6 +96,9 @@ struct FleetOverhead {
     /// the exporter-side view of the same ticks.
     obs_tick_p50_s: f64,
     obs_tick_p99_s: f64,
+    /// Flight-recorder spans captured while the observed engine ran
+    /// (the overhead number above includes recording them).
+    trace_spans: usize,
 }
 
 #[derive(Debug, Serialize)]
@@ -201,14 +204,32 @@ fn fleet_check(smoke: bool) -> (FleetOverhead, Arc<ObsHub>) {
     println!("fleet overhead: {fleet_size} cells, {reps} interleaved timed ticks per engine...");
     let mut base = new_engine(&model, fleet_size);
     let hub = ObsHub::new();
+    // The observed engine carries the full instrumentation load: metrics
+    // AND the flight recorder, so the overhead budget covers causal span
+    // capture too.
+    let recorder = FlightRecorder::with_default_capacity();
     let mut observed = new_engine(&model, fleet_size);
     observed.attach_obs(&hub);
+    observed.attach_tracer(&recorder, 1);
     let (base_median, obs_median) = median_ticks(&mut base, &mut observed, fleet_size, reps);
 
     assert_eq!(
         estimates(&base, fleet_size),
         estimates(&observed, fleet_size),
-        "attaching obs must leave every cell estimate bit-identical"
+        "attaching obs + flight recorder must leave every cell estimate bit-identical"
+    );
+    let trace_spans = recorder.len();
+    assert_eq!(recorder.dropped_total(), 0, "recorder ring must not wrap");
+    let spans = recorder.drain();
+    assert_eq!(
+        spans.iter().filter(|s| s.name == "engine_tick").count(),
+        reps + 1,
+        "one engine_tick span per process_pending call"
+    );
+    assert_eq!(
+        spans.iter().filter(|s| s.name == "pass").count(),
+        (reps + 1) * SHARDS,
+        "one pass span per shard per tick"
     );
 
     let overhead = (obs_median - base_median) / base_median;
@@ -253,6 +274,7 @@ fn fleet_check(smoke: bool) -> (FleetOverhead, Arc<ObsHub>) {
             overhead_pct: overhead * 100.0,
             obs_tick_p50_s: tick_hist.quantile(0.5),
             obs_tick_p99_s: tick_hist.quantile(0.99),
+            trace_spans,
         },
         hub,
     )

@@ -2,7 +2,7 @@
 //! three traffic shapes, reader non-interference, and topology
 //! bit-identity for the multi-engine deployment layer (`pinnsoc-serve`).
 //!
-//! Four checks, mirroring the tier's contract:
+//! Five checks, mirroring the tier's contract:
 //!
 //! 1. **Ingest-to-estimate latency** — producers enqueue telemetry on the
 //!    lock-free per-engine rings; each frame's latency runs from its
@@ -23,6 +23,11 @@
 //! 4. **Topology bit-identity** — identical traffic through different
 //!    engine counts, per-engine shard counts, and worker counts must
 //!    produce bit-identical snapshots.
+//! 5. **SLO alerting cycle** — the tier's burn-rate SLO engine is driven
+//!    through healthy traffic, a sustained backpressure flood, and
+//!    recovery; the delivery SLO must page during the flood and drain
+//!    back to ok, and the full transition log lands in the output's
+//!    `slo` block.
 //!
 //! Run with `cargo run --release -p pinnsoc-bench --bin serve_baseline`
 //! to regenerate `BENCH_serve.json` (router engine count and ring
@@ -32,8 +37,9 @@
 use pinnsoc_bench::{host_info, HostInfo};
 use pinnsoc_fleet::testing::untrained_model;
 use pinnsoc_fleet::{CellConfig, FleetConfig, Telemetry};
+use pinnsoc_obs::{AlertState, ObsHub, SloSpec};
 use pinnsoc_scenario::{FaultChannel, FaultModel};
-use pinnsoc_serve::{ServeConfig, ServeTier};
+use pinnsoc_serve::{ServeConfig, ServeTier, SloConfig, SloReport};
 use serde::Serialize;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -90,6 +96,10 @@ struct Baseline {
     shapes: Vec<ShapeLatency>,
     reader_contention: ReaderContention,
     topology_bit_identical: bool,
+    /// SLO engine summary from the healthy → flood → recovery session:
+    /// window configuration, worst burn rates, and every alert
+    /// transition.
+    slo: SloReport,
 }
 
 fn telemetry(step: u64, id: u64) -> Telemetry {
@@ -365,6 +375,84 @@ fn reader_contention_check(cells: usize, ring_capacity: usize, smoke: bool) -> R
     }
 }
 
+/// Drives the SLO engine through a full alerting cycle — healthy traffic,
+/// a sustained backpressure flood (several ring-loads offered per tick,
+/// so most frames are refused), then recovery — and returns the tier's
+/// end-of-run SLO summary. The delivery SLO must escalate to `page`
+/// during the flood and drain back to `ok` with slow-window hysteresis.
+fn slo_session(cells: usize, ring_capacity: usize) -> SloReport {
+    // Short windows so the cycle resolves in bench-sized tick counts.
+    let fast = 2;
+    let slow = 8;
+    println!(
+        "slo session: healthy -> backpressure flood -> recovery ({fast}/{slow}-tick windows)..."
+    );
+    let mut tier = build_tier(cells, ENGINES, ring_capacity);
+    let hub = ObsHub::new();
+    tier.attach_obs(&hub);
+    tier.attach_slo(
+        &hub,
+        SloConfig {
+            latency_threshold_s: 0.5,
+            latency: SloSpec {
+                fast_window: fast,
+                slow_window: slow,
+                ..SloSpec::latency_default()
+            },
+            delivery: SloSpec {
+                fast_window: fast,
+                slow_window: slow,
+                ..SloSpec::delivery_default()
+            },
+        },
+    );
+    let handle = tier.handle();
+    let mut step = 0u64;
+    let mut drive = |tier: &mut ServeTier, ticks: usize, bursts: u64| {
+        for _ in 0..ticks {
+            for _ in 0..bursts {
+                step += 1;
+                for id in 0..cells as u64 {
+                    handle.ingest(id, telemetry(step, id));
+                }
+            }
+            tier.tick().expect("plain tick");
+        }
+    };
+    // Enough ring-loads per tick that most offered frames are refused.
+    let flood_bursts = (2 * ring_capacity as u64 * ENGINES as u64 / cells as u64).max(2);
+    drive(&mut tier, 6, 1);
+    drive(&mut tier, 6, flood_bursts);
+    drive(&mut tier, 2 * slow, 1);
+
+    let report = tier.slo_report().expect("slo attached");
+    let delivery = report
+        .slos
+        .iter()
+        .find(|s| s.spec.name == "delivery")
+        .expect("delivery slo");
+    assert!(
+        delivery
+            .transitions
+            .iter()
+            .any(|t| t.to == AlertState::Page),
+        "the backpressure flood must page the delivery SLO"
+    );
+    assert_eq!(
+        delivery.final_state,
+        AlertState::Ok,
+        "recovery ticks must drain the delivery SLO back to ok"
+    );
+    assert!(delivery.worst_fast_burn > delivery.spec.page_burn);
+    println!(
+        "  delivery: {} transition(s), worst fast burn {:.1}, final {}",
+        delivery.transitions.len(),
+        delivery.worst_fast_burn,
+        delivery.final_state.as_str(),
+    );
+    report
+}
+
 /// Identical traffic through three tier topologies must produce
 /// bit-identical snapshots.
 fn topology_bit_identity_check() {
@@ -447,6 +535,7 @@ fn main() {
     }
     let reader_contention = reader_contention_check(cells, ring_capacity, smoke);
     topology_bit_identity_check();
+    let slo = slo_session(cells, ring_capacity);
 
     if smoke {
         println!("\nsmoke run OK (BENCH_serve.json untouched)");
@@ -459,7 +548,9 @@ fn main() {
                       steady, bursty, and fault-channel adversarial traffic across a \
                       rendezvous-routed multi-engine tier; snapshot readers timed \
                       against the tick loop (must be non-interfering); snapshots \
-                      bit-identical across engine/shard/worker topologies"
+                      bit-identical across engine/shard/worker topologies; plus the \
+                      SLO engine driven through a healthy -> backpressure-flood -> \
+                      recovery alerting cycle"
             .into(),
         host: host_info(0),
         router_engines: ENGINES,
@@ -469,6 +560,7 @@ fn main() {
         shapes,
         reader_contention,
         topology_bit_identical: true,
+        slo,
     };
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
     let json = serde_json::to_string_pretty(&baseline).expect("serializable");

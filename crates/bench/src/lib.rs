@@ -17,6 +17,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod trajectory;
+
 use pinnsoc::{eval_prediction, train, PinnVariant, SocModel, TrainConfig};
 use pinnsoc_data::SocDataset;
 use serde::{Deserialize, Serialize};

@@ -5,15 +5,15 @@ use crate::cell::{
     AbsorbOutcome, CellConfig, CellPersist, CellSnapshot, CellStore, EstimateBreakdown, SocEstimate,
 };
 use crate::id_index::IdIndex;
-use crate::obs::{EngineObs, FleetMetricIds, ShardObs};
+use crate::obs::{EngineObs, EngineTracer, FleetMetricIds, ShardObs, ShardTracer};
 use crate::pool::{Done, JobKind, TaskOutput, WorkerPool};
 use crate::registry::ModelRegistry;
 use crate::telemetry::{CellId, Telemetry};
 use pinnsoc::{BatchScratch, QuantBatchScratch, QuantizedSocModel, SocModel};
 use pinnsoc_battery::CellParams;
 use pinnsoc_nn::Matrix;
-use pinnsoc_obs::ObsHub;
-use pinnsoc_runtime::PoolObs;
+use pinnsoc_obs::{FlightRecorder, ObsHub, SpanId};
+use pinnsoc_runtime::{PoolObs, PoolTracer};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -235,6 +235,9 @@ pub(crate) struct Shard {
     /// Recording buffer when observability is attached; travels with the
     /// shard through the pool, merged by the engine at tick boundaries.
     obs: Option<ShardObs>,
+    /// Flight-recorder sink when tracing is attached; same travel/merge
+    /// discipline as `obs`.
+    tracer: Option<ShardTracer>,
 }
 
 impl Shard {
@@ -256,6 +259,7 @@ impl Shard {
             stage: StageTimes::default(),
             telemetry: TelemetryStats::default(),
             obs: None,
+            tracer: None,
         }
     }
 
@@ -283,6 +287,9 @@ impl Shard {
         self.stage = StageTimes::default();
         let absorbed = std::mem::take(&mut self.tick_absorbed);
         let mut mark = Instant::now();
+        // The tracer reuses the pass's existing stage marks — first mark
+        // is the pass start, last mark is the pass end.
+        let pass_start = mark;
         for batch in self.dirty.chunks(micro_batch) {
             // Gather: normalized features straight from the SoA telemetry
             // arrays into the batch input matrix — no per-cell struct hops.
@@ -324,6 +331,9 @@ impl Shard {
         let (stage, telemetry) = (self.stage, self.telemetry);
         if let Some(obs) = self.obs.as_mut() {
             obs.record_pass(&stage, absorbed, estimated, &telemetry, quantized.is_some());
+        }
+        if let Some(tracer) = self.tracer.as_mut() {
+            tracer.record_pass(&stage, pass_start, mark);
         }
         (absorbed, estimated)
     }
@@ -430,6 +440,8 @@ pub struct FleetEngine {
     unknown_cells: u64,
     /// Engine-thread observability state when attached.
     obs: Option<EngineObs>,
+    /// Engine-thread flight-recorder state when tracing is attached.
+    tracer: Option<EngineTracer>,
 }
 
 impl FleetEngine {
@@ -483,6 +495,7 @@ impl FleetEngine {
             stage_times: StageTimes::default(),
             unknown_cells: 0,
             obs: None,
+            tracer: None,
         }
     }
 
@@ -522,6 +535,47 @@ impl FleetEngine {
     /// The attached observability hub, if any.
     pub fn obs_hub(&self) -> Option<&Arc<ObsHub>> {
         self.obs.as_ref().map(|obs| &obs.hub)
+    }
+
+    /// Attaches the flight recorder: each tick records an `engine_tick`
+    /// span (parented under [`FleetEngine::set_trace_parent`]'s span),
+    /// each shard pass a `pass` span with `gather`/`gemm`/`scatter`
+    /// children, and each pool run a `pool_run` span — the
+    /// tick → lane → stage → worker causal tree. `pid` is the trace
+    /// process row (the serve tier passes `lane + 1`; standalone engines
+    /// can pass any value). Shard sinks record worker-side with no locks
+    /// and **no extra clock reads** (they reuse the stage marks), merged
+    /// by the engine thread at the same tick boundary as the metrics
+    /// merge. Estimates are bit-identical with and without tracing.
+    pub fn attach_tracer(&mut self, recorder: &Arc<FlightRecorder>, pid: u32) {
+        for (tid, slot) in self.shards.iter_mut().enumerate() {
+            let shard = slot.as_mut().expect(Self::SHARD_LOST);
+            shard.tracer = Some(ShardTracer {
+                sink: recorder.sink(),
+                pid,
+                tid: tid as u32,
+                parent: 0,
+            });
+        }
+        self.pool.attach_tracer(PoolTracer::new(recorder, pid));
+        self.tracer = Some(EngineTracer {
+            sink: recorder.sink(),
+            pid,
+            parent: 0,
+        });
+    }
+
+    /// Whether a flight recorder is attached.
+    pub fn tracer_attached(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Parents the next tick's `engine_tick` span under `parent` (the
+    /// serve tier's lane span). No-op without an attached tracer.
+    pub fn set_trace_parent(&mut self, parent: SpanId) {
+        if let Some(tracer) = self.tracer.as_mut() {
+            tracer.parent = parent;
+        }
     }
 
     /// The model registry, for hot swaps (shareable across threads).
@@ -682,8 +736,17 @@ impl FleetEngine {
     /// happened at [`FleetEngine::ingest`]). Returns
     /// `(reports_absorbed, cells_estimated)` fleet-wide.
     pub fn process_pending(&mut self) -> (usize, usize) {
-        // Clock read only when observability is attached.
-        let tick_start = self.obs.as_ref().map(|_| Instant::now());
+        // Clock read only when observability or a live tracer is attached.
+        let tracing = self.tracer.as_ref().is_some_and(|t| t.sink.is_on());
+        let tick_start = (self.obs.is_some() || tracing).then(Instant::now);
+        // Mint the tick span's id up front so the shard passes (which run
+        // and record before the span's duration is known) can parent
+        // under it; completed after the merge below.
+        let tick_span = match self.tracer.as_mut() {
+            Some(tracer) if tracing => tracer.sink.open(),
+            _ => 0,
+        };
+        self.pool.set_trace_parent(tick_span);
         let micro_batch = self.config.micro_batch;
         self.tick_tasks.clear();
         for (idx, slot) in self.shards.iter_mut().enumerate() {
@@ -691,8 +754,11 @@ impl FleetEngine {
             // them (sparse-telemetry ticks commonly touch a few shards out
             // of many).
             if slot.as_ref().is_some_and(|s| !s.dirty.is_empty()) {
-                self.tick_tasks
-                    .push((idx, slot.take().expect(Self::SHARD_LOST)));
+                let mut shard = slot.take().expect(Self::SHARD_LOST);
+                if let Some(tracer) = shard.tracer.as_mut() {
+                    tracer.parent = tick_span;
+                }
+                self.tick_tasks.push((idx, shard));
             }
         }
         let panicked = self.pool.run(
@@ -748,6 +814,29 @@ impl FleetEngine {
                 obs.local.add(ids.quantized_ticks, 1);
             }
             obs.hub.registry().merge(&mut obs.local);
+        }
+        // Same tick boundary for the trace merge: workers are quiescent,
+        // so every shard sink folds in uncontended, then the engine
+        // completes its own tick span.
+        if let (Some(tracer), Some(start)) = (self.tracer.as_mut(), tick_start) {
+            let recorder = Arc::clone(tracer.sink.recorder());
+            for slot in self.shards.iter_mut() {
+                let shard = slot.as_mut().expect(Self::SHARD_LOST);
+                if let Some(shard_tracer) = shard.tracer.as_mut() {
+                    recorder.merge(&mut shard_tracer.sink);
+                }
+            }
+            tracer.sink.complete(
+                tick_span,
+                "engine_tick",
+                "fleet",
+                tracer.pid,
+                0,
+                tracer.parent,
+                start,
+                Instant::now(),
+            );
+            recorder.merge(&mut tracer.sink);
         }
         // Re-raise only after every surviving shard is checked back in.
         assert!(!panicked, "shard task panicked during process_pending");

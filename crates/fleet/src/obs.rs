@@ -10,8 +10,9 @@
 //! at the tick boundary, so workers never touch a lock for metrics.
 
 use crate::engine::{StageTimes, TelemetryStats};
-use pinnsoc_obs::{LocalMetrics, MetricId, ObsHub, DURATION_BUCKETS};
+use pinnsoc_obs::{LocalMetrics, MetricId, ObsHub, SpanId, TraceSink, DURATION_BUCKETS};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Every fleet metric id, registered once per hub (idempotently) and
 /// shared across shards via `Arc`.
@@ -203,4 +204,60 @@ pub(crate) struct EngineObs {
 pub(crate) struct RegistryObs {
     pub hub: Arc<ObsHub>,
     pub version_gauge: MetricId,
+}
+
+/// One shard's flight-recorder sink: travels with the shard through the
+/// worker pool exactly like [`ShardObs`], records worker-side, merged by
+/// the engine thread at the tick boundary. The span clock is the
+/// `Instant` marks [`StageTimes`] measurement already takes — tracing a
+/// pass adds **zero** extra clock reads on the hot path.
+#[derive(Debug)]
+pub(crate) struct ShardTracer {
+    pub sink: TraceSink,
+    /// Trace process row: the engine's lane pid.
+    pub pid: u32,
+    /// Trace thread row: this shard's index, fixed at attach.
+    pub tid: u32,
+    /// Parent span of the next pass — the engine points this at its
+    /// current tick span before queueing the shard.
+    pub parent: SpanId,
+}
+
+impl ShardTracer {
+    /// Records one completed processing pass: a `pass` span over the
+    /// whole pass plus sequential `gather`/`gemm`/`scatter` child spans
+    /// synthesized from the stage durations the pass accumulated. The
+    /// stage spans are laid end-to-end from the pass start — each is the
+    /// stage's *total* across the pass's micro-batch chunks, not one
+    /// contiguous interval, which keeps the hot path free of per-chunk
+    /// recording while the trace still shows where the pass's time went.
+    pub fn record_pass(&mut self, stage: &StageTimes, start: Instant, end: Instant) {
+        if !self.sink.is_on() {
+            return;
+        }
+        let pass = self
+            .sink
+            .record("pass", "fleet", self.pid, self.tid, self.parent, start, end);
+        let mut at = start;
+        for (name, dur) in [
+            ("gather", stage.gather),
+            ("gemm", stage.gemm),
+            ("scatter", stage.scatter),
+        ] {
+            self.sink
+                .record_at(name, "fleet", self.pid, self.tid, pass, at, dur);
+            at += dur;
+        }
+    }
+}
+
+/// The engine thread's flight-recorder state: its own sink (for the
+/// per-tick `engine_tick` span) plus the lane pid shared with shards.
+#[derive(Debug)]
+pub(crate) struct EngineTracer {
+    pub sink: TraceSink,
+    pub pid: u32,
+    /// Parent for the next tick's `engine_tick` span — the serve tier
+    /// points this at its lane span each tick; 0 for a standalone engine.
+    pub parent: SpanId,
 }

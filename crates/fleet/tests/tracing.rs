@@ -1,0 +1,132 @@
+//! Flight-recorder integration: the engine's traced ticks must form a
+//! complete engine_tick → pass → stage causal tree, and tracing must
+//! never perturb estimates (bit-identity) or record anything when the
+//! recorder is disabled.
+
+use pinnsoc_battery::CellParams;
+use pinnsoc_fleet::{testing::untrained_model, CellConfig, FleetConfig, FleetEngine, Telemetry};
+use pinnsoc_obs::{FlightRecorder, TraceSpan};
+use std::collections::HashMap;
+
+const CELLS: u64 = 64;
+
+fn engine() -> FleetEngine {
+    let mut engine = FleetEngine::new(
+        untrained_model(),
+        FleetConfig {
+            shards: 4,
+            micro_batch: 8,
+            workers: 1,
+            ekf_fallback: Some(CellParams::nmc_18650()),
+            ..FleetConfig::default()
+        },
+    );
+    for id in 0..CELLS {
+        engine.register(
+            id,
+            CellConfig {
+                initial_soc: 0.9,
+                capacity_ah: 3.0,
+            },
+        );
+    }
+    engine
+}
+
+fn drive(engine: &mut FleetEngine, ticks: std::ops::RangeInclusive<u64>) {
+    for tick in ticks {
+        for id in 0..CELLS {
+            engine.ingest(
+                id,
+                Telemetry {
+                    time_s: tick as f64 * 10.0,
+                    voltage_v: 3.4 + id as f64 * 0.01,
+                    current_a: 0.5 + (tick % 3) as f64,
+                    temperature_c: 20.0 + id as f64 * 0.1,
+                },
+            );
+        }
+        engine.process_pending();
+    }
+}
+
+fn estimates(engine: &FleetEngine) -> Vec<(u64, u64)> {
+    engine
+        .ids()
+        .into_iter()
+        .map(|id| {
+            let (soc, _) = engine.estimate(id).expect("estimate");
+            (id, soc.to_bits())
+        })
+        .collect()
+}
+
+#[test]
+fn traced_ticks_form_complete_span_trees() {
+    let recorder = FlightRecorder::new(16_384);
+    let mut engine = engine();
+    engine.attach_tracer(&recorder, 1);
+    assert!(engine.tracer_attached());
+    drive(&mut engine, 1..=3);
+    let spans = recorder.drain();
+    let by_id: HashMap<u64, &TraceSpan> = spans.iter().map(|s| (s.id, s)).collect();
+    let ticks: Vec<_> = spans.iter().filter(|s| s.name == "engine_tick").collect();
+    assert_eq!(ticks.len(), 3, "one engine_tick span per process_pending");
+    let passes: Vec<_> = spans.iter().filter(|s| s.name == "pass").collect();
+    // Every cell reports every tick, so all 4 shards pass each tick.
+    assert_eq!(passes.len(), 12, "4 shard passes per tick");
+    for pass in &passes {
+        let parent = by_id.get(&pass.parent).expect("pass parent present");
+        assert_eq!(parent.name, "engine_tick");
+        assert_eq!(pass.pid, 1, "lane pid propagates to shard spans");
+        assert!(pass.tid < 4, "tid is the shard index");
+    }
+    for stage_name in ["gather", "gemm", "scatter"] {
+        let stages: Vec<_> = spans.iter().filter(|s| s.name == stage_name).collect();
+        assert_eq!(stages.len(), 12, "one {stage_name} per pass");
+        for stage in stages {
+            assert_eq!(by_id[&stage.parent].name, "pass");
+        }
+    }
+    // The pool run nests inside the tick too.
+    let pool_runs: Vec<_> = spans.iter().filter(|s| s.name == "pool_run").collect();
+    assert_eq!(pool_runs.len(), 3);
+    for run in pool_runs {
+        assert_eq!(by_id[&run.parent].name, "engine_tick");
+    }
+    // Worker attribution: every span carries a non-zero recording thread.
+    assert!(spans.iter().all(|s| s.worker != 0));
+}
+
+#[test]
+fn tracing_never_perturbs_estimates() {
+    let mut control = engine();
+    drive(&mut control, 1..=5);
+    let recorder = FlightRecorder::new(4096);
+    let mut traced = engine();
+    traced.attach_tracer(&recorder, 7);
+    drive(&mut traced, 1..=5);
+    assert_eq!(
+        estimates(&control),
+        estimates(&traced),
+        "estimates must be bit-identical with tracing attached"
+    );
+    assert!(!recorder.is_empty(), "tracing actually recorded");
+}
+
+#[test]
+fn disabled_recorder_records_nothing() {
+    let recorder = FlightRecorder::new(4096);
+    recorder.set_enabled(false);
+    let mut engine = engine();
+    engine.attach_tracer(&recorder, 1);
+    drive(&mut engine, 1..=3);
+    assert!(recorder.is_empty());
+    assert_eq!(recorder.dropped_total(), 0);
+    // Flipping it back on mid-flight starts recording at the next tick.
+    recorder.set_enabled(true);
+    drive(&mut engine, 4..=4);
+    let spans = recorder.drain();
+    assert!(spans.iter().any(|s| s.name == "engine_tick"));
+    assert!(spans.iter().any(|s| s.name == "pass"));
+}

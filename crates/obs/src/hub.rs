@@ -73,6 +73,28 @@ impl ObsHub {
     /// Point-in-time copy of all metrics plus the event ring. Safe to
     /// call from any thread at any time; never stalls the tick loop
     /// (workers record into local buffers and never hold hub locks).
+    ///
+    /// # Contention contract
+    ///
+    /// The registry is one mutex over a plain value table. Hot-path
+    /// writers ([`LocalMetrics`](crate::LocalMetrics)) take it exactly
+    /// once per tick boundary, in [`MetricsRegistry::merge`], to fold
+    /// their accumulated deltas; per-observation recording never locks.
+    /// A reader calling this method (the telemetry plane does, per
+    /// scrape) holds the same mutex only for the duration of one clone
+    /// of the value table — so the worst a scraper can do to the tick
+    /// loop is delay one merge by one clone, microseconds at the sizes
+    /// here, and the worst a merge can do to a scraper is symmetric. A
+    /// reader can never *block* a merge indefinitely, and because every
+    /// histogram's `counts`/`sum`/`count` are folded atomically under
+    /// that one lock, a snapshot can never observe a torn histogram
+    /// (bucket counts from one merge, `count` from another):
+    /// `counts.sum() == count` holds in every snapshot ever taken. The
+    /// `readers_never_observe_torn_histograms` test below and the
+    /// serve-tier test `crates/serve/tests/http_plane.rs` (live ticks
+    /// under a polling scraper) pin this contract.
+    ///
+    /// [`MetricsRegistry::merge`]: crate::MetricsRegistry::merge
     pub fn snapshot(&self) -> ObsSnapshot {
         ObsSnapshot {
             uptime_s: self.uptime_s(),
@@ -81,7 +103,10 @@ impl ObsHub {
         }
     }
 
-    /// Prometheus text exposition of the current metric values.
+    /// Prometheus text exposition of the current metric values. Same
+    /// [contention contract](Self::snapshot) as `snapshot`: one brief
+    /// clone under the registry mutex, never blocking worker merges and
+    /// never exposing torn histograms.
     pub fn prometheus(&self) -> String {
         prometheus_text(&self.registry.snapshot())
     }
@@ -131,6 +156,66 @@ mod tests {
         assert!(hub.prometheus().contains("pinnsoc_demo_total 3"));
         let dbg = format!("{hub:?}");
         assert!(dbg.contains("ObsHub"));
+    }
+
+    /// The contention contract of [`ObsHub::snapshot`]: a reader polling
+    /// while a worker merges histogram deltas can never observe a torn
+    /// histogram. Every merge folds exactly two observations summing to
+    /// 3.0 under one lock acquisition, so *any* snapshot — no matter when
+    /// it lands relative to the merges — must show an even `count`,
+    /// bucket counts summing to `count`, and `sum == 1.5 * count`.
+    #[test]
+    fn readers_never_observe_torn_histograms() {
+        let hub = ObsHub::new();
+        let h = hub
+            .registry()
+            .histogram("pinnsoc_torn_seconds", "h", &[1.0, 2.0]);
+        let mut local = hub.registry().local();
+        std::thread::scope(|scope| {
+            let writer_hub = Arc::clone(&hub);
+            scope.spawn(move || {
+                for _ in 0..2000 {
+                    local.observe(h, 0.5);
+                    local.observe(h, 2.5);
+                    writer_hub.registry().merge(&mut local);
+                }
+            });
+            for _ in 0..500 {
+                let snap = hub.snapshot();
+                let sample = snap
+                    .metrics
+                    .metrics
+                    .iter()
+                    .find(|m| m.name == "pinnsoc_torn_seconds")
+                    .expect("registered series");
+                let crate::metrics::SampleValue::Histogram(hist) = &sample.value else {
+                    panic!("histogram sample expected");
+                };
+                assert_eq!(hist.count % 2, 0, "merge folds whole pairs or nothing");
+                assert_eq!(
+                    hist.counts.iter().sum::<u64>(),
+                    hist.count,
+                    "bucket counts and count always agree"
+                );
+                assert!(
+                    (hist.sum - 1.5 * hist.count as f64).abs() < 1e-9,
+                    "sum tracks count atomically (sum {}, count {})",
+                    hist.sum,
+                    hist.count
+                );
+            }
+        });
+        let final_snap = hub.snapshot();
+        let sample = final_snap
+            .metrics
+            .metrics
+            .iter()
+            .find(|m| m.name == "pinnsoc_torn_seconds")
+            .expect("registered series");
+        let crate::metrics::SampleValue::Histogram(hist) = &sample.value else {
+            panic!("histogram sample expected");
+        };
+        assert_eq!(hist.count, 4000);
     }
 
     #[test]

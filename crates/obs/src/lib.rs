@@ -43,6 +43,15 @@
 //! - [`alloc_hook`]: an installable allocation-counter hook so crates
 //!   without a `#[global_allocator]` of their own can still report alloc
 //!   deltas when a bench bin installs a counting allocator.
+//! - [`FlightRecorder`] / [`TraceSink`]: bounded causal span tracing
+//!   (tick → engine lane → stage → worker) recorded into per-thread
+//!   buffers merged at tick boundaries, exported as Chrome trace-event
+//!   JSON for Perfetto. Zero clock reads when disabled.
+//! - [`SloTracker`]: multi-window (fast/slow) burn-rate tracking with an
+//!   ok → warning → page alert state machine.
+//! - [`TelemetryPlane`]: a std-only single-thread HTTP server exposing
+//!   `/metrics`, `/snapshot.json`, `/trace.json`, `/healthz`, and
+//!   `/readyz` — health wired through the [`HealthSource`] trait.
 //!
 //! ## Metric naming scheme
 //!
@@ -57,9 +66,12 @@ pub mod alloc_hook;
 pub mod export;
 pub mod hub;
 pub mod metrics;
+pub mod plane;
 pub mod recorder;
 pub mod ring;
+pub mod slo;
 pub mod span;
+pub mod trace;
 
 pub use export::prometheus_text;
 pub use hub::{ObsHub, ObsSnapshot};
@@ -67,9 +79,15 @@ pub use metrics::{
     HistogramSnapshot, LocalMetrics, MetricId, MetricKind, MetricSample, MetricsRegistry,
     MetricsSnapshot, SampleValue,
 };
+pub use plane::{http_get, HealthReport, HealthSource, HealthStatus, PlaneConfig, TelemetryPlane};
 pub use recorder::{NoopRecorder, Recorder};
 pub use ring::{ObsEvent, RingLog};
+pub use slo::{AlertState, SloSpec, SloStatus, SloTracker, SloTransition};
 pub use span::{span, Span, SpanTimer};
+pub use trace::{
+    chrome_trace_json, current_thread_tid, FlightRecorder, SpanId, TraceSink, TraceSpan,
+    DEFAULT_TRACE_CAPACITY,
+};
 
 /// Default histogram buckets for sub-second stage/pass durations (seconds).
 ///

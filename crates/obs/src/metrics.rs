@@ -660,6 +660,47 @@ mod tests {
         };
         assert_eq!(h.quantile(0.5), 0.0);
         assert_eq!(h.mean(), 0.0);
+        // Extreme quantiles of emptiness behave the same.
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 0.0);
+    }
+
+    #[test]
+    fn single_bucket_quantiles_interpolate_from_zero() {
+        // All mass in the one finite bucket [0, 2]: interpolation walks
+        // the bucket linearly, with q=0 pinned to the lower edge and q=1
+        // to the upper bound.
+        let h = HistogramSnapshot {
+            bounds: vec![2.0],
+            counts: vec![8, 0],
+            sum: 8.0,
+            count: 8,
+        };
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert!((h.quantile(0.5) - 1.0).abs() < 1e-12);
+        assert!((h.quantile(1.0) - 2.0).abs() < 1e-12);
+        assert!((h.mean() - 1.0).abs() < 1e-12);
+        // Out-of-range q clamps rather than extrapolating.
+        assert_eq!(h.quantile(-0.5), h.quantile(0.0));
+        assert_eq!(h.quantile(7.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn overflow_bucket_clamps_quantiles_to_largest_finite_bound() {
+        // Every observation beyond the largest finite bound: quantiles
+        // clamp to that bound (the +Inf bucket has no upper edge to
+        // interpolate toward), while the mean still reflects the true
+        // sum — the documented asymmetry of bucketed quantiles.
+        let h = HistogramSnapshot {
+            bounds: vec![1.0, 2.0],
+            counts: vec![0, 0, 10],
+            sum: 50.0,
+            count: 10,
+        };
+        assert_eq!(h.quantile(0.5), 2.0);
+        assert_eq!(h.quantile(0.99), 2.0);
+        assert_eq!(h.quantile(0.0), 2.0);
+        assert!((h.mean() - 5.0).abs() < 1e-12);
     }
 
     #[test]

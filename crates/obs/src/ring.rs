@@ -101,6 +101,50 @@ mod tests {
         assert_eq!(log.events().next().unwrap().message, "event 2");
     }
 
+    /// Property test (deterministic xorshift, no external dep): across
+    /// random capacities and push counts, the ring always retains
+    /// `min(capacity, total_pushed)` events, the retained sequence
+    /// numbers are contiguous and end at `total_pushed - 1`, and eviction
+    /// count is exactly `total_pushed - retained`.
+    #[test]
+    fn wraparound_invariants_hold_for_random_workloads() {
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            // xorshift64* — deterministic across runs and platforms.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        for case in 0..200 {
+            let capacity = (next() % 17) as usize; // 0..=16, incl. the clamp case
+            let pushes = next() % 40; // 0..=39, spanning under- and over-fill
+            let mut log = RingLog::new(capacity);
+            let capacity = log.capacity(); // after the min-1 clamp
+            for i in 0..pushes {
+                let seq = log.push(i as f64, "prop", format!("e{i}"));
+                assert_eq!(seq, i, "push returns the global sequence number");
+            }
+            let retained = log.len();
+            assert_eq!(
+                retained as u64,
+                pushes.min(capacity as u64),
+                "case {case}: retained == min(capacity, total_pushed)"
+            );
+            assert_eq!(log.total_pushed(), pushes);
+            assert_eq!(log.is_empty(), pushes == 0);
+            let seqs: Vec<u64> = log.events().map(|e| e.seq).collect();
+            if let (Some(&first), Some(&last)) = (seqs.first(), seqs.last()) {
+                assert_eq!(last, pushes - 1, "newest event is always retained");
+                assert_eq!(first, pushes - retained as u64, "oldest retained seq");
+                assert!(
+                    seqs.windows(2).all(|w| w[1] == w[0] + 1),
+                    "case {case}: retained seqs are contiguous: {seqs:?}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn zero_capacity_clamps_to_one() {
         let mut log = RingLog::new(0);

@@ -1,0 +1,549 @@
+//! The flight recorder: bounded, zero-overhead-when-off causal span
+//! tracing, exported as Chrome trace-event JSON (Perfetto-loadable).
+//!
+//! Metrics answer "how much / how often"; the flight recorder answers
+//! *"why was this tick slow"* — one serve-tier tick decomposes into a
+//! causal tree of spans (`tick` → engine `lane` → engine tick → shard
+//! pass → `stage`), each stamped with the worker thread that ran it, so
+//! a p99 outlier is visually attributable in a trace viewer.
+//!
+//! Same discipline as the metrics layer:
+//!
+//! - **Per-thread buffers, merged at tick boundaries.** Recording sites
+//!   own a [`TraceSink`] — a plain `Vec` push, no locks, no atomics
+//!   beyond one relaxed enabled-flag load — and the coordinating thread
+//!   folds every sink into the recorder's central ring when the workers
+//!   are quiescent.
+//! - **Bounded.** The central ring retains at most `capacity` spans
+//!   (oldest evicted, eviction counted in
+//!   [`FlightRecorder::dropped_total`]); each sink refuses to grow past
+//!   the same bound between merges. A recorder can run attached forever
+//!   without growing.
+//! - **Zero overhead when off.** Detached code paths hold no sink
+//!   (`Option` gating, exactly like [`crate::LocalMetrics`]); an attached
+//!   but [disabled](FlightRecorder::set_enabled) recorder costs one
+//!   relaxed atomic load per would-be span and never reads the clock.
+//!
+//! Span ids are globally unique (`sink id << 32 | local seq`) and carry
+//! an explicit `parent` id, so causality survives the flat Chrome JSON
+//! encoding: viewers nest by timestamp containment per `pid`/`tid` row,
+//! and the `args.id`/`args.parent` fields keep the exact tree for
+//! programmatic consumers (the acceptance tests walk it).
+
+use serde::Serialize;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Identifier of one recorded span; `0` means "no parent" (a root span).
+pub type SpanId = u64;
+
+/// One completed span, timestamped in microseconds since the recorder's
+/// epoch (construction time).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct TraceSpan {
+    /// Globally unique span id (never 0).
+    pub id: SpanId,
+    /// Parent span id, or 0 for a root span.
+    pub parent: SpanId,
+    /// Span name, e.g. `tick`, `lane`, `gemm`.
+    pub name: &'static str,
+    /// Category, e.g. `serve`, `fleet` — the Chrome `cat` field.
+    pub cat: &'static str,
+    /// Process row in the trace viewer: 0 = the tier, `i + 1` = engine
+    /// lane `i` (named via metadata events in the export).
+    pub pid: u32,
+    /// Thread row within the process: shard index for shard-level spans,
+    /// 0 for coordinator spans.
+    pub tid: u32,
+    /// The OS thread that recorded the span (dense ids minted per thread
+    /// by [`current_thread_tid`]) — the "which worker ran this" level of
+    /// the tick → lane → stage → worker hierarchy.
+    pub worker: u32,
+    /// Start, µs since the recorder epoch.
+    pub ts_us: u64,
+    /// Duration, µs (0 for instant-like spans).
+    pub dur_us: u64,
+}
+
+/// Central state behind the recorder mutex — only touched at merge /
+/// drain boundaries, never on recording hot paths.
+#[derive(Debug)]
+struct Central {
+    spans: VecDeque<TraceSpan>,
+    dropped: u64,
+    next_sink: u32,
+}
+
+/// The shared flight recorder: hands out [`TraceSink`]s, owns the bounded
+/// central span ring, and renders Chrome trace JSON.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    epoch: Instant,
+    capacity: usize,
+    enabled: AtomicBool,
+    central: Mutex<Central>,
+}
+
+/// Default central-ring capacity: a few hundred serve-tier ticks' worth
+/// of spans at typical shard counts.
+pub const DEFAULT_TRACE_CAPACITY: usize = 16_384;
+
+impl FlightRecorder {
+    /// Creates an enabled recorder retaining at most `capacity` spans
+    /// (min 16).
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(Self {
+            epoch: Instant::now(),
+            capacity: capacity.max(16),
+            enabled: AtomicBool::new(true),
+            central: Mutex::new(Central {
+                spans: VecDeque::new(),
+                dropped: 0,
+                next_sink: 0,
+            }),
+        })
+    }
+
+    /// Creates a recorder with [`DEFAULT_TRACE_CAPACITY`].
+    pub fn with_default_capacity() -> Arc<Self> {
+        Self::new(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Whether sinks currently record (one relaxed load per span site).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off for every sink at once. Disabled sinks
+    /// never read the clock.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Maximum spans the central ring retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Mints a new per-thread recording sink bound to this recorder.
+    pub fn sink(self: &Arc<Self>) -> TraceSink {
+        let sink_id = {
+            let mut central = self.central.lock().expect("flight recorder poisoned");
+            let id = central.next_sink;
+            central.next_sink += 1;
+            id
+        };
+        TraceSink {
+            recorder: Arc::clone(self),
+            sink_id,
+            next_seq: 0,
+            dropped: 0,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Folds a sink's buffered spans into the central ring (evicting the
+    /// oldest past capacity) and clears the sink. Call at tick
+    /// boundaries, from the thread that owns the sink's quiescence.
+    pub fn merge(&self, sink: &mut TraceSink) {
+        if sink.buf.is_empty() && sink.dropped == 0 {
+            return;
+        }
+        let mut central = self.central.lock().expect("flight recorder poisoned");
+        central.dropped += sink.dropped;
+        sink.dropped = 0;
+        for span in sink.buf.drain(..) {
+            if central.spans.len() == self.capacity {
+                central.spans.pop_front();
+                central.dropped += 1;
+            }
+            central.spans.push_back(span);
+        }
+    }
+
+    /// Takes every retained span out of the ring, oldest first — the
+    /// `/trace.json` drain semantics (each export window is disjoint).
+    pub fn drain(&self) -> Vec<TraceSpan> {
+        let mut central = self.central.lock().expect("flight recorder poisoned");
+        central.spans.drain(..).collect()
+    }
+
+    /// Copies the retained spans without draining them.
+    pub fn spans(&self) -> Vec<TraceSpan> {
+        let central = self.central.lock().expect("flight recorder poisoned");
+        central.spans.iter().cloned().collect()
+    }
+
+    /// Spans currently retained.
+    pub fn len(&self) -> usize {
+        self.central
+            .lock()
+            .expect("flight recorder poisoned")
+            .spans
+            .len()
+    }
+
+    /// True when the ring holds no spans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Spans evicted (ring overflow) or refused (sink overflow) since
+    /// construction — bounded memory is visible, never silent.
+    pub fn dropped_total(&self) -> u64 {
+        self.central
+            .lock()
+            .expect("flight recorder poisoned")
+            .dropped
+    }
+
+    /// Microseconds from the recorder epoch to `at` (0 if `at` predates
+    /// the epoch).
+    pub fn ts_us(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.epoch).as_micros() as u64
+    }
+
+    /// Drains the ring and renders it as Chrome trace-event JSON — load
+    /// the string in Perfetto (`ui.perfetto.dev`) or `chrome://tracing`.
+    pub fn drain_chrome_json(&self, process_names: &[(u32, String)]) -> String {
+        chrome_trace_json(&self.drain(), process_names)
+    }
+}
+
+/// A per-thread span buffer: plain `Vec` pushes between merges, bounded
+/// at the recorder's capacity. Owned by exactly one recording site (a
+/// shard, an engine, the tier coordinator) at a time.
+#[derive(Debug)]
+pub struct TraceSink {
+    recorder: Arc<FlightRecorder>,
+    sink_id: u32,
+    next_seq: u64,
+    dropped: u64,
+    buf: Vec<TraceSpan>,
+}
+
+impl TraceSink {
+    /// Whether spans currently land anywhere. Check before reading the
+    /// clock for a span that only exists for tracing.
+    #[inline]
+    pub fn is_on(&self) -> bool {
+        self.recorder.is_enabled()
+    }
+
+    /// The recorder this sink merges into.
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// Allocates the next globally unique span id.
+    #[inline]
+    fn next_id(&mut self) -> SpanId {
+        self.next_seq += 1;
+        ((self.sink_id as u64 + 1) << 32) | (self.next_seq & 0xFFFF_FFFF)
+    }
+
+    /// Records a completed span from explicit start/end instants.
+    /// Returns the span's id (for parenting children), or 0 when the
+    /// recorder is disabled.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &mut self,
+        name: &'static str,
+        cat: &'static str,
+        pid: u32,
+        tid: u32,
+        parent: SpanId,
+        start: Instant,
+        end: Instant,
+    ) -> SpanId {
+        self.record_at(
+            name,
+            cat,
+            pid,
+            tid,
+            parent,
+            start,
+            end.saturating_duration_since(start),
+        )
+    }
+
+    /// Records a completed span from a start instant and a duration —
+    /// the shape for spans synthesized from durations the hot path
+    /// already measured (e.g. accumulated stage times). Returns the span
+    /// id, or 0 when disabled.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_at(
+        &mut self,
+        name: &'static str,
+        cat: &'static str,
+        pid: u32,
+        tid: u32,
+        parent: SpanId,
+        start: Instant,
+        dur: Duration,
+    ) -> SpanId {
+        if !self.is_on() {
+            return 0;
+        }
+        if self.buf.len() >= self.recorder.capacity {
+            self.dropped += 1;
+            return 0;
+        }
+        let id = self.next_id();
+        let ts_us = self.recorder.ts_us(start);
+        self.buf.push(TraceSpan {
+            id,
+            parent,
+            name,
+            cat,
+            pid,
+            tid,
+            worker: current_thread_tid(),
+            ts_us,
+            dur_us: dur.as_micros() as u64,
+        });
+        id
+    }
+
+    /// Buffered spans awaiting merge.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Mints a span id *without* recording anything — for parent spans
+    /// whose duration is only known later but whose id children need
+    /// now (the engine-tick span parents shard passes that run before
+    /// it completes). Pair with [`Self::complete`]. Returns 0 when the
+    /// recorder is disabled.
+    #[inline]
+    pub fn open(&mut self) -> SpanId {
+        if self.is_on() {
+            self.next_id()
+        } else {
+            0
+        }
+    }
+
+    /// Records a span under an id pre-minted by [`Self::open`]. A zero
+    /// id (from a disabled `open`) records nothing, so the call site
+    /// needs no separate enabled check.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete(
+        &mut self,
+        id: SpanId,
+        name: &'static str,
+        cat: &'static str,
+        pid: u32,
+        tid: u32,
+        parent: SpanId,
+        start: Instant,
+        end: Instant,
+    ) {
+        if id == 0 {
+            return;
+        }
+        if self.buf.len() >= self.recorder.capacity {
+            self.dropped += 1;
+            return;
+        }
+        let ts_us = self.recorder.ts_us(start);
+        self.buf.push(TraceSpan {
+            id,
+            parent,
+            name,
+            cat,
+            pid,
+            tid,
+            worker: current_thread_tid(),
+            ts_us,
+            dur_us: end.saturating_duration_since(start).as_micros() as u64,
+        });
+    }
+}
+
+static NEXT_THREAD_TID: AtomicU32 = AtomicU32::new(1);
+
+thread_local! {
+    static THREAD_TID: u32 = NEXT_THREAD_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small dense id for the calling OS thread, minted on first use —
+/// stable for the thread's lifetime, never 0. This is how spans say
+/// *which worker* executed a stage without touching unstable
+/// `ThreadId` internals.
+pub fn current_thread_tid() -> u32 {
+    THREAD_TID.with(|tid| *tid)
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders spans as Chrome trace-event JSON (the `traceEvents` object
+/// form): one complete (`"ph":"X"`) event per span with the causal ids
+/// under `args`, plus `process_name` metadata events so trace viewers
+/// label the `pid` rows (e.g. `(0, "serve-tier")`, `(1, "engine-0")`).
+pub fn chrome_trace_json(spans: &[TraceSpan], process_names: &[(u32, String)]) -> String {
+    let mut out = String::with_capacity(64 + spans.len() * 160);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for (pid, name) in process_names {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\""
+        ));
+        escape_json(name, &mut out);
+        out.push_str("\"}}");
+    }
+    for span in spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"name\":\"");
+        escape_json(span.name, &mut out);
+        out.push_str("\",\"cat\":\"");
+        escape_json(span.cat, &mut out);
+        out.push_str(&format!(
+            "\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\
+             \"args\":{{\"id\":{},\"parent\":{},\"worker\":{}}}}}",
+            span.ts_us, span.dur_us, span.pid, span.tid, span.id, span.parent, span.worker
+        ));
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_pair(recorder: &Arc<FlightRecorder>) -> TraceSink {
+        let mut sink = recorder.sink();
+        let t0 = Instant::now();
+        let parent = sink.record_at("tick", "serve", 0, 0, 0, t0, Duration::from_micros(100));
+        assert_ne!(parent, 0);
+        let child = sink.record_at("gemm", "fleet", 1, 2, parent, t0, Duration::from_micros(40));
+        assert_ne!(child, 0);
+        assert_ne!(parent, child);
+        sink
+    }
+
+    #[test]
+    fn record_merge_drain_roundtrip() {
+        let recorder = FlightRecorder::new(64);
+        let mut sink = span_pair(&recorder);
+        assert_eq!(sink.pending(), 2);
+        recorder.merge(&mut sink);
+        assert_eq!(sink.pending(), 0);
+        let spans = recorder.drain();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "tick");
+        assert_eq!(spans[1].parent, spans[0].id);
+        assert!(recorder.is_empty(), "drain must empty the ring");
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing_and_returns_zero_ids() {
+        let recorder = FlightRecorder::new(64);
+        recorder.set_enabled(false);
+        let mut sink = recorder.sink();
+        let id = sink.record_at("x", "t", 0, 0, 0, Instant::now(), Duration::ZERO);
+        assert_eq!(id, 0);
+        assert_eq!(sink.pending(), 0);
+        recorder.merge(&mut sink);
+        assert!(recorder.is_empty());
+    }
+
+    #[test]
+    fn central_ring_is_bounded_and_counts_evictions() {
+        let recorder = FlightRecorder::new(16);
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            let mut sink = recorder.sink();
+            for _ in 0..10 {
+                sink.record_at("s", "t", 0, 0, 0, t0, Duration::ZERO);
+            }
+            recorder.merge(&mut sink);
+        }
+        assert_eq!(recorder.len(), 16);
+        assert_eq!(recorder.dropped_total(), 14);
+    }
+
+    #[test]
+    fn sink_buffer_is_bounded_between_merges() {
+        let recorder = FlightRecorder::new(16);
+        let mut sink = recorder.sink();
+        let t0 = Instant::now();
+        for _ in 0..40 {
+            sink.record_at("s", "t", 0, 0, 0, t0, Duration::ZERO);
+        }
+        assert_eq!(sink.pending(), 16);
+        recorder.merge(&mut sink);
+        assert_eq!(recorder.len(), 16);
+        assert_eq!(recorder.dropped_total(), 24);
+    }
+
+    #[test]
+    fn span_ids_are_unique_across_sinks() {
+        let recorder = FlightRecorder::new(64);
+        let t0 = Instant::now();
+        let mut a = recorder.sink();
+        let mut b = recorder.sink();
+        let ia = a.record_at("a", "t", 0, 0, 0, t0, Duration::ZERO);
+        let ib = b.record_at("b", "t", 0, 0, 0, t0, Duration::ZERO);
+        assert_ne!(ia, ib);
+        recorder.merge(&mut a);
+        recorder.merge(&mut b);
+        let spans = recorder.spans();
+        assert_eq!(spans.len(), 2);
+        assert_ne!(spans[0].id, spans[1].id);
+    }
+
+    #[test]
+    fn chrome_json_is_valid_and_carries_causality() {
+        let recorder = FlightRecorder::new(64);
+        let mut sink = span_pair(&recorder);
+        recorder.merge(&mut sink);
+        let json = recorder.drain_chrome_json(&[(0, "serve-tier".into()), (1, "engine-0".into())]);
+        let value: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = value["traceEvents"].as_array().expect("traceEvents array");
+        // 2 metadata + 2 spans.
+        assert_eq!(events.len(), 4);
+        let meta: Vec<_> = events.iter().filter(|e| e["ph"] == "M").collect();
+        assert_eq!(meta.len(), 2);
+        assert_eq!(meta[0]["args"]["name"], "serve-tier");
+        let spans: Vec<_> = events.iter().filter(|e| e["ph"] == "X").collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1]["args"]["parent"], spans[0]["args"]["id"]);
+        assert!(spans[0]["dur"].as_u64().expect("dur") >= spans[1]["dur"].as_u64().expect("dur"));
+    }
+
+    #[test]
+    fn thread_tids_are_stable_and_distinct() {
+        let here = current_thread_tid();
+        assert_eq!(here, current_thread_tid());
+        let there = std::thread::spawn(current_thread_tid)
+            .join()
+            .expect("thread");
+        assert_ne!(here, there);
+        assert_ne!(there, 0);
+    }
+}

@@ -31,5 +31,5 @@
 pub mod obs;
 pub mod pool;
 
-pub use obs::PoolObs;
+pub use obs::{PoolObs, PoolTracer};
 pub use pool::{Done, NoContext, PinSource, PoolTask, WorkerPool};

@@ -9,8 +9,13 @@
 //! Workers never touch the registry. With no [`PoolObs`] attached, the
 //! per-pop cost is a single `bool` test.
 
-use pinnsoc_obs::{LocalMetrics, MetricId, ObsHub, COUNT_BUCKETS, DURATION_BUCKETS};
+use pinnsoc_obs::{
+    FlightRecorder, LocalMetrics, MetricId, ObsHub, TraceSink, COUNT_BUCKETS, DURATION_BUCKETS,
+};
 use std::sync::Arc;
+use std::time::Instant;
+
+pub use pinnsoc_obs::SpanId;
 
 /// Observability attachment for one [`WorkerPool`](crate::WorkerPool),
 /// labeling every series with the pool's name (`pool="fleet"`,
@@ -102,5 +107,53 @@ impl PoolObs {
     /// The pool label on every series.
     pub fn name(&self) -> &str {
         &self.name
+    }
+}
+
+/// Flight-recorder attachment for one pool: records one `pool_run` span
+/// per run (submit → quiescence, on the calling thread) so a trace shows
+/// exactly where tick time goes to pool orchestration vs task bodies.
+///
+/// The caller owning the pool parents each run under its current span via
+/// [`PoolTracer::set_parent`] (the fleet engine points it at its tick
+/// span). The sink is merged into the recorder once per run, by the
+/// calling thread, after quiescence — workers never touch it.
+#[derive(Debug)]
+pub struct PoolTracer {
+    pub(crate) sink: TraceSink,
+    /// Trace process row (0 = a standalone pool; engines pass their lane
+    /// pid so pool spans nest inside the lane).
+    pub(crate) pid: u32,
+    pub(crate) parent: SpanId,
+}
+
+impl PoolTracer {
+    /// Creates a tracer recording into `recorder` under process row
+    /// `pid`.
+    pub fn new(recorder: &Arc<FlightRecorder>, pid: u32) -> Self {
+        Self {
+            sink: recorder.sink(),
+            pid,
+            parent: 0,
+        }
+    }
+
+    /// Sets the parent span for subsequent runs' `pool_run` spans.
+    pub fn set_parent(&mut self, parent: SpanId) {
+        self.parent = parent;
+    }
+
+    /// Whether the recorder currently accepts spans.
+    pub(crate) fn is_on(&self) -> bool {
+        self.sink.is_on()
+    }
+
+    /// Records one run's span and folds the sink into the recorder (the
+    /// run is quiescent; one recorder lock per run, caller-held only).
+    pub(crate) fn record_run(&mut self, start: Instant, end: Instant) {
+        self.sink
+            .record("pool_run", "runtime", self.pid, 0, self.parent, start, end);
+        let recorder = Arc::clone(self.sink.recorder());
+        recorder.merge(&mut self.sink);
     }
 }

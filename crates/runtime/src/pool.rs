@@ -18,7 +18,7 @@
 //! pool machinery: the queue and result buffers are caller-owned vectors
 //! whose capacity is reused across runs.
 
-use crate::obs::PoolObs;
+use crate::obs::{PoolObs, PoolTracer};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -127,6 +127,8 @@ pub struct WorkerPool<S: PinSource, T: PoolTask<Ctx = S::Ctx>> {
     handles: Vec<JoinHandle<()>>,
     /// Observability attachment; `None` costs one `bool` test per pop.
     obs: Option<PoolObs>,
+    /// Flight-recorder attachment; one `pool_run` span per run when live.
+    tracer: Option<PoolTracer>,
 }
 
 impl<S: PinSource, T: PoolTask<Ctx = S::Ctx>> WorkerPool<S, T> {
@@ -162,6 +164,7 @@ impl<S: PinSource, T: PoolTask<Ctx = S::Ctx>> WorkerPool<S, T> {
             shared,
             handles,
             obs: None,
+            tracer: None,
         }
     }
 
@@ -175,6 +178,21 @@ impl<S: PinSource, T: PoolTask<Ctx = S::Ctx>> WorkerPool<S, T> {
     /// Detaches observability, returning the attachment if one was set.
     pub fn detach_obs(&mut self) -> Option<PoolObs> {
         self.obs.take()
+    }
+
+    /// Attaches a flight-recorder tracer: each run records one
+    /// `pool_run` span (submit → quiescence). Replaces any previous
+    /// attachment.
+    pub fn attach_tracer(&mut self, tracer: PoolTracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Sets the parent span id for subsequent runs' `pool_run` spans
+    /// (no-op without an attached tracer).
+    pub fn set_trace_parent(&mut self, parent: crate::obs::SpanId) {
+        if let Some(tracer) = self.tracer.as_mut() {
+            tracer.set_parent(parent);
+        }
     }
 
     /// Number of persistent worker threads (excluding the calling thread).
@@ -214,8 +232,10 @@ impl<S: PinSource, T: PoolTask<Ctx = S::Ctx>> WorkerPool<S, T> {
         if tasks.is_empty() {
             return false;
         }
-        // The clock is read only when observability is attached.
-        let run_start = self.obs.as_ref().map(|_| Instant::now());
+        // The clock is read only when observability or a live tracer is
+        // attached.
+        let tracing = self.tracer.as_ref().is_some_and(PoolTracer::is_on);
+        let run_start = (self.obs.is_some() || tracing).then(Instant::now);
         let depth = tasks.len();
         let mut st = self
             .shared
@@ -275,6 +295,11 @@ impl<S: PinSource, T: PoolTask<Ctx = S::Ctx>> WorkerPool<S, T> {
             if panicked {
                 obs.hub
                     .emit("runtime", format!("task panicked in pool '{}'", obs.name));
+            }
+        }
+        if let (Some(tracer), Some(start)) = (self.tracer.as_mut(), run_start) {
+            if tracing {
+                tracer.record_run(start, Instant::now());
             }
         }
         panicked

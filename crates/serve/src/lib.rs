@@ -68,11 +68,13 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod health;
 pub mod ring;
 pub mod router;
 pub mod snapshot;
 pub mod tier;
 
+pub use health::{HealthBoard, LaneHealth, SloConfig, SloReport, SloSummary};
 pub use ring::IngestRing;
 pub use router::EngineRouter;
 pub use snapshot::{ServeSnapshot, SnapshotReader};

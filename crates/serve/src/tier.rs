@@ -21,6 +21,7 @@
 //! non-finite fields, time-reversed stamps, unknown cells — lands in the
 //! per-tick [`TickReport::telemetry`] delta.
 
+use crate::health::{HealthBoard, LaneHealth, ServeSlo, SloConfig, SloReport, SloSummary};
 use crate::ring::IngestRing;
 use crate::router::EngineRouter;
 use crate::snapshot::{ServeSnapshot, SnapshotReader, SnapshotSlot};
@@ -29,7 +30,7 @@ use pinnsoc_durable::{record_recovery, recover, DurableConfig, DurableFleet, Rec
 use pinnsoc_fleet::{
     CellConfig, CellId, EstimateBreakdown, FleetConfig, FleetEngine, Telemetry, TelemetryStats,
 };
-use pinnsoc_obs::{MetricId, ObsHub};
+use pinnsoc_obs::{FlightRecorder, MetricId, ObsHub, TraceSink};
 use std::io;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -233,6 +234,16 @@ impl ServeObs {
     }
 }
 
+/// The tier's flight-recorder attachment: its own sink for the root
+/// `tick` span (pid 0), lane spans (one per engine, pid `i + 1`), and the
+/// `publish` span, plus the recorder handle so
+/// [`ServeTier::recover_engine`] can re-attach a recovered engine's
+/// tracer.
+struct TierTracer {
+    recorder: Arc<FlightRecorder>,
+    sink: TraceSink,
+}
+
 /// One engine's seat in the tier.
 struct Lane {
     backend: Backend,
@@ -273,6 +284,9 @@ pub struct ServeTier {
     tick: u64,
     config: ServeConfig,
     obs: Option<ServeObs>,
+    tracer: Option<TierTracer>,
+    slo: Option<ServeSlo>,
+    health: Option<Arc<HealthBoard>>,
     /// Scratch for enqueue timestamps drained this tick.
     drained_at: Vec<Instant>,
 }
@@ -320,6 +334,9 @@ impl ServeTier {
             tick: 0,
             config,
             obs: None,
+            tracer: None,
+            slo: None,
+            health: None,
             drained_at: Vec::new(),
         })
     }
@@ -335,6 +352,82 @@ impl ServeTier {
             }
         }
         self.obs = Some(ServeObs::new(hub));
+    }
+
+    /// Attaches a flight recorder: each [tick](Self::tick) records a root
+    /// `tick` span (trace process 0) with one `lane` span per live engine
+    /// (process `i + 1`), the engines' own `engine_tick` → `pass` → stage
+    /// trees nested inside their lane, and a `publish` span for the
+    /// snapshot sweep. A lane recovered by [`Self::recover_engine`]
+    /// re-attaches automatically.
+    pub fn attach_tracer(&mut self, recorder: &Arc<FlightRecorder>) {
+        for (idx, lane) in self.lanes.iter_mut().enumerate() {
+            let pid = idx as u32 + 1;
+            match &mut lane.backend {
+                Backend::Plain(engine) => engine.attach_tracer(recorder, pid),
+                Backend::Durable(fleet) => fleet.engine_mut().attach_tracer(recorder, pid),
+                Backend::Down => {}
+            }
+        }
+        self.tracer = Some(TierTracer {
+            recorder: Arc::clone(recorder),
+            sink: recorder.sink(),
+        });
+    }
+
+    /// Whether a flight recorder is attached.
+    pub fn tracer_attached(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Trace process names for
+    /// [`FlightRecorder::drain_chrome_json`]: the tier plus one row per
+    /// engine lane.
+    pub fn trace_process_names(&self) -> Vec<(u32, String)> {
+        let mut names = vec![(0, "serve-tier".to_string())];
+        names.extend((0..self.lanes.len()).map(|i| (i as u32 + 1, format!("engine-{i:03}"))));
+        names
+    }
+
+    /// Attaches the SLO engine: a latency tracker (ingest-to-estimate
+    /// latency over [`SloConfig::latency_threshold_s`] is bad) and a
+    /// delivery tracker (ring backpressure and non-finite/time-reversed
+    /// rejects are bad), fed once per [tick](Self::tick). Alert state is
+    /// exported as `pinnsoc_serve_slo_*` gauges, transitions land in the
+    /// hub's ring log, and the [health board](Self::health_board) carries
+    /// the current status into `/healthz` detail.
+    pub fn attach_slo(&mut self, hub: &Arc<ObsHub>, config: SloConfig) {
+        self.slo = Some(ServeSlo::new(hub, config, self.backpressure_total()));
+    }
+
+    /// End-of-run SLO summary for bench output (`None` until
+    /// [`Self::attach_slo`]).
+    pub fn slo_report(&self) -> Option<SloReport> {
+        self.slo.as_ref().map(|slo| SloReport {
+            latency_threshold_s: slo.config.latency_threshold_s,
+            slos: vec![SloSummary::of(&slo.latency), SloSummary::of(&slo.delivery)],
+        })
+    }
+
+    /// The tier's live-health scoreboard, created on first call — hand it
+    /// to [`pinnsoc_obs::PlaneConfig`] as the [`HealthSource`] behind
+    /// `/healthz` and `/readyz`. Updated at every tick boundary and
+    /// immediately on [crash](Self::crash_engine) /
+    /// [recover](Self::recover_engine); a down-but-buffering lane degrades
+    /// health without failing readiness.
+    ///
+    /// [`HealthSource`]: pinnsoc_obs::HealthSource
+    pub fn health_board(&mut self) -> Arc<HealthBoard> {
+        if self.health.is_none() {
+            let board = HealthBoard::new(self.lanes.len());
+            for (idx, lane) in self.lanes.iter().enumerate() {
+                if matches!(lane.backend, Backend::Down) {
+                    board.set_lane_up(idx, false);
+                }
+            }
+            self.health = Some(board);
+        }
+        Arc::clone(self.health.as_ref().expect("just created"))
     }
 
     /// A cloneable producer handle (safe to hand to other threads).
@@ -445,20 +538,37 @@ impl ServeTier {
     pub fn tick(&mut self) -> io::Result<TickReport> {
         self.tick += 1;
         let before = self.cumulative_stats();
+        // One flag decides every trace cost this tick: with no recorder
+        // (or a disabled one) the tick takes zero extra clock reads.
+        let tracing = self.tracer.as_ref().is_some_and(|t| t.sink.is_on());
+        let tick_start = tracing.then(Instant::now);
+        // The root span id is minted up front so lane and engine spans —
+        // recorded before the tick's duration is known — can parent under
+        // it; the span itself is completed at the end of the tick.
+        let tick_span = match self.tracer.as_mut() {
+            Some(tracer) if tracing => tracer.sink.open(),
+            _ => 0,
+        };
         let mut drained_at = std::mem::take(&mut self.drained_at);
         drained_at.clear();
         let mut drained = 0usize;
         let mut integrated = 0usize;
         let mut estimated = 0usize;
         let mut skipped_lanes = 0usize;
-        for lane in &mut self.lanes {
+        for (idx, lane) in self.lanes.iter_mut().enumerate() {
             // The drain bound: at most one ring's worth per lane per tick,
             // so concurrent producers can never pin the tick loop in the
             // drain.
             let bound = lane.ring.capacity();
+            let lane_start = tracing.then(Instant::now);
+            let lane_span = match self.tracer.as_mut() {
+                Some(tracer) if tracing => tracer.sink.open(),
+                _ => 0,
+            };
             match &mut lane.backend {
                 Backend::Down => skipped_lanes += 1,
                 Backend::Plain(engine) => {
+                    engine.set_trace_parent(lane_span);
                     for _ in 0..bound {
                         let Some(frame) = lane.ring.pop() else { break };
                         engine.ingest(frame.id, frame.telemetry);
@@ -470,6 +580,7 @@ impl ServeTier {
                     estimated += e;
                 }
                 Backend::Durable(fleet) => {
+                    fleet.engine_mut().set_trace_parent(lane_span);
                     for _ in 0..bound {
                         let Some(frame) = lane.ring.pop() else { break };
                         fleet.ingest(frame.id, frame.telemetry);
@@ -481,10 +592,23 @@ impl ServeTier {
                     estimated += e;
                 }
             }
+            if let (Some(tracer), Some(start)) = (self.tracer.as_mut(), lane_start) {
+                tracer.sink.complete(
+                    lane_span,
+                    "lane",
+                    "serve",
+                    idx as u32 + 1,
+                    0,
+                    tick_span,
+                    start,
+                    Instant::now(),
+                );
+            }
         }
 
         // Snapshot sweep: every live engine's reporting cells, then one
         // id sort for the canonical order (see `snapshot` module docs).
+        let publish_start = tracing.then(Instant::now);
         let mut cells = self
             .spare
             .take()
@@ -515,6 +639,11 @@ impl ServeTier {
         }
 
         let published = Instant::now();
+        if let (Some(tracer), Some(start)) = (self.tracer.as_mut(), publish_start) {
+            let _ = tracer
+                .sink
+                .record("publish", "serve", 0, 0, tick_span, start, published);
+        }
         let latencies_s = drained_at
             .iter()
             .map(|enqueued| published.duration_since(*enqueued).as_secs_f64())
@@ -534,6 +663,52 @@ impl ServeTier {
         };
         if let Some(obs) = &mut self.obs {
             obs.record(&report);
+        }
+        if let Some(slo) = self.slo.as_mut() {
+            let threshold = slo.config.latency_threshold_s;
+            let bad_latency = report
+                .latencies_s
+                .iter()
+                .filter(|&&latency| latency > threshold)
+                .count() as u64;
+            let good_latency = report.latencies_s.len() as u64 - bad_latency;
+            let backpressure = report.backpressure_total - slo.last_backpressure;
+            slo.last_backpressure = report.backpressure_total;
+            let rejected =
+                report.telemetry.rejected_non_finite + report.telemetry.rejected_time_reversed;
+            let delivered = report.telemetry.accepted + report.telemetry.duplicate_timestamp;
+            slo.observe(
+                report.tick,
+                [
+                    (good_latency, bad_latency),
+                    (delivered, backpressure + rejected),
+                ],
+            );
+        }
+        if let (Some(tracer), Some(start)) = (self.tracer.as_mut(), tick_start) {
+            tracer
+                .sink
+                .complete(tick_span, "tick", "serve", 0, 0, 0, start, Instant::now());
+            let recorder = Arc::clone(&tracer.recorder);
+            recorder.merge(&mut tracer.sink);
+        }
+        if let Some(board) = &self.health {
+            let lanes = self
+                .lanes
+                .iter()
+                .enumerate()
+                .map(|(idx, lane)| LaneHealth {
+                    engine: idx,
+                    up: !matches!(lane.backend, Backend::Down),
+                    buffered: lane.ring.len(),
+                })
+                .collect();
+            let slos = self
+                .slo
+                .as_ref()
+                .map(ServeSlo::statuses)
+                .unwrap_or_default();
+            board.update(report.tick, lanes, slos);
         }
         Ok(report)
     }
@@ -563,6 +738,9 @@ impl ServeTier {
             Backend::Plain(_) => panic!("lane {engine} is not durable"),
             Backend::Down => panic!("lane {engine} is already down"),
         }
+        if let Some(board) = &self.health {
+            board.set_lane_up(engine, false);
+        }
         config.dir
     }
 
@@ -591,7 +769,15 @@ impl ServeTier {
             fleet.attach_obs(&obs.hub);
             record_recovery(&obs.hub, &report);
         }
+        if let Some(tracer) = &self.tracer {
+            fleet
+                .engine_mut()
+                .attach_tracer(&tracer.recorder, engine as u32 + 1);
+        }
         self.lanes[engine].backend = Backend::Durable(Box::new(fleet));
+        if let Some(board) = &self.health {
+            board.set_lane_up(engine, true);
+        }
         Ok(report)
     }
 }

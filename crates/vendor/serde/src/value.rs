@@ -73,4 +73,85 @@ impl Value {
             .find(|(k, _)| k == key)
             .map(|(_, v)| v)
     }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.as_number()? {
+            Number::PosInt(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64` (integers widen losslessly where possible).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.as_number()? {
+            Number::PosInt(n) => Some(n as f64),
+            Number::NegInt(n) => Some(n as f64),
+            Number::Float(f) => Some(f),
+        }
+    }
+}
+
+/// Shared `Null` for out-of-range / missing-key indexing.
+static NULL: Value = Value::Null;
+
+/// `value["key"]` object lookup, yielding `Null` for misses and
+/// non-objects — upstream serde_json's indexing semantics, so tests read
+/// naturally.
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+/// `value[i]` array lookup, yielding `Null` for out-of-range and
+/// non-arrays.
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<i32> for Value {
+    fn eq(&self, other: &i32) -> bool {
+        match self.as_number() {
+            Some(Number::PosInt(n)) => i64::from(*other) == n as i64 && *other >= 0,
+            Some(Number::NegInt(n)) => i64::from(*other) == n,
+            _ => false,
+        }
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
 }

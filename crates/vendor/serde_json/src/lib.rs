@@ -10,7 +10,8 @@
 #![warn(missing_docs)]
 
 use serde::de::DeserializeOwned;
-use serde::{Number, Serialize, Value};
+use serde::Serialize;
+pub use serde::{Number, Value};
 
 /// Error produced by JSON serialization or parsing.
 #[derive(Debug, Clone, PartialEq, Eq)]
